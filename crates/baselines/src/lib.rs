@@ -1,0 +1,77 @@
+//! # ipc-baselines — the designs the paper argues against
+//!
+//! Three comparison IPC implementations on the same Hector/Hurricane
+//! substrate, used by the ablation benchmarks:
+//!
+//! * [`lrpc`] — an LRPC-style facility (Bershad et al., SOSP'89): the same
+//!   PPC model, but bindings and A-stack lists are **global shared
+//!   structures protected by locks**, exactly the difference the paper
+//!   calls out: "The key difference is that not all resources required by
+//!   an LRPC operation are exclusively accessed by a single processor."
+//! * [`locked_ppc`] — an ablation of the paper's own design: identical
+//!   fastpath, except the CD/worker pools are machine-global behind one
+//!   lock. Isolates the cost of *just* the locking decision.
+//! * [`msg_rpc`] — RPC over Hurricane's pre-existing message-passing
+//!   facility (ports, shared queues, full scheduler switches): the
+//!   "direct translation of a uniprocessor IPC facility" baseline.
+//!
+//! Each baseline provides (a) a charged single-CPU `round_trip` for
+//! latency comparison, and (b) a segment decomposition for the
+//! discrete-event engine so the throughput ablation can replay it under
+//! contention.
+
+pub mod locked_ppc;
+pub mod lrpc;
+pub mod msg_rpc;
+
+use hector_sim::des::{LockId, Segment};
+use hector_sim::time::Cycles;
+
+/// A baseline's workload shape for the DES: per-iteration segments with
+/// `Acquire`/`Release` already placed around its serialized section(s).
+#[derive(Clone, Debug)]
+pub struct DesRecipe {
+    /// The per-iteration segment sequence.
+    pub segments: Vec<Segment>,
+    /// Purely-local cycles per iteration (diagnostics).
+    pub local: Cycles,
+    /// Cycles inside critical sections per iteration (diagnostics).
+    pub serialized: Cycles,
+}
+
+impl DesRecipe {
+    /// Build a recipe `local-work, [acquire, cs, release]` — the common
+    /// one-lock shape.
+    pub fn one_lock(local: Cycles, cs: Cycles, lock: LockId) -> Self {
+        DesRecipe {
+            segments: vec![
+                Segment::Busy(local),
+                Segment::Acquire(lock),
+                Segment::Busy(cs),
+                Segment::Release(lock),
+            ],
+            local,
+            serialized: cs,
+        }
+    }
+
+    /// A lock-free recipe (pure local work).
+    pub fn lock_free(local: Cycles) -> Self {
+        DesRecipe { segments: vec![Segment::Busy(local)], local, serialized: Cycles::ZERO }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recipe_shapes() {
+        let r = DesRecipe::one_lock(Cycles(100), Cycles(10), 0);
+        assert_eq!(r.segments.len(), 4);
+        assert_eq!(r.serialized, Cycles(10));
+        let f = DesRecipe::lock_free(Cycles(50));
+        assert_eq!(f.segments.len(), 1);
+        assert!(f.serialized.is_zero());
+    }
+}

@@ -1,0 +1,258 @@
+//! LRPC-style IPC on the Hector substrate.
+//!
+//! Bershad's Lightweight RPC uses the same protected-procedure-call model
+//! as the paper, but its resources are not processor-local: the *binding
+//! object* is looked up in a shared table, and the per-binding **A-stack
+//! queue is a shared list protected by a lock** that every call pops on
+//! entry and pushes on return. On the Firefly (slow processors, cheap
+//! shared memory, update-based coherence) this was nearly free; on a
+//! NUMA machine with expensive misses it serializes and saturates.
+//!
+//! The implementation mirrors `ppc-core`'s call path step by step and
+//! differs exactly where LRPC differs: binding lookup in shared memory,
+//! A-stack list under a lock, linkage record in the shared A-stack.
+
+use hector_sim::cpu::{CostCategory, Cpu, CpuId};
+use hector_sim::sym::{MemAttrs, Region};
+use hector_sim::time::Cycles;
+use hector_sim::topology::ModuleId;
+use hector_sim::Machine;
+use hurricane_os::process::Process;
+use hurricane_os::trap;
+
+use crate::DesRecipe;
+
+/// Number of shared-memory accesses to pop/push the A-stack free list and
+/// write the linkage record (return PC/SP, binding id).
+pub const ASTACK_CS_ACCESSES: u64 = 9;
+
+/// An LRPC binding: the shared structures one client-server pair uses.
+#[derive(Clone, Debug)]
+pub struct LrpcBinding {
+    /// Global binding-table entry (shared, uncached).
+    pub binding: Region,
+    /// A-stack free-list head + linkage records (shared, uncached,
+    /// lock-protected).
+    pub astack_list: Region,
+    /// Home module of the shared structures.
+    pub home: ModuleId,
+}
+
+/// A minimal LRPC facility for cost measurement.
+#[derive(Clone, Debug)]
+pub struct Lrpc {
+    binding: LrpcBinding,
+    /// Kernel stack for trap frames (per measurement CPU; reallocated on
+    /// demand in `round_trip`).
+    kstacks: Vec<Region>,
+    /// Client user-stack save areas, one per CPU.
+    ustacks: Vec<Region>,
+    /// Server A-stack pages (contents; the *list* is what's shared).
+    server_code: Region,
+}
+
+impl Lrpc {
+    /// Build the facility with its shared structures homed on `home`.
+    pub fn new(machine: &mut Machine, home: ModuleId) -> Self {
+        let n = machine.n_cpus();
+        let binding = machine.alloc_on(home, 128, "lrpc-binding");
+        let astack_list = machine.alloc_on(home, 256, "lrpc-astack-list");
+        let kstacks = (0..n).map(|c| machine.alloc_page_on(c, "lrpc-kstack")).collect();
+        let ustacks = (0..n).map(|c| machine.alloc_page_on(c, "lrpc-ustack")).collect();
+        let server_code = machine.alloc_on(home, 256, "lrpc-server-code");
+        Lrpc { binding: LrpcBinding { binding, astack_list, home }, kstacks, ustacks, server_code }
+    }
+
+    /// The binding's shared structures.
+    pub fn binding(&self) -> &LrpcBinding {
+        &self.binding
+    }
+
+    /// Charge the A-stack critical-section *body* (list pop or push plus
+    /// the linkage record) — shared uncached accesses. The lock operation
+    /// itself is charged by the caller / the DES.
+    pub fn charge_astack_cs(&self, cpu: &mut Cpu, entry: bool) {
+        let attrs = MemAttrs::uncached_shared(self.binding.home);
+        cpu.with_category(CostCategory::CdManip, |cpu| {
+            let n = if entry { ASTACK_CS_ACCESSES } else { ASTACK_CS_ACCESSES - 3 };
+            for i in 0..n {
+                if i % 2 == 0 {
+                    cpu.load(self.binding.astack_list.at(i * 8 % 256), attrs);
+                } else {
+                    cpu.store(self.binding.astack_list.at(i * 8 % 256), attrs);
+                }
+            }
+            cpu.exec(6);
+        });
+    }
+
+    /// Charge an uncontended lock acquire+release around a CS on `cpu`.
+    fn charge_lock(&self, cpu: &mut Cpu) {
+        let attrs = MemAttrs::uncached_shared(self.binding.home);
+        cpu.note_lock_acquire();
+        cpu.load(self.binding.astack_list.at(248), attrs);
+        cpu.store(self.binding.astack_list.at(248), attrs);
+        cpu.store(self.binding.astack_list.at(248), attrs);
+        cpu.exec(4);
+    }
+
+    /// One charged LRPC round trip on `cpu_id` (uncontended locks). The
+    /// structure parallels the PPC fastpath; the differences are the
+    /// shared binding lookup and the locked A-stack list.
+    pub fn round_trip(&self, machine: &mut Machine, cpu_id: CpuId) -> Cycles {
+        let kstack = self.kstacks[cpu_id];
+        let ustack = self.ustacks[cpu_id];
+        let shared = MemAttrs::uncached_shared(self.binding.home);
+        let cpu = machine.cpu_mut(cpu_id);
+        let start = cpu.clock();
+
+        // Client stub: user save + trap (same as PPC).
+        cpu.with_category(CostCategory::UserSaveRestore, |c| {
+            let attrs = MemAttrs::cached_private(ustack.base.module());
+            c.exec(6);
+            c.store_words(ustack.at(4096 - 192), Process::USER_SAVE_WORDS, attrs);
+        });
+        trap::enter(cpu, kstack, CostCategory::PpcKernel);
+
+        // Binding lookup: SHARED table (vs. PPC's CPU-local array).
+        cpu.with_category(CostCategory::PpcKernel, |c| {
+            c.load(self.binding.binding.at(0), shared);
+            c.load(self.binding.binding.at(16), shared);
+            c.exec(10);
+        });
+
+        // A-stack allocation: lock + shared list pop + linkage record.
+        self.charge_lock(cpu);
+        self.charge_astack_cs(cpu, true);
+
+        // Domain crossing: same TLB/context mechanics as a user-level PPC.
+        cpu.with_category(CostCategory::TlbSetup, |c| {
+            c.exec(6);
+        });
+        cpu.switch_user_as(900 + self.binding.home as u32);
+        cpu.with_category(CostCategory::KernelSaveRestore, |c| {
+            let attrs = MemAttrs::cached_private(kstack.base.module());
+            c.store_words(kstack.at(256), Process::SWITCH_STATE_WORDS, attrs);
+            c.load_words(kstack.at(512), Process::SWITCH_STATE_WORDS, attrs);
+        });
+        trap::exit(cpu, kstack, CostCategory::PpcKernel);
+
+        // Null server body.
+        cpu.with_category(CostCategory::ServerTime, |c| {
+            c.fetch_code(self.server_code);
+            c.exec(8);
+        });
+
+        // Return: trap, A-stack push under the lock, switch back.
+        trap::enter(cpu, kstack, CostCategory::PpcKernel);
+        self.charge_lock(cpu);
+        self.charge_astack_cs(cpu, false);
+        cpu.with_category(CostCategory::KernelSaveRestore, |c| {
+            let attrs = MemAttrs::cached_private(kstack.base.module());
+            c.store_words(kstack.at(512), Process::SWITCH_STATE_WORDS, attrs);
+            c.load_words(kstack.at(256), Process::SWITCH_STATE_WORDS, attrs);
+        });
+        cpu.switch_user_as(800 + cpu_id as u32);
+        trap::exit(cpu, kstack, CostCategory::PpcKernel);
+        cpu.with_category(CostCategory::UserSaveRestore, |c| {
+            let attrs = MemAttrs::cached_private(ustack.base.module());
+            c.load_words(ustack.at(4096 - 192), Process::USER_SAVE_WORDS, attrs);
+            c.exec(2);
+        });
+
+        machine.cpu_mut(cpu_id).clock() - start
+    }
+
+    /// DES recipe for one client on `cpu_id`: the A-stack list lock
+    /// serializes both the entry and return CS. Returns the recipe; the
+    /// caller supplies the `LockId` it created for this binding.
+    pub fn des_recipe(
+        &self,
+        machine: &mut Machine,
+        cpu_id: CpuId,
+        lock: hector_sim::des::LockId,
+    ) -> DesRecipe {
+        // Measure the warm round trip and the CS bodies on this CPU.
+        for _ in 0..2 {
+            self.round_trip(machine, cpu_id);
+        }
+        let total = self.round_trip(machine, cpu_id);
+        let cpu = machine.cpu_mut(cpu_id);
+        let t0 = cpu.clock();
+        self.charge_astack_cs(cpu, true);
+        let cs_in = cpu.clock() - t0;
+        let t1 = cpu.clock();
+        self.charge_astack_cs(cpu, false);
+        let cs_out = cpu.clock() - t1;
+        // Lock word costs are replayed by the DES itself; subtract the CS
+        // bodies (counted inside `total`) from the local share.
+        let lock_cost = {
+            let t = cpu.clock();
+            self.charge_lock(cpu);
+            self.charge_lock(cpu);
+            cpu.clock() - t
+        };
+        let local = total.saturating_sub(cs_in + cs_out + lock_cost);
+        DesRecipe {
+            segments: vec![
+                hector_sim::des::Segment::Busy(local / 2),
+                hector_sim::des::Segment::Acquire(lock),
+                hector_sim::des::Segment::Busy(cs_in),
+                hector_sim::des::Segment::Release(lock),
+                hector_sim::des::Segment::Busy(local - local / 2),
+                hector_sim::des::Segment::Acquire(lock),
+                hector_sim::des::Segment::Busy(cs_out),
+                hector_sim::des::Segment::Release(lock),
+            ],
+            local,
+            serialized: cs_in + cs_out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hector_sim::MachineConfig;
+
+    #[test]
+    fn lrpc_latency_same_ballpark_as_ppc_but_with_shared_traffic() {
+        let mut m = Machine::new(MachineConfig::hector(4));
+        let lrpc = Lrpc::new(&mut m, 0);
+        for _ in 0..3 {
+            lrpc.round_trip(&mut m, 0);
+        }
+        let cpu = m.cpu_mut(0);
+        cpu.begin_measure();
+        let t = lrpc.round_trip(&mut m, 0);
+        let st = m.cpu_mut(0).path_stats().clone();
+        // Uncontended and local, LRPC is competitive...
+        assert!((15.0..60.0).contains(&t.as_us()), "{t}");
+        // ...but unlike PPC it touches shared data and takes locks.
+        assert!(st.shared_accesses > 10, "binding + A-stack list are shared");
+        assert_eq!(st.lock_acquires, 2, "entry and return each lock");
+    }
+
+    #[test]
+    fn remote_cpu_pays_more() {
+        let mut m = Machine::new(MachineConfig::hector(16));
+        let lrpc = Lrpc::new(&mut m, 0);
+        for _ in 0..3 {
+            lrpc.round_trip(&mut m, 0);
+            lrpc.round_trip(&mut m, 8);
+        }
+        let local = lrpc.round_trip(&mut m, 0);
+        let remote = lrpc.round_trip(&mut m, 8);
+        assert!(remote > local, "NUMA distance must show: {remote} vs {local}");
+    }
+
+    #[test]
+    fn des_recipe_is_sane() {
+        let mut m = Machine::new(MachineConfig::hector(4));
+        let lrpc = Lrpc::new(&mut m, 0);
+        let r = lrpc.des_recipe(&mut m, 1, 0);
+        assert_eq!(r.segments.len(), 8);
+        assert!(r.serialized > Cycles::ZERO);
+        assert!(r.local > r.serialized, "most of the call is still local work");
+    }
+}

@@ -1,0 +1,21 @@
+//! Criterion bench over the lock ablation harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppc_bench::ablation;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    for n in [1usize, 8] {
+        g.bench_with_input(BenchmarkId::new("four_designs", n), &n, |b, &n| {
+            b.iter(|| {
+                let rows = ablation::run(n, std::hint::black_box(5_000.0));
+                std::hint::black_box(rows.last().map(|r| r.ppc))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench over the Figure-2 microbenchmark: one full measured
+//! PPC round trip (setup + warm + measure) per condition. The *simulated*
+//! time is the figure; Criterion tracks the harness's host-side cost and
+//! guards against regressions in the simulator's own performance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppc_core::microbench::{measure, Condition};
+
+fn bench_conditions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2");
+    for cond in Condition::ALL {
+        g.bench_function(cond.label().replace(' ', "_").replace('/', "-"), |b| {
+            b.iter(|| {
+                let bd = measure(std::hint::black_box(cond));
+                std::hint::black_box(bd.total())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_single_warm_call(c: &mut Criterion) {
+    // Host cost of one warm simulated call (system reused across iters).
+    let mut nb = ppc_core::microbench::setup(false, false);
+    for _ in 0..4 {
+        nb.sys.call(0, nb.client, nb.ep, [0; 8]).unwrap();
+    }
+    c.bench_function("fig2/warm_call_host_cost", |b| {
+        b.iter(|| {
+            let r = nb.sys.call(0, nb.client, nb.ep, std::hint::black_box([1; 8])).unwrap();
+            std::hint::black_box(r)
+        })
+    });
+}
+
+criterion_group!(benches, bench_conditions, bench_single_warm_call);
+criterion_main!(benches);

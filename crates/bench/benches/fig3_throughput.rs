@@ -1,0 +1,28 @@
+//! Criterion bench over the Figure-3 harness: the DES replay of the
+//! GetLength workload at representative processor counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppc_bench::fig3;
+
+fn bench_fig3_points(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    for n in [1usize, 4, 16] {
+        g.bench_with_input(BenchmarkId::new("getlength_des", n), &n, |b, &n| {
+            b.iter(|| {
+                let rows = fig3::run(n, std::hint::black_box(5_000.0));
+                std::hint::black_box(rows.last().map(|r| r.single_file))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_segment_measurement(c: &mut Criterion) {
+    c.bench_function("fig3/measure_call_costs", |b| {
+        b.iter(|| std::hint::black_box(fig3::measure_call_costs(16, 3, 0)))
+    });
+}
+
+criterion_group!(benches, bench_fig3_points, bench_segment_measurement);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Real-threads throughput under multiple clients: per-vCPU lock-free PPC
+//! vs. the global locked queue. (On a single-core host this exercises
+//! oversubscribed software overhead; see `figure3` for the machine-model
+//! scalability reproduction.)
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ppc_rt::baseline::LockedServer;
+use ppc_rt::{EntryOptions, Runtime};
+
+const CALLS_PER_CLIENT: u64 = 200;
+
+fn bench_multiclient(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rt_throughput");
+    g.sample_size(10);
+    for n in [1usize, 2, 4] {
+        g.throughput(Throughput::Elements(n as u64 * CALLS_PER_CLIENT));
+        g.bench_with_input(BenchmarkId::new("ppc", n), &n, |b, &n| {
+            let rt = Runtime::new(n);
+            let ep = rt.bind("echo", EntryOptions::default(), Arc::new(|x| x.args)).unwrap();
+            b.iter(|| {
+                let handles: Vec<_> = (0..n)
+                    .map(|v| {
+                        let cl = rt.client(v, 1);
+                        std::thread::spawn(move || {
+                            for i in 0..CALLS_PER_CLIENT {
+                                cl.call(ep, [i; 8]).unwrap();
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("locked", n), &n, |b, &n| {
+            let server = Arc::new(LockedServer::start(n, Arc::new(|a| a)));
+            b.iter(|| {
+                let handles: Vec<_> = (0..n)
+                    .map(|_| {
+                        let s = Arc::clone(&server);
+                        std::thread::spawn(move || {
+                            for i in 0..CALLS_PER_CLIENT {
+                                s.call([i; 8]);
+                            }
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_multiclient);
+criterion_main!(benches);

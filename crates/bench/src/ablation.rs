@@ -1,0 +1,130 @@
+//! Lock ablation: what one lock in the IPC path costs at scale.
+//!
+//! Four designs under an identical null-call workload:
+//!
+//! * **ppc** — the paper's per-processor, lock-free design;
+//! * **locked-ppc** — same fastpath, CD/worker pools global behind a lock;
+//! * **lrpc** — LRPC-style shared binding + locked A-stack list;
+//! * **msg-rpc** — Hurricane's message-passing facility.
+//!
+//! This regenerates the *implication* of Figure 3's dashed line: "this
+//! experiment illustrates the dramatic impact any locks in the IPC path
+//! might have."
+
+use hector_sim::des::{Des, Segment, SegmentLoopActor};
+use hector_sim::time::Cycles;
+use hector_sim::{Machine, MachineConfig};
+use hurricane_os::Kernel;
+use ipc_baselines::{locked_ppc::LockedPpc, lrpc::Lrpc, msg_rpc::MsgRpc, DesRecipe};
+use ppc_core::microbench::{self, Condition};
+
+/// Throughput of each design at one processor count.
+#[derive(Clone, Copy, Debug)]
+pub struct AblationRow {
+    /// Client processors.
+    pub n: usize,
+    /// Lock-free per-processor PPC (calls/s).
+    pub ppc: f64,
+    /// PPC with a global locked pool.
+    pub locked_ppc: f64,
+    /// LRPC-style shared structures.
+    pub lrpc: f64,
+    /// Message-passing RPC.
+    pub msg_rpc: f64,
+}
+
+fn throughput(recipes: &[DesRecipe], max_cpus: usize, deadline: Cycles, shared_lock: bool) -> f64 {
+    let mut des = Des::new(MachineConfig::hector(max_cpus));
+    // Lock 0 is the shared one; per-client locks follow when not shared.
+    let shared = des.add_lock(0);
+    for (c, r) in recipes.iter().enumerate() {
+        let lock = if shared_lock { shared } else { des.add_lock(c) };
+        let segments: Vec<Segment> = r
+            .segments
+            .iter()
+            .map(|s| match s {
+                Segment::Acquire(_) => Segment::Acquire(lock),
+                Segment::Release(_) => Segment::Release(lock),
+                Segment::Busy(c) => Segment::Busy(*c),
+            })
+            .collect();
+        des.add_actor(c, SegmentLoopActor::new(segments, deadline), Cycles(13 * c as u64));
+    }
+    des.run_until(deadline + Cycles::from_us(1000.0));
+    let total: u64 = des.actors().iter().map(|a| a.completed).sum();
+    total as f64 / deadline.as_secs()
+}
+
+/// Run the ablation for 1..=`max_cpus`, simulating `sim_us` per point.
+pub fn run(max_cpus: usize, sim_us: f64) -> Vec<AblationRow> {
+    let deadline = Cycles::from_us(sim_us);
+
+    // PPC: measure the warm null round trip once; it is CPU-local, so the
+    // per-iteration cost is the same on every processor.
+    let ppc_total = microbench::measure(Condition {
+        kernel_server: false,
+        hold_cd: false,
+        flushed: false,
+    })
+    .total();
+    let ppc_recipe = DesRecipe::lock_free(ppc_total);
+
+    // Locked-pool PPC.
+    let mut m = Machine::new(MachineConfig::hector(max_cpus));
+    let lp = LockedPpc::new(&mut m, 0);
+    let lp_recipes: Vec<DesRecipe> = (0..max_cpus).map(|c| lp.des_recipe(&mut m, c, 0)).collect();
+
+    // LRPC.
+    let mut m2 = Machine::new(MachineConfig::hector(max_cpus));
+    let lrpc = Lrpc::new(&mut m2, 0);
+    let lrpc_recipes: Vec<DesRecipe> =
+        (0..max_cpus).map(|c| lrpc.des_recipe(&mut m2, c, 0)).collect();
+
+    // Message RPC.
+    let mut k = Kernel::boot(MachineConfig::hector(max_cpus));
+    let mut msg = MsgRpc::new(&mut k, 0);
+    let msg_recipes: Vec<DesRecipe> =
+        (0..max_cpus).map(|c| msg.des_recipe(&mut k, c, 0)).collect();
+
+    (1..=max_cpus)
+        .map(|n| AblationRow {
+            n,
+            ppc: throughput(&vec![ppc_recipe.clone(); n], max_cpus, deadline, false),
+            locked_ppc: throughput(&lp_recipes[..n], max_cpus, deadline, true),
+            lrpc: throughput(&lrpc_recipes[..n], max_cpus, deadline, true),
+            msg_rpc: throughput(&msg_recipes[..n], max_cpus, deadline, true),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_free_wins_at_scale() {
+        let rows = run(8, 20_000.0);
+        let r1 = &rows[0];
+        let r8 = &rows[7];
+        // At one CPU the designs are within the same order of magnitude.
+        assert!(r1.ppc / r1.locked_ppc < 2.0);
+        // At 8 CPUs the lock-free design scales ~linearly...
+        assert!(r8.ppc / r1.ppc > 7.0, "ppc speedup {}", r8.ppc / r1.ppc);
+        // ...while every locked design has fallen off linear.
+        assert!(r8.locked_ppc / r1.locked_ppc < 7.0);
+        assert!(r8.lrpc / r1.lrpc < 6.5);
+        assert!(r8.msg_rpc / r1.msg_rpc < 6.5);
+        // And the ordering at scale is ppc > locked variants.
+        assert!(r8.ppc > r8.locked_ppc);
+        assert!(r8.ppc > r8.lrpc);
+        assert!(r8.ppc > r8.msg_rpc);
+    }
+
+    #[test]
+    fn msg_rpc_is_slowest_at_one_cpu() {
+        let rows = run(1, 20_000.0);
+        let r = &rows[0];
+        assert!(r.msg_rpc < r.ppc, "msg {} vs ppc {}", r.msg_rpc, r.ppc);
+        assert!(r.msg_rpc < r.lrpc);
+    }
+}

@@ -1,0 +1,44 @@
+//! Regenerates the lock ablation: throughput scaling of the lock-free
+//! per-processor PPC against three locked designs (locked-pool PPC,
+//! LRPC-style, message-passing RPC) under identical null-call load.
+//!
+//! Run: `cargo run -p ppc-bench --bin ablation_locks [--release]`
+
+use ppc_bench::{ablation, report};
+
+fn main() {
+    println!("Lock ablation: null-call throughput (calls/second) vs. processors\n");
+    let rows = ablation::run(16, 30_000.0);
+    let widths = [5, 12, 12, 12, 12];
+    println!(
+        "{}",
+        report::row(
+            &["N".into(), "ppc".into(), "locked-ppc".into(), "lrpc".into(), "msg-rpc".into()],
+            &widths
+        )
+    );
+    println!("{}", report::rule(&widths));
+    for r in &rows {
+        println!(
+            "{}",
+            report::row(
+                &[
+                    r.n.to_string(),
+                    format!("{:.0}", r.ppc),
+                    format!("{:.0}", r.locked_ppc),
+                    format!("{:.0}", r.lrpc),
+                    format!("{:.0}", r.msg_rpc),
+                ],
+                &widths
+            )
+        );
+    }
+    let r1 = &rows[0];
+    let rl = rows.last().unwrap();
+    println!();
+    println!("speedup at {} CPUs:", rl.n);
+    println!("  ppc        {:6.2}x (lock-free, per-processor: linear)", rl.ppc / r1.ppc);
+    println!("  locked-ppc {:6.2}x", rl.locked_ppc / r1.locked_ppc);
+    println!("  lrpc       {:6.2}x", rl.lrpc / r1.lrpc);
+    println!("  msg-rpc    {:6.2}x", rl.msg_rpc / r1.msg_rpc);
+}

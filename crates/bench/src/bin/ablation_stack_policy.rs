@@ -1,0 +1,83 @@
+//! Ablation: eager multi-page stack mapping vs. lazy page-fault growth.
+//!
+//! §4.5.4 sketches both designs for stacks beyond one page: map "some
+//! fixed multiple of the page size" eagerly on every call, or "assign a
+//! larger virtual space for the stack [where] accesses beyond the first
+//! page result in a page fault", keeping "the common case fast and only
+//! penaliz[ing] those servers that require the extra space". This sweep
+//! shows the crossover.
+//!
+//! Run: `cargo run -p ppc-bench --bin ablation_stack_policy`
+
+use std::rc::Rc;
+
+use hector_sim::MachineConfig;
+use ppc_bench::report;
+use ppc_core::{PpcSystem, ServiceSpec};
+
+const LIMIT_PAGES: usize = 4;
+
+fn build(lazy: bool) -> (PpcSystem, usize, usize) {
+    let mut sys = PpcSystem::boot(MachineConfig::hector(1));
+    let asid = sys.kernel.create_space("svc");
+    let mut spec = ServiceSpec::new(asid).stack_pages(LIMIT_PAGES);
+    if lazy {
+        spec = spec.lazy_stack();
+    }
+    let ep = sys
+        .bind_entry_boot(
+            spec,
+            Rc::new(|s: &mut PpcSystem, ctx| {
+                s.touch_worker_stack(ctx, ctx.args[0]).expect("within limit");
+                [0; 8]
+            }),
+        )
+        .unwrap();
+    let prog = sys.kernel.new_program_id();
+    let client = sys.new_client(0, prog);
+    (sys, ep, client)
+}
+
+fn warm_us(sys: &mut PpcSystem, ep: usize, client: usize, bytes: u64) -> f64 {
+    for _ in 0..3 {
+        sys.call(0, client, ep, [bytes, 0, 0, 0, 0, 0, 0, 0]).unwrap();
+    }
+    let t = sys.kernel.machine.cpu(0).clock();
+    sys.call(0, client, ep, [bytes, 0, 0, 0, 0, 0, 0, 0]).unwrap();
+    (sys.kernel.machine.cpu(0).clock() - t).as_us()
+}
+
+fn main() {
+    println!("Stack policy ablation: {LIMIT_PAGES}-page service, warm call cost vs. stack use\n");
+    let widths = [12, 12, 12, 10];
+    println!(
+        "{}",
+        report::row(
+            &["stack used".into(), "eager us".into(), "lazy us".into(), "winner".into()],
+            &widths
+        )
+    );
+    println!("{}", report::rule(&widths));
+    for bytes in [256u64, 1024, 4096, 8192, 12288, 16384] {
+        let (mut eager, ep_e, cl_e) = build(false);
+        let (mut lazy, ep_l, cl_l) = build(true);
+        let e = warm_us(&mut eager, ep_e, cl_e, bytes);
+        let l = warm_us(&mut lazy, ep_l, cl_l, bytes);
+        println!(
+            "{}",
+            report::row(
+                &[
+                    format!("{bytes}B"),
+                    format!("{e:.1}"),
+                    format!("{l:.1}"),
+                    if l < e { "lazy" } else { "eager" }.into(),
+                ],
+                &widths
+            )
+        );
+    }
+    println!();
+    println!("paper (§4.5.4): lazy growth \"would keep the common case fast and only");
+    println!("penalize those servers that require the extra space (which are likely");
+    println!("to execute longer and more easily amortize the cost of the page-fault)\".");
+}

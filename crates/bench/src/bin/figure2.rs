@@ -1,0 +1,82 @@
+//! Regenerates **Figure 2**: the breakdown of the round-trip PPC time
+//! under eight conditions, with the paper's totals alongside.
+//!
+//! Run: `cargo run -p ppc-bench --bin figure2`
+
+use hector_sim::cpu::CostCategory;
+use ppc_bench::report;
+use ppc_core::microbench::{measure, Condition};
+
+fn main() {
+    println!("Figure 2: round-trip PPC time breakdown (microseconds)");
+    println!("Categories follow the paper's legend; totals compared to CSRI-294.\n");
+
+    let cats: Vec<CostCategory> = CostCategory::ALL
+        .iter()
+        .copied()
+        .filter(|c| *c != CostCategory::Other)
+        .collect();
+
+    let widths: Vec<usize> = std::iter::once(34_usize).chain(cats.iter().map(|_| 8)).chain([8, 8]).collect();
+    let mut header = vec!["condition".to_string()];
+    header.extend(cats.iter().map(|c| short(*c).to_string()));
+    header.push("TOTAL".into());
+    header.push("paper".into());
+    println!("{}", report::row(&header, &widths));
+    println!("{}", report::rule(&widths));
+
+    let mut results = Vec::new();
+    for cond in Condition::ALL {
+        let bd = measure(cond);
+        let mut cells = vec![cond.label()];
+        for c in &cats {
+            cells.push(format!("{:.1}", bd.get(*c).as_us()));
+        }
+        cells.push(format!("{:.1}", bd.total().as_us()));
+        cells.push(format!("{:.1}", cond.paper_total_us()));
+        println!("{}", report::row(&cells, &widths));
+        results.push((cond, bd));
+    }
+
+    println!();
+    let t = |k: bool, h: bool, f: bool| {
+        results
+            .iter()
+            .find(|(c, _)| c.kernel_server == k && c.hold_cd == h && c.flushed == f)
+            .map(|(_, bd)| bd.total().as_us())
+            .unwrap()
+    };
+    println!("derived claims:");
+    println!(
+        "  hold-CD saving (user, primed):   {:5.2} us   (paper: 2-3 us)",
+        t(false, false, false) - t(false, true, false)
+    );
+    println!(
+        "  kernel-server saving (primed):   {:5.2} us   (paper: ~10.2 us)",
+        t(false, false, false) - t(true, false, false)
+    );
+    println!(
+        "  cache-flush penalty (user):      {:5.2} us   (paper: ~20 us)",
+        t(false, false, true) - t(false, false, false)
+    );
+    let worst = ppc_core::microbench::measure_dirty_and_icache_flushed();
+    println!(
+        "  dirty cache + I-flush, extra:    {:5.2} us   (paper: another 20-30 us)",
+        worst.total().as_us() - t(false, false, true)
+    );
+}
+
+fn short(c: CostCategory) -> &'static str {
+    match c {
+        CostCategory::TlbSetup => "tlbset",
+        CostCategory::ServerTime => "server",
+        CostCategory::KernelSaveRestore => "ksave",
+        CostCategory::UserSaveRestore => "usave",
+        CostCategory::CdManip => "cd",
+        CostCategory::PpcKernel => "ppck",
+        CostCategory::TlbMiss => "tlbmiss",
+        CostCategory::TrapOverhead => "trap",
+        CostCategory::Unaccounted => "unacct",
+        CostCategory::Other => "other",
+    }
+}

@@ -1,0 +1,69 @@
+//! Regenerates **Figure 3**: throughput of independent clients repeatedly
+//! requesting the length of a file from the file server, 1..16 processors.
+//!
+//! Run: `cargo run -p ppc-bench --bin figure3 [--release]`
+
+use ppc_bench::{fig3, report};
+
+fn main() {
+    let base = fig3::sequential_base_us();
+    println!("Figure 3: GetLength throughput vs. processors");
+    println!("sequential base: {base:.1} us/call (paper: 66 us, half IPC / half server)\n");
+
+    let rows = fig3::run(16, 50_000.0);
+    let widths = [5, 12, 14, 12, 26];
+    println!(
+        "{}",
+        report::row(
+            &["N".into(), "ideal".into(), "diff-files".into(), "single".into(), "".into()],
+            &widths
+        )
+    );
+    println!("{}", report::rule(&widths[..4]));
+    let max = rows.last().map(|r| r.ideal).unwrap_or(1.0);
+    for r in &rows {
+        println!(
+            "{}",
+            report::row(
+                &[
+                    r.n.to_string(),
+                    format!("{:.0}", r.ideal),
+                    format!("{:.0}", r.different_files),
+                    format!("{:.0}", r.single_file),
+                    format!("|{}", report::bar(r.different_files, max, 20)),
+                ],
+                &widths
+            )
+        );
+    }
+
+    let r1 = &rows[0];
+    let r16 = &rows[15];
+    println!();
+    println!(
+        "different files: {:.2}x speedup at 16 CPUs (paper: linear/perfect)",
+        r16.different_files / r1.different_files
+    );
+    let peak = rows
+        .iter()
+        .max_by(|a, b| a.single_file.total_cmp(&b.single_file))
+        .unwrap();
+    println!(
+        "single file:     saturates near {} CPUs at {:.2}x, {:.2}x left at 16 \
+         (paper: saturates at 4)",
+        peak.n,
+        peak.single_file / r1.single_file,
+        r16.single_file / r1.single_file
+    );
+
+    // Robustness check: the saturation conclusion with 25% per-iteration
+    // compute jitter (clients not in lockstep).
+    let jit = fig3::run_single_file_jittered(16, 20_000.0, 25, 42);
+    let j1 = jit[0].1;
+    let jpeak = jit.iter().map(|(_, t)| *t).fold(0.0f64, f64::max);
+    println!(
+        "jittered (25%):  single-file peak {:.2}x, {:.2}x at 16 — same conclusion",
+        jpeak / j1,
+        jit[15].1 / j1
+    );
+}

@@ -1,0 +1,91 @@
+//! Real-threads port scalability: lock-free PPC runtime vs. the
+//! single-locked-queue baseline, under increasing client counts.
+//!
+//! Run: `cargo run -p ppc-bench --release --bin rt_scaling`
+//!
+//! NOTE: on a single-core host this measures software overhead under
+//! oversubscription, not true parallel speedup — the *simulator* benches
+//! (`figure3`, `ablation_locks`) are the faithful scalability story. The
+//! interesting signal here is that the per-vCPU design does not collapse
+//! as clients are added, while the global lock serializes.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ppc_bench::report;
+use ppc_rt::baseline::LockedServer;
+use ppc_rt::{EntryOptions, Runtime};
+
+const RUN_MS: u64 = 300;
+
+fn ppc_throughput(n_clients: usize) -> f64 {
+    let rt = Runtime::with_options(n_clients, true, 1);
+    let ep = rt.bind("echo", EntryOptions::default(), Arc::new(|c| c.args)).unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for v in 0..n_clients {
+        let c = rt.client(v, 1 + v as u32);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut n = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                c.call(ep, [n; 8]).unwrap();
+                n += 1;
+            }
+            n
+        }));
+    }
+    let t0 = Instant::now();
+    std::thread::sleep(Duration::from_millis(RUN_MS));
+    stop.store(true, Ordering::Relaxed);
+    let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    total as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn locked_throughput(n_clients: usize) -> f64 {
+    let server = Arc::new(LockedServer::start(n_clients, Arc::new(|a| a)));
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for _ in 0..n_clients {
+        let s = Arc::clone(&server);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut n = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                s.call([n; 8]);
+                n += 1;
+            }
+            n
+        }));
+    }
+    let t0 = Instant::now();
+    std::thread::sleep(Duration::from_millis(RUN_MS));
+    stop.store(true, Ordering::Relaxed);
+    let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    total as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("Real-threads PPC scalability ({cores} host core(s))");
+    if cores == 1 {
+        println!("(single core: oversubscribed; see figure3/ablation_locks for the");
+        println!(" faithful multiprocessor scalability reproduction)");
+    }
+    println!();
+    let widths = [8, 14, 14];
+    println!(
+        "{}",
+        report::row(&["clients".into(), "ppc-rt".into(), "locked-queue".into()], &widths)
+    );
+    println!("{}", report::rule(&widths));
+    for n in [1usize, 2, 4, 8] {
+        let p = ppc_throughput(n);
+        let l = locked_throughput(n);
+        println!(
+            "{}",
+            report::row(&[n.to_string(), format!("{p:.0}"), format!("{l:.0}")], &widths)
+        );
+    }
+}

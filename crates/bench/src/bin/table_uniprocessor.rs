@@ -1,0 +1,61 @@
+//! Regenerates the §1 in-text comparison: the paper's multiprocessor PPC
+//! times against published uniprocessor null-RPC round trips.
+//!
+//! Run: `cargo run -p ppc-bench --bin table_uniprocessor`
+
+use ppc_bench::report;
+use ppc_core::microbench::{measure, Condition};
+
+fn main() {
+    println!("Uniprocessor IPC comparison (null round-trip RPC, microseconds)");
+    println!("Reference values as cited in the paper's introduction.\n");
+
+    let u2u = measure(Condition { kernel_server: false, hold_cd: false, flushed: false });
+    let u2k = measure(Condition { kernel_server: true, hold_cd: true, flushed: false });
+
+    let widths = [34, 10, 22];
+    println!(
+        "{}",
+        report::row(&["system".into(), "time(us)".into(), "platform".into()], &widths)
+    );
+    println!("{}", report::rule(&widths));
+    let rows: Vec<(&str, f64, &str)> = vec![
+        ("L3 (Liedtke)", 60.0, "20 MHz 386"),
+        ("L3 (Liedtke)", 10.0, "50 MHz 486"),
+        ("Mach", 57.0, "25 MHz MIPS R3000"),
+        ("Mach", 95.0, "16 MHz MIPS R2000"),
+        ("QNX", 76.0, "33 MHz 486"),
+        ("LRPC (paper citation)", 157.0, "CVAX Firefly"),
+    ];
+    for (name, us, plat) in rows {
+        println!(
+            "{}",
+            report::row(&[name.into(), format!("{us:.1}"), plat.into()], &widths)
+        );
+    }
+    println!("{}", report::rule(&widths));
+    println!(
+        "{}",
+        report::row(
+            &[
+                "PPC user-to-user (this repro)".into(),
+                format!("{:.1}", u2u.total().as_us()),
+                "16.67 MHz M88100 (sim)".into()
+            ],
+            &widths
+        )
+    );
+    println!(
+        "{}",
+        report::row(
+            &[
+                "PPC user-to-kernel, hold CD".into(),
+                format!("{:.1}", u2k.total().as_us()),
+                "16.67 MHz M88100 (sim)".into()
+            ],
+            &widths
+        )
+    );
+    println!("\npaper: 32.4 us user-to-user warm; 19.2 us user-to-kernel with held CD —");
+    println!("multiprocessor IPC competitive with the fastest uniprocessor times.");
+}

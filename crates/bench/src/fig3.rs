@@ -1,0 +1,246 @@
+//! Figure 3: GetLength throughput against one file server.
+//!
+//! "The solid curve shows the throughput in the case that independent
+//! clients issue the GetLength request to different files (but to the same
+//! server). This figure clearly shows linear increase in throughput [...]
+//! The dashed line shows the throughput of clients concurrently making
+//! GetLength requests for a single common file. In this case the
+//! throughput saturates at four processors."
+//!
+//! Method: the per-call costs are *measured* on the cycle simulator (a
+//! warm Bob GetLength PPC call on each client CPU, split into its local
+//! part and its per-file critical section), then replayed on the
+//! discrete-event engine where the per-file lock is a contended resource.
+
+use hector_sim::des::{Des, Segment, SegmentLoopActor};
+use hector_sim::time::Cycles;
+use hector_sim::{CpuId, MachineConfig};
+use ppc_core::bob::{boot_with_bob, Bob};
+use ppc_core::PpcSystem;
+
+/// Per-CPU measured costs of one GetLength call.
+#[derive(Clone, Copy, Debug)]
+pub struct CallCosts {
+    /// Work outside the per-file critical section (IPC + lookup + reply).
+    pub local: Cycles,
+    /// The critical-section body (file accounting update).
+    pub cs: Cycles,
+    /// Full warm round trip (diagnostics; `local + cs + lock overhead`).
+    pub total: Cycles,
+}
+
+/// One point of the Figure-3 curves.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig3Row {
+    /// Number of client processors.
+    pub n: usize,
+    /// Ideal throughput assuming perfect speedup (calls/second).
+    pub ideal: f64,
+    /// Measured throughput, each client using its own file.
+    pub different_files: f64,
+    /// Measured throughput, all clients sharing one file.
+    pub single_file: f64,
+}
+
+fn warm_calls(sys: &mut PpcSystem, bob: &Bob, cpu: CpuId, client: usize, h: usize, n: usize) {
+    for _ in 0..n {
+        bob.get_length(sys, cpu, client, h).expect("warm GetLength");
+    }
+}
+
+/// Measure the warm GetLength costs for a client on `cpu` against the file
+/// `h` (homed wherever it was created) in a fresh `n_cpus` system.
+pub fn measure_call_costs(n_cpus: usize, cpu: CpuId, file_home: usize) -> CallCosts {
+    let (mut sys, bob, _) = boot_with_bob(MachineConfig::hector(n_cpus), 0);
+    let h = bob.create_file(&mut sys, "bench", 4096, file_home);
+    let prog = sys.kernel.new_program_id();
+    let client = sys.new_client(cpu, prog);
+    warm_calls(&mut sys, &bob, cpu, client, h, 4);
+
+    // Full warm round trip.
+    let t0 = sys.kernel.machine.cpu(cpu).clock();
+    bob.get_length(&mut sys, cpu, client, h).unwrap();
+    let total = sys.kernel.machine.cpu(cpu).clock() - t0;
+
+    // Critical-section body alone (the part that holds the lock).
+    let fs = bob.fs.borrow();
+    let c = sys.kernel.machine.cpu_mut(cpu);
+    let t1 = c.clock();
+    fs.cs_body(c, h);
+    let cs = c.clock() - t1;
+
+    // Lock-word overhead alone (replayed by the DES, so excluded here).
+    let t2 = c.clock();
+    fs.uncontended_lock(c, h);
+    let lock = c.clock() - t2;
+
+    let local = total.saturating_sub(cs + lock);
+    CallCosts { local, cs, total }
+}
+
+/// The sequential base time of one GetLength call in microseconds (the
+/// paper reports 66 µs, half IPC and half file system).
+pub fn sequential_base_us() -> f64 {
+    measure_call_costs(1, 0, 0).total.as_us()
+}
+
+/// Run the Figure-3 experiment for 1..=`max_cpus` client processors,
+/// simulating `sim_us` microseconds per point.
+pub fn run(max_cpus: usize, sim_us: f64) -> Vec<Fig3Row> {
+    let deadline = Cycles::from_us(sim_us);
+    let horizon = deadline + Cycles::from_us(1000.0);
+    let mut rows = Vec::new();
+
+    // Per-CPU costs in the full 16-way machine (NUMA distances matter).
+    let shared_costs: Vec<CallCosts> =
+        (0..max_cpus).map(|c| measure_call_costs(max_cpus, c, 0)).collect();
+    let own_costs: Vec<CallCosts> =
+        (0..max_cpus).map(|c| measure_call_costs(max_cpus, c, c)).collect();
+
+    let rate_1 = {
+        // Throughput of one client on its own file = ideal slope.
+        let per_call = own_costs[0].total;
+        1e6 / per_call.as_us()
+    };
+
+    for n in 1..=max_cpus {
+        // --- different files: per-client file and per-client lock -------
+        let mut des = Des::new(MachineConfig::hector(max_cpus));
+        for (c, costs) in own_costs.iter().copied().enumerate().take(n) {
+            let lock = des.add_lock(c);
+            des.add_actor(
+                c,
+                SegmentLoopActor::new(
+                    vec![
+                        Segment::Busy(costs.local),
+                        Segment::Acquire(lock),
+                        Segment::Busy(costs.cs),
+                        Segment::Release(lock),
+                    ],
+                    deadline,
+                ),
+                Cycles(17 * c as u64),
+            );
+        }
+        des.run_until(horizon);
+        let diff_total: u64 = des.actors().iter().map(|a| a.completed).sum();
+
+        // --- single file: one shared lock homed with the file -----------
+        let mut des = Des::new(MachineConfig::hector(max_cpus));
+        let lock = des.add_lock(0);
+        for (c, costs) in shared_costs.iter().copied().enumerate().take(n) {
+            des.add_actor(
+                c,
+                SegmentLoopActor::new(
+                    vec![
+                        Segment::Busy(costs.local),
+                        Segment::Acquire(lock),
+                        Segment::Busy(costs.cs),
+                        Segment::Release(lock),
+                    ],
+                    deadline,
+                ),
+                Cycles(17 * c as u64),
+            );
+        }
+        des.run_until(horizon);
+        let single_total: u64 = des.actors().iter().map(|a| a.completed).sum();
+
+        let secs = deadline.as_secs();
+        rows.push(Fig3Row {
+            n,
+            ideal: rate_1 * n as f64,
+            different_files: diff_total as f64 / secs,
+            single_file: single_total as f64 / secs,
+        });
+    }
+    rows
+}
+
+/// Robustness variant: the single-file experiment with per-iteration
+/// compute jitter (clients do not arrive in lockstep). The saturation
+/// conclusion must not depend on the deterministic stagger.
+pub fn run_single_file_jittered(
+    max_cpus: usize,
+    sim_us: f64,
+    jitter_pct: u64,
+    seed: u64,
+) -> Vec<(usize, f64)> {
+    use hector_sim::des::JitterLoopActor;
+    let deadline = Cycles::from_us(sim_us);
+    let horizon = deadline + Cycles::from_us(1000.0);
+    let shared_costs: Vec<CallCosts> =
+        (0..max_cpus).map(|c| measure_call_costs(max_cpus, c, 0)).collect();
+    (1..=max_cpus)
+        .map(|n| {
+            let mut des: Des<JitterLoopActor> = Des::new(MachineConfig::hector(max_cpus));
+            let lock = des.add_lock(0);
+            for (c, costs) in shared_costs.iter().enumerate().take(n) {
+                des.add_actor(
+                    c,
+                    JitterLoopActor::new(
+                        vec![
+                            Segment::Busy(costs.local),
+                            Segment::Acquire(lock),
+                            Segment::Busy(costs.cs),
+                            Segment::Release(lock),
+                        ],
+                        deadline,
+                        jitter_pct,
+                        seed.wrapping_add(c as u64),
+                    ),
+                    Cycles(17 * c as u64),
+                );
+            }
+            des.run_until(horizon);
+            let total: u64 = des.actors().iter().map(|a| a.completed).sum();
+            (n, total as f64 / deadline.as_secs())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_time_near_66us() {
+        let us = sequential_base_us();
+        assert!((45.0..90.0).contains(&us), "sequential GetLength: {us:.1} us (paper: 66)");
+    }
+
+    #[test]
+    fn cs_is_small_fraction_of_call() {
+        let c = measure_call_costs(16, 3, 0);
+        assert!(c.cs.as_u64() * 3 < c.local.as_u64(), "cs {} local {}", c.cs, c.local);
+    }
+
+    #[test]
+    fn saturation_is_robust_to_arrival_jitter() {
+        let rows = run_single_file_jittered(12, 25_000.0, 25, 42);
+        let r1 = rows[0].1;
+        let r12 = rows[11].1;
+        let peak = rows.iter().map(|(_, t)| *t).fold(0.0f64, f64::max);
+        assert!(peak / r1 < 6.5, "jittered peak speedup {:.2}", peak / r1);
+        assert!(r12 / r1 < 5.0, "still saturated at 12 cpus: {:.2}", r12 / r1);
+    }
+
+    #[test]
+    fn different_files_scale_linearly_and_single_saturates() {
+        let rows = run(16, 30_000.0);
+        let r1 = &rows[0];
+        let r8 = &rows[7];
+        let r16 = &rows[15];
+        // Linear speedup for different files (within 10%).
+        let s8 = r8.different_files / r1.different_files;
+        let s16 = r16.different_files / r1.different_files;
+        assert!(s8 > 7.2, "8-cpu speedup {s8:.2}");
+        assert!(s16 > 14.4, "16-cpu speedup {s16:.2}");
+        // Single file saturates: 16-cpu throughput below 6x the base and
+        // no better than the 6-cpu point by more than 20%.
+        let sat16 = r16.single_file / r1.single_file;
+        assert!(sat16 < 6.0, "single-file 16-cpu speedup {sat16:.2} (paper: ~4)");
+        let r6 = &rows[5];
+        assert!(r16.single_file < r6.single_file * 1.2, "flat after the knee");
+    }
+}

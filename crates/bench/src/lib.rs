@@ -1,0 +1,18 @@
+//! # ppc-bench — the benchmark harness
+//!
+//! Regenerates every table and figure of the paper's evaluation:
+//!
+//! | binary | paper artefact |
+//! |---|---|
+//! | `figure2` | Figure 2 — PPC round-trip breakdown, 8 conditions |
+//! | `figure3` | Figure 3 — GetLength throughput vs. processors |
+//! | `table_uniprocessor` | §1 uniprocessor IPC comparison table |
+//! | `fastpath_footprint` | §5 "200 instructions and 6 cache lines" |
+//! | `ablation_locks` | lock-free PPC vs locked-pool / LRPC / message RPC |
+//! | `rt_scaling` | real-threads port scalability |
+//!
+//! Criterion benches of the same harnesses live under `benches/`.
+
+pub mod ablation;
+pub mod fig3;
+pub mod report;

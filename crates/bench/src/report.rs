@@ -1,0 +1,45 @@
+//! Small fixed-width table formatting for the figure/table binaries.
+
+/// Format a row of cells with the given column widths (right-aligned
+/// numerics look best for the paper-style tables).
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    let mut out = String::new();
+    for (i, c) in cells.iter().enumerate() {
+        let w = widths.get(i).copied().unwrap_or(12);
+        out.push_str(&format!("{c:>w$}  "));
+    }
+    out.trim_end().to_string()
+}
+
+/// A horizontal rule matching `widths`.
+pub fn rule(widths: &[usize]) -> String {
+    let total: usize = widths.iter().map(|w| w + 2).sum();
+    "-".repeat(total.saturating_sub(2))
+}
+
+/// Render a simple ASCII sparkline-style bar of `value` against `max`.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "#".repeat(n.min(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_is_aligned() {
+        let s = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(s, "  a    bb");
+    }
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(20.0, 10.0, 10), "##########", "clamped at width");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+}

@@ -1,0 +1,129 @@
+//! Program-ID authentication (§4.1).
+//!
+//! "As opposed to systems like Mach or Spring that use capabilities both
+//! for naming and for providing security, we specifically chose to
+//! separate the two issues. Callers are identified to servers by their
+//! program ID, which can then be used by the server to retrieve
+//! client-specific state so they can verify whether the client is
+//! permitted to make the call."
+//!
+//! The PPC facility itself never checks permissions — that is the whole
+//! point: there is no globally-shared capability state to update, so
+//! naming stays a per-CPU array lookup. Servers that want access control
+//! keep an [`Acl`] (or any richer policy) in their own state and consult
+//! it inside their handler, charged as server time.
+
+use std::collections::HashMap;
+
+use hector_sim::cpu::{CostCategory, Cpu};
+use hector_sim::sym::{MemAttrs, Region};
+use hurricane_os::process::ProgramId;
+
+/// Per-client access record a server keeps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClientState {
+    /// Whether calls are permitted at all.
+    pub allowed: bool,
+    /// Server-defined rights bits.
+    pub rights: u32,
+    /// Calls observed from this client (server-side accounting).
+    pub calls: u64,
+}
+
+/// A server-side access-control list keyed by program ID.
+#[derive(Clone, Debug)]
+pub struct Acl {
+    clients: HashMap<ProgramId, ClientState>,
+    /// Policy for unknown programs.
+    pub default_allow: bool,
+    /// Symbolic memory of the table (server-local, cacheable).
+    mem: Region,
+}
+
+impl Acl {
+    /// An ACL stored in `mem` with the given default policy.
+    pub fn new(mem: Region, default_allow: bool) -> Self {
+        Acl { clients: HashMap::new(), default_allow, mem }
+    }
+
+    /// Grant `program` access with `rights`.
+    pub fn allow(&mut self, program: ProgramId, rights: u32) {
+        self.clients.insert(program, ClientState { allowed: true, rights, calls: 0 });
+    }
+
+    /// Explicitly deny `program`.
+    pub fn deny(&mut self, program: ProgramId) {
+        self.clients.insert(program, ClientState { allowed: false, rights: 0, calls: 0 });
+    }
+
+    /// The recorded state for `program`, if any.
+    pub fn client(&self, program: ProgramId) -> Option<&ClientState> {
+        self.clients.get(&program)
+    }
+
+    /// Charged permission check: hash the program ID, probe the table
+    /// (server-local cached memory), update the per-client call count.
+    /// Returns whether the call may proceed.
+    pub fn check(&mut self, cpu: &mut Cpu, program: ProgramId) -> bool {
+        let mem = self.mem;
+        cpu.with_category(CostCategory::ServerTime, |cpu| {
+            let attrs = MemAttrs::cached_private(mem.base.module());
+            cpu.exec(10); // hash + compare
+            cpu.load(mem.at((program as u64 * 16) % mem.len), attrs);
+            cpu.store(mem.at((program as u64 * 16 + 8) % mem.len), attrs); // bump count
+        });
+        match self.clients.get_mut(&program) {
+            Some(st) => {
+                st.calls += 1;
+                st.allowed
+            }
+            None => self.default_allow,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hector_sim::{Machine, MachineConfig};
+
+    fn setup(default_allow: bool) -> (Machine, Acl) {
+        let mut m = Machine::new(MachineConfig::hector(1));
+        let mem = m.alloc_on(0, 512, "acl");
+        (m, Acl::new(mem, default_allow))
+    }
+
+    #[test]
+    fn allow_deny_and_default() {
+        let (mut m, mut acl) = setup(false);
+        acl.allow(7, 0b11);
+        acl.deny(8);
+        let cpu = m.cpu_mut(0);
+        assert!(acl.check(cpu, 7));
+        assert!(!acl.check(cpu, 8));
+        assert!(!acl.check(cpu, 99), "unknown falls back to default deny");
+        let (mut m2, mut acl2) = setup(true);
+        assert!(acl2.check(m2.cpu_mut(0), 99), "default allow");
+    }
+
+    #[test]
+    fn check_counts_calls() {
+        let (mut m, mut acl) = setup(false);
+        acl.allow(5, 0);
+        let cpu = m.cpu_mut(0);
+        acl.check(cpu, 5);
+        acl.check(cpu, 5);
+        assert_eq!(acl.client(5).unwrap().calls, 2);
+    }
+
+    #[test]
+    fn check_is_charged_server_time() {
+        let (mut m, mut acl) = setup(true);
+        let cpu = m.cpu_mut(0);
+        cpu.begin_measure();
+        acl.check(cpu, 3);
+        let bd = cpu.end_measure();
+        assert!(bd.get(CostCategory::ServerTime).as_u64() > 0);
+        assert_eq!(cpu.path_stats().shared_accesses, 0, "ACL is server-local");
+    }
+}

@@ -1,0 +1,206 @@
+//! Bob, the file server, adapted to the PPC facility.
+//!
+//! Bob serves the workload of the paper's throughput experiment
+//! (Figure 3): clients repeatedly issue `GetLength` requests against open
+//! files. The handler authenticates the caller by program ID (§4.1), looks
+//! the file up in server-local cached state, takes the small per-file
+//! critical section, and reads the (cacheable, read-mostly) metadata.
+//! Bulk reads demonstrate §4.2: the client grants Bob access to a buffer
+//! and Bob issues `CopyTo` requests to the Copy Server.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hector_sim::cpu::CpuId;
+use hector_sim::sym::PAddr;
+use hector_sim::MachineConfig;
+use hurricane_os::fs::{FileHandle, FileSystem};
+use hurricane_os::process::Pid;
+
+use crate::entry::{EntryId, ServiceSpec};
+use crate::{Acl, Handler, HandlerCtx, PpcError, PpcSystem};
+
+/// Bob opcodes.
+pub mod ops {
+    /// Return the length of the file in `args[1]`.
+    pub const GET_LENGTH: u64 = 1;
+    /// Set the length of the file in `args[1]` to `args[2]`.
+    pub const SET_LENGTH: u64 = 2;
+    /// Copy `args[3]` bytes of file `args[1]` into the client buffer at
+    /// `args[2]` (requires a prior copy grant to Bob's entry point).
+    pub const READ: u64 = 3;
+}
+
+/// A running Bob instance.
+pub struct Bob {
+    /// Bob's entry point.
+    pub ep: EntryId,
+    /// Bob's program identity.
+    pub program: u32,
+    /// The file system state (shared with the handler closure).
+    pub fs: Rc<RefCell<FileSystem>>,
+    /// Bob's access-control list (shared with the handler closure).
+    pub acl: Rc<RefCell<Acl>>,
+}
+
+/// Install Bob as a user-level PPC server and register him with the Name
+/// Server under `"bob"`. `default_allow` sets the ACL's policy for
+/// programs without explicit entries.
+pub fn install_bob(sys: &mut PpcSystem, default_allow: bool) -> Result<Bob, PpcError> {
+    let asid = sys.kernel.create_space("bob");
+    let program = sys.kernel.new_program_id();
+    let fs_home = 0;
+    let fs = Rc::new(RefCell::new(FileSystem::new(&mut sys.kernel.machine, fs_home)));
+    let acl_mem = sys.kernel.machine.alloc_on(fs_home, 1024, "bob-acl");
+    let acl = Rc::new(RefCell::new(Acl::new(acl_mem, default_allow)));
+
+    let handler = bob_handler(Rc::clone(&fs), Rc::clone(&acl));
+    let spec = ServiceSpec::new(asid).name("bob").owned_by(program);
+    let ep = sys.bind_entry_boot(spec, handler)?;
+    sys.naming.borrow_mut().register("bob", ep);
+    Ok(Bob { ep, program, fs, acl })
+}
+
+fn bob_handler(fs: Rc<RefCell<FileSystem>>, acl: Rc<RefCell<Acl>>) -> Handler {
+    Rc::new(move |sys: &mut PpcSystem, ctx: &HandlerCtx| {
+        // Authentication first (§4.1): Bob checks the caller's program ID.
+        let allowed = {
+            let c = sys.kernel.machine.cpu_mut(ctx.cpu);
+            acl.borrow_mut().check(c, ctx.caller_program)
+        };
+        if !allowed {
+            return [u64::MAX, u64::from(ctx.caller_program), 0, 0, 0, 0, 0, 0];
+        }
+        match ctx.args[0] {
+            ops::GET_LENGTH => {
+                let h = ctx.args[1] as FileHandle;
+                let fs_ref = fs.borrow();
+                if h >= fs_ref.len() {
+                    return [u64::MAX, 1, 0, 0, 0, 0, 0, 0];
+                }
+                let c = sys.kernel.machine.cpu_mut(ctx.cpu);
+                let len = fs_ref.get_length_sequential(c, h, ctx.caller_program);
+                [0, len, 0, 0, 0, 0, 0, 0]
+            }
+            ops::SET_LENGTH => {
+                let h = ctx.args[1] as FileHandle;
+                let new_len = ctx.args[2];
+                let mut fs_ref = fs.borrow_mut();
+                if h >= fs_ref.len() {
+                    return [u64::MAX, 1, 0, 0, 0, 0, 0, 0];
+                }
+                {
+                    let c = sys.kernel.machine.cpu_mut(ctx.cpu);
+                    fs_ref.lookup_and_check(c, h, ctx.caller_program);
+                    fs_ref.uncontended_lock(c, h);
+                    fs_ref.cs_body(c, h);
+                }
+                fs_ref.set_length(h, new_len);
+                [0, new_len, 0, 0, 0, 0, 0, 0]
+            }
+            ops::READ => {
+                let h = ctx.args[1] as FileHandle;
+                let client_buf = PAddr(ctx.args[2]);
+                let want = ctx.args[3];
+                let (len, meta_base) = {
+                    let fs_ref = fs.borrow();
+                    if h >= fs_ref.len() {
+                        return [u64::MAX, 1, 0, 0, 0, 0, 0, 0];
+                    }
+                    let c = sys.kernel.machine.cpu_mut(ctx.cpu);
+                    fs_ref.lookup_and_check(c, h, ctx.caller_program);
+                    (fs_ref.file(h).length, fs_ref.file(h).meta.base)
+                };
+                let n = want.min(len);
+                // Bulk transfer through the Copy Server (§4.2): the worker
+                // itself makes the nested PPC call.
+                match sys.copy_to(ctx.cpu, ctx.worker, ctx.caller_program, client_buf, meta_base, n)
+                {
+                    Ok(copied) => [0, copied, 0, 0, 0, 0, 0, 0],
+                    Err(_) => [u64::MAX, 2, 0, 0, 0, 0, 0, 0],
+                }
+            }
+            _ => [u64::MAX, 0xbad, 0, 0, 0, 0, 0, 0],
+        }
+    })
+}
+
+impl Bob {
+    /// Create an open file homed on module `home` (boot-time helper).
+    pub fn create_file(
+        &self,
+        sys: &mut PpcSystem,
+        name: &str,
+        length: u64,
+        home: usize,
+    ) -> FileHandle {
+        self.fs.borrow_mut().create(&mut sys.kernel.machine, name, length, home)
+    }
+
+    /// Client-side stub: `GetLength(handle)` via PPC.
+    pub fn get_length(
+        &self,
+        sys: &mut PpcSystem,
+        cpu: CpuId,
+        caller: Pid,
+        h: FileHandle,
+    ) -> Result<u64, PpcError> {
+        let rets = sys.call(cpu, caller, self.ep, [ops::GET_LENGTH, h as u64, 0, 0, 0, 0, 0, 0])?;
+        if rets[0] == u64::MAX {
+            return Err(PpcError::PermissionDenied(rets[1] as u32));
+        }
+        Ok(rets[1])
+    }
+
+    /// Client-side stub: `SetLength(handle, len)` via PPC.
+    pub fn set_length(
+        &self,
+        sys: &mut PpcSystem,
+        cpu: CpuId,
+        caller: Pid,
+        h: FileHandle,
+        len: u64,
+    ) -> Result<u64, PpcError> {
+        let rets =
+            sys.call(cpu, caller, self.ep, [ops::SET_LENGTH, h as u64, len, 0, 0, 0, 0, 0])?;
+        if rets[0] == u64::MAX {
+            return Err(PpcError::PermissionDenied(rets[1] as u32));
+        }
+        Ok(rets[1])
+    }
+
+    /// Client-side stub: read up to `want` bytes of `h` into `client_buf`
+    /// (the client must have granted Bob's entry access to the buffer).
+    pub fn read(
+        &self,
+        sys: &mut PpcSystem,
+        cpu: CpuId,
+        caller: Pid,
+        h: FileHandle,
+        client_buf: PAddr,
+        want: u64,
+    ) -> Result<u64, PpcError> {
+        let rets = sys.call(
+            cpu,
+            caller,
+            self.ep,
+            [ops::READ, h as u64, client_buf.0, want, 0, 0, 0, 0],
+        )?;
+        if rets[0] == u64::MAX {
+            return Err(if rets[1] == 2 { PpcError::NoGrant } else { PpcError::UnknownEntry(h) });
+        }
+        Ok(rets[1])
+    }
+}
+
+/// Boot a full system with Bob installed and `n_files` open files spread
+/// across the machine's modules — the Figure 3 experimental setup.
+pub fn boot_with_bob(cfg: MachineConfig, n_files: usize) -> (PpcSystem, Bob, Vec<FileHandle>) {
+    let n_cpus = cfg.n_cpus;
+    let mut sys = PpcSystem::boot(cfg);
+    let bob = install_bob(&mut sys, true).expect("bob installs");
+    let handles = (0..n_files)
+        .map(|i| bob.create_file(&mut sys, &format!("file-{i}"), 1000 + i as u64, i % n_cpus))
+        .collect();
+    (sys, bob, handles)
+}

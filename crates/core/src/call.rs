@@ -1,0 +1,735 @@
+//! The PPC call path.
+//!
+//! The synchronous round trip (§2, measured in the paper's Figure 2):
+//!
+//! 1. client stub saves its live registers and traps (`user save/restore`,
+//!    `trap overhead`);
+//! 2. the kernel looks the entry point up in the **CPU-local** service
+//!    table, allocates a worker from the entry's **CPU-local** pool and a
+//!    CD from the **CPU-local** CD pool (`PPC kernel`, `CD manipulation`);
+//!    empty pools redirect to Frank (§4.5.6), who creates resources and
+//!    forwards the call;
+//! 3. the CD's stack page is mapped into the server's address space and
+//!    the worker is dispatched with a hand-off switch (`TLB setup`,
+//!    `kernel save/restore`) — for kernel-space services neither the user
+//!    TLB context nor the extra trap pair is needed, which is why the
+//!    paper's user-to-kernel calls are ~10 µs cheaper;
+//! 4. the worker executes the service handler with the 8 argument words in
+//!    registers (`server time`);
+//! 5. the return path retraces the entry path, recycling CD and worker.
+//!
+//! In hold-CD mode (§2) the worker permanently keeps a CD and mapped
+//! stack: the alloc/free and map/unmap steps disappear, saving the paper's
+//! observed 2–3 µs at the price of defeating stack sharing.
+
+use hector_sim::cpu::CostCategory;
+use hector_sim::sym::MemAttrs;
+use hector_sim::tlb::Space;
+use hector_sim::CpuId;
+use hurricane_os::process::{Pid, ProcState, Process};
+use hurricane_os::trap;
+
+use crate::cd::CdId;
+
+/// Offset of the client stub's register-save area within the user stack
+/// page: near the top (stacks grow down) and off the page-aligned base so
+/// hot per-call lines spread across cache sets.
+pub const USER_SAVE_OFF: u64 = 4096 - 192;
+
+use crate::entry::{EntryId, EntryState, MAX_ENTRIES};
+use crate::{frank, HandlerCtx, PpcError, PpcSystem};
+
+/// How this call obtained its CD (hold-CD mode needs three states: the
+/// call that *pins* the CD must map the stack like a normal call but must
+/// not recycle the CD afterwards).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CdHold {
+    /// Pool CD: map + unmap + release.
+    Pooled,
+    /// First call of a hold-CD worker: map + unmap, but keep the CD.
+    JustPinned,
+    /// Steady-state hold-CD call: no map/unmap, keep the CD.
+    Reused,
+}
+
+/// How a call was initiated (selects the §4.4 variant behaviour).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CallKind {
+    /// Synchronous PPC: the caller blocks linked into the CD.
+    Sync,
+    /// Asynchronous PPC: the caller is put on the ready queue instead.
+    Async,
+    /// Interrupt dispatch: an async request manufactured by the interrupt
+    /// handler — there is no calling process at all.
+    Interrupt,
+    /// Upcall: like interrupt dispatch but triggered by a software event.
+    Upcall,
+    /// Cross-processor call (§4.3 extension): executes on a remote CPU on
+    /// behalf of a caller elsewhere, carrying its program identity.
+    Remote(hurricane_os::process::ProgramId),
+}
+
+impl PpcSystem {
+    /// Synchronous PPC call: `caller` (running on `cpu`) invokes entry
+    /// point `ep` with 8 argument words, receiving 8 result words.
+    ///
+    /// This is the paper's measured fast path. All cycle costs are charged
+    /// to `cpu` with Figure-2 category attribution.
+    pub fn call(
+        &mut self,
+        cpu: CpuId,
+        caller: Pid,
+        ep: EntryId,
+        args: [u64; 8],
+    ) -> Result<[u64; 8], PpcError> {
+        self.call_inner(cpu, Some(caller), ep, args, CallKind::Sync)
+    }
+
+    pub(crate) fn call_inner(
+        &mut self,
+        cpu: CpuId,
+        caller: Option<Pid>,
+        ep: EntryId,
+        args: [u64; 8],
+        kind: CallKind,
+    ) -> Result<[u64; 8], PpcError> {
+        if ep >= MAX_ENTRIES {
+            return Err(PpcError::UnknownEntry(ep));
+        }
+        let from_kernel = {
+            let c = self.kernel.machine.cpu_mut(cpu);
+            c.mode() == Space::Supervisor
+        };
+
+        // ---- client side: user save + trap in --------------------------
+        if let (Some(caller_pid), false) = (caller, from_kernel) {
+            let ustack = self.kernel.procs[caller_pid].ustack;
+            let kstack = self.kernel.kstacks[cpu];
+            let stub_code = self.stub_code;
+            let c = self.kernel.machine.cpu_mut(cpu);
+            c.with_category(CostCategory::UserSaveRestore, |c| {
+                c.fetch_code(stub_code);
+                let attrs = MemAttrs::cached_private(ustack.base.module());
+                // Fig. 4: load opcode/flags, stash return address, spill
+                // the live caller-saved registers.
+                c.exec(6);
+                c.store_words(ustack.at(USER_SAVE_OFF), Process::USER_SAVE_WORDS, attrs);
+            });
+            trap::enter(c, kstack, CostCategory::PpcKernel);
+        }
+
+        // ---- kernel entry: CPU-local service table lookup ---------------
+        {
+            let table = self.percpu[cpu].table_mem;
+            let fastpath_code = self.fastpath_code;
+            let c = self.kernel.machine.cpu_mut(cpu);
+            c.with_category(CostCategory::PpcKernel, |c| {
+                c.fetch_code(fastpath_code);
+                let attrs = MemAttrs::cached_private(table.base.module());
+                c.load(table.at((ep as u64 * 8) % table.len), attrs);
+                c.exec(8); // bounds + opcode decode + state check
+            });
+        }
+        if !self.entries[ep].accepts_calls() {
+            let err = match self.entries[ep].state {
+                EntryState::Free => PpcError::UnknownEntry(ep),
+                _ => PpcError::EntryDead(ep),
+            };
+            return Err(self.error_return(cpu, caller, from_kernel, err));
+        }
+        let asid = self.entries[ep].asid;
+        let opts = self.entries[ep].opts;
+        let kernel_entry = asid == hector_sim::tlb::ASID_KERNEL;
+        let service_code = self.entries[ep].service_code;
+        self.entries[ep].active_calls += 1;
+
+        // ---- allocate a worker from the CPU-local pool -------------------
+        let worker = match self.pop_worker(cpu, ep) {
+            Some(w) => w,
+            None => {
+                self.stats.frank_redirects += 1;
+                match frank::refill_worker(self, cpu, ep) {
+                    Ok(w) => w,
+                    Err(e) => {
+                        self.entries[ep].active_calls -= 1;
+                        self.raise_exception(cpu, crate::variants::exception::NO_RESOURCES, ep, 0);
+                        return Err(self.error_return(cpu, caller, from_kernel, e));
+                    }
+                }
+            }
+        };
+
+        // ---- allocate / reuse a CD --------------------------------------
+        let (cd, hold) = match self.take_cd(cpu, ep, worker, opts.trust_group, opts.hold_cd) {
+            Ok(v) => v,
+            Err(e) => {
+                // Undo: the worker goes back to its pool, the call fails.
+                self.push_worker(cpu, ep, worker);
+                self.entries[ep].active_calls -= 1;
+                return Err(self.error_return(cpu, caller, from_kernel, e));
+            }
+        };
+        {
+            let c = self.kernel.machine.cpu_mut(cpu);
+            self.percpu[cpu].cd_pool.store_return_info(c, cd, caller.filter(|_| kind == CallKind::Sync));
+        }
+        let stack = self.percpu[cpu].cd_pool.cds[cd].stack;
+        self.kernel.procs[worker].ustack = stack;
+
+        // ---- async variants: the caller continues instead of blocking ---
+        if kind != CallKind::Sync {
+            if let Some(caller_pid) = caller {
+                // "putting the calling process onto the processor
+                // ready-queue rather than linking it into the call
+                // descriptor of the worker" (§4.4).
+                self.kernel.enqueue_ready(cpu, caller_pid);
+            }
+        }
+
+        // ---- extra stack pages (§4.5.4 exceptional path) ------------------
+        // Lazy-stack services map nothing eagerly; pages fault in on touch.
+        let eager_opts = if opts.lazy_stack {
+            crate::entry::EntryOptions { stack_pages: 1, ..opts }
+        } else {
+            opts
+        };
+        let extra = match self.take_extra_stacks(cpu, ep, worker, &eager_opts, hold == CdHold::Reused) {
+            Ok(e) => e,
+            Err(e) => {
+                // Undo: recycle the CD (unless pinned) and the worker.
+                if hold == CdHold::Pooled {
+                    let c = self.kernel.machine.cpu_mut(cpu);
+                    self.percpu[cpu].cd_pool.release(c, cd);
+                }
+                self.push_worker(cpu, ep, worker);
+                self.entries[ep].active_calls -= 1;
+                return Err(self.error_return(cpu, caller, from_kernel, e));
+            }
+        };
+
+        // ---- map the stack window into the server space ------------------
+        if !kernel_entry && hold != CdHold::Reused {
+            let hurricane_os::Kernel { spaces, machine, .. } = &mut self.kernel;
+            let c = machine.cpu_mut(cpu);
+            c.with_category(CostCategory::TlbSetup, |c| {
+                spaces[asid as usize].map(c, stack, true, Space::User);
+                for page in &extra {
+                    spaces[asid as usize].map(c, *page, true, Space::User);
+                }
+            });
+        }
+
+        if !extra.is_empty() {
+            self.percpu[cpu].current_extras.insert(worker, extra.clone());
+        }
+
+        // ---- hand-off dispatch ------------------------------------------
+        match caller {
+            Some(caller_pid) => self.kernel.handoff_switch(cpu, caller_pid, worker),
+            None => {
+                // Interrupt/upcall: no outgoing process state to save, but
+                // the worker state must still be loaded.
+                let to_pcb = self.kernel.procs[worker].pcb;
+                let c = self.kernel.machine.cpu_mut(cpu);
+                c.with_category(CostCategory::KernelSaveRestore, |c| {
+                    let attrs = MemAttrs::cached_private(to_pcb.base.module());
+                    c.load_words(to_pcb.base, Process::SWITCH_STATE_WORDS, attrs);
+                });
+                if !kernel_entry {
+                    let c = self.kernel.machine.cpu_mut(cpu);
+                    c.switch_user_as(asid);
+                }
+                self.kernel.procs[worker].state = ProcState::Running;
+            }
+        }
+
+        // ---- upcall into the server --------------------------------------
+        {
+            let kstack = self.kernel.kstacks[cpu];
+            let c = self.kernel.machine.cpu_mut(cpu);
+            if !kernel_entry {
+                trap::exit(c, kstack, CostCategory::PpcKernel);
+            }
+            // The worker starts executing the server's call-handling code.
+            c.with_category(CostCategory::ServerTime, |c| {
+                c.fetch_code(service_code);
+                // Server prologue: frame setup on the (fresh) worker stack.
+                let sattrs = MemAttrs::cached_private(stack.base.module());
+                c.store_words(stack.at(stack.len - 16), 3, sattrs);
+                c.exec(3);
+            });
+        }
+
+        let caller_program = match kind {
+            CallKind::Remote(p) => p,
+            _ => caller.map(|p| self.kernel.procs[p].program_id).unwrap_or(0),
+        };
+        let ctx = HandlerCtx {
+            cpu,
+            ep,
+            worker,
+            caller_program,
+            caller,
+            args,
+            stack,
+        };
+        let handler = self
+            .dispatch_handler(ep, worker)
+            .ok_or(PpcError::UnknownEntry(ep))?;
+        let rets = handler(self, &ctx);
+
+        // ---- server epilogue + trap back ---------------------------------
+        {
+            let kstack = self.kernel.kstacks[cpu];
+            let c = self.kernel.machine.cpu_mut(cpu);
+            c.with_category(CostCategory::ServerTime, |c| {
+                let sattrs = MemAttrs::cached_private(stack.base.module());
+                c.load_words(stack.at(stack.len - 16), 3, sattrs);
+                c.exec(2);
+            });
+            if !kernel_entry {
+                trap::enter(c, kstack, CostCategory::PpcKernel);
+            }
+        }
+
+        self.entries[ep].active_calls = self.entries[ep].active_calls.saturating_sub(1);
+
+        // A hard kill while the call ran: resources are gone; abort.
+        if self.entries[ep].state == EntryState::Dead {
+            return Err(self.error_return(cpu, caller, from_kernel, PpcError::Aborted(ep)));
+        }
+
+        // ---- unmap the stack window --------------------------------------
+        if !kernel_entry && hold != CdHold::Reused {
+            let hurricane_os::Kernel { spaces, machine, .. } = &mut self.kernel;
+            let c = machine.cpu_mut(cpu);
+            c.with_category(CostCategory::TlbSetup, |c| {
+                spaces[asid as usize].unmap(c, stack, Space::User);
+                for page in &extra {
+                    spaces[asid as usize].unmap(c, *page, Space::User);
+                }
+            });
+        }
+        self.return_extra_stacks(cpu, extra, hold != CdHold::Pooled);
+
+        self.percpu[cpu].current_extras.remove(&worker);
+
+        // ---- lazy-stack cleanup: unmap + return faulted pages -------------
+        if let Some(pages) = self.percpu[cpu].lazy_pages.remove(&worker) {
+            if !kernel_entry {
+                let hurricane_os::Kernel { spaces, machine, .. } = &mut self.kernel;
+                let c = machine.cpu_mut(cpu);
+                c.with_category(CostCategory::TlbSetup, |c| {
+                    for page in &pages {
+                        spaces[asid as usize].unmap(c, *page, Space::User);
+                    }
+                });
+            }
+            self.return_extra_stacks(cpu, pages, false);
+        }
+
+        // ---- recycle CD and worker ----------------------------------------
+        let linked = {
+            let c = self.kernel.machine.cpu_mut(cpu);
+            self.percpu[cpu].cd_pool.load_return_info(c, cd)
+        };
+        if hold == CdHold::Pooled {
+            let c = self.kernel.machine.cpu_mut(cpu);
+            self.percpu[cpu].cd_pool.release(c, cd);
+        }
+        self.push_worker(cpu, ep, worker);
+
+        // Soft-killed entry that just drained: free it now (§4.5.2).
+        if self.entries[ep].state == EntryState::SoftKilled && self.entries[ep].active_calls == 0 {
+            crate::kill::reap_entry(self, ep);
+        }
+
+        // ---- return to the caller -----------------------------------------
+        match linked {
+            Some(caller_pid) => {
+                self.kernel.handoff_switch(cpu, worker, caller_pid);
+                let kstack = self.kernel.kstacks[cpu];
+                let ustack = self.kernel.procs[caller_pid].ustack;
+                let c = self.kernel.machine.cpu_mut(cpu);
+                if !from_kernel {
+                    trap::exit(c, kstack, CostCategory::PpcKernel);
+                    c.with_category(CostCategory::UserSaveRestore, |c| {
+                        let attrs = MemAttrs::cached_private(ustack.base.module());
+                        c.load_words(ustack.at(USER_SAVE_OFF), Process::USER_SAVE_WORDS, attrs);
+                        c.exec(2);
+                    });
+                }
+                self.kernel.procs[caller_pid].state = ProcState::Running;
+            }
+            None => {
+                // "When the worker completes, the fact that there is no
+                // caller waiting is discovered, and another process is
+                // selected for execution" (§4.4).
+                let c = self.kernel.machine.cpu_mut(cpu);
+                c.with_category(CostCategory::PpcKernel, |c| c.exec(4));
+                if let Some(next) = self.kernel.dequeue_ready(cpu) {
+                    self.kernel.handoff_switch(cpu, worker, next);
+                    let kstack = self.kernel.kstacks[cpu];
+                    let c = self.kernel.machine.cpu_mut(cpu);
+                    if self.kernel.procs[next].asid != hector_sim::tlb::ASID_KERNEL {
+                        trap::exit(c, kstack, CostCategory::PpcKernel);
+                    }
+                    self.kernel.procs[next].state = ProcState::Running;
+                }
+            }
+        }
+
+        match kind {
+            CallKind::Sync => self.stats.calls += 1,
+            CallKind::Async => self.stats.async_calls += 1,
+            CallKind::Interrupt => self.stats.interrupts += 1,
+            CallKind::Upcall => self.stats.upcalls += 1,
+            CallKind::Remote(_) => self.stats.cross_calls += 1,
+        }
+        Ok(rets)
+    }
+
+    /// Pop a pooled worker for `ep` on `cpu` (charged to `PpcKernel`).
+    pub(crate) fn pop_worker(&mut self, cpu: CpuId, ep: EntryId) -> Option<Pid> {
+        let pool_mem = self.percpu[cpu].local[ep].as_ref()?.pool_mem;
+        {
+            let c = self.kernel.machine.cpu_mut(cpu);
+            c.with_category(CostCategory::PpcKernel, |c| {
+                let attrs = MemAttrs::cached_private(pool_mem.base.module());
+                c.load(pool_mem.at(0), attrs); // pool head
+                c.exec(2);
+            });
+        }
+        let worker = self.percpu[cpu].local[ep].as_mut()?.pool.pop()?;
+        let pcb = self.kernel.procs[worker].pcb;
+        let c = self.kernel.machine.cpu_mut(cpu);
+        c.with_category(CostCategory::PpcKernel, |c| {
+            let attrs = MemAttrs::cached_private(pool_mem.base.module());
+            let pattrs = MemAttrs::cached_private(pcb.base.module());
+            c.load(pcb.at(0), pattrs); // next-link from the worker PCB
+            c.store(pool_mem.at(0), attrs); // new head
+            c.exec(2);
+        });
+        Some(worker)
+    }
+
+    /// Return a worker to its pool (charged to `PpcKernel`). If the local
+    /// entry has been reaped (hard kill racing the call), the worker is
+    /// simply destroyed.
+    pub(crate) fn push_worker(&mut self, cpu: CpuId, ep: EntryId, worker: Pid) {
+        let Some(local) = self.percpu[cpu].local[ep].as_ref() else {
+            self.kernel.procs[worker].state = ProcState::Dead;
+            return;
+        };
+        let pool_mem = local.pool_mem;
+        let pcb = self.kernel.procs[worker].pcb;
+        {
+            let c = self.kernel.machine.cpu_mut(cpu);
+            c.with_category(CostCategory::PpcKernel, |c| {
+                let attrs = MemAttrs::cached_private(pool_mem.base.module());
+                let pattrs = MemAttrs::cached_private(pcb.base.module());
+                c.store(pcb.at(0), pattrs); // link = old head
+                c.store(pool_mem.at(0), attrs); // head = worker
+                c.exec(2);
+            });
+        }
+        self.kernel.procs[worker].state = ProcState::PooledWorker;
+        if let Some(local) = self.percpu[cpu].local[ep].as_mut() {
+            local.pool.push(worker);
+        }
+    }
+
+    /// Obtain the CD for this call: the worker's held CD in hold-CD mode
+    /// (allocating and pinning one on its first call), otherwise a pool
+    /// allocation.
+    fn take_cd(
+        &mut self,
+        cpu: CpuId,
+        ep: EntryId,
+        worker: Pid,
+        group: crate::entry::TrustGroup,
+        hold: bool,
+    ) -> Result<(CdId, CdHold), PpcError> {
+        if hold {
+            if let Some(&cd) = self.percpu[cpu].local[ep].as_ref().unwrap().held_cd.get(&worker) {
+                // One load to find the held CD pointer in the worker PCB.
+                let pcb = self.kernel.procs[worker].pcb;
+                let c = self.kernel.machine.cpu_mut(cpu);
+                c.with_category(CostCategory::CdManip, |c| {
+                    c.load(pcb.at(8), MemAttrs::cached_private(pcb.base.module()));
+                });
+                return Ok((cd, CdHold::Reused));
+            }
+        }
+        let cd = {
+            let c = self.kernel.machine.cpu_mut(cpu);
+            self.percpu[cpu].cd_pool.alloc(c, group)
+        };
+        let cd = match cd {
+            Some(cd) => cd,
+            None => {
+                self.stats.frank_redirects += 1;
+                frank::refill_cd(self, cpu, group)?
+            }
+        };
+        if hold {
+            // Pin it: record in the worker PCB and the local entry. The
+            // stack must also be mapped once, permanently; the map charge
+            // happens on this first call via the normal path (held=false).
+            let pcb = self.kernel.procs[worker].pcb;
+            let c = self.kernel.machine.cpu_mut(cpu);
+            c.with_category(CostCategory::CdManip, |c| {
+                c.store(pcb.at(8), MemAttrs::cached_private(pcb.base.module()));
+            });
+            self.percpu[cpu].local[ep].as_mut().unwrap().held_cd.insert(worker, cd);
+            return Ok((cd, CdHold::JustPinned));
+        }
+        Ok((cd, CdHold::Pooled))
+    }
+
+    /// Obtain the extra stack pages for a multi-page-stack service
+    /// (§4.5.4): pop the per-CPU spare list (charged), creating pages via
+    /// Frank when the list is dry. In hold-CD mode the pages are pinned to
+    /// the worker on its first call and found again on later ones.
+    fn take_extra_stacks(
+        &mut self,
+        cpu: CpuId,
+        ep: EntryId,
+        worker: Pid,
+        opts: &crate::entry::EntryOptions,
+        reused: bool,
+    ) -> Result<Vec<hector_sim::sym::Region>, PpcError> {
+        let n = opts.stack_pages.saturating_sub(1);
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        if reused {
+            // Reusing the pinned CD: the extra pages are pinned alongside.
+            let pages = self.percpu[cpu].local[ep]
+                .as_ref()
+                .and_then(|l| l.held_extra.get(&worker).cloned())
+                .unwrap_or_default();
+            let pcb = self.kernel.procs[worker].pcb;
+            let c = self.kernel.machine.cpu_mut(cpu);
+            c.with_category(CostCategory::CdManip, |c| {
+                c.load(pcb.at(16), MemAttrs::cached_private(pcb.base.module()));
+            });
+            return Ok(pages);
+        }
+        let list_mem = self.percpu[cpu].stack_list_mem;
+        let mut pages = Vec::with_capacity(n);
+        for _ in 0..n {
+            {
+                let c = self.kernel.machine.cpu_mut(cpu);
+                c.with_category(CostCategory::CdManip, |c| {
+                    let attrs = MemAttrs::cached_private(list_mem.base.module());
+                    c.load(list_mem.at(0), attrs); // list head
+                    c.store(list_mem.at(0), attrs); // new head
+                    c.exec(3);
+                });
+            }
+            let page = match self.percpu[cpu].spare_stacks.pop() {
+                Some(p) => p,
+                None => {
+                    // Frank creates a fresh page (slow path).
+                    self.stats.frank_redirects += 1;
+                    if let Some(cap) = self.limits.max_stack_pages {
+                        if self.stats.stack_pages_created >= cap {
+                            // Return what we already took before failing.
+                            self.return_extra_stacks(cpu, pages, false);
+                            return Err(PpcError::NoResources("stack-page cap reached"));
+                        }
+                    }
+                    self.stats.stack_pages_created += 1;
+                    let c = self.kernel.machine.cpu_mut(cpu);
+                    c.with_category(CostCategory::PpcKernel, |c| c.exec(40));
+                    self.kernel.machine.alloc_page_on(cpu, "spare-stack")
+                }
+            };
+            pages.push(page);
+        }
+        if opts.hold_cd {
+            if let Some(l) = self.percpu[cpu].local[ep].as_mut() {
+                l.held_extra.insert(worker, pages.clone());
+            }
+        }
+        Ok(pages)
+    }
+
+    /// Simulate the worker using `bytes` of its stack, growing downward
+    /// from the top of the first page. For lazy-stack services (§4.5.4's
+    /// page-fault alternative), first touches beyond the mapped pages take
+    /// charged page faults that map pages from the spare list; exceeding
+    /// the entry's `stack_pages` limit is a stack overflow. Call from
+    /// inside a handler.
+    pub fn touch_worker_stack(
+        &mut self,
+        ctx: &crate::HandlerCtx,
+        bytes: u64,
+    ) -> Result<(), PpcError> {
+        let cpu = ctx.cpu;
+        let ep = ctx.ep;
+        let opts = self.entries[ep].opts;
+        let limit = opts.stack_pages as u64 * 4096;
+        if bytes > limit {
+            self.raise_exception(cpu, crate::variants::exception::STACK_OVERFLOW, ep, bytes);
+            return Err(PpcError::NoResources("stack overflow"));
+        }
+        let asid = self.entries[ep].asid;
+        let kernel_entry = asid == hector_sim::tlb::ASID_KERNEL;
+        let first = ctx.stack;
+        // Pages 2.. live at descending symbolic addresses? The simulator's
+        // stack pages are discontiguous physical pages; logically the
+        // worker's frame spans `pages_needed` of them.
+        let pages_needed = bytes.div_ceil(4096).max(1) as usize;
+
+        // Fault in missing pages for lazy services.
+        if opts.lazy_stack && pages_needed > 1 {
+            let have = 1 + self.percpu[cpu].lazy_pages.get(&ctx.worker).map_or(0, |v| v.len());
+            for _ in have..pages_needed {
+                // The faulting access: trap, fault handler, map a page.
+                let kstack = self.kernel.kstacks[cpu];
+                {
+                    let c = self.kernel.machine.cpu_mut(cpu);
+                    trap::enter(c, kstack, CostCategory::Other);
+                    c.with_category(CostCategory::Other, |c| c.exec(40)); // fault decode + vm lookup
+                }
+                let page = match self.percpu[cpu].spare_stacks.pop() {
+                    Some(p) => p,
+                    None => {
+                        self.stats.frank_redirects += 1;
+                        if let Some(cap) = self.limits.max_stack_pages {
+                            if self.stats.stack_pages_created >= cap {
+                                return Err(PpcError::NoResources("stack-page cap reached"));
+                            }
+                        }
+                        self.stats.stack_pages_created += 1;
+                        let c = self.kernel.machine.cpu_mut(cpu);
+                        c.with_category(CostCategory::Other, |c| c.exec(40));
+                        self.kernel.machine.alloc_page_on(cpu, "spare-stack")
+                    }
+                };
+                if !kernel_entry {
+                    let hurricane_os::Kernel { spaces, machine, .. } = &mut self.kernel;
+                    let c = machine.cpu_mut(cpu);
+                    c.with_category(CostCategory::TlbSetup, |c| {
+                        spaces[asid as usize].map(c, page, true, Space::User);
+                    });
+                }
+                {
+                    let kstack = self.kernel.kstacks[cpu];
+                    let c = self.kernel.machine.cpu_mut(cpu);
+                    trap::exit(c, kstack, CostCategory::Other);
+                }
+                self.percpu[cpu].lazy_pages.entry(ctx.worker).or_default().push(page);
+            }
+        }
+
+        // The accesses themselves: one store per 16 bytes, page 1 first,
+        // then the extra pages (whether eager or lazy).
+        let extra_pages: Vec<hector_sim::sym::Region> = self.percpu[cpu]
+            .lazy_pages
+            .get(&ctx.worker)
+            .cloned()
+            .unwrap_or_default();
+        let mut held_extra: Vec<hector_sim::sym::Region> = self.percpu[cpu].local[ep]
+            .as_ref()
+            .and_then(|l| l.held_extra.get(&ctx.worker).cloned())
+            .unwrap_or_default();
+        if held_extra.is_empty() {
+            if let Some(cur) = self.percpu[cpu].current_extras.get(&ctx.worker) {
+                held_extra = cur.clone();
+            }
+        }
+        let c = self.kernel.machine.cpu_mut(cpu);
+        c.with_category(CostCategory::ServerTime, |c| {
+            let mut remaining = bytes;
+            let mut page_idx = 0usize;
+            while remaining > 0 {
+                let in_page = remaining.min(4096);
+                let region = if page_idx == 0 {
+                    first
+                } else if let Some(r) = extra_pages.get(page_idx - 1) {
+                    *r
+                } else if let Some(r) = held_extra.get(page_idx - 1) {
+                    *r
+                } else {
+                    first // eager non-held pages: charged against page 1's lines
+                };
+                let attrs = MemAttrs::cached_private(region.base.module());
+                let mut off = region.len;
+                while off >= 16 && (region.len - off) < in_page {
+                    off -= 16;
+                    c.store(region.at(off), attrs);
+                }
+                remaining -= in_page;
+                page_idx += 1;
+            }
+        });
+        Ok(())
+    }
+
+    /// Return extra stack pages to the spare list (charged), unless they
+    /// are pinned to a hold-CD worker.
+    fn return_extra_stacks(
+        &mut self,
+        cpu: CpuId,
+        pages: Vec<hector_sim::sym::Region>,
+        keep: bool,
+    ) {
+        if pages.is_empty() || keep {
+            return;
+        }
+        let list_mem = self.percpu[cpu].stack_list_mem;
+        {
+            let c = self.kernel.machine.cpu_mut(cpu);
+            c.with_category(CostCategory::CdManip, |c| {
+                let attrs = MemAttrs::cached_private(list_mem.base.module());
+                for _ in 0..pages.len() {
+                    c.store(list_mem.at(0), attrs);
+                    c.exec(2);
+                }
+            });
+        }
+        self.percpu[cpu].spare_stacks.extend(pages);
+    }
+
+    /// Charged error return: unwinds the trap and user-save work so that
+    /// failed calls cost realistically too.
+    fn error_return(
+        &mut self,
+        cpu: CpuId,
+        caller: Option<Pid>,
+        from_kernel: bool,
+        err: PpcError,
+    ) -> PpcError {
+        if let (Some(caller_pid), false) = (caller, from_kernel) {
+            let kstack = self.kernel.kstacks[cpu];
+            let ustack = self.kernel.procs[caller_pid].ustack;
+            let c = self.kernel.machine.cpu_mut(cpu);
+            c.with_category(CostCategory::PpcKernel, |c| c.exec(6)); // error path
+            trap::exit(c, kstack, CostCategory::PpcKernel);
+            c.with_category(CostCategory::UserSaveRestore, |c| {
+                let attrs = MemAttrs::cached_private(ustack.base.module());
+                c.load_words(ustack.at(USER_SAVE_OFF), Process::USER_SAVE_WORDS, attrs);
+            });
+        }
+        err
+    }
+}
+
+/// A null service handler: the paper's microbenchmark server, which just
+/// "saves and restores a few registers". Use for latency measurements.
+pub fn null_handler() -> crate::Handler {
+    std::rc::Rc::new(|sys: &mut PpcSystem, ctx: &HandlerCtx| {
+        let stack = ctx.stack;
+        let c = sys.kernel.machine.cpu_mut(ctx.cpu);
+        c.with_category(CostCategory::ServerTime, |c| {
+            let attrs = MemAttrs::cached_private(stack.base.module());
+            c.store_words(stack.at(stack.len - 64), 4, attrs);
+            c.exec(4);
+            c.load_words(stack.at(stack.len - 64), 4, attrs);
+        });
+        ctx.args
+    })
+}

@@ -1,0 +1,289 @@
+//! Call descriptors and the per-processor CD pool.
+//!
+//! A call descriptor (CD) "serves two purposes: it stores return
+//! information during a call, and it points to physical memory used for
+//! the stack of a worker process during a call" (§2). The pool is shared
+//! by **all servers on one processor** and accessed by no other processor,
+//! so allocation is a lock-free free-list pop in CPU-local cached memory —
+//! and because stacks are recycled across servers called in succession,
+//! the cache footprint of the whole IPC subsystem stays tiny.
+//!
+//! Stack-sharing trust groups (§2's proposed compromise) partition the
+//! free list: entries in group *g* only recycle CDs previously used by
+//! group *g*.
+
+use std::collections::HashMap;
+
+use hector_sim::cpu::{CostCategory, Cpu, CpuId};
+use hector_sim::sym::{MemAttrs, Region};
+use hector_sim::Machine;
+use hurricane_os::process::Pid;
+
+use crate::entry::TrustGroup;
+
+/// Index of a CD within its processor's pool.
+pub type CdId = usize;
+
+/// CDs preallocated per processor at boot.
+pub const INITIAL_CDS: usize = 2;
+
+/// Words of return information stored into the CD on call entry (caller
+/// pid, return PC, return SP, opcode/flags, linkage).
+pub const CD_RETURN_WORDS: u64 = 5;
+
+/// One call descriptor.
+#[derive(Clone, Debug)]
+pub struct Cd {
+    /// The CD record itself (CPU-local, cached).
+    pub mem: Region,
+    /// The one-page physical stack this CD points at (§4.5.4: stacks are
+    /// restricted to one page).
+    pub stack: Region,
+    /// Trust group the stack was last used by.
+    pub group: TrustGroup,
+    /// The caller linked into this CD for the current call (`None` when
+    /// idle or when the call is asynchronous).
+    pub linked_caller: Option<Pid>,
+}
+
+/// The per-processor CD pool.
+#[derive(Clone, Debug)]
+pub struct CdPool {
+    /// All CDs ever created on this processor.
+    pub cds: Vec<Cd>,
+    /// Free lists, partitioned by trust group.
+    free: HashMap<TrustGroup, Vec<CdId>>,
+    /// Symbolic memory of the free-list heads (CPU-local).
+    pub pool_mem: Region,
+    cpu: CpuId,
+}
+
+impl CdPool {
+    /// Boot-time pool with `n` CDs in the default trust group.
+    pub fn boot(machine: &mut Machine, cpu: CpuId, n: usize) -> Self {
+        let pool_mem = machine.alloc_on(cpu, 128, "cd-pool");
+        let mut pool = CdPool { cds: Vec::new(), free: HashMap::new(), pool_mem, cpu };
+        for _ in 0..n {
+            let id = pool.create_uncharged(machine, 0);
+            pool.free.entry(0).or_default().push(id);
+        }
+        pool
+    }
+
+    fn create_uncharged(&mut self, machine: &mut Machine, group: TrustGroup) -> CdId {
+        let mem = machine.alloc_on(self.cpu, 64, "cd");
+        let stack = machine.alloc_page_on(self.cpu, "cd-stack");
+        self.cds.push(Cd { mem, stack, group, linked_caller: None });
+        self.cds.len() - 1
+    }
+
+    /// Create a new CD on the call path (what Frank does when the pool is
+    /// dry): charged allocation + initialization.
+    pub fn create_charged(&mut self, machine: &mut Machine, group: TrustGroup) -> CdId {
+        let id = {
+            let mem = machine.alloc_on(self.cpu, 64, "cd");
+            let stack = machine.alloc_page_on(self.cpu, "cd-stack");
+            self.cds.push(Cd { mem, stack, group, linked_caller: None });
+            self.cds.len() - 1
+        };
+        let cpu = machine.cpu_mut(self.cpu);
+        let attrs = MemAttrs::cached_private(self.cpu);
+        cpu.exec(60); // page + record allocator work
+        cpu.store_words(self.cds[id].mem.base, 8, attrs); // init the record
+        id
+    }
+
+    /// Number of CDs currently free in `group`.
+    pub fn free_count(&self, group: TrustGroup) -> usize {
+        self.free.get(&group).map_or(0, |v| v.len())
+    }
+
+    /// Total CDs owned by this processor.
+    pub fn total(&self) -> usize {
+        self.cds.len()
+    }
+
+    /// Fast-path allocation: pop the free list (charged to `CdManip`).
+    /// Returns `None` when the group's list is empty — the caller
+    /// redirects to Frank.
+    pub fn alloc(&mut self, cpu: &mut Cpu, group: TrustGroup) -> Option<CdId> {
+        debug_assert_eq!(cpu.id, self.cpu, "CD pools are strictly processor-local");
+        let attrs = MemAttrs::cached_private(self.pool_mem.base.module());
+        cpu.with_category(CostCategory::CdManip, |cpu| {
+            cpu.load(self.pool_mem.at(8 * (group as u64 % 8)), attrs); // list head
+            cpu.exec(2);
+        });
+        let id = self.free.get_mut(&group)?.pop()?;
+        cpu.with_category(CostCategory::CdManip, |cpu| {
+            let cd_attrs = MemAttrs::cached_private(self.cds[id].mem.base.module());
+            cpu.load(self.cds[id].mem.at(0), cd_attrs); // next link
+            cpu.store(self.pool_mem.at(8 * (group as u64 % 8)), attrs); // new head
+            cpu.exec(2);
+        });
+        Some(id)
+    }
+
+    /// Fast-path free: push onto the group's free list (charged).
+    pub fn release(&mut self, cpu: &mut Cpu, id: CdId) {
+        debug_assert_eq!(cpu.id, self.cpu);
+        let group = self.cds[id].group;
+        let attrs = MemAttrs::cached_private(self.pool_mem.base.module());
+        cpu.with_category(CostCategory::CdManip, |cpu| {
+            let cd_attrs = MemAttrs::cached_private(self.cds[id].mem.base.module());
+            cpu.store(self.cds[id].mem.at(0), cd_attrs); // link = old head
+            cpu.store(self.pool_mem.at(8 * (group as u64 % 8)), attrs); // head = cd
+            cpu.exec(2);
+        });
+        self.cds[id].linked_caller = None;
+        self.free.entry(group).or_default().push(id);
+    }
+
+    /// Store the return information for `caller` into CD `id` (charged to
+    /// `CdManip`: this happens on every call, held or not).
+    pub fn store_return_info(&mut self, cpu: &mut Cpu, id: CdId, caller: Option<Pid>) {
+        let cd = &mut self.cds[id];
+        let attrs = MemAttrs::cached_private(cd.mem.base.module());
+        cpu.with_category(CostCategory::CdManip, |cpu| {
+            cpu.store_words(cd.mem.at(8), CD_RETURN_WORDS, attrs);
+            cpu.exec(2);
+        });
+        cd.linked_caller = caller;
+    }
+
+    /// Load the return information from CD `id` on the return path
+    /// (charged). Returns the linked caller.
+    pub fn load_return_info(&mut self, cpu: &mut Cpu, id: CdId) -> Option<Pid> {
+        let cd = &mut self.cds[id];
+        let attrs = MemAttrs::cached_private(cd.mem.base.module());
+        cpu.with_category(CostCategory::CdManip, |cpu| {
+            cpu.load_words(cd.mem.at(8), CD_RETURN_WORDS, attrs);
+            cpu.exec(2);
+        });
+        cd.linked_caller.take()
+    }
+
+    /// Reclaim surplus CDs above `keep`, returning how many were freed
+    /// ("extra stacks created during peak call activity can easily be
+    /// reclaimed"). Only fully-idle CDs on free lists are reclaimed.
+    pub fn shrink_to(&mut self, keep: usize) -> usize {
+        let mut reclaimed = 0;
+        for list in self.free.values_mut() {
+            while self.cds.len() - reclaimed > keep && list.pop().is_some() {
+                reclaimed += 1;
+            }
+        }
+        // Note: the symbolic regions are not returned to the heap (the
+        // simulator's heap is a bump allocator); what matters for the model
+        // is that the CDs leave the free lists.
+        reclaimed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hector_sim::MachineConfig;
+
+    fn setup(n: usize) -> (Machine, CdPool) {
+        let mut m = Machine::new(MachineConfig::hector(2));
+        let pool = CdPool::boot(&mut m, 0, n);
+        (m, pool)
+    }
+
+    #[test]
+    fn boot_pool_has_initial_cds() {
+        let (_, pool) = setup(2);
+        assert_eq!(pool.total(), 2);
+        assert_eq!(pool.free_count(0), 2);
+    }
+
+    #[test]
+    fn alloc_release_roundtrip() {
+        let (mut m, mut pool) = setup(2);
+        let cpu = m.cpu_mut(0);
+        let a = pool.alloc(cpu, 0).unwrap();
+        let b = pool.alloc(cpu, 0).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(pool.free_count(0), 0);
+        assert!(pool.alloc(cpu, 0).is_none(), "dry pool reports empty");
+        pool.release(cpu, a);
+        assert_eq!(pool.alloc(cpu, 0), Some(a), "LIFO recycling for cache warmth");
+    }
+
+    #[test]
+    fn cds_and_stacks_are_cpu_local() {
+        let mut m = Machine::new(MachineConfig::hector(4));
+        let pool = CdPool::boot(&mut m, 3, 2);
+        for cd in &pool.cds {
+            assert_eq!(cd.mem.base.module(), 3);
+            assert_eq!(cd.stack.base.module(), 3);
+            assert_eq!(cd.stack.len, 4096, "one-page stacks (§4.5.4)");
+        }
+    }
+
+    #[test]
+    fn trust_groups_do_not_share_stacks() {
+        let (mut m, mut pool) = setup(1);
+        // Group 5 has no CDs yet.
+        let cpu = m.cpu_mut(0);
+        assert!(pool.alloc(cpu, 5).is_none());
+        let id = pool.create_charged(&mut m, 5);
+        let cpu = m.cpu_mut(0);
+        pool.release(cpu, id);
+        assert_eq!(pool.free_count(5), 1);
+        assert_eq!(pool.free_count(0), 1, "default group untouched");
+        let got = pool.alloc(cpu, 5).unwrap();
+        assert_eq!(got, id);
+    }
+
+    #[test]
+    fn return_info_links_and_unlinks_caller() {
+        let (mut m, mut pool) = setup(1);
+        let cpu = m.cpu_mut(0);
+        let id = pool.alloc(cpu, 0).unwrap();
+        pool.store_return_info(cpu, id, Some(42));
+        assert_eq!(pool.cds[id].linked_caller, Some(42));
+        assert_eq!(pool.load_return_info(cpu, id), Some(42));
+        assert_eq!(pool.cds[id].linked_caller, None, "linkage consumed");
+    }
+
+    #[test]
+    fn operations_touch_only_local_memory_and_no_locks() {
+        let (mut m, mut pool) = setup(2);
+        let cpu = m.cpu_mut(0);
+        cpu.begin_measure();
+        let id = pool.alloc(cpu, 0).unwrap();
+        pool.store_return_info(cpu, id, Some(1));
+        pool.load_return_info(cpu, id);
+        pool.release(cpu, id);
+        let st = cpu.path_stats();
+        assert_eq!(st.shared_accesses, 0, "CD path must touch no shared data");
+        assert_eq!(st.lock_acquires, 0, "CD path must take no locks");
+        let bd = cpu.end_measure();
+        assert!(bd.get(CostCategory::CdManip).as_u64() > 0);
+        assert!(bd.get(CostCategory::Other).is_zero());
+    }
+
+    #[test]
+    fn shrink_reclaims_surplus() {
+        let (mut m, mut pool) = setup(2);
+        for _ in 0..3 {
+            let id = pool.create_charged(&mut m, 0);
+            let cpu = m.cpu_mut(0);
+            pool.release(cpu, id);
+        }
+        assert_eq!(pool.total(), 5);
+        assert_eq!(pool.free_count(0), 5);
+        let reclaimed = pool.shrink_to(2);
+        assert_eq!(reclaimed, 3);
+        assert_eq!(pool.free_count(0), 2);
+    }
+
+    #[test]
+    fn charged_creation_advances_clock() {
+        let (mut m, mut pool) = setup(0);
+        let before = m.cpu(0).clock();
+        pool.create_charged(&mut m, 0);
+        assert!(m.cpu(0).clock() > before);
+    }
+}

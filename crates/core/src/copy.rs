@@ -1,0 +1,332 @@
+//! Bulk data transfer: the Copy Server (§4.2).
+//!
+//! The PPC transfers exactly 8 words each way in registers. For larger
+//! data "we provide a mechanism borrowed from the V system where a caller
+//! may give permission to the server to read and write selected portions
+//! of its address space. The actual transfer of data is done by a separate
+//! CopyTo or CopyFrom request" — themselves normal PPC requests to the
+//! Copy Server at [`crate::COPY_SERVER_EP`].
+
+use std::rc::Rc;
+
+use hector_sim::cpu::{CostCategory, CpuId};
+use hector_sim::sym::{MemAttrs, PAddr, Region};
+use hurricane_os::process::{Pid, ProgramId};
+
+use crate::entry::EntryId;
+use crate::{Handler, PpcError, PpcSystem, COPY_SERVER_EP};
+
+/// Copy Server opcodes.
+pub mod ops {
+    /// Grant the entry in `args[1]` access to `[args[2], args[2]+args[3])`;
+    /// `args[4]` nonzero grants write access too.
+    pub const GRANT: u64 = 1;
+    /// Revoke all grants from the caller to the entry in `args[1]`.
+    pub const REVOKE: u64 = 2;
+    /// Copy `args[4]` bytes from server memory `args[3]` **to** client
+    /// (`args[1]` = granter program) memory `args[2]`.
+    pub const COPY_TO: u64 = 3;
+    /// Copy `args[4]` bytes **from** client memory `args[2]` to server
+    /// memory `args[3]`.
+    pub const COPY_FROM: u64 = 4;
+}
+
+/// Largest single transfer (sanity cap; the paper's servers use
+/// service-specific shared-memory paths for truly bulk data).
+pub const MAX_COPY: u64 = 1 << 20;
+
+/// One region permission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Grant {
+    /// The granting (client) program.
+    pub granter: ProgramId,
+    /// The entry point allowed to access the region.
+    pub grantee: EntryId,
+    /// Program owning `grantee` at grant time.
+    pub grantee_program: ProgramId,
+    /// The client region covered.
+    pub region: Region,
+    /// Whether writes (CopyTo) are allowed.
+    pub write: bool,
+}
+
+/// The Copy Server's grant table.
+#[derive(Debug, Default)]
+pub struct GrantTable {
+    grants: Vec<Grant>,
+}
+
+impl GrantTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        GrantTable { grants: Vec::new() }
+    }
+
+    /// Record a grant.
+    pub fn add(&mut self, g: Grant) {
+        self.grants.push(g);
+    }
+
+    /// Remove every grant `granter -> grantee`.
+    pub fn revoke(&mut self, granter: ProgramId, grantee: EntryId) -> usize {
+        let before = self.grants.len();
+        self.grants.retain(|g| !(g.granter == granter && g.grantee == grantee));
+        before - self.grants.len()
+    }
+
+    /// Does a grant authorize `accessor_program` to touch
+    /// `[base, base+len)` of `granter`'s memory (write if `write`)?
+    pub fn authorizes(
+        &self,
+        granter: ProgramId,
+        accessor_program: ProgramId,
+        base: PAddr,
+        len: u64,
+        write: bool,
+    ) -> bool {
+        self.grants.iter().any(|g| {
+            g.granter == granter
+                && g.grantee_program == accessor_program
+                && (!write || g.write)
+                && base.0 >= g.region.base.0
+                && base.0 + len <= g.region.base.0 + g.region.len
+        })
+    }
+
+    /// Number of live grants.
+    pub fn len(&self) -> usize {
+        self.grants.len()
+    }
+
+    /// Whether no grants exist.
+    pub fn is_empty(&self) -> bool {
+        self.grants.is_empty()
+    }
+}
+
+/// The Copy Server handler.
+pub fn copy_server_handler() -> Handler {
+    Rc::new(|sys: &mut PpcSystem, ctx: &crate::HandlerCtx| {
+        let grants = Rc::clone(&sys.grants);
+        match ctx.args[0] {
+            ops::GRANT => {
+                let c = sys.kernel.machine.cpu_mut(ctx.cpu);
+                c.with_category(CostCategory::ServerTime, |c| c.exec(30));
+                let grantee = ctx.args[1] as EntryId;
+                let Some(grantee_program) =
+                    sys.entries.get(grantee).map(|e| e.owner).filter(|_| {
+                        sys.entries.get(grantee).is_some_and(|e| e.accepts_calls())
+                    })
+                else {
+                    return [u64::MAX, 1, 0, 0, 0, 0, 0, 0];
+                };
+                grants.borrow_mut().add(Grant {
+                    granter: ctx.caller_program,
+                    grantee,
+                    grantee_program,
+                    region: Region { base: PAddr(ctx.args[2]), len: ctx.args[3] },
+                    write: ctx.args[4] != 0,
+                });
+                [0; 8]
+            }
+            ops::REVOKE => {
+                let c = sys.kernel.machine.cpu_mut(ctx.cpu);
+                c.with_category(CostCategory::ServerTime, |c| c.exec(25));
+                let n = grants.borrow_mut().revoke(ctx.caller_program, ctx.args[1] as EntryId);
+                [0, n as u64, 0, 0, 0, 0, 0, 0]
+            }
+            ops::COPY_TO | ops::COPY_FROM => {
+                let write_client = ctx.args[0] == ops::COPY_TO;
+                let granter = ctx.args[1] as ProgramId;
+                let client_base = PAddr(ctx.args[2]);
+                let server_base = PAddr(ctx.args[3]);
+                let len = ctx.args[4].min(MAX_COPY);
+                let authorized = {
+                    let c = sys.kernel.machine.cpu_mut(ctx.cpu);
+                    c.with_category(CostCategory::ServerTime, |c| c.exec(35)); // grant scan
+                    grants.borrow().authorizes(
+                        granter,
+                        ctx.caller_program,
+                        client_base,
+                        len,
+                        write_client,
+                    )
+                };
+                if !authorized {
+                    return [u64::MAX, 2, 0, 0, 0, 0, 0, 0];
+                }
+                charge_copy(sys, ctx.cpu, client_base, server_base, len, write_client);
+                [0, len, 0, 0, 0, 0, 0, 0]
+            }
+            _ => [u64::MAX, 0xbad, 0, 0, 0, 0, 0, 0],
+        }
+    })
+}
+
+/// Charge a physical copy of `len` bytes between the client and server
+/// regions (word loads + stores; both sides are local to the calling CPU
+/// in the common case — the client called on this CPU and the worker stack
+/// and buffers are CPU-local).
+fn charge_copy(
+    sys: &mut PpcSystem,
+    cpu: CpuId,
+    client: PAddr,
+    server: PAddr,
+    len: u64,
+    write_client: bool,
+) {
+    let c = sys.kernel.machine.cpu_mut(cpu);
+    c.with_category(CostCategory::ServerTime, |c| {
+        let ca = MemAttrs::cached_private(client.module());
+        let sa = MemAttrs::cached_private(server.module());
+        let words = len / 4;
+        for i in 0..words {
+            if write_client {
+                c.load(server.offset(i * 4), sa);
+                c.store(client.offset(i * 4), ca);
+            } else {
+                c.load(client.offset(i * 4), ca);
+                c.store(server.offset(i * 4), sa);
+            }
+        }
+        c.exec(words + 8); // loop overhead + residue handling
+    });
+}
+
+impl PpcSystem {
+    /// Client-side helper: grant `server_ep` access to `region` (write
+    /// access if `write`) via a PPC call to the Copy Server.
+    pub fn copy_grant(
+        &mut self,
+        cpu: CpuId,
+        caller: Pid,
+        server_ep: EntryId,
+        region: Region,
+        write: bool,
+    ) -> Result<(), PpcError> {
+        let args = [
+            ops::GRANT,
+            server_ep as u64,
+            region.base.0,
+            region.len,
+            write as u64,
+            0,
+            0,
+            0,
+        ];
+        let rets = self.call(cpu, caller, COPY_SERVER_EP, args)?;
+        if rets[0] == u64::MAX {
+            return Err(PpcError::NoGrant);
+        }
+        Ok(())
+    }
+
+    /// Client-side helper: revoke grants to `server_ep`.
+    pub fn copy_revoke(
+        &mut self,
+        cpu: CpuId,
+        caller: Pid,
+        server_ep: EntryId,
+    ) -> Result<u64, PpcError> {
+        let args = [ops::REVOKE, server_ep as u64, 0, 0, 0, 0, 0, 0];
+        let rets = self.call(cpu, caller, COPY_SERVER_EP, args)?;
+        Ok(rets[1])
+    }
+
+    /// Server-side helper (call from inside a handler, with the worker as
+    /// caller): copy `len` bytes from `server_base` into the granter's
+    /// memory at `client_base`.
+    pub fn copy_to(
+        &mut self,
+        cpu: CpuId,
+        worker: Pid,
+        granter: ProgramId,
+        client_base: PAddr,
+        server_base: PAddr,
+        len: u64,
+    ) -> Result<u64, PpcError> {
+        let args =
+            [ops::COPY_TO, granter as u64, client_base.0, server_base.0, len, 0, 0, 0];
+        let rets = self.call(cpu, worker, COPY_SERVER_EP, args)?;
+        if rets[0] == u64::MAX {
+            return Err(PpcError::NoGrant);
+        }
+        Ok(rets[1])
+    }
+
+    /// Server-side helper: copy `len` bytes from the granter's memory at
+    /// `client_base` into server memory at `server_base`.
+    pub fn copy_from(
+        &mut self,
+        cpu: CpuId,
+        worker: Pid,
+        granter: ProgramId,
+        client_base: PAddr,
+        server_base: PAddr,
+        len: u64,
+    ) -> Result<u64, PpcError> {
+        let args =
+            [ops::COPY_FROM, granter as u64, client_base.0, server_base.0, len, 0, 0, 0];
+        let rets = self.call(cpu, worker, COPY_SERVER_EP, args)?;
+        if rets[0] == u64::MAX {
+            return Err(PpcError::NoGrant);
+        }
+        Ok(rets[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(base: u64, len: u64) -> Region {
+        Region { base: PAddr(base), len }
+    }
+
+    #[test]
+    fn grant_table_authorization() {
+        let mut t = GrantTable::new();
+        t.add(Grant {
+            granter: 10,
+            grantee: 5,
+            grantee_program: 20,
+            region: region(0x1000, 0x100),
+            write: false,
+        });
+        // Exact region, read: ok.
+        assert!(t.authorizes(10, 20, PAddr(0x1000), 0x100, false));
+        // Subregion: ok.
+        assert!(t.authorizes(10, 20, PAddr(0x1040), 0x40, false));
+        // Write to a read grant: no.
+        assert!(!t.authorizes(10, 20, PAddr(0x1000), 0x10, true));
+        // Out of bounds: no.
+        assert!(!t.authorizes(10, 20, PAddr(0x10ff), 0x10, false));
+        // Wrong program: no.
+        assert!(!t.authorizes(10, 21, PAddr(0x1000), 0x10, false));
+        // Wrong granter: no.
+        assert!(!t.authorizes(11, 20, PAddr(0x1000), 0x10, false));
+    }
+
+    #[test]
+    fn revoke_removes_all_matching() {
+        let mut t = GrantTable::new();
+        for _ in 0..3 {
+            t.add(Grant {
+                granter: 1,
+                grantee: 2,
+                grantee_program: 3,
+                region: region(0, 16),
+                write: true,
+            });
+        }
+        t.add(Grant {
+            granter: 1,
+            grantee: 9,
+            grantee_program: 3,
+            region: region(0, 16),
+            write: true,
+        });
+        assert_eq!(t.revoke(1, 2), 3);
+        assert_eq!(t.len(), 1);
+    }
+}

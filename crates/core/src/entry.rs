@@ -1,0 +1,259 @@
+//! Service entry points.
+//!
+//! §4.5.5: entry points are **small integers** (the table is capped at
+//! 1024), so "a simple array with direct indexing can be used with each
+//! processor having its own copy" — the fast path is one load from a
+//! CPU-local table. Authentication is the server's job (§4.1), so handing
+//! out small integers is safe.
+
+use hector_sim::sym::Region;
+use hector_sim::tlb::Asid;
+use hurricane_os::process::{Pid, ProgramId};
+use std::collections::HashMap;
+
+/// A service entry-point identifier (small integer, < [`MAX_ENTRIES`]).
+pub type EntryId = usize;
+
+/// The paper's cap on simultaneously-bound entry points.
+pub const MAX_ENTRIES: usize = 1024;
+
+/// Identifies a stack-sharing trust group (§2: "collect servers that trust
+/// each other into groups and only share stacks between servers in the
+/// same group"). Group 0 is the default, fully-shared group.
+pub type TrustGroup = u32;
+
+/// Lifecycle state of an entry point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EntryState {
+    /// Unbound slot.
+    Free,
+    /// Accepting calls.
+    Active,
+    /// Soft-killed: new calls are rejected, calls in progress drain
+    /// (§4.5.2); resources are freed when the last call completes.
+    SoftKilled,
+    /// Hard-killed: resources freed, in-progress calls aborted.
+    Dead,
+}
+
+/// Per-entry options.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EntryOptions {
+    /// Workers permanently hold a CD and stack ("this is currently
+    /// addressed by permitting workers to permanently hold on to a CD and
+    /// stack" — 2–3 µs faster per call, worse cache sharing).
+    pub hold_cd: bool,
+    /// Stack-sharing trust group.
+    pub trust_group: TrustGroup,
+    /// Workers kept pooled per processor before Frank must create more.
+    pub initial_workers: usize,
+    /// Worker stack size in pages. 1 is the common fast case (§4.5.4:
+    /// "we restrict stacks to one page"); larger values take the paper's
+    /// proposed exceptional path — extra pages from an independent
+    /// per-processor list, mapped per call.
+    pub stack_pages: usize,
+    /// §4.5.4's second alternative: "assign a larger virtual space for the
+    /// stack. Accesses beyond the first page would result in a page fault
+    /// and be handled by the normal page-fault handling mechanisms." With
+    /// `lazy_stack`, `stack_pages` is the *limit*; pages 2.. are mapped on
+    /// first touch (a charged fault) instead of eagerly on every call.
+    pub lazy_stack: bool,
+}
+
+impl Default for EntryOptions {
+    fn default() -> Self {
+        EntryOptions {
+            hold_cd: false,
+            trust_group: 0,
+            initial_workers: 1,
+            stack_pages: 1,
+            lazy_stack: false,
+        }
+    }
+}
+
+/// Specification of a service to bind (what a server passes to Frank).
+#[derive(Clone, Debug)]
+pub struct ServiceSpec {
+    /// Address space the service's handlers execute in.
+    pub asid: Asid,
+    /// Options.
+    pub opts: EntryOptions,
+    /// Diagnostic name.
+    pub name: String,
+    /// Specific entry-point ID to bind, if the server obtained one
+    /// (otherwise Frank picks the first free slot).
+    pub want_ep: Option<EntryId>,
+    /// Program that owns the entry (may kill/exchange it).
+    pub owner: ProgramId,
+}
+
+impl ServiceSpec {
+    /// A default-option service in `asid`.
+    pub fn new(asid: Asid) -> Self {
+        ServiceSpec {
+            asid,
+            opts: EntryOptions::default(),
+            name: String::new(),
+            want_ep: None,
+            owner: 0,
+        }
+    }
+
+    /// Set the diagnostic name.
+    pub fn name(mut self, n: &str) -> Self {
+        self.name = n.to_string();
+        self
+    }
+
+    /// Enable hold-CD mode.
+    pub fn hold_cd(mut self) -> Self {
+        self.opts.hold_cd = true;
+        self
+    }
+
+    /// Assign a stack-sharing trust group.
+    pub fn trust_group(mut self, g: TrustGroup) -> Self {
+        self.opts.trust_group = g;
+        self
+    }
+
+    /// Pre-pool `n` workers per processor.
+    pub fn initial_workers(mut self, n: usize) -> Self {
+        self.opts.initial_workers = n;
+        self
+    }
+
+    /// Request a specific entry-point ID.
+    pub fn at(mut self, ep: EntryId) -> Self {
+        self.want_ep = Some(ep);
+        self
+    }
+
+    /// Use an `n`-page worker stack (n > 1 takes the §4.5.4 slow path).
+    pub fn stack_pages(mut self, n: usize) -> Self {
+        assert!(n >= 1, "a worker needs at least one stack page");
+        self.opts.stack_pages = n;
+        self
+    }
+
+    /// Grow the stack lazily by page fault instead of eager mapping
+    /// (§4.5.4's second alternative); `stack_pages` becomes the limit.
+    pub fn lazy_stack(mut self) -> Self {
+        self.opts.lazy_stack = true;
+        self
+    }
+
+    /// Set the owning program.
+    pub fn owned_by(mut self, p: ProgramId) -> Self {
+        self.owner = p;
+        self
+    }
+}
+
+/// Global (slow-path) metadata for one entry point.
+#[derive(Clone, Debug)]
+pub struct EntrySlot {
+    /// Lifecycle state.
+    pub state: EntryState,
+    /// Address space of the service.
+    pub asid: Asid,
+    /// Options.
+    pub opts: EntryOptions,
+    /// Symbolic region of the service's call-handling code (instruction
+    /// cache behaviour).
+    pub service_code: Region,
+    /// Calls currently executing (drain gate for soft kill).
+    pub active_calls: u64,
+    /// Owning program.
+    pub owner: ProgramId,
+    /// Diagnostic name.
+    pub name: String,
+}
+
+impl EntrySlot {
+    /// An unbound slot.
+    pub fn free() -> Self {
+        EntrySlot {
+            state: EntryState::Free,
+            asid: 0,
+            opts: EntryOptions::default(),
+            service_code: Region { base: hector_sim::sym::PAddr(0), len: 1 },
+            active_calls: 0,
+            owner: 0,
+            name: String::new(),
+        }
+    }
+
+    /// Can this entry accept a new call?
+    pub fn accepts_calls(&self) -> bool {
+        self.state == EntryState::Active
+    }
+}
+
+/// Per-processor fast-path state for one entry point.
+#[derive(Clone, Debug)]
+pub struct LocalEntry {
+    /// LIFO pool of idle workers on this processor.
+    pub pool: Vec<Pid>,
+    /// Symbolic memory of the pool head/links (CPU-local).
+    pub pool_mem: Region,
+    /// CDs held permanently by workers (hold-CD mode).
+    pub held_cd: HashMap<Pid, crate::cd::CdId>,
+    /// Extra stack pages held permanently by workers (hold-CD mode
+    /// combined with multi-page stacks).
+    pub held_extra: HashMap<Pid, Vec<Region>>,
+    /// Workers created on this CPU for this entry (diagnostics).
+    pub workers_created: u64,
+}
+
+impl LocalEntry {
+    /// Fresh local state with an empty pool.
+    pub fn new(pool_mem: Region) -> Self {
+        LocalEntry {
+            pool: Vec::new(),
+            pool_mem,
+            held_cd: HashMap::new(),
+            held_extra: HashMap::new(),
+            workers_created: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_builder_chains() {
+        let s = ServiceSpec::new(3)
+            .name("bob")
+            .hold_cd()
+            .trust_group(2)
+            .initial_workers(4)
+            .at(17)
+            .owned_by(9);
+        assert_eq!(s.asid, 3);
+        assert_eq!(s.name, "bob");
+        assert!(s.opts.hold_cd);
+        assert_eq!(s.opts.trust_group, 2);
+        assert_eq!(s.opts.initial_workers, 4);
+        assert_eq!(s.want_ep, Some(17));
+        assert_eq!(s.owner, 9);
+    }
+
+    #[test]
+    fn free_slot_rejects_calls() {
+        let s = EntrySlot::free();
+        assert!(!s.accepts_calls());
+        assert_eq!(s.state, EntryState::Free);
+    }
+
+    #[test]
+    fn default_options() {
+        let o = EntryOptions::default();
+        assert!(!o.hold_cd);
+        assert_eq!(o.trust_group, 0);
+        assert_eq!(o.initial_workers, 1);
+    }
+}

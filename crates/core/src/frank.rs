@@ -1,0 +1,267 @@
+//! Frank, the kernel-level PPC resource manager (§4.5.6).
+//!
+//! "Service entry points are allocated and deallocated with PPC calls to
+//! Frank, which has a well-known service ID. Frank is also responsible for
+//! handling exceptional PPC conditions. Calls that fail due to a lack of
+//! resources (e.g. an empty worker or call descriptor list) are redirected
+//! to Frank for handling. [...] Frank is a normal server executing in the
+//! kernel address space, and is special only in that all its resources are
+//! preallocated, it may not block, and it may not be preempted."
+//!
+//! (The name Frank was chosen so that Bob, the file server, would not be
+//! the only server with an eccentric name.)
+
+use std::rc::Rc;
+
+use hector_sim::cpu::{CostCategory, CpuId};
+use hector_sim::tlb::ASID_KERNEL;
+use hurricane_os::process::{Pid, ProcState};
+
+use crate::cd::CdId;
+use crate::entry::{
+    EntryId, EntrySlot, EntryState, LocalEntry, ServiceSpec, TrustGroup, MAX_ENTRIES,
+};
+use crate::{copy, naming, Handler, PpcError, PpcSystem, COPY_SERVER_EP, FIRST_DYNAMIC_EP, FRANK_EP, NAME_SERVER_EP};
+
+/// Frank opcodes (`args[0]` of a call to [`FRANK_EP`]).
+pub mod ops {
+    /// No-op (liveness probe).
+    pub const NOOP: u64 = 0;
+    /// Bind the staged [`super::BindRequest`] to an entry point.
+    pub const BIND: u64 = 1;
+    /// Soft-kill the entry point in `args[1]`.
+    pub const SOFT_KILL: u64 = 2;
+    /// Hard-kill the entry point in `args[1]`.
+    pub const HARD_KILL: u64 = 3;
+    /// Exchange: replace the handler of `args[1]` with the staged bind.
+    pub const EXCHANGE: u64 = 4;
+}
+
+/// A staged service-registration request (closures cannot ride in the 8
+/// register words, so they wait here while the PPC call to Frank carries
+/// the opcode).
+pub struct BindRequest {
+    /// The service specification.
+    pub spec: ServiceSpec,
+    /// The handler to bind.
+    pub handler: Handler,
+}
+
+/// Install Frank, the Name Server, and the Copy Server at boot with
+/// preallocated resources on every processor.
+pub fn install_wellknown_servers(sys: &mut PpcSystem) {
+    let frank_spec = ServiceSpec::new(ASID_KERNEL)
+        .name("frank")
+        .at(FRANK_EP)
+        .initial_workers(2);
+    sys.bind_entry_boot(frank_spec, frank_handler()).expect("frank binds at boot");
+
+    let ns_spec = ServiceSpec::new(ASID_KERNEL).name("name-server").at(NAME_SERVER_EP);
+    sys.bind_entry_boot(ns_spec, naming::name_server_handler()).expect("name server binds");
+
+    let cs_spec = ServiceSpec::new(ASID_KERNEL).name("copy-server").at(COPY_SERVER_EP);
+    sys.bind_entry_boot(cs_spec, copy::copy_server_handler()).expect("copy server binds");
+}
+
+/// Frank's call handler.
+fn frank_handler() -> Handler {
+    Rc::new(|sys: &mut PpcSystem, ctx: &crate::HandlerCtx| {
+        // Frank's own bookkeeping work.
+        let c = sys.kernel.machine.cpu_mut(ctx.cpu);
+        c.with_category(CostCategory::ServerTime, |c| c.exec(20));
+        match ctx.args[0] {
+            ops::NOOP => [0; 8],
+            ops::BIND => match sys.pending_bind.take() {
+                Some(req) => match do_bind(sys, ctx.cpu, req.spec, req.handler, true) {
+                    Ok(ep) => [ep as u64, 0, 0, 0, 0, 0, 0, 0],
+                    Err(_) => [u64::MAX, 1, 0, 0, 0, 0, 0, 0],
+                },
+                None => [u64::MAX, 2, 0, 0, 0, 0, 0, 0],
+            },
+            ops::SOFT_KILL => {
+                let ep = ctx.args[1] as EntryId;
+                match crate::kill::soft_kill(sys, ctx.cpu, ep, ctx.caller_program) {
+                    Ok(()) => [0; 8],
+                    Err(_) => [u64::MAX, 1, 0, 0, 0, 0, 0, 0],
+                }
+            }
+            ops::HARD_KILL => {
+                let ep = ctx.args[1] as EntryId;
+                match crate::kill::hard_kill(sys, ctx.cpu, ep, ctx.caller_program) {
+                    Ok(()) => [0; 8],
+                    Err(_) => [u64::MAX, 1, 0, 0, 0, 0, 0, 0],
+                }
+            }
+            ops::EXCHANGE => {
+                let ep = ctx.args[1] as EntryId;
+                match sys.pending_bind.take() {
+                    Some(req) => {
+                        match crate::kill::exchange(sys, ctx.cpu, ep, req.handler, ctx.caller_program)
+                        {
+                            Ok(()) => [0; 8],
+                            Err(_) => [u64::MAX, 1, 0, 0, 0, 0, 0, 0],
+                        }
+                    }
+                    None => [u64::MAX, 2, 0, 0, 0, 0, 0, 0],
+                }
+            }
+            _ => [u64::MAX, 0xbad, 0, 0, 0, 0, 0, 0],
+        }
+    })
+}
+
+impl PpcSystem {
+    /// Bind a service at boot (uncharged). Programs running on the booted
+    /// system use [`PpcSystem::register_service`] instead, which goes
+    /// through a real PPC call to Frank.
+    pub fn bind_entry_boot(
+        &mut self,
+        spec: ServiceSpec,
+        handler: Handler,
+    ) -> Result<EntryId, PpcError> {
+        do_bind(self, 0, spec, handler, false)
+    }
+
+    /// Register a service the way a real program does: stage the bind
+    /// request and PPC-call Frank (§4.5.5: "it must first obtain an unused
+    /// entry point ID and call a special server to bind this ID to its
+    /// call handling routine").
+    pub fn register_service(
+        &mut self,
+        cpu: CpuId,
+        caller: Pid,
+        spec: ServiceSpec,
+        handler: Handler,
+    ) -> Result<EntryId, PpcError> {
+        self.pending_bind = Some(BindRequest { spec, handler });
+        let rets = self.call(cpu, caller, FRANK_EP, [ops::BIND, 0, 0, 0, 0, 0, 0, 0])?;
+        if rets[0] == u64::MAX {
+            return Err(PpcError::TableFull);
+        }
+        Ok(rets[0] as EntryId)
+    }
+}
+
+/// The actual bind: claim a slot, install global metadata and the handler,
+/// and build per-processor state (pool memory plus `initial_workers`
+/// pre-created workers on every CPU).
+pub(crate) fn do_bind(
+    sys: &mut PpcSystem,
+    cpu: CpuId,
+    spec: ServiceSpec,
+    handler: Handler,
+    charged: bool,
+) -> Result<EntryId, PpcError> {
+    let ep = match spec.want_ep {
+        Some(ep) => {
+            if ep >= MAX_ENTRIES {
+                return Err(PpcError::UnknownEntry(ep));
+            }
+            if sys.entries[ep].state != EntryState::Free {
+                return Err(PpcError::TableFull);
+            }
+            ep
+        }
+        None => sys
+            .entries
+            .iter()
+            .enumerate()
+            .skip(FIRST_DYNAMIC_EP)
+            .find(|(_, e)| e.state == EntryState::Free)
+            .map(|(i, _)| i)
+            .ok_or(PpcError::TableFull)?,
+    };
+
+    let service_code = sys.kernel.machine.alloc_on(cpu % sys.kernel.n_cpus(), 128, "service-code");
+    sys.entries[ep] = EntrySlot {
+        state: EntryState::Active,
+        asid: spec.asid,
+        opts: spec.opts,
+        service_code,
+        active_calls: 0,
+        owner: spec.owner,
+        name: spec.name.clone(),
+    };
+    sys.set_handler(ep, handler);
+
+    let n = sys.kernel.n_cpus();
+    for c in 0..n {
+        let pool_mem = sys.kernel.machine.alloc_on(c, 64, "worker-pool");
+        let mut local = LocalEntry::new(pool_mem);
+        for _ in 0..spec.opts.initial_workers {
+            let w = if charged && c == cpu {
+                sys.kernel.create_process_charged(c, spec.asid, spec.owner)
+            } else {
+                sys.kernel.create_process_boot(spec.asid, c, spec.owner)
+            };
+            sys.kernel.procs[w].state = ProcState::PooledWorker;
+            local.pool.push(w);
+            local.workers_created += 1;
+        }
+        sys.percpu[c].local[ep] = Some(local);
+    }
+    if charged {
+        // Registration bookkeeping: global slot + per-CPU table updates.
+        let c = sys.kernel.machine.cpu_mut(cpu);
+        c.with_category(CostCategory::ServerTime, |c| c.exec(60 + 10 * n as u64));
+    }
+    Ok(ep)
+}
+
+/// Slow path: the worker pool for `ep` on `cpu` is empty. The call is
+/// redirected to Frank, who creates a new worker, initializes it for the
+/// target entry point, and forwards the call. Returns the fresh worker,
+/// or `NoResources` when the worker cap has been reached.
+pub(crate) fn refill_worker(
+    sys: &mut PpcSystem,
+    cpu: CpuId,
+    ep: EntryId,
+) -> Result<Pid, PpcError> {
+    let asid = sys.entries[ep].asid;
+    let owner = sys.entries[ep].owner;
+    {
+        let c = sys.kernel.machine.cpu_mut(cpu);
+        // Redirection: re-dispatch the trapped call to Frank's entry.
+        c.with_category(CostCategory::PpcKernel, |c| c.exec(30));
+    }
+    if let Some(cap) = sys.limits.max_workers {
+        if sys.stats.workers_created >= cap {
+            return Err(PpcError::NoResources("worker cap reached"));
+        }
+    }
+    let w = sys.kernel.create_process_charged(cpu, asid, owner);
+    {
+        let c = sys.kernel.machine.cpu_mut(cpu);
+        // Frank initializes the worker for the particular target entry
+        // point (entry PC, initial handler) and forwards the call.
+        c.with_category(CostCategory::ServerTime, |c| c.exec(60));
+    }
+    sys.kernel.procs[w].state = ProcState::PooledWorker;
+    if let Some(local) = sys.percpu[cpu].local[ep].as_mut() {
+        local.workers_created += 1;
+    }
+    sys.stats.workers_created += 1;
+    Ok(w)
+}
+
+/// Slow path: the CD pool (trust group `group`) on `cpu` is dry. Frank
+/// creates a new CD + stack page and hands it to the waiting call, or
+/// reports `NoResources` when the CD cap has been reached.
+pub(crate) fn refill_cd(
+    sys: &mut PpcSystem,
+    cpu: CpuId,
+    group: TrustGroup,
+) -> Result<CdId, PpcError> {
+    {
+        let c = sys.kernel.machine.cpu_mut(cpu);
+        c.with_category(CostCategory::PpcKernel, |c| c.exec(30));
+    }
+    if let Some(cap) = sys.limits.max_cds {
+        if sys.stats.cds_created >= cap {
+            return Err(PpcError::NoResources("call-descriptor cap reached"));
+        }
+    }
+    let cd = sys.percpu[cpu].cd_pool.create_charged(&mut sys.kernel.machine, group);
+    sys.stats.cds_created += 1;
+    Ok(cd)
+}

@@ -1,0 +1,220 @@
+//! Death and destruction (§4.5.2).
+//!
+//! "Service entry points may be deallocated using one of two strategies: a
+//! **soft-kill** removes the entry point and all associated data
+//! structures immediately, but allows calls in progress to complete; and a
+//! **hard-kill** frees all resources and aborts any calls in progress."
+//!
+//! Because "all PPC resources may only be accessed from the processor they
+//! are associated with", cleanup interrupts every processor to tear down
+//! its local state — the same pattern systems use for TLB shootdown.
+
+use hector_sim::cpu::{CostCategory, CpuId};
+use hurricane_os::process::ProcState;
+
+use crate::entry::{EntryId, EntryState, MAX_ENTRIES};
+use crate::{Handler, PpcError, PpcSystem};
+
+/// Check that `by` may administer `ep` (the owner, or program 0 = kernel).
+fn check_owner(sys: &PpcSystem, ep: EntryId, by: u32) -> Result<(), PpcError> {
+    if ep >= MAX_ENTRIES || sys.entries[ep].state == EntryState::Free {
+        return Err(PpcError::UnknownEntry(ep));
+    }
+    if by != 0 && sys.entries[ep].owner != by {
+        return Err(PpcError::PermissionDenied(by));
+    }
+    Ok(())
+}
+
+/// Charge the remote interrupts used to run cleanup on every processor
+/// ("some cleanup operations [must] be performed by interrupting the
+/// appropriate processor").
+fn charge_cleanup_interrupts(sys: &mut PpcSystem, initiator: CpuId) {
+    let n = sys.kernel.n_cpus();
+    for c in 0..n {
+        if c == initiator {
+            continue;
+        }
+        let cpu = sys.kernel.machine.cpu_mut(c);
+        cpu.trap_enter();
+        cpu.with_category(CostCategory::Other, |cpu| cpu.exec(25)); // local teardown
+        cpu.trap_exit();
+    }
+    // The initiator posts the interrupts (uncached device/IPI registers).
+    let cpu = sys.kernel.machine.cpu_mut(initiator);
+    cpu.with_category(CostCategory::Other, |cpu| cpu.exec(10 * n as u64));
+}
+
+/// Soft-kill `ep`: stop accepting calls; drain, then reap. Returns
+/// immediately — the reap happens when the last in-progress call
+/// completes (see the call return path).
+pub fn soft_kill(
+    sys: &mut PpcSystem,
+    cpu: CpuId,
+    ep: EntryId,
+    by: u32,
+) -> Result<(), PpcError> {
+    check_owner(sys, ep, by)?;
+    if sys.entries[ep].state != EntryState::Active {
+        return Err(PpcError::EntryDead(ep));
+    }
+    sys.entries[ep].state = EntryState::SoftKilled;
+    charge_cleanup_interrupts(sys, cpu);
+    if sys.entries[ep].active_calls == 0 {
+        reap_entry(sys, ep);
+    }
+    Ok(())
+}
+
+/// Hard-kill `ep`: free all resources now and abort calls in progress
+/// ("required in cases where the server may be faulty").
+pub fn hard_kill(
+    sys: &mut PpcSystem,
+    cpu: CpuId,
+    ep: EntryId,
+    by: u32,
+) -> Result<(), PpcError> {
+    check_owner(sys, ep, by)?;
+    if sys.entries[ep].state == EntryState::Dead {
+        return Err(PpcError::EntryDead(ep));
+    }
+    sys.entries[ep].state = EntryState::Dead;
+    charge_cleanup_interrupts(sys, cpu);
+    reap_entry(sys, ep);
+    Ok(())
+}
+
+/// Exchange (§4.5.2): replace the handler of a live entry point without
+/// dropping calls — "allowing on-line replacement of executing servers."
+/// Per-worker initialization overrides are cleared so the first call to
+/// each worker re-runs initialization against the new code.
+pub fn exchange(
+    sys: &mut PpcSystem,
+    cpu: CpuId,
+    ep: EntryId,
+    new_handler: Handler,
+    by: u32,
+) -> Result<(), PpcError> {
+    check_owner(sys, ep, by)?;
+    if sys.entries[ep].state != EntryState::Active {
+        return Err(PpcError::EntryDead(ep));
+    }
+    sys.set_handler(ep, new_handler);
+    // Clear worker overrides on every CPU's pool.
+    let n = sys.kernel.n_cpus();
+    for c in 0..n {
+        let workers: Vec<_> = sys.percpu[c].local[ep]
+            .as_ref()
+            .map(|l| l.pool.clone())
+            .unwrap_or_default();
+        for w in workers {
+            sys.clear_worker_handler(w);
+        }
+    }
+    charge_cleanup_interrupts(sys, cpu);
+    Ok(())
+}
+
+/// Free every per-processor resource of `ep`: pooled workers die, held CDs
+/// return to the pools, the local table slots clear, the handler is
+/// dropped. The global slot stays in its terminal state (`SoftKilled` →
+/// `Dead`); call [`reclaim_slot`] to make the ID reusable.
+pub(crate) fn reap_entry(sys: &mut PpcSystem, ep: EntryId) {
+    let n = sys.kernel.n_cpus();
+    for c in 0..n {
+        if let Some(local) = sys.percpu[c].local[ep].take() {
+            for w in local.pool {
+                sys.kernel.procs[w].state = ProcState::Dead;
+                sys.clear_worker_handler(w);
+            }
+            for (_, cd) in local.held_cd {
+                let cpu = sys.kernel.machine.cpu_mut(c);
+                sys.percpu[c].cd_pool.release(cpu, cd);
+            }
+        }
+    }
+    sys.clear_handler(ep);
+    if sys.entries[ep].state == EntryState::SoftKilled {
+        sys.entries[ep].state = EntryState::Dead;
+    }
+}
+
+/// Make a dead entry-point ID reusable. Separate from the kill itself so
+/// that stale callers racing the kill observe `EntryDead` rather than
+/// silently reaching an unrelated new service.
+pub fn reclaim_slot(sys: &mut PpcSystem, ep: EntryId, by: u32) -> Result<(), PpcError> {
+    if ep >= MAX_ENTRIES {
+        return Err(PpcError::UnknownEntry(ep));
+    }
+    if sys.entries[ep].state != EntryState::Dead {
+        return Err(PpcError::EntryDead(ep));
+    }
+    if by != 0 && sys.entries[ep].owner != by {
+        return Err(PpcError::PermissionDenied(by));
+    }
+    sys.entries[ep] = crate::entry::EntrySlot::free();
+    Ok(())
+}
+
+impl PpcSystem {
+    /// Soft-kill via a PPC call to Frank (the public API a program uses).
+    pub fn soft_kill_entry(
+        &mut self,
+        cpu: CpuId,
+        caller: hurricane_os::process::Pid,
+        ep: EntryId,
+    ) -> Result<(), PpcError> {
+        let rets = self.call(
+            cpu,
+            caller,
+            crate::FRANK_EP,
+            [crate::frank::ops::SOFT_KILL, ep as u64, 0, 0, 0, 0, 0, 0],
+        )?;
+        if rets[0] == u64::MAX {
+            return Err(PpcError::PermissionDenied(self.kernel.procs[caller].program_id));
+        }
+        Ok(())
+    }
+
+    /// Hard-kill via a PPC call to Frank.
+    pub fn hard_kill_entry(
+        &mut self,
+        cpu: CpuId,
+        caller: hurricane_os::process::Pid,
+        ep: EntryId,
+    ) -> Result<(), PpcError> {
+        let rets = self.call(
+            cpu,
+            caller,
+            crate::FRANK_EP,
+            [crate::frank::ops::HARD_KILL, ep as u64, 0, 0, 0, 0, 0, 0],
+        )?;
+        if rets[0] == u64::MAX {
+            return Err(PpcError::PermissionDenied(self.kernel.procs[caller].program_id));
+        }
+        Ok(())
+    }
+
+    /// Exchange the handler of `ep` via a PPC call to Frank, staging the
+    /// new handler the same way registration does.
+    pub fn exchange_entry(
+        &mut self,
+        cpu: CpuId,
+        caller: hurricane_os::process::Pid,
+        ep: EntryId,
+        new_handler: Handler,
+    ) -> Result<(), PpcError> {
+        let spec = crate::entry::ServiceSpec::new(self.entries[ep].asid);
+        self.pending_bind = Some(crate::frank::BindRequest { spec, handler: new_handler });
+        let rets = self.call(
+            cpu,
+            caller,
+            crate::FRANK_EP,
+            [crate::frank::ops::EXCHANGE, ep as u64, 0, 0, 0, 0, 0, 0],
+        )?;
+        if rets[0] == u64::MAX {
+            return Err(PpcError::PermissionDenied(self.kernel.procs[caller].program_id));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,388 @@
+//! # ppc-core — the Protected Procedure Call IPC facility
+//!
+//! This crate is the reproduction of the paper's contribution: a
+//! shared-memory multiprocessor IPC facility that **in the common case
+//! accesses no shared data and acquires no locks**, built on the
+//! [`hurricane_os`] substrate.
+//!
+//! A PPC call conceptually moves the client into the server's address
+//! space. The implementation (paper §2) instead allocates, from pools that
+//! are **exclusively owned by the calling processor**:
+//!
+//! * a **worker process** from the target entry point's per-processor pool,
+//! * a **call descriptor (CD)** from the per-processor CD pool shared by
+//!   all servers on that processor; the CD stores the return linkage and
+//!   points at the physical page used as the worker's stack.
+//!
+//! The stack page is mapped into the server's address space, the worker is
+//! dispatched with hand-off scheduling (no ready-queue pass), the server's
+//! handler runs with 8 argument words in registers, and the return path
+//! unmaps the stack and recycles CD and worker. No step touches memory
+//! written by another processor; no step takes a lock.
+//!
+//! The crate also implements everything the paper builds around that core:
+//! [`frank`] (the kernel-level resource manager that owns every slow
+//! path), [`naming`] (the Name Server and small-integer entry-point IDs),
+//! [`auth`] (program-ID authentication, separated from naming per §4.1),
+//! [`copy`] (CopyTo/CopyFrom bulk data with V-style region permissions),
+//! [`variants`] (asynchronous calls, interrupt dispatch, upcalls),
+//! [`kill`] (soft/hard entry-point destruction and `Exchange`), and
+//! [`bob`] (the file server used by the paper's Figure 3 experiment).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ppc_core::{PpcSystem, ServiceSpec};
+//! use hector_sim::MachineConfig;
+//! use std::rc::Rc;
+//!
+//! let mut sys = PpcSystem::boot(MachineConfig::hector(2));
+//! // A user-space echo server.
+//! let asid = sys.kernel.create_space("echo");
+//! let ep = sys
+//!     .bind_entry_boot(ServiceSpec::new(asid).name("echo"), Rc::new(|_sys, ctx| ctx.args))
+//!     .unwrap();
+//! let prog = sys.kernel.new_program_id();
+//! let client = sys.new_client(0, prog);
+//! let rets = sys.call(0, client, ep, [1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+//! assert_eq!(rets, [1, 2, 3, 4, 5, 6, 7, 8]);
+//! ```
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use hector_sim::cpu::CpuId;
+use hector_sim::sym::Region;
+use hector_sim::tlb::{Asid, ASID_KERNEL};
+use hector_sim::MachineConfig;
+use hurricane_os::process::{Pid, ProcState, ProgramId};
+use hurricane_os::Kernel;
+
+pub mod auth;
+pub mod bob;
+pub mod call;
+pub mod cd;
+pub mod copy;
+pub mod entry;
+pub mod frank;
+pub mod kill;
+pub mod microbench;
+pub mod naming;
+pub mod variants;
+pub mod xcall;
+
+pub use auth::Acl;
+pub use cd::{CdId, CdPool};
+pub use entry::{EntryId, EntryOptions, EntrySlot, EntryState, LocalEntry, ServiceSpec, MAX_ENTRIES};
+pub use naming::NameTable;
+
+/// Frank's well-known entry point (§4.5.6).
+pub const FRANK_EP: EntryId = 0;
+/// The Name Server's well-known entry point (§4.5.5).
+pub const NAME_SERVER_EP: EntryId = 1;
+/// The Copy Server's well-known entry point (§4.2).
+pub const COPY_SERVER_EP: EntryId = 2;
+/// First entry point available to ordinary services.
+pub const FIRST_DYNAMIC_EP: EntryId = 3;
+
+/// Errors a PPC operation can report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PpcError {
+    /// The entry-point ID is out of range or unbound.
+    UnknownEntry(EntryId),
+    /// The entry point has been (soft- or hard-) killed.
+    EntryDead(EntryId),
+    /// The call was aborted by a hard kill while in progress.
+    Aborted(EntryId),
+    /// Resource exhaustion that even Frank could not resolve.
+    NoResources(&'static str),
+    /// The server denied the caller (program-ID authentication).
+    PermissionDenied(ProgramId),
+    /// The entry-point table is full (the paper caps it at 1024).
+    TableFull,
+    /// A bulk-copy request referenced memory without a matching grant.
+    NoGrant,
+}
+
+impl std::fmt::Display for PpcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PpcError::UnknownEntry(ep) => write!(f, "unknown entry point {ep}"),
+            PpcError::EntryDead(ep) => write!(f, "entry point {ep} is dead"),
+            PpcError::Aborted(ep) => write!(f, "call aborted by hard kill of entry {ep}"),
+            PpcError::NoResources(what) => write!(f, "out of resources: {what}"),
+            PpcError::PermissionDenied(p) => write!(f, "permission denied for program {p}"),
+            PpcError::TableFull => write!(f, "service entry point table full"),
+            PpcError::NoGrant => write!(f, "no copy grant covers the requested region"),
+        }
+    }
+}
+
+impl std::error::Error for PpcError {}
+
+/// Context passed to a service handler for one call.
+#[derive(Clone, Debug)]
+pub struct HandlerCtx {
+    /// Processor the call executes on (always the caller's processor).
+    pub cpu: CpuId,
+    /// The entry point being invoked.
+    pub ep: EntryId,
+    /// The worker process servicing the call.
+    pub worker: Pid,
+    /// Program ID of the caller — the authentication identity (§4.1).
+    pub caller_program: ProgramId,
+    /// The calling process; `None` for asynchronous/interrupt variants.
+    pub caller: Option<Pid>,
+    /// The 8 argument words (passed in registers: no memory traffic).
+    pub args: [u64; 8],
+    /// The worker's stack page for this call.
+    pub stack: Region,
+}
+
+/// A service handler. Handlers receive the whole system so they can charge
+/// cycles, keep state (via captured `Rc<RefCell<..>>`), and make nested PPC
+/// calls; they return the 8 result words (in registers).
+pub type Handler = Rc<dyn Fn(&mut PpcSystem, &HandlerCtx) -> [u64; 8]>;
+
+/// Outcome record of an asynchronous PPC (for tests and examples; the real
+/// system discards results when no caller waits).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsyncOutcome {
+    /// Entry point invoked.
+    pub ep: EntryId,
+    /// Result words the worker produced (discarded in the real system).
+    pub rets: [u64; 8],
+    /// Whether a caller was waiting (always `false` for pure async).
+    pub caller_waited: bool,
+}
+
+/// Per-processor PPC state: the service table copy and the CD pool —
+/// everything a common-case call needs, in CPU-local memory.
+#[derive(Clone, Debug)]
+pub struct PpcCpu {
+    /// Symbolic memory of this CPU's service-table copy ("as little as a
+    /// single pointer per service entry point per processor").
+    pub table_mem: Region,
+    /// Fast-path per-entry state, indexed by `EntryId`.
+    pub local: Vec<Option<LocalEntry>>,
+    /// The per-processor call-descriptor pool.
+    pub cd_pool: CdPool,
+    /// Independent list of spare stack pages for services that need
+    /// multi-page stacks (§4.5.4's proposed exceptional path).
+    pub spare_stacks: Vec<Region>,
+    /// Symbolic memory of the spare-stack list head (CPU-local).
+    pub stack_list_mem: Region,
+    /// Pages faulted in by lazy-stack workers during the current call
+    /// (drained and returned on call exit).
+    pub lazy_pages: HashMap<Pid, Vec<Region>>,
+    /// Eagerly-mapped extra pages of in-flight calls, so stack touches
+    /// inside handlers resolve to the real pages.
+    pub current_extras: HashMap<Pid, Vec<Region>>,
+}
+
+/// The PPC facility, bound to a booted Hurricane kernel.
+pub struct PpcSystem {
+    /// The underlying OS substrate.
+    pub kernel: Kernel,
+    /// Per-processor fast-path state.
+    pub percpu: Vec<PpcCpu>,
+    /// Global entry-point metadata (slow path / Frank only).
+    pub entries: Vec<EntrySlot>,
+    handlers: Vec<Option<Handler>>,
+    /// Per-worker handler overrides (worker initialization, §4.5.3).
+    worker_handlers: HashMap<Pid, Handler>,
+    /// The name table served by the Name Server.
+    pub naming: Rc<RefCell<NameTable>>,
+    /// Copy-server grant table.
+    pub grants: Rc<RefCell<copy::GrantTable>>,
+    /// Log of asynchronous call outcomes (diagnostics/tests).
+    pub async_log: Vec<AsyncOutcome>,
+    /// Staging area for Frank-mediated service registration: registers
+    /// cannot carry a closure, so the bind request rides here while the
+    /// actual PPC call to Frank carries the entry metadata.
+    pub(crate) pending_bind: Option<frank::BindRequest>,
+    /// Monotonic counters for the facility (diagnostics).
+    pub stats: FacilityStats,
+    /// Caps on dynamic resource creation (failure injection / hardening).
+    pub limits: ResourceLimits,
+    /// The registered exception server (§4.4 upcall target), if any.
+    pub(crate) exception_ep: Option<EntryId>,
+    /// Cross-processor call mailboxes (§4.3 extension).
+    pub(crate) xcall: xcall::XCallMailboxes,
+    /// Symbolic code region of the client-side call stub (Fig. 4).
+    pub(crate) stub_code: Region,
+    /// Symbolic code region of the kernel fastpath ("only 200
+    /// instructions ... complete most calls" — a few hundred bytes of
+    /// straight-line code plus small loops).
+    pub(crate) fastpath_code: Region,
+}
+
+/// Hard caps on dynamically-created PPC resources. `None` = unlimited
+/// (the paper's system; real deployments bound kernel memory). When a cap
+/// is hit, the Frank slow path fails and the call reports
+/// [`PpcError::NoResources`] — the redirect-to-Frank contract of §4.5.6
+/// exercised to its failure edge.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ResourceLimits {
+    /// Maximum workers Frank may create (beyond boot-time pools).
+    pub max_workers: Option<u64>,
+    /// Maximum CDs Frank may create (beyond boot-time pools).
+    pub max_cds: Option<u64>,
+    /// Maximum spare stack pages Frank may create.
+    pub max_stack_pages: Option<u64>,
+}
+
+/// Facility-wide counters.
+#[derive(Clone, Debug, Default)]
+pub struct FacilityStats {
+    /// Completed synchronous calls.
+    pub calls: u64,
+    /// Completed asynchronous calls.
+    pub async_calls: u64,
+    /// Slow-path redirections to Frank (pool refills).
+    pub frank_redirects: u64,
+    /// Workers created dynamically by Frank.
+    pub workers_created: u64,
+    /// CDs created dynamically by Frank.
+    pub cds_created: u64,
+    /// Spare stack pages created dynamically by Frank (§4.5.4 services).
+    pub stack_pages_created: u64,
+    /// Cross-processor PPC calls (§4.3 extension).
+    pub cross_calls: u64,
+    /// Interrupt dispatches.
+    pub interrupts: u64,
+    /// Upcalls.
+    pub upcalls: u64,
+}
+
+impl PpcSystem {
+    /// Boot a PPC system: boots the kernel, builds the per-processor PPC
+    /// state, and installs the three well-known kernel-level servers
+    /// (Frank, the Name Server, the Copy Server) with preallocated
+    /// resources on every processor.
+    pub fn boot(cfg: MachineConfig) -> Self {
+        let mut kernel = Kernel::boot(cfg);
+        let n = kernel.n_cpus();
+        let stub_code = kernel.machine.alloc_on(0, 64, "ppc-stub-code");
+        let fastpath_code = kernel.machine.alloc_on(0, 224, "ppc-fastpath-code");
+        let mut sys = PpcSystem {
+            kernel,
+            percpu: Vec::with_capacity(n),
+            entries: (0..MAX_ENTRIES).map(|_| EntrySlot::free()).collect(),
+            handlers: (0..MAX_ENTRIES).map(|_| None).collect(),
+            worker_handlers: HashMap::new(),
+            naming: Rc::new(RefCell::new(NameTable::new())),
+            grants: Rc::new(RefCell::new(copy::GrantTable::new())),
+            async_log: Vec::new(),
+            pending_bind: None,
+            stats: FacilityStats::default(),
+            limits: ResourceLimits::default(),
+            exception_ep: None,
+            xcall: xcall::XCallMailboxes::default(),
+            stub_code,
+            fastpath_code,
+        };
+        for c in 0..n {
+            let table_mem = sys.kernel.machine.alloc_on(c, (MAX_ENTRIES * 8) as u64, "ppc-table");
+            let cd_pool = CdPool::boot(&mut sys.kernel.machine, c, cd::INITIAL_CDS);
+            let stack_list_mem = sys.kernel.machine.alloc_on(c, 64, "stack-list");
+            sys.percpu.push(PpcCpu {
+                table_mem,
+                local: (0..MAX_ENTRIES).map(|_| None).collect(),
+                cd_pool,
+                spare_stacks: Vec::new(),
+                stack_list_mem,
+                lazy_pages: HashMap::new(),
+                current_extras: HashMap::new(),
+            });
+        }
+        frank::install_wellknown_servers(&mut sys);
+        sys
+    }
+
+    /// Convenience: create a client process on `cpu` belonging to a fresh
+    /// user address space (boot-time, uncharged).
+    pub fn new_client(&mut self, cpu: CpuId, program: ProgramId) -> Pid {
+        let asid = self.kernel.create_space(&format!("client-p{program}"));
+        let pid = self.kernel.create_process_boot(asid, cpu, program);
+        self.kernel.procs[pid].state = ProcState::Running;
+        pid
+    }
+
+    /// The handler bound to `ep`, if any (worker overrides take precedence
+    /// at dispatch time, not here).
+    pub fn handler(&self, ep: EntryId) -> Option<Handler> {
+        self.handlers.get(ep).and_then(|h| h.clone())
+    }
+
+    pub(crate) fn set_handler(&mut self, ep: EntryId, h: Handler) {
+        self.handlers[ep] = Some(h);
+    }
+
+    pub(crate) fn clear_handler(&mut self, ep: EntryId) {
+        self.handlers[ep] = None;
+    }
+
+    /// Install a per-worker handler override — the §4.5.3 worker
+    /// initialization pattern: a worker's first call enters the
+    /// initialization routine, which calls this to replace *its own*
+    /// handling routine for subsequent calls.
+    pub fn set_worker_handler(&mut self, worker: Pid, h: Handler) {
+        self.worker_handlers.insert(worker, h);
+    }
+
+    /// Remove a worker's handler override.
+    pub fn clear_worker_handler(&mut self, worker: Pid) {
+        self.worker_handlers.remove(&worker);
+    }
+
+    pub(crate) fn dispatch_handler(&self, ep: EntryId, worker: Pid) -> Option<Handler> {
+        self.worker_handlers.get(&worker).cloned().or_else(|| self.handler(ep))
+    }
+
+    /// The address space of entry `ep`.
+    pub fn entry_asid(&self, ep: EntryId) -> Option<Asid> {
+        self.entries.get(ep).and_then(|e| {
+            if e.state == EntryState::Free {
+                None
+            } else {
+                Some(e.asid)
+            }
+        })
+    }
+
+    /// Whether `ep` is a kernel-space service (cheaper call path: no user
+    /// TLB context switch, no extra trap pair).
+    pub fn is_kernel_entry(&self, ep: EntryId) -> bool {
+        self.entry_asid(ep) == Some(ASID_KERNEL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boot_installs_wellknown_servers() {
+        let sys = PpcSystem::boot(MachineConfig::hector(2));
+        assert_eq!(sys.entries[FRANK_EP].state, EntryState::Active);
+        assert_eq!(sys.entries[NAME_SERVER_EP].state, EntryState::Active);
+        assert_eq!(sys.entries[COPY_SERVER_EP].state, EntryState::Active);
+        assert!(sys.is_kernel_entry(FRANK_EP));
+        assert_eq!(sys.percpu.len(), 2);
+        // Every CPU has fast-path state for the well-known servers.
+        for c in 0..2 {
+            assert!(sys.percpu[c].local[FRANK_EP].is_some());
+            assert!(sys.percpu[c].local[NAME_SERVER_EP].is_some());
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        let e = PpcError::UnknownEntry(7);
+        assert!(format!("{e}").contains("7"));
+        let e = PpcError::NoResources("workers");
+        assert!(format!("{e}").contains("workers"));
+    }
+}

@@ -1,0 +1,181 @@
+//! Microbenchmark harness for the paper's Figure 2.
+//!
+//! "Figure 2 depicts the breakdown of the time to perform PPC operations
+//! under a variety of conditions": {user→user, user→kernel} × {cache
+//! primed, cache flushed} × {no dedicated CD, hold CD}. This module sets
+//! up each condition, warms the system, and measures one round trip with
+//! per-category attribution. It is used by the `ppc-bench` figure
+//! regenerators and by the calibration tests.
+
+use hector_sim::cpu::CostBreakdown;
+use hector_sim::tlb::ASID_KERNEL;
+use hector_sim::MachineConfig;
+use hurricane_os::process::Pid;
+
+use crate::call::null_handler;
+use crate::entry::{EntryId, ServiceSpec};
+use crate::PpcSystem;
+
+/// One Figure-2 measurement condition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Condition {
+    /// Call a service in the supervisor address space ("User to Kernel")
+    /// instead of a user-level server ("User to User").
+    pub kernel_server: bool,
+    /// The worker permanently holds its CD and stack ("hold CD").
+    pub hold_cd: bool,
+    /// Flush the data cache before the measured call ("cache flushed").
+    pub flushed: bool,
+}
+
+impl Condition {
+    /// The eight conditions in the paper's figure order (left to right:
+    /// user-to-user primed {no CD, hold CD}, user-to-user flushed {...},
+    /// then the same four for user-to-kernel).
+    pub const ALL: [Condition; 8] = [
+        Condition { kernel_server: false, hold_cd: false, flushed: false },
+        Condition { kernel_server: false, hold_cd: true, flushed: false },
+        Condition { kernel_server: false, hold_cd: false, flushed: true },
+        Condition { kernel_server: false, hold_cd: true, flushed: true },
+        Condition { kernel_server: true, hold_cd: false, flushed: false },
+        Condition { kernel_server: true, hold_cd: true, flushed: false },
+        Condition { kernel_server: true, hold_cd: false, flushed: true },
+        Condition { kernel_server: true, hold_cd: true, flushed: true },
+    ];
+
+    /// The paper's measured total for this condition, in microseconds.
+    pub fn paper_total_us(&self) -> f64 {
+        match (self.kernel_server, self.hold_cd, self.flushed) {
+            (false, false, false) => 32.4,
+            (false, true, false) => 30.0,
+            (false, false, true) => 52.2,
+            (false, true, true) => 48.9,
+            (true, false, false) => 22.2,
+            (true, true, false) => 19.2,
+            (true, false, true) => 42.0,
+            (true, true, true) => 39.6,
+        }
+    }
+
+    /// Figure label, e.g. "User to User / cache primed / hold CD".
+    pub fn label(&self) -> String {
+        format!(
+            "{} / cache {} / {}",
+            if self.kernel_server { "User to Kernel" } else { "User to User" },
+            if self.flushed { "flushed" } else { "primed" },
+            if self.hold_cd { "hold CD" } else { "no CD" },
+        )
+    }
+}
+
+/// A booted single-CPU system with one null server and one client, ready
+/// for repeated measured calls.
+pub struct NullCallBench {
+    /// The system under test.
+    pub sys: PpcSystem,
+    /// The null server's entry point.
+    pub ep: EntryId,
+    /// The client process.
+    pub client: Pid,
+}
+
+/// Build the benchmark system for a condition (warming not yet done).
+pub fn setup(kernel_server: bool, hold_cd: bool) -> NullCallBench {
+    let mut sys = PpcSystem::boot(MachineConfig::hector(1));
+    let asid = if kernel_server { ASID_KERNEL } else { sys.kernel.create_space("null-server") };
+    let mut spec = ServiceSpec::new(asid).name("null");
+    if hold_cd {
+        spec = spec.hold_cd();
+    }
+    let ep = sys.bind_entry_boot(spec, null_handler()).expect("bind null server");
+    let prog = sys.kernel.new_program_id();
+    let client = sys.new_client(0, prog);
+    NullCallBench { sys, ep, client }
+}
+
+/// Warm rounds before a measured call (pools, caches, TLB, held CDs).
+pub const WARM_CALLS: usize = 4;
+
+/// Measure one round trip under `cond` (after [`WARM_CALLS`] warm calls).
+pub fn measure(cond: Condition) -> CostBreakdown {
+    let NullCallBench { mut sys, ep, client } = setup(cond.kernel_server, cond.hold_cd);
+    for _ in 0..WARM_CALLS {
+        sys.call(0, client, ep, [0; 8]).expect("warm call");
+    }
+    if cond.flushed {
+        sys.kernel.machine.cpu_mut(0).prep_flush_dcache();
+    }
+    let c = sys.kernel.machine.cpu_mut(0);
+    c.begin_measure();
+    sys.call(0, client, ep, [1, 2, 3, 4, 5, 6, 7, 8]).expect("measured call");
+    sys.kernel.machine.cpu_mut(0).end_measure()
+}
+
+/// The §3 worst-case condition beyond Figure 2's bars: "Dirtying the
+/// cache and flushing the instruction cache can increase the times by
+/// another 20-30 µsec." Measures a user-to-user call with the data cache
+/// refilled with unrelated *dirty* lines (every miss pays a victim
+/// writeback) and the instruction cache flushed (the stub, fastpath and
+/// service code all re-fill).
+pub fn measure_dirty_and_icache_flushed() -> CostBreakdown {
+    let NullCallBench { mut sys, ep, client } = setup(false, false);
+    for _ in 0..WARM_CALLS {
+        sys.call(0, client, ep, [0; 8]).expect("warm call");
+    }
+    let c = sys.kernel.machine.cpu_mut(0);
+    c.prep_pollute_dcache_dirty(3);
+    c.prep_flush_icache();
+    c.begin_measure();
+    sys.call(0, client, ep, [1; 8]).expect("measured call");
+    sys.kernel.machine.cpu_mut(0).end_measure()
+}
+
+/// Measure one round trip and return the warm path statistics (for the
+/// footprint claims: instructions, distinct lines, shared accesses).
+pub fn measure_path_stats(cond: Condition) -> hector_sim::cpu::PathStats {
+    let NullCallBench { mut sys, ep, client } = setup(cond.kernel_server, cond.hold_cd);
+    for _ in 0..WARM_CALLS {
+        sys.call(0, client, ep, [0; 8]).expect("warm call");
+    }
+    if cond.flushed {
+        sys.kernel.machine.cpu_mut(0).prep_flush_dcache();
+    }
+    sys.kernel.machine.cpu_mut(0).begin_measure();
+    sys.call(0, client, ep, [0; 8]).expect("measured call");
+    let stats = sys.kernel.machine.cpu_mut(0).path_stats().clone();
+    sys.kernel.machine.cpu_mut(0).end_measure();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_conditions_enumerated_once() {
+        assert_eq!(Condition::ALL.len(), 8);
+        let mut seen = std::collections::HashSet::new();
+        for c in Condition::ALL {
+            assert!(seen.insert((c.kernel_server, c.hold_cd, c.flushed)));
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            Condition::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), 8);
+    }
+
+    #[test]
+    fn paper_totals_match_figure() {
+        let sum: f64 = Condition::ALL.iter().map(|c| c.paper_total_us()).sum();
+        assert!((sum - (32.4 + 30.0 + 52.2 + 48.9 + 22.2 + 19.2 + 42.0 + 39.6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measure_is_deterministic() {
+        let c = Condition { kernel_server: false, hold_cd: false, flushed: false };
+        assert_eq!(measure(c), measure(c));
+    }
+}

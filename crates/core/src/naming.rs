@@ -1,0 +1,202 @@
+//! The Name Server (§4.5.5).
+//!
+//! Naming is deliberately separated from authentication (§4.1): entry
+//! points are plain small integers, and the Name Server — itself an
+//! ordinary PPC service at the well-known entry point
+//! [`crate::NAME_SERVER_EP`] — maps human-readable service
+//! names to them. "A client that wants to call the server obtains the
+//! server's entry point ID from the Name Server, and uses the ID as an
+//! argument on subsequent PPC operations."
+//!
+//! Names ride in the call's eight 64-bit argument words: `args[0]` is the
+//! opcode, `args[1..7]` carry up to 48 bytes of name, `args[7]` the entry
+//! point (for registration).
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use hector_sim::cpu::{CostCategory, CpuId};
+use hurricane_os::process::Pid;
+
+use crate::entry::EntryId;
+use crate::{Handler, PpcError, PpcSystem, NAME_SERVER_EP};
+
+/// Name Server opcodes.
+pub mod ops {
+    /// Register `name -> ep`.
+    pub const REGISTER: u64 = 1;
+    /// Look up `name`.
+    pub const LOOKUP: u64 = 2;
+    /// Remove a registration.
+    pub const UNREGISTER: u64 = 3;
+}
+
+/// Maximum name length that fits in the register words.
+pub const MAX_NAME: usize = 48;
+
+/// The name table (the Name Server's private state).
+#[derive(Debug, Default)]
+pub struct NameTable {
+    map: HashMap<String, EntryId>,
+}
+
+impl NameTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        NameTable { map: HashMap::new() }
+    }
+
+    /// Bind `name` to `ep`, returning the previous binding if any.
+    pub fn register(&mut self, name: &str, ep: EntryId) -> Option<EntryId> {
+        self.map.insert(name.to_string(), ep)
+    }
+
+    /// Resolve `name`.
+    pub fn lookup(&self, name: &str) -> Option<EntryId> {
+        self.map.get(name).copied()
+    }
+
+    /// Remove `name`, returning its binding.
+    pub fn unregister(&mut self, name: &str) -> Option<EntryId> {
+        self.map.remove(name)
+    }
+
+    /// Number of registered names.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Pack a service name into six argument words (zero-padded).
+pub fn pack_name(name: &str) -> Result<[u64; 6], PpcError> {
+    let bytes = name.as_bytes();
+    if bytes.len() > MAX_NAME {
+        return Err(PpcError::NoResources("name too long for register passing"));
+    }
+    let mut words = [0u64; 6];
+    for (i, b) in bytes.iter().enumerate() {
+        words[i / 8] |= (*b as u64) << ((i % 8) * 8);
+    }
+    Ok(words)
+}
+
+/// Unpack a name packed by [`pack_name`].
+pub fn unpack_name(words: &[u64; 6]) -> String {
+    let mut bytes = Vec::with_capacity(MAX_NAME);
+    for w in words {
+        for k in 0..8 {
+            let b = ((w >> (k * 8)) & 0xff) as u8;
+            if b == 0 {
+                return String::from_utf8_lossy(&bytes).into_owned();
+            }
+            bytes.push(b);
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// The Name Server's handler.
+pub fn name_server_handler() -> Handler {
+    Rc::new(|sys: &mut PpcSystem, ctx: &crate::HandlerCtx| {
+        // Table work: a hash lookup over cached, server-local data.
+        let c = sys.kernel.machine.cpu_mut(ctx.cpu);
+        c.with_category(CostCategory::ServerTime, |c| c.exec(40));
+        let name_words: [u64; 6] = ctx.args[1..7].try_into().unwrap();
+        let name = unpack_name(&name_words);
+        let naming = Rc::clone(&sys.naming);
+        let mut table = naming.borrow_mut();
+        match ctx.args[0] {
+            ops::REGISTER => {
+                let ep = ctx.args[7] as EntryId;
+                let prev = table.register(&name, ep);
+                [0, prev.map(|p| p as u64 + 1).unwrap_or(0), 0, 0, 0, 0, 0, 0]
+            }
+            ops::LOOKUP => match table.lookup(&name) {
+                Some(ep) => [0, 1, ep as u64, 0, 0, 0, 0, 0],
+                None => [0, 0, 0, 0, 0, 0, 0, 0],
+            },
+            ops::UNREGISTER => {
+                let prev = table.unregister(&name);
+                [0, prev.map(|p| p as u64 + 1).unwrap_or(0), 0, 0, 0, 0, 0, 0]
+            }
+            _ => [u64::MAX, 0, 0, 0, 0, 0, 0, 0],
+        }
+    })
+}
+
+impl PpcSystem {
+    /// Register `name -> ep` with the Name Server via a real PPC call.
+    pub fn ns_register(
+        &mut self,
+        cpu: CpuId,
+        caller: Pid,
+        name: &str,
+        ep: EntryId,
+    ) -> Result<(), PpcError> {
+        let w = pack_name(name)?;
+        let args = [ops::REGISTER, w[0], w[1], w[2], w[3], w[4], w[5], ep as u64];
+        self.call(cpu, caller, NAME_SERVER_EP, args)?;
+        Ok(())
+    }
+
+    /// Look `name` up at the Name Server via a real PPC call.
+    pub fn ns_lookup(
+        &mut self,
+        cpu: CpuId,
+        caller: Pid,
+        name: &str,
+    ) -> Result<Option<EntryId>, PpcError> {
+        let w = pack_name(name)?;
+        let args = [ops::LOOKUP, w[0], w[1], w[2], w[3], w[4], w[5], 0];
+        let rets = self.call(cpu, caller, NAME_SERVER_EP, args)?;
+        Ok(if rets[1] == 1 { Some(rets[2] as EntryId) } else { None })
+    }
+
+    /// Remove `name` from the Name Server via a real PPC call.
+    pub fn ns_unregister(
+        &mut self,
+        cpu: CpuId,
+        caller: Pid,
+        name: &str,
+    ) -> Result<(), PpcError> {
+        let w = pack_name(name)?;
+        let args = [ops::UNREGISTER, w[0], w[1], w[2], w[3], w[4], w[5], 0];
+        self.call(cpu, caller, NAME_SERVER_EP, args)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for name in ["", "a", "bob", "file-server", "x".repeat(48).as_str()] {
+            let w = pack_name(name).unwrap();
+            assert_eq!(unpack_name(&w), name);
+        }
+    }
+
+    #[test]
+    fn overlong_name_rejected() {
+        assert!(pack_name(&"y".repeat(49)).is_err());
+    }
+
+    #[test]
+    fn table_basics() {
+        let mut t = NameTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.register("bob", 7), None);
+        assert_eq!(t.register("bob", 9), Some(7));
+        assert_eq!(t.lookup("bob"), Some(9));
+        assert_eq!(t.unregister("bob"), Some(9));
+        assert_eq!(t.lookup("bob"), None);
+        assert_eq!(t.len(), 0);
+    }
+}

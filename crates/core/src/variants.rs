@@ -1,0 +1,136 @@
+//! PPC variants (§4.4): asynchronous requests, interrupt dispatching, and
+//! upcalls.
+//!
+//! "All these situations benefit from bypassing the general scheduling
+//! facility, maximizing locality, the dynamic creation of workers, and
+//! unconstrained concurrency. [...] the above minor variants of our base
+//! PPC facility allow us to replace these special case solutions."
+
+use hector_sim::cpu::{CostCategory, CpuId};
+use hurricane_os::process::Pid;
+
+use crate::call::CallKind;
+use crate::entry::EntryId;
+use crate::{AsyncOutcome, PpcError, PpcSystem};
+
+/// Exception codes delivered to a registered exception server (§4.4:
+/// upcalls "are currently used for debugging and exception handling").
+pub mod exception {
+    /// A worker exceeded its service's stack limit.
+    pub const STACK_OVERFLOW: u64 = 1;
+    /// A call was aborted by a hard kill.
+    pub const CALL_ABORTED: u64 = 2;
+    /// Frank could not satisfy a resource request.
+    pub const NO_RESOURCES: u64 = 3;
+}
+
+/// Handle identifying an asynchronous call outcome in
+/// [`PpcSystem::async_log`].
+pub type AsyncHandle = usize;
+
+impl PpcSystem {
+    /// Register `ep` as the system exception server: exceptional events
+    /// (stack overflow, resource exhaustion) are delivered to it as
+    /// upcalls with `args[0]` = exception code, `args[1]` = faulting entry
+    /// point, `args[2]` = detail.
+    pub fn set_exception_server(&mut self, ep: EntryId) {
+        self.exception_ep = Some(ep);
+    }
+
+    /// Deliver an exception upcall if an exception server is registered.
+    /// Best-effort: errors from the exception path are swallowed (an
+    /// exception server must never wedge the faulting path).
+    pub(crate) fn raise_exception(&mut self, cpu: CpuId, code: u64, faulting_ep: EntryId, detail: u64) {
+        if let Some(ep) = self.exception_ep {
+            if ep != faulting_ep {
+                let _ = self.upcall(cpu, ep, [code, faulting_ep as u64, detail, 0, 0, 0, 0, 0]);
+            }
+        }
+    }
+}
+
+impl PpcSystem {
+    /// Asynchronous PPC: `caller` does not block — it is "put onto the
+    /// processor ready-queue rather than linked into the call descriptor
+    /// of the worker", and the worker's results are discarded. Used for
+    /// e.g. file-block prefetch requests.
+    ///
+    /// Returns a handle into [`PpcSystem::async_log`] for tests/examples.
+    pub fn call_async(
+        &mut self,
+        cpu: CpuId,
+        caller: Pid,
+        ep: EntryId,
+        args: [u64; 8],
+    ) -> Result<AsyncHandle, PpcError> {
+        let rets = self.call_inner(cpu, Some(caller), ep, args, CallKind::Async)?;
+        self.async_log.push(AsyncOutcome { ep, rets, caller_waited: false });
+        Ok(self.async_log.len() - 1)
+    }
+
+    /// Interrupt dispatch: "an asynchronous request from the kernel to the
+    /// device server is manufactured by the interrupt handler and
+    /// dispatched as for a normal call. From the device server's point of
+    /// view, it appears as a normal PPC request."
+    ///
+    /// `vector` rides in `args[0]`'s upper bits purely for the device
+    /// server's benefit; there is no calling process.
+    pub fn dispatch_interrupt(
+        &mut self,
+        cpu: CpuId,
+        ep: EntryId,
+        vector: u32,
+        payload: [u64; 6],
+    ) -> Result<AsyncHandle, PpcError> {
+        // Hardware interrupt entry: trap edge + the handler manufacturing
+        // the request.
+        {
+            let c = self.kernel.machine.cpu_mut(cpu);
+            c.trap_enter();
+            c.with_category(CostCategory::PpcKernel, |c| c.exec(15));
+        }
+        let mut args = [0u64; 8];
+        args[0] = (vector as u64) << 32;
+        args[1..7].copy_from_slice(&payload);
+        let result = self.call_inner(cpu, None, ep, args, CallKind::Interrupt);
+        // Return from the interrupt to whatever was running.
+        {
+            let c = self.kernel.machine.cpu_mut(cpu);
+            c.trap_exit();
+        }
+        let rets = result?;
+        self.async_log.push(AsyncOutcome { ep, rets, caller_waited: false });
+        Ok(self.async_log.len() - 1)
+    }
+
+    /// Upcall: "essentially software-based interrupts. They use the same
+    /// implementation as the interrupt dispatcher, but may be triggered by
+    /// an arbitrary system event" — used for debugging and exception
+    /// handling.
+    pub fn upcall(
+        &mut self,
+        cpu: CpuId,
+        ep: EntryId,
+        args: [u64; 8],
+    ) -> Result<AsyncHandle, PpcError> {
+        {
+            let c = self.kernel.machine.cpu_mut(cpu);
+            // Software event: no hardware trap edge if we are already in
+            // the kernel; from user mode the event entry costs a trap.
+            if c.mode() == hector_sim::tlb::Space::User {
+                c.trap_enter();
+            }
+            c.with_category(CostCategory::PpcKernel, |c| c.exec(10));
+        }
+        let result = self.call_inner(cpu, None, ep, args, CallKind::Upcall);
+        {
+            let c = self.kernel.machine.cpu_mut(cpu);
+            if c.mode() == hector_sim::tlb::Space::Supervisor {
+                c.trap_exit();
+            }
+        }
+        let rets = result?;
+        self.async_log.push(AsyncOutcome { ep, rets, caller_waited: false });
+        Ok(self.async_log.len() - 1)
+    }
+}

@@ -1,0 +1,214 @@
+//! Cross-processor PPC calls — the paper's declared future work.
+//!
+//! §4.3: "Protected procedure calls only deal with the problem of crossing
+//! from one address space to another; they do not address how to transfer
+//! control between processors. [...] For completeness we do eventually
+//! expect to develop a cross-process PPC variant." This module is that
+//! variant, built the way Hurricane already moved work across processors:
+//! a per-target mailbox in shared memory plus a remote interrupt, with the
+//! call dispatched on the target CPU through the ordinary PPC machinery
+//! (so the *server* still sees a normal PPC request, with the original
+//! caller's program identity).
+//!
+//! The round trip is deliberately expensive relative to a local call —
+//! two interrupt deliveries and 2×(8+2) uncached shared-word transfers —
+//! which is exactly why the paper optimizes the local case and reserves
+//! cross-processor traffic for devices and low-level OS functions.
+
+use hector_sim::cpu::{CostCategory, CpuId};
+use hector_sim::sym::{MemAttrs, Region};
+use hurricane_os::process::Pid;
+
+use crate::call::CallKind;
+use crate::entry::EntryId;
+use crate::{PpcError, PpcSystem};
+
+/// Per-CPU cross-call mailboxes (lazily created, shared uncached memory
+/// homed on the *target* CPU's module).
+#[derive(Clone, Debug, Default)]
+pub struct XCallMailboxes {
+    slots: Vec<Option<Region>>,
+}
+
+impl XCallMailboxes {
+    pub(crate) fn slot(
+        &mut self,
+        machine: &mut hector_sim::Machine,
+        target: CpuId,
+    ) -> Region {
+        if self.slots.len() <= target {
+            self.slots.resize(target + 1, None);
+        }
+        *self.slots[target].get_or_insert_with(|| {
+            machine.alloc_on(target, 256, "xcall-mailbox")
+        })
+    }
+}
+
+impl PpcSystem {
+    /// Cross-processor synchronous PPC: `caller` on `from` invokes entry
+    /// point `ep` with the call executing on `target` (e.g. the CPU that
+    /// owns a device). Charges are applied on both processors: request
+    /// transfer + IPI on the sender, interrupt entry + a full PPC dispatch
+    /// + reply transfer on the target, reply pickup on the sender.
+    pub fn call_remote(
+        &mut self,
+        from: CpuId,
+        caller: Pid,
+        target: CpuId,
+        ep: EntryId,
+        args: [u64; 8],
+    ) -> Result<[u64; 8], PpcError> {
+        if from == target {
+            return self.call(from, caller, ep, args);
+        }
+        if target >= self.kernel.n_cpus() {
+            return Err(PpcError::NoResources("no such target processor"));
+        }
+        let program = self.kernel.procs[caller].program_id;
+        let mailbox = {
+            let mut boxes = std::mem::take(&mut self.xcall);
+            let slot = boxes.slot(&mut self.kernel.machine, target);
+            self.xcall = boxes;
+            slot
+        };
+        let shared = MemAttrs::uncached_shared(target);
+
+        // --- sender: trap, write the request, raise the IPI -------------
+        {
+            let kstack = self.kernel.kstacks[from];
+            let c = self.kernel.machine.cpu_mut(from);
+            hurricane_os::trap::enter(c, kstack, CostCategory::Other);
+            c.with_category(CostCategory::Other, |c| {
+                for i in 0..8 {
+                    c.store(mailbox.at(i * 8), shared); // args
+                }
+                c.store(mailbox.at(64), shared); // ep + program + flags
+                c.store(mailbox.at(72), shared); // "request ready" word
+                c.exec(12); // compose IPI, write interrupt register
+            });
+        }
+
+        // --- target: interrupt entry, read request, dispatch ------------
+        let rets = {
+            let c = self.kernel.machine.cpu_mut(target);
+            c.trap_enter();
+            c.with_category(CostCategory::Other, |c| {
+                for i in 0..8 {
+                    c.load(mailbox.at(i * 8), shared);
+                }
+                c.load(mailbox.at(64), shared);
+                c.exec(10);
+            });
+            let result =
+                self.call_inner(target, None, ep, args, CallKind::Remote(program));
+            // Reply transfer + completion IPI.
+            let c = self.kernel.machine.cpu_mut(target);
+            c.with_category(CostCategory::Other, |c| {
+                for i in 0..8 {
+                    c.store(mailbox.at(128 + i * 8), shared);
+                }
+                c.store(mailbox.at(192), shared); // "reply ready" word
+                c.exec(12);
+            });
+            c.trap_exit();
+            result?
+        };
+
+        // --- sender: completion interrupt, read reply, resume -----------
+        {
+            let kstack = self.kernel.kstacks[from];
+            let c = self.kernel.machine.cpu_mut(from);
+            c.with_category(CostCategory::Other, |c| {
+                for i in 0..8 {
+                    c.load(mailbox.at(128 + i * 8), shared);
+                }
+                c.exec(8);
+            });
+            hurricane_os::trap::exit(c, kstack, CostCategory::Other);
+        }
+        Ok(rets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::ServiceSpec;
+    use hector_sim::MachineConfig;
+    use std::rc::Rc;
+
+    fn setup() -> (PpcSystem, EntryId, Pid) {
+        let mut sys = PpcSystem::boot(MachineConfig::hector(4));
+        let asid = sys.kernel.create_space("svc");
+        let ep = sys
+            .bind_entry_boot(
+                ServiceSpec::new(asid).name("svc"),
+                Rc::new(|_s, ctx| {
+                    let mut r = ctx.args;
+                    r[0] += u64::from(ctx.caller_program);
+                    r
+                }),
+            )
+            .unwrap();
+        let prog = sys.kernel.new_program_id();
+        let client = sys.new_client(0, prog);
+        (sys, ep, client)
+    }
+
+    #[test]
+    fn remote_call_returns_results_and_identity() {
+        let (mut sys, ep, client) = setup();
+        let program = sys.kernel.procs[client].program_id as u64;
+        let rets = sys.call_remote(0, client, 2, ep, [100, 0, 0, 0, 0, 0, 0, 0]).unwrap();
+        assert_eq!(rets[0], 100 + program, "program identity crosses processors");
+        assert_eq!(sys.stats.cross_calls, 1);
+    }
+
+    #[test]
+    fn same_cpu_degenerates_to_local_call() {
+        let (mut sys, ep, client) = setup();
+        sys.call_remote(0, client, 0, ep, [1; 8]).unwrap();
+        assert_eq!(sys.stats.cross_calls, 0, "local path taken");
+        assert_eq!(sys.stats.calls, 1);
+    }
+
+    #[test]
+    fn remote_costs_land_on_both_cpus() {
+        let (mut sys, ep, client) = setup();
+        let t_from0 = sys.kernel.machine.cpu(0).clock();
+        let t_tgt0 = sys.kernel.machine.cpu(2).clock();
+        sys.call_remote(0, client, 2, ep, [0; 8]).unwrap();
+        assert!(sys.kernel.machine.cpu(0).clock() > t_from0, "sender charged");
+        assert!(sys.kernel.machine.cpu(2).clock() > t_tgt0, "target charged");
+    }
+
+    #[test]
+    fn remote_is_slower_than_local() {
+        let (mut sys, ep, client) = setup();
+        let (mut sys2, ep2, client2) = setup();
+        // Warm both paths.
+        for _ in 0..3 {
+            sys.call_remote(0, client, 2, ep, [0; 8]).unwrap();
+            sys2.call(0, client2, ep2, [0; 8]).unwrap();
+        }
+        let f0 = sys.kernel.machine.cpu(0).clock();
+        let f2 = sys.kernel.machine.cpu(2).clock();
+        sys.call_remote(0, client, 2, ep, [0; 8]).unwrap();
+        let remote_total = (sys.kernel.machine.cpu(0).clock() - f0)
+            + (sys.kernel.machine.cpu(2).clock() - f2);
+        let l0 = sys2.kernel.machine.cpu(0).clock();
+        sys2.call(0, client2, ep2, [0; 8]).unwrap();
+        let local = sys2.kernel.machine.cpu(0).clock() - l0;
+        assert!(remote_total > local, "remote {remote_total} !> local {local}");
+    }
+
+    #[test]
+    fn bad_target_rejected() {
+        let (mut sys, ep, client) = setup();
+        assert!(matches!(
+            sys.call_remote(0, client, 9, ep, [0; 8]),
+            Err(PpcError::NoResources(_))
+        ));
+    }
+}

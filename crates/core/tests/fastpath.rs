@@ -1,0 +1,196 @@
+//! End-to-end fastpath tests: the paper's central claims as assertions.
+//!
+//! * the warm fastpath accesses **no shared data** and takes **no locks**;
+//! * the Figure-2 condition ordering holds (hold-CD < no-CD, kernel < user,
+//!   primed < flushed) with totals in the paper's neighbourhood;
+//! * the fastpath footprint is ~200 instructions / a handful of facility
+//!   cache lines.
+
+use std::rc::Rc;
+
+use hector_sim::cpu::CostCategory;
+use hector_sim::MachineConfig;
+use ppc_core::microbench::{measure, setup, Condition, NullCallBench};
+use ppc_core::{PpcSystem, ServiceSpec};
+
+#[test]
+fn warm_fastpath_shares_nothing_and_locks_nothing() {
+    let NullCallBench { mut sys, ep, client } = setup(false, false);
+    for _ in 0..4 {
+        sys.call(0, client, ep, [0; 8]).unwrap();
+    }
+    let c = sys.kernel.machine.cpu_mut(0);
+    c.begin_measure();
+    sys.call(0, client, ep, [0; 8]).unwrap();
+    let stats = sys.kernel.machine.cpu_mut(0).path_stats().clone();
+    assert_eq!(stats.shared_accesses, 0, "PPC fastpath must access no shared data");
+    assert_eq!(stats.lock_acquires, 0, "PPC fastpath must take no locks");
+}
+
+#[test]
+fn fastpath_instruction_count_near_200() {
+    let NullCallBench { mut sys, ep, client } = setup(false, false);
+    for _ in 0..4 {
+        sys.call(0, client, ep, [0; 8]).unwrap();
+    }
+    let c = sys.kernel.machine.cpu_mut(0);
+    c.begin_measure();
+    sys.call(0, client, ep, [0; 8]).unwrap();
+    let stats = sys.kernel.machine.cpu_mut(0).path_stats().clone();
+    // "only 200 instructions ... are required to complete most calls";
+    // our count includes the client stub and the null server body.
+    assert!(
+        (120..400).contains(&(stats.instructions as usize)),
+        "instructions on the warm fastpath: {}",
+        stats.instructions
+    );
+}
+
+#[test]
+fn figure2_totals_land_near_paper() {
+    // (kernel_server, hold_cd, flushed) -> paper total in us.
+    let cases = [
+        (false, false, false, 32.4),
+        (false, true, false, 30.0),
+        (false, false, true, 52.2),
+        (false, true, true, 48.9),
+        (true, false, false, 22.2),
+        (true, true, false, 19.2),
+        (true, false, true, 42.0),
+        (true, true, true, 39.6),
+    ];
+    for (kernel_server, hold_cd, flushed, paper) in cases {
+        let bd = measure(Condition { kernel_server, hold_cd, flushed });
+        let us = bd.total().as_us();
+        println!(
+            "kernel={kernel_server} hold={hold_cd} flushed={flushed}: {us:.1} us (paper {paper})"
+        );
+        println!("{bd}");
+        let ratio = us / paper;
+        assert!(
+            (0.6..1.67).contains(&ratio),
+            "condition (k={kernel_server},h={hold_cd},f={flushed}): {us:.1} us vs paper {paper} us"
+        );
+    }
+}
+
+#[test]
+fn condition_ordering_matches_paper() {
+    let t = |k, h, f| measure(Condition { kernel_server: k, hold_cd: h, flushed: f }).total();
+    // hold-CD is cheaper than no-CD in every group.
+    assert!(t(false, true, false) < t(false, false, false));
+    assert!(t(true, true, false) < t(true, false, false));
+    // kernel server is cheaper than user server.
+    assert!(t(true, false, false) < t(false, false, false));
+    assert!(t(true, true, false) < t(false, true, false));
+    // flushed costs substantially more than primed.
+    assert!(t(false, false, true) > t(false, false, false));
+    assert!(t(true, false, true) > t(true, false, false));
+}
+
+#[test]
+fn hold_cd_saves_two_to_three_microseconds() {
+    let no_cd = measure(Condition { kernel_server: false, hold_cd: false, flushed: false });
+    let hold = measure(Condition { kernel_server: false, hold_cd: true, flushed: false });
+    let delta = no_cd.total().as_us() - hold.total().as_us();
+    assert!((1.0..5.0).contains(&delta), "hold-CD saving {delta:.2} us (paper: 2-3 us)");
+}
+
+#[test]
+fn flush_penalty_near_twenty_microseconds() {
+    let primed = measure(Condition { kernel_server: false, hold_cd: false, flushed: false });
+    let flushed = measure(Condition { kernel_server: false, hold_cd: false, flushed: true });
+    let delta = flushed.total().as_us() - primed.total().as_us();
+    // Paper: "times increase consistently by about 20 usec". Our model
+    // charges a full 20-cycle fill for every cold line with no overlap,
+    // so the penalty runs ~1.5x the paper's; the flushed *totals* stay
+    // within the +-20% band (see EXPERIMENTS.md).
+    assert!((12.0..36.0).contains(&delta), "flush penalty {delta:.2} us (paper: ~20 us)");
+    // "about half of which is due to the cost of saving registers at user
+    // level on the user stack" — the user save/restore category grows.
+    let user_delta = flushed.get(CostCategory::UserSaveRestore).as_us()
+        - primed.get(CostCategory::UserSaveRestore).as_us();
+    assert!(user_delta > 2.0, "user save/restore flush delta {user_delta:.2} us");
+}
+
+#[test]
+fn dirty_cache_and_icache_flush_add_20_to_30_us() {
+    // §3: "Dirtying the cache and flushing the instruction cache can
+    // increase the times by another 20-30 usec" (beyond the D-flushed
+    // condition).
+    let flushed = measure(Condition { kernel_server: false, hold_cd: false, flushed: true });
+    let worst = ppc_core::microbench::measure_dirty_and_icache_flushed();
+    let delta = worst.total().as_us() - flushed.total().as_us();
+    assert!((14.0..45.0).contains(&delta), "dirty+icache delta {delta:.1} us (paper: 20-30)");
+}
+
+#[test]
+fn trap_overhead_is_3_4us_user_and_1_7us_kernel() {
+    let u = measure(Condition { kernel_server: false, hold_cd: false, flushed: false });
+    let k = measure(Condition { kernel_server: true, hold_cd: false, flushed: false });
+    assert!((u.get(CostCategory::TrapOverhead).as_us() - 3.36).abs() < 0.2);
+    assert!((k.get(CostCategory::TrapOverhead).as_us() - 1.68).abs() < 0.2);
+}
+
+#[test]
+fn trace_captures_the_whole_round_trip() {
+    // The execution trace must account for the same cycles the breakdown
+    // reports (minus the untraced pipeline-stall model), in category order
+    // starting with the client stub and ending with its register restore.
+    let NullCallBench { mut sys, ep, client } = setup(false, false);
+    for _ in 0..4 {
+        sys.call(0, client, ep, [0; 8]).unwrap();
+    }
+    let c = sys.kernel.machine.cpu_mut(0);
+    c.trace_start();
+    c.begin_measure();
+    sys.call(0, client, ep, [0; 8]).unwrap();
+    let bd = sys.kernel.machine.cpu_mut(0).end_measure();
+    sys.kernel.machine.cpu_mut(0).trace_stop();
+    let cpu = sys.kernel.machine.cpu(0);
+    let trace = cpu.trace();
+    assert!(trace.len() > 100, "a full call is >100 operations: {}", trace.len());
+    assert_eq!(trace.dropped(), 0);
+    // Traced cycles + stalls == breakdown total.
+    let stalls = bd.get(CostCategory::Unaccounted);
+    assert_eq!(trace.total_cycles() + stalls, bd.total());
+    // The first event is the client stub, the last the register restore.
+    let first = trace.events().next().unwrap();
+    let last = trace.events().last().unwrap();
+    assert_eq!(first.category, CostCategory::UserSaveRestore);
+    assert_eq!(last.category, CostCategory::UserSaveRestore);
+}
+
+#[test]
+fn nested_calls_work() {
+    // A server that calls another server (proxy): exercises reentrancy of
+    // the call path on one CPU.
+    let mut sys = PpcSystem::boot(MachineConfig::hector(1));
+    let inner_asid = sys.kernel.create_space("inner");
+    let inner = sys
+        .bind_entry_boot(
+            ServiceSpec::new(inner_asid).name("inner"),
+            Rc::new(|_s, ctx| {
+                let mut r = ctx.args;
+                r[0] += 100;
+                r
+            }),
+        )
+        .unwrap();
+    let outer_asid = sys.kernel.create_space("outer");
+    let outer = sys
+        .bind_entry_boot(
+            ServiceSpec::new(outer_asid).name("outer"),
+            Rc::new(move |s: &mut PpcSystem, ctx| {
+                let mut fwd = ctx.args;
+                fwd[0] += 1;
+                s.call(ctx.cpu, ctx.worker, inner, fwd).unwrap()
+            }),
+        )
+        .unwrap();
+    let prog = sys.kernel.new_program_id();
+    let client = sys.new_client(0, prog);
+    let rets = sys.call(0, client, outer, [5, 0, 0, 0, 0, 0, 0, 0]).unwrap();
+    assert_eq!(rets[0], 106);
+    assert_eq!(sys.stats.calls, 2, "outer + nested inner");
+}

@@ -1,0 +1,353 @@
+//! Integration tests for the §4 machinery: Frank-mediated registration,
+//! naming, authentication, variants, kill/exchange, multi-page stacks,
+//! trust groups, and Bob.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hector_sim::MachineConfig;
+use ppc_core::bob::{boot_with_bob, install_bob};
+use ppc_core::call::null_handler;
+use ppc_core::entry::EntryState;
+use ppc_core::{PpcError, PpcSystem, ServiceSpec, FIRST_DYNAMIC_EP};
+
+fn sys(n: usize) -> PpcSystem {
+    PpcSystem::boot(MachineConfig::hector(n))
+}
+
+#[test]
+fn frank_mediated_registration_is_a_real_ppc_call() {
+    let mut s = sys(1);
+    let prog = s.kernel.new_program_id();
+    let client = s.new_client(0, prog);
+    let asid = s.kernel.create_space("svc");
+    let calls_before = s.stats.calls;
+    let ep = s
+        .register_service(0, client, ServiceSpec::new(asid).owned_by(prog), null_handler())
+        .expect("register through Frank");
+    assert!(ep >= FIRST_DYNAMIC_EP);
+    assert_eq!(s.stats.calls, calls_before + 1, "registration = one PPC call to Frank");
+    // The new service is immediately callable.
+    s.call(0, client, ep, [0; 8]).expect("call new service");
+}
+
+#[test]
+fn name_server_roundtrip_via_ppc_calls() {
+    let mut s = sys(2);
+    let prog = s.kernel.new_program_id();
+    let client = s.new_client(0, prog);
+    let asid = s.kernel.create_space("svc");
+    let ep = s.bind_entry_boot(ServiceSpec::new(asid), null_handler()).unwrap();
+
+    s.ns_register(0, client, "my-service", ep).expect("register name");
+    assert_eq!(s.ns_lookup(0, client, "my-service").unwrap(), Some(ep));
+    assert_eq!(s.ns_lookup(0, client, "nonesuch").unwrap(), None);
+    s.ns_unregister(0, client, "my-service").expect("unregister");
+    assert_eq!(s.ns_lookup(0, client, "my-service").unwrap(), None);
+}
+
+#[test]
+fn bob_denies_unknown_programs_when_closed() {
+    let mut s = sys(1);
+    let bob = install_bob(&mut s, false).expect("install bob (default deny)");
+    let h = bob.create_file(&mut s, "secret", 1, 0);
+    let prog = s.kernel.new_program_id();
+    let client = s.new_client(0, prog);
+    let err = bob.get_length(&mut s, 0, client, h).unwrap_err();
+    assert_eq!(err, PpcError::PermissionDenied(prog));
+    // Grant and retry.
+    bob.acl.borrow_mut().allow(prog, 1);
+    assert_eq!(bob.get_length(&mut s, 0, client, h).unwrap(), 1);
+    // Only the attempt made after the client record existed is accounted
+    // (the denied probe hit the default policy, not a record).
+    assert_eq!(bob.acl.borrow().client(prog).unwrap().calls, 1);
+}
+
+#[test]
+fn async_call_requeues_caller_and_discards_results() {
+    let mut s = sys(1);
+    let asid = s.kernel.create_space("svc");
+    let ep = s
+        .bind_entry_boot(
+            ServiceSpec::new(asid),
+            Rc::new(|_s, ctx| [ctx.args[0] * 2, 0, 0, 0, 0, 0, 0, 0]),
+        )
+        .unwrap();
+    let prog = s.kernel.new_program_id();
+    let client = s.new_client(0, prog);
+    let h = s.call_async(0, client, ep, [21, 0, 0, 0, 0, 0, 0, 0]).expect("async");
+    assert_eq!(s.async_log[h].rets[0], 42);
+    assert!(!s.async_log[h].caller_waited);
+    assert_eq!(s.stats.async_calls, 1);
+    assert_eq!(s.stats.calls, 0, "async is not a sync call");
+}
+
+#[test]
+fn interrupt_and_upcall_variants_dispatch() {
+    let mut s = sys(2);
+    let hits = Rc::new(RefCell::new(Vec::new()));
+    let hits2 = Rc::clone(&hits);
+    let ep = s
+        .bind_entry_boot(
+            ServiceSpec::new(hector_sim::tlb::ASID_KERNEL).name("dev"),
+            Rc::new(move |_s, ctx| {
+                hits2.borrow_mut().push((ctx.args[0] >> 32) as u32);
+                [1; 8]
+            }),
+        )
+        .unwrap();
+    s.dispatch_interrupt(1, ep, 0x21, [0; 6]).expect("interrupt");
+    s.upcall(1, ep, [0; 8]).expect("upcall");
+    assert_eq!(s.stats.interrupts, 1);
+    assert_eq!(s.stats.upcalls, 1);
+    assert_eq!(hits.borrow().len(), 2);
+    assert_eq!(hits.borrow()[0], 0x21, "vector delivered in args[0] high bits");
+}
+
+#[test]
+fn soft_kill_via_frank_drains_and_hard_kill_aborts() {
+    let mut s = sys(2);
+    let prog = s.kernel.new_program_id();
+    let client = s.new_client(0, prog);
+    let asid = s.kernel.create_space("victim");
+    let ep = s
+        .bind_entry_boot(ServiceSpec::new(asid).owned_by(prog), null_handler())
+        .unwrap();
+    s.call(0, client, ep, [0; 8]).unwrap();
+
+    s.soft_kill_entry(0, client, ep).expect("soft kill via Frank");
+    assert_eq!(s.entries[ep].state, EntryState::Dead, "no calls in flight: reaped at once");
+    assert_eq!(s.call(0, client, ep, [0; 8]), Err(PpcError::EntryDead(ep)));
+
+    // Hard kill of another program's entry is denied.
+    let other_prog = s.kernel.new_program_id();
+    let other = s.new_client(1, other_prog);
+    let asid2 = s.kernel.create_space("victim2");
+    let ep2 = s
+        .bind_entry_boot(ServiceSpec::new(asid2).owned_by(prog), null_handler())
+        .unwrap();
+    assert!(s.hard_kill_entry(1, other, ep2).is_err());
+    s.hard_kill_entry(0, client, ep2).expect("owner may hard kill");
+    assert_eq!(s.entries[ep2].state, EntryState::Dead);
+}
+
+#[test]
+fn hard_kill_during_nested_call_aborts_outer() {
+    // A handler that hard-kills its own entry point (via Frank) while the
+    // call is in flight: the caller must observe Aborted.
+    let mut s = sys(2);
+    let prog = s.kernel.new_program_id();
+    let client = s.new_client(0, prog);
+    let asid = s.kernel.create_space("suicidal");
+    let ep_cell = Rc::new(RefCell::new(0usize));
+    let ep_cell2 = Rc::clone(&ep_cell);
+    let ep = s
+        .bind_entry_boot(
+            ServiceSpec::new(asid).owned_by(0),
+            Rc::new(move |s: &mut PpcSystem, ctx| {
+                let me = *ep_cell2.borrow();
+                ppc_core::kill::hard_kill(s, ctx.cpu, me, 0).expect("kill self");
+                [0; 8]
+            }),
+        )
+        .unwrap();
+    *ep_cell.borrow_mut() = ep;
+    assert_eq!(s.call(0, client, ep, [0; 8]), Err(PpcError::Aborted(ep)));
+}
+
+#[test]
+fn exchange_replaces_server_online() {
+    let mut s = sys(1);
+    let prog = s.kernel.new_program_id();
+    let client = s.new_client(0, prog);
+    let asid = s.kernel.create_space("svc");
+    let ep = s
+        .bind_entry_boot(ServiceSpec::new(asid).owned_by(prog), Rc::new(|_s, _c| [1; 8]))
+        .unwrap();
+    assert_eq!(s.call(0, client, ep, [0; 8]).unwrap()[0], 1);
+    s.exchange_entry(0, client, ep, Rc::new(|_s, _c| [2; 8])).expect("exchange");
+    assert_eq!(s.call(0, client, ep, [0; 8]).unwrap()[0], 2);
+    assert_eq!(s.entries[ep].state, EntryState::Active, "no downtime");
+}
+
+#[test]
+fn reclaimed_slot_can_be_rebound() {
+    let mut s = sys(1);
+    let prog = s.kernel.new_program_id();
+    let client = s.new_client(0, prog);
+    let asid = s.kernel.create_space("svc");
+    let ep = s
+        .bind_entry_boot(ServiceSpec::new(asid).owned_by(prog), null_handler())
+        .unwrap();
+    s.hard_kill_entry(0, client, ep).unwrap();
+    ppc_core::kill::reclaim_slot(&mut s, ep, prog).expect("reclaim");
+    let ep2 = s
+        .bind_entry_boot(ServiceSpec::new(asid).at(ep), Rc::new(|_s, _c| [9; 8]))
+        .expect("rebind at reclaimed id");
+    assert_eq!(ep2, ep);
+    assert_eq!(s.call(0, client, ep2, [0; 8]).unwrap()[0], 9);
+}
+
+#[test]
+fn multi_page_stacks_cost_more_but_work() {
+    let mut one = sys(1);
+    let asid1 = one.kernel.create_space("svc1");
+    let ep1 = one.bind_entry_boot(ServiceSpec::new(asid1), null_handler()).unwrap();
+    let p1 = one.kernel.new_program_id();
+    let c1 = one.new_client(0, p1);
+
+    let mut four = sys(1);
+    let asid4 = four.kernel.create_space("svc4");
+    let ep4 = four
+        .bind_entry_boot(ServiceSpec::new(asid4).stack_pages(4), null_handler())
+        .unwrap();
+    let p4 = four.kernel.new_program_id();
+    let c4 = four.new_client(0, p4);
+
+    // Warm both.
+    for _ in 0..4 {
+        one.call(0, c1, ep1, [0; 8]).unwrap();
+        four.call(0, c4, ep4, [0; 8]).unwrap();
+    }
+    assert_eq!(four.stats.stack_pages_created, 3, "Frank created the extra pages once");
+
+    let t1 = {
+        let t = one.kernel.machine.cpu(0).clock();
+        one.call(0, c1, ep1, [0; 8]).unwrap();
+        one.kernel.machine.cpu(0).clock() - t
+    };
+    let t4 = {
+        let t = four.kernel.machine.cpu(0).clock();
+        four.call(0, c4, ep4, [0; 8]).unwrap();
+        four.kernel.machine.cpu(0).clock() - t
+    };
+    assert!(t4 > t1, "multi-page path must cost more: {t4} vs {t1}");
+    // Spare pages were recycled, not re-created.
+    assert_eq!(four.stats.stack_pages_created, 3);
+    assert_eq!(four.percpu[0].spare_stacks.len(), 3, "returned to the list");
+}
+
+#[test]
+fn hold_cd_with_multi_page_stacks_pins_extras() {
+    let mut s = sys(1);
+    let asid = s.kernel.create_space("svc");
+    let ep = s
+        .bind_entry_boot(ServiceSpec::new(asid).stack_pages(3).hold_cd(), null_handler())
+        .unwrap();
+    let prog = s.kernel.new_program_id();
+    let client = s.new_client(0, prog);
+    for _ in 0..5 {
+        s.call(0, client, ep, [0; 8]).unwrap();
+    }
+    assert_eq!(s.stats.stack_pages_created, 2, "extras created exactly once, then pinned");
+    assert!(s.percpu[0].spare_stacks.is_empty(), "pinned pages never hit the free list");
+}
+
+#[test]
+fn hold_cd_entries_pin_distinct_descriptors() {
+    // Regression: the call that pins a hold-CD must not release it back
+    // to the pool, or every hold-CD service would share one stack.
+    let mut s = sys(1);
+    let mut eps = Vec::new();
+    let stacks = Rc::new(RefCell::new(Vec::new()));
+    for i in 0..4 {
+        let asid = s.kernel.create_space(&format!("h{i}"));
+        let stacks2 = Rc::clone(&stacks);
+        let ep = s
+            .bind_entry_boot(
+                ServiceSpec::new(asid).hold_cd(),
+                Rc::new(move |_s, ctx| {
+                    stacks2.borrow_mut().push((ctx.ep, ctx.stack.base));
+                    ctx.args
+                }),
+            )
+            .unwrap();
+        eps.push(ep);
+    }
+    let prog = s.kernel.new_program_id();
+    let client = s.new_client(0, prog);
+    for _ in 0..2 {
+        for &ep in &eps {
+            s.call(0, client, ep, [0; 8]).unwrap();
+        }
+    }
+    // Each entry saw the same stack both rounds, and no two entries share.
+    let seen = stacks.borrow();
+    for (i, &ep) in eps.iter().enumerate() {
+        assert_eq!(seen[i].0, ep);
+        assert_eq!(seen[i].1, seen[i + 4].1, "entry keeps its pinned stack");
+    }
+    let distinct: std::collections::HashSet<_> = seen[..4].iter().map(|(_, b)| *b).collect();
+    assert_eq!(distinct.len(), 4, "pinned stacks are per-entry, never shared");
+}
+
+#[test]
+fn trust_groups_partition_cd_recycling() {
+    let mut s = sys(1);
+    let asid_a = s.kernel.create_space("a");
+    let asid_b = s.kernel.create_space("b");
+    let ep_a = s
+        .bind_entry_boot(ServiceSpec::new(asid_a).trust_group(1), null_handler())
+        .unwrap();
+    let ep_b = s
+        .bind_entry_boot(ServiceSpec::new(asid_b).trust_group(2), null_handler())
+        .unwrap();
+    let prog = s.kernel.new_program_id();
+    let client = s.new_client(0, prog);
+    // Both groups start empty (boot CDs are group 0): Frank creates one
+    // CD per group on first call.
+    s.call(0, client, ep_a, [0; 8]).unwrap();
+    s.call(0, client, ep_b, [0; 8]).unwrap();
+    assert_eq!(s.stats.cds_created, 2, "one CD per trust group");
+    // Subsequent calls recycle within the group — no more creation.
+    for _ in 0..3 {
+        s.call(0, client, ep_a, [0; 8]).unwrap();
+        s.call(0, client, ep_b, [0; 8]).unwrap();
+    }
+    assert_eq!(s.stats.cds_created, 2);
+}
+
+#[test]
+fn figure3_setup_smoke() {
+    let (mut s, bob, handles) = boot_with_bob(MachineConfig::hector(4), 4);
+    assert_eq!(handles.len(), 4);
+    let prog = s.kernel.new_program_id();
+    let client = s.new_client(2, prog);
+    for &h in &handles {
+        assert!(bob.get_length(&mut s, 2, client, h).unwrap() >= 1000);
+    }
+    assert_eq!(s.naming.borrow().lookup("bob"), Some(bob.ep));
+}
+
+#[test]
+fn worker_pool_grows_under_nested_reentry() {
+    // A service that calls itself once: needs two workers on one CPU.
+    let mut s = sys(1);
+    let asid = s.kernel.create_space("recur");
+    let ep_cell = Rc::new(RefCell::new(0usize));
+    let ep_cell2 = Rc::clone(&ep_cell);
+    let ep = s
+        .bind_entry_boot(
+            ServiceSpec::new(asid),
+            Rc::new(move |s: &mut PpcSystem, ctx| {
+                if ctx.args[0] > 0 {
+                    let me = *ep_cell2.borrow();
+                    let mut a = ctx.args;
+                    a[0] -= 1;
+                    let r = s.call(ctx.cpu, ctx.worker, me, a).unwrap();
+                    [r[0] + 1, 0, 0, 0, 0, 0, 0, 0]
+                } else {
+                    [100, 0, 0, 0, 0, 0, 0, 0]
+                }
+            }),
+        )
+        .unwrap();
+    *ep_cell.borrow_mut() = ep;
+    let prog = s.kernel.new_program_id();
+    let client = s.new_client(0, prog);
+    let r = s.call(0, client, ep, [3, 0, 0, 0, 0, 0, 0, 0]).unwrap();
+    assert_eq!(r[0], 103);
+    assert!(s.stats.workers_created >= 3, "recursion forced pool growth");
+    // Depth-4 chain completed: 4 calls.
+    assert_eq!(s.stats.calls, 4);
+}

@@ -1,0 +1,129 @@
+//! Failure injection: resource caps exhaust the Frank slow paths.
+//!
+//! The paper's Frank always succeeds ("all its resources are
+//! preallocated"); a hardened deployment bounds kernel memory. These
+//! tests drive every dynamic-allocation path into its cap and verify the
+//! system degrades to clean `NoResources` errors — and recovers.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hector_sim::MachineConfig;
+use ppc_core::call::null_handler;
+use ppc_core::{PpcError, PpcSystem, ServiceSpec};
+
+fn recursive_system(depth_limit: Option<u64>) -> (PpcSystem, usize, usize) {
+    let mut sys = PpcSystem::boot(MachineConfig::hector(1));
+    sys.limits.max_workers = depth_limit;
+    // Plenty of CDs so the worker cap is what binds.
+    sys.limits.max_cds = None;
+    let asid = sys.kernel.create_space("recur");
+    let ep_cell = Rc::new(RefCell::new(0usize));
+    let ep_cell2 = Rc::clone(&ep_cell);
+    let ep = sys
+        .bind_entry_boot(
+            ServiceSpec::new(asid),
+            Rc::new(move |s: &mut PpcSystem, ctx| {
+                if ctx.args[0] == 0 {
+                    return [0; 8];
+                }
+                let me = *ep_cell2.borrow();
+                let mut a = ctx.args;
+                a[0] -= 1;
+                match s.call(ctx.cpu, ctx.worker, me, a) {
+                    Ok(r) => [r[0] + 1, r[1], 0, 0, 0, 0, 0, 0],
+                    Err(PpcError::NoResources(_)) => [0, 1, 0, 0, 0, 0, 0, 0],
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }),
+        )
+        .unwrap();
+    *ep_cell.borrow_mut() = ep;
+    let prog = sys.kernel.new_program_id();
+    let client = sys.new_client(0, prog);
+    (sys, ep, client)
+}
+
+#[test]
+fn worker_cap_turns_deep_recursion_into_no_resources() {
+    // Cap Frank at 2 extra workers: recursion deeper than 3 (1 pooled +
+    // 2 created) hits the cap, which the handler observes and reports.
+    let (mut sys, ep, client) = recursive_system(Some(2));
+    let r = sys.call(0, client, ep, [10, 0, 0, 0, 0, 0, 0, 0]).unwrap();
+    assert_eq!(r[1], 1, "the innermost frame saw NoResources");
+    assert!(r[0] < 10, "recursion stopped early: reached {}", r[0]);
+    assert_eq!(sys.stats.workers_created, 2, "exactly the cap");
+}
+
+#[test]
+fn uncapped_recursion_completes() {
+    let (mut sys, ep, client) = recursive_system(None);
+    let r = sys.call(0, client, ep, [10, 0, 0, 0, 0, 0, 0, 0]).unwrap();
+    assert_eq!(r[1], 0, "no resource failure");
+    assert_eq!(r[0], 10);
+}
+
+#[test]
+fn system_recovers_after_cap_hit() {
+    let (mut sys, ep, client) = recursive_system(Some(1));
+    let r = sys.call(0, client, ep, [5, 0, 0, 0, 0, 0, 0, 0]).unwrap();
+    assert_eq!(r[1], 1);
+    // Shallow calls still work fine afterwards (pools were recycled).
+    for _ in 0..5 {
+        let r = sys.call(0, client, ep, [1, 0, 0, 0, 0, 0, 0, 0]).unwrap();
+        assert_eq!(r, [1, 0, 0, 0, 0, 0, 0, 0]);
+    }
+}
+
+#[test]
+fn cd_cap_fails_new_trust_groups() {
+    let mut sys = PpcSystem::boot(MachineConfig::hector(1));
+    sys.limits.max_cds = Some(0); // boot CDs (group 0) only
+    let asid = sys.kernel.create_space("grouped");
+    let ep = sys
+        .bind_entry_boot(ServiceSpec::new(asid).trust_group(9), null_handler())
+        .unwrap();
+    let prog = sys.kernel.new_program_id();
+    let client = sys.new_client(0, prog);
+    // Group 9 has no CDs and Frank may not create one.
+    assert!(matches!(
+        sys.call(0, client, ep, [0; 8]),
+        Err(PpcError::NoResources(_))
+    ));
+    // Group-0 services are unaffected.
+    let asid0 = sys.kernel.create_space("plain");
+    let ep0 = sys.bind_entry_boot(ServiceSpec::new(asid0), null_handler()).unwrap();
+    sys.call(0, client, ep0, [0; 8]).expect("boot CDs still serve group 0");
+}
+
+#[test]
+fn stack_page_cap_fails_multipage_services() {
+    let mut sys = PpcSystem::boot(MachineConfig::hector(1));
+    sys.limits.max_stack_pages = Some(1);
+    let asid = sys.kernel.create_space("big-stack");
+    let ep = sys
+        .bind_entry_boot(ServiceSpec::new(asid).stack_pages(4), null_handler())
+        .unwrap();
+    let prog = sys.kernel.new_program_id();
+    let client = sys.new_client(0, prog);
+    // Needs 3 extra pages, cap allows 1.
+    assert!(matches!(sys.call(0, client, ep, [0; 8]), Err(PpcError::NoResources(_))));
+    assert_eq!(sys.stats.stack_pages_created, 1);
+    // The page taken before the failure was returned to the spare list.
+    assert_eq!(sys.percpu[0].spare_stacks.len(), 1);
+    // Single-page services still run.
+    let asid1 = sys.kernel.create_space("small");
+    let ep1 = sys.bind_entry_boot(ServiceSpec::new(asid1), null_handler()).unwrap();
+    sys.call(0, client, ep1, [0; 8]).expect("single-page unaffected");
+}
+
+#[test]
+fn failed_calls_are_still_charged() {
+    // Even a resource-failed call costs cycles (trap in, redirect, trap
+    // out) — failure is not free.
+    let (mut sys, ep, client) = recursive_system(Some(0));
+    let t0 = sys.kernel.machine.cpu(0).clock();
+    let r = sys.call(0, client, ep, [3, 0, 0, 0, 0, 0, 0, 0]).unwrap();
+    assert_eq!(r[1], 1);
+    assert!(sys.kernel.machine.cpu(0).clock() > t0);
+}

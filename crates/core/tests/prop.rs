@@ -1,0 +1,125 @@
+//! Property-based tests of the PPC facility's data structures.
+
+use proptest::prelude::*;
+
+use hector_sim::sym::PAddr;
+use hector_sim::{Machine, MachineConfig};
+use ppc_core::cd::CdPool;
+use ppc_core::copy::{Grant, GrantTable};
+use ppc_core::naming::{pack_name, unpack_name};
+
+proptest! {
+    // ---- CD pool never double-allocates ---------------------------------
+
+    #[test]
+    fn cd_pool_alloc_free_is_sound(ops in prop::collection::vec(any::<bool>(), 1..200)) {
+        let mut m = Machine::new(MachineConfig::hector(1));
+        let mut pool = CdPool::boot(&mut m, 0, 3);
+        let mut live: Vec<usize> = Vec::new();
+        for want_alloc in ops {
+            if want_alloc {
+                let cpu = m.cpu_mut(0);
+                if let Some(id) = pool.alloc(cpu, 0) {
+                    prop_assert!(!live.contains(&id), "double allocation of CD {id}");
+                    live.push(id);
+                }
+            } else if let Some(id) = live.pop() {
+                let cpu = m.cpu_mut(0);
+                pool.release(cpu, id);
+            }
+        }
+        // Everything adds up: free + live == total.
+        prop_assert_eq!(pool.free_count(0) + live.len(), pool.total());
+    }
+
+    #[test]
+    fn cd_pool_return_info_roundtrip(callers in prop::collection::vec(0usize..1000, 1..50)) {
+        let mut m = Machine::new(MachineConfig::hector(1));
+        let mut pool = CdPool::boot(&mut m, 0, 1);
+        for caller in callers {
+            let cpu = m.cpu_mut(0);
+            let id = pool.alloc(cpu, 0).unwrap();
+            pool.store_return_info(cpu, id, Some(caller));
+            prop_assert_eq!(pool.load_return_info(cpu, id), Some(caller));
+            prop_assert_eq!(pool.load_return_info(cpu, id), None, "linkage consumed");
+            pool.release(cpu, id);
+        }
+    }
+
+    // ---- name packing ---------------------------------------------------
+
+    #[test]
+    fn name_pack_unpack_roundtrip(name in "[a-zA-Z0-9_./-]{0,48}") {
+        let w = pack_name(&name).unwrap();
+        prop_assert_eq!(unpack_name(&w), name);
+    }
+
+    #[test]
+    fn name_pack_rejects_oversize(name in "[a-z]{49,80}") {
+        prop_assert!(pack_name(&name).is_err());
+    }
+
+    // ---- grant table algebra ----------------------------------------------
+
+    #[test]
+    fn grant_authorizes_exactly_contained_subranges(
+        base in 0u64..1 << 20,
+        len in 1u64..4096,
+        q_off in 0u64..8192,
+        q_len in 1u64..4096,
+        write_grant in any::<bool>(),
+        write_q in any::<bool>(),
+    ) {
+        let mut t = GrantTable::new();
+        t.add(Grant {
+            granter: 1,
+            grantee: 2,
+            grantee_program: 3,
+            region: hector_sim::sym::Region { base: PAddr(base), len },
+            write: write_grant,
+        });
+        let q_base = PAddr(base.wrapping_add(q_off));
+        let contained = q_off.checked_add(q_len).is_some_and(|end| end <= len);
+        let expect = contained && (!write_q || write_grant);
+        prop_assert_eq!(t.authorizes(1, 3, q_base, q_len, write_q), expect);
+        // Never authorizes the wrong principals.
+        prop_assert!(!t.authorizes(2, 3, q_base, q_len, write_q));
+        prop_assert!(!t.authorizes(1, 4, q_base, q_len, write_q));
+    }
+
+    #[test]
+    fn revoke_is_complete_and_precise(grantees in prop::collection::vec(0usize..6, 1..30)) {
+        let mut t = GrantTable::new();
+        for g in &grantees {
+            t.add(Grant {
+                granter: 7,
+                grantee: *g,
+                grantee_program: 9,
+                region: hector_sim::sym::Region { base: PAddr(0x1000), len: 64 },
+                write: true,
+            });
+        }
+        let target = grantees[0];
+        let expected = grantees.iter().filter(|g| **g == target).count();
+        prop_assert_eq!(t.revoke(7, target), expected);
+        prop_assert_eq!(t.len(), grantees.len() - expected);
+        prop_assert!(!t.authorizes(7, 9, PAddr(0x1000), 8, false) || grantees.iter().any(|g| *g != target));
+    }
+
+    // ---- the call itself is deterministic and total ------------------------
+
+    #[test]
+    fn echo_calls_return_args_verbatim(args in prop::array::uniform8(any::<u64>())) {
+        let mut sys = ppc_core::PpcSystem::boot(MachineConfig::hector(1));
+        let asid = sys.kernel.create_space("echo");
+        let ep = sys
+            .bind_entry_boot(
+                ppc_core::ServiceSpec::new(asid),
+                std::rc::Rc::new(|_s, ctx| ctx.args),
+            )
+            .unwrap();
+        let prog = sys.kernel.new_program_id();
+        let client = sys.new_client(0, prog);
+        prop_assert_eq!(sys.call(0, client, ep, args).unwrap(), args);
+    }
+}

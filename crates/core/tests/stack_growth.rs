@@ -1,0 +1,136 @@
+//! §4.5.4's two multi-page stack designs, side by side: eager per-call
+//! mapping of a fixed multiple of pages, vs. lazy page-fault growth where
+//! "the common case [stays] fast and only [...] servers that require the
+//! extra space" pay.
+
+use std::rc::Rc;
+
+use hector_sim::time::Cycles;
+use hector_sim::MachineConfig;
+use ppc_core::{PpcError, PpcSystem, ServiceSpec};
+
+/// Bind a 4-page service whose handler touches `args[0]` bytes of stack.
+fn build(lazy: bool) -> (PpcSystem, usize, usize) {
+    let mut sys = PpcSystem::boot(MachineConfig::hector(1));
+    let asid = sys.kernel.create_space("svc");
+    let mut spec = ServiceSpec::new(asid).stack_pages(4);
+    if lazy {
+        spec = spec.lazy_stack();
+    }
+    let ep = sys
+        .bind_entry_boot(
+            spec,
+            Rc::new(|s: &mut PpcSystem, ctx| {
+                let want = ctx.args[0];
+                match s.touch_worker_stack(ctx, want) {
+                    Ok(()) => [0; 8],
+                    Err(PpcError::NoResources(_)) => [u64::MAX; 8],
+                    Err(e) => panic!("{e}"),
+                }
+            }),
+        )
+        .unwrap();
+    let prog = sys.kernel.new_program_id();
+    let client = sys.new_client(0, prog);
+    (sys, ep, client)
+}
+
+fn warm_call_cost(sys: &mut PpcSystem, ep: usize, client: usize, bytes: u64) -> Cycles {
+    for _ in 0..3 {
+        sys.call(0, client, ep, [bytes, 0, 0, 0, 0, 0, 0, 0]).unwrap();
+    }
+    let t = sys.kernel.machine.cpu(0).clock();
+    sys.call(0, client, ep, [bytes, 0, 0, 0, 0, 0, 0, 0]).unwrap();
+    sys.kernel.machine.cpu(0).clock() - t
+}
+
+#[test]
+fn lazy_wins_the_shallow_common_case() {
+    // A call that uses only a few hundred bytes of stack: the lazy design
+    // maps nothing extra; the eager design maps and unmaps 3 pages.
+    let (mut eager, ep_e, cl_e) = build(false);
+    let (mut lazy, ep_l, cl_l) = build(true);
+    let e = warm_call_cost(&mut eager, ep_e, cl_e, 512);
+    let l = warm_call_cost(&mut lazy, ep_l, cl_l, 512);
+    assert!(l < e, "lazy shallow call {l} must beat eager {e}");
+}
+
+#[test]
+fn eager_wins_the_deep_case() {
+    // A call that really uses all four pages: lazy pays three page faults
+    // (trap + fault handler + map each); eager amortizes plain map costs.
+    let (mut eager, ep_e, cl_e) = build(false);
+    let (mut lazy, ep_l, cl_l) = build(true);
+    let e = warm_call_cost(&mut eager, ep_e, cl_e, 4 * 4096);
+    let l = warm_call_cost(&mut lazy, ep_l, cl_l, 4 * 4096);
+    assert!(e < l, "eager deep call {e} must beat lazy {l}");
+}
+
+#[test]
+fn lazy_pages_are_recycled_per_call() {
+    let (mut sys, ep, client) = build(true);
+    for _ in 0..4 {
+        sys.call(0, client, ep, [3 * 4096, 0, 0, 0, 0, 0, 0, 0]).unwrap();
+    }
+    // Pages were created once, then recycled through the spare list.
+    assert_eq!(sys.stats.stack_pages_created, 2);
+    assert_eq!(sys.percpu[0].spare_stacks.len(), 2, "returned after each call");
+}
+
+#[test]
+fn overflow_beyond_limit_is_detected() {
+    let (mut sys, ep, client) = build(true);
+    let r = sys.call(0, client, ep, [5 * 4096, 0, 0, 0, 0, 0, 0, 0]).unwrap();
+    assert_eq!(r, [u64::MAX; 8], "handler saw the stack overflow");
+    // And the system still serves shallow calls.
+    let r = sys.call(0, client, ep, [100, 0, 0, 0, 0, 0, 0, 0]).unwrap();
+    assert_eq!(r, [0; 8]);
+}
+
+#[test]
+fn stack_overflow_raises_an_exception_upcall() {
+    // §4.4: upcalls are "currently used for debugging and exception
+    // handling". Register an exception server and verify a stack
+    // overflow is delivered to it with the faulting entry and size.
+    use std::cell::RefCell;
+    let (mut sys, ep, client) = build(true);
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let log2 = Rc::clone(&log);
+    let exc_ep = sys
+        .bind_entry_boot(
+            ServiceSpec::new(hector_sim::tlb::ASID_KERNEL).name("exception-server"),
+            Rc::new(move |_s, ctx| {
+                log2.borrow_mut().push((ctx.args[0], ctx.args[1], ctx.args[2]));
+                [0; 8]
+            }),
+        )
+        .unwrap();
+    sys.set_exception_server(exc_ep);
+
+    let r = sys.call(0, client, ep, [9 * 4096, 0, 0, 0, 0, 0, 0, 0]).unwrap();
+    assert_eq!(r, [u64::MAX; 8], "handler observed the overflow");
+    let log = log.borrow();
+    assert_eq!(log.len(), 1, "one exception upcall delivered");
+    assert_eq!(log[0].0, ppc_core::variants::exception::STACK_OVERFLOW);
+    assert_eq!(log[0].1, ep as u64, "faulting entry identified");
+    assert_eq!(log[0].2, 9 * 4096, "requested size reported");
+}
+
+#[test]
+fn single_page_services_unaffected_by_touch() {
+    let mut sys = PpcSystem::boot(MachineConfig::hector(1));
+    let asid = sys.kernel.create_space("svc");
+    let ep = sys
+        .bind_entry_boot(
+            ServiceSpec::new(asid),
+            Rc::new(|s: &mut PpcSystem, ctx| {
+                s.touch_worker_stack(ctx, 1000).unwrap();
+                [7; 8]
+            }),
+        )
+        .unwrap();
+    let prog = sys.kernel.new_program_id();
+    let client = sys.new_client(0, prog);
+    assert_eq!(sys.call(0, client, ep, [0; 8]).unwrap(), [7; 8]);
+    assert_eq!(sys.stats.stack_pages_created, 0);
+}

@@ -1,0 +1,346 @@
+//! Set-associative write-back cache model (MC88200 CMMU).
+//!
+//! Hector's MC88200 cache/MMU chips provide 16 KB, **4-way set-associative**
+//! caches with 16-byte lines and write-back policy — and, crucially for the
+//! paper, **no hardware coherence**. The model tracks tag and dirty state
+//! per way and reports the *outcome* of each access; the CPU layer
+//! translates outcomes into cycle charges. Replacement within a set is
+//! FIFO (the 88200 used a pseudo-random/FIFO scheme; FIFO keeps the
+//! simulator deterministic).
+
+use crate::sym::PAddr;
+
+/// Outcome of a cache access, used by the CPU layer for cycle accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Line present; for stores, says whether the line was already dirty.
+    Hit {
+        /// Store hit a line that was still clean (first dirty store costs extra).
+        was_clean_store: bool,
+    },
+    /// Line absent; line fill required, possibly after writing back a victim.
+    Miss {
+        /// The victim line was dirty and must be written back first.
+        writeback: bool,
+    },
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Way {
+    tag: Option<u64>,
+    dirty: bool,
+}
+
+/// A set-associative, write-back cache.
+///
+/// ```
+/// use hector_sim::cache::{Cache, CacheOutcome};
+/// use hector_sim::PAddr;
+/// let mut c = Cache::new(16 * 1024, 16); // the MC88200: 4-way
+/// let a = PAddr::compose(0, 0x1000);
+/// assert!(matches!(c.access(a, false), CacheOutcome::Miss { .. }));
+/// assert!(matches!(c.access(a, true), CacheOutcome::Hit { was_clean_store: true }));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    line_bytes: usize,
+    n_sets: usize,
+    ways: usize,
+    /// `n_sets * ways` entries, set-major.
+    lines: Vec<Way>,
+    /// FIFO replacement pointer per set.
+    next_victim: Vec<u8>,
+    // statistics
+    hits: u64,
+    misses: u64,
+    writebacks: u64,
+}
+
+impl Cache {
+    /// A cache of `cache_bytes` with `line_bytes` lines and `ways`-way
+    /// associativity (`ways = 1` models a direct-mapped cache).
+    pub fn new_assoc(cache_bytes: usize, line_bytes: usize, ways: usize) -> Self {
+        assert!(line_bytes.is_power_of_two() && cache_bytes.is_multiple_of(line_bytes));
+        assert!(ways >= 1 && (cache_bytes / line_bytes).is_multiple_of(ways));
+        let n_sets = cache_bytes / line_bytes / ways;
+        Cache {
+            line_bytes,
+            n_sets,
+            ways,
+            lines: vec![Way::default(); n_sets * ways],
+            next_victim: vec![0; n_sets],
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// The MC88200 configuration: 4-way set-associative.
+    pub fn new(cache_bytes: usize, line_bytes: usize) -> Self {
+        Self::new_assoc(cache_bytes, line_bytes, 4)
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        (line % self.n_sets as u64) as usize
+    }
+
+    #[inline]
+    fn set_slice(&self, set: usize) -> std::ops::Range<usize> {
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    /// The global line number an address maps to.
+    #[inline]
+    pub fn line_of(&self, addr: PAddr) -> u64 {
+        addr.line(self.line_bytes)
+    }
+
+    /// Access `addr`; updates tag/dirty state and returns the outcome.
+    pub fn access(&mut self, addr: PAddr, is_write: bool) -> CacheOutcome {
+        let line = self.line_of(addr);
+        let set = self.set_of(line);
+        let range = self.set_slice(set);
+        // Hit check.
+        for i in range.clone() {
+            if self.lines[i].tag == Some(line) {
+                self.hits += 1;
+                let was_clean_store = is_write && !self.lines[i].dirty;
+                if is_write {
+                    self.lines[i].dirty = true;
+                }
+                return CacheOutcome::Hit { was_clean_store };
+            }
+        }
+        // Miss: prefer an invalid way, else FIFO victim.
+        self.misses += 1;
+        let victim = range
+            .clone()
+            .find(|i| self.lines[*i].tag.is_none())
+            .unwrap_or_else(|| {
+                let v = range.start + self.next_victim[set] as usize;
+                self.next_victim[set] = ((self.next_victim[set] as usize + 1) % self.ways) as u8;
+                v
+            });
+        let writeback = self.lines[victim].tag.is_some() && self.lines[victim].dirty;
+        if writeback {
+            self.writebacks += 1;
+        }
+        self.lines[victim] = Way { tag: Some(line), dirty: is_write };
+        CacheOutcome::Miss { writeback }
+    }
+
+    /// Is the line containing `addr` currently resident?
+    pub fn contains(&self, addr: PAddr) -> bool {
+        let line = self.line_of(addr);
+        let set = self.set_of(line);
+        self.set_slice(set).any(|i| self.lines[i].tag == Some(line))
+    }
+
+    /// Invalidate everything without writeback (simulating a cache that has
+    /// been flushed and invalidated between measurements). Returns the
+    /// number of lines that were dirty (a real flush would write them back;
+    /// callers charging for the flush can use this count).
+    pub fn flush_all(&mut self) -> usize {
+        let dirty = self.lines.iter().filter(|w| w.tag.is_some() && w.dirty).count();
+        self.lines.fill(Way::default());
+        self.next_victim.fill(0);
+        dirty
+    }
+
+    /// Invalidate the single line containing `addr` (no writeback charge).
+    pub fn invalidate_line(&mut self, addr: PAddr) {
+        let line = self.line_of(addr);
+        let set = self.set_of(line);
+        for i in self.set_slice(set) {
+            if self.lines[i].tag == Some(line) {
+                self.lines[i] = Way::default();
+            }
+        }
+    }
+
+    /// Mark every currently-resident line dirty — used to set up the
+    /// "dirty cache" condition of the paper's Figure 2 discussion, where
+    /// misses additionally pay victim writebacks.
+    pub fn dirty_all(&mut self) {
+        for w in &mut self.lines {
+            if w.tag.is_some() {
+                w.dirty = true;
+            }
+        }
+    }
+
+    /// Fill the whole cache with unrelated dirty lines, so that every
+    /// subsequent miss also pays a victim writeback. `salt` selects a
+    /// disjoint address universe.
+    pub fn pollute_dirty(&mut self, salt: u64) {
+        for set in 0..self.n_sets {
+            for w in 0..self.ways {
+                // A line congruent to `set` modulo n_sets, from a foreign
+                // universe so it can never match a real address.
+                let line = (1u64 << 40)
+                    + (salt * self.ways as u64 + w as u64 + 1) * self.n_sets as u64
+                    + set as u64;
+                debug_assert_eq!(self.set_of(line), set);
+                self.lines[set * self.ways + w] = Way { tag: Some(line), dirty: true };
+            }
+        }
+    }
+
+    /// (hits, misses, writebacks) counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.writebacks)
+    }
+
+    /// Reset statistics counters (state is untouched).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+        self.writebacks = 0;
+    }
+
+    /// Associativity of this cache.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sym::PAddr;
+
+    /// 4 sets x 2 ways of 16-byte lines for easy conflict construction.
+    fn small() -> Cache {
+        Cache::new_assoc(128, 16, 2)
+    }
+
+    fn a(off: u64) -> PAddr {
+        PAddr::compose(0, off)
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small();
+        assert!(matches!(c.access(a(0), false), CacheOutcome::Miss { writeback: false }));
+        assert!(matches!(c.access(a(4), false), CacheOutcome::Hit { .. }));
+        assert!(matches!(c.access(a(15), false), CacheOutcome::Hit { .. }));
+        assert!(matches!(c.access(a(16), false), CacheOutcome::Miss { .. }));
+    }
+
+    #[test]
+    fn first_store_to_clean_line_flagged() {
+        let mut c = small();
+        c.access(a(0), false); // fill clean
+        match c.access(a(0), true) {
+            CacheOutcome::Hit { was_clean_store } => assert!(was_clean_store),
+            o => panic!("expected hit, got {o:?}"),
+        }
+        match c.access(a(8), true) {
+            CacheOutcome::Hit { was_clean_store } => assert!(!was_clean_store, "already dirty"),
+            o => panic!("expected hit, got {o:?}"),
+        }
+    }
+
+    #[test]
+    fn associativity_absorbs_one_conflict() {
+        let mut c = small(); // 4 sets, 2 ways: set stride = 64 bytes
+        c.access(a(0), false);
+        c.access(a(64), false); // same set, second way
+        assert!(c.contains(a(0)), "two-way set holds both lines");
+        assert!(c.contains(a(64)));
+        c.access(a(128), false); // third line: evicts FIFO victim (line 0)
+        assert!(!c.contains(a(0)));
+        assert!(c.contains(a(64)));
+        assert!(c.contains(a(128)));
+    }
+
+    #[test]
+    fn conflict_eviction_writes_back_dirty_victim() {
+        let mut c = small();
+        c.access(a(0), true); // set 0, way 0, dirty
+        c.access(a(64), false); // set 0, way 1, clean
+        match c.access(a(128), false) {
+            // FIFO victim is the dirty line 0.
+            CacheOutcome::Miss { writeback } => assert!(writeback),
+            o => panic!("{o:?}"),
+        }
+        match c.access(a(192), false) {
+            // Next victim is the clean line 64.
+            CacheOutcome::Miss { writeback } => assert!(!writeback),
+            o => panic!("{o:?}"),
+        }
+    }
+
+    #[test]
+    fn direct_mapped_mode_conflicts_immediately() {
+        let mut c = Cache::new_assoc(64, 16, 1);
+        c.access(a(0), true);
+        match c.access(a(64), false) {
+            CacheOutcome::Miss { writeback } => assert!(writeback),
+            o => panic!("{o:?}"),
+        }
+        assert!(!c.contains(a(0)));
+    }
+
+    #[test]
+    fn flush_reports_dirty_count_and_empties() {
+        let mut c = small();
+        c.access(a(0), true);
+        c.access(a(16), false);
+        c.access(a(32), true);
+        assert_eq!(c.flush_all(), 2);
+        assert!(!c.contains(a(0)));
+        assert!(matches!(c.access(a(0), false), CacheOutcome::Miss { writeback: false }));
+    }
+
+    #[test]
+    fn pollute_dirty_makes_every_miss_pay_writeback() {
+        let mut c = small();
+        c.pollute_dirty(1);
+        for off in [0u64, 16, 32, 48, 64] {
+            match c.access(a(off), false) {
+                CacheOutcome::Miss { writeback } => assert!(writeback),
+                o => panic!("{o:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stats_track_accesses() {
+        let mut c = small();
+        c.access(a(0), false);
+        c.access(a(0), false);
+        c.access(a(0), true);
+        let (h, m, w) = c.stats();
+        assert_eq!((h, m, w), (2, 1, 0));
+        c.reset_stats();
+        assert_eq!(c.stats(), (0, 0, 0));
+    }
+
+    #[test]
+    fn different_modules_do_not_alias() {
+        let mut c = small();
+        c.access(PAddr::compose(0, 0), false);
+        // Same module offset on another module is a different global line.
+        assert!(matches!(
+            c.access(PAddr::compose(1, 0), false),
+            CacheOutcome::Miss { .. }
+        ));
+    }
+
+    #[test]
+    fn invalidate_line_removes_only_that_line() {
+        let mut c = small();
+        c.access(a(0), true);
+        c.access(a(16), true);
+        c.invalidate_line(a(0));
+        assert!(!c.contains(a(0)));
+        assert!(c.contains(a(16)));
+    }
+
+    #[test]
+    fn default_is_4way() {
+        assert_eq!(Cache::new(16 * 1024, 16).ways(), 4);
+    }
+}

@@ -1,0 +1,556 @@
+//! Discrete-event engine for multiprocessor experiments.
+//!
+//! The paper's Figure 3 runs up to 16 clients against one server and shows
+//! (a) perfect linear speedup when the IPC path shares nothing, and (b)
+//! saturation at ~4 processors as soon as a single per-file lock enters the
+//! path. This engine reproduces that mechanism rather than its curve:
+//! actors (one per simulated processor) execute segment sequences whose
+//! costs were *measured* on the [`crate::cpu::Cpu`] model, and locks are
+//! contended resources with FIFO queueing, cache-line handover costs, and
+//! interference from spinning waiters.
+//!
+//! Everything is deterministic: ties break on insertion sequence numbers.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::config::MachineConfig;
+use crate::cpu::CpuId;
+use crate::time::Cycles;
+use crate::topology::{ModuleId, Topology};
+
+/// Identifies an actor within one [`Des`] run.
+pub type ActorId = usize;
+
+/// Identifies a lock within one [`Des`] run.
+pub type LockId = usize;
+
+/// What an actor does next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// Compute for the given number of cycles.
+    Busy(Cycles),
+    /// Acquire a lock (the engine blocks the actor until granted and
+    /// charges the atomic-operation and contention costs).
+    Acquire(LockId),
+    /// Release a lock the actor holds.
+    Release(LockId),
+    /// The actor has finished.
+    Done,
+}
+
+/// An actor is a deterministic state machine: each call to `step` returns
+/// the next action; the engine performs it (including any blocking) and
+/// calls `step` again when the action completes.
+pub trait Actor {
+    /// Produce the next action. `now` is this actor's local time.
+    fn step(&mut self, now: Cycles) -> Step;
+}
+
+#[derive(Debug)]
+struct Lock {
+    home: ModuleId,
+    owner: Option<ActorId>,
+    waiters: VecDeque<(ActorId, Cycles)>,
+    acquires: u64,
+    contended: u64,
+    total_wait: Cycles,
+}
+
+/// Per-actor accounting maintained by the engine.
+#[derive(Clone, Debug, Default)]
+pub struct ActorStats {
+    /// Cycles spent blocked waiting for locks.
+    pub wait: Cycles,
+    /// Number of lock acquisitions.
+    pub acquires: u64,
+    /// Local completion time if the actor returned [`Step::Done`].
+    pub done_at: Option<Cycles>,
+}
+
+/// Statistics for one lock after a run.
+#[derive(Clone, Debug, Default)]
+pub struct LockStats {
+    /// Total acquisitions.
+    pub acquires: u64,
+    /// Acquisitions that had to queue.
+    pub contended: u64,
+    /// Total cycles actors spent queued on this lock.
+    pub total_wait: Cycles,
+}
+
+/// The discrete-event simulation engine.
+///
+/// ```
+/// use hector_sim::des::{Des, Segment, SegmentLoopActor};
+/// use hector_sim::{Cycles, MachineConfig};
+/// let mut des = Des::new(MachineConfig::hector(2));
+/// let deadline = Cycles::new(10_000);
+/// des.add_actor(0, SegmentLoopActor::new(vec![Segment::Busy(Cycles::new(100))], deadline), Cycles::ZERO);
+/// des.run_until(Cycles::new(20_000));
+/// assert_eq!(des.actors()[0].completed, 100);
+/// ```
+pub struct Des<A: Actor> {
+    cfg: MachineConfig,
+    topo: Topology,
+    actors: Vec<A>,
+    actor_cpu: Vec<CpuId>,
+    stats: Vec<ActorStats>,
+    locks: Vec<Lock>,
+    queue: BinaryHeap<Reverse<(u64, u64, ActorId)>>,
+    seq: u64,
+    now: Cycles,
+}
+
+impl<A: Actor> Des<A> {
+    /// A new engine over machine configuration `cfg`.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let topo = Topology::new(&cfg);
+        Des {
+            cfg,
+            topo,
+            actors: Vec::new(),
+            actor_cpu: Vec::new(),
+            stats: Vec::new(),
+            locks: Vec::new(),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: Cycles::ZERO,
+        }
+    }
+
+    /// Create a lock whose cache line is homed on module `home`.
+    pub fn add_lock(&mut self, home: ModuleId) -> LockId {
+        self.locks.push(Lock {
+            home,
+            owner: None,
+            waiters: VecDeque::new(),
+            acquires: 0,
+            contended: 0,
+            total_wait: Cycles::ZERO,
+        });
+        self.locks.len() - 1
+    }
+
+    /// Add an actor bound to `cpu`, first stepping at time `start`.
+    pub fn add_actor(&mut self, cpu: CpuId, actor: A, start: Cycles) -> ActorId {
+        assert!(cpu < self.cfg.n_cpus, "actor bound to nonexistent cpu {cpu}");
+        let id = self.actors.len();
+        self.actors.push(actor);
+        self.actor_cpu.push(cpu);
+        self.stats.push(ActorStats::default());
+        self.schedule(id, start);
+        id
+    }
+
+    fn schedule(&mut self, actor: ActorId, at: Cycles) {
+        self.seq += 1;
+        self.queue.push(Reverse((at.as_u64(), self.seq, actor)));
+    }
+
+    /// Cost of one atomic access to a lock line from `cpu` (`xmem` on the
+    /// M88100: an uncached read-modify-write at the line's home module).
+    fn atomic_cost(&self, cpu: CpuId, home: ModuleId) -> Cycles {
+        self.cfg.uncached_local + self.cfg.hop_extra * self.topo.hops(cpu, home) as u64
+    }
+
+    /// Run until the event queue is empty or simulated time exceeds `until`.
+    pub fn run_until(&mut self, until: Cycles) {
+        while let Some(&Reverse((t, _, _))) = self.queue.peek() {
+            if t > until.as_u64() {
+                break;
+            }
+            let Reverse((t, _, actor)) = self.queue.pop().unwrap();
+            self.now = Cycles(t);
+            self.dispatch(actor);
+        }
+    }
+
+    fn dispatch(&mut self, id: ActorId) {
+        let now = self.now;
+        match self.actors[id].step(now) {
+            Step::Busy(c) => self.schedule(id, now + c),
+            Step::Acquire(l) => self.acquire(id, l),
+            Step::Release(l) => self.release(id, l),
+            Step::Done => self.stats[id].done_at = Some(now),
+        }
+    }
+
+    fn acquire(&mut self, id: ActorId, l: LockId) {
+        let cpu = self.actor_cpu[id];
+        let home = self.locks[l].home;
+        let atomic = self.atomic_cost(cpu, home);
+        let lock = &mut self.locks[l];
+        if lock.owner.is_none() {
+            lock.owner = Some(id);
+            lock.acquires += 1;
+            self.stats[id].acquires += 1;
+            // Uncontended: one test-and-set (read + set in one xmem) plus
+            // the line access cost.
+            let grant = self.now + atomic * 2;
+            self.schedule(id, grant);
+        } else {
+            lock.contended += 1;
+            lock.waiters.push_back((id, self.now));
+        }
+    }
+
+    fn release(&mut self, id: ActorId, l: LockId) {
+        let releaser_cpu = self.actor_cpu[id];
+        let home = self.locks[l].home;
+        debug_assert_eq!(self.locks[l].owner, Some(id), "release by non-owner");
+        let release_cost = self.atomic_cost(releaser_cpu, home);
+
+        // The releaser continues after its release store.
+        self.schedule(id, self.now + release_cost);
+
+        let next = self.locks[l].waiters.pop_front();
+        match next {
+            None => {
+                self.locks[l].owner = None;
+            }
+            Some((w, enq)) => {
+                let n_spinning = self.locks[l].waiters.len() as u64;
+                let w_cpu = self.actor_cpu[w];
+                let handover = self.cfg.lock_handover
+                    + self.atomic_cost(w_cpu, home) * 2
+                    + self.cfg.spin_interference * n_spinning;
+                let grant = self.now + release_cost + handover;
+                let waited = grant.saturating_sub(enq);
+                self.stats[w].wait += waited;
+                self.stats[w].acquires += 1;
+                let lock = &mut self.locks[l];
+                lock.owner = Some(w);
+                lock.acquires += 1;
+                lock.total_wait += waited;
+                self.schedule(w, grant);
+            }
+        }
+    }
+
+    /// The actors, for reading workload-specific results after a run.
+    pub fn actors(&self) -> &[A] {
+        &self.actors
+    }
+
+    /// Engine-side statistics for `actor`.
+    pub fn actor_stats(&self, actor: ActorId) -> &ActorStats {
+        &self.stats[actor]
+    }
+
+    /// Statistics for `lock`.
+    pub fn lock_stats(&self, lock: LockId) -> LockStats {
+        let l = &self.locks[lock];
+        LockStats { acquires: l.acquires, contended: l.contended, total_wait: l.total_wait }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+}
+
+/// One iteration segment of a [`SegmentLoopActor`].
+#[derive(Clone, Copy, Debug)]
+pub enum Segment {
+    /// Compute for the given cycles.
+    Busy(Cycles),
+    /// Acquire the lock.
+    Acquire(LockId),
+    /// Release the lock.
+    Release(LockId),
+}
+
+/// An actor that repeats a fixed segment sequence until a deadline,
+/// counting completed iterations — the shape of every client in the
+/// paper's throughput experiments.
+#[derive(Clone, Debug)]
+pub struct SegmentLoopActor {
+    segments: Vec<Segment>,
+    idx: usize,
+    deadline: Cycles,
+    /// Completed iterations.
+    pub completed: u64,
+}
+
+impl SegmentLoopActor {
+    /// Repeat `segments` until `deadline`.
+    pub fn new(segments: Vec<Segment>, deadline: Cycles) -> Self {
+        assert!(!segments.is_empty());
+        SegmentLoopActor { segments, idx: 0, deadline, completed: 0 }
+    }
+}
+
+impl Actor for SegmentLoopActor {
+    fn step(&mut self, now: Cycles) -> Step {
+        if self.idx == 0
+            && now >= self.deadline {
+                return Step::Done;
+            }
+        let seg = self.segments[self.idx];
+        self.idx += 1;
+        if self.idx == self.segments.len() {
+            self.idx = 0;
+            self.completed += 1;
+        }
+        match seg {
+            Segment::Busy(c) => Step::Busy(c),
+            Segment::Acquire(l) => Step::Acquire(l),
+            Segment::Release(l) => Step::Release(l),
+        }
+    }
+}
+
+/// A [`SegmentLoopActor`] variant whose `Busy` segments are jittered by a
+/// seeded RNG: each iteration scales its compute segments by a factor
+/// drawn uniformly from `[1 - jitter, 1 + jitter]`. Deterministic for a
+/// given seed. Used to show that throughput conclusions (linear vs
+/// saturating) are robust to non-lockstep arrival patterns.
+#[derive(Clone, Debug)]
+pub struct JitterLoopActor {
+    segments: Vec<Segment>,
+    idx: usize,
+    deadline: Cycles,
+    rng: rand::rngs::StdRng,
+    jitter_pct: u64,
+    scale_num: u64,
+    /// Completed iterations.
+    pub completed: u64,
+}
+
+impl JitterLoopActor {
+    /// Repeat `segments` until `deadline`, jittering compute by
+    /// `jitter_pct` percent (0..=90) with the given `seed`.
+    pub fn new(segments: Vec<Segment>, deadline: Cycles, jitter_pct: u64, seed: u64) -> Self {
+        use rand::SeedableRng;
+        assert!(jitter_pct <= 90);
+        assert!(!segments.is_empty());
+        JitterLoopActor {
+            segments,
+            idx: 0,
+            deadline,
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            jitter_pct,
+            scale_num: 100,
+            completed: 0,
+        }
+    }
+}
+
+impl Actor for JitterLoopActor {
+    fn step(&mut self, now: Cycles) -> Step {
+        use rand::Rng;
+        if self.idx == 0 {
+            if now >= self.deadline {
+                return Step::Done;
+            }
+            // One jitter factor per iteration.
+            let lo = 100 - self.jitter_pct;
+            let hi = 100 + self.jitter_pct;
+            self.scale_num = self.rng.gen_range(lo..=hi);
+        }
+        let seg = self.segments[self.idx];
+        self.idx += 1;
+        if self.idx == self.segments.len() {
+            self.idx = 0;
+            self.completed += 1;
+        }
+        match seg {
+            Segment::Busy(c) => Step::Busy(Cycles(c.as_u64() * self.scale_num / 100)),
+            Segment::Acquire(l) => Step::Acquire(l),
+            Segment::Release(l) => Step::Release(l),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: usize) -> MachineConfig {
+        MachineConfig::hector(n)
+    }
+
+    #[test]
+    fn jitter_actor_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut des = Des::new(cfg(4));
+            let deadline = Cycles(100_000);
+            des.add_actor(
+                0,
+                JitterLoopActor::new(vec![Segment::Busy(Cycles(500))], deadline, 30, seed),
+                Cycles::ZERO,
+            );
+            des.run_until(Cycles(200_000));
+            des.actors()[0].completed
+        };
+        assert_eq!(run(7), run(7), "same seed, same result");
+        // Mean stays near the unjittered rate.
+        let unjittered = 100_000 / 500;
+        let got = run(7);
+        assert!((got as i64 - unjittered as i64).unsigned_abs() < unjittered / 5);
+    }
+
+    #[test]
+    fn independent_actors_scale_linearly() {
+        // No shared lock: N actors complete N times the work of one.
+        let deadline = Cycles::from_us(10_000.0);
+        let per_iter = Cycles(1000);
+        let mut totals = Vec::new();
+        for n in [1usize, 4, 8] {
+            let mut des = Des::new(cfg(16));
+            for cpu in 0..n {
+                des.add_actor(
+                    cpu,
+                    SegmentLoopActor::new(vec![Segment::Busy(per_iter)], deadline),
+                    Cycles(cpu as u64 * 13),
+                );
+            }
+            des.run_until(deadline + Cycles(10_000));
+            let total: u64 = des.actors().iter().map(|a| a.completed).sum();
+            totals.push(total);
+        }
+        let per1 = totals[0] as f64;
+        assert!((totals[1] as f64 / per1 - 4.0).abs() < 0.05, "{totals:?}");
+        assert!((totals[2] as f64 / per1 - 8.0).abs() < 0.05, "{totals:?}");
+    }
+
+    #[test]
+    fn fully_serialized_actors_saturate() {
+        // Everything inside one lock: total throughput must be flat in N.
+        let deadline = Cycles::from_us(5_000.0);
+        let cs = Cycles(1000);
+        let mut totals = Vec::new();
+        for n in [1usize, 4, 8] {
+            let mut des = Des::new(cfg(16));
+            let lock = des.add_lock(0);
+            for cpu in 0..n {
+                des.add_actor(
+                    cpu,
+                    SegmentLoopActor::new(
+                        vec![Segment::Acquire(lock), Segment::Busy(cs), Segment::Release(lock)],
+                        deadline,
+                    ),
+                    Cycles(cpu as u64 * 7),
+                );
+            }
+            des.run_until(deadline + Cycles(100_000));
+            totals.push(des.actors().iter().map(|a| a.completed).sum::<u64>());
+        }
+        let t1 = totals[0] as f64;
+        assert!(totals[1] as f64 <= t1 * 1.05, "serialized: {totals:?}");
+        assert!(totals[2] as f64 <= t1 * 1.05, "serialized: {totals:?}");
+        // And contention never *helps* (small boundary jitter allowed).
+        assert!(totals[2] <= totals[0] + totals[0] / 10, "{totals:?}");
+    }
+
+    #[test]
+    fn partial_serialization_saturates_at_ratio() {
+        // 3/4 local work, 1/4 critical section => saturation near 4 CPUs.
+        let deadline = Cycles::from_us(20_000.0);
+        let local = Cycles(1500);
+        let cs = Cycles(500);
+        let mut totals = Vec::new();
+        for n in [1usize, 4, 12] {
+            let mut des = Des::new(cfg(16));
+            let lock = des.add_lock(0);
+            for cpu in 0..n {
+                des.add_actor(
+                    cpu,
+                    SegmentLoopActor::new(
+                        vec![
+                            Segment::Busy(local),
+                            Segment::Acquire(lock),
+                            Segment::Busy(cs),
+                            Segment::Release(lock),
+                        ],
+                        deadline,
+                    ),
+                    Cycles(cpu as u64 * 11),
+                );
+            }
+            des.run_until(deadline + Cycles(100_000));
+            totals.push(des.actors().iter().map(|a| a.completed).sum::<u64>());
+        }
+        let t1 = totals[0] as f64;
+        let s4 = totals[1] as f64 / t1;
+        let s12 = totals[2] as f64 / t1;
+        assert!(s4 > 2.5, "4 CPUs should still scale ({s4:.2}x): {totals:?}");
+        assert!(s12 < 4.5, "must saturate near 1/serial-fraction ({s12:.2}x)");
+    }
+
+    #[test]
+    fn lock_stats_and_wait_accounting() {
+        let deadline = Cycles(50_000);
+        let mut des = Des::new(cfg(4));
+        let lock = des.add_lock(0);
+        for cpu in 0..2 {
+            des.add_actor(
+                cpu,
+                SegmentLoopActor::new(
+                    vec![Segment::Acquire(lock), Segment::Busy(Cycles(400)), Segment::Release(lock)],
+                    deadline,
+                ),
+                Cycles::ZERO,
+            );
+        }
+        des.run_until(Cycles(200_000));
+        let ls = des.lock_stats(lock);
+        assert!(ls.acquires > 0);
+        assert!(ls.contended > 0, "two hot actors must contend");
+        assert!(ls.total_wait > Cycles::ZERO);
+        let w0 = des.actor_stats(0);
+        assert!(w0.done_at.is_some());
+    }
+
+    #[test]
+    fn determinism() {
+        let run = || {
+            let deadline = Cycles(100_000);
+            let mut des = Des::new(cfg(8));
+            let lock = des.add_lock(3);
+            for cpu in 0..8 {
+                des.add_actor(
+                    cpu,
+                    SegmentLoopActor::new(
+                        vec![
+                            Segment::Busy(Cycles(300 + cpu as u64)),
+                            Segment::Acquire(lock),
+                            Segment::Busy(Cycles(100)),
+                            Segment::Release(lock),
+                        ],
+                        deadline,
+                    ),
+                    Cycles(cpu as u64),
+                );
+            }
+            des.run_until(Cycles(300_000));
+            des.actors().iter().map(|a| a.completed).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn remote_lock_costs_more_than_local() {
+        // One actor on cpu0 with the lock homed locally vs homed far away:
+        // the far case completes fewer iterations in the same time.
+        let deadline = Cycles(200_000);
+        let run = |home: usize| {
+            let mut des = Des::new(cfg(16));
+            let lock = des.add_lock(home);
+            des.add_actor(
+                0,
+                SegmentLoopActor::new(
+                    vec![Segment::Acquire(lock), Segment::Busy(Cycles(50)), Segment::Release(lock)],
+                    deadline,
+                ),
+                Cycles::ZERO,
+            );
+            des.run_until(Cycles(400_000));
+            des.actors()[0].completed
+        };
+        let local = run(0);
+        let remote = run(8);
+        assert!(remote < local, "remote {remote} !< local {local}");
+    }
+}

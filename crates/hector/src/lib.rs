@@ -1,0 +1,63 @@
+//! # hector-sim — a deterministic cost simulator of the Hector multiprocessor
+//!
+//! The evaluation platform of Gamsa, Krieger & Stumm, *Optimizing IPC
+//! Performance for Shared-Memory Multiprocessors* (CSRI-294, 1994) is the
+//! Hector shared-memory NUMA machine: 16 Motorola 88100 processors at
+//! 16.67 MHz with 16 KB direct-mapped instruction and data caches (16-byte
+//! lines), **no hardware cache coherence**, a dual-context (user/supervisor)
+//! TLB with a 27-cycle miss penalty, and ring-connected stations of
+//! processor+memory modules.
+//!
+//! This crate reproduces that machine as a *cost* simulator: simulated
+//! kernel code executes ordinary Rust, but every instruction, load, store,
+//! trap and TLB operation is charged to a per-CPU cycle clock through a
+//! [`cpu::Cpu`], flowing through faithful cache ([`cache`]) and TLB
+//! ([`tlb`]) models and a NUMA distance model ([`topology`]). Charges are
+//! attributed to the cost categories of the paper's Figure 2
+//! ([`cpu::CostCategory`]), so the breakdown figure is *measured from the
+//! simulated implementation*, not hard-coded.
+//!
+//! Multi-processor experiments (the paper's Figure 3) run on the
+//! discrete-event engine in [`des`], which models contended locks with FIFO
+//! queueing plus the cache-invalidation/interconnect interference that makes
+//! contended critical sections grow — the mechanism that saturates the
+//! "single shared file" curve in the paper.
+//!
+//! Everything is single-threaded and fully deterministic: simulations
+//! regenerate bit-identical results on every run.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use hector_sim::{Machine, MachineConfig, MemAttrs, cpu::CostCategory};
+//!
+//! let mut m = Machine::new(MachineConfig::hector(4));
+//! let buf = m.alloc_on(0, 64, "buffer");
+//! let attrs = MemAttrs::cached_private(0);
+//! let cpu = m.cpu_mut(0);
+//! cpu.begin_measure();
+//! cpu.with_category(CostCategory::PpcKernel, |cpu| {
+//!     for i in 0..4 {
+//!         cpu.store(buf.base.offset(i * 8), attrs);
+//!     }
+//! });
+//! let bd = cpu.end_measure();
+//! assert!(bd.total().as_u64() > 0);
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod cpu;
+pub mod des;
+pub mod machine;
+pub mod sym;
+pub mod time;
+pub mod tlb;
+pub mod trace;
+pub mod topology;
+
+pub use config::MachineConfig;
+pub use cpu::{CostBreakdown, CostCategory, Cpu, CpuId};
+pub use machine::Machine;
+pub use sym::{MemAttrs, PAddr, Region, Sharing};
+pub use time::{Cycles, CYCLE_NS};

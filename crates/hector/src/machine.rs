@@ -1,0 +1,99 @@
+//! The assembled machine: processors plus per-module symbolic heaps.
+
+use crate::config::MachineConfig;
+use crate::cpu::{Cpu, CpuId};
+use crate::sym::{Region, SymHeap};
+use crate::topology::Topology;
+
+/// A simulated Hector machine.
+///
+/// Owns one [`Cpu`] and one [`SymHeap`] per processor module. Simulated
+/// kernel objects allocate symbolic memory from the heap of the module they
+/// should be homed on ([`Machine::alloc_on`]) — per-processor PPC resources
+/// are homed locally, which is exactly what makes the fastpath NUMA-neutral.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    cfg: MachineConfig,
+    topo: Topology,
+    cpus: Vec<Cpu>,
+    heaps: Vec<SymHeap>,
+}
+
+impl Machine {
+    /// Build a machine with `cfg.n_cpus` processors.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let cpus = (0..cfg.n_cpus).map(|i| Cpu::new(i, &cfg)).collect();
+        let heaps = (0..cfg.n_cpus).map(SymHeap::new).collect();
+        let topo = Topology::new(&cfg);
+        Machine { cfg, topo, cpus, heaps }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The interconnect topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Number of processors.
+    pub fn n_cpus(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// Immutable access to processor `id`.
+    pub fn cpu(&self, id: CpuId) -> &Cpu {
+        &self.cpus[id]
+    }
+
+    /// Mutable access to processor `id`.
+    pub fn cpu_mut(&mut self, id: CpuId) -> &mut Cpu {
+        &mut self.cpus[id]
+    }
+
+    /// Allocate `bytes` of symbolic memory homed on `cpu`'s local module.
+    /// `what` documents the allocation (kept for debugging symmetry with a
+    /// real kernel's named pools; not stored).
+    pub fn alloc_on(&mut self, cpu: CpuId, bytes: u64, what: &str) -> Region {
+        let _ = what;
+        self.heaps[cpu].alloc(bytes)
+    }
+
+    /// Allocate one page-aligned page homed on `cpu`'s local module.
+    pub fn alloc_page_on(&mut self, cpu: CpuId, what: &str) -> Region {
+        let _ = what;
+        self.heaps[cpu].alloc_page()
+    }
+
+    /// Allocate globally-shared memory. Homed on module 0, as a central
+    /// kernel would place boot-time shared structures.
+    pub fn alloc_shared(&mut self, bytes: u64, what: &str) -> Region {
+        self.alloc_on(0, bytes, what)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_has_per_cpu_heaps() {
+        let mut m = Machine::new(MachineConfig::hector(4));
+        assert_eq!(m.n_cpus(), 4);
+        let a = m.alloc_on(2, 64, "x");
+        assert_eq!(a.base.module(), 2);
+        let p = m.alloc_page_on(3, "stack");
+        assert_eq!(p.base.module(), 3);
+        assert_eq!(p.len, 4096);
+    }
+
+    #[test]
+    fn cpus_have_matching_ids() {
+        let m = Machine::new(MachineConfig::hector(3));
+        for i in 0..3 {
+            assert_eq!(m.cpu(i).id, i);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Symbolic physical memory.
+//!
+//! The simulated kernel keeps its real state in ordinary Rust structures;
+//! what the machine model needs is only *which memory* each operation
+//! touches, so that the cache, TLB, and NUMA models behave faithfully.
+//! Every simulated kernel object is therefore assigned a symbolic physical
+//! address range from the per-module bump allocators in [`SymHeap`].
+//!
+//! A [`PAddr`] encodes the owning memory module in its high bits, giving the
+//! NUMA model the home node of every access for free.
+
+use std::fmt;
+
+use crate::topology::ModuleId;
+
+/// Bits of offset within one memory module (4 GiB symbolic space each).
+pub const MODULE_SHIFT: u32 = 32;
+
+/// Page size (4 KB, as on the MC88200 and in the paper's stack discussion).
+pub const PAGE_BYTES: u64 = 4096;
+
+/// A symbolic physical address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PAddr(pub u64);
+
+impl PAddr {
+    /// Compose an address from a module id and an offset within it.
+    #[inline]
+    pub fn compose(module: ModuleId, offset: u64) -> Self {
+        debug_assert!(offset < (1u64 << MODULE_SHIFT));
+        PAddr(((module as u64) << MODULE_SHIFT) | offset)
+    }
+
+    /// The memory module this address lives on.
+    #[inline]
+    pub fn module(self) -> ModuleId {
+        (self.0 >> MODULE_SHIFT) as ModuleId
+    }
+
+    /// Byte offset within the module.
+    #[inline]
+    pub fn module_offset(self) -> u64 {
+        self.0 & ((1u64 << MODULE_SHIFT) - 1)
+    }
+
+    /// Address `bytes` further on.
+    #[inline]
+    pub fn offset(self, bytes: u64) -> PAddr {
+        PAddr(self.0 + bytes)
+    }
+
+    /// The cache-line index of this address for a given line size.
+    #[inline]
+    pub fn line(self, line_bytes: usize) -> u64 {
+        self.0 / line_bytes as u64
+    }
+
+    /// The page number of this address.
+    #[inline]
+    pub fn page(self) -> u64 {
+        self.0 / PAGE_BYTES
+    }
+}
+
+impl fmt::Debug for PAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{:x}@m{}", self.module_offset(), self.module())
+    }
+}
+
+/// A contiguous symbolic region (e.g. one kernel object, one code body).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Region {
+    /// First byte.
+    pub base: PAddr,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl Region {
+    /// Address `off` bytes into the region (checked in debug builds).
+    #[inline]
+    pub fn at(&self, off: u64) -> PAddr {
+        debug_assert!(off < self.len, "offset {off} outside region of {} bytes", self.len);
+        self.base.offset(off)
+    }
+
+    /// Iterate over the cache lines the region spans.
+    pub fn lines(&self, line_bytes: usize) -> impl Iterator<Item = u64> {
+        let first = self.base.line(line_bytes);
+        let last = self.base.offset(self.len.max(1) - 1).line(line_bytes);
+        first..=last
+    }
+}
+
+/// Whether an access can legally be cached on Hector.
+///
+/// Hector has **no hardware cache coherence**: memory that is written by
+/// more than one processor must be mapped uncached (the operating system
+/// enforces this), while processor-private data is cached. This is exactly
+/// the property the PPC design exploits — its fastpath touches only
+/// `CachedPrivate` memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Sharing {
+    /// Private to one processor: cacheable.
+    CachedPrivate,
+    /// Shared and writable: uncached, every access goes to the home module.
+    UncachedShared,
+}
+
+/// Attributes of a memory access: sharing class and home module.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemAttrs {
+    /// Cacheability / sharing class.
+    pub sharing: Sharing,
+    /// Memory module holding the data.
+    pub home: ModuleId,
+}
+
+impl MemAttrs {
+    /// Cacheable, processor-private memory homed on `module`.
+    #[inline]
+    pub fn cached_private(module: ModuleId) -> Self {
+        MemAttrs { sharing: Sharing::CachedPrivate, home: module }
+    }
+
+    /// Uncached shared memory homed on `module`.
+    #[inline]
+    pub fn uncached_shared(module: ModuleId) -> Self {
+        MemAttrs { sharing: Sharing::UncachedShared, home: module }
+    }
+
+    /// Attributes appropriate for `addr` given its sharing class.
+    #[inline]
+    pub fn for_addr(addr: PAddr, sharing: Sharing) -> Self {
+        MemAttrs { sharing, home: addr.module() }
+    }
+}
+
+/// Per-module bump allocator handing out symbolic addresses.
+#[derive(Clone, Debug)]
+pub struct SymHeap {
+    module: ModuleId,
+    next: u64,
+}
+
+impl SymHeap {
+    /// A fresh heap for `module`. The first page is kept unused so that a
+    /// null-ish address is never handed out.
+    pub fn new(module: ModuleId) -> Self {
+        SymHeap { module, next: PAGE_BYTES }
+    }
+
+    /// Allocate `bytes` with the given alignment (must be a power of two).
+    pub fn alloc_aligned(&mut self, bytes: u64, align: u64) -> Region {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        assert!(bytes > 0, "zero-sized symbolic allocations are not useful");
+        self.next = (self.next + align - 1) & !(align - 1);
+        let base = PAddr::compose(self.module, self.next);
+        self.next += bytes;
+        Region { base, len: bytes }
+    }
+
+    /// Allocate `bytes` aligned to a cache line (16 B).
+    pub fn alloc(&mut self, bytes: u64) -> Region {
+        self.alloc_aligned(bytes, 16)
+    }
+
+    /// Allocate one whole page, page-aligned.
+    pub fn alloc_page(&mut self) -> Region {
+        self.alloc_aligned(PAGE_BYTES, PAGE_BYTES)
+    }
+
+    /// Bytes handed out so far (diagnostics).
+    pub fn used(&self) -> u64 {
+        self.next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paddr_module_roundtrip() {
+        let p = PAddr::compose(7, 0x1234);
+        assert_eq!(p.module(), 7);
+        assert_eq!(p.module_offset(), 0x1234);
+        assert_eq!(p.offset(0x10).module_offset(), 0x1244);
+    }
+
+    #[test]
+    fn line_and_page_math() {
+        let p = PAddr::compose(0, 4096 + 40);
+        assert_eq!(p.line(16), (4096 + 40) / 16);
+        assert_eq!(p.page(), 1);
+    }
+
+    #[test]
+    fn heap_alignment_and_disjointness() {
+        let mut h = SymHeap::new(3);
+        let a = h.alloc_aligned(24, 16);
+        let b = h.alloc_aligned(8, 16);
+        assert_eq!(a.base.module(), 3);
+        assert_eq!(a.base.module_offset() % 16, 0);
+        assert_eq!(b.base.module_offset() % 16, 0);
+        assert!(b.base.0 >= a.base.0 + a.len, "allocations must not overlap");
+    }
+
+    #[test]
+    fn page_alloc_is_page_aligned() {
+        let mut h = SymHeap::new(0);
+        h.alloc(40);
+        let p = h.alloc_page();
+        assert_eq!(p.base.module_offset() % PAGE_BYTES, 0);
+        assert_eq!(p.len, PAGE_BYTES);
+    }
+
+    #[test]
+    fn region_lines_span() {
+        let r = Region { base: PAddr::compose(0, 4096), len: 40 };
+        let lines: Vec<u64> = r.lines(16).collect();
+        assert_eq!(lines.len(), 3); // 40 bytes over 16-byte lines from aligned base
+    }
+
+    #[test]
+    fn region_at_checks_bounds() {
+        let r = Region { base: PAddr::compose(0, 4096), len: 16 };
+        assert_eq!(r.at(8).module_offset(), 4104);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_alloc_rejected() {
+        SymHeap::new(0).alloc(0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Simulated time: processor cycles and their conversion to wall-clock time.
+//!
+//! Hector's Motorola 88100 processors run at 16.67 MHz, i.e. one cycle every
+//! 60 ns. All simulator accounting is in integer [`Cycles`]; conversion to
+//! microseconds happens only at reporting time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Nanoseconds per processor cycle at 16.67 MHz.
+pub const CYCLE_NS: f64 = 60.0;
+
+/// A duration (or point in time) measured in processor cycles.
+///
+/// `Cycles` is a transparent `u64` newtype with saturating subtraction —
+/// simulated clocks never go negative — and checked addition in debug
+/// builds via the standard integer overflow checks.
+///
+/// ```
+/// use hector_sim::Cycles;
+/// // The paper's warm user-to-user round trip: 32.4 us at 16.67 MHz.
+/// assert!((Cycles::new(540).as_us() - 32.4).abs() < 1e-9);
+/// assert_eq!(Cycles::new(10) - Cycles::new(30), Cycles::ZERO); // saturates
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Construct from a raw cycle count.
+    #[inline]
+    pub const fn new(c: u64) -> Self {
+        Cycles(c)
+    }
+
+    /// The raw cycle count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// This duration expressed in nanoseconds at the Hector clock rate.
+    #[inline]
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 * CYCLE_NS
+    }
+
+    /// This duration expressed in microseconds at the Hector clock rate.
+    #[inline]
+    pub fn as_us(self) -> f64 {
+        self.as_ns() / 1000.0
+    }
+
+    /// This duration expressed in seconds at the Hector clock rate.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.as_ns() / 1e9
+    }
+
+    /// Construct the number of whole cycles closest to `us` microseconds.
+    #[inline]
+    pub fn from_us(us: f64) -> Self {
+        Cycles((us * 1000.0 / CYCLE_NS).round() as u64)
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// `true` when zero.
+    #[inline]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles ({:.2} us)", self.0, self.as_us())
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Cycles {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycles) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn div(self, rhs: u64) -> Cycles {
+        Cycles(self.0 / rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, Add::add)
+    }
+}
+
+impl From<u64> for Cycles {
+    fn from(c: u64) -> Self {
+        Cycles(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_to_us_matches_clock_rate() {
+        // 16.67 MHz => 60 ns/cycle; 540 cycles = 32.4 us (the paper's
+        // warm user-to-user round trip).
+        let c = Cycles::new(540);
+        assert!((c.as_us() - 32.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_us_round_trips() {
+        for us in [0.0, 1.7, 32.4, 66.0, 100.0] {
+            let c = Cycles::from_us(us);
+            assert!((c.as_us() - us).abs() < CYCLE_NS / 1000.0);
+        }
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = Cycles::new(100);
+        let b = Cycles::new(40);
+        assert_eq!(a + b, Cycles::new(140));
+        assert_eq!(a - b, Cycles::new(60));
+        assert_eq!(b - a, Cycles::ZERO, "subtraction saturates");
+        assert_eq!(a * 3, Cycles::new(300));
+        assert_eq!(a / 4, Cycles::new(25));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Cycles::new(140));
+        c -= Cycles::new(1000);
+        assert_eq!(c, Cycles::ZERO);
+    }
+
+    #[test]
+    fn sum_of_cycles() {
+        let total: Cycles = (1..=4).map(Cycles::new).sum();
+        assert_eq!(total, Cycles::new(10));
+    }
+
+    #[test]
+    fn display_includes_us() {
+        let s = format!("{}", Cycles::new(540));
+        assert!(s.contains("32.40 us"), "{s}");
+    }
+}

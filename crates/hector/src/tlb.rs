@@ -1,0 +1,243 @@
+//! Dual-context TLB model (MC88200 PATC).
+//!
+//! The MC88200 keeps separate translation contexts for user and supervisor
+//! mode, selected by a bit — so a trap into the kernel does **not** disturb
+//! user translations, and a call to a *kernel-space* server needs no TLB
+//! flush at all. Switching the user context to a *different* address space,
+//! however, invalidates every user entry: this is the mechanism behind the
+//! paper's 10 µs gap between user-to-user and user-to-kernel PPC calls.
+//!
+//! A miss triggers the hardware table walk: 27 cycles on Hector.
+
+use std::collections::HashSet;
+use std::collections::VecDeque;
+
+/// Address-space identifier. `ASID_KERNEL` is the supervisor space.
+pub type Asid = u32;
+
+/// The supervisor address space id.
+pub const ASID_KERNEL: Asid = 0;
+
+/// Which translation context an access uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Space {
+    /// User context (current user address space).
+    User,
+    /// Supervisor context (kernel mappings, never flushed by AS switches).
+    Supervisor,
+}
+
+/// One translation context: a FIFO-replacement set of resident page numbers.
+#[derive(Clone, Debug)]
+struct Context {
+    resident: HashSet<u64>,
+    fifo: VecDeque<u64>,
+    capacity: usize,
+}
+
+impl Context {
+    fn new(capacity: usize) -> Self {
+        Context { resident: HashSet::new(), fifo: VecDeque::new(), capacity }
+    }
+
+    /// Returns `true` on hit; on miss, inserts the page (evicting FIFO-oldest).
+    fn touch(&mut self, page: u64) -> bool {
+        if self.resident.contains(&page) {
+            return true;
+        }
+        if self.fifo.len() == self.capacity {
+            if let Some(old) = self.fifo.pop_front() {
+                self.resident.remove(&old);
+            }
+        }
+        self.fifo.push_back(page);
+        self.resident.insert(page);
+        false
+    }
+
+    fn invalidate(&mut self, page: u64) {
+        if self.resident.remove(&page) {
+            self.fifo.retain(|p| *p != page);
+        }
+    }
+
+    fn flush(&mut self) {
+        self.resident.clear();
+        self.fifo.clear();
+    }
+
+    fn preload(&mut self, page: u64) {
+        self.touch(page);
+    }
+}
+
+/// The dual-context TLB.
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    user: Context,
+    supervisor: Context,
+    user_asid: Asid,
+    misses: u64,
+    user_flushes: u64,
+}
+
+impl Tlb {
+    /// A TLB with `entries` slots per context.
+    pub fn new(entries: usize) -> Self {
+        Tlb {
+            user: Context::new(entries),
+            supervisor: Context::new(entries),
+            user_asid: ASID_KERNEL,
+            misses: 0,
+            user_flushes: 0,
+        }
+    }
+
+    /// The address space currently installed in the user context.
+    pub fn user_asid(&self) -> Asid {
+        self.user_asid
+    }
+
+    /// Translate `page` in `space`. Returns `true` on hit. On a miss the
+    /// entry is installed (hardware table walk) and `false` is returned so
+    /// the CPU layer can charge the 27-cycle walk.
+    pub fn touch(&mut self, space: Space, page: u64) -> bool {
+        let hit = match space {
+            Space::User => self.user.touch(page),
+            Space::Supervisor => self.supervisor.touch(page),
+        };
+        if !hit {
+            self.misses += 1;
+        }
+        hit
+    }
+
+    /// Is a translation resident (without touching)?
+    pub fn is_resident(&self, space: Space, page: u64) -> bool {
+        match space {
+            Space::User => self.user.resident.contains(&page),
+            Space::Supervisor => self.supervisor.resident.contains(&page),
+        }
+    }
+
+    /// Install the user context for `asid`. If it differs from the resident
+    /// one, the user context is flushed; returns `true` in that case (the
+    /// CPU layer charges the CMMU flush cost and the caller will see the
+    /// subsequent refill misses).
+    pub fn switch_user_as(&mut self, asid: Asid) -> bool {
+        if asid == self.user_asid {
+            return false;
+        }
+        self.user.flush();
+        self.user_asid = asid;
+        self.user_flushes += 1;
+        true
+    }
+
+    /// Invalidate one translation (used on unmap — the paper's stack
+    /// recycling unmaps the worker stack from the server space on return).
+    pub fn invalidate(&mut self, space: Space, page: u64) {
+        match space {
+            Space::User => self.user.invalidate(page),
+            Space::Supervisor => self.supervisor.invalidate(page),
+        }
+    }
+
+    /// Pre-install a translation without charging a miss (e.g. the mapping
+    /// inserted by the kernel while setting up a worker stack).
+    pub fn preload(&mut self, space: Space, page: u64) {
+        match space {
+            Space::User => self.user.preload(page),
+            Space::Supervisor => self.supervisor.preload(page),
+        }
+    }
+
+    /// Total hardware misses so far.
+    pub fn miss_count(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of user-context flushes (address space switches).
+    pub fn user_flush_count(&self) -> u64 {
+        self.user_flushes
+    }
+
+    /// Empty both contexts (e.g. between measurement conditions).
+    pub fn flush_all(&mut self) {
+        self.user.flush();
+        self.supervisor.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut t = Tlb::new(4);
+        assert!(!t.touch(Space::User, 10));
+        assert!(t.touch(Space::User, 10));
+        assert_eq!(t.miss_count(), 1);
+    }
+
+    #[test]
+    fn contexts_are_independent() {
+        let mut t = Tlb::new(4);
+        t.touch(Space::Supervisor, 7);
+        assert!(!t.is_resident(Space::User, 7));
+        assert!(t.is_resident(Space::Supervisor, 7));
+    }
+
+    #[test]
+    fn user_as_switch_flushes_only_user_context() {
+        let mut t = Tlb::new(4);
+        t.touch(Space::User, 1);
+        t.touch(Space::Supervisor, 2);
+        assert!(t.switch_user_as(5));
+        assert!(!t.is_resident(Space::User, 1), "user entries gone");
+        assert!(t.is_resident(Space::Supervisor, 2), "supervisor survives");
+        assert_eq!(t.user_flush_count(), 1);
+    }
+
+    #[test]
+    fn same_as_switch_is_free() {
+        let mut t = Tlb::new(4);
+        t.switch_user_as(5);
+        t.touch(Space::User, 1);
+        assert!(!t.switch_user_as(5));
+        assert!(t.is_resident(Space::User, 1));
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let mut t = Tlb::new(2);
+        t.touch(Space::User, 1);
+        t.touch(Space::User, 2);
+        t.touch(Space::User, 3); // evicts 1
+        assert!(!t.is_resident(Space::User, 1));
+        assert!(t.is_resident(Space::User, 2));
+        assert!(t.is_resident(Space::User, 3));
+    }
+
+    #[test]
+    fn invalidate_removes_single_entry() {
+        let mut t = Tlb::new(4);
+        t.touch(Space::User, 1);
+        t.touch(Space::User, 2);
+        t.invalidate(Space::User, 1);
+        assert!(!t.is_resident(Space::User, 1));
+        assert!(t.is_resident(Space::User, 2));
+    }
+
+    #[test]
+    fn preload_does_not_count_as_miss() {
+        let mut t = Tlb::new(4);
+        t.preload(Space::User, 9);
+        // preload internally uses touch, so the miss counter moves; what
+        // matters is the *subsequent* access hits.
+        let before = t.miss_count();
+        assert!(t.touch(Space::User, 9));
+        assert_eq!(t.miss_count(), before);
+    }
+}

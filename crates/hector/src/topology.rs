@@ -1,0 +1,122 @@
+//! Hector's NUMA interconnect topology.
+//!
+//! Hector (Vranesic et al., IEEE Computer 1991) groups processor+memory
+//! modules into *stations* connected by a hierarchy of rings. An access to
+//! memory on the same module is local; an access to another module on the
+//! same station crosses the station bus (one hop); an access to another
+//! station additionally traverses the ring (more hops with distance).
+//!
+//! The simulator charges [`MachineConfig::hop_extra`](crate::MachineConfig)
+//! extra cycles per hop for uncached remote accesses, making NUMA distance
+//! visible to workloads that share data — while the PPC fastpath, which by
+//! design touches only CPU-local memory, pays nothing.
+
+use crate::config::MachineConfig;
+
+/// Identifies the memory module co-located with a processor.
+pub type ModuleId = usize;
+
+/// Ring-of-stations distance model.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    n_cpus: usize,
+    station_size: usize,
+}
+
+impl Topology {
+    /// Build the topology described by `cfg`.
+    pub fn new(cfg: &MachineConfig) -> Self {
+        assert!(cfg.station_size >= 1);
+        Topology {
+            n_cpus: cfg.n_cpus,
+            station_size: cfg.station_size,
+        }
+    }
+
+    /// Number of processors (== number of memory modules).
+    pub fn n_cpus(&self) -> usize {
+        self.n_cpus
+    }
+
+    /// The station a processor belongs to.
+    pub fn station_of(&self, cpu: usize) -> usize {
+        cpu / self.station_size
+    }
+
+    /// Number of interconnect hops between a processor and a memory module.
+    ///
+    /// 0 = local module; 1 = same station, different module; otherwise
+    /// 1 + the ring distance between the stations (shortest way around).
+    pub fn hops(&self, cpu: usize, module: ModuleId) -> usize {
+        assert!(cpu < self.n_cpus, "cpu {cpu} out of range");
+        assert!(module < self.n_cpus, "module {module} out of range");
+        if cpu == module {
+            return 0;
+        }
+        let (sa, sb) = (self.station_of(cpu), self.station_of(module));
+        if sa == sb {
+            return 1;
+        }
+        let n_stations = self.n_cpus.div_ceil(self.station_size);
+        let d = sa.abs_diff(sb);
+        let ring = d.min(n_stations - d);
+        1 + ring
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo(n: usize) -> Topology {
+        Topology::new(&MachineConfig::hector(n))
+    }
+
+    #[test]
+    fn local_access_is_zero_hops() {
+        let t = topo(16);
+        for cpu in 0..16 {
+            assert_eq!(t.hops(cpu, cpu), 0);
+        }
+    }
+
+    #[test]
+    fn same_station_is_one_hop() {
+        let t = topo(16);
+        assert_eq!(t.hops(0, 1), 1);
+        assert_eq!(t.hops(2, 3), 1);
+        assert_eq!(t.station_of(3), 0);
+        assert_eq!(t.station_of(4), 1);
+    }
+
+    #[test]
+    fn cross_station_adds_ring_distance() {
+        let t = topo(16); // 4 stations on the ring
+        assert_eq!(t.hops(0, 4), 2); // adjacent stations
+        assert_eq!(t.hops(0, 8), 3); // opposite side of the ring
+        assert_eq!(t.hops(0, 12), 2); // ring wraps: distance 1 the short way
+    }
+
+    #[test]
+    fn hops_symmetric_in_station_distance() {
+        let t = topo(16);
+        for a in 0..16 {
+            for b in 0..16 {
+                assert_eq!(t.hops(a, b), t.hops(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn small_machine_single_station() {
+        let t = topo(3);
+        assert_eq!(t.hops(0, 2), 1);
+        assert_eq!(t.hops(1, 0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_cpu_panics() {
+        topo(4).hops(4, 0);
+    }
+}

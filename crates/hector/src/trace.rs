@@ -1,0 +1,216 @@
+//! Execution tracing: the simulator's answer to "direct inspection of the
+//! compiler generated assembly code".
+//!
+//! The paper's Figure 2 was produced from "a detailed description of the
+//! architecture, low-level measurements, and direct inspection of the
+//! compiler generated assembly code". When tracing is enabled on a
+//! [`Cpu`](crate::cpu::Cpu), every charged operation is appended to a
+//! bounded trace buffer with its cost category, kind, address and cycle
+//! cost — so a user can read the anatomy of a PPC call operation by
+//! operation (see the `call_anatomy` example).
+
+use std::fmt;
+
+use crate::cpu::CostCategory;
+use crate::sym::PAddr;
+use crate::time::Cycles;
+
+/// What kind of machine operation a trace event records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// `n` ALU/branch instructions.
+    Exec(u64),
+    /// A load (address, whether it hit the data cache).
+    Load(PAddr, bool),
+    /// A store (address, whether it hit the data cache).
+    Store(PAddr, bool),
+    /// An uncached shared-memory access (address, is_write).
+    SharedAccess(PAddr, bool),
+    /// A hardware TLB miss walk for the page containing the address.
+    TlbMiss(PAddr),
+    /// A trap edge into supervisor mode.
+    TrapEnter,
+    /// A return-from-trap edge to user mode.
+    TrapExit,
+    /// The user TLB context was flushed (address-space switch).
+    UserTlbFlush,
+    /// An instruction-cache line fill.
+    IcacheFill(PAddr),
+    /// A TLB entry was installed (stack-window map).
+    TlbInsert(u64),
+    /// A TLB entry was invalidated (stack-window unmap).
+    TlbInvalidate(u64),
+}
+
+/// One charged operation.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEvent {
+    /// Simulated time at which the operation completed.
+    pub clock: Cycles,
+    /// Cost category the charge was attributed to.
+    pub category: CostCategory,
+    /// The operation.
+    pub kind: TraceKind,
+    /// Cycles charged.
+    pub cost: Cycles,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            TraceKind::Exec(n) => format!("exec x{n}"),
+            TraceKind::Load(a, hit) => {
+                format!("load  {a:?} {}", if hit { "(hit)" } else { "(MISS)" })
+            }
+            TraceKind::Store(a, hit) => {
+                format!("store {a:?} {}", if hit { "(hit)" } else { "(MISS)" })
+            }
+            TraceKind::SharedAccess(a, w) => {
+                format!("{} {a:?} UNCACHED-SHARED", if w { "store" } else { "load " })
+            }
+            TraceKind::TlbMiss(a) => format!("tlb-miss page of {a:?}"),
+            TraceKind::TrapEnter => "trap enter".to_string(),
+            TraceKind::TrapExit => "trap exit (rfi)".to_string(),
+            TraceKind::UserTlbFlush => "user TLB context flush".to_string(),
+            TraceKind::IcacheFill(a) => format!("icache fill {a:?}"),
+            TraceKind::TlbInsert(p) => format!("tlb insert page {p:#x}"),
+            TraceKind::TlbInvalidate(p) => format!("tlb invalidate page {p:#x}"),
+        };
+        write!(
+            f,
+            "{:>9} +{:<3} [{}] {}",
+            self.clock.as_u64(),
+            self.cost.as_u64(),
+            self.category.label(),
+            kind
+        )
+    }
+}
+
+/// A bounded trace buffer (drops the oldest events when full).
+#[derive(Clone, Debug)]
+pub struct Trace {
+    events: std::collections::VecDeque<TraceEvent>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A disabled trace with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            events: std::collections::VecDeque::new(),
+            capacity: capacity.max(1),
+            enabled: false,
+            dropped: 0,
+        }
+    }
+
+    /// Start recording (clears previous events).
+    pub fn start(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+        self.enabled = true;
+    }
+
+    /// Stop recording.
+    pub fn stop(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Is the trace recording?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Append an event (no-op when disabled).
+    pub fn push(&mut self, ev: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    /// The recorded events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events dropped due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total cycles across recorded events.
+    pub fn total_cycles(&self) -> Cycles {
+        self.events.iter().map(|e| e.cost).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(clock: u64, cost: u64) -> TraceEvent {
+        TraceEvent {
+            clock: Cycles(clock),
+            category: CostCategory::PpcKernel,
+            kind: TraceKind::Exec(1),
+            cost: Cycles(cost),
+        }
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new(8);
+        t.push(ev(1, 1));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn bounded_capacity_drops_oldest() {
+        let mut t = Trace::new(2);
+        t.start();
+        t.push(ev(1, 1));
+        t.push(ev(2, 2));
+        t.push(ev(3, 3));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 1);
+        let clocks: Vec<u64> = t.events().map(|e| e.clock.as_u64()).collect();
+        assert_eq!(clocks, vec![2, 3]);
+        assert_eq!(t.total_cycles(), Cycles(5));
+    }
+
+    #[test]
+    fn start_clears_previous_recording() {
+        let mut t = Trace::new(8);
+        t.start();
+        t.push(ev(1, 1));
+        t.stop();
+        t.start();
+        assert!(t.is_empty());
+        assert!(t.is_enabled());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = format!("{}", ev(100, 7));
+        assert!(s.contains("PPC kernel"), "{s}");
+        assert!(s.contains("exec x1"), "{s}");
+    }
+}

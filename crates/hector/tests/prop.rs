@@ -1,0 +1,211 @@
+//! Property-based tests of the machine substrate.
+
+use proptest::prelude::*;
+
+use hector_sim::cache::{Cache, CacheOutcome};
+use hector_sim::des::{Des, Segment, SegmentLoopActor};
+use hector_sim::sym::{PAddr, SymHeap};
+use hector_sim::time::Cycles;
+use hector_sim::tlb::{Space, Tlb};
+use hector_sim::topology::Topology;
+use hector_sim::MachineConfig;
+
+proptest! {
+    // ---- Cycles arithmetic ---------------------------------------------
+
+    #[test]
+    fn cycles_add_sub_roundtrip(a in 0u64..1 << 40, b in 0u64..1 << 40) {
+        let (ca, cb) = (Cycles::new(a), Cycles::new(b));
+        prop_assert_eq!(ca + cb, Cycles::new(a + b));
+        prop_assert_eq!((ca + cb) - cb, ca);
+        // Subtraction saturates.
+        if a < b {
+            prop_assert_eq!(ca - cb, Cycles::ZERO);
+        }
+    }
+
+    #[test]
+    fn cycles_us_conversion_monotonic(a in 0u64..1 << 30, b in 0u64..1 << 30) {
+        let (ca, cb) = (Cycles::new(a), Cycles::new(b));
+        if a <= b {
+            prop_assert!(ca.as_us() <= cb.as_us());
+        }
+        // from_us(as_us) round-trips exactly (60 ns/cycle is representable).
+        prop_assert_eq!(Cycles::from_us(ca.as_us()), ca);
+    }
+
+    // ---- symbolic heap ----------------------------------------------------
+
+    #[test]
+    fn heap_allocations_never_overlap(sizes in prop::collection::vec(1u64..4096, 1..40)) {
+        let mut h = SymHeap::new(3);
+        let mut regions = Vec::new();
+        for s in sizes {
+            regions.push(h.alloc(s));
+        }
+        for (i, a) in regions.iter().enumerate() {
+            prop_assert_eq!(a.base.module(), 3);
+            for b in regions.iter().skip(i + 1) {
+                let a_end = a.base.0 + a.len;
+                let b_end = b.base.0 + b.len;
+                prop_assert!(a_end <= b.base.0 || b_end <= a.base.0, "overlap");
+            }
+        }
+    }
+
+    // ---- cache model -------------------------------------------------------
+
+    #[test]
+    fn cache_access_hits_iff_contained(
+        ops in prop::collection::vec((0u64..2048, any::<bool>()), 1..200),
+        ways in 1usize..=4,
+    ) {
+        let mut c = Cache::new_assoc(256 * ways, 16, ways);
+        for (off, is_write) in ops {
+            let addr = PAddr::compose(0, off);
+            let was_in = c.contains(addr);
+            let outcome = c.access(addr, is_write);
+            match outcome {
+                CacheOutcome::Hit { .. } => prop_assert!(was_in),
+                CacheOutcome::Miss { .. } => prop_assert!(!was_in),
+            }
+            prop_assert!(c.contains(addr), "line resident after access");
+        }
+    }
+
+    #[test]
+    fn cache_stats_partition_accesses(
+        ops in prop::collection::vec((0u64..4096, any::<bool>()), 1..300),
+    ) {
+        let mut c = Cache::new(16 * 1024, 16);
+        let n = ops.len() as u64;
+        for (off, w) in ops {
+            c.access(PAddr::compose(0, off), w);
+        }
+        let (h, m, wb) = c.stats();
+        prop_assert_eq!(h + m, n);
+        prop_assert!(wb <= m, "writebacks only on misses");
+    }
+
+    #[test]
+    fn cache_flush_forgets_everything(offs in prop::collection::vec(0u64..4096, 1..100)) {
+        let mut c = Cache::new(16 * 1024, 16);
+        for off in &offs {
+            c.access(PAddr::compose(0, *off), true);
+        }
+        c.flush_all();
+        for off in &offs {
+            prop_assert!(!c.contains(PAddr::compose(0, *off)));
+        }
+    }
+
+    // ---- TLB ---------------------------------------------------------------
+
+    #[test]
+    fn tlb_capacity_respected(pages in prop::collection::vec(0u64..10_000, 1..300)) {
+        let entries = 56;
+        let mut t = Tlb::new(entries);
+        for p in &pages {
+            t.touch(Space::User, *p);
+            prop_assert!(t.is_resident(Space::User, *p));
+        }
+        // No more than `entries` distinct pages can be resident.
+        let resident = (0..10_000u64).filter(|p| t.is_resident(Space::User, *p)).count();
+        prop_assert!(resident <= entries);
+    }
+
+    #[test]
+    fn tlb_user_flush_never_touches_supervisor(
+        spages in prop::collection::vec(0u64..100, 1..30),
+        asid in 1u32..50,
+    ) {
+        let mut t = Tlb::new(56);
+        for p in &spages {
+            t.touch(Space::Supervisor, *p);
+        }
+        t.switch_user_as(asid);
+        for p in &spages {
+            prop_assert!(t.is_resident(Space::Supervisor, *p));
+        }
+    }
+
+    // ---- topology -----------------------------------------------------------
+
+    #[test]
+    fn hops_symmetric_and_zero_iff_local(n in 1usize..=16) {
+        let topo = Topology::new(&MachineConfig::hector(n));
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert_eq!(topo.hops(a, b), topo.hops(b, a));
+                prop_assert_eq!(topo.hops(a, b) == 0, a == b);
+                prop_assert!(topo.hops(a, b) <= 1 + n / 2);
+            }
+        }
+    }
+
+    // ---- discrete-event engine ------------------------------------------------
+
+    #[test]
+    fn des_is_deterministic_and_work_conserving(
+        busys in prop::collection::vec(50u64..2000, 1..8),
+        with_lock in any::<bool>(),
+    ) {
+        let run = || {
+            let mut des = Des::new(MachineConfig::hector(16));
+            let lock = des.add_lock(0);
+            let deadline = Cycles::new(500_000);
+            for (i, b) in busys.iter().enumerate() {
+                let segs = if with_lock {
+                    vec![
+                        Segment::Busy(Cycles::new(*b)),
+                        Segment::Acquire(lock),
+                        Segment::Busy(Cycles::new(b / 4 + 1)),
+                        Segment::Release(lock),
+                    ]
+                } else {
+                    vec![Segment::Busy(Cycles::new(*b))]
+                };
+                des.add_actor(i, SegmentLoopActor::new(segs, deadline), Cycles::new(i as u64));
+            }
+            des.run_until(Cycles::new(1_000_000));
+            des.actors().iter().map(|a| a.completed).collect::<Vec<_>>()
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a, &b, "bit-identical reruns");
+        // Each actor completed roughly deadline/iteration_cost iterations
+        // at most (can never exceed the lock-free bound).
+        for (i, b_i) in busys.iter().enumerate() {
+            let upper = 500_000 / *b_i + 2;
+            prop_assert!(a[i] <= upper, "actor {i}: {} > {upper}", a[i]);
+        }
+    }
+
+    #[test]
+    fn des_lock_wait_accounting_consistent(
+        n in 2usize..6,
+        cs in 100u64..1000,
+    ) {
+        let mut des = Des::new(MachineConfig::hector(16));
+        let lock = des.add_lock(0);
+        let deadline = Cycles::new(200_000);
+        for c in 0..n {
+            des.add_actor(
+                c,
+                SegmentLoopActor::new(
+                    vec![Segment::Acquire(lock), Segment::Busy(Cycles::new(cs)), Segment::Release(lock)],
+                    deadline,
+                ),
+                Cycles::new(c as u64),
+            );
+        }
+        des.run_until(Cycles::new(400_000));
+        let ls = des.lock_stats(lock);
+        let total_actor_acquires: u64 = (0..n).map(|a| des.actor_stats(a).acquires).sum();
+        prop_assert_eq!(ls.acquires, total_actor_acquires);
+        prop_assert!(ls.contended <= ls.acquires);
+        let total_actor_wait: u64 =
+            (0..n).map(|a| des.actor_stats(a).wait.as_u64()).sum();
+        prop_assert_eq!(ls.total_wait.as_u64(), total_actor_wait);
+    }
+}

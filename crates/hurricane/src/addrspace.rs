@@ -1,0 +1,191 @@
+//! Address spaces and page tables.
+//!
+//! The simulator uses a unified symbolic address space: a virtual page is
+//! identified by the page number of the symbolic physical region mapped at
+//! it (identity mapping). What the models need is only *which* pages a
+//! space can reach and *when translations change* — mapping a worker stack
+//! into the server's space inserts a PTE and a TLB entry; unmapping it on
+//! call return invalidates both.
+//!
+//! Hurricane keeps the processor-specific portions of page tables local to
+//! each processor; PTE writes on the PPC path are therefore charged as
+//! CPU-local cached stores, preserving the no-remote-accesses property.
+
+use std::collections::HashMap;
+
+use hector_sim::cpu::Cpu;
+use hector_sim::sym::{MemAttrs, Region};
+use hector_sim::tlb::{Asid, Space};
+
+/// A mapping entry: which frame backs a page, and writability.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mapping {
+    /// Backing frame.
+    pub frame: Region,
+    /// Whether stores are permitted.
+    pub writable: bool,
+}
+
+/// One protection domain.
+///
+/// Hurricane keeps a *processor-local portion* of every address space's
+/// page table (`pt_local`, one region per CPU): PTE traffic on the PPC
+/// fastpath — mapping and unmapping the worker-stack window — stays in
+/// memory local to the calling processor.
+#[derive(Clone, Debug)]
+pub struct AddressSpace {
+    /// Address-space identifier (0 = the kernel/supervisor space).
+    pub asid: Asid,
+    /// Human-readable name for diagnostics ("bob", "client-3", ...).
+    pub name: String,
+    pages: HashMap<u64, Mapping>,
+    /// Symbolic memory of the per-processor page-table portions, used to
+    /// charge the PTE accesses performed during map/unmap.
+    pt_local: Vec<Region>,
+}
+
+impl AddressSpace {
+    /// Create a space. `pt_local` holds one symbolic region per processor,
+    /// charged for that processor's PTE reads/writes.
+    pub fn new(asid: Asid, name: impl Into<String>, pt_local: Vec<Region>) -> Self {
+        assert!(!pt_local.is_empty());
+        AddressSpace { asid, name: name.into(), pages: HashMap::new(), pt_local }
+    }
+
+    fn pt_mem(&self, cpu: &Cpu) -> Region {
+        self.pt_local[cpu.id.min(self.pt_local.len() - 1)]
+    }
+
+    /// Number of mapped pages.
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Is `page` mapped?
+    pub fn is_mapped(&self, page: u64) -> bool {
+        self.pages.contains_key(&page)
+    }
+
+    /// The mapping for `page`, if any.
+    pub fn mapping(&self, page: u64) -> Option<Mapping> {
+        self.pages.get(&page).copied()
+    }
+
+    /// Install a mapping without charging (boot-time setup).
+    pub fn map_boot(&mut self, frame: Region, writable: bool) {
+        for p in pages_of(frame) {
+            self.pages.insert(p, Mapping { frame, writable });
+        }
+    }
+
+    /// Map `frame` (charged): writes the PTE(s) in the processor-local page
+    /// table and installs the translation in the CPU's TLB. This is the
+    /// "map the CD's physical memory into the server's address space to be
+    /// used as the worker's stack" step of the PPC call path; the caller
+    /// wraps it in the `TlbSetup` category.
+    pub fn map(&mut self, cpu: &mut Cpu, frame: Region, writable: bool, space: Space) {
+        let pt = self.pt_mem(cpu);
+        let attrs = MemAttrs::cached_private(pt.base.module());
+        for (i, p) in pages_of(frame).enumerate() {
+            // Locate and write the PTE: one load (directory walk, amortized)
+            // and one store per page.
+            cpu.load(pt.at((i as u64 * 8) % pt.len), attrs);
+            cpu.store(pt.at((i as u64 * 8) % pt.len), attrs);
+            cpu.exec(3); // address arithmetic + permission bits
+            cpu.tlb_insert(space, p);
+            self.pages.insert(p, Mapping { frame, writable });
+        }
+    }
+
+    /// Remove the mapping of `frame` (charged): clears the PTE(s) and
+    /// invalidates the translations on this CPU.
+    pub fn unmap(&mut self, cpu: &mut Cpu, frame: Region, space: Space) {
+        let pt = self.pt_mem(cpu);
+        let attrs = MemAttrs::cached_private(pt.base.module());
+        for (i, p) in pages_of(frame).enumerate() {
+            cpu.store(pt.at((i as u64 * 8) % pt.len), attrs);
+            cpu.exec(2);
+            cpu.tlb_invalidate(space, p);
+            self.pages.remove(&p);
+        }
+    }
+
+    /// Can `page` be written in this space?
+    pub fn check_write(&self, page: u64) -> bool {
+        self.pages.get(&page).is_some_and(|m| m.writable)
+    }
+}
+
+/// The page numbers a region spans.
+pub fn pages_of(frame: Region) -> impl Iterator<Item = u64> {
+    let first = frame.base.page();
+    let last = frame.base.offset(frame.len.max(1) - 1).page();
+    first..=last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hector_sim::{Machine, MachineConfig};
+
+    fn setup() -> (Machine, AddressSpace) {
+        let mut m = Machine::new(MachineConfig::hector(2));
+        let pts = (0..2).map(|c| m.alloc_on(c, 256, "pt")).collect();
+        (m, AddressSpace::new(1, "test", pts))
+    }
+
+    #[test]
+    fn map_then_unmap_roundtrip() {
+        let (mut m, mut aspace) = setup();
+        let frame = m.alloc_page_on(0, "stack");
+        let page = frame.base.page();
+        assert!(!aspace.is_mapped(page));
+        let cpu = m.cpu_mut(0);
+        aspace.map(cpu, frame, true, Space::User);
+        assert!(aspace.is_mapped(page));
+        assert!(aspace.check_write(page));
+        assert!(cpu.tlb().is_resident(Space::User, page), "map preloads the TLB");
+        aspace.unmap(cpu, frame, Space::User);
+        assert!(!aspace.is_mapped(page));
+        assert!(!cpu.tlb().is_resident(Space::User, page));
+    }
+
+    #[test]
+    fn map_charges_cycles() {
+        let (mut m, mut aspace) = setup();
+        let frame = m.alloc_page_on(0, "stack");
+        let cpu = m.cpu_mut(0);
+        cpu.begin_measure();
+        aspace.map(cpu, frame, true, Space::User);
+        let bd = cpu.end_measure();
+        assert!(bd.total().as_u64() > 0);
+    }
+
+    #[test]
+    fn read_only_mapping_rejects_writes() {
+        let (mut m, mut aspace) = setup();
+        let frame = m.alloc_page_on(0, "code");
+        aspace.map(m.cpu_mut(0), frame, false, Space::User);
+        assert!(!aspace.check_write(frame.base.page()));
+    }
+
+    #[test]
+    fn multi_page_region_maps_every_page() {
+        let (mut m, mut aspace) = setup();
+        let a = m.alloc_page_on(0, "p1");
+        let b = m.alloc_page_on(0, "p2");
+        let big = Region { base: a.base, len: a.len + b.len };
+        aspace.map(m.cpu_mut(0), big, true, Space::User);
+        assert_eq!(aspace.mapped_pages(), 2);
+    }
+
+    #[test]
+    fn boot_mapping_is_uncharged_setup() {
+        let (mut m, mut aspace) = setup();
+        let frame = m.alloc_page_on(0, "text");
+        let before = m.cpu(0).clock();
+        aspace.map_boot(frame, false);
+        assert_eq!(m.cpu(0).clock(), before);
+        assert!(aspace.is_mapped(frame.base.page()));
+    }
+}

@@ -1,0 +1,262 @@
+//! The kernel aggregate: machine + address spaces + processes + scheduling.
+//!
+//! `Kernel` is the substrate object the PPC facility (crate `ppc-core`)
+//! operates on. Boot-time construction is uncharged (the paper measures a
+//! warmed-up, otherwise idle system); anything that can happen on a call
+//! path has a charged variant.
+
+use hector_sim::cpu::{Cpu, CpuId};
+use hector_sim::sym::Region;
+use hector_sim::tlb::{Asid, ASID_KERNEL};
+use hector_sim::{Machine, MachineConfig};
+
+use crate::addrspace::AddressSpace;
+use crate::process::{Pid, ProcState, Process, ProgramId};
+use crate::sched::{handoff_save_restore, ReadyQueue};
+
+/// The Hurricane kernel.
+#[derive(Clone, Debug)]
+pub struct Kernel {
+    /// The simulated machine.
+    pub machine: Machine,
+    /// Address spaces, indexed by `Asid` (0 = kernel space).
+    pub spaces: Vec<AddressSpace>,
+    /// Process table, indexed by `Pid`.
+    pub procs: Vec<Process>,
+    /// Per-processor ready queues.
+    pub ready: Vec<ReadyQueue>,
+    /// Per-processor kernel stacks (trap frames land here).
+    pub kstacks: Vec<Region>,
+    next_program: ProgramId,
+}
+
+impl Kernel {
+    /// Boot a kernel on a machine with configuration `cfg`.
+    pub fn boot(cfg: MachineConfig) -> Self {
+        let mut machine = Machine::new(cfg);
+        let n = machine.n_cpus();
+        let kpt: Vec<Region> = (0..n).map(|c| machine.alloc_on(c, 4096, "kernel-pt")).collect();
+        let kernel_space = AddressSpace::new(ASID_KERNEL, "kernel", kpt);
+        let ready = (0..n)
+            .map(|c| {
+                let mem = machine.alloc_on(c, 64, "ready-queue");
+                ReadyQueue::new(mem)
+            })
+            .collect();
+        let kstacks = (0..n).map(|c| machine.alloc_page_on(c, "kstack")).collect();
+        Kernel {
+            machine,
+            spaces: vec![kernel_space],
+            procs: Vec::new(),
+            ready,
+            kstacks,
+            next_program: 1,
+        }
+    }
+
+    /// Number of processors.
+    pub fn n_cpus(&self) -> usize {
+        self.machine.n_cpus()
+    }
+
+    /// Mutable access to processor `id`.
+    pub fn cpu_mut(&mut self, id: CpuId) -> &mut Cpu {
+        self.machine.cpu_mut(id)
+    }
+
+    /// Allocate a fresh program identity (the §4.1 authentication token).
+    pub fn new_program_id(&mut self) -> ProgramId {
+        let id = self.next_program;
+        self.next_program += 1;
+        id
+    }
+
+    /// Create an address space (boot-time, uncharged). Its per-processor
+    /// page-table portions are allocated on every CPU so PPC stack-window
+    /// PTE writes stay local.
+    pub fn create_space(&mut self, name: &str) -> Asid {
+        let asid = self.spaces.len() as Asid;
+        let n = self.machine.n_cpus();
+        let pts: Vec<Region> =
+            (0..n).map(|c| self.machine.alloc_on(c, 2048, "pt-local")).collect();
+        self.spaces.push(AddressSpace::new(asid, name, pts));
+        asid
+    }
+
+    /// Create a process (boot-time, uncharged).
+    pub fn create_process_boot(
+        &mut self,
+        asid: Asid,
+        home_cpu: CpuId,
+        program_id: ProgramId,
+    ) -> Pid {
+        let pid = self.procs.len();
+        let pcb = self.machine.alloc_on(home_cpu, 256, "pcb");
+        let ustack = self.machine.alloc_page_on(home_cpu, "ustack");
+        self.procs.push(Process {
+            pid,
+            program_id,
+            asid,
+            state: ProcState::Ready,
+            home_cpu,
+            pcb,
+            ustack,
+        });
+        pid
+    }
+
+    /// Create a process on the call path (charged to the current category
+    /// on `cpu`): PCB allocation and initialization. This is what Frank
+    /// does when a worker pool runs dry.
+    pub fn create_process_charged(
+        &mut self,
+        cpu_id: CpuId,
+        asid: Asid,
+        program_id: ProgramId,
+    ) -> Pid {
+        let pid = self.procs.len();
+        let pcb = self.machine.alloc_on(cpu_id, 256, "pcb");
+        let ustack = self.machine.alloc_page_on(cpu_id, "ustack");
+        let cpu = self.machine.cpu_mut(cpu_id);
+        // Allocator work + zeroing/initializing the PCB.
+        cpu.exec(80);
+        let attrs = hector_sim::sym::MemAttrs::cached_private(cpu_id);
+        cpu.store_words(pcb.base, 24, attrs);
+        self.procs.push(Process {
+            pid,
+            program_id,
+            asid,
+            state: ProcState::Ready,
+            home_cpu: cpu_id,
+            pcb,
+            ustack,
+        });
+        pid
+    }
+
+    /// Put `pid` on `cpu`'s ready queue (charged).
+    pub fn enqueue_ready(&mut self, cpu_id: CpuId, pid: Pid) {
+        self.procs[pid].state = ProcState::Ready;
+        let cpu = self.machine.cpu_mut(cpu_id);
+        self.ready[cpu_id].enqueue(cpu, pid);
+    }
+
+    /// Take the next ready process on `cpu` (charged).
+    pub fn dequeue_ready(&mut self, cpu_id: CpuId) -> Option<Pid> {
+        let cpu = self.machine.cpu_mut(cpu_id);
+        self.ready[cpu_id].dequeue(cpu)
+    }
+
+    /// Hand-off switch on `cpu_id` from process `from` to process `to`:
+    /// saves/restores the minimum state (charged to `KernelSaveRestore`)
+    /// and installs `to`'s user address space if it differs (charged to
+    /// `TlbSetup` when a flush is needed). Calls *into the kernel space*
+    /// switch no user context at all — the paper's cheap user-to-kernel
+    /// case.
+    pub fn handoff_switch(&mut self, cpu_id: CpuId, from: Pid, to: Pid) {
+        let from_pcb = self.procs[from].pcb;
+        let to_pcb = self.procs[to].pcb;
+        let to_asid = self.procs[to].asid;
+        let cpu = self.machine.cpu_mut(cpu_id);
+        handoff_save_restore(cpu, from_pcb, to_pcb, Process::SWITCH_STATE_WORDS);
+        if to_asid != ASID_KERNEL {
+            cpu.switch_user_as(to_asid);
+        }
+        self.procs[from].state = ProcState::Blocked;
+        self.procs[to].state = ProcState::Running;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hector_sim::cpu::CostCategory;
+
+    fn kernel(n: usize) -> Kernel {
+        Kernel::boot(MachineConfig::hector(n))
+    }
+
+    #[test]
+    fn boot_creates_kernel_space_and_percpu_state() {
+        let k = kernel(4);
+        assert_eq!(k.spaces.len(), 1);
+        assert_eq!(k.spaces[0].asid, ASID_KERNEL);
+        assert_eq!(k.ready.len(), 4);
+        assert_eq!(k.kstacks.len(), 4);
+        for (c, ks) in k.kstacks.iter().enumerate() {
+            assert_eq!(ks.base.module(), c, "kstacks are CPU-local");
+        }
+    }
+
+    #[test]
+    fn spaces_get_sequential_asids() {
+        let mut k = kernel(2);
+        let a = k.create_space("bob");
+        let b = k.create_space("client");
+        assert_eq!((a, b), (1, 2));
+        assert_eq!(k.spaces[a as usize].name, "bob");
+    }
+
+    #[test]
+    fn processes_are_homed() {
+        let mut k = kernel(2);
+        let asid = k.create_space("s");
+        let prog = k.new_program_id();
+        let pid = k.create_process_boot(asid, 1, prog);
+        let p = &k.procs[pid];
+        assert_eq!(p.home_cpu, 1);
+        assert_eq!(p.pcb.base.module(), 1);
+        assert_eq!(p.ustack.base.module(), 1);
+    }
+
+    #[test]
+    fn charged_creation_costs_cycles() {
+        let mut k = kernel(1);
+        let asid = k.create_space("s");
+        let before = k.machine.cpu(0).clock();
+        k.create_process_charged(0, asid, 7);
+        assert!(k.machine.cpu(0).clock() > before);
+    }
+
+    #[test]
+    fn handoff_to_user_space_switches_context() {
+        let mut k = kernel(1);
+        let asid = k.create_space("server");
+        let a = k.create_process_boot(asid, 0, 1);
+        let b = k.create_process_boot(asid, 0, 2);
+        // Install a's space first.
+        k.cpu_mut(0).switch_user_as(asid);
+        let before_flushes = k.machine.cpu(0).tlb().user_flush_count();
+        k.handoff_switch(0, a, b);
+        // Same space: no flush.
+        assert_eq!(k.machine.cpu(0).tlb().user_flush_count(), before_flushes);
+        assert_eq!(k.procs[a].state, ProcState::Blocked);
+        assert_eq!(k.procs[b].state, ProcState::Running);
+    }
+
+    #[test]
+    fn handoff_to_kernel_space_never_flushes() {
+        let mut k = kernel(1);
+        let user = k.create_space("client");
+        let a = k.create_process_boot(user, 0, 1);
+        let b = k.create_process_boot(ASID_KERNEL, 0, 2);
+        k.cpu_mut(0).switch_user_as(user);
+        let cpu = k.machine.cpu_mut(0);
+        cpu.begin_measure();
+        k.handoff_switch(0, a, b);
+        let bd = k.machine.cpu_mut(0).end_measure();
+        assert!(bd.get(CostCategory::TlbSetup).is_zero(), "kernel target needs no TLB work");
+        assert!(!bd.get(CostCategory::KernelSaveRestore).is_zero());
+    }
+
+    #[test]
+    fn ready_queue_roundtrip_through_kernel() {
+        let mut k = kernel(2);
+        let asid = k.create_space("s");
+        let p = k.create_process_boot(asid, 1, 1);
+        k.enqueue_ready(1, p);
+        assert_eq!(k.procs[p].state, ProcState::Ready);
+        assert_eq!(k.dequeue_ready(1), Some(p));
+        assert_eq!(k.dequeue_ready(1), None);
+    }
+}

@@ -1,0 +1,28 @@
+//! # hurricane-os — the operating-system substrate
+//!
+//! The paper's PPC facility was "incorporated into the Hurricane operating
+//! system running on the Hector shared memory multiprocessor". This crate
+//! provides that substrate on top of [`hector_sim`]: address spaces with
+//! page tables, processes and their saved register state, per-processor
+//! ready queues with hand-off dispatch, trap sequences, Hurricane's
+//! pre-existing **message-passing IPC** facility (the baseline the PPC
+//! facility replaced), an in-memory file system served by *Bob* the file
+//! server, and a disk device with the shared request queue used for
+//! cross-processor interactions (§4.3 of the paper).
+//!
+//! All kernel code here narrates its machine-level behaviour to the
+//! simulated [`Cpu`](hector_sim::Cpu), so every operation has a faithful
+//! cycle cost and a Figure-2 cost category.
+
+pub mod addrspace;
+pub mod disk;
+pub mod fs;
+pub mod kernel;
+pub mod msg;
+pub mod process;
+pub mod sched;
+pub mod trap;
+
+pub use addrspace::AddressSpace;
+pub use kernel::Kernel;
+pub use process::{Pid, ProcState, Process, ProgramId};

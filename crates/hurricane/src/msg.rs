@@ -1,0 +1,222 @@
+//! Hurricane's pre-existing message-passing IPC facility.
+//!
+//! This is the facility the PPC subsystem replaced ("the vast majority of
+//! the code is needed to handle exceptions and to integrate the new
+//! facility with the pre-existing message passing facility"). It is the
+//! textbook multiprocessor port design the paper argues against: a
+//! **global port table** and **per-port message queues in shared memory,
+//! protected by locks**. A direct translation of a uniprocessor IPC to a
+//! multiprocessor — and therefore the natural baseline for the ablation
+//! benchmarks.
+//!
+//! The send/receive/reply round trip is modelled with full (non-hand-off)
+//! context switches through the scheduler, message copies through shared
+//! buffers, and port locking.
+
+use std::collections::VecDeque;
+
+use hector_sim::cpu::{CostCategory, Cpu};
+use hector_sim::sym::{MemAttrs, Region};
+use hector_sim::topology::ModuleId;
+use hector_sim::Machine;
+
+use crate::process::Pid;
+
+/// Port identifier.
+pub type PortId = usize;
+
+/// An in-flight message: 8 words of payload plus the sender for reply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Message {
+    /// Sending process (reply target).
+    pub sender: Pid,
+    /// Payload words.
+    pub words: [u64; 8],
+}
+
+/// One receive port.
+#[derive(Clone, Debug)]
+pub struct Port {
+    /// Owning (server) process.
+    pub owner: Pid,
+    /// Shared queue memory (uncached — written by every sending CPU).
+    mem: Region,
+    queue: VecDeque<Message>,
+    /// Home module of the port lock.
+    pub lock_home: ModuleId,
+}
+
+/// The message-passing IPC state.
+#[derive(Clone, Debug)]
+pub struct MsgIpc {
+    /// Global port table memory (shared, uncached: ports come and go under
+    /// a global lock in the original design).
+    table: Region,
+    ports: Vec<Port>,
+}
+
+/// Words of processor state saved on a *full* (scheduler) context switch —
+/// the general path the paper's hand-off scheduling avoids: the complete
+/// user register file plus control registers.
+pub const FULL_SWITCH_WORDS: u64 = 34;
+
+impl MsgIpc {
+    /// Create the facility; the port table is homed on module 0 like other
+    /// boot-time shared kernel structures.
+    pub fn new(machine: &mut Machine) -> Self {
+        let table = machine.alloc_shared(1024, "port-table");
+        MsgIpc { table, ports: Vec::new() }
+    }
+
+    /// Create a port owned by `owner`, its queue homed on `home`.
+    pub fn create_port(&mut self, machine: &mut Machine, owner: Pid, home: ModuleId) -> PortId {
+        let mem = machine.alloc_on(home, 512, "port-queue");
+        self.ports.push(Port { owner, mem, queue: VecDeque::new(), lock_home: home });
+        self.ports.len() - 1
+    }
+
+    /// The port behind `id`.
+    pub fn port(&self, id: PortId) -> &Port {
+        &self.ports[id]
+    }
+
+    /// Charge one uncontended acquire+release of the port lock.
+    fn charge_port_lock(&self, cpu: &mut Cpu, port: PortId) {
+        let home = self.ports[port].lock_home;
+        let attrs = MemAttrs::uncached_shared(home);
+        cpu.note_lock_acquire();
+        let lock_word = self.ports[port].mem.at(0);
+        cpu.load(lock_word, attrs);
+        cpu.store(lock_word, attrs);
+        cpu.store(lock_word, attrs);
+        cpu.exec(4);
+    }
+
+    /// Enqueue a message (charged): global table lookup, port lock, copy of
+    /// the 8 payload words into the shared queue buffer.
+    pub fn send(&mut self, cpu: &mut Cpu, port: PortId, msg: Message) {
+        cpu.with_category(CostCategory::Other, |cpu| {
+            // Port table lookup: shared, uncached.
+            let t = MemAttrs::uncached_shared(self.table.base.module());
+            cpu.load(self.table.at((port as u64 * 16) % self.table.len), t);
+            cpu.exec(12); // validate rights, bounds
+            self.charge_port_lock(cpu, port);
+            let p = &self.ports[port];
+            let qa = MemAttrs::uncached_shared(p.mem.base.module());
+            for i in 0..8 {
+                cpu.store(p.mem.at(16 + i * 8), qa);
+            }
+            cpu.store(p.mem.at(8), qa); // queue tail update
+            cpu.exec(10);
+        });
+        self.ports[port].queue.push_back(msg);
+    }
+
+    /// Dequeue the next message (charged symmetrically to `send`).
+    pub fn receive(&mut self, cpu: &mut Cpu, port: PortId) -> Option<Message> {
+        let msg = self.ports[port].queue.pop_front();
+        cpu.with_category(CostCategory::Other, |cpu| {
+            self.charge_port_lock(cpu, port);
+            let p = &self.ports[port];
+            let qa = MemAttrs::uncached_shared(p.mem.base.module());
+            if msg.is_some() {
+                for i in 0..8 {
+                    cpu.load(p.mem.at(16 + i * 8), qa);
+                }
+                cpu.store(p.mem.at(8), qa); // head update
+            } else {
+                cpu.load(p.mem.at(8), qa);
+            }
+            cpu.exec(10);
+        });
+        msg
+    }
+
+    /// Charge the *full* context switch used by the send-blocked →
+    /// server-runs → reply-wakes-sender path (through the general
+    /// scheduler, unlike PPC hand-off).
+    pub fn charge_full_switch(&self, cpu: &mut Cpu, from_pcb: Region, to_pcb: Region) {
+        cpu.with_category(CostCategory::Other, |cpu| {
+            let fa = MemAttrs::cached_private(from_pcb.base.module());
+            let ta = MemAttrs::cached_private(to_pcb.base.module());
+            cpu.store_words(from_pcb.base, FULL_SWITCH_WORDS, fa);
+            cpu.exec(40); // scheduler: pick next, priority bookkeeping
+            cpu.load_words(to_pcb.base, FULL_SWITCH_WORDS, ta);
+        });
+    }
+
+    /// Number of queued messages on `port` (diagnostics).
+    pub fn queued(&self, port: PortId) -> usize {
+        self.ports[port].queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hector_sim::MachineConfig;
+
+    fn setup() -> (Machine, MsgIpc) {
+        let mut m = Machine::new(MachineConfig::hector(4));
+        let ipc = MsgIpc::new(&mut m);
+        (m, ipc)
+    }
+
+    #[test]
+    fn send_receive_roundtrip() {
+        let (mut m, mut ipc) = setup();
+        let port = ipc.create_port(&mut m, 1, 0);
+        let msg = Message { sender: 9, words: [1, 2, 3, 4, 5, 6, 7, 8] };
+        let cpu = m.cpu_mut(0);
+        ipc.send(cpu, port, msg);
+        assert_eq!(ipc.queued(port), 1);
+        let got = ipc.receive(cpu, port).unwrap();
+        assert_eq!(got, msg);
+        assert_eq!(ipc.queued(port), 0);
+        assert!(ipc.receive(cpu, port).is_none());
+    }
+
+    #[test]
+    fn fifo_delivery() {
+        let (mut m, mut ipc) = setup();
+        let port = ipc.create_port(&mut m, 1, 0);
+        let cpu = m.cpu_mut(0);
+        for s in 0..3 {
+            ipc.send(cpu, port, Message { sender: s, words: [s as u64; 8] });
+        }
+        for s in 0..3 {
+            assert_eq!(ipc.receive(cpu, port).unwrap().sender, s);
+        }
+    }
+
+    #[test]
+    fn message_path_hits_shared_memory_and_locks() {
+        // The property the paper indicts: the baseline cannot avoid shared
+        // data or locks even on its fast path.
+        let (mut m, mut ipc) = setup();
+        let port = ipc.create_port(&mut m, 1, 0);
+        let cpu = m.cpu_mut(1); // remote sender
+        cpu.begin_measure();
+        ipc.send(cpu, port, Message { sender: 2, words: [0; 8] });
+        let st = cpu.path_stats();
+        assert!(st.shared_accesses > 8, "copies + lock + table are shared");
+        assert_eq!(st.lock_acquires, 1);
+    }
+
+    #[test]
+    fn full_switch_costs_more_than_handoff() {
+        let (mut m, ipc) = setup();
+        let a = m.alloc_on(0, 256, "pcb-a");
+        let b = m.alloc_on(0, 256, "pcb-b");
+        let cpu = m.cpu_mut(0);
+        // Warm both PCBs.
+        ipc.charge_full_switch(cpu, a, b);
+        cpu.begin_measure();
+        ipc.charge_full_switch(cpu, a, b);
+        let full = cpu.end_measure().total();
+        cpu.begin_measure();
+        crate::sched::handoff_save_restore(cpu, a, b, crate::process::Process::SWITCH_STATE_WORDS);
+        let handoff = cpu.end_measure().total();
+        assert!(full > handoff * 2, "full {full} vs handoff {handoff}");
+    }
+}

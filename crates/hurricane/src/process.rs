@@ -1,0 +1,100 @@
+//! Processes: the unit of execution and protection.
+//!
+//! The PPC implementation "uses separate worker processes in the server to
+//! service client calls" — workers are ordinary Hurricane processes that
+//! are recycled and (re)initialized to the server's call-handling code on
+//! each call. A process carries its saved register state in a PCB homed on
+//! its *home processor*, so saving/restoring it on the hand-off switch
+//! touches only CPU-local memory.
+
+use hector_sim::sym::Region;
+use hector_sim::tlb::Asid;
+use hector_sim::CpuId;
+
+/// Process identifier.
+pub type Pid = usize;
+
+/// The program identity used by servers for authentication (§4.1: callers
+/// are identified to servers by their program ID).
+pub type ProgramId = u32;
+
+/// Scheduling state of a process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProcState {
+    /// On a ready queue.
+    Ready,
+    /// Executing on its home CPU.
+    Running,
+    /// Blocked (e.g. a PPC caller linked into a call descriptor).
+    Blocked,
+    /// In a worker pool awaiting a call.
+    PooledWorker,
+    /// Terminated / slot free.
+    Dead,
+}
+
+/// A Hurricane process.
+#[derive(Clone, Debug)]
+pub struct Process {
+    /// Identifier (index into the kernel process table).
+    pub pid: Pid,
+    /// Program the process belongs to (authentication identity).
+    pub program_id: ProgramId,
+    /// Address space the process executes in.
+    pub asid: Asid,
+    /// Scheduling state.
+    pub state: ProcState,
+    /// Processor the process is bound to (PPC processes never migrate on
+    /// the fast path — requests are always handled on the caller's CPU).
+    pub home_cpu: CpuId,
+    /// Symbolic PCB memory (register save area), homed on `home_cpu`.
+    pub pcb: Region,
+    /// User-level stack (workers: replaced per call by the CD's stack page).
+    pub ustack: Region,
+}
+
+impl Process {
+    /// Number of words of "minimum processor state" saved on a hand-off
+    /// switch (the paper's `kernel save/restore` category): return address,
+    /// stack/frame pointers, PSR and S/EPSR, plus the few callee registers
+    /// the kernel path itself uses — not the full 32-register file, which
+    /// hand-off scheduling deliberately avoids (the *caller-saved* user
+    /// registers are the client stub's problem, in `user save/restore`).
+    pub const SWITCH_STATE_WORDS: u64 = 10;
+
+    /// Words of user-level caller-saved registers the client stub must
+    /// preserve around a PPC call (the paper's `user save/restore`
+    /// category): the call clobbers the 8 argument/result registers plus
+    /// temporaries, so the stub spills the live caller-saved set.
+    pub const USER_SAVE_WORDS: u64 = 14;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hector_sim::sym::SymHeap;
+
+    #[test]
+    fn process_fields_roundtrip() {
+        let mut h = SymHeap::new(2);
+        let p = Process {
+            pid: 3,
+            program_id: 77,
+            asid: 4,
+            state: ProcState::PooledWorker,
+            home_cpu: 2,
+            pcb: h.alloc(128),
+            ustack: h.alloc_page(),
+        };
+        assert_eq!(p.pcb.base.module(), 2, "PCB homed on the home cpu");
+        assert_eq!(p.state, ProcState::PooledWorker);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn switch_state_is_minimal() {
+        // Hand-off scheduling saves far less than a full register file.
+        assert!(Process::SWITCH_STATE_WORDS < 32);
+        assert!(Process::USER_SAVE_WORDS < 32);
+    }
+}

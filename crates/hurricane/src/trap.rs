@@ -1,0 +1,81 @@
+//! Trap entry/exit sequences.
+//!
+//! A PPC round trip pays exactly two traps and two returns-from-interrupt
+//! (≈1.7 µs each pair on the M88100). The hardware edge itself is charged
+//! to the `TrapOverhead` category by the CPU model; the short software
+//! prologue/epilogue (building the trap frame, vectoring) belongs to the
+//! facility that owns the trap, so callers pass the category it should be
+//! charged to.
+
+use hector_sim::cpu::{CostCategory, Cpu};
+use hector_sim::sym::{MemAttrs, Region};
+
+/// Words stored into the trap frame on entry (PC, PSR, a few scratch regs
+/// the vector code needs before the real handler decides what to save).
+pub const TRAP_FRAME_WORDS: u64 = 4;
+
+/// Offset of the trap frame within the kernel stack page. Hot per-call
+/// structures are deliberately *not* placed at page-aligned addresses:
+/// with 256 sets, every page base maps to the same cache set, and the
+/// paper's kernel "organized code and data to minimize the number of
+/// cache misses" — this is that organization.
+pub const TRAP_FRAME_OFF: u64 = 192;
+
+/// Enter supervisor mode via a trap. `kstack` is the kernel stack that
+/// receives the trap frame; prologue work is charged to `cat`.
+pub fn enter(cpu: &mut Cpu, kstack: Region, cat: CostCategory) {
+    cpu.trap_enter();
+    cpu.with_category(cat, |cpu| {
+        let attrs = MemAttrs::cached_private(kstack.base.module());
+        cpu.exec(4); // vector dispatch: read vector, compute handler address
+        cpu.store_words(kstack.at(TRAP_FRAME_OFF), TRAP_FRAME_WORDS, attrs);
+    });
+}
+
+/// Return from the trap to user mode; epilogue work charged to `cat`.
+pub fn exit(cpu: &mut Cpu, kstack: Region, cat: CostCategory) {
+    cpu.with_category(cat, |cpu| {
+        let attrs = MemAttrs::cached_private(kstack.base.module());
+        cpu.load_words(kstack.at(TRAP_FRAME_OFF), TRAP_FRAME_WORDS, attrs);
+        cpu.exec(3); // reload PSR/PC, rte setup
+    });
+    cpu.trap_exit();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hector_sim::tlb::Space;
+    use hector_sim::{Machine, MachineConfig};
+
+    #[test]
+    fn round_trip_charges_two_edges_and_prologue() {
+        let mut m = Machine::new(MachineConfig::hector(1));
+        let kstack = m.alloc_on(0, 256, "kstack");
+        let cpu = m.cpu_mut(0);
+        cpu.begin_measure();
+        enter(cpu, kstack, CostCategory::PpcKernel);
+        assert_eq!(cpu.mode(), Space::Supervisor);
+        exit(cpu, kstack, CostCategory::PpcKernel);
+        assert_eq!(cpu.mode(), Space::User);
+        let bd = cpu.end_measure();
+        assert_eq!(bd.get(CostCategory::TrapOverhead).as_u64(), 28);
+        assert!(bd.get(CostCategory::PpcKernel).as_u64() > 0);
+    }
+
+    #[test]
+    fn warm_trap_frame_is_cheap() {
+        let mut m = Machine::new(MachineConfig::hector(1));
+        let kstack = m.alloc_on(0, 256, "kstack");
+        let cpu = m.cpu_mut(0);
+        // Warm-up round.
+        enter(cpu, kstack, CostCategory::PpcKernel);
+        exit(cpu, kstack, CostCategory::PpcKernel);
+        cpu.begin_measure();
+        enter(cpu, kstack, CostCategory::PpcKernel);
+        exit(cpu, kstack, CostCategory::PpcKernel);
+        let warm = cpu.end_measure();
+        // Warm path: no cache fills, so PpcKernel is just issue + hit costs.
+        assert!(warm.get(CostCategory::PpcKernel).as_u64() < 60, "{warm}");
+    }
+}

@@ -1,0 +1,94 @@
+//! Integration: the pre-existing message-passing facility driving real
+//! processes through the scheduler — the world the PPC facility replaced.
+
+use hector_sim::MachineConfig;
+use hurricane_os::msg::{Message, MsgIpc};
+use hurricane_os::process::ProcState;
+use hurricane_os::Kernel;
+
+#[test]
+fn request_reply_flow_through_ports_and_scheduler() {
+    let mut k = Kernel::boot(MachineConfig::hector(2));
+    let server_as = k.create_space("server");
+    let client_as = k.create_space("client");
+    let server = k.create_process_boot(server_as, 0, 1);
+    let client = k.create_process_boot(client_as, 0, 2);
+    k.procs[client].state = ProcState::Running;
+
+    let mut ipc = MsgIpc::new(&mut k.machine);
+    let req_port = ipc.create_port(&mut k.machine, server, 0);
+    let reply_port = ipc.create_port(&mut k.machine, client, 0);
+
+    // Client sends and blocks; the kernel switches to the server.
+    let cpu = k.machine.cpu_mut(0);
+    ipc.send(cpu, req_port, Message { sender: client, words: [3, 4, 0, 0, 0, 0, 0, 0] });
+    k.procs[client].state = ProcState::Blocked;
+    k.handoff_switch(0, client, server);
+    assert_eq!(k.procs[server].state, ProcState::Running);
+
+    // Server handles and replies.
+    let cpu = k.machine.cpu_mut(0);
+    let req = ipc.receive(cpu, req_port).expect("request queued");
+    let sum = req.words[0] + req.words[1];
+    ipc.send(cpu, reply_port, Message { sender: server, words: [sum; 8] });
+    k.handoff_switch(0, server, client);
+
+    let cpu = k.machine.cpu_mut(0);
+    let reply = ipc.receive(cpu, reply_port).expect("reply queued");
+    assert_eq!(reply.words[0], 7);
+    assert_eq!(k.procs[client].state, ProcState::Running);
+}
+
+#[test]
+fn many_outstanding_messages_preserve_order_and_pairing() {
+    let mut k = Kernel::boot(MachineConfig::hector(4));
+    let mut ipc = MsgIpc::new(&mut k.machine);
+    let port = ipc.create_port(&mut k.machine, 0, 2);
+    // Senders on several CPUs, receiver on the port's home CPU.
+    let mut sent = Vec::new();
+    for round in 0..5u64 {
+        for cpu in 0..4usize {
+            let cpu_ref = k.machine.cpu_mut(cpu);
+            let words = [round * 10 + cpu as u64; 8];
+            ipc.send(cpu_ref, port, Message { sender: cpu, words });
+            sent.push(words[0]);
+        }
+    }
+    let cpu = k.machine.cpu_mut(2);
+    let mut got = Vec::new();
+    while let Some(m) = ipc.receive(cpu, port) {
+        got.push(m.words[0]);
+    }
+    assert_eq!(got, sent, "FIFO across senders in arrival order");
+}
+
+#[test]
+fn message_path_costs_grow_with_distance() {
+    // A remote sender pays NUMA distance on every shared-queue access —
+    // the structural cost PPC avoids by never leaving the local CPU.
+    let mut k = Kernel::boot(MachineConfig::hector(16));
+    let mut ipc = MsgIpc::new(&mut k.machine);
+    let port = ipc.create_port(&mut k.machine, 0, 0);
+    let msg = Message { sender: 0, words: [1; 8] };
+
+    // Warm both senders.
+    for _ in 0..2 {
+        let c = k.machine.cpu_mut(1);
+        ipc.send(c, port, msg);
+        let c = k.machine.cpu_mut(8);
+        ipc.send(c, port, msg);
+    }
+    let near = {
+        let c = k.machine.cpu_mut(1);
+        let t = c.clock();
+        ipc.send(c, port, msg);
+        c.clock() - t
+    };
+    let far = {
+        let c = k.machine.cpu_mut(8);
+        let t = c.clock();
+        ipc.send(c, port, msg);
+        c.clock() - t
+    };
+    assert!(far > near, "far send {far} must exceed near send {near}");
+}

@@ -1,0 +1,89 @@
+//! Property-based tests of the OS substrate.
+
+use proptest::prelude::*;
+
+use hector_sim::tlb::Space;
+use hector_sim::{Machine, MachineConfig};
+use hurricane_os::addrspace::{pages_of, AddressSpace};
+use hurricane_os::sched::ReadyQueue;
+
+proptest! {
+    #[test]
+    fn pages_of_covers_exactly_the_region(off in 0u64..1 << 20, len in 1u64..32768) {
+        let base = hector_sim::sym::PAddr::compose(0, off);
+        let r = hector_sim::sym::Region { base, len };
+        let pages: Vec<u64> = pages_of(r).collect();
+        // Contiguous, non-empty, and covering first & last byte.
+        prop_assert!(!pages.is_empty());
+        prop_assert_eq!(*pages.first().unwrap(), base.page());
+        prop_assert_eq!(*pages.last().unwrap(), base.offset(len - 1).page());
+        for w in pages.windows(2) {
+            prop_assert_eq!(w[1], w[0] + 1);
+        }
+    }
+
+    #[test]
+    fn map_unmap_sequences_leave_consistent_state(
+        ops in prop::collection::vec(any::<bool>(), 1..40),
+    ) {
+        let mut m = Machine::new(MachineConfig::hector(1));
+        let pts = vec![m.alloc_on(0, 256, "pt")];
+        let mut aspace = AddressSpace::new(5, "prop", pts);
+        let frames: Vec<_> = (0..4).map(|_| m.alloc_page_on(0, "f")).collect();
+        let mut mapped = [false; 4];
+        for (i, do_map) in ops.iter().enumerate() {
+            let which = i % 4;
+            let cpu = m.cpu_mut(0);
+            if *do_map && !mapped[which] {
+                aspace.map(cpu, frames[which], true, Space::User);
+                mapped[which] = true;
+            } else if !*do_map && mapped[which] {
+                aspace.unmap(cpu, frames[which], Space::User);
+                mapped[which] = false;
+            }
+            for (f, m_) in frames.iter().zip(mapped.iter()) {
+                prop_assert_eq!(aspace.is_mapped(f.base.page()), *m_);
+            }
+        }
+        prop_assert_eq!(aspace.mapped_pages(), mapped.iter().filter(|x| **x).count());
+    }
+
+    #[test]
+    fn ready_queue_is_exactly_fifo(pids in prop::collection::vec(0usize..1000, 0..60)) {
+        let mut m = Machine::new(MachineConfig::hector(1));
+        let mem = m.alloc_on(0, 64, "rq");
+        let mut rq = ReadyQueue::new(mem);
+        let cpu = m.cpu_mut(0);
+        for p in &pids {
+            rq.enqueue(cpu, *p);
+        }
+        let mut out = Vec::new();
+        while let Some(p) = rq.dequeue(cpu) {
+            out.push(p);
+        }
+        prop_assert_eq!(out, pids);
+        prop_assert!(rq.is_empty());
+    }
+
+    #[test]
+    fn handoff_costs_are_independent_of_pid_values(a in 0u64..100, b in 0u64..100) {
+        // Switch cost depends on the PCB word count, never on which
+        // processes are involved.
+        let mut m = Machine::new(MachineConfig::hector(1));
+        let p1 = m.alloc_on(0, 256, "p1");
+        let p2 = m.alloc_on(0, 256, "p2");
+        let cpu = m.cpu_mut(0);
+        // warm
+        hurricane_os::sched::handoff_save_restore(cpu, p1, p2, 10);
+        let t1 = cpu.clock();
+        hurricane_os::sched::handoff_save_restore(cpu, p1, p2, 10);
+        let c1 = cpu.clock() - t1;
+        let t2 = cpu.clock();
+        hurricane_os::sched::handoff_save_restore(cpu, p1, p2, 10);
+        let c2 = cpu.clock() - t2;
+        // The fractional pipeline-stall accumulator may roll over at
+        // different points, so allow one cycle of jitter.
+        let diff = c1.as_u64().abs_diff(c2.as_u64());
+        prop_assert!(diff <= 1, "switch cost varies: {} vs {} ({},{})", c1, c2, a, b);
+    }
+}

@@ -1,0 +1,95 @@
+//! Program-ID authentication helpers (§4.1).
+//!
+//! The runtime, like the paper's kernel facility, never checks
+//! permissions — it only *identifies* the caller (`CallCtx::caller_program`).
+//! Servers enforce whatever policy they like; this module provides the
+//! common one: an ACL keyed by program ID, usable from handlers.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+use crate::ProgramId;
+
+/// Per-client record.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClientRecord {
+    /// Whether calls are allowed.
+    pub allowed: bool,
+    /// Server-defined rights bits.
+    pub rights: u32,
+    /// Calls observed.
+    pub calls: u64,
+}
+
+/// A server-side ACL. Reads take a shared lock (server state, not the IPC
+/// fastpath; the facility itself stays lock-free).
+#[derive(Debug)]
+pub struct Acl {
+    clients: RwLock<HashMap<ProgramId, ClientRecord>>,
+    /// Policy for unknown programs.
+    pub default_allow: bool,
+}
+
+impl Acl {
+    /// An ACL with the given default policy.
+    pub fn new(default_allow: bool) -> Self {
+        Acl { clients: RwLock::new(HashMap::new()), default_allow }
+    }
+
+    /// Grant `program` access with `rights`.
+    pub fn allow(&self, program: ProgramId, rights: u32) {
+        self.clients
+            .write()
+            .insert(program, ClientRecord { allowed: true, rights, calls: 0 });
+    }
+
+    /// Explicitly deny `program`.
+    pub fn deny(&self, program: ProgramId) {
+        self.clients.write().insert(program, ClientRecord::default());
+    }
+
+    /// Check and account a call from `program`.
+    pub fn check(&self, program: ProgramId) -> bool {
+        let mut w = self.clients.write();
+        match w.get_mut(&program) {
+            Some(r) => {
+                r.calls += 1;
+                r.allowed
+            }
+            None => self.default_allow,
+        }
+    }
+
+    /// The record for `program`, if any.
+    pub fn record(&self, program: ProgramId) -> Option<ClientRecord> {
+        self.clients.read().get(&program).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_deny_default() {
+        let acl = Acl::new(false);
+        acl.allow(1, 0xF);
+        acl.deny(2);
+        assert!(acl.check(1));
+        assert!(!acl.check(2));
+        assert!(!acl.check(3));
+        let open = Acl::new(true);
+        assert!(open.check(3));
+    }
+
+    #[test]
+    fn counts_calls() {
+        let acl = Acl::new(false);
+        acl.allow(5, 0);
+        acl.check(5);
+        acl.check(5);
+        assert_eq!(acl.record(5).unwrap().calls, 2);
+        assert_eq!(acl.record(5).unwrap().rights, 0);
+    }
+}

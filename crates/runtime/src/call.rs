@@ -1,0 +1,237 @@
+//! The dispatch fastpath.
+//!
+//! A synchronous call performs, in order: one atomic entry-table load, one
+//! lock-free worker-pool pop, one lock-free CD-pool pop (or the worker's
+//! held CD in hold-CD mode), the slot fill, one atomic mailbox publish +
+//! unpark (the hand-off), a park until `DONE`, and two lock-free pushes to
+//! recycle. **Zero lock acquisitions** — the user-level restatement of the
+//! paper's common case.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::entry::EntryState;
+use crate::slot::CallSlot;
+use crate::worker::WorkerHandle;
+use crate::{AsyncCall, EntryId, ProgramId, RtError, Runtime};
+
+impl Runtime {
+    /// Core dispatch. With `sync`, blocks and returns `Some(rets)`;
+    /// otherwise the caller must manage the slot (see `dispatch_async`).
+    pub(crate) fn dispatch(
+        &self,
+        vcpu: usize,
+        ep: EntryId,
+        args: [u64; 8],
+        program: ProgramId,
+        sync: bool,
+    ) -> Result<Option<[u64; 8]>, RtError> {
+        let (entry, worker, slot, held) = self.prepare(vcpu, ep, args, program, sync)?;
+        worker.post(Arc::clone(&slot));
+        if !sync {
+            return Ok(None);
+        }
+        // Racing a kill: if the worker was told to shut down, it may have
+        // exited after its final mailbox drain without seeing our post.
+        // Reclaim the slot if it is still in the mailbox; the mailbox
+        // atomics order this against the worker's drain, so exactly one
+        // side gets the slot.
+        if worker.is_shutdown() {
+            if let Some(reclaimed) = worker.take_mail() {
+                entry.finish_call(); // the worker never ran the call
+                drop(reclaimed);
+                if !held {
+                    self.vcpu(vcpu)?.put_slot(slot);
+                } else {
+                    slot.reset();
+                }
+                return Err(RtError::Aborted(ep));
+            }
+        }
+        slot.wait_done();
+        let rets = slot.read_rets();
+        let faulted = slot.is_faulted();
+        // A hard kill that landed while we ran aborts the call.
+        if entry.entry_state() == EntryState::Dead {
+            return Err(RtError::Aborted(ep));
+        }
+        if !held {
+            self.vcpu(vcpu)?.put_slot(slot);
+        } else {
+            slot.reset();
+        }
+        if faulted {
+            self.stats.server_faults.fetch_add(1, Ordering::Relaxed);
+            return Err(RtError::ServerFault(ep));
+        }
+        self.stats.calls.fetch_add(1, Ordering::Relaxed);
+        Ok(Some(rets))
+    }
+
+    /// Synchronous call carrying a bulk payload through the scratch page —
+    /// the runtime analogue of §4.2: the 8 register words carry the
+    /// opcode/lengths, the page carries the data. The handler reads and
+    /// rewrites the payload in place via `CallCtx::scratch`; the response
+    /// payload of `rets[7]` bytes (by convention) is copied back out.
+    ///
+    /// Returns the result words and the response payload.
+    pub(crate) fn dispatch_payload(
+        &self,
+        vcpu: usize,
+        ep: EntryId,
+        args: [u64; 8],
+        program: ProgramId,
+        payload: &[u8],
+    ) -> Result<([u64; 8], Vec<u8>), RtError> {
+        assert!(
+            payload.len() <= crate::slot::SCRATCH_BYTES,
+            "payload exceeds the {}-byte scratch page",
+            crate::slot::SCRATCH_BYTES
+        );
+        let (entry, worker, slot, held) = self.prepare_payload(vcpu, ep, args, program, payload)?;
+        worker.post(Arc::clone(&slot));
+        if worker.is_shutdown() {
+            if let Some(reclaimed) = worker.take_mail() {
+                entry.finish_call();
+                drop(reclaimed);
+                if !held {
+                    self.vcpu(vcpu)?.put_slot(slot);
+                } else {
+                    slot.reset();
+                }
+                return Err(RtError::Aborted(ep));
+            }
+        }
+        slot.wait_done();
+        let rets = slot.read_rets();
+        if entry.entry_state() == EntryState::Dead {
+            return Err(RtError::Aborted(ep));
+        }
+        if slot.is_faulted() {
+            if !held {
+                self.vcpu(vcpu)?.put_slot(slot);
+            } else {
+                slot.reset();
+            }
+            self.stats.server_faults.fetch_add(1, Ordering::Relaxed);
+            return Err(RtError::ServerFault(ep));
+        }
+        let response = slot.read_payload(rets[7] as usize);
+        if !held {
+            self.vcpu(vcpu)?.put_slot(slot);
+        } else {
+            slot.reset();
+        }
+        self.stats.calls.fetch_add(1, Ordering::Relaxed);
+        Ok((rets, response))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn prepare_payload(
+        &self,
+        vcpu: usize,
+        ep: EntryId,
+        args: [u64; 8],
+        program: ProgramId,
+        payload: &[u8],
+    ) -> Result<(&crate::entry::EntryShared, Arc<WorkerHandle>, Arc<CallSlot>, bool), RtError>
+    {
+        // Same as `prepare`, but the payload is written before the fill
+        // publishes the slot.
+        let (entry, worker, slot, held) = self.prepare_parts(vcpu, ep)?;
+        slot.write_payload(payload);
+        slot.fill(args, program, Some(std::thread::current()));
+        Ok((entry, worker, slot, held))
+    }
+
+    /// Asynchronous dispatch: returns a handle; the caller continues
+    /// immediately ("the caller and worker proceed independently").
+    pub(crate) fn dispatch_async(
+        &self,
+        vcpu: usize,
+        ep: EntryId,
+        args: [u64; 8],
+        program: ProgramId,
+    ) -> Result<AsyncCall, RtError> {
+        let (_entry, worker, slot, _held) = self.prepare(vcpu, ep, args, program, false)?;
+        worker.post(Arc::clone(&slot));
+        self.stats.async_calls.fetch_add(1, Ordering::Relaxed);
+        Ok(AsyncCall { slot, vcpu: Arc::clone(self.vcpu(vcpu)?), ep })
+    }
+
+    /// Upcall / interrupt dispatch (§4.4): an asynchronous request with no
+    /// calling program, manufactured by the runtime itself.
+    pub fn upcall(
+        self: &Arc<Self>,
+        vcpu: usize,
+        ep: EntryId,
+        args: [u64; 8],
+    ) -> Result<AsyncCall, RtError> {
+        let r = self.dispatch_async(vcpu, ep, args, 0);
+        if r.is_ok() {
+            self.stats.upcalls.fetch_add(1, Ordering::Relaxed);
+        }
+        r
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn prepare(
+        &self,
+        vcpu: usize,
+        ep: EntryId,
+        args: [u64; 8],
+        program: ProgramId,
+        sync: bool,
+    ) -> Result<(&crate::entry::EntryShared, Arc<WorkerHandle>, Arc<CallSlot>, bool), RtError>
+    {
+        let (entry, worker, slot, held) = self.prepare_parts(vcpu, ep)?;
+        slot.fill(args, program, sync.then(std::thread::current));
+        Ok((entry, worker, slot, held))
+    }
+
+    /// Acquire the call's resources (entry claim, worker, CD) without
+    /// publishing the slot, so callers can stage payload data first.
+    #[allow(clippy::type_complexity)]
+    fn prepare_parts(
+        &self,
+        vcpu: usize,
+        ep: EntryId,
+    ) -> Result<(&crate::entry::EntryShared, Arc<WorkerHandle>, Arc<CallSlot>, bool), RtError>
+    {
+        let vc = self.vcpu(vcpu)?;
+        let entry = self.entry(ep)?;
+        // Claim an in-flight slot, then re-check state so a racing kill
+        // either sees our claim or we see its state change.
+        entry.active.fetch_add(1, Ordering::AcqRel);
+        if entry.entry_state() != EntryState::Active {
+            entry.active.fetch_sub(1, Ordering::AcqRel);
+            return Err(RtError::EntryDead(ep));
+        }
+
+        // Worker: lock-free pool pop, or the Frank grow path.
+        let worker = match entry.pool(vcpu).pop() {
+            Some(w) => w,
+            None => {
+                self.stats.frank_redirects.fetch_add(1, Ordering::Relaxed);
+                self.stats.workers_created.fetch_add(1, Ordering::Relaxed);
+                let arc = self.entry_arc(ep).ok_or(RtError::UnknownEntry(ep))?;
+                entry.pool(vcpu).grow(&arc, vcpu, self.pinned(), false)
+            }
+        };
+
+        // CD: the worker's held slot in hold-CD mode, else the vCPU pool.
+        let (slot, held) = if entry.opts.hold_cd {
+            match worker.held_slot() {
+                Some(s) => (s, true),
+                None => {
+                    let s = vc.take_slot(&self.stats);
+                    worker.pin_slot(Arc::clone(&s));
+                    (s, true)
+                }
+            }
+        } else {
+            (vc.take_slot(&self.stats), false)
+        };
+        Ok((entry, worker, slot, held))
+    }
+}

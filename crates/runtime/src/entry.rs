@@ -1,0 +1,285 @@
+//! Entry points: binding, lifecycle, kill and exchange.
+//!
+//! The entry table is the paper's per-processor array scaled to a single
+//! shared-memory process: reads are one atomic load (wait-free), writes
+//! (bind/kill/exchange — all cold paths) go through the registry lock.
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::worker::WorkerPool;
+use crate::{EntryId, Handler, ProgramId, RtError, Runtime, MAX_ENTRIES};
+
+/// Entry lifecycle states.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EntryState {
+    /// Accepting calls.
+    Active = 0,
+    /// Draining: new calls rejected, in-progress calls complete (§4.5.2).
+    SoftKilled = 1,
+    /// Dead: resources reaped; in-progress calls were aborted.
+    Dead = 2,
+}
+
+impl EntryState {
+    fn from_u8(v: u8) -> EntryState {
+        match v {
+            0 => EntryState::Active,
+            1 => EntryState::SoftKilled,
+            _ => EntryState::Dead,
+        }
+    }
+}
+
+/// Options for a bound entry point.
+#[derive(Clone, Copy, Debug)]
+pub struct EntryOptions {
+    /// Workers permanently hold a CD + scratch page (2–3 µs faster per
+    /// call in the paper; defeats stack sharing).
+    pub hold_cd: bool,
+    /// Workers pre-spawned per vCPU at bind time.
+    pub initial_workers: usize,
+    /// Owning program (may kill/exchange; 0 = anyone).
+    pub owner: ProgramId,
+    /// Bind at this specific entry ID.
+    pub want_ep: Option<EntryId>,
+}
+
+impl Default for EntryOptions {
+    fn default() -> Self {
+        EntryOptions { hold_cd: false, initial_workers: 1, owner: 0, want_ep: None }
+    }
+}
+
+/// Shared state of one bound entry point.
+pub struct EntryShared {
+    /// Entry ID.
+    pub id: EntryId,
+    /// Diagnostic name.
+    pub name: String,
+    /// Options.
+    pub opts: EntryOptions,
+    /// Lifecycle state (`EntryState` as u8).
+    pub state: AtomicU8,
+    /// In-flight calls (soft-kill drain gate).
+    pub active: AtomicU64,
+    /// Completed calls.
+    pub calls: AtomicU64,
+    handler_ptr: AtomicPtr<Handler>,
+    /// Replaced handlers are quarantined here so in-flight calls through
+    /// the old pointer stay valid (freed when the entry drops).
+    handler_graveyard: Mutex<Vec<Box<Handler>>>,
+    pools: Vec<WorkerPool>,
+}
+
+impl EntryShared {
+    fn new(id: EntryId, name: &str, opts: EntryOptions, handler: Handler, n_vcpus: usize) -> Self {
+        EntryShared {
+            id,
+            name: name.to_string(),
+            opts,
+            state: AtomicU8::new(EntryState::Active as u8),
+            active: AtomicU64::new(0),
+            calls: AtomicU64::new(0),
+            handler_ptr: AtomicPtr::new(Box::into_raw(Box::new(handler))),
+            handler_graveyard: Mutex::new(Vec::new()),
+            pools: (0..n_vcpus).map(|_| WorkerPool::new()).collect(),
+        }
+    }
+
+    /// Current lifecycle state.
+    pub fn entry_state(&self) -> EntryState {
+        EntryState::from_u8(self.state.load(Ordering::Acquire))
+    }
+
+    /// The worker pool on `vcpu`.
+    pub fn pool(&self, vcpu: usize) -> &WorkerPool {
+        &self.pools[vcpu]
+    }
+
+    /// The current handler (one atomic load + an `Arc` clone).
+    pub fn handler(&self) -> Handler {
+        let p = self.handler_ptr.load(Ordering::Acquire);
+        // Safety: handler boxes are only freed when the entry drops; swaps
+        // quarantine the old box in the graveyard.
+        unsafe { (*p).clone() }
+    }
+
+    /// Replace the handler (Exchange, §4.5.2) and clear worker overrides
+    /// so initialization reruns against the new code.
+    pub fn swap_handler(&self, h: Handler) {
+        let new = Box::into_raw(Box::new(h));
+        let old = self.handler_ptr.swap(new, Ordering::AcqRel);
+        // Safety: `old` came from Box::into_raw at bind or a prior swap.
+        self.handler_graveyard.lock().push(unsafe { Box::from_raw(old) });
+        for p in &self.pools {
+            p.for_each_worker(|w| w.clear_override());
+        }
+    }
+
+    /// One in-flight call completed (invoked by the worker loop).
+    pub fn finish_call(&self) {
+        self.active.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Shut down and join every worker (called off the worker threads).
+    pub fn reap_workers(&self) {
+        for p in &self.pools {
+            p.reap();
+        }
+    }
+}
+
+impl Drop for EntryShared {
+    fn drop(&mut self) {
+        let p = self.handler_ptr.swap(std::ptr::null_mut(), Ordering::AcqRel);
+        if !p.is_null() {
+            // Safety: the final handler box, never freed elsewhere.
+            unsafe { drop(Box::from_raw(p)) };
+        }
+    }
+}
+
+impl Runtime {
+    /// Bind a service: claim an entry ID (specific one via
+    /// `opts.want_ep`), install the handler, and pre-spawn
+    /// `opts.initial_workers` pooled workers on every vCPU. Also registers
+    /// `name` with the name table when non-empty.
+    pub fn bind(
+        self: &Arc<Self>,
+        name: &str,
+        opts: EntryOptions,
+        handler: Handler,
+    ) -> Result<EntryId, RtError> {
+        let mut registry = self.registry_lock();
+        let ep = match opts.want_ep {
+            Some(ep) => {
+                if ep >= MAX_ENTRIES {
+                    return Err(RtError::UnknownEntry(ep));
+                }
+                if !self.table_ptr(ep).load(Ordering::Acquire).is_null() {
+                    return Err(RtError::TableFull);
+                }
+                ep
+            }
+            None => (0..MAX_ENTRIES)
+                .find(|i| self.table_ptr(*i).load(Ordering::Acquire).is_null())
+                .ok_or(RtError::TableFull)?,
+        };
+        let entry =
+            Arc::new(EntryShared::new(ep, name, opts, handler, self.n_vcpus()));
+        for v in 0..self.n_vcpus() {
+            for _ in 0..opts.initial_workers {
+                entry.pool(v).grow(&entry, v, self.pinned(), true);
+            }
+        }
+        let raw = Arc::as_ptr(&entry) as *mut EntryShared;
+        registry.push(Arc::clone(&entry));
+        self.table_ptr(ep).store(raw, Ordering::Release);
+        drop(registry);
+        if !name.is_empty() {
+            self.names.lock().insert(name.to_string(), ep);
+        }
+        Ok(ep)
+    }
+
+    /// Soft-kill `ep`: reject new calls, let in-progress calls drain.
+    /// Resources are reaped by [`Runtime::wait_drained`] or shutdown.
+    pub fn soft_kill(&self, ep: EntryId, by: ProgramId) -> Result<(), RtError> {
+        let e = self.entry(ep)?;
+        self.check_owner(e, by)?;
+        match e.entry_state() {
+            EntryState::Active => {
+                e.state.store(EntryState::SoftKilled as u8, Ordering::Release);
+                Ok(())
+            }
+            _ => Err(RtError::EntryDead(ep)),
+        }
+    }
+
+    /// Wait for a soft-killed entry to drain, then reap its workers.
+    /// Must not be called from one of the entry's own handlers.
+    pub fn wait_drained(&self, ep: EntryId) -> Result<(), RtError> {
+        let e = self.entry(ep)?;
+        while e.active.load(Ordering::Acquire) != 0 {
+            std::thread::yield_now();
+        }
+        e.state.store(EntryState::Dead as u8, Ordering::Release);
+        e.reap_workers();
+        Ok(())
+    }
+
+    /// Hard-kill `ep`: reject new calls, abort callers of in-progress
+    /// calls (they observe [`RtError::Aborted`]), reap all workers. Must
+    /// not be called from one of the entry's own handlers.
+    pub fn hard_kill(&self, ep: EntryId, by: ProgramId) -> Result<(), RtError> {
+        let e = self.entry(ep)?;
+        self.check_owner(e, by)?;
+        if e.entry_state() == EntryState::Dead {
+            return Err(RtError::EntryDead(ep));
+        }
+        e.state.store(EntryState::Dead as u8, Ordering::SeqCst);
+        e.reap_workers();
+        Ok(())
+    }
+
+    /// Exchange (§4.5.2): atomically replace the handler of a live entry
+    /// — on-line replacement of an executing server. Worker-local
+    /// initialization overrides are cleared.
+    pub fn exchange(&self, ep: EntryId, h: Handler, by: ProgramId) -> Result<(), RtError> {
+        let e = self.entry(ep)?;
+        self.check_owner(e, by)?;
+        if e.entry_state() != EntryState::Active {
+            return Err(RtError::EntryDead(ep));
+        }
+        e.swap_handler(h);
+        Ok(())
+    }
+
+    /// Free a dead entry's ID for rebinding. Kept separate from the kill
+    /// so stale callers racing a kill observe `EntryDead`, never an
+    /// unrelated new service.
+    pub fn reclaim_slot(&self, ep: EntryId, by: ProgramId) -> Result<(), RtError> {
+        let e = self.entry(ep)?;
+        self.check_owner(e, by)?;
+        if e.entry_state() != EntryState::Dead {
+            return Err(RtError::EntryDead(ep));
+        }
+        // The registry keeps the Arc alive for racing readers; only the
+        // table slot is released.
+        self.table_ptr(ep).store(std::ptr::null_mut(), Ordering::Release);
+        Ok(())
+    }
+
+    /// Shrink the pooled workers of (`ep`, `vcpu`) down to `keep`.
+    pub fn shrink_workers(&self, ep: EntryId, vcpu: usize, keep: usize) -> Result<usize, RtError> {
+        let e = self.entry(ep)?;
+        if vcpu >= self.n_vcpus() {
+            return Err(RtError::BadVcpu(vcpu));
+        }
+        Ok(e.pool(vcpu).shrink_to(keep))
+    }
+
+    fn check_owner(&self, e: &EntryShared, by: ProgramId) -> Result<(), RtError> {
+        if e.opts.owner != 0 && by != 0 && e.opts.owner != by {
+            return Err(RtError::NotOwner);
+        }
+        Ok(())
+    }
+
+    pub(crate) fn table_ptr(&self, ep: EntryId) -> &AtomicPtr<EntryShared> {
+        &self.table()[ep]
+    }
+
+    /// The `Arc` behind entry `ep` (cold path: pool growth, reaping).
+    pub(crate) fn entry_arc(&self, ep: EntryId) -> Option<Arc<EntryShared>> {
+        let raw = self.table_ptr(ep).load(Ordering::Acquire);
+        if raw.is_null() {
+            return None;
+        }
+        self.registry_lock().iter().find(|e| Arc::as_ptr(e) == raw).cloned()
+    }
+}

@@ -1,0 +1,407 @@
+//! # ppc-rt — a real-threads, user-level port of the PPC design
+//!
+//! The simulator crates reproduce the paper's *numbers*; this crate makes
+//! the paper's *design* executable on a modern machine. It maps the
+//! kernel-level mechanism onto user-level primitives:
+//!
+//! | paper (Hurricane kernel) | this crate |
+//! |---|---|
+//! | processor | [`Runtime`] virtual processor (optionally pinned via `core_affinity`) |
+//! | worker process | worker OS thread, parked in a per-vCPU lock-free pool |
+//! | call descriptor + stack page | [`slot::CallSlot`] with a 4 KB scratch page, per-vCPU lock-free pool |
+//! | hand-off scheduling | `thread::park` / `Thread::unpark` direct switch |
+//! | 8 registers each way | `[u64; 8]` argument/result frames, never touching shared queues |
+//! | service table (1024, per CPU) | `AtomicPtr` entry table, wait-free reads |
+//! | Frank (slow-path resource manager) | the grow path: pool-empty events create workers/slots |
+//! | program-ID authentication | `caller_program` in [`CallCtx`] + [`auth::Acl`] |
+//! | soft-/hard-kill, Exchange | [`Runtime::soft_kill`], [`Runtime::hard_kill`], [`Runtime::exchange`] |
+//! | worker initialization (§4.5.3) | per-worker handler override via [`CallCtx::set_worker_handler`] |
+//! | async / interrupt / upcall variants | [`Client::call_async`], [`Runtime::upcall`] |
+//! | CopyTo/CopyFrom bulk data (§4.2) | [`Client::call_with_payload`] through the scratch page |
+//! | worker-process fault isolation (§2) | handler panics become [`RtError::ServerFault`]; the pool survives |
+//!
+//! The common-case call path performs **no lock acquisitions**: pools are
+//! lock-free queues (`crossbeam`), the entry table is read with a single
+//! atomic load, and the client↔worker rendezvous is an atomic mailbox plus
+//! park/unpark. Locks appear only on cold paths (registration, kill,
+//! exchange) — exactly the paper's discipline.
+//!
+//! ```
+//! use ppc_rt::{Runtime, EntryOptions};
+//! use std::sync::Arc;
+//!
+//! let rt = Runtime::new(2);
+//! let ep = rt
+//!     .bind("echo", EntryOptions::default(), Arc::new(|ctx| ctx.args))
+//!     .unwrap();
+//! let client = rt.client(0, 42);
+//! assert_eq!(client.call(ep, [1, 2, 3, 4, 5, 6, 7, 8]).unwrap(), [1, 2, 3, 4, 5, 6, 7, 8]);
+//! ```
+
+pub mod auth;
+pub mod baseline;
+pub mod call;
+pub mod entry;
+pub mod naming;
+pub mod slot;
+pub mod stats;
+pub mod worker;
+
+use std::sync::atomic::{AtomicPtr, AtomicU8, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+pub use entry::{EntryOptions, EntryState};
+
+use entry::EntryShared;
+use slot::CallSlot;
+use stats::RuntimeStats;
+use worker::WorkerHandle;
+
+/// Entry-point identifier (small integer, < [`MAX_ENTRIES`]).
+pub type EntryId = usize;
+
+/// The paper's cap on simultaneously-bound entry points.
+pub const MAX_ENTRIES: usize = 1024;
+
+/// Program identity used for server-side authentication (§4.1).
+pub type ProgramId = u32;
+
+/// Errors reported by runtime operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RtError {
+    /// Entry-point ID out of range or unbound.
+    UnknownEntry(EntryId),
+    /// The entry point is soft- or hard-killed.
+    EntryDead(EntryId),
+    /// The call ran while the entry point was hard-killed.
+    Aborted(EntryId),
+    /// The entry table is full, or the requested slot is taken.
+    TableFull,
+    /// Operation requires ownership of the entry point.
+    NotOwner,
+    /// vCPU index out of range.
+    BadVcpu(usize),
+    /// The server's handler panicked while servicing the call. Per the
+    /// paper's §2 rationale for worker processes, the failure "follows
+    /// those of a message exchange": the caller gets an error, the server
+    /// (and its other workers) keep running.
+    ServerFault(EntryId),
+}
+
+impl std::fmt::Display for RtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RtError::UnknownEntry(ep) => write!(f, "unknown entry point {ep}"),
+            RtError::EntryDead(ep) => write!(f, "entry point {ep} is dead"),
+            RtError::Aborted(ep) => write!(f, "call aborted by hard kill of {ep}"),
+            RtError::TableFull => write!(f, "entry table full or slot taken"),
+            RtError::NotOwner => write!(f, "caller does not own this entry point"),
+            RtError::BadVcpu(v) => write!(f, "virtual processor {v} does not exist"),
+            RtError::ServerFault(ep) => {
+                write!(f, "server handler for entry {ep} faulted during the call")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RtError {}
+
+/// Context a service handler receives for one call.
+pub struct CallCtx<'a> {
+    /// The 8 argument words.
+    pub args: [u64; 8],
+    /// Caller's program identity (0 for interrupt/upcall variants).
+    pub caller_program: ProgramId,
+    /// Virtual processor the call executes on (== the caller's vCPU).
+    pub vcpu: usize,
+    /// The entry point being invoked.
+    pub ep: EntryId,
+    pub(crate) scratch: &'a mut [u8],
+    pub(crate) worker: &'a WorkerHandle,
+    pub(crate) entry: &'a EntryShared,
+}
+
+impl<'a> CallCtx<'a> {
+    /// The 4 KB per-call scratch page (the CD's "stack page"). Recycled
+    /// across calls and, by default, across services — exactly the paper's
+    /// serially-shared stacks, with the same caveat that secrets should
+    /// not be left behind (use trust groups or hold-CD mode for that).
+    pub fn scratch(&mut self) -> &mut [u8] {
+        self.scratch
+    }
+
+    /// Replace **this worker's** handling routine for subsequent calls —
+    /// the §4.5.3 one-time-initialization pattern: bind the init routine,
+    /// and have it call `set_worker_handler(main_handler)` on first call.
+    pub fn set_worker_handler(&self, h: Handler) {
+        self.worker.set_override(h);
+    }
+
+    /// Number of calls this entry point has completed (diagnostics).
+    pub fn entry_calls(&self) -> u64 {
+        self.entry.calls.load(Ordering::Relaxed)
+    }
+}
+
+/// A service handler: receives the call context, returns 8 result words.
+pub type Handler = Arc<dyn Fn(&mut CallCtx<'_>) -> [u64; 8] + Send + Sync>;
+
+/// Per-virtual-processor state: the CD pool (all services on this vCPU
+/// share it) — the direct analogue of the paper's per-processor pools.
+pub struct VcpuState {
+    /// Lock-free pool of idle call slots.
+    pub(crate) cd_pool: crossbeam::queue::ArrayQueue<Arc<CallSlot>>,
+    /// Slots ever created on this vCPU (diagnostics).
+    pub(crate) cds_created: AtomicU64,
+    /// Index of this vCPU.
+    pub id: usize,
+}
+
+impl VcpuState {
+    fn new(id: usize, initial_cds: usize) -> Arc<Self> {
+        let v = Arc::new(VcpuState {
+            cd_pool: crossbeam::queue::ArrayQueue::new(256),
+            cds_created: AtomicU64::new(0),
+            id,
+        });
+        for _ in 0..initial_cds {
+            let _ = v.cd_pool.push(CallSlot::new());
+            v.cds_created.fetch_add(1, Ordering::Relaxed);
+        }
+        v
+    }
+
+    /// Take a slot, growing the pool if dry (the Frank slow path).
+    pub(crate) fn take_slot(&self, stats: &RuntimeStats) -> Arc<CallSlot> {
+        match self.cd_pool.pop() {
+            Some(s) => s,
+            None => {
+                stats.frank_redirects.fetch_add(1, Ordering::Relaxed);
+                stats.cds_created.fetch_add(1, Ordering::Relaxed);
+                self.cds_created.fetch_add(1, Ordering::Relaxed);
+                CallSlot::new()
+            }
+        }
+    }
+
+    /// Return a slot to the pool (dropped if the pool is full — surplus
+    /// reclamation, §2's "extra stacks can easily be reclaimed").
+    pub(crate) fn put_slot(&self, slot: Arc<CallSlot>) {
+        slot.reset();
+        let _ = self.cd_pool.push(slot);
+    }
+}
+
+/// The PPC runtime: virtual processors, the entry table, and the cold-path
+/// registries.
+pub struct Runtime {
+    vcpus: Vec<Arc<VcpuState>>,
+    /// Wait-free entry table: one atomic pointer per entry ID, per the
+    /// paper's "simple array with direct indexing".
+    table: Vec<AtomicPtr<EntryShared>>,
+    /// Cold-path registry holding strong references for the table's raw
+    /// pointers (and for unbound entries until shutdown, so readers racing
+    /// a kill never observe a dangling pointer).
+    registry: Mutex<Vec<Arc<EntryShared>>>,
+    /// Name table (cold path).
+    pub(crate) names: Mutex<std::collections::HashMap<String, EntryId>>,
+    /// Facility counters.
+    pub stats: RuntimeStats,
+    /// Pin worker threads to cores.
+    pin: bool,
+    shutdown: AtomicU8,
+}
+
+impl Runtime {
+    /// A runtime with `n_vcpus` virtual processors, unpinned, one CD
+    /// pre-pooled per vCPU (like the worker pools, the CD pool "most
+    /// commonly contains only" what back-to-back calls recycle; bursts
+    /// grow it on demand).
+    pub fn new(n_vcpus: usize) -> Arc<Self> {
+        Self::with_options(n_vcpus, false, 1)
+    }
+
+    /// A runtime with explicit options: `pin` requests `core_affinity`
+    /// pinning of worker threads (vCPU *i* to core *i mod n_cores*;
+    /// silently unpinned where pinning fails), `initial_cds` pre-populates
+    /// each vCPU's CD pool.
+    pub fn with_options(n_vcpus: usize, pin: bool, initial_cds: usize) -> Arc<Self> {
+        assert!(n_vcpus >= 1, "at least one virtual processor");
+        Arc::new(Runtime {
+            vcpus: (0..n_vcpus).map(|i| VcpuState::new(i, initial_cds)).collect(),
+            table: (0..MAX_ENTRIES).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect(),
+            registry: Mutex::new(Vec::new()),
+            names: Mutex::new(std::collections::HashMap::new()),
+            stats: RuntimeStats::default(),
+            pin,
+            shutdown: AtomicU8::new(0),
+        })
+    }
+
+    /// Number of virtual processors.
+    pub fn n_vcpus(&self) -> usize {
+        self.vcpus.len()
+    }
+
+    pub(crate) fn vcpu(&self, v: usize) -> Result<&Arc<VcpuState>, RtError> {
+        self.vcpus.get(v).ok_or(RtError::BadVcpu(v))
+    }
+
+    pub(crate) fn registry_lock(
+        &self,
+    ) -> parking_lot::MutexGuard<'_, Vec<Arc<EntryShared>>> {
+        self.registry.lock()
+    }
+
+    pub(crate) fn table(&self) -> &[AtomicPtr<EntryShared>] {
+        &self.table
+    }
+
+    /// Whether worker pinning was requested.
+    pub fn pinned(&self) -> bool {
+        self.pin
+    }
+
+    /// A client bound to vCPU `vcpu` with program identity `program`.
+    /// Calls made through the client use that vCPU's pools, mirroring
+    /// "requests are always handled on the same processor as the client".
+    pub fn client(self: &Arc<Self>, vcpu: usize, program: ProgramId) -> Client {
+        assert!(vcpu < self.vcpus.len(), "vcpu {vcpu} out of range");
+        Client { rt: Arc::clone(self), vcpu, program }
+    }
+
+    /// Wait-free entry lookup (the fastpath's single atomic load).
+    pub(crate) fn entry(&self, ep: EntryId) -> Result<&EntryShared, RtError> {
+        if ep >= MAX_ENTRIES {
+            return Err(RtError::UnknownEntry(ep));
+        }
+        let p = self.table[ep].load(Ordering::Acquire);
+        if p.is_null() {
+            return Err(RtError::UnknownEntry(ep));
+        }
+        // Safety: the registry holds a strong reference for every pointer
+        // ever published in the table until Runtime shutdown, so the
+        // pointee outlives any reader.
+        Ok(unsafe { &*p })
+    }
+}
+
+/// A client handle: the caller's (vCPU, program) identity.
+#[derive(Clone)]
+pub struct Client {
+    rt: Arc<Runtime>,
+    /// The vCPU this client runs on.
+    pub vcpu: usize,
+    /// The client's program identity.
+    pub program: ProgramId,
+}
+
+impl Client {
+    /// The runtime this client belongs to.
+    pub fn runtime(&self) -> &Arc<Runtime> {
+        &self.rt
+    }
+
+    /// Synchronous PPC: 8 words in, 8 words out, hand-off to a worker on
+    /// this client's vCPU. No locks, no shared queues.
+    pub fn call(&self, ep: EntryId, args: [u64; 8]) -> Result<[u64; 8], RtError> {
+        self.rt.dispatch(self.vcpu, ep, args, self.program, true).map(|r| r.expect("sync result"))
+    }
+
+    /// Asynchronous PPC (§4.4): the caller continues immediately; the
+    /// result can be awaited (or dropped, as the paper's prefetch does).
+    pub fn call_async(&self, ep: EntryId, args: [u64; 8]) -> Result<AsyncCall, RtError> {
+        self.rt.dispatch_async(self.vcpu, ep, args, self.program)
+    }
+
+    /// Synchronous PPC with a bulk payload (§4.2's CopyFrom/CopyTo rolled
+    /// into the call): up to 4 KB of request data travels in the call
+    /// slot's scratch page, the handler rewrites it in place, and the
+    /// first `rets[7]` bytes come back as the response payload. Panics if
+    /// `payload` exceeds the scratch page.
+    pub fn call_with_payload(
+        &self,
+        ep: EntryId,
+        args: [u64; 8],
+        payload: &[u8],
+    ) -> Result<([u64; 8], Vec<u8>), RtError> {
+        self.rt.dispatch_payload(self.vcpu, ep, args, self.program, payload)
+    }
+}
+
+/// A pending asynchronous call.
+pub struct AsyncCall {
+    pub(crate) slot: Arc<CallSlot>,
+    pub(crate) vcpu: Arc<VcpuState>,
+    pub(crate) ep: EntryId,
+}
+
+impl AsyncCall {
+    /// Block until the worker completes and return the result words.
+    pub fn wait(&self) -> [u64; 8] {
+        self.slot.wait_done();
+        self.slot.read_rets()
+    }
+
+    /// Non-blocking completion check.
+    pub fn is_done(&self) -> bool {
+        self.slot.is_done()
+    }
+
+    /// The entry point this call targets.
+    pub fn entry(&self) -> EntryId {
+        self.ep
+    }
+}
+
+impl Drop for AsyncCall {
+    fn drop(&mut self) {
+        // Recycle the slot only once the worker is finished with it.
+        self.slot.wait_done();
+        self.vcpu.put_slot(Arc::clone(&self.slot));
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shutdown.store(1, Ordering::SeqCst);
+        // Reap every live entry: signal workers and join them, then let
+        // the registry drop the shared state.
+        let entries: Vec<Arc<EntryShared>> = self.registry.lock().clone();
+        for e in &entries {
+            e.state.store(EntryState::Dead as u8, Ordering::SeqCst);
+            e.reap_workers();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boot_and_echo() {
+        let rt = Runtime::new(1);
+        let ep = rt.bind("echo", EntryOptions::default(), Arc::new(|ctx| ctx.args)).unwrap();
+        let c = rt.client(0, 7);
+        assert_eq!(c.call(ep, [9; 8]).unwrap(), [9; 8]);
+        assert_eq!(rt.stats.calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn unknown_entry_rejected() {
+        let rt = Runtime::new(1);
+        let c = rt.client(0, 7);
+        assert_eq!(c.call(5, [0; 8]), Err(RtError::UnknownEntry(5)));
+        assert_eq!(c.call(MAX_ENTRIES + 1, [0; 8]), Err(RtError::UnknownEntry(MAX_ENTRIES + 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_vcpu_client_panics() {
+        let rt = Runtime::new(1);
+        let _ = rt.client(3, 1);
+    }
+}

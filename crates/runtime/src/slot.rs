@@ -1,0 +1,249 @@
+//! Call slots — the runtime's call descriptors.
+//!
+//! A [`CallSlot`] plays the CD's double role from §2 of the paper: it
+//! carries the call's linkage (here: argument/result frames and the
+//! caller's thread handle for the hand-off unpark) and it owns the 4 KB
+//! scratch page that stands in for the worker's stack. Slots live in
+//! per-vCPU lock-free pools and are recycled across services, giving the
+//! same serial-sharing cache benefits the paper describes.
+//!
+//! The hand-off protocol is a two-party atomic rendezvous:
+//!
+//! 1. the client owns the slot exclusively (it popped it), fills `args`,
+//!    `caller_program`, and its own `Thread` handle, then publishes the
+//!    slot to the worker's mailbox with `Release` and unparks the worker;
+//! 2. the worker acquires the mailbox pointer, runs the handler on the
+//!    slot's scratch page, writes `rets`, stores `DONE` with `Release`,
+//!    and unparks the client;
+//! 3. the client observes `DONE` with `Acquire` and reclaims the slot.
+//!
+//! No step locks; the only blocking is `thread::park`, the user-level
+//! analogue of the paper's hand-off scheduling.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::thread::Thread;
+
+/// Size of the per-call scratch page ("one-page stacks", §4.5.4).
+pub const SCRATCH_BYTES: usize = 4096;
+
+/// Slot lifecycle states.
+pub mod state {
+    /// In a pool, unowned.
+    pub const IDLE: u8 = 0;
+    /// Filled by a client, owned by a worker.
+    pub const POSTED: u8 = 1;
+    /// Handler finished; results valid.
+    pub const DONE: u8 = 2;
+}
+
+/// One call descriptor.
+pub struct CallSlot {
+    st: AtomicU8,
+    args: UnsafeCell<[u64; 8]>,
+    rets: UnsafeCell<[u64; 8]>,
+    caller_program: AtomicU32,
+    /// Whether a client thread waits for completion (sync call).
+    has_client: AtomicBool,
+    /// The handler faulted (panicked) while servicing this call.
+    faulted: AtomicBool,
+    client: UnsafeCell<Option<Thread>>,
+    scratch: UnsafeCell<Box<[u8; SCRATCH_BYTES]>>,
+}
+
+// Safety: access to the UnsafeCell fields follows the ownership protocol
+// documented above — exactly one party touches them in each state, with
+// Release/Acquire edges on `st` (and the mailbox pointer) ordering the
+// transfers.
+unsafe impl Sync for CallSlot {}
+unsafe impl Send for CallSlot {}
+
+impl CallSlot {
+    /// A fresh, idle slot.
+    pub fn new() -> Arc<Self> {
+        Arc::new(CallSlot {
+            st: AtomicU8::new(state::IDLE),
+            args: UnsafeCell::new([0; 8]),
+            rets: UnsafeCell::new([0; 8]),
+            caller_program: AtomicU32::new(0),
+            has_client: AtomicBool::new(false),
+            faulted: AtomicBool::new(false),
+            client: UnsafeCell::new(None),
+            scratch: UnsafeCell::new(Box::new([0; SCRATCH_BYTES])),
+        })
+    }
+
+    /// Client side: fill the slot prior to posting. Caller must own the
+    /// slot (popped from a pool, or the held CD of a worker it popped).
+    ///
+    /// Held CDs have one benign window: the *previous* caller may still be
+    /// between observing `DONE` and calling [`CallSlot::reset`] when the
+    /// next caller (which already owns the worker) arrives, so we spin the
+    /// few instructions until the slot returns to `IDLE`.
+    pub fn fill(&self, args: [u64; 8], program: u32, client: Option<Thread>) {
+        let mut spins = 0u32;
+        while self.st.load(Ordering::Acquire) != state::IDLE {
+            std::hint::spin_loop();
+            spins += 1;
+            if spins > 1 << 12 {
+                std::thread::yield_now();
+            }
+        }
+        // Safety: exclusive ownership in IDLE state.
+        unsafe {
+            *self.args.get() = args;
+            *self.client.get() = client.clone();
+        }
+        self.caller_program.store(program, Ordering::Relaxed);
+        self.has_client.store(client.is_some(), Ordering::Relaxed);
+        self.faulted.store(false, Ordering::Relaxed);
+        self.st.store(state::POSTED, Ordering::Release);
+    }
+
+    /// Worker side: read the arguments (slot must be POSTED and owned).
+    pub fn read_args(&self) -> [u64; 8] {
+        debug_assert_eq!(self.st.load(Ordering::Relaxed), state::POSTED);
+        // Safety: worker owns the slot after acquiring the mailbox edge.
+        unsafe { *self.args.get() }
+    }
+
+    /// Worker side: the caller's program identity.
+    pub fn caller_program(&self) -> u32 {
+        self.caller_program.load(Ordering::Relaxed)
+    }
+
+    /// Worker side: run `f` with exclusive access to the scratch page.
+    pub fn with_scratch<R>(&self, f: impl FnOnce(&mut [u8]) -> R) -> R {
+        // Safety: worker owns the slot while POSTED.
+        let scratch = unsafe { &mut **self.scratch.get() };
+        f(scratch)
+    }
+
+    /// Worker side: publish the results and wake the client if one waits.
+    pub fn complete(&self, rets: [u64; 8]) {
+        // Safety: worker still owns the slot.
+        let client = unsafe {
+            *self.rets.get() = rets;
+            (*self.client.get()).take()
+        };
+        let had_client = self.has_client.load(Ordering::Relaxed);
+        self.st.store(state::DONE, Ordering::Release);
+        if had_client {
+            if let Some(t) = client {
+                t.unpark();
+            }
+        }
+    }
+
+    /// Worker side: mark the call as faulted before completing (the
+    /// handler panicked).
+    pub fn mark_faulted(&self) {
+        self.faulted.store(true, Ordering::Relaxed);
+    }
+
+    /// Did the handler fault? (Valid once DONE.)
+    pub fn is_faulted(&self) -> bool {
+        self.faulted.load(Ordering::Relaxed)
+    }
+
+    /// Whether the handler has completed.
+    pub fn is_done(&self) -> bool {
+        self.st.load(Ordering::Acquire) == state::DONE
+    }
+
+    /// Client side: park until DONE (sync calls: the worker unparks us;
+    /// async waiters: bounded park so a missed token cannot wedge us).
+    pub fn wait_done(&self) {
+        while !self.is_done() {
+            if self.has_client.load(Ordering::Relaxed) {
+                std::thread::park();
+            } else {
+                std::thread::park_timeout(std::time::Duration::from_micros(50));
+            }
+        }
+    }
+
+    /// Client side: read the results (slot must be DONE).
+    pub fn read_rets(&self) -> [u64; 8] {
+        debug_assert!(self.is_done());
+        // Safety: DONE was observed with Acquire; worker wrote before the
+        // Release store.
+        unsafe { *self.rets.get() }
+    }
+
+    /// Return the slot to IDLE for pooling.
+    pub fn reset(&self) {
+        self.st.store(state::IDLE, Ordering::Release);
+    }
+
+    /// Client side, before posting (slot owned, IDLE): copy a request
+    /// payload into the scratch page — the runtime's bulk-data channel
+    /// (§4.2's CopyFrom direction). Panics if the payload exceeds the
+    /// page.
+    pub fn write_payload(&self, data: &[u8]) {
+        assert!(data.len() <= SCRATCH_BYTES, "payload exceeds the scratch page");
+        // Safety: exclusive ownership before POSTED.
+        let scratch = unsafe { &mut **self.scratch.get() };
+        scratch[..data.len()].copy_from_slice(data);
+    }
+
+    /// Client side, after DONE and before reset: copy a response payload
+    /// out of the scratch page (§4.2's CopyTo direction).
+    pub fn read_payload(&self, len: usize) -> Vec<u8> {
+        debug_assert!(self.is_done());
+        let len = len.min(SCRATCH_BYTES);
+        // Safety: DONE observed with Acquire; the worker is finished.
+        let scratch = unsafe { &**self.scratch.get() };
+        scratch[..len].to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_complete_roundtrip() {
+        let s = CallSlot::new();
+        s.fill([1, 2, 3, 4, 5, 6, 7, 8], 42, None);
+        assert_eq!(s.read_args(), [1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(s.caller_program(), 42);
+        assert!(!s.is_done());
+        s.complete([8, 7, 6, 5, 4, 3, 2, 1]);
+        assert!(s.is_done());
+        assert_eq!(s.read_rets(), [8, 7, 6, 5, 4, 3, 2, 1]);
+        s.reset();
+        assert!(!s.is_done());
+    }
+
+    #[test]
+    fn scratch_is_page_sized_and_writable() {
+        let s = CallSlot::new();
+        s.fill([0; 8], 0, None);
+        s.with_scratch(|buf| {
+            assert_eq!(buf.len(), SCRATCH_BYTES);
+            buf[0] = 0xAB;
+            buf[SCRATCH_BYTES - 1] = 0xCD;
+        });
+        // Scratch persists across calls (recycled stacks).
+        s.with_scratch(|buf| {
+            assert_eq!(buf[0], 0xAB);
+            assert_eq!(buf[SCRATCH_BYTES - 1], 0xCD);
+        });
+    }
+
+    #[test]
+    fn cross_thread_handoff() {
+        let s = CallSlot::new();
+        let s2 = Arc::clone(&s);
+        s.fill([5; 8], 1, Some(std::thread::current()));
+        let h = std::thread::spawn(move || {
+            let args = s2.read_args();
+            s2.complete([args[0] + 1; 8]);
+        });
+        s.wait_done();
+        assert_eq!(s.read_rets(), [6; 8]);
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,35 @@
+//! Facility counters (all relaxed; diagnostics only).
+
+use std::sync::atomic::AtomicU64;
+
+/// Monotonic counters mirroring `ppc-core`'s `FacilityStats`.
+#[derive(Debug, Default)]
+pub struct RuntimeStats {
+    /// Completed synchronous calls.
+    pub calls: AtomicU64,
+    /// Dispatched asynchronous calls.
+    pub async_calls: AtomicU64,
+    /// Upcall dispatches.
+    pub upcalls: AtomicU64,
+    /// Slow-path events (pool empty → grow), the Frank redirections.
+    pub frank_redirects: AtomicU64,
+    /// Workers created on demand.
+    pub workers_created: AtomicU64,
+    /// Call slots created on demand.
+    pub cds_created: AtomicU64,
+    /// Handler panics contained by worker fault isolation.
+    pub server_faults: AtomicU64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn counters_default_zero() {
+        let s = RuntimeStats::default();
+        assert_eq!(s.calls.load(Ordering::Relaxed), 0);
+        assert_eq!(s.frank_redirects.load(Ordering::Relaxed), 0);
+    }
+}

@@ -1,0 +1,322 @@
+//! Worker threads and their per-vCPU pools.
+//!
+//! A worker is the runtime's analogue of the paper's worker *process*: it
+//! belongs to one (entry point, vCPU) pair, idles parked in a lock-free
+//! LIFO pool, is handed one call at a time through an atomic mailbox, and
+//! re-pools itself after completing. Pools "most commonly contain only a
+//! single worker, but can grow and shrink dynamically as needed".
+
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{JoinHandle, Thread};
+
+use crossbeam::queue::ArrayQueue;
+use parking_lot::Mutex;
+
+use crate::slot::CallSlot;
+use crate::{CallCtx, Handler};
+
+/// Maximum pooled workers per (entry, vCPU).
+pub const MAX_POOLED: usize = 64;
+
+/// Shared handle to one worker thread.
+pub struct WorkerHandle {
+    /// The worker thread, for unparking.
+    thread: Mutex<Option<Thread>>,
+    /// Mailbox: the posted call slot (`Arc::into_raw` transferred).
+    mailbox: AtomicPtr<CallSlot>,
+    /// Held CD in hold-CD mode (`Arc::into_raw`, owned by the worker until
+    /// shutdown).
+    held: AtomicPtr<CallSlot>,
+    /// Per-worker handler override (worker initialization, §4.5.3).
+    override_handler: Mutex<Option<Handler>>,
+    /// Shutdown request.
+    shutdown: AtomicBool,
+    /// Calls completed by this worker (diagnostics).
+    pub calls: AtomicU64,
+}
+
+impl WorkerHandle {
+    fn new() -> Arc<Self> {
+        Arc::new(WorkerHandle {
+            thread: Mutex::new(None),
+            mailbox: AtomicPtr::new(std::ptr::null_mut()),
+            held: AtomicPtr::new(std::ptr::null_mut()),
+            override_handler: Mutex::new(None),
+            shutdown: AtomicBool::new(false),
+            calls: AtomicU64::new(0),
+        })
+    }
+
+    /// Post `slot` to this worker and wake it. Transfers one strong
+    /// reference through the mailbox.
+    pub fn post(&self, slot: Arc<CallSlot>) {
+        let raw = Arc::into_raw(slot) as *mut CallSlot;
+        let prev = self.mailbox.swap(raw, Ordering::AcqRel);
+        debug_assert!(prev.is_null(), "worker double-posted");
+        if let Some(t) = self.thread.lock().as_ref() {
+            t.unpark();
+        }
+    }
+
+    pub(crate) fn take_mail(&self) -> Option<Arc<CallSlot>> {
+        let raw = self.mailbox.swap(std::ptr::null_mut(), Ordering::AcqRel);
+        if raw.is_null() {
+            None
+        } else {
+            // Safety: `post` transferred exactly one strong reference.
+            Some(unsafe { Arc::from_raw(raw) })
+        }
+    }
+
+    /// The worker's held CD, if pinned (hold-CD mode).
+    pub fn held_slot(&self) -> Option<Arc<CallSlot>> {
+        let raw = self.held.load(Ordering::Acquire);
+        if raw.is_null() {
+            None
+        } else {
+            // Safety: `pin_slot` leaked one strong reference that stays in
+            // the `held` field until `release_held`; we clone from it.
+            unsafe {
+                Arc::increment_strong_count(raw);
+                Some(Arc::from_raw(raw))
+            }
+        }
+    }
+
+    /// Pin `slot` as this worker's permanent CD.
+    pub fn pin_slot(&self, slot: Arc<CallSlot>) {
+        let raw = Arc::into_raw(slot) as *mut CallSlot;
+        let prev = self.held.swap(raw, Ordering::AcqRel);
+        if !prev.is_null() {
+            // Safety: we owned the previous pinned reference.
+            unsafe { drop(Arc::from_raw(prev)) };
+        }
+    }
+
+    fn release_held(&self) {
+        let raw = self.held.swap(std::ptr::null_mut(), Ordering::AcqRel);
+        if !raw.is_null() {
+            // Safety: symmetric with pin_slot.
+            unsafe { drop(Arc::from_raw(raw)) };
+        }
+    }
+
+    /// Install a per-worker handler override.
+    pub fn set_override(&self, h: Handler) {
+        *self.override_handler.lock() = Some(h);
+    }
+
+    /// Remove the override (used by Exchange so new code takes effect).
+    pub fn clear_override(&self) {
+        *self.override_handler.lock() = None;
+    }
+
+    /// Has this worker been asked to shut down?
+    pub(crate) fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Request shutdown and wake the worker.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.lock().as_ref() {
+            t.unpark();
+        }
+    }
+}
+
+/// A worker plus its join handle (taken when reaped).
+type WorkerRecord = (Arc<WorkerHandle>, Option<JoinHandle<()>>);
+
+/// The per-(entry, vCPU) worker pool.
+pub struct WorkerPool {
+    idle: ArrayQueue<Arc<WorkerHandle>>,
+    /// All workers ever created here (for reaping).
+    all: Mutex<Vec<WorkerRecord>>,
+    /// Workers created (diagnostics).
+    pub created: AtomicU64,
+}
+
+impl WorkerPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        WorkerPool {
+            idle: ArrayQueue::new(MAX_POOLED),
+            all: Mutex::new(Vec::new()),
+            created: AtomicU64::new(0),
+        }
+    }
+
+    /// Pop an idle worker (lock-free fastpath).
+    pub fn pop(&self) -> Option<Arc<WorkerHandle>> {
+        self.idle.pop()
+    }
+
+    /// Return a worker to the pool.
+    pub fn push(&self, w: Arc<WorkerHandle>) {
+        let _ = self.idle.push(w);
+    }
+
+    /// Idle count (diagnostics).
+    pub fn idle_len(&self) -> usize {
+        self.idle.len()
+    }
+
+    /// Create a worker thread bound to `entry`'s dispatch loop on `vcpu`.
+    /// `pin_core` optionally pins the thread; `pool_it` leaves the worker
+    /// idle in the pool (bind-time pre-spawn), otherwise it is handed
+    /// directly to the caller (the Frank grow-on-demand path).
+    ///
+    /// The thread handle is installed by the *spawner* before the worker
+    /// becomes visible, so a post can never miss its unpark target.
+    pub fn grow(
+        &self,
+        entry: &Arc<crate::entry::EntryShared>,
+        vcpu: usize,
+        pin_core: bool,
+        pool_it: bool,
+    ) -> Arc<WorkerHandle> {
+        let w = WorkerHandle::new();
+        let entry2 = Arc::clone(entry);
+        let w2 = Arc::clone(&w);
+        let name = format!("ppc-worker-e{}-v{}", entry.id, vcpu);
+        let jh = std::thread::Builder::new()
+            .name(name)
+            .spawn(move || {
+                if pin_core {
+                    if let Some(cores) = core_affinity::get_core_ids() {
+                        if !cores.is_empty() {
+                            let core = cores[vcpu % cores.len()];
+                            let _ = core_affinity::set_for_current(core);
+                        }
+                    }
+                }
+                worker_loop(entry2, w2, vcpu);
+            })
+            .expect("spawn worker thread");
+        *w.thread.lock() = Some(jh.thread().clone());
+        self.created.fetch_add(1, Ordering::Relaxed);
+        self.all.lock().push((Arc::clone(&w), Some(jh)));
+        if pool_it {
+            self.push(Arc::clone(&w));
+        }
+        w
+    }
+
+    /// Visit every worker ever created in this pool (cold path).
+    pub fn for_each_worker(&self, mut f: impl FnMut(&WorkerHandle)) {
+        for (w, _) in self.all.lock().iter() {
+            f(w);
+        }
+    }
+
+    /// Shut down every worker and join the threads.
+    pub fn reap(&self) {
+        let mut all = self.all.lock();
+        for (w, _) in all.iter() {
+            w.request_shutdown();
+        }
+        for (w, jh) in all.iter_mut() {
+            if let Some(jh) = jh.take() {
+                let _ = jh.join();
+            }
+            w.release_held();
+        }
+        while self.idle.pop().is_some() {}
+    }
+
+    /// Shut down surplus idle workers beyond `keep` ("pools can grow and
+    /// shrink dynamically"). Returns how many were reaped.
+    pub fn shrink_to(&self, keep: usize) -> usize {
+        let mut reaped = 0;
+        while self.idle.len() > keep {
+            match self.idle.pop() {
+                Some(w) => {
+                    w.request_shutdown();
+                    reaped += 1;
+                }
+                None => break,
+            }
+        }
+        // Join the reaped threads.
+        let mut all = self.all.lock();
+        for (w, jh) in all.iter_mut() {
+            if w.shutdown.load(Ordering::SeqCst) {
+                if let Some(jh) = jh.take() {
+                    let _ = jh.join();
+                }
+            }
+        }
+        reaped
+    }
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The worker thread body: park → take call → run handler → complete →
+/// re-pool → park. (The spawner installed our thread handle and pooled us
+/// before we became visible.)
+fn worker_loop(entry: Arc<crate::entry::EntryShared>, me: Arc<WorkerHandle>, vcpu: usize) {
+    loop {
+        if me.shutdown.load(Ordering::SeqCst) {
+            // A client may have posted a call in the window between
+            // popping this worker and our shutdown: complete it with the
+            // abort marker so the caller is never left parked forever
+            // (it will observe the entry's Dead state and report
+            // `Aborted`), and balance the in-flight count its dispatch
+            // claimed.
+            if let Some(slot) = me.take_mail() {
+                entry.finish_call();
+                slot.complete([u64::MAX; 8]);
+            }
+            return;
+        }
+        let Some(slot) = me.take_mail() else {
+            std::thread::park();
+            continue;
+        };
+
+        let args = slot.read_args();
+        let program = slot.caller_program();
+        let handler = me.override_handler.lock().clone().unwrap_or_else(|| entry.handler());
+        // A faulting (panicking) handler must not take the worker — or the
+        // parked client — down with it: the paper chose worker processes
+        // precisely so failure modes "more closely follow those of a
+        // message exchange" (§2).
+        let rets = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            slot.with_scratch(|scratch| {
+                let mut ctx = CallCtx {
+                    args,
+                    caller_program: program,
+                    vcpu,
+                    ep: entry.id,
+                    scratch,
+                    worker: &me,
+                    entry: &entry,
+                };
+                handler(&mut ctx)
+            })
+        })) {
+            Ok(rets) => rets,
+            Err(_) => {
+                slot.mark_faulted();
+                [u64::MAX; 8]
+            }
+        };
+        me.calls.fetch_add(1, Ordering::Relaxed);
+        entry.calls.fetch_add(1, Ordering::Relaxed);
+        entry.finish_call();
+        // Re-pool *before* waking the client: a client that immediately
+        // re-dispatches must find this worker idle again, not grow the
+        // pool (the paper's single pooled worker handles back-to-back
+        // calls).
+        entry.pool(vcpu).push(Arc::clone(&me));
+        slot.complete(rets);
+        drop(slot);
+    }
+}

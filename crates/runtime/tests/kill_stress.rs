@@ -1,0 +1,115 @@
+//! Kill-under-traffic stress: hard and soft kills racing live call
+//! traffic must never hang a client, leak an in-flight count, or produce
+//! anything but `Ok` / `EntryDead` / `Aborted`.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ppc_rt::{EntryOptions, RtError, Runtime};
+
+#[test]
+fn hard_kill_under_traffic_never_hangs() {
+    for round in 0..10 {
+        let rt = Runtime::new(2);
+        let ep = rt
+            .bind(
+                "victim",
+                EntryOptions { initial_workers: 2, ..Default::default() },
+                Arc::new(|ctx| {
+                    // A little work so calls are in flight when the kill lands.
+                    std::thread::yield_now();
+                    [ctx.args[0] + 1; 8]
+                }),
+            )
+            .unwrap();
+
+        let mut clients = Vec::new();
+        for v in 0..2 {
+            let c = rt.client(v, 1 + v as u32);
+            clients.push(std::thread::spawn(move || {
+                let mut ok = 0u64;
+                let mut dead = 0u64;
+                for i in 0..2000u64 {
+                    match c.call(ep, [i; 8]) {
+                        Ok(r) => {
+                            assert_eq!(r[0], i + 1, "no torn results");
+                            ok += 1;
+                        }
+                        Err(RtError::EntryDead(_)) | Err(RtError::Aborted(_)) => {
+                            dead += 1;
+                        }
+                        Err(e) => panic!("unexpected error: {e}"),
+                    }
+                }
+                (ok, dead)
+            }));
+        }
+
+        // Let some traffic through, then kill.
+        std::thread::sleep(Duration::from_micros(200 + round * 137));
+        rt.hard_kill(ep, 0).unwrap();
+
+        let mut total_dead = 0;
+        for c in clients {
+            let (_ok, dead) = c.join().expect("client thread must not hang or panic");
+            total_dead += dead;
+        }
+        assert!(total_dead > 0, "the kill landed mid-traffic");
+    }
+}
+
+#[test]
+fn soft_kill_under_traffic_drains_cleanly() {
+    let rt = Runtime::new(1);
+    let ep = rt
+        .bind(
+            "drainee",
+            EntryOptions::default(),
+            Arc::new(|ctx| {
+                std::thread::sleep(Duration::from_micros(50));
+                ctx.args
+            }),
+        )
+        .unwrap();
+    let c = rt.client(0, 1);
+    let worker_thread = {
+        let c = c.clone();
+        std::thread::spawn(move || {
+            let mut outcomes = (0u64, 0u64);
+            for i in 0..300u64 {
+                match c.call(ep, [i; 8]) {
+                    Ok(_) => outcomes.0 += 1,
+                    Err(RtError::EntryDead(_)) | Err(RtError::Aborted(_)) => outcomes.1 += 1,
+                    Err(e) => panic!("unexpected: {e}"),
+                }
+            }
+            outcomes
+        })
+    };
+    std::thread::sleep(Duration::from_millis(3));
+    rt.soft_kill(ep, 0).unwrap();
+    rt.wait_drained(ep).unwrap();
+    let (ok, rejected) = worker_thread.join().unwrap();
+    assert!(ok > 0, "some calls completed before the kill");
+    assert!(rejected > 0, "calls after the kill were rejected");
+    // Drained: the in-flight counter went back to zero (wait_drained
+    // returned), and the runtime can still bind new services.
+    let ep2 = rt.bind("next", EntryOptions::default(), Arc::new(|c| c.args)).unwrap();
+    assert_eq!(c.call(ep2, [9; 8]).unwrap(), [9; 8]);
+}
+
+#[test]
+fn repeated_bind_kill_cycles_do_not_leak_calls() {
+    let rt = Runtime::new(1);
+    let c = rt.client(0, 1);
+    for i in 0..20u64 {
+        let ep = rt.bind(&format!("gen{i}"), EntryOptions::default(), Arc::new(|x| x.args)).unwrap();
+        for j in 0..10u64 {
+            assert_eq!(c.call(ep, [j; 8]).unwrap(), [j; 8]);
+        }
+        rt.hard_kill(ep, 0).unwrap();
+        rt.reclaim_slot(ep, 0).unwrap();
+    }
+    assert_eq!(rt.stats.calls.load(Ordering::Relaxed), 200);
+}

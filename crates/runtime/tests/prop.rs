@@ -1,0 +1,111 @@
+//! Property-based and stress tests of the real-threads runtime.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use proptest::test_runner::Config;
+
+use ppc_rt::slot::CallSlot;
+use ppc_rt::{EntryOptions, Runtime};
+
+proptest! {
+    #![proptest_config(Config { cases: 64, ..Config::default() })]
+
+    #[test]
+    fn slot_frames_roundtrip(args in prop::array::uniform8(any::<u64>()),
+                             rets in prop::array::uniform8(any::<u64>()),
+                             program in any::<u32>()) {
+        let s = CallSlot::new();
+        s.fill(args, program, None);
+        prop_assert_eq!(s.read_args(), args);
+        prop_assert_eq!(s.caller_program(), program);
+        s.complete(rets);
+        prop_assert_eq!(s.read_rets(), rets);
+        s.reset();
+    }
+
+    #[test]
+    fn calls_echo_arbitrary_payloads(args in prop::array::uniform8(any::<u64>())) {
+        let rt = Runtime::new(1);
+        let ep = rt.bind("echo", EntryOptions::default(), Arc::new(|c| c.args)).unwrap();
+        let client = rt.client(0, 3);
+        prop_assert_eq!(client.call(ep, args).unwrap(), args);
+    }
+
+    #[test]
+    fn interleaved_sync_async_preserve_results(seq in prop::collection::vec(any::<bool>(), 1..24)) {
+        let rt = Runtime::new(1);
+        let ep = rt
+            .bind("inc", EntryOptions::default(), Arc::new(|c| [c.args[0] + 1; 8]))
+            .unwrap();
+        let client = rt.client(0, 1);
+        let mut pending = Vec::new();
+        for (i, is_async) in seq.iter().enumerate() {
+            let x = i as u64;
+            if *is_async {
+                pending.push((x, client.call_async(ep, [x; 8]).unwrap()));
+            } else {
+                prop_assert_eq!(client.call(ep, [x; 8]).unwrap()[0], x + 1);
+            }
+        }
+        for (x, p) in pending {
+            prop_assert_eq!(p.wait()[0], x + 1);
+        }
+    }
+}
+
+/// Deterministic stress: several client threads per vCPU hammering two
+/// services, checking every reply. Exercises pool growth, slot recycling,
+/// and the rendezvous protocol under real contention.
+#[test]
+fn stress_many_clients_two_services() {
+    let rt = Runtime::new(2);
+    let double = rt.bind("double", EntryOptions::default(), Arc::new(|c| [c.args[0] * 2; 8])).unwrap();
+    let add7 = rt
+        .bind(
+            "add7",
+            EntryOptions { hold_cd: true, ..Default::default() },
+            Arc::new(|c| [c.args[0] + 7; 8]),
+        )
+        .unwrap();
+    let mut handles = Vec::new();
+    for t in 0..6u64 {
+        let client = rt.client((t % 2) as usize, t as u32 + 1);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..300u64 {
+                let x = t * 1000 + i;
+                if i % 2 == 0 {
+                    assert_eq!(client.call(double, [x; 8]).unwrap()[0], x * 2);
+                } else {
+                    assert_eq!(client.call(add7, [x; 8]).unwrap()[0], x + 7);
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(rt.stats.calls.load(std::sync::atomic::Ordering::Relaxed), 6 * 300);
+}
+
+/// Stress the async path: a burst of async calls larger than any pool.
+#[test]
+fn stress_async_burst() {
+    let rt = Runtime::new(1);
+    let ep = rt
+        .bind(
+            "spin",
+            EntryOptions::default(),
+            Arc::new(|c| {
+                std::thread::yield_now();
+                [c.args[0] + 1; 8]
+            }),
+        )
+        .unwrap();
+    let client = rt.client(0, 1);
+    let pending: Vec<_> = (0..40u64).map(|i| (i, client.call_async(ep, [i; 8]).unwrap())).collect();
+    for (i, p) in pending {
+        assert_eq!(p.wait()[0], i + 1);
+    }
+    assert!(rt.stats.workers_created.load(std::sync::atomic::Ordering::Relaxed) > 0);
+}

@@ -1,0 +1,439 @@
+//! End-to-end tests of the real-threads PPC runtime: every §4 feature of
+//! the paper exercised against real threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ppc_rt::{EntryOptions, ProgramId, RtError, Runtime};
+
+fn echo_rt(n: usize) -> (Arc<Runtime>, usize) {
+    let rt = Runtime::new(n);
+    let ep = rt.bind("echo", EntryOptions::default(), Arc::new(|ctx| ctx.args)).unwrap();
+    (rt, ep)
+}
+
+#[test]
+fn sync_roundtrip_returns_all_eight_words() {
+    let (rt, ep) = echo_rt(1);
+    let c = rt.client(0, 1);
+    let args = [11, 22, 33, 44, 55, 66, 77, 88];
+    assert_eq!(c.call(ep, args).unwrap(), args);
+}
+
+#[test]
+fn many_sequential_calls_reuse_one_worker() {
+    let (rt, ep) = echo_rt(1);
+    let c = rt.client(0, 1);
+    for i in 0..200u64 {
+        assert_eq!(c.call(ep, [i; 8]).unwrap(), [i; 8]);
+    }
+    // One pre-spawned worker handles everything: no Frank growth.
+    assert_eq!(rt.stats.workers_created.load(Ordering::Relaxed), 0);
+    assert_eq!(rt.stats.calls.load(Ordering::Relaxed), 200);
+}
+
+#[test]
+fn caller_program_reaches_handler() {
+    let rt = Runtime::new(1);
+    let seen = Arc::new(AtomicU64::new(0));
+    let seen2 = Arc::clone(&seen);
+    let ep = rt
+        .bind(
+            "whoami",
+            EntryOptions::default(),
+            Arc::new(move |ctx| {
+                seen2.store(ctx.caller_program as u64, Ordering::SeqCst);
+                [ctx.caller_program as u64; 8]
+            }),
+        )
+        .unwrap();
+    let c = rt.client(0, 4242);
+    assert_eq!(c.call(ep, [0; 8]).unwrap()[0], 4242);
+    assert_eq!(seen.load(Ordering::SeqCst), 4242);
+}
+
+#[test]
+fn scratch_page_is_usable_and_recycled() {
+    let rt = Runtime::new(1);
+    let ep = rt
+        .bind(
+            "scratch",
+            EntryOptions::default(),
+            Arc::new(|ctx| {
+                let args = ctx.args;
+                let s = ctx.scratch();
+                // Leave a marker; read back whatever a previous call left.
+                let prev = u64::from_le_bytes(s[..8].try_into().unwrap());
+                s[..8].copy_from_slice(&args[0].to_le_bytes());
+                [prev, args[0], 0, 0, 0, 0, 0, 0]
+            }),
+        )
+        .unwrap();
+    let c = rt.client(0, 1);
+    assert_eq!(c.call(ep, [7; 8]).unwrap()[0], 0, "fresh scratch is zeroed");
+    // The slot (and its scratch) is recycled from the per-vCPU pool.
+    assert_eq!(c.call(ep, [9; 8]).unwrap()[0], 7, "serially shared stack");
+}
+
+#[test]
+fn hold_cd_pins_scratch_to_worker() {
+    let rt = Runtime::new(1);
+    let opts = EntryOptions { hold_cd: true, ..Default::default() };
+    let ep = rt
+        .bind(
+            "held",
+            opts,
+            Arc::new(|ctx| {
+                let args = ctx.args;
+                let s = ctx.scratch();
+                let prev = u64::from_le_bytes(s[..8].try_into().unwrap());
+                s[..8].copy_from_slice(&args[0].to_le_bytes());
+                [prev; 8]
+            }),
+        )
+        .unwrap();
+    let c = rt.client(0, 1);
+    c.call(ep, [111; 8]).unwrap();
+    // Same worker, same held CD: the marker must persist.
+    assert_eq!(c.call(ep, [222; 8]).unwrap()[0], 111);
+    assert_eq!(c.call(ep, [0; 8]).unwrap()[0], 222);
+}
+
+#[test]
+fn async_call_completes_and_caller_continues() {
+    let rt = Runtime::new(1);
+    let ep = rt
+        .bind(
+            "slowish",
+            EntryOptions::default(),
+            Arc::new(|ctx| {
+                std::thread::sleep(Duration::from_millis(5));
+                [ctx.args[0] + 1; 8]
+            }),
+        )
+        .unwrap();
+    let c = rt.client(0, 1);
+    let pending = c.call_async(ep, [41; 8]).unwrap();
+    // We got control back before completion (the worker sleeps 5ms).
+    let done_immediately = pending.is_done();
+    let rets = pending.wait();
+    assert_eq!(rets, [42; 8]);
+    assert!(!done_immediately || rets == [42; 8]);
+    assert_eq!(rt.stats.async_calls.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn upcall_has_no_caller_program() {
+    let rt = Runtime::new(1);
+    let ep = rt
+        .bind(
+            "handler",
+            EntryOptions::default(),
+            Arc::new(|ctx| [ctx.caller_program as u64, ctx.args[0], 0, 0, 0, 0, 0, 0]),
+        )
+        .unwrap();
+    let up = rt.upcall(0, ep, [5; 8]).unwrap();
+    let rets = up.wait();
+    assert_eq!(rets[0], 0, "upcalls carry program 0");
+    assert_eq!(rets[1], 5);
+    assert_eq!(rt.stats.upcalls.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn burst_grows_worker_pool_frank_style() {
+    let rt = Runtime::new(1);
+    let ep = rt
+        .bind(
+            "slow",
+            EntryOptions::default(),
+            Arc::new(|ctx| {
+                std::thread::sleep(Duration::from_millis(20));
+                ctx.args
+            }),
+        )
+        .unwrap();
+    let c = rt.client(0, 1);
+    // Three overlapping async calls against one pre-spawned worker: the
+    // pool must grow (dynamic worker creation).
+    let a = c.call_async(ep, [1; 8]).unwrap();
+    let b = c.call_async(ep, [2; 8]).unwrap();
+    let d = c.call_async(ep, [3; 8]).unwrap();
+    assert_eq!(a.wait()[0], 1);
+    assert_eq!(b.wait()[0], 2);
+    assert_eq!(d.wait()[0], 3);
+    assert!(rt.stats.workers_created.load(Ordering::Relaxed) >= 2);
+    assert!(rt.stats.frank_redirects.load(Ordering::Relaxed) >= 2);
+}
+
+#[test]
+fn concurrent_clients_on_distinct_vcpus() {
+    let rt = Runtime::new(4);
+    let ep = rt.bind("echo", EntryOptions::default(), Arc::new(|c| c.args)).unwrap();
+    let mut handles = Vec::new();
+    for v in 0..4 {
+        let c = rt.client(v, v as ProgramId + 1);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..100u64 {
+                assert_eq!(c.call(ep, [i; 8]).unwrap(), [i; 8]);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(rt.stats.calls.load(Ordering::Relaxed), 400);
+}
+
+#[test]
+fn soft_kill_rejects_new_calls_then_drains() {
+    let rt = Runtime::new(1);
+    let ep = rt.bind("victim", EntryOptions::default(), Arc::new(|c| c.args)).unwrap();
+    let c = rt.client(0, 9);
+    c.call(ep, [1; 8]).unwrap();
+    rt.soft_kill(ep, 0).unwrap();
+    assert_eq!(c.call(ep, [2; 8]), Err(RtError::EntryDead(ep)));
+    rt.wait_drained(ep).unwrap();
+    assert_eq!(c.call(ep, [3; 8]), Err(RtError::EntryDead(ep)));
+    // Double kill reports dead.
+    assert_eq!(rt.soft_kill(ep, 0), Err(RtError::EntryDead(ep)));
+}
+
+#[test]
+fn hard_kill_aborts_in_flight_call() {
+    let rt = Runtime::new(1);
+    let ep = rt
+        .bind(
+            "doomed",
+            EntryOptions::default(),
+            Arc::new(|ctx| {
+                std::thread::sleep(Duration::from_millis(30));
+                ctx.args
+            }),
+        )
+        .unwrap();
+    let c = rt.client(0, 9);
+    let rt2 = Arc::clone(&rt);
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(5));
+        rt2.hard_kill(ep, 0).unwrap();
+    });
+    let r = c.call(ep, [1; 8]);
+    killer.join().unwrap();
+    assert_eq!(r, Err(RtError::Aborted(ep)));
+}
+
+#[test]
+fn reclaim_allows_rebinding_at_same_id() {
+    let rt = Runtime::new(1);
+    let opts = EntryOptions { want_ep: Some(37), ..Default::default() };
+    let ep = rt.bind("first", opts, Arc::new(|_| [1; 8])).unwrap();
+    assert_eq!(ep, 37);
+    // The slot is taken while live.
+    assert_eq!(
+        rt.bind("second", EntryOptions { want_ep: Some(37), ..Default::default() }, Arc::new(|_| [2; 8])),
+        Err(RtError::TableFull)
+    );
+    rt.hard_kill(ep, 0).unwrap();
+    rt.reclaim_slot(ep, 0).unwrap();
+    let ep2 = rt
+        .bind("second", EntryOptions { want_ep: Some(37), ..Default::default() }, Arc::new(|_| [2; 8]))
+        .unwrap();
+    assert_eq!(ep2, 37);
+    let c = rt.client(0, 1);
+    assert_eq!(c.call(ep2, [0; 8]).unwrap()[0], 2);
+}
+
+#[test]
+fn exchange_swaps_handler_online() {
+    let rt = Runtime::new(1);
+    let ep = rt.bind("svc", EntryOptions::default(), Arc::new(|_| [1; 8])).unwrap();
+    let c = rt.client(0, 1);
+    assert_eq!(c.call(ep, [0; 8]).unwrap()[0], 1);
+    rt.exchange(ep, Arc::new(|_| [2; 8]), 0).unwrap();
+    assert_eq!(c.call(ep, [0; 8]).unwrap()[0], 2);
+}
+
+#[test]
+fn ownership_enforced_for_kills() {
+    let rt = Runtime::new(1);
+    let opts = EntryOptions { owner: 5, ..Default::default() };
+    let ep = rt.bind("owned", opts, Arc::new(|c| c.args)).unwrap();
+    assert_eq!(rt.soft_kill(ep, 6), Err(RtError::NotOwner));
+    assert_eq!(rt.hard_kill(ep, 6), Err(RtError::NotOwner));
+    rt.soft_kill(ep, 5).unwrap();
+}
+
+#[test]
+fn worker_initialization_self_replaces_handler() {
+    // §4.5.3: the first call enters the initialization routine, which
+    // changes the worker's own call-handling routine.
+    let rt = Runtime::new(1);
+    let init_runs = Arc::new(AtomicU64::new(0));
+    let init_runs2 = Arc::clone(&init_runs);
+    let ep = rt
+        .bind(
+            "lazy",
+            EntryOptions::default(),
+            Arc::new(move |ctx| {
+                // One-time initialization...
+                init_runs2.fetch_add(1, Ordering::SeqCst);
+                // ...then swap in the steady-state handler for this worker.
+                ctx.set_worker_handler(Arc::new(|ctx| [ctx.args[0] + 100; 8]));
+                [ctx.args[0] + 1000; 8]
+            }),
+        )
+        .unwrap();
+    let c = rt.client(0, 1);
+    assert_eq!(c.call(ep, [1; 8]).unwrap()[0], 1001, "first call runs init");
+    assert_eq!(c.call(ep, [2; 8]).unwrap()[0], 102, "subsequent calls use the new routine");
+    assert_eq!(c.call(ep, [3; 8]).unwrap()[0], 103);
+    assert_eq!(init_runs.load(Ordering::SeqCst), 1);
+}
+
+#[test]
+fn shrink_reaps_surplus_workers() {
+    let rt = Runtime::new(1);
+    let opts = EntryOptions { initial_workers: 4, ..Default::default() };
+    let ep = rt.bind("wide", opts, Arc::new(|c| c.args)).unwrap();
+    let reaped = rt.shrink_workers(ep, 0, 1).unwrap();
+    assert_eq!(reaped, 3);
+    // Still functional with the remaining worker.
+    let c = rt.client(0, 1);
+    assert_eq!(c.call(ep, [5; 8]).unwrap(), [5; 8]);
+}
+
+#[test]
+fn distinct_services_do_not_interfere() {
+    let rt = Runtime::new(2);
+    let add = rt.bind("add", EntryOptions::default(), Arc::new(|c| [c.args[0] + c.args[1]; 8])).unwrap();
+    let mul = rt.bind("mul", EntryOptions::default(), Arc::new(|c| [c.args[0] * c.args[1]; 8])).unwrap();
+    let c0 = rt.client(0, 1);
+    let c1 = rt.client(1, 2);
+    assert_eq!(c0.call(add, [3, 4, 0, 0, 0, 0, 0, 0]).unwrap()[0], 7);
+    assert_eq!(c1.call(mul, [3, 4, 0, 0, 0, 0, 0, 0]).unwrap()[0], 12);
+    assert_eq!(rt.ns_lookup("add"), Some(add));
+    assert_eq!(rt.ns_lookup("mul"), Some(mul));
+}
+
+#[test]
+fn nested_call_from_handler() {
+    let rt = Runtime::new(1);
+    let inner = rt.bind("inner", EntryOptions::default(), Arc::new(|c| [c.args[0] * 2; 8])).unwrap();
+    let rt2 = Arc::clone(&rt);
+    let outer = rt
+        .bind(
+            "outer",
+            EntryOptions::default(),
+            Arc::new(move |ctx| {
+                let c = rt2.client(ctx.vcpu, 999);
+                let r = c.call(inner, [ctx.args[0] + 1; 8]).unwrap();
+                [r[0] + 5; 8]
+            }),
+        )
+        .unwrap();
+    let c = rt.client(0, 1);
+    // (10 + 1) * 2 + 5 = 27
+    assert_eq!(c.call(outer, [10; 8]).unwrap()[0], 27);
+}
+
+#[test]
+fn panicking_handler_is_isolated_like_a_message_failure() {
+    // §2: the paper chose worker processes so failure modes "more closely
+    // follow those of a message exchange". A handler that panics must not
+    // hang the client, kill the worker pool, or affect other services.
+    let rt = Runtime::new(1);
+    let bomb = rt
+        .bind(
+            "bomb",
+            EntryOptions::default(),
+            Arc::new(|ctx| {
+                if ctx.args[0] == 13 {
+                    panic!("injected server fault");
+                }
+                [ctx.args[0] + 1; 8]
+            }),
+        )
+        .unwrap();
+    let echo = rt.bind("echo", EntryOptions::default(), Arc::new(|c| c.args)).unwrap();
+    let client = rt.client(0, 1);
+
+    assert_eq!(client.call(bomb, [1; 8]).unwrap()[0], 2, "healthy call works");
+    assert_eq!(client.call(bomb, [13; 8]), Err(RtError::ServerFault(bomb)));
+    // The same service keeps serving afterwards; the fault consumed no pool.
+    assert_eq!(client.call(bomb, [5; 8]).unwrap()[0], 6);
+    assert_eq!(client.call(echo, [9; 8]).unwrap(), [9; 8], "other services untouched");
+    assert_eq!(rt.stats.server_faults.load(Ordering::Relaxed), 1);
+    // Repeated faults stay contained.
+    for _ in 0..10 {
+        assert_eq!(client.call(bomb, [13; 8]), Err(RtError::ServerFault(bomb)));
+    }
+    assert_eq!(client.call(bomb, [1; 8]).unwrap()[0], 2);
+}
+
+#[test]
+fn payload_calls_round_trip_bulk_data() {
+    // §4.2 analogue: a "file read" service that uppercases the request
+    // payload in place and returns it.
+    let rt = Runtime::new(1);
+    let ep = rt
+        .bind(
+            "upper",
+            EntryOptions::default(),
+            Arc::new(|ctx| {
+                let len = ctx.args[0] as usize;
+                let s = ctx.scratch();
+                for b in &mut s[..len] {
+                    *b = b.to_ascii_uppercase();
+                }
+                [0, 0, 0, 0, 0, 0, 0, len as u64]
+            }),
+        )
+        .unwrap();
+    let client = rt.client(0, 1);
+    let req = b"hello, protected procedure calls".to_vec();
+    let (rets, resp) = client
+        .call_with_payload(ep, [req.len() as u64, 0, 0, 0, 0, 0, 0, 0], &req)
+        .unwrap();
+    assert_eq!(rets[7] as usize, req.len());
+    assert_eq!(resp, b"HELLO, PROTECTED PROCEDURE CALLS");
+    // A full-page payload works too.
+    let big = vec![b'a'; ppc_rt::slot::SCRATCH_BYTES];
+    let (rets, resp) =
+        client.call_with_payload(ep, [big.len() as u64, 0, 0, 0, 0, 0, 0, 0], &big).unwrap();
+    assert_eq!(rets[7] as usize, big.len());
+    assert!(resp.iter().all(|b| *b == b'A'));
+}
+
+#[test]
+#[should_panic(expected = "payload exceeds")]
+fn oversized_payload_panics() {
+    let rt = Runtime::new(1);
+    let ep = rt.bind("x", EntryOptions::default(), Arc::new(|c| c.args)).unwrap();
+    let client = rt.client(0, 1);
+    let too_big = vec![0u8; ppc_rt::slot::SCRATCH_BYTES + 1];
+    let _ = client.call_with_payload(ep, [0; 8], &too_big);
+}
+
+#[test]
+fn runtime_drop_joins_all_workers() {
+    // Regression guard: dropping the runtime must not hang or leak
+    // threads that keep the test binary alive.
+    for _ in 0..5 {
+        let rt = Runtime::new(2);
+        let ep = rt.bind("x", EntryOptions { initial_workers: 2, ..Default::default() }, Arc::new(|c| c.args)).unwrap();
+        let c = rt.client(1, 1);
+        c.call(ep, [1; 8]).unwrap();
+        drop(rt);
+    }
+}
+
+#[test]
+fn table_full_with_want_ep_out_of_range() {
+    let rt = Runtime::new(1);
+    let opts = EntryOptions { want_ep: Some(ppc_rt::MAX_ENTRIES), ..Default::default() };
+    assert_eq!(
+        rt.bind("bad", opts, Arc::new(|c| c.args)),
+        Err(RtError::UnknownEntry(ppc_rt::MAX_ENTRIES))
+    );
+}

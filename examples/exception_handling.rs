@@ -1,0 +1,75 @@
+//! §4.4 + §4.5.4 together: an exception server receiving upcalls, and the
+//! lazy page-fault stack policy feeding it.
+//!
+//! A debugging/exception server registers for system exceptions. A service
+//! with a lazily-grown 2-page stack runs fine at shallow depth, grows a
+//! page on demand, and overflows at depth 3 — which arrives at the
+//! exception server as an upcall ("essentially software-based interrupts
+//! [...] currently used for debugging and exception handling").
+//!
+//! Run: `cargo run --example exception_handling`
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ppc_ipc::hector::MachineConfig;
+use ppc_ipc::ppc::variants::exception;
+use ppc_ipc::ppc::{PpcError, PpcSystem, ServiceSpec};
+
+fn main() {
+    let mut sys = PpcSystem::boot(MachineConfig::hector(2));
+
+    // The exception server (kernel space, like a debugger stub).
+    let exceptions = Rc::new(RefCell::new(Vec::new()));
+    let exc_log = Rc::clone(&exceptions);
+    let exc_ep = sys
+        .bind_entry_boot(
+            ServiceSpec::new(hector_sim::tlb::ASID_KERNEL).name("exception-server"),
+            Rc::new(move |_s, ctx| {
+                exc_log.borrow_mut().push((ctx.args[0], ctx.args[1], ctx.args[2]));
+                [0; 8]
+            }),
+        )
+        .expect("bind exception server");
+    sys.set_exception_server(exc_ep);
+    println!("exception server registered at entry {exc_ep}");
+
+    // A recursive-descent style service: 2-page lazy stack, usage from args.
+    let asid = sys.kernel.create_space("parser");
+    let svc = sys
+        .bind_entry_boot(
+            ServiceSpec::new(asid).name("parser").stack_pages(2).lazy_stack(),
+            Rc::new(|s: &mut PpcSystem, ctx| {
+                match s.touch_worker_stack(ctx, ctx.args[0]) {
+                    Ok(()) => [ctx.args[0], 0, 0, 0, 0, 0, 0, 0],
+                    Err(PpcError::NoResources(_)) => [0, 1, 0, 0, 0, 0, 0, 0],
+                    Err(e) => panic!("{e}"),
+                }
+            }),
+        )
+        .expect("bind parser");
+    let prog = sys.kernel.new_program_id();
+    let client = sys.new_client(0, prog);
+
+    for (label, bytes) in
+        [("shallow", 600u64), ("one page", 4000), ("grows a page", 6500), ("overflow", 3 * 4096)]
+    {
+        let t = sys.kernel.machine.cpu(0).clock();
+        let r = sys.call(0, client, svc, [bytes, 0, 0, 0, 0, 0, 0, 0]).unwrap();
+        let us = (sys.kernel.machine.cpu(0).clock() - t).as_us();
+        let outcome = if r[1] == 1 { "STACK OVERFLOW" } else { "ok" };
+        println!("{label:<14} {bytes:>6} B  {us:>7.1} us  {outcome}");
+    }
+
+    println!("\nexception server observed:");
+    for (code, ep, detail) in exceptions.borrow().iter() {
+        let name = match *code {
+            exception::STACK_OVERFLOW => "STACK_OVERFLOW",
+            exception::NO_RESOURCES => "NO_RESOURCES",
+            _ => "?",
+        };
+        println!("  {name} from entry {ep}, detail = {detail} bytes");
+    }
+    assert_eq!(exceptions.borrow().len(), 1);
+    println!("\nstats: {} upcalls, {} spare stack pages created", sys.stats.upcalls, sys.stats.stack_pages_created);
+}

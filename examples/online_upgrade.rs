@@ -1,0 +1,61 @@
+//! §4.5.2 + §4.5.3 on real threads: worker one-time initialization,
+//! on-line server replacement with `Exchange`, and soft-kill draining.
+//!
+//! Run: `cargo run --example online_upgrade`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ppc_ipc::rt::{EntryOptions, Runtime};
+
+fn main() {
+    let rt = Runtime::new(1);
+
+    // v1 of the service uses the worker-initialization pattern: the bound
+    // handler IS the init routine; it swaps in the steady-state handler
+    // for this worker on first call.
+    let inits = Arc::new(AtomicU64::new(0));
+    let inits2 = Arc::clone(&inits);
+    let ep = rt
+        .bind(
+            "svc",
+            EntryOptions::default(),
+            Arc::new(move |ctx| {
+                inits2.fetch_add(1, Ordering::SeqCst);
+                ctx.set_worker_handler(Arc::new(|ctx| [ctx.args[0] + 1, 1, 0, 0, 0, 0, 0, 0]));
+                [ctx.args[0] + 1, 1, 0, 0, 0, 0, 0, 0] // v1: +1
+            }),
+        )
+        .expect("bind v1");
+
+    let client = rt.client(0, 7);
+    for i in 0..3u64 {
+        let r = client.call(ep, [i, 0, 0, 0, 0, 0, 0, 0]).unwrap();
+        println!("v{}: f({i}) = {}", r[1], r[0]);
+    }
+    println!("worker initialization ran {} time(s)\n", inits.load(Ordering::SeqCst));
+
+    // Exchange: replace the handler on-line — same entry ID, no downtime,
+    // callers never see an error.
+    rt.exchange(ep, Arc::new(|ctx| [ctx.args[0] * 10, 2, 0, 0, 0, 0, 0, 0]), 0)
+        .expect("exchange to v2");
+    for i in 0..3u64 {
+        let r = client.call(ep, [i, 0, 0, 0, 0, 0, 0, 0]).unwrap();
+        println!("v{}: f({i}) = {}", r[1], r[0]);
+    }
+
+    // Retirement: soft-kill rejects new calls, drains, then reaps.
+    rt.soft_kill(ep, 0).expect("soft kill");
+    match client.call(ep, [1; 8]) {
+        Err(e) => println!("\nafter soft-kill, new call rejected: {e}"),
+        Ok(_) => unreachable!("soft-killed entry must not accept calls"),
+    }
+    rt.wait_drained(ep).expect("drain");
+    println!("drained and reaped; entry {ep} can be reclaimed and rebound");
+    rt.reclaim_slot(ep, 0).expect("reclaim");
+    let ep2 = rt
+        .bind("svc-v3", EntryOptions { want_ep: Some(ep), ..Default::default() }, Arc::new(|_| [3; 8]))
+        .expect("rebind at the same id");
+    assert_eq!(ep2, ep);
+    println!("rebound v3 at entry {ep2}: f(_) = {}", client.call(ep2, [0; 8]).unwrap()[0]);
+}

@@ -1,0 +1,22 @@
+//! # ppc-ipc — umbrella crate
+//!
+//! Reproduction of Gamsa, Krieger & Stumm, *Optimizing IPC Performance for
+//! Shared-Memory Multiprocessors* (CSRI-294 / ICPP 1994): a Protected
+//! Procedure Call (PPC) IPC facility whose common-case path accesses no
+//! shared data and acquires no locks.
+//!
+//! This crate re-exports the workspace crates under one roof and hosts the
+//! top-level examples and integration tests:
+//!
+//! * [`hector`] — deterministic cost simulator of the Hector multiprocessor
+//! * [`hurricane`] — Hurricane OS substrate (address spaces, processes,
+//!   per-CPU scheduling, traps, message-passing IPC, file system, disk)
+//! * [`ppc`] — the paper's contribution: the PPC facility itself
+//! * [`baselines`] — LRPC-style and locked comparison implementations
+//! * [`rt`] — real-threads user-level port of the PPC design
+
+pub use hector_sim as hector;
+pub use hurricane_os as hurricane;
+pub use ipc_baselines as baselines;
+pub use ppc_core as ppc;
+pub use ppc_rt as rt;

@@ -1,0 +1,187 @@
+//! Workspace-level integration tests: full scenarios spanning the machine
+//! model, the OS substrate, the PPC facility, the baselines, and the
+//! real-threads runtime — exercised through the umbrella crate's public
+//! API exactly as a downstream user would.
+
+use std::rc::Rc;
+use std::sync::Arc;
+
+use ppc_ipc::baselines::lrpc::Lrpc;
+use ppc_ipc::baselines::msg_rpc::MsgRpc;
+use ppc_ipc::hector::{Machine, MachineConfig};
+use ppc_ipc::hurricane::Kernel;
+use ppc_ipc::ppc::bob::boot_with_bob;
+use ppc_ipc::ppc::{PpcSystem, ServiceSpec};
+use ppc_ipc::rt::{EntryOptions, Runtime};
+
+/// The complete life of a service, through Frank: register by PPC call,
+/// resolve by name, serve calls, get replaced online, retire.
+#[test]
+fn service_lifecycle_end_to_end() {
+    let mut sys = PpcSystem::boot(MachineConfig::hector(4));
+    let prog = sys.kernel.new_program_id();
+    let client = sys.new_client(1, prog);
+    let asid = sys.kernel.create_space("calc");
+
+    // Register through Frank (a real PPC call) and publish the name.
+    let ep = sys
+        .register_service(
+            1,
+            client,
+            ServiceSpec::new(asid).owned_by(prog),
+            Rc::new(|_s, ctx| [ctx.args[0] + ctx.args[1], 0, 0, 0, 0, 0, 0, 0]),
+        )
+        .expect("register");
+    sys.ns_register(1, client, "calc", ep).expect("publish");
+
+    // Another client on another CPU resolves and calls.
+    let prog2 = sys.kernel.new_program_id();
+    let client2 = sys.new_client(3, prog2);
+    let resolved = sys.ns_lookup(3, client2, "calc").unwrap().expect("resolve");
+    assert_eq!(resolved, ep);
+    let r = sys.call(3, client2, resolved, [20, 22, 0, 0, 0, 0, 0, 0]).unwrap();
+    assert_eq!(r[0], 42);
+
+    // Online replacement, then retirement.
+    sys.exchange_entry(1, client, ep, Rc::new(|_s, ctx| [ctx.args[0] * ctx.args[1], 0, 0, 0, 0, 0, 0, 0]))
+        .expect("exchange");
+    let r = sys.call(3, client2, ep, [6, 7, 0, 0, 0, 0, 0, 0]).unwrap();
+    assert_eq!(r[0], 42, "v2 multiplies");
+    sys.soft_kill_entry(1, client, ep).expect("retire");
+    assert!(sys.call(3, client2, ep, [0; 8]).is_err());
+}
+
+/// The Figure-3 workload end-to-end on the simulator: four CPUs hammering
+/// Bob, with per-CPU cycle accounting proving locality.
+#[test]
+fn figure3_workload_accounting() {
+    let (mut sys, bob, handles) = boot_with_bob(MachineConfig::hector(4), 4);
+    let mut clients = Vec::new();
+    for cpu in 0..4 {
+        let prog = sys.kernel.new_program_id();
+        clients.push((cpu, sys.new_client(cpu, prog)));
+    }
+    for round in 0..5 {
+        for &(cpu, client) in &clients {
+            let h = handles[(cpu + round) % handles.len()];
+            bob.get_length(&mut sys, cpu, client, h).expect("GetLength");
+        }
+    }
+    assert_eq!(sys.stats.calls, 20);
+    // Every CPU did its own work — all clocks advanced.
+    for cpu in 0..4 {
+        assert!(sys.kernel.machine.cpu(cpu).clock().as_us() > 100.0);
+    }
+}
+
+/// Simulator vs. real threads: the same logical service graph produces the
+/// same results in both worlds.
+#[test]
+fn simulator_and_runtime_agree_on_semantics() {
+    // Simulator.
+    let mut sys = PpcSystem::boot(MachineConfig::hector(1));
+    let asid = sys.kernel.create_space("fib");
+    let sim_ep = sys
+        .bind_entry_boot(
+            ServiceSpec::new(asid),
+            Rc::new(|_s, ctx| {
+                let (mut a, mut b) = (0u64, 1u64);
+                for _ in 0..ctx.args[0] {
+                    (a, b) = (b, a + b);
+                }
+                [a, 0, 0, 0, 0, 0, 0, 0]
+            }),
+        )
+        .unwrap();
+    let prog = sys.kernel.new_program_id();
+    let client = sys.new_client(0, prog);
+
+    // Real threads.
+    let rt = Runtime::new(1);
+    let rt_ep = rt
+        .bind(
+            "fib",
+            EntryOptions::default(),
+            Arc::new(|ctx| {
+                let (mut a, mut b) = (0u64, 1u64);
+                for _ in 0..ctx.args[0] {
+                    (a, b) = (b, a + b);
+                }
+                [a, 0, 0, 0, 0, 0, 0, 0]
+            }),
+        )
+        .unwrap();
+    let rt_client = rt.client(0, 1);
+
+    for n in 0..20u64 {
+        let s = sys.call(0, client, sim_ep, [n, 0, 0, 0, 0, 0, 0, 0]).unwrap()[0];
+        let r = rt_client.call(rt_ep, [n, 0, 0, 0, 0, 0, 0, 0]).unwrap()[0];
+        assert_eq!(s, r, "fib({n})");
+    }
+}
+
+/// The three IPC designs ordered by single-client latency on the same
+/// machine model: PPC < LRPC < message RPC.
+#[test]
+fn latency_ordering_across_designs() {
+    // PPC warm round trip.
+    let ppc = ppc_ipc::ppc::microbench::measure(ppc_ipc::ppc::microbench::Condition {
+        kernel_server: false,
+        hold_cd: false,
+        flushed: false,
+    })
+    .total();
+
+    // LRPC warm round trip.
+    let mut m = Machine::new(MachineConfig::hector(4));
+    let lrpc = Lrpc::new(&mut m, 0);
+    for _ in 0..3 {
+        lrpc.round_trip(&mut m, 0);
+    }
+    let lrpc_t = lrpc.round_trip(&mut m, 0);
+
+    // Message RPC warm round trip.
+    let mut k = Kernel::boot(MachineConfig::hector(4));
+    let mut msg = MsgRpc::new(&mut k, 0);
+    for _ in 0..3 {
+        msg.round_trip(&mut k, 0);
+    }
+    let msg_t = msg.round_trip(&mut k, 0);
+
+    assert!(ppc < lrpc_t, "ppc {ppc} !< lrpc {lrpc_t}");
+    assert!(lrpc_t < msg_t, "lrpc {lrpc_t} !< msg {msg_t}");
+}
+
+/// Cross-processor PPC reaches a service whose device lives on another
+/// CPU, with identity intact — the §4.3 extension working end to end.
+#[test]
+fn cross_processor_call_end_to_end() {
+    let mut sys = PpcSystem::boot(MachineConfig::hector(8));
+    let ep = sys
+        .bind_entry_boot(
+            ServiceSpec::new(hector_sim::tlb::ASID_KERNEL).name("dev"),
+            Rc::new(|_s, ctx| [u64::from(ctx.caller_program), ctx.cpu as u64, 0, 0, 0, 0, 0, 0]),
+        )
+        .unwrap();
+    let prog = sys.kernel.new_program_id();
+    let client = sys.new_client(0, prog);
+    let r = sys.call_remote(0, client, 5, ep, [0; 8]).unwrap();
+    assert_eq!(r[0], u64::from(prog), "identity crossed CPUs");
+    assert_eq!(r[1], 5, "executed on the target CPU");
+}
+
+/// Deterministic replay: two identical full scenarios produce identical
+/// cycle counts on every CPU.
+#[test]
+fn whole_scenario_is_deterministic() {
+    let run = || {
+        let (mut sys, bob, handles) = boot_with_bob(MachineConfig::hector(4), 2);
+        let prog = sys.kernel.new_program_id();
+        let client = sys.new_client(0, prog);
+        for i in 0..10 {
+            bob.get_length(&mut sys, 0, client, handles[i % 2]).unwrap();
+        }
+        (0..4).map(|c| sys.kernel.machine.cpu(c).clock()).collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
