@@ -1,0 +1,90 @@
+//! Criterion harness for the dispatch-mode matrix: inline vs.
+//! spin-then-park vs. park-only vs. the locked-queue baseline, on a null
+//! handler and a ~2 µs handler. The `rt_modes` binary prints the full
+//! matrix with stats attribution; this harness makes the same comparison
+//! CI-runnable (`cargo bench -- --test` smoke mode).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppc_rt::baseline::LockedServer;
+use ppc_rt::{EntryOptions, Handler, Runtime, SpinPolicy};
+
+fn busy_handler(ns: u64) -> Handler {
+    Arc::new(move |ctx| {
+        if ns > 0 {
+            let t0 = Instant::now();
+            while (t0.elapsed().as_nanos() as u64) < ns {
+                std::hint::spin_loop();
+            }
+        }
+        ctx.args
+    })
+}
+
+fn bench_modes(c: &mut Criterion, group_name: &str, handler_ns: u64) {
+    let mut g = c.benchmark_group(group_name);
+
+    let rt = Runtime::new(1);
+    let ep = rt
+        .bind(
+            "svc-inline",
+            EntryOptions { inline_ok: true, ..Default::default() },
+            busy_handler(handler_ns),
+        )
+        .unwrap();
+    let client = rt.client(0, 1);
+    g.bench_function("inline", |b| {
+        b.iter(|| std::hint::black_box(client.call(ep, std::hint::black_box([7; 8])).unwrap()))
+    });
+
+    let rt_spin = Runtime::new(1);
+    rt_spin.set_spin_policy(SpinPolicy::Adaptive);
+    let ep_spin = rt_spin.bind("svc-spin", EntryOptions::default(), busy_handler(handler_ns)).unwrap();
+    let client_spin = rt_spin.client(0, 1);
+    g.bench_function("spin", |b| {
+        b.iter(|| {
+            std::hint::black_box(client_spin.call(ep_spin, std::hint::black_box([7; 8])).unwrap())
+        })
+    });
+
+    let rt_park = Runtime::new(1);
+    rt_park.set_spin_policy(SpinPolicy::ParkOnly);
+    let ep_park = rt_park.bind("svc-park", EntryOptions::default(), busy_handler(handler_ns)).unwrap();
+    let client_park = rt_park.client(0, 1);
+    g.bench_function("park", |b| {
+        b.iter(|| {
+            std::hint::black_box(client_park.call(ep_park, std::hint::black_box([7; 8])).unwrap())
+        })
+    });
+
+    let server = LockedServer::start(
+        1,
+        Arc::new(move |a: [u64; 8]| {
+            if handler_ns > 0 {
+                let t0 = Instant::now();
+                while (t0.elapsed().as_nanos() as u64) < handler_ns {
+                    std::hint::spin_loop();
+                }
+            }
+            a
+        }),
+    );
+    g.bench_function("locked", |b| {
+        b.iter(|| std::hint::black_box(server.call(std::hint::black_box([7; 8]))))
+    });
+
+    g.finish();
+}
+
+fn bench_null(c: &mut Criterion) {
+    bench_modes(c, "rt_modes_null", 0);
+}
+
+fn bench_2us(c: &mut Criterion) {
+    bench_modes(c, "rt_modes_2us", 2_000);
+}
+
+criterion_group!(benches, bench_null, bench_2us);
+criterion_main!(benches);

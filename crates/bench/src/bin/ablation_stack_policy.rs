@@ -2,9 +2,9 @@
 //!
 //! §4.5.4 sketches both designs for stacks beyond one page: map "some
 //! fixed multiple of the page size" eagerly on every call, or "assign a
-//! larger virtual space for the stack [where] accesses beyond the first
+//! larger virtual space for the stack \[where\] accesses beyond the first
 //! page result in a page fault", keeping "the common case fast and only
-//! penaliz[ing] those servers that require the extra space". This sweep
+//! penaliz\[ing\] those servers that require the extra space". This sweep
 //! shows the crossover.
 //!
 //! Run: `cargo run -p ppc-bench --bin ablation_stack_policy`

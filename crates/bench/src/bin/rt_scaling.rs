@@ -15,15 +15,16 @@ use std::time::{Duration, Instant};
 
 use ppc_bench::report;
 use ppc_rt::baseline::LockedServer;
-use ppc_rt::{EntryOptions, Runtime};
+use ppc_rt::{EntryOptions, Runtime, Snapshot};
 
 const RUN_MS: u64 = 300;
 
-fn ppc_throughput(n_clients: usize) -> f64 {
+fn ppc_throughput(n_clients: usize) -> (f64, Snapshot) {
     let rt = Runtime::with_options(n_clients, true, 1);
     let ep = rt.bind("echo", EntryOptions::default(), Arc::new(|c| c.args)).unwrap();
     let stop = Arc::new(AtomicBool::new(false));
     let mut handles = Vec::new();
+    let before = rt.stats.snapshot();
     for v in 0..n_clients {
         let c = rt.client(v, 1 + v as u32);
         let stop = Arc::clone(&stop);
@@ -40,7 +41,7 @@ fn ppc_throughput(n_clients: usize) -> f64 {
     std::thread::sleep(Duration::from_millis(RUN_MS));
     stop.store(true, Ordering::Relaxed);
     let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
-    total as f64 / t0.elapsed().as_secs_f64()
+    (total as f64 / t0.elapsed().as_secs_f64(), rt.stats.snapshot().since(&before))
 }
 
 fn locked_throughput(n_clients: usize) -> f64 {
@@ -80,12 +81,19 @@ fn main() {
         report::row(&["clients".into(), "ppc-rt".into(), "locked-queue".into()], &widths)
     );
     println!("{}", report::rule(&widths));
+    let mut snapshots: Vec<(usize, Snapshot)> = Vec::new();
     for n in [1usize, 2, 4, 8] {
-        let p = ppc_throughput(n);
+        let (p, snap) = ppc_throughput(n);
         let l = locked_throughput(n);
         println!(
             "{}",
             report::row(&[n.to_string(), format!("{p:.0}"), format!("{l:.0}")], &widths)
         );
+        snapshots.push((n, snap));
+    }
+    println!();
+    println!("ppc-rt facility counters per run (sharded per-vCPU cells, aggregated):");
+    for (n, snap) in snapshots {
+        println!("  {n} client(s): {snap}");
     }
 }

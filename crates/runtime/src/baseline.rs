@@ -6,7 +6,7 @@
 //! of server threads. Latency is fine; scalability is not.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -16,11 +16,18 @@ use crate::slot::CallSlot;
 
 type BaselineHandler = Arc<dyn Fn([u64; 8]) -> [u64; 8] + Send + Sync>;
 
+/// The mutex-protected state. `shutdown` lives *inside* the lock: setting
+/// it and notifying outside the lock can race a server thread between its
+/// empty-queue check and its `wait`, losing the wakeup forever.
+struct Queue {
+    items: VecDeque<Arc<CallSlot>>,
+    shutdown: bool,
+}
+
 struct Inner {
-    queue: Mutex<VecDeque<Arc<CallSlot>>>,
+    queue: Mutex<Queue>,
     cv: Condvar,
     handler: BaselineHandler,
-    shutdown: AtomicBool,
     /// Completed calls.
     pub calls: AtomicU64,
 }
@@ -35,10 +42,9 @@ impl LockedServer {
     /// Start `n_threads` server threads running `handler`.
     pub fn start(n_threads: usize, handler: BaselineHandler) -> Self {
         let inner = Arc::new(Inner {
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(Queue { items: VecDeque::new(), shutdown: false }),
             cv: Condvar::new(),
             handler,
-            shutdown: AtomicBool::new(false),
             calls: AtomicU64::new(0),
         });
         let threads = (0..n_threads.max(1))
@@ -53,13 +59,17 @@ impl LockedServer {
         LockedServer { inner, threads }
     }
 
-    /// Synchronous call through the global queue.
+    /// Synchronous call through the global queue. The critical section is
+    /// exactly one `push_back`: the slot is built, filled, and cloned
+    /// before the lock, and the notification happens after release so the
+    /// woken server never stalls on a still-held mutex.
     pub fn call(&self, args: [u64; 8]) -> [u64; 8] {
         let slot = CallSlot::new();
         slot.fill(args, 0, Some(std::thread::current()));
+        let posted = Arc::clone(&slot);
         {
             let mut q = self.inner.queue.lock();
-            q.push_back(Arc::clone(&slot));
+            q.items.push_back(posted);
         }
         self.inner.cv.notify_one();
         slot.wait_done();
@@ -77,15 +87,20 @@ fn server_loop(inner: Arc<Inner>) {
         let slot = {
             let mut q = inner.queue.lock();
             loop {
-                if inner.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                if let Some(s) = q.pop_front() {
+                // Drain before honoring shutdown so no client is left
+                // parked on a slot nobody will complete.
+                if let Some(s) = q.items.pop_front() {
                     break s;
+                }
+                if q.shutdown {
+                    return;
                 }
                 inner.cv.wait(&mut q);
             }
         };
+        // The handler runs outside the lock, of course — the point of the
+        // baseline is the *queue* contention, not artificial serialization
+        // of the service body.
         let rets = (inner.handler)(slot.read_args());
         inner.calls.fetch_add(1, Ordering::Relaxed);
         slot.complete(rets);
@@ -94,7 +109,7 @@ fn server_loop(inner: Arc<Inner>) {
 
 impl Drop for LockedServer {
     fn drop(&mut self) {
-        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.queue.lock().shutdown = true;
         self.inner.cv.notify_all();
         for t in self.threads.drain(..) {
             let _ = t.join();

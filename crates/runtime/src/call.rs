@@ -3,17 +3,23 @@
 //! A synchronous call performs, in order: one atomic entry-table load, one
 //! lock-free worker-pool pop, one lock-free CD-pool pop (or the worker's
 //! held CD in hold-CD mode), the slot fill, one atomic mailbox publish +
-//! unpark (the hand-off), a park until `DONE`, and two lock-free pushes to
-//! recycle. **Zero lock acquisitions** — the user-level restatement of the
-//! paper's common case.
+//! unpark (the hand-off), an adaptive spin-then-park wait for `DONE`, and
+//! two lock-free pushes to recycle. **Zero lock acquisitions, zero SeqCst
+//! atomics** — the user-level restatement of the paper's common case.
+//!
+//! Entries bound with [`crate::EntryOptions::inline_ok`] skip even the
+//! hand-off: the handler runs on the caller's own thread in a borrowed
+//! CD, which is hand-off scheduling taken to its limit — the "switch" to
+//! the worker costs nothing because the caller *is* the worker.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::entry::EntryState;
 use crate::slot::CallSlot;
 use crate::worker::WorkerHandle;
-use crate::{AsyncCall, EntryId, ProgramId, RtError, Runtime};
+use crate::{AsyncCall, CallCtx, EntryId, ProgramId, RtError, Runtime, SpinPolicy, VcpuState};
 
 impl Runtime {
     /// Core dispatch. With `sync`, blocks and returns `Some(rets)`;
@@ -26,6 +32,9 @@ impl Runtime {
         program: ProgramId,
         sync: bool,
     ) -> Result<Option<[u64; 8]>, RtError> {
+        if sync && self.entry(ep)?.opts.inline_ok {
+            return self.dispatch_inline(vcpu, ep, args, program, None).map(|(r, _)| Some(r));
+        }
         let (entry, worker, slot, held) = self.prepare(vcpu, ep, args, program, sync)?;
         worker.post(Arc::clone(&slot));
         if !sync {
@@ -48,7 +57,7 @@ impl Runtime {
                 return Err(RtError::Aborted(ep));
             }
         }
-        slot.wait_done();
+        self.rendezvous(self.vcpu(vcpu)?, &slot);
         let rets = slot.read_rets();
         let faulted = slot.is_faulted();
         // A hard kill that landed while we ran aborts the call.
@@ -60,11 +69,12 @@ impl Runtime {
         } else {
             slot.reset();
         }
+        let cell = self.stats.cell(vcpu);
         if faulted {
-            self.stats.server_faults.fetch_add(1, Ordering::Relaxed);
+            cell.server_faults.fetch_add(1, Ordering::Relaxed);
             return Err(RtError::ServerFault(ep));
         }
-        self.stats.calls.fetch_add(1, Ordering::Relaxed);
+        cell.calls.fetch_add(1, Ordering::Relaxed);
         Ok(Some(rets))
     }
 
@@ -88,6 +98,10 @@ impl Runtime {
             "payload exceeds the {}-byte scratch page",
             crate::slot::SCRATCH_BYTES
         );
+        if self.entry(ep)?.opts.inline_ok {
+            let (rets, resp) = self.dispatch_inline(vcpu, ep, args, program, Some(payload))?;
+            return Ok((rets, resp.expect("payload dispatch returns a response")));
+        }
         let (entry, worker, slot, held) = self.prepare_payload(vcpu, ep, args, program, payload)?;
         worker.post(Arc::clone(&slot));
         if worker.is_shutdown() {
@@ -102,18 +116,19 @@ impl Runtime {
                 return Err(RtError::Aborted(ep));
             }
         }
-        slot.wait_done();
+        self.rendezvous(self.vcpu(vcpu)?, &slot);
         let rets = slot.read_rets();
         if entry.entry_state() == EntryState::Dead {
             return Err(RtError::Aborted(ep));
         }
+        let cell = self.stats.cell(vcpu);
         if slot.is_faulted() {
             if !held {
                 self.vcpu(vcpu)?.put_slot(slot);
             } else {
                 slot.reset();
             }
-            self.stats.server_faults.fetch_add(1, Ordering::Relaxed);
+            cell.server_faults.fetch_add(1, Ordering::Relaxed);
             return Err(RtError::ServerFault(ep));
         }
         let response = slot.read_payload(rets[7] as usize);
@@ -122,8 +137,123 @@ impl Runtime {
         } else {
             slot.reset();
         }
-        self.stats.calls.fetch_add(1, Ordering::Relaxed);
+        cell.calls.fetch_add(1, Ordering::Relaxed);
         Ok((rets, response))
+    }
+
+    /// Caller-thread inline dispatch ([`crate::EntryOptions::inline_ok`]):
+    /// claim the entry, borrow a CD from the vCPU pool for its scratch
+    /// page, and run the handler right here — no worker, no mailbox, no
+    /// park/unpark. With `payload`, the scratch page carries the request
+    /// in and the first `rets[7]` bytes back out, as in the hand-off
+    /// variant.
+    fn dispatch_inline(
+        &self,
+        vcpu: usize,
+        ep: EntryId,
+        args: [u64; 8],
+        program: ProgramId,
+        payload: Option<&[u8]>,
+    ) -> Result<([u64; 8], Option<Vec<u8>>), RtError> {
+        let vc = self.vcpu(vcpu)?;
+        let entry = self.entry(ep)?;
+        let cell = self.stats.cell(vcpu);
+        // Claim an in-flight slot, then re-check state — same kill
+        // protocol as the hand-off path.
+        entry.active.fetch_add(1, Ordering::AcqRel);
+        if entry.entry_state() != EntryState::Active {
+            entry.active.fetch_sub(1, Ordering::AcqRel);
+            return Err(RtError::EntryDead(ep));
+        }
+        let slot = vc.take_slot(cell);
+        if let Some(p) = payload {
+            slot.write_payload(p);
+        }
+        let handler = entry.handler();
+        // Fault containment matches the worker loop: a panicking handler
+        // unwinds to here, not through the caller's frames.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            slot.with_scratch(|scratch| {
+                let mut ctx = CallCtx {
+                    args,
+                    caller_program: program,
+                    vcpu,
+                    ep,
+                    scratch,
+                    worker: None,
+                    entry,
+                };
+                handler(&mut ctx)
+            })
+        }));
+        entry.finish_call();
+        let killed = entry.entry_state() == EntryState::Dead;
+        match result {
+            Ok(rets) => {
+                // The slot never left IDLE, so the response is read
+                // straight off the scratch page before recycling.
+                let response = payload.map(|_| {
+                    slot.with_scratch(|s| {
+                        s[..(rets[7] as usize).min(crate::slot::SCRATCH_BYTES)].to_vec()
+                    })
+                });
+                vc.put_slot(slot);
+                if killed {
+                    return Err(RtError::Aborted(ep));
+                }
+                entry.calls.fetch_add(1, Ordering::Relaxed);
+                cell.calls.fetch_add(1, Ordering::Relaxed);
+                cell.inline_calls.fetch_add(1, Ordering::Relaxed);
+                Ok((rets, response))
+            }
+            Err(_) => {
+                vc.put_slot(slot);
+                if killed {
+                    return Err(RtError::Aborted(ep));
+                }
+                cell.server_faults.fetch_add(1, Ordering::Relaxed);
+                Err(RtError::ServerFault(ep))
+            }
+        }
+    }
+
+    /// Wait for the posted call to complete, per the runtime's
+    /// [`SpinPolicy`]. Under `Adaptive`, the observed wall-clock latency
+    /// feeds the calling vCPU's EWMA so the next budget fits the
+    /// workload.
+    fn rendezvous(&self, vc: &VcpuState, slot: &CallSlot) {
+        let cell = self.stats.cell(vc.id);
+        let spun = match self.spin_policy() {
+            SpinPolicy::ParkOnly => {
+                slot.wait_done();
+                false
+            }
+            SpinPolicy::Fixed(budget) => {
+                if budget == 0 {
+                    slot.wait_done();
+                    false
+                } else {
+                    slot.wait_done_spin(budget)
+                }
+            }
+            SpinPolicy::Adaptive => {
+                let budget = vc.spin_budget();
+                let t0 = Instant::now();
+                let spun = if budget == 0 {
+                    slot.wait_done();
+                    false
+                } else {
+                    slot.wait_done_spin(budget)
+                };
+                vc.observe_latency(t0.elapsed().as_nanos() as u64);
+                spun
+            }
+        };
+        if spun {
+            cell.spin_waits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            cell.park_waits.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     #[allow(clippy::type_complexity)]
@@ -146,6 +276,8 @@ impl Runtime {
 
     /// Asynchronous dispatch: returns a handle; the caller continues
     /// immediately ("the caller and worker proceed independently").
+    /// Always hands off to a worker — inline execution would defeat the
+    /// point of an async call.
     pub(crate) fn dispatch_async(
         &self,
         vcpu: usize,
@@ -153,10 +285,10 @@ impl Runtime {
         args: [u64; 8],
         program: ProgramId,
     ) -> Result<AsyncCall, RtError> {
-        let (_entry, worker, slot, _held) = self.prepare(vcpu, ep, args, program, false)?;
+        let (_entry, worker, slot, held) = self.prepare(vcpu, ep, args, program, false)?;
         worker.post(Arc::clone(&slot));
-        self.stats.async_calls.fetch_add(1, Ordering::Relaxed);
-        Ok(AsyncCall { slot, vcpu: Arc::clone(self.vcpu(vcpu)?), ep })
+        self.stats.cell(vcpu).async_calls.fetch_add(1, Ordering::Relaxed);
+        Ok(AsyncCall { slot, vcpu: Arc::clone(self.vcpu(vcpu)?), ep, held })
     }
 
     /// Upcall / interrupt dispatch (§4.4): an asynchronous request with no
@@ -169,7 +301,7 @@ impl Runtime {
     ) -> Result<AsyncCall, RtError> {
         let r = self.dispatch_async(vcpu, ep, args, 0);
         if r.is_ok() {
-            self.stats.upcalls.fetch_add(1, Ordering::Relaxed);
+            self.stats.cell(vcpu).upcalls.fetch_add(1, Ordering::Relaxed);
         }
         r
     }
@@ -200,6 +332,7 @@ impl Runtime {
     {
         let vc = self.vcpu(vcpu)?;
         let entry = self.entry(ep)?;
+        let cell = self.stats.cell(vcpu);
         // Claim an in-flight slot, then re-check state so a racing kill
         // either sees our claim or we see its state change.
         entry.active.fetch_add(1, Ordering::AcqRel);
@@ -212,8 +345,8 @@ impl Runtime {
         let worker = match entry.pool(vcpu).pop() {
             Some(w) => w,
             None => {
-                self.stats.frank_redirects.fetch_add(1, Ordering::Relaxed);
-                self.stats.workers_created.fetch_add(1, Ordering::Relaxed);
+                cell.frank_redirects.fetch_add(1, Ordering::Relaxed);
+                cell.workers_created.fetch_add(1, Ordering::Relaxed);
                 let arc = self.entry_arc(ep).ok_or(RtError::UnknownEntry(ep))?;
                 entry.pool(vcpu).grow(&arc, vcpu, self.pinned(), false)
             }
@@ -224,13 +357,13 @@ impl Runtime {
             match worker.held_slot() {
                 Some(s) => (s, true),
                 None => {
-                    let s = vc.take_slot(&self.stats);
+                    let s = vc.take_slot(cell);
                     worker.pin_slot(Arc::clone(&s));
                     (s, true)
                 }
             }
         } else {
-            (vc.take_slot(&self.stats), false)
+            (vc.take_slot(cell), false)
         };
         Ok((entry, worker, slot, held))
     }

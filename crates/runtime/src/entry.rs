@@ -4,7 +4,7 @@
 //! shared-memory process: reads are one atomic load (wait-free), writes
 //! (bind/kill/exchange — all cold paths) go through the registry lock.
 
-use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -40,6 +40,17 @@ pub struct EntryOptions {
     /// Workers permanently hold a CD + scratch page (2–3 µs faster per
     /// call in the paper; defeats stack sharing).
     pub hold_cd: bool,
+    /// Synchronous calls may run the handler *inline on the caller's
+    /// thread* — the logical conclusion of hand-off scheduling: when the
+    /// worker would run on the caller's processor anyway, skip the worker
+    /// entirely (no mailbox, no park/unpark). Borrow a CD for the scratch
+    /// page, run, return. The trade-offs a service opts into:
+    /// per-worker state is bypassed (worker-initialization overrides are
+    /// ignored and [`crate::CallCtx::set_worker_handler`] is a no-op on
+    /// inline calls), and a faulting handler unwinds on the caller's
+    /// thread (still contained to [`crate::RtError::ServerFault`]).
+    /// Asynchronous calls and upcalls to the entry still hand off.
+    pub inline_ok: bool,
     /// Workers pre-spawned per vCPU at bind time.
     pub initial_workers: usize,
     /// Owning program (may kill/exchange; 0 = anyone).
@@ -50,7 +61,13 @@ pub struct EntryOptions {
 
 impl Default for EntryOptions {
     fn default() -> Self {
-        EntryOptions { hold_cd: false, initial_workers: 1, owner: 0, want_ep: None }
+        EntryOptions {
+            hold_cd: false,
+            inline_ok: false,
+            initial_workers: 1,
+            owner: 0,
+            want_ep: None,
+        }
     }
 }
 
@@ -70,13 +87,28 @@ pub struct EntryShared {
     pub calls: AtomicU64,
     handler_ptr: AtomicPtr<Handler>,
     /// Replaced handlers are quarantined here so in-flight calls through
-    /// the old pointer stay valid (freed when the entry drops).
+    /// the old pointer stay valid (freed when the entry drops). The boxes
+    /// are reconstructed from `Box::into_raw` pointers handed out via
+    /// `handler_ptr`, hence `Box` inside the `Vec`.
+    #[allow(clippy::vec_box)]
     handler_graveyard: Mutex<Vec<Box<Handler>>>,
+    /// Worker-side mailbox spin budget before an idle worker parks
+    /// (0 = park immediately). Mirrors the runtime's [`crate::SpinPolicy`]
+    /// so the rendezvous is spin-paired on both sides; updated by
+    /// [`Runtime::set_spin_policy`] through the registry.
+    pub(crate) idle_spin: AtomicU32,
     pools: Vec<WorkerPool>,
 }
 
 impl EntryShared {
-    fn new(id: EntryId, name: &str, opts: EntryOptions, handler: Handler, n_vcpus: usize) -> Self {
+    fn new(
+        id: EntryId,
+        name: &str,
+        opts: EntryOptions,
+        handler: Handler,
+        n_vcpus: usize,
+        idle_spin: u32,
+    ) -> Self {
         EntryShared {
             id,
             name: name.to_string(),
@@ -86,6 +118,7 @@ impl EntryShared {
             calls: AtomicU64::new(0),
             handler_ptr: AtomicPtr::new(Box::into_raw(Box::new(handler))),
             handler_graveyard: Mutex::new(Vec::new()),
+            idle_spin: AtomicU32::new(idle_spin),
             pools: (0..n_vcpus).map(|_| WorkerPool::new()).collect(),
         }
     }
@@ -169,8 +202,14 @@ impl Runtime {
                 .find(|i| self.table_ptr(*i).load(Ordering::Acquire).is_null())
                 .ok_or(RtError::TableFull)?,
         };
-        let entry =
-            Arc::new(EntryShared::new(ep, name, opts, handler, self.n_vcpus()));
+        let entry = Arc::new(EntryShared::new(
+            ep,
+            name,
+            opts,
+            handler,
+            self.n_vcpus(),
+            crate::worker_idle_budget(self.spin_policy()),
+        ));
         for v in 0..self.n_vcpus() {
             for _ in 0..opts.initial_workers {
                 entry.pool(v).grow(&entry, v, self.pinned(), true);
@@ -252,6 +291,12 @@ impl Runtime {
         // table slot is released.
         self.table_ptr(ep).store(std::ptr::null_mut(), Ordering::Release);
         Ok(())
+    }
+
+    /// Completed calls of entry `ep` — sync (inline or hand-off), async,
+    /// and upcall alike (diagnostics; used by stats-conservation checks).
+    pub fn entry_completions(&self, ep: EntryId) -> Result<u64, RtError> {
+        Ok(self.entry(ep)?.calls.load(Ordering::Relaxed))
     }
 
     /// Shrink the pooled workers of (`ep`, `vcpu`) down to `keep`.

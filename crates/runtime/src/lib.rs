@@ -19,12 +19,30 @@
 //! | async / interrupt / upcall variants | [`Client::call_async`], [`Runtime::upcall`] |
 //! | CopyTo/CopyFrom bulk data (§4.2) | [`Client::call_with_payload`] through the scratch page |
 //! | worker-process fault isolation (§2) | handler panics become [`RtError::ServerFault`]; the pool survives |
+//! | "handled on the same processor as the client" (§3) | [`EntryOptions::inline_ok`]: caller-thread inline dispatch, zero park/unpark |
+//! | temporary-then-block waiting (hand-off latency) | [`SpinPolicy`]: adaptive spin-then-park rendezvous, per-vCPU EWMA-tuned budget |
+//! | "a PPC accesses no shared data" (§3) | per-vCPU `#[repr(align(64))]` [`stats::StatsCell`]s, aggregated only on read |
 //!
-//! The common-case call path performs **no lock acquisitions**: pools are
-//! lock-free queues (`crossbeam`), the entry table is read with a single
-//! atomic load, and the client↔worker rendezvous is an atomic mailbox plus
-//! park/unpark. Locks appear only on cold paths (registration, kill,
-//! exchange) — exactly the paper's discipline.
+//! The common-case call path performs **no lock acquisitions and no
+//! SeqCst atomics**: pools are lock-free queues (`crossbeam`), the entry
+//! table is read with a single atomic load, the client↔worker rendezvous
+//! is an atomic mailbox plus an adaptive spin-then-park wait, and every
+//! fast-path counter is a `Relaxed` increment on the calling vCPU's own
+//! cache line. Locks appear only on cold paths (registration, kill,
+//! exchange, worker-override installation) — exactly the paper's
+//! discipline.
+//!
+//! Three dispatch modes cover the latency spectrum (measured by the
+//! `rt_modes` bench; see `EXPERIMENTS.md`):
+//!
+//! 1. **inline** ([`EntryOptions::inline_ok`]) — the handler runs on the
+//!    caller's thread in a borrowed CD; nothing parks, nothing wakes.
+//! 2. **spin-then-park** (default, [`SpinPolicy::Adaptive`]) — the caller
+//!    hands off to a worker and spins on the padded slot-state word for a
+//!    budget tuned from an EWMA of recent call latency, parking only when
+//!    handlers are slow enough that spinning would waste the processor.
+//! 3. **park** ([`SpinPolicy::ParkOnly`]) — the pre-optimization
+//!    behavior; one park/unpark round trip per call.
 //!
 //! ```
 //! use ppc_rt::{Runtime, EntryOptions};
@@ -47,16 +65,16 @@ pub mod slot;
 pub mod stats;
 pub mod worker;
 
-use std::sync::atomic::{AtomicPtr, AtomicU8, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU8, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 pub use entry::{EntryOptions, EntryState};
+pub use stats::{RuntimeStats, Snapshot, StatsCell};
 
 use entry::EntryShared;
 use slot::CallSlot;
-use stats::RuntimeStats;
 use worker::WorkerHandle;
 
 /// Entry-point identifier (small integer, < [`MAX_ENTRIES`]).
@@ -108,6 +126,43 @@ impl std::fmt::Display for RtError {
 
 impl std::error::Error for RtError {}
 
+/// How a synchronous caller waits out the hand-off rendezvous. Set per
+/// runtime with [`Runtime::set_spin_policy`]; read on every sync call
+/// with a `Relaxed` load.
+///
+/// The policy is paired: it also sets the *worker-side* idle-mailbox spin
+/// budget, so under `Adaptive`/`Fixed` a stream of back-to-back calls
+/// resolves both waits in user space without either thread reaching a
+/// futex, while `ParkOnly` keeps both sides on the pure park/unpark pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpinPolicy {
+    /// Spin on the slot-state word with a per-vCPU budget tuned from an
+    /// EWMA of observed call latency, then park. Fast handlers keep their
+    /// vCPU spinning (no park/unpark round trip); slow handlers push the
+    /// EWMA past [`spin::PARK_THRESHOLD_NS`] and the vCPU stops spinning
+    /// altogether. The default.
+    Adaptive,
+    /// Spin a fixed number of iterations before parking.
+    Fixed(u32),
+    /// Park immediately — the pre-optimization rendezvous. One
+    /// park/unpark round trip per call regardless of handler latency.
+    ParkOnly,
+}
+
+/// Tuning constants for the adaptive spin-then-park rendezvous.
+pub mod spin {
+    /// Spin budget (iterations) before the first latency observation.
+    pub const DEFAULT_BUDGET: u32 = 1 << 10;
+    /// Floor of the adaptive budget while spinning is still worthwhile.
+    pub const MIN_BUDGET: u32 = 1 << 8;
+    /// Ceiling of the adaptive budget — past this, parking is cheaper
+    /// than the burned cycles even if the handler eventually finishes.
+    pub const MAX_BUDGET: u32 = 1 << 14;
+    /// EWMA latency (ns) above which the adaptive policy stops spinning
+    /// entirely: a 100 µs handler dwarfs any park/unpark saving.
+    pub const PARK_THRESHOLD_NS: u64 = 100_000;
+}
+
 /// Context a service handler receives for one call.
 pub struct CallCtx<'a> {
     /// The 8 argument words.
@@ -119,7 +174,9 @@ pub struct CallCtx<'a> {
     /// The entry point being invoked.
     pub ep: EntryId,
     pub(crate) scratch: &'a mut [u8],
-    pub(crate) worker: &'a WorkerHandle,
+    /// `None` when the call executes inline on the caller's thread
+    /// ([`EntryOptions::inline_ok`]) — there is no worker to configure.
+    pub(crate) worker: Option<&'a WorkerHandle>,
     pub(crate) entry: &'a EntryShared,
 }
 
@@ -135,8 +192,14 @@ impl<'a> CallCtx<'a> {
     /// Replace **this worker's** handling routine for subsequent calls —
     /// the §4.5.3 one-time-initialization pattern: bind the init routine,
     /// and have it call `set_worker_handler(main_handler)` on first call.
+    ///
+    /// No-op when the call executes inline on the caller's thread
+    /// ([`EntryOptions::inline_ok`]): inline dispatch has no worker, so
+    /// per-worker initialization does not apply.
     pub fn set_worker_handler(&self, h: Handler) {
-        self.worker.set_override(h);
+        if let Some(w) = self.worker {
+            w.set_override(h);
+        }
     }
 
     /// Number of calls this entry point has completed (diagnostics).
@@ -155,6 +218,10 @@ pub struct VcpuState {
     pub(crate) cd_pool: crossbeam::queue::ArrayQueue<Arc<CallSlot>>,
     /// Slots ever created on this vCPU (diagnostics).
     pub(crate) cds_created: AtomicU64,
+    /// EWMA of observed synchronous hand-off latency on this vCPU, in
+    /// nanoseconds. Written only by callers on this vCPU (`Relaxed`);
+    /// feeds [`VcpuState::spin_budget`].
+    pub(crate) ewma_ns: AtomicU64,
     /// Index of this vCPU.
     pub id: usize,
 }
@@ -164,6 +231,7 @@ impl VcpuState {
         let v = Arc::new(VcpuState {
             cd_pool: crossbeam::queue::ArrayQueue::new(256),
             cds_created: AtomicU64::new(0),
+            ewma_ns: AtomicU64::new(0),
             id,
         });
         for _ in 0..initial_cds {
@@ -173,13 +241,40 @@ impl VcpuState {
         v
     }
 
+    /// Fold one observed call latency into the EWMA (weight 1/8: old
+    /// enough to smooth scheduler noise, fresh enough to track a phase
+    /// change within a few calls). A lost update under a racy
+    /// read-modify-write is harmless — the next call re-observes.
+    pub(crate) fn observe_latency(&self, ns: u64) {
+        let old = self.ewma_ns.load(Ordering::Relaxed);
+        let new = if old == 0 { ns } else { old - old / 8 + ns / 8 };
+        self.ewma_ns.store(new, Ordering::Relaxed);
+    }
+
+    /// The adaptive spin budget for the next rendezvous on this vCPU:
+    /// roughly "spin about as long as a typical call takes", clamped to
+    /// [`spin::MIN_BUDGET`]..=[`spin::MAX_BUDGET`], and zero (park
+    /// immediately) once typical latency exceeds
+    /// [`spin::PARK_THRESHOLD_NS`].
+    pub(crate) fn spin_budget(&self) -> u32 {
+        let ewma = self.ewma_ns.load(Ordering::Relaxed);
+        if ewma == 0 {
+            return spin::DEFAULT_BUDGET;
+        }
+        if ewma > spin::PARK_THRESHOLD_NS {
+            return 0;
+        }
+        (ewma as u32).clamp(spin::MIN_BUDGET, spin::MAX_BUDGET)
+    }
+
     /// Take a slot, growing the pool if dry (the Frank slow path).
-    pub(crate) fn take_slot(&self, stats: &RuntimeStats) -> Arc<CallSlot> {
+    /// `cell` is the calling vCPU's stats cell.
+    pub(crate) fn take_slot(&self, cell: &StatsCell) -> Arc<CallSlot> {
         match self.cd_pool.pop() {
             Some(s) => s,
             None => {
-                stats.frank_redirects.fetch_add(1, Ordering::Relaxed);
-                stats.cds_created.fetch_add(1, Ordering::Relaxed);
+                cell.frank_redirects.fetch_add(1, Ordering::Relaxed);
+                cell.cds_created.fetch_add(1, Ordering::Relaxed);
                 self.cds_created.fetch_add(1, Ordering::Relaxed);
                 CallSlot::new()
             }
@@ -207,11 +302,33 @@ pub struct Runtime {
     registry: Mutex<Vec<Arc<EntryShared>>>,
     /// Name table (cold path).
     pub(crate) names: Mutex<std::collections::HashMap<String, EntryId>>,
-    /// Facility counters.
+    /// Facility counters, sharded per vCPU.
     pub stats: RuntimeStats,
     /// Pin worker threads to cores.
     pin: bool,
+    /// Encoded [`SpinPolicy`] discriminant (see `SPIN_*` constants).
+    spin_mode: AtomicU8,
+    /// Budget operand for [`SpinPolicy::Fixed`].
+    spin_fixed: AtomicU32,
     shutdown: AtomicU8,
+}
+
+const SPIN_ADAPTIVE: u8 = 0;
+const SPIN_FIXED: u8 = 1;
+const SPIN_PARK_ONLY: u8 = 2;
+
+/// Worker-side idle-mailbox spin budget implied by a client wait policy.
+/// The rendezvous is spin-paired: when clients spin out the hand-off, the
+/// worker also spins briefly on its mailbox between calls, so a stream of
+/// back-to-back calls never reaches a futex on either side (the client's
+/// post finds the worker unparked and its `unpark` stays token-only).
+/// `ParkOnly` maps to 0 so that baseline stays a pure park/unpark pair.
+pub(crate) fn worker_idle_budget(p: SpinPolicy) -> u32 {
+    match p {
+        SpinPolicy::Adaptive => spin::DEFAULT_BUDGET,
+        SpinPolicy::Fixed(n) => n,
+        SpinPolicy::ParkOnly => 0,
+    }
 }
 
 impl Runtime {
@@ -234,10 +351,41 @@ impl Runtime {
             table: (0..MAX_ENTRIES).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect(),
             registry: Mutex::new(Vec::new()),
             names: Mutex::new(std::collections::HashMap::new()),
-            stats: RuntimeStats::default(),
+            stats: RuntimeStats::new(n_vcpus),
             pin,
+            spin_mode: AtomicU8::new(SPIN_ADAPTIVE),
+            spin_fixed: AtomicU32::new(spin::DEFAULT_BUDGET),
             shutdown: AtomicU8::new(0),
         })
+    }
+
+    /// Change the synchronous-rendezvous wait policy. Takes effect for
+    /// subsequent calls; safe to call concurrently with dispatch (the
+    /// fast path reads it with one `Relaxed` load).
+    pub fn set_spin_policy(&self, p: SpinPolicy) {
+        match p {
+            SpinPolicy::Adaptive => self.spin_mode.store(SPIN_ADAPTIVE, Ordering::Relaxed),
+            SpinPolicy::ParkOnly => self.spin_mode.store(SPIN_PARK_ONLY, Ordering::Relaxed),
+            SpinPolicy::Fixed(n) => {
+                self.spin_fixed.store(n, Ordering::Relaxed);
+                self.spin_mode.store(SPIN_FIXED, Ordering::Relaxed);
+            }
+        }
+        // Propagate the paired worker-side idle spin budget to every bound
+        // entry (cold path; new binds pick it up from the policy directly).
+        let budget = worker_idle_budget(p);
+        for e in self.registry_lock().iter() {
+            e.idle_spin.store(budget, Ordering::Relaxed);
+        }
+    }
+
+    /// The current synchronous-rendezvous wait policy.
+    pub fn spin_policy(&self) -> SpinPolicy {
+        match self.spin_mode.load(Ordering::Relaxed) {
+            SPIN_PARK_ONLY => SpinPolicy::ParkOnly,
+            SPIN_FIXED => SpinPolicy::Fixed(self.spin_fixed.load(Ordering::Relaxed)),
+            _ => SpinPolicy::Adaptive,
+        }
     }
 
     /// Number of virtual processors.
@@ -336,6 +484,10 @@ pub struct AsyncCall {
     pub(crate) slot: Arc<CallSlot>,
     pub(crate) vcpu: Arc<VcpuState>,
     pub(crate) ep: EntryId,
+    /// The slot is a worker's pinned CD (hold-CD mode): it must be reset
+    /// but never returned to the vCPU pool — it already has an owner, and
+    /// pooling it would let two calls fill the same slot concurrently.
+    pub(crate) held: bool,
 }
 
 impl AsyncCall {
@@ -358,9 +510,14 @@ impl AsyncCall {
 
 impl Drop for AsyncCall {
     fn drop(&mut self) {
-        // Recycle the slot only once the worker is finished with it.
+        // Recycle the slot only once the worker is finished with it. A
+        // held CD stays pinned to its worker: reset it in place.
         self.slot.wait_done();
-        self.vcpu.put_slot(Arc::clone(&self.slot));
+        if self.held {
+            self.slot.reset();
+        } else {
+            self.vcpu.put_slot(Arc::clone(&self.slot));
+        }
     }
 }
 
@@ -387,7 +544,7 @@ mod tests {
         let ep = rt.bind("echo", EntryOptions::default(), Arc::new(|ctx| ctx.args)).unwrap();
         let c = rt.client(0, 7);
         assert_eq!(c.call(ep, [9; 8]).unwrap(), [9; 8]);
-        assert_eq!(rt.stats.calls.load(Ordering::Relaxed), 1);
+        assert_eq!(rt.stats.calls(), 1);
     }
 
     #[test]

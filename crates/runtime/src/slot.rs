@@ -25,6 +25,8 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::Thread;
 
+use crossbeam::utils::CachePadded;
+
 /// Size of the per-call scratch page ("one-page stacks", §4.5.4).
 pub const SCRATCH_BYTES: usize = 4096;
 
@@ -39,8 +41,14 @@ pub mod state {
 }
 
 /// One call descriptor.
+///
+/// The state word is the rendezvous's ping-pong line: the client spins or
+/// parks on it while the worker writes results. It is cache-line padded
+/// so a spinning client re-reads only that line — the worker's stores to
+/// `rets`/`scratch` mid-handler never invalidate the spinner's cached
+/// copy, and the line transfers exactly once per call (at `DONE`).
 pub struct CallSlot {
-    st: AtomicU8,
+    st: CachePadded<AtomicU8>,
     args: UnsafeCell<[u64; 8]>,
     rets: UnsafeCell<[u64; 8]>,
     caller_program: AtomicU32,
@@ -63,7 +71,7 @@ impl CallSlot {
     /// A fresh, idle slot.
     pub fn new() -> Arc<Self> {
         Arc::new(CallSlot {
-            st: AtomicU8::new(state::IDLE),
+            st: CachePadded::new(AtomicU8::new(state::IDLE)),
             args: UnsafeCell::new([0; 8]),
             rets: UnsafeCell::new([0; 8]),
             caller_program: AtomicU32::new(0),
@@ -162,6 +170,40 @@ impl CallSlot {
                 std::thread::park_timeout(std::time::Duration::from_micros(50));
             }
         }
+    }
+
+    /// Client side: spin on the state word for up to `budget` iterations,
+    /// then fall back to parking — the adaptive rendezvous for sync
+    /// calls. Returns `true` if the wait resolved without parking.
+    ///
+    /// The spin reads only the (padded) state word with `Acquire` plus
+    /// `spin_loop` hints; it yields the processor immediately and then
+    /// every 64 iterations, so that on an oversubscribed (or single-core)
+    /// host the just-unparked worker actually runs — pure spinning there
+    /// would burn the client's timeslice while the worker starves behind
+    /// it, and the handler cannot start until the worker is scheduled.
+    pub fn wait_done_spin(&self, budget: u32) -> bool {
+        if self.is_done() {
+            return true;
+        }
+        let mut spins = 0u32;
+        while spins < budget {
+            if spins & 63 == 0 {
+                std::thread::yield_now();
+            }
+            std::hint::spin_loop();
+            if self.is_done() {
+                return true;
+            }
+            spins += 1;
+        }
+        // Budget exhausted: park. The worker's completion unpark makes
+        // this safe even if DONE lands between the check and the park —
+        // the token is consumed by the next park, and the loop re-checks.
+        while !self.is_done() {
+            std::thread::park();
+        }
+        false
     }
 
     /// Client side: read the results (slot must be DONE).

@@ -1,12 +1,29 @@
-//! Facility counters (all relaxed; diagnostics only).
+//! Facility counters, sharded per virtual processor.
+//!
+//! The paper's central claim is that a PPC "accesses no shared data" in
+//! the common case — a single global statistics block would violate that
+//! from inside the facility itself: every call on every vCPU would bounce
+//! the same counter cache lines. Counters therefore live in one
+//! [`StatsCell`] per vCPU, each `#[repr(align(64))]` so two vCPUs never
+//! share a line, updated with `Relaxed` stores on the fast path and
+//! aggregated only when someone asks (a cold read path).
 
-use std::sync::atomic::AtomicU64;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Monotonic counters mirroring `ppc-core`'s `FacilityStats`.
+/// One virtual processor's counters, padded to its own cache line so
+/// fast-path increments on different vCPUs never contend.
 #[derive(Debug, Default)]
-pub struct RuntimeStats {
-    /// Completed synchronous calls.
+#[repr(align(64))]
+pub struct StatsCell {
+    /// Completed synchronous calls (inline or hand-off).
     pub calls: AtomicU64,
+    /// Synchronous calls executed inline on the caller's thread.
+    pub inline_calls: AtomicU64,
+    /// Hand-off rendezvous resolved by spinning alone (no park).
+    pub spin_waits: AtomicU64,
+    /// Hand-off rendezvous that exhausted the spin budget and parked.
+    pub park_waits: AtomicU64,
     /// Dispatched asynchronous calls.
     pub async_calls: AtomicU64,
     /// Upcall dispatches.
@@ -17,19 +34,184 @@ pub struct RuntimeStats {
     pub workers_created: AtomicU64,
     /// Call slots created on demand.
     pub cds_created: AtomicU64,
-    /// Handler panics contained by worker fault isolation.
+    /// Handler panics contained by fault isolation.
     pub server_faults: AtomicU64,
+}
+
+/// Sharded facility counters: one padded cell per virtual processor.
+#[derive(Debug)]
+pub struct RuntimeStats {
+    cells: Box<[StatsCell]>,
+}
+
+macro_rules! aggregate_getters {
+    ($($(#[$doc:meta])* $field:ident),+ $(,)?) => {$(
+        $(#[$doc])*
+        pub fn $field(&self) -> u64 {
+            self.cells.iter().map(|c| c.$field.load(Ordering::Relaxed)).sum()
+        }
+    )+};
+}
+
+impl RuntimeStats {
+    /// Counters for `n_vcpus` virtual processors.
+    pub(crate) fn new(n_vcpus: usize) -> Self {
+        RuntimeStats { cells: (0..n_vcpus.max(1)).map(|_| StatsCell::default()).collect() }
+    }
+
+    /// The cell owned by `vcpu` — the fast path writes here and nowhere
+    /// else, so same-vCPU calls touch only their own line.
+    #[inline]
+    pub fn cell(&self, vcpu: usize) -> &StatsCell {
+        &self.cells[vcpu]
+    }
+
+    aggregate_getters! {
+        /// Completed synchronous calls across all vCPUs.
+        calls,
+        /// Inline (caller-thread) synchronous calls across all vCPUs.
+        inline_calls,
+        /// Rendezvous resolved by spinning alone across all vCPUs.
+        spin_waits,
+        /// Rendezvous that fell back to parking across all vCPUs.
+        park_waits,
+        /// Asynchronous dispatches across all vCPUs.
+        async_calls,
+        /// Upcall dispatches across all vCPUs.
+        upcalls,
+        /// Frank (grow) slow-path events across all vCPUs.
+        frank_redirects,
+        /// Workers created on demand across all vCPUs.
+        workers_created,
+        /// Call slots created on demand across all vCPUs.
+        cds_created,
+        /// Contained handler panics across all vCPUs.
+        server_faults,
+    }
+
+    /// A consistent-enough point-in-time aggregation (each counter read
+    /// is atomic; the set is not — fine for diagnostics and benches).
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            calls: self.calls(),
+            inline_calls: self.inline_calls(),
+            spin_waits: self.spin_waits(),
+            park_waits: self.park_waits(),
+            async_calls: self.async_calls(),
+            upcalls: self.upcalls(),
+            frank_redirects: self.frank_redirects(),
+            workers_created: self.workers_created(),
+            cds_created: self.cds_created(),
+            server_faults: self.server_faults(),
+        }
+    }
+}
+
+/// Plain-value aggregation of [`RuntimeStats`], comparable and printable
+/// — what benches and tests should consume instead of reading atomics by
+/// hand.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Completed synchronous calls.
+    pub calls: u64,
+    /// Synchronous calls executed inline on the caller's thread.
+    pub inline_calls: u64,
+    /// Rendezvous resolved by spinning alone.
+    pub spin_waits: u64,
+    /// Rendezvous that fell back to parking.
+    pub park_waits: u64,
+    /// Dispatched asynchronous calls.
+    pub async_calls: u64,
+    /// Upcall dispatches.
+    pub upcalls: u64,
+    /// Slow-path (grow) events.
+    pub frank_redirects: u64,
+    /// Workers created on demand.
+    pub workers_created: u64,
+    /// Call slots created on demand.
+    pub cds_created: u64,
+    /// Contained handler panics.
+    pub server_faults: u64,
+}
+
+impl Snapshot {
+    /// Counter-wise difference (`self - earlier`, saturating): the
+    /// activity between two snapshots.
+    pub fn since(&self, earlier: &Snapshot) -> Snapshot {
+        Snapshot {
+            calls: self.calls.saturating_sub(earlier.calls),
+            inline_calls: self.inline_calls.saturating_sub(earlier.inline_calls),
+            spin_waits: self.spin_waits.saturating_sub(earlier.spin_waits),
+            park_waits: self.park_waits.saturating_sub(earlier.park_waits),
+            async_calls: self.async_calls.saturating_sub(earlier.async_calls),
+            upcalls: self.upcalls.saturating_sub(earlier.upcalls),
+            frank_redirects: self.frank_redirects.saturating_sub(earlier.frank_redirects),
+            workers_created: self.workers_created.saturating_sub(earlier.workers_created),
+            cds_created: self.cds_created.saturating_sub(earlier.cds_created),
+            server_faults: self.server_faults.saturating_sub(earlier.server_faults),
+        }
+    }
+}
+
+impl fmt::Display for Snapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "calls={} (inline={}, spin={}, park={}) async={} upcalls={} \
+             frank={} workers+={} cds+={} faults={}",
+            self.calls,
+            self.inline_calls,
+            self.spin_waits,
+            self.park_waits,
+            self.async_calls,
+            self.upcalls,
+            self.frank_redirects,
+            self.workers_created,
+            self.cds_created,
+            self.server_faults,
+        )
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::Ordering;
 
     #[test]
-    fn counters_default_zero() {
-        let s = RuntimeStats::default();
-        assert_eq!(s.calls.load(Ordering::Relaxed), 0);
-        assert_eq!(s.frank_redirects.load(Ordering::Relaxed), 0);
+    fn counters_default_zero_and_aggregate() {
+        let s = RuntimeStats::new(4);
+        assert_eq!(s.calls(), 0);
+        assert_eq!(s.frank_redirects(), 0);
+        s.cell(0).calls.fetch_add(2, Ordering::Relaxed);
+        s.cell(3).calls.fetch_add(3, Ordering::Relaxed);
+        s.cell(1).inline_calls.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(s.calls(), 5);
+        assert_eq!(s.inline_calls(), 1);
+    }
+
+    #[test]
+    fn cells_do_not_share_cache_lines() {
+        assert!(std::mem::align_of::<StatsCell>() >= 64);
+        assert!(std::mem::size_of::<StatsCell>().is_multiple_of(64));
+        let s = RuntimeStats::new(2);
+        let a = s.cell(0) as *const _ as usize;
+        let b = s.cell(1) as *const _ as usize;
+        assert!(b.abs_diff(a) >= 64);
+    }
+
+    #[test]
+    fn snapshot_since_and_display() {
+        let s = RuntimeStats::new(2);
+        s.cell(0).calls.fetch_add(10, Ordering::Relaxed);
+        let first = s.snapshot();
+        s.cell(1).calls.fetch_add(4, Ordering::Relaxed);
+        s.cell(1).park_waits.fetch_add(4, Ordering::Relaxed);
+        let delta = s.snapshot().since(&first);
+        assert_eq!(delta.calls, 4);
+        assert_eq!(delta.park_waits, 4);
+        assert_eq!(delta.frank_redirects, 0);
+        let text = delta.to_string();
+        assert!(text.contains("calls=4"));
+        assert!(text.contains("park=4"));
     }
 }

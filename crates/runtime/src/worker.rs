@@ -7,10 +7,11 @@
 //! single worker, but can grow and shrink dynamically as needed".
 
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::{JoinHandle, Thread};
 
 use crossbeam::queue::ArrayQueue;
+use crossbeam::utils::CachePadded;
 use parking_lot::Mutex;
 
 use crate::slot::CallSlot;
@@ -20,16 +21,29 @@ use crate::{CallCtx, Handler};
 pub const MAX_POOLED: usize = 64;
 
 /// Shared handle to one worker thread.
+///
+/// The hot fields (`thread`, `mailbox`) are lock-free: posting a call is
+/// one atomic swap plus an `unpark` against a `OnceLock`-published thread
+/// handle — no mutex anywhere on the dispatch path. Overrides and
+/// shutdown are cold; the fast path only crosses them via the `Relaxed`
+/// `has_override` gate and an `Acquire` shutdown load.
 pub struct WorkerHandle {
-    /// The worker thread, for unparking.
-    thread: Mutex<Option<Thread>>,
+    /// The worker thread, for unparking. Written exactly once by the
+    /// spawner before the worker becomes visible to any client, then read
+    /// without synchronization cost on every post.
+    thread: OnceLock<Thread>,
     /// Mailbox: the posted call slot (`Arc::into_raw` transferred).
-    mailbox: AtomicPtr<CallSlot>,
+    /// Padded: the mailbox ping-pongs between client and worker every
+    /// call and must not share a line with the cold fields below.
+    mailbox: CachePadded<AtomicPtr<CallSlot>>,
     /// Held CD in hold-CD mode (`Arc::into_raw`, owned by the worker until
     /// shutdown).
     held: AtomicPtr<CallSlot>,
     /// Per-worker handler override (worker initialization, §4.5.3).
     override_handler: Mutex<Option<Handler>>,
+    /// Whether an override is installed — the fast-path gate that keeps
+    /// `override_handler`'s mutex off the common case entirely.
+    has_override: AtomicBool,
     /// Shutdown request.
     shutdown: AtomicBool,
     /// Calls completed by this worker (diagnostics).
@@ -39,22 +53,23 @@ pub struct WorkerHandle {
 impl WorkerHandle {
     fn new() -> Arc<Self> {
         Arc::new(WorkerHandle {
-            thread: Mutex::new(None),
-            mailbox: AtomicPtr::new(std::ptr::null_mut()),
+            thread: OnceLock::new(),
+            mailbox: CachePadded::new(AtomicPtr::new(std::ptr::null_mut())),
             held: AtomicPtr::new(std::ptr::null_mut()),
             override_handler: Mutex::new(None),
+            has_override: AtomicBool::new(false),
             shutdown: AtomicBool::new(false),
             calls: AtomicU64::new(0),
         })
     }
 
     /// Post `slot` to this worker and wake it. Transfers one strong
-    /// reference through the mailbox.
+    /// reference through the mailbox. Lock-free: one swap, one unpark.
     pub fn post(&self, slot: Arc<CallSlot>) {
         let raw = Arc::into_raw(slot) as *mut CallSlot;
         let prev = self.mailbox.swap(raw, Ordering::AcqRel);
         debug_assert!(prev.is_null(), "worker double-posted");
-        if let Some(t) = self.thread.lock().as_ref() {
+        if let Some(t) = self.thread.get() {
             t.unpark();
         }
     }
@@ -102,25 +117,31 @@ impl WorkerHandle {
         }
     }
 
-    /// Install a per-worker handler override.
+    /// Install a per-worker handler override. The content is published
+    /// before the gate flips, so a worker that observes the gate with
+    /// `Acquire` always finds the override behind the lock.
     pub fn set_override(&self, h: Handler) {
         *self.override_handler.lock() = Some(h);
+        self.has_override.store(true, Ordering::Release);
     }
 
     /// Remove the override (used by Exchange so new code takes effect).
     pub fn clear_override(&self) {
+        self.has_override.store(false, Ordering::Release);
         *self.override_handler.lock() = None;
     }
 
-    /// Has this worker been asked to shut down?
+    /// Has this worker been asked to shut down? `Acquire` pairs with the
+    /// `Release` in [`WorkerHandle::request_shutdown`]; the dispatch fast
+    /// path performs this load, so it must not be (and is not) SeqCst.
     pub(crate) fn is_shutdown(&self) -> bool {
-        self.shutdown.load(Ordering::SeqCst)
+        self.shutdown.load(Ordering::Acquire)
     }
 
     /// Request shutdown and wake the worker.
     pub fn request_shutdown(&self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(t) = self.thread.lock().as_ref() {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(t) = self.thread.get() {
             t.unpark();
         }
     }
@@ -195,7 +216,7 @@ impl WorkerPool {
                 worker_loop(entry2, w2, vcpu);
             })
             .expect("spawn worker thread");
-        *w.thread.lock() = Some(jh.thread().clone());
+        w.thread.set(jh.thread().clone()).expect("thread handle set once");
         self.created.fetch_add(1, Ordering::Relaxed);
         self.all.lock().push((Arc::clone(&w), Some(jh)));
         if pool_it {
@@ -242,7 +263,7 @@ impl WorkerPool {
         // Join the reaped threads.
         let mut all = self.all.lock();
         for (w, jh) in all.iter_mut() {
-            if w.shutdown.load(Ordering::SeqCst) {
+            if w.shutdown.load(Ordering::Acquire) {
                 if let Some(jh) = jh.take() {
                     let _ = jh.join();
                 }
@@ -258,12 +279,41 @@ impl Default for WorkerPool {
     }
 }
 
+/// Idle rendezvous, worker side: bounded spin on the mailbox before
+/// parking — the mirror of the client's `CallSlot::wait_done_spin`. In a
+/// stream of back-to-back calls neither side ever reaches a futex: the
+/// client posts while we are still spinning (its `unpark` then only sets
+/// the token, no syscall), and we pick the call up at the next mailbox
+/// check. Budget 0 (`SpinPolicy::ParkOnly`) parks immediately, keeping
+/// that baseline a pure park/unpark pair. The spin yields up front and
+/// every 64 iterations so the client (or anyone else) can run on an
+/// oversubscribed host.
+fn idle_wait(entry: &crate::entry::EntryShared, me: &WorkerHandle) {
+    let budget = entry.idle_spin.load(Ordering::Relaxed);
+    let mut spins = 0u32;
+    while spins < budget {
+        if spins & 63 == 0 {
+            std::thread::yield_now();
+        }
+        std::hint::spin_loop();
+        if !me.mailbox.load(Ordering::Relaxed).is_null()
+            || me.shutdown.load(Ordering::Relaxed)
+        {
+            return;
+        }
+        spins += 1;
+    }
+    // Budget exhausted (or zero): park. A post or shutdown request that
+    // raced the spin already set our park token, so this cannot hang.
+    std::thread::park();
+}
+
 /// The worker thread body: park → take call → run handler → complete →
 /// re-pool → park. (The spawner installed our thread handle and pooled us
 /// before we became visible.)
 fn worker_loop(entry: Arc<crate::entry::EntryShared>, me: Arc<WorkerHandle>, vcpu: usize) {
     loop {
-        if me.shutdown.load(Ordering::SeqCst) {
+        if me.shutdown.load(Ordering::Acquire) {
             // A client may have posted a call in the window between
             // popping this worker and our shutdown: complete it with the
             // abort marker so the caller is never left parked forever
@@ -277,13 +327,20 @@ fn worker_loop(entry: Arc<crate::entry::EntryShared>, me: Arc<WorkerHandle>, vcp
             return;
         }
         let Some(slot) = me.take_mail() else {
-            std::thread::park();
+            idle_wait(&entry, &me);
             continue;
         };
 
         let args = slot.read_args();
         let program = slot.caller_program();
-        let handler = me.override_handler.lock().clone().unwrap_or_else(|| entry.handler());
+        // The override mutex is only ever taken when the gate says an
+        // override exists — workers with no initialization routine never
+        // touch a lock here.
+        let handler = if me.has_override.load(Ordering::Acquire) {
+            me.override_handler.lock().clone().unwrap_or_else(|| entry.handler())
+        } else {
+            entry.handler()
+        };
         // A faulting (panicking) handler must not take the worker — or the
         // parked client — down with it: the paper chose worker processes
         // precisely so failure modes "more closely follow those of a
@@ -296,7 +353,7 @@ fn worker_loop(entry: Arc<crate::entry::EntryShared>, me: Arc<WorkerHandle>, vcp
                     vcpu,
                     ep: entry.id,
                     scratch,
-                    worker: &me,
+                    worker: Some(&me),
                     entry: &entry,
                 };
                 handler(&mut ctx)

@@ -2,7 +2,6 @@
 //! traffic must never hang a client, leak an in-flight count, or produce
 //! anything but `Ok` / `EntryDead` / `Aborted`.
 
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -111,5 +110,5 @@ fn repeated_bind_kill_cycles_do_not_leak_calls() {
         rt.hard_kill(ep, 0).unwrap();
         rt.reclaim_slot(ep, 0).unwrap();
     }
-    assert_eq!(rt.stats.calls.load(Ordering::Relaxed), 200);
+    assert_eq!(rt.stats.calls(), 200);
 }

@@ -85,7 +85,7 @@ fn stress_many_clients_two_services() {
     for h in handles {
         h.join().unwrap();
     }
-    assert_eq!(rt.stats.calls.load(std::sync::atomic::Ordering::Relaxed), 6 * 300);
+    assert_eq!(rt.stats.calls(), 6 * 300);
 }
 
 /// Stress the async path: a burst of async calls larger than any pool.
@@ -107,5 +107,5 @@ fn stress_async_burst() {
     for (i, p) in pending {
         assert_eq!(p.wait()[0], i + 1);
     }
-    assert!(rt.stats.workers_created.load(std::sync::atomic::Ordering::Relaxed) > 0);
+    assert!(rt.stats.workers_created() > 0);
 }

@@ -29,8 +29,8 @@ fn many_sequential_calls_reuse_one_worker() {
         assert_eq!(c.call(ep, [i; 8]).unwrap(), [i; 8]);
     }
     // One pre-spawned worker handles everything: no Frank growth.
-    assert_eq!(rt.stats.workers_created.load(Ordering::Relaxed), 0);
-    assert_eq!(rt.stats.calls.load(Ordering::Relaxed), 200);
+    assert_eq!(rt.stats.workers_created(), 0);
+    assert_eq!(rt.stats.calls(), 200);
 }
 
 #[test]
@@ -120,7 +120,7 @@ fn async_call_completes_and_caller_continues() {
     let rets = pending.wait();
     assert_eq!(rets, [42; 8]);
     assert!(!done_immediately || rets == [42; 8]);
-    assert_eq!(rt.stats.async_calls.load(Ordering::Relaxed), 1);
+    assert_eq!(rt.stats.async_calls(), 1);
 }
 
 #[test]
@@ -137,7 +137,7 @@ fn upcall_has_no_caller_program() {
     let rets = up.wait();
     assert_eq!(rets[0], 0, "upcalls carry program 0");
     assert_eq!(rets[1], 5);
-    assert_eq!(rt.stats.upcalls.load(Ordering::Relaxed), 1);
+    assert_eq!(rt.stats.upcalls(), 1);
 }
 
 #[test]
@@ -162,8 +162,8 @@ fn burst_grows_worker_pool_frank_style() {
     assert_eq!(a.wait()[0], 1);
     assert_eq!(b.wait()[0], 2);
     assert_eq!(d.wait()[0], 3);
-    assert!(rt.stats.workers_created.load(Ordering::Relaxed) >= 2);
-    assert!(rt.stats.frank_redirects.load(Ordering::Relaxed) >= 2);
+    assert!(rt.stats.workers_created() >= 2);
+    assert!(rt.stats.frank_redirects() >= 2);
 }
 
 #[test]
@@ -182,7 +182,7 @@ fn concurrent_clients_on_distinct_vcpus() {
     for h in handles {
         h.join().unwrap();
     }
-    assert_eq!(rt.stats.calls.load(Ordering::Relaxed), 400);
+    assert_eq!(rt.stats.calls(), 400);
 }
 
 #[test]
@@ -363,7 +363,7 @@ fn panicking_handler_is_isolated_like_a_message_failure() {
     // The same service keeps serving afterwards; the fault consumed no pool.
     assert_eq!(client.call(bomb, [5; 8]).unwrap()[0], 6);
     assert_eq!(client.call(echo, [9; 8]).unwrap(), [9; 8], "other services untouched");
-    assert_eq!(rt.stats.server_faults.load(Ordering::Relaxed), 1);
+    assert_eq!(rt.stats.server_faults(), 1);
     // Repeated faults stay contained.
     for _ in 0..10 {
         assert_eq!(client.call(bomb, [13; 8]), Err(RtError::ServerFault(bomb)));
@@ -436,4 +436,123 @@ fn table_full_with_want_ep_out_of_range() {
         rt.bind("bad", opts, Arc::new(|c| c.args)),
         Err(RtError::UnknownEntry(ppc_rt::MAX_ENTRIES))
     );
+}
+
+// ---- hand-off fast path: inline dispatch, spin rendezvous, purity ----
+
+#[test]
+fn inline_entry_runs_on_caller_thread() {
+    let rt = Runtime::new(1);
+    let handler_thread = Arc::new(parking_lot::Mutex::new(None));
+    let ht = Arc::clone(&handler_thread);
+    let ep = rt
+        .bind(
+            "inline-echo",
+            EntryOptions { inline_ok: true, ..Default::default() },
+            Arc::new(move |ctx| {
+                *ht.lock() = Some(std::thread::current().id());
+                ctx.args
+            }),
+        )
+        .unwrap();
+    let c = rt.client(0, 9);
+    assert_eq!(c.call(ep, [5; 8]).unwrap(), [5; 8]);
+    // The handler ran on this very thread — no hand-off happened.
+    assert_eq!(handler_thread.lock().unwrap(), std::thread::current().id());
+    assert_eq!(rt.stats.inline_calls(), 1);
+    assert_eq!(rt.stats.calls(), 1);
+}
+
+#[test]
+fn inline_entry_supports_payload_and_faults() {
+    let rt = Runtime::new(1);
+    let ep = rt
+        .bind(
+            "inline-upper",
+            EntryOptions { inline_ok: true, ..Default::default() },
+            Arc::new(|ctx| {
+                let n = ctx.args[0] as usize;
+                let scratch = ctx.scratch();
+                for b in &mut scratch[..n] {
+                    b.make_ascii_uppercase();
+                }
+                [0, 0, 0, 0, 0, 0, 0, n as u64]
+            }),
+        )
+        .unwrap();
+    let c = rt.client(0, 9);
+    let (rets, resp) = c.call_with_payload(ep, [5, 0, 0, 0, 0, 0, 0, 0], b"hello").unwrap();
+    assert_eq!(rets[7], 5);
+    assert_eq!(resp, b"HELLO");
+
+    let boom = rt
+        .bind(
+            "inline-boom",
+            EntryOptions { inline_ok: true, ..Default::default() },
+            Arc::new(|_| panic!("inline fault")),
+        )
+        .unwrap();
+    assert_eq!(c.call(boom, [0; 8]), Err(RtError::ServerFault(boom)));
+    assert_eq!(rt.stats.server_faults(), 1);
+    // The fault is contained: the inline entry still serves.
+    assert_eq!(c.call(ep, [0; 8]).unwrap()[7], 0);
+}
+
+#[test]
+fn async_to_inline_entry_still_hands_off() {
+    let rt = Runtime::new(1);
+    let ep = rt
+        .bind(
+            "inline-echo",
+            EntryOptions { inline_ok: true, ..Default::default() },
+            Arc::new(|ctx| ctx.args),
+        )
+        .unwrap();
+    let c = rt.client(0, 9);
+    let pending = c.call_async(ep, [7; 8]).unwrap();
+    assert_eq!(pending.wait(), [7; 8]);
+    assert_eq!(rt.stats.async_calls(), 1);
+    assert_eq!(rt.stats.inline_calls(), 0);
+}
+
+#[test]
+fn warm_path_is_pure_fast_path() {
+    // The acceptance gate for the hand-off rework: once warmed (the
+    // bind-time worker and CD exist), a stream of sync calls must never
+    // leave the fast path — no Frank redirections, no worker growth, no
+    // CD growth. Combined with the fast path's construction (lock-free
+    // pools, OnceLock unpark target, Relaxed sharded counters, Acquire
+    // shutdown checks), this pins "no Mutex/Condvar, no SeqCst" behavior.
+    let (rt, ep) = echo_rt(1);
+    let c = rt.client(0, 1);
+    c.call(ep, [0; 8]).unwrap(); // warm
+    let warm = rt.stats.snapshot();
+    for i in 0..500u64 {
+        assert_eq!(c.call(ep, [i; 8]).unwrap(), [i; 8]);
+    }
+    let delta = rt.stats.snapshot().since(&warm);
+    assert_eq!(delta.frank_redirects, 0, "warm path hit the Frank slow path");
+    assert_eq!(delta.workers_created, 0);
+    assert_eq!(delta.cds_created, 0);
+    assert_eq!(delta.calls, 500);
+    // Every hand-off rendezvous is accounted as exactly one spin or park.
+    assert_eq!(delta.spin_waits + delta.park_waits, 500);
+}
+
+#[test]
+fn spin_policy_roundtrip_and_modes_complete() {
+    use ppc_rt::SpinPolicy;
+    let (rt, ep) = echo_rt(1);
+    assert_eq!(rt.spin_policy(), SpinPolicy::Adaptive);
+    let c = rt.client(0, 1);
+    for policy in [SpinPolicy::ParkOnly, SpinPolicy::Fixed(1 << 12), SpinPolicy::Adaptive] {
+        rt.set_spin_policy(policy);
+        assert_eq!(rt.spin_policy(), policy);
+        for i in 0..50u64 {
+            assert_eq!(c.call(ep, [i; 8]).unwrap(), [i; 8]);
+        }
+    }
+    // ParkOnly never spins; its 50 rendezvous all parked.
+    assert!(rt.stats.park_waits() >= 50);
+    assert_eq!(rt.stats.calls(), 150);
 }

@@ -49,10 +49,6 @@ fn main() {
     let rets = pending.wait();
     println!("async result: counter = {}", rets[0]);
 
-    println!(
-        "\nfacility stats: {} sync calls, {} async, {} slow-path (Frank) events",
-        rt.stats.calls.load(Ordering::Relaxed),
-        rt.stats.async_calls.load(Ordering::Relaxed),
-        rt.stats.frank_redirects.load(Ordering::Relaxed),
-    );
+    // Aggregate the per-vCPU counters into one printable snapshot.
+    println!("\nfacility stats: {}", rt.stats.snapshot());
 }

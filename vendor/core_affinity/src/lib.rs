@@ -1,0 +1,43 @@
+//! Vendored, dependency-free stand-in for `core_affinity`. The build
+//! environment has no access to crates.io (and no `libc` to issue
+//! `sched_setaffinity`), so pinning is a documented no-op: callers in
+//! this workspace already treat pin failure as "run unpinned".
+
+/// Identifier of one logical core.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CoreId {
+    /// Zero-based logical core index.
+    pub id: usize,
+}
+
+/// Enumerate the logical cores of this machine.
+pub fn get_core_ids() -> Option<Vec<CoreId>> {
+    let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    Some((0..n).map(|id| CoreId { id }).collect())
+}
+
+/// Request that the current thread be pinned to `_core`.
+///
+/// Always returns `false` in this vendored build (no syscall access):
+/// "pin requested but not applied", which every caller in the workspace
+/// treats as running unpinned.
+pub fn set_for_current(_core: CoreId) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerates_at_least_one_core() {
+        let ids = get_core_ids().unwrap();
+        assert!(!ids.is_empty());
+        assert_eq!(ids[0], CoreId { id: 0 });
+    }
+
+    #[test]
+    fn pinning_reports_unpinned() {
+        assert!(!set_for_current(CoreId { id: 0 }));
+    }
+}

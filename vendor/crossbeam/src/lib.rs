@@ -1,0 +1,270 @@
+//! Vendored, dependency-free stand-in for the parts of `crossbeam` this
+//! workspace uses. The build environment has no access to crates.io, so
+//! the workspace patches `crossbeam` to this crate. Only the APIs the
+//! repository needs are provided:
+//!
+//! * [`queue::ArrayQueue`] — a bounded, lock-free MPMC queue (the classic
+//!   Vyukov sequence-number ring, the same algorithm the real
+//!   `crossbeam-queue` implements);
+//! * [`utils::CachePadded`] — cache-line-aligned wrapper used to keep hot
+//!   atomics off each other's lines.
+
+pub mod utils {
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to 128 bytes (two 64-byte lines, covering
+    /// adjacent-line prefetchers on x86).
+    #[derive(Debug, Default)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wrap `value` in cache-line padding.
+        pub const fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        /// Unwrap the inner value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            CachePadded::new(value)
+        }
+    }
+}
+
+pub mod queue {
+    use std::cell::UnsafeCell;
+    use std::mem::MaybeUninit;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    use crate::utils::CachePadded;
+
+    struct Cell<T> {
+        /// Sequence number: `index` when empty and writable by the pusher
+        /// of lap `index / cap`, `index + 1` once a value is stored.
+        seq: AtomicUsize,
+        value: UnsafeCell<MaybeUninit<T>>,
+    }
+
+    /// A bounded, lock-free multi-producer multi-consumer queue.
+    ///
+    /// Vyukov's bounded MPMC ring: each cell carries a sequence number
+    /// that encodes which "lap" may read or write it, so producers and
+    /// consumers only contend on their own index word plus the target
+    /// cell — no locks anywhere.
+    pub struct ArrayQueue<T> {
+        head: CachePadded<AtomicUsize>,
+        tail: CachePadded<AtomicUsize>,
+        buf: Box<[Cell<T>]>,
+        cap: usize,
+    }
+
+    unsafe impl<T: Send> Send for ArrayQueue<T> {}
+    unsafe impl<T: Send> Sync for ArrayQueue<T> {}
+
+    impl<T> ArrayQueue<T> {
+        /// A queue with capacity for `cap` elements. Panics if `cap == 0`.
+        pub fn new(cap: usize) -> Self {
+            assert!(cap > 0, "capacity must be non-zero");
+            let buf: Box<[Cell<T>]> = (0..cap)
+                .map(|i| Cell {
+                    seq: AtomicUsize::new(i),
+                    value: UnsafeCell::new(MaybeUninit::uninit()),
+                })
+                .collect();
+            ArrayQueue {
+                head: CachePadded::new(AtomicUsize::new(0)),
+                tail: CachePadded::new(AtomicUsize::new(0)),
+                buf,
+                cap,
+            }
+        }
+
+        /// Push `value`, or hand it back if the queue is full.
+        pub fn push(&self, value: T) -> Result<(), T> {
+            let mut tail = self.tail.load(Ordering::Relaxed);
+            loop {
+                let cell = &self.buf[tail % self.cap];
+                let seq = cell.seq.load(Ordering::Acquire);
+                if seq == tail {
+                    match self.tail.compare_exchange_weak(
+                        tail,
+                        tail.wrapping_add(1),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            // Safety: winning the CAS grants exclusive
+                            // write access to this cell for this lap.
+                            unsafe { (*cell.value.get()).write(value) };
+                            cell.seq.store(tail.wrapping_add(1), Ordering::Release);
+                            return Ok(());
+                        }
+                        Err(t) => tail = t,
+                    }
+                } else if seq < tail {
+                    // One full lap behind: the cell still holds an
+                    // unconsumed value — the queue is full.
+                    return Err(value);
+                } else {
+                    tail = self.tail.load(Ordering::Relaxed);
+                }
+                std::hint::spin_loop();
+            }
+        }
+
+        /// Pop the oldest value, if any.
+        pub fn pop(&self) -> Option<T> {
+            let mut head = self.head.load(Ordering::Relaxed);
+            loop {
+                let cell = &self.buf[head % self.cap];
+                let seq = cell.seq.load(Ordering::Acquire);
+                let expect = head.wrapping_add(1);
+                if seq == expect {
+                    match self.head.compare_exchange_weak(
+                        head,
+                        head.wrapping_add(1),
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            // Safety: winning the CAS grants exclusive
+                            // read access to the stored value.
+                            let v = unsafe { (*cell.value.get()).assume_init_read() };
+                            cell.seq.store(head.wrapping_add(self.cap), Ordering::Release);
+                            return Some(v);
+                        }
+                        Err(h) => head = h,
+                    }
+                } else if seq < expect {
+                    // The producer for this lap has not arrived: empty.
+                    return None;
+                } else {
+                    head = self.head.load(Ordering::Relaxed);
+                }
+                std::hint::spin_loop();
+            }
+        }
+
+        /// Number of elements currently queued (approximate under
+        /// concurrency, exact when quiescent).
+        pub fn len(&self) -> usize {
+            loop {
+                let tail = self.tail.load(Ordering::SeqCst);
+                let head = self.head.load(Ordering::SeqCst);
+                if self.tail.load(Ordering::SeqCst) == tail {
+                    return tail.wrapping_sub(head);
+                }
+            }
+        }
+
+        /// Whether the queue is empty (approximate under concurrency).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// The fixed capacity.
+        pub fn capacity(&self) -> usize {
+            self.cap
+        }
+    }
+
+    impl<T> Drop for ArrayQueue<T> {
+        fn drop(&mut self) {
+            while self.pop().is_some() {}
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::sync::Arc;
+
+        #[test]
+        fn fifo_and_capacity() {
+            let q = ArrayQueue::new(2);
+            assert!(q.is_empty());
+            q.push(1).unwrap();
+            q.push(2).unwrap();
+            assert_eq!(q.push(3), Err(3));
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(q.pop(), Some(2));
+            assert_eq!(q.pop(), None);
+        }
+
+        #[test]
+        fn wraps_many_laps() {
+            let q = ArrayQueue::new(3);
+            for i in 0..100 {
+                q.push(i).unwrap();
+                assert_eq!(q.pop(), Some(i));
+            }
+        }
+
+        #[test]
+        fn concurrent_producers_consumers() {
+            let q = Arc::new(ArrayQueue::new(8));
+            let mut handles = Vec::new();
+            for t in 0..4u64 {
+                let q = Arc::clone(&q);
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        let mut v = t * 1000 + i;
+                        loop {
+                            match q.push(v) {
+                                Ok(()) => break,
+                                Err(back) => {
+                                    v = back;
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
+                    }
+                }));
+            }
+            let mut seen = 0u64;
+            while seen < 2000 {
+                if q.pop().is_some() {
+                    seen += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert!(q.is_empty());
+        }
+
+        #[test]
+        fn drops_leftover_values() {
+            let v = Arc::new(());
+            let q = ArrayQueue::new(4);
+            q.push(Arc::clone(&v)).unwrap();
+            q.push(Arc::clone(&v)).unwrap();
+            drop(q);
+            assert_eq!(Arc::strong_count(&v), 1);
+        }
+    }
+}

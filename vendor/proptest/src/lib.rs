@@ -1,0 +1,405 @@
+//! Vendored, dependency-free stand-in for the subset of `proptest` this
+//! workspace uses. The build environment has no access to crates.io, so
+//! the workspace patches `proptest` to this crate.
+//!
+//! Supported surface (everything the repository's `tests/prop.rs` files
+//! exercise):
+//!
+//! * `proptest! { ... }` with an optional
+//!   `#![proptest_config(Config { cases, .. })]` header;
+//! * strategies: integer ranges (`a..b`, `a..=b`), `any::<T>()` for the
+//!   integer primitives and `bool`, tuples, `prop::collection::vec`,
+//!   `prop::array::uniform8`, and simple `"[class]{m,n}"` regex string
+//!   literals;
+//! * `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Semantics differ from real proptest in one deliberate way: failures
+//! are reported by panicking immediately (no shrinking, no failure
+//! persistence). Cases are generated from a deterministic per-test seed
+//! (FNV of the test's module path and name), so runs are reproducible.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    /// Runner configuration. Only `cases` is honored; `max_shrink_iters`
+    /// exists so `Config { cases, ..Config::default() }` — the idiomatic
+    /// real-proptest spelling — stays meaningful against this shim.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+        /// Accepted for API compatibility; this shim does not shrink.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Real proptest defaults to 256 cases; 64 keeps the offline
+            // suite quick while still sweeping each strategy broadly.
+            Config { cases: 64, max_shrink_iters: 1024 }
+        }
+    }
+}
+
+/// Deterministic generator driving strategy sampling (splitmix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded from an arbitrary string (the test's name).
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// A value generator. Unlike real proptest there is no value tree and no
+/// shrinking: `generate` yields one sample.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Sample one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+// ---- integer / bool primitives -------------------------------------------
+
+/// Types with a full-range `any::<T>()` strategy.
+pub trait Arbitrary {
+    /// Sample from the type's whole value space.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+/// The full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+// ---- tuples ---------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+// ---- string regex subset --------------------------------------------------
+
+/// `&str` literals act as regex strategies. Only the form
+/// `[class]{min,max}` is supported (character classes with ranges and
+/// literals, e.g. `"[a-zA-Z0-9_./-]{0,48}"`); anything else panics with a
+/// clear message so unsupported tests fail loudly, not wrongly.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, min, max) = parse_class_repeat(self);
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+fn parse_class_repeat(pat: &str) -> (Vec<char>, usize, usize) {
+    let bytes: Vec<char> = pat.chars().collect();
+    assert!(
+        bytes.first() == Some(&'['),
+        "vendored proptest supports only \"[class]{{m,n}}\" string strategies, got {pat:?}"
+    );
+    let close = bytes
+        .iter()
+        .position(|c| *c == ']')
+        .unwrap_or_else(|| panic!("unterminated class in {pat:?}"));
+    let mut alphabet = Vec::new();
+    let class = &bytes[1..close];
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+            assert!(lo <= hi, "reversed range in class of {pat:?}");
+            for c in lo..=hi {
+                alphabet.push(char::from_u32(c).unwrap());
+            }
+            i += 3;
+        } else {
+            alphabet.push(class[i]);
+            i += 1;
+        }
+    }
+    assert!(!alphabet.is_empty(), "empty class in {pat:?}");
+    let rest: String = bytes[close + 1..].iter().collect();
+    let inner = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("expected {{m,n}} repetition in {pat:?}"));
+    let (m, n) = inner
+        .split_once(',')
+        .unwrap_or_else(|| panic!("expected {{m,n}} repetition in {pat:?}"));
+    let min: usize = m.trim().parse().expect("repeat lower bound");
+    let max: usize = n.trim().parse().expect("repeat upper bound");
+    assert!(min <= max, "reversed repetition in {pat:?}");
+    (alphabet, min, max)
+}
+
+// ---- collections ----------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `sizes`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        sizes: Range<usize>,
+    }
+
+    /// `Vec` strategy: `sizes` bounds the length (half-open, matching
+    /// proptest's `Range<usize>` size parameter).
+    pub fn vec<S: Strategy>(elem: S, sizes: Range<usize>) -> VecStrategy<S> {
+        assert!(sizes.start < sizes.end, "empty size range");
+        VecStrategy { elem, sizes }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.sizes.end - self.sizes.start) as u64;
+            let len = self.sizes.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `[S::Value; 8]` drawn element-wise from `elem`.
+    pub struct Uniform8<S> {
+        elem: S,
+    }
+
+    /// Eight independent samples of `elem`.
+    pub fn uniform8<S: Strategy>(elem: S) -> Uniform8<S> {
+        Uniform8 { elem }
+    }
+
+    impl<S: Strategy> Strategy for Uniform8<S> {
+        type Value = [S::Value; 8];
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; 8] {
+            std::array::from_fn(|_| self.elem.generate(rng))
+        }
+    }
+}
+
+// ---- macros ---------------------------------------------------------------
+
+/// The proptest entry macro: wraps each `fn name(arg in strategy, ...)`
+/// into a `#[test]` that samples `Config::cases` cases deterministically.
+#[macro_export]
+macro_rules! proptest {
+    { #![proptest_config($cfg:expr)] $($rest:tt)* } => {
+        $crate::__proptest_tests! { cfg = { $cfg }; $($rest)* }
+    };
+    { $($rest:tt)* } => {
+        $crate::__proptest_tests! {
+            cfg = { $crate::test_runner::Config::default() };
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    { cfg = { $cfg:expr }; } => {};
+    { cfg = { $cfg:expr };
+      $(#[$meta:meta])*
+      fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+      $($rest:tt)*
+    } => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_tests! { cfg = { $cfg }; $($rest)* }
+    };
+}
+
+/// Assert a condition inside a proptest body (panics on failure — the
+/// vendored runner does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Assert inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+
+    /// Namespace mirror of real proptest's `prelude::prop`.
+    pub mod prop {
+        pub use crate::array;
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::test_runner::Config;
+
+    proptest! {
+        #![proptest_config(Config { cases: 32, ..Config::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 5u64..10, b in 1usize..=3) {
+            prop_assert!((5..10).contains(&a));
+            prop_assert!((1..=3).contains(&b));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(v in prop::collection::vec((0u64..4, any::<bool>()), 1..9)) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            for (x, _) in v {
+                prop_assert!(x < 4);
+            }
+        }
+
+        #[test]
+        fn uniform8_makes_arrays(a in prop::array::uniform8(any::<u64>())) {
+            prop_assert_eq!(a.len(), 8);
+        }
+
+        #[test]
+        fn string_class_strategy(s in "[a-c]{2,5}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 5);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn string_class_with_literals_and_bounds() {
+        let mut rng = super::TestRng::for_test("literals");
+        for _ in 0..200 {
+            let s = super::Strategy::generate(&"[a-zA-Z0-9_./-]{0,48}", &mut rng);
+            assert!(s.len() <= 48);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "_./-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        let mut a = super::TestRng::for_test("same");
+        let mut b = super::TestRng::for_test("same");
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

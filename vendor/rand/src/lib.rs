@@ -1,0 +1,197 @@
+//! Vendored, dependency-free stand-in for the parts of `rand` this
+//! workspace uses: `SeedableRng::seed_from_u64`, `rngs::StdRng`, and
+//! `Rng::gen_range` over integer ranges. The generator is xoshiro256++
+//! seeded through splitmix64 — deterministic for a given seed, which is
+//! all the simulator's jittered workloads require (they fix their seeds).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core trait: a source of uniformly distributed `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding entry points (only `seed_from_u64` is provided).
+pub trait SeedableRng: Sized {
+    /// Construct a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling helpers, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    /// Sample uniformly from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Sample a value of `T` from all bits.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_bits(self.next_u64())
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types samplable from raw bits via [`Rng::gen`].
+pub trait Standard {
+    /// Build a value from 64 uniform bits.
+    fn from_bits(bits: u64) -> Self;
+}
+
+impl Standard for bool {
+    fn from_bits(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn from_bits(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl Standard for f64 {
+    fn from_bits(bits: u64) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (bits >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A range a value of `T` can be drawn from.
+pub trait SampleRange<T> {
+    /// Sample uniformly from `self`.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard generator: xoshiro256++ (small, fast, high-quality;
+    /// not the real `rand` StdRng's ChaCha12, but this workspace only
+    /// needs deterministic jitter, not cryptographic strength).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: u64 = r.gen_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: u64 = r.gen_range(90..=110);
+            assert!((90..=110).contains(&y));
+            let z: usize = r.gen_range(0..3);
+            assert!(z < 3);
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_ends() {
+        let mut r = StdRng::seed_from_u64(1);
+        let (mut lo_seen, mut hi_seen) = (false, false);
+        for _ in 0..10_000 {
+            match r.gen_range(0u64..=1) {
+                0 => lo_seen = true,
+                1 => hi_seen = true,
+                _ => unreachable!(),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+}
