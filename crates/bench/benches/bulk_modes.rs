@@ -1,0 +1,92 @@
+//! Criterion sweep of the bulk-transfer modes: mailbox
+//! (`call_with_payload`, chunked) vs. bulk zero-copy (`call_bulk` +
+//! `with_bulk_mut`) at 64 B, 4 KiB, and 64 KiB per transfer. The
+//! `bulk_modes` binary prints the full matrix with stats attribution;
+//! this bench pins the same comparison into the criterion harness.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ppc_rt::{EntryOptions, Runtime};
+
+const MAILBOX_CHUNK: usize = 4 << 10;
+
+/// O(1) server work (stamp the payload header): the bench isolates
+/// transport cost, matching the `bulk_modes` binary.
+fn stamp(bytes: &mut [u8]) {
+    if let Some(b) = bytes.first_mut() {
+        *b = b.wrapping_add(1);
+    }
+}
+
+fn bench_bulk_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bulk_modes");
+    for size in [64usize, 4 << 10, 64 << 10] {
+        // Mailbox: payload copied into the scratch page and back, one
+        // response Vec per ≤4 KiB chunk.
+        let rt = Runtime::new(1);
+        let ep = rt
+            .bind(
+                "mailbox",
+                EntryOptions { inline_ok: true, ..Default::default() },
+                Arc::new(|ctx| {
+                    let n = ctx.args[0] as usize;
+                    stamp(&mut ctx.scratch()[..n]);
+                    let mut rets = [0u64; 8];
+                    rets[7] = n as u64;
+                    rets
+                }),
+            )
+            .unwrap();
+        let client = rt.client(0, 1);
+        let payload = vec![7u8; size.min(MAILBOX_CHUNK)];
+        let mut dst = vec![0u8; size];
+        g.bench_function(format!("mailbox/{size}"), |b| {
+            b.iter(|| {
+                let mut moved = 0usize;
+                while moved < size {
+                    let n = (size - moved).min(MAILBOX_CHUNK);
+                    let mut args = [0u64; 8];
+                    args[0] = n as u64;
+                    let (_rets, resp) =
+                        client.call_with_payload(ep, args, &payload[..n]).unwrap();
+                    dst[moved..moved + n].copy_from_slice(&resp);
+                    moved += n;
+                }
+                std::hint::black_box(&mut dst);
+            })
+        });
+
+        // Zero-copy: a one-word descriptor rides the 8-word frame; the
+        // handler works on the granted span in place.
+        let rt2 = Runtime::new(1);
+        let zep = rt2
+            .bind(
+                "zerocopy",
+                EntryOptions { inline_ok: true, ..Default::default() },
+                Arc::new(|ctx| {
+                    let desc = ctx.bulk_desc().unwrap();
+                    let n = ctx
+                        .with_bulk_mut(desc, |bytes| {
+                            stamp(bytes);
+                            bytes.len()
+                        })
+                        .unwrap();
+                    [n as u64, 0, 0, 0, 0, 0, 0, 0]
+                }),
+            )
+            .unwrap();
+        let client2 = rt2.client(0, 1);
+        let region = client2.bulk_register(size).unwrap();
+        region.fill(0, &vec![7u8; size]).unwrap();
+        region.grant(zep, true).unwrap();
+        let desc = region.full_desc(true);
+        g.bench_function(format!("zerocopy/{size}"), |b| {
+            b.iter(|| std::hint::black_box(client2.call_bulk(zep, [0; 8], desc).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bulk_modes);
+criterion_main!(benches);

@@ -7,7 +7,10 @@
 //! CopyTo or CopyFrom request" — themselves normal PPC requests to the
 //! Copy Server at [`crate::COPY_SERVER_EP`].
 
+use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 use hector_sim::cpu::{CostCategory, CpuId};
 use hector_sim::sym::{MemAttrs, PAddr, Region};
@@ -51,31 +54,73 @@ pub struct Grant {
 }
 
 /// The Copy Server's grant table.
+///
+/// Authorization (one check per CopyTo/CopyFrom) vastly outnumbers
+/// grant/revoke, so the table is a **read-mostly** structure: lookups take
+/// a shared `RwLock` read — any number of concurrent copy checks proceed
+/// without excluding each other — and only the rare mutations take the
+/// exclusive write side. Grants are indexed `granter → grantee → [Grant]`,
+/// which doubles as an O(1) revoke index: revoking `(granter, grantee)`
+/// removes one nested map entry instead of scanning every grant in the
+/// system (the old single flat `Vec` did a full retain per revoke *and*
+/// a full scan per authorization).
+///
+/// A generation counter stamps every mutation, so cached authorization
+/// decisions can be cheaply re-validated (`generation` unchanged ⇒ the
+/// decision still stands) — the same epoch discipline `ppc-rt`'s region
+/// registry uses per slot.
 #[derive(Debug, Default)]
 pub struct GrantTable {
-    grants: Vec<Grant>,
+    /// `granter → grantee → live grants` behind the read-mostly lock.
+    map: RwLock<HashMap<ProgramId, HashMap<EntryId, Vec<Grant>>>>,
+    /// Bumped once per successful mutation (add or effective revoke).
+    generation: AtomicU64,
 }
 
 impl GrantTable {
     /// Empty table.
     pub fn new() -> Self {
-        GrantTable { grants: Vec::new() }
+        GrantTable::default()
     }
 
-    /// Record a grant.
-    pub fn add(&mut self, g: Grant) {
-        self.grants.push(g);
+    /// Record a grant. Takes the exclusive lock (cold path).
+    pub fn add(&self, g: Grant) {
+        self.map
+            .write()
+            .expect("grant table lock poisoned")
+            .entry(g.granter)
+            .or_default()
+            .entry(g.grantee)
+            .or_default()
+            .push(g);
+        self.generation.fetch_add(1, Ordering::Release);
     }
 
-    /// Remove every grant `granter -> grantee`.
-    pub fn revoke(&mut self, granter: ProgramId, grantee: EntryId) -> usize {
-        let before = self.grants.len();
-        self.grants.retain(|g| !(g.granter == granter && g.grantee == grantee));
-        before - self.grants.len()
+    /// Remove every grant `granter -> grantee`: one O(1) indexed removal,
+    /// no scan over unrelated grants.
+    pub fn revoke(&self, granter: ProgramId, grantee: EntryId) -> usize {
+        let mut map = self.map.write().expect("grant table lock poisoned");
+        let Some(per_granter) = map.get_mut(&granter) else { return 0 };
+        let removed = per_granter.remove(&grantee).map_or(0, |v| v.len());
+        if per_granter.is_empty() {
+            map.remove(&granter);
+        }
+        drop(map);
+        if removed > 0 {
+            self.generation.fetch_add(1, Ordering::Release);
+        }
+        removed
     }
 
     /// Does a grant authorize `accessor_program` to touch
     /// `[base, base+len)` of `granter`'s memory (write if `write`)?
+    ///
+    /// Shared-lock read; scans only `granter`'s grants. All span
+    /// arithmetic is `checked_add`: a query or grant whose `base + len`
+    /// would wrap denies instead of wrapping into a false authorization.
+    /// Zero-length spans are permitted anywhere in `[base, end]`
+    /// inclusive — a zero-byte transfer at the exact end of a region is
+    /// legal.
     pub fn authorizes(
         &self,
         granter: ProgramId,
@@ -84,23 +129,42 @@ impl GrantTable {
         len: u64,
         write: bool,
     ) -> bool {
-        self.grants.iter().any(|g| {
-            g.granter == granter
-                && g.grantee_program == accessor_program
+        let Some(q_end) = base.0.checked_add(len) else { return false };
+        let map = self.map.read().expect("grant table lock poisoned");
+        let Some(per_granter) = map.get(&granter) else { return false };
+        per_granter.values().flatten().any(|g| {
+            g.grantee_program == accessor_program
                 && (!write || g.write)
                 && base.0 >= g.region.base.0
-                && base.0 + len <= g.region.base.0 + g.region.len
+                && g.region
+                    .base
+                    .0
+                    .checked_add(g.region.len)
+                    .is_some_and(|g_end| q_end <= g_end)
         })
     }
 
     /// Number of live grants.
     pub fn len(&self) -> usize {
-        self.grants.len()
+        self.map
+            .read()
+            .expect("grant table lock poisoned")
+            .values()
+            .flat_map(|per| per.values())
+            .map(|v| v.len())
+            .sum()
     }
 
     /// Whether no grants exist.
     pub fn is_empty(&self) -> bool {
-        self.grants.is_empty()
+        self.map.read().expect("grant table lock poisoned").is_empty()
+    }
+
+    /// The mutation generation: unchanged between two reads ⇒ no grant
+    /// was added or revoked in between, so any authorization decision
+    /// made at the first read still holds at the second.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
     }
 }
 
@@ -120,7 +184,7 @@ pub fn copy_server_handler() -> Handler {
                 else {
                     return [u64::MAX, 1, 0, 0, 0, 0, 0, 0];
                 };
-                grants.borrow_mut().add(Grant {
+                grants.add(Grant {
                     granter: ctx.caller_program,
                     grantee,
                     grantee_program,
@@ -132,7 +196,7 @@ pub fn copy_server_handler() -> Handler {
             ops::REVOKE => {
                 let c = sys.kernel.machine.cpu_mut(ctx.cpu);
                 c.with_category(CostCategory::ServerTime, |c| c.exec(25));
-                let n = grants.borrow_mut().revoke(ctx.caller_program, ctx.args[1] as EntryId);
+                let n = grants.revoke(ctx.caller_program, ctx.args[1] as EntryId);
                 [0, n as u64, 0, 0, 0, 0, 0, 0]
             }
             ops::COPY_TO | ops::COPY_FROM => {
@@ -144,7 +208,7 @@ pub fn copy_server_handler() -> Handler {
                 let authorized = {
                     let c = sys.kernel.machine.cpu_mut(ctx.cpu);
                     c.with_category(CostCategory::ServerTime, |c| c.exec(35)); // grant scan
-                    grants.borrow().authorizes(
+                    grants.authorizes(
                         granter,
                         ctx.caller_program,
                         client_base,
@@ -285,7 +349,7 @@ mod tests {
 
     #[test]
     fn grant_table_authorization() {
-        let mut t = GrantTable::new();
+        let t = GrantTable::new();
         t.add(Grant {
             granter: 10,
             grantee: 5,
@@ -309,7 +373,7 @@ mod tests {
 
     #[test]
     fn revoke_removes_all_matching() {
-        let mut t = GrantTable::new();
+        let t = GrantTable::new();
         for _ in 0..3 {
             t.add(Grant {
                 granter: 1,
@@ -328,5 +392,81 @@ mod tests {
         });
         assert_eq!(t.revoke(1, 2), 3);
         assert_eq!(t.len(), 1);
+        // Revoking again, or revoking principals that never granted, is a
+        // clean zero — and leaves the unrelated grant alone.
+        assert_eq!(t.revoke(1, 2), 0);
+        assert_eq!(t.revoke(42, 2), 0);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn zero_length_and_end_of_region_transfers() {
+        let t = GrantTable::new();
+        t.add(Grant {
+            granter: 1,
+            grantee: 2,
+            grantee_program: 3,
+            region: region(0x1000, 0x100),
+            write: true,
+        });
+        // Zero-length anywhere inside, including the exact end: legal.
+        assert!(t.authorizes(1, 3, PAddr(0x1000), 0, false));
+        assert!(t.authorizes(1, 3, PAddr(0x1100), 0, true));
+        // Zero-length one past the end: outside the region.
+        assert!(!t.authorizes(1, 3, PAddr(0x1101), 0, false));
+        // A transfer ending exactly at the region boundary: legal.
+        assert!(t.authorizes(1, 3, PAddr(0x10ff), 1, true));
+        assert!(t.authorizes(1, 3, PAddr(0x1000), 0x100, true));
+        // One byte over the boundary: denied.
+        assert!(!t.authorizes(1, 3, PAddr(0x1000), 0x101, false));
+    }
+
+    #[test]
+    fn overflowing_spans_deny_instead_of_wrapping() {
+        let t = GrantTable::new();
+        t.add(Grant {
+            granter: 1,
+            grantee: 2,
+            grantee_program: 3,
+            region: region(0x1000, 0x100),
+            write: true,
+        });
+        // base + len wraps u64: must deny, not wrap into the region.
+        assert!(!t.authorizes(1, 3, PAddr(u64::MAX), 2, false));
+        assert!(!t.authorizes(1, 3, PAddr(u64::MAX - 1), 0x1002, true));
+        // A grant whose own region wraps can never authorize anything.
+        t.add(Grant {
+            granter: 5,
+            grantee: 2,
+            grantee_program: 3,
+            region: region(u64::MAX - 8, 64),
+            write: true,
+        });
+        assert!(!t.authorizes(5, 3, PAddr(u64::MAX - 8), 1, false));
+    }
+
+    #[test]
+    fn generation_stamps_every_mutation() {
+        let t = GrantTable::new();
+        let g0 = t.generation();
+        let g = Grant {
+            granter: 1,
+            grantee: 2,
+            grantee_program: 3,
+            region: region(0, 64),
+            write: false,
+        };
+        t.add(g);
+        let g1 = t.generation();
+        assert_ne!(g0, g1, "add bumps the generation");
+        // Reads leave the generation alone: a cached decision stays valid.
+        assert!(t.authorizes(1, 3, PAddr(0), 64, false));
+        assert_eq!(t.generation(), g1);
+        assert_eq!(t.revoke(1, 2), 1);
+        let g2 = t.generation();
+        assert_ne!(g1, g2, "revoke bumps the generation");
+        // An ineffective revoke is not a mutation.
+        assert_eq!(t.revoke(1, 2), 0);
+        assert_eq!(t.generation(), g2);
     }
 }

@@ -194,8 +194,10 @@ pub struct PpcSystem {
     worker_handlers: HashMap<Pid, Handler>,
     /// The name table served by the Name Server.
     pub naming: Rc<RefCell<NameTable>>,
-    /// Copy-server grant table.
-    pub grants: Rc<RefCell<copy::GrantTable>>,
+    /// Copy-server grant table (interior read-mostly locking; no
+    /// `RefCell` so concurrent authorization checks never exclude each
+    /// other).
+    pub grants: Rc<copy::GrantTable>,
     /// Log of asynchronous call outcomes (diagnostics/tests).
     pub async_log: Vec<AsyncOutcome>,
     /// Staging area for Frank-mediated service registration: registers
@@ -273,7 +275,7 @@ impl PpcSystem {
             handlers: (0..MAX_ENTRIES).map(|_| None).collect(),
             worker_handlers: HashMap::new(),
             naming: Rc::new(RefCell::new(NameTable::new())),
-            grants: Rc::new(RefCell::new(copy::GrantTable::new())),
+            grants: Rc::new(copy::GrantTable::new()),
             async_log: Vec::new(),
             pending_bind: None,
             stats: FacilityStats::default(),

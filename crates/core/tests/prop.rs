@@ -70,7 +70,7 @@ proptest! {
         write_grant in any::<bool>(),
         write_q in any::<bool>(),
     ) {
-        let mut t = GrantTable::new();
+        let t = GrantTable::new();
         t.add(Grant {
             granter: 1,
             grantee: 2,
@@ -89,7 +89,7 @@ proptest! {
 
     #[test]
     fn revoke_is_complete_and_precise(grantees in prop::collection::vec(0usize..6, 1..30)) {
-        let mut t = GrantTable::new();
+        let t = GrantTable::new();
         for g in &grantees {
             t.add(Grant {
                 granter: 7,

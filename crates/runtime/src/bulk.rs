@@ -1,0 +1,283 @@
+//! The payload plane: per-vCPU size-classed buffer pools and the vectored
+//! copy engine behind [`crate::Client::call_bulk`].
+//!
+//! PR 1 made the *control* plane (8 words each way) lock-free and
+//! shared-nothing; this module applies the same discipline to payloads.
+//! Buffers are allocated 64-byte aligned in power-of-four-ish size
+//! classes, pooled **per virtual processor**, and recycled without ever
+//! crossing CPUs — the CD-pool discipline applied to bulk data. A pool
+//! miss is a Frank slow-path event: the buffer is allocated on demand
+//! (and counted), exactly like worker/CD growth.
+//!
+//! The copy engine (`copy_span`, `exchange_span`) chunks large
+//! transfers so a 1 MiB copy never monopolizes an unbounded stretch of
+//! the store pipeline between progress points, and walks aligned spans
+//! eight bytes at a time when source and destination agree modulo 8.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::ptr::NonNull;
+use std::sync::Arc;
+
+use crossbeam::queue::ArrayQueue;
+
+use crate::region::RegionRegistry;
+use crate::stats::{RuntimeStats, StatsCell};
+use std::sync::atomic::Ordering;
+
+/// Pool buffer alignment: one cache line, so DMA-style word copies never
+/// straddle a line at the buffer head.
+pub const BULK_ALIGN: usize = 64;
+
+/// The size classes, 64 B – 1 MiB. A request takes the smallest class
+/// that fits; anything larger than the top class is refused (the paper's
+/// `MAX_COPY` cap).
+pub const SIZE_CLASSES: [usize; 8] =
+    [64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20];
+
+/// Per-class pool depth: enough to keep a ping-pong workload warm without
+/// letting the big classes pin tens of megabytes per vCPU.
+fn class_depth(class: usize) -> usize {
+    ((4 << 20) / SIZE_CLASSES[class]).clamp(2, 64)
+}
+
+/// The class index for a request of `len` bytes, or `None` if it exceeds
+/// the top class.
+pub fn class_for(len: usize) -> Option<usize> {
+    SIZE_CLASSES.iter().position(|c| len <= *c)
+}
+
+/// A pooled, 64-byte-aligned byte buffer. Dropping it outside a pool
+/// frees the allocation; returning it via [`BufferPool::put`] recycles
+/// it. Contents persist across recycling (the serially-shared-stacks
+/// caveat from §2 applies to payload buffers too).
+pub struct PoolBuf {
+    ptr: NonNull<u8>,
+    class: u8,
+}
+
+// Safety: the buffer is a plain owned allocation.
+unsafe impl Send for PoolBuf {}
+
+impl PoolBuf {
+    fn alloc(class: usize) -> PoolBuf {
+        let layout = Self::layout(class);
+        // Safety: layout has non-zero size. Zeroed so the buffer is fully
+        // initialized from birth — `as_mut_slice` is sound, and a fresh
+        // region never leaks a previous allocation's bytes.
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw) else { handle_alloc_error(layout) };
+        PoolBuf { ptr, class: class as u8 }
+    }
+
+    fn layout(class: usize) -> Layout {
+        Layout::from_size_align(SIZE_CLASSES[class], BULK_ALIGN).expect("valid bulk layout")
+    }
+
+    /// Capacity (the class size — at least what was requested).
+    pub fn cap(&self) -> usize {
+        SIZE_CLASSES[self.class as usize]
+    }
+
+    pub(crate) fn as_mut_ptr(&self) -> *mut u8 {
+        self.ptr.as_ptr()
+    }
+
+    /// The whole buffer as a mutable slice (servers using pooled buffers
+    /// as private scratch — the bulk-copy pattern in `bulk_modes`).
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        // Safety: owned, zero-initialized allocation of `cap()` bytes.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.cap()) }
+    }
+}
+
+impl Drop for PoolBuf {
+    fn drop(&mut self) {
+        // Safety: allocated with the identical layout in `alloc`.
+        unsafe { dealloc(self.ptr.as_ptr(), Self::layout(self.class as usize)) };
+    }
+}
+
+/// One vCPU's payload-buffer pool: a lock-free queue per size class.
+pub struct BufferPool {
+    classes: Vec<ArrayQueue<PoolBuf>>,
+}
+
+impl BufferPool {
+    /// An empty pool (buffers are created on first miss — the same lazy
+    /// growth as the CD pools).
+    pub fn new() -> BufferPool {
+        BufferPool {
+            classes: (0..SIZE_CLASSES.len()).map(|c| ArrayQueue::new(class_depth(c))).collect(),
+        }
+    }
+
+    /// Take a buffer of at least `len` bytes: lock-free pop on a hit, a
+    /// counted Frank slow-path allocation on a miss. `None` when `len`
+    /// exceeds the top size class.
+    pub fn take(&self, len: usize, cell: &StatsCell) -> Option<PoolBuf> {
+        let class = class_for(len)?;
+        match self.classes[class].pop() {
+            Some(b) => {
+                cell.bulk_pool_hits.fetch_add(1, Ordering::Relaxed);
+                Some(b)
+            }
+            None => {
+                cell.bulk_pool_misses.fetch_add(1, Ordering::Relaxed);
+                cell.frank_redirects.fetch_add(1, Ordering::Relaxed);
+                Some(PoolBuf::alloc(class))
+            }
+        }
+    }
+
+    /// Recycle a buffer (dropped — freed — when its class queue is full:
+    /// surplus reclamation, as with workers and CDs).
+    pub fn put(&self, buf: PoolBuf) {
+        let _ = self.classes[buf.class as usize].push(buf);
+    }
+
+    /// Pooled buffers in `class` (diagnostics).
+    pub fn idle_in_class(&self, class: usize) -> usize {
+        self.classes[class].len()
+    }
+}
+
+impl Default for BufferPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Copy chunk: large transfers advance in 64 KiB steps.
+const COPY_CHUNK: usize = 64 << 10;
+/// Block size for the in-place exchange (stack temporary, no allocation).
+const XCHG_BLOCK: usize = 512;
+
+/// Chunked, alignment-aware copy of `len` bytes. When source and
+/// destination are congruent modulo 8 the body runs eight bytes at a
+/// time ([`u64`] lanes); otherwise it falls back to byte granularity.
+///
+/// # Safety
+/// `src..src+len` must be readable, `dst..dst+len` writable, and the two
+/// spans must not overlap.
+pub(crate) unsafe fn copy_span(dst: *mut u8, src: *const u8, len: usize) {
+    let mut off = 0;
+    while off < len {
+        let n = (len - off).min(COPY_CHUNK);
+        let d = dst.add(off);
+        let s = src.add(off);
+        if (d as usize) & 7 == (s as usize) & 7 {
+            // Align to the word boundary, stream words, mop up the tail.
+            let head = ((8 - ((d as usize) & 7)) & 7).min(n);
+            std::ptr::copy_nonoverlapping(s, d, head);
+            let words = (n - head) / 8;
+            std::ptr::copy_nonoverlapping(
+                s.add(head).cast::<u64>(),
+                d.add(head).cast::<u64>(),
+                words,
+            );
+            let tail = head + words * 8;
+            std::ptr::copy_nonoverlapping(s.add(tail), d.add(tail), n - tail);
+        } else {
+            std::ptr::copy_nonoverlapping(s, d, n);
+        }
+        off += n;
+    }
+}
+
+/// Swap `len` bytes between `a` and `b` through a fixed stack block — the
+/// runtime's Exchange for payloads, allocation-free so it stays legal on
+/// the warm path.
+///
+/// # Safety
+/// Both spans must be valid for read+write and must not overlap.
+pub(crate) unsafe fn exchange_span(a: *mut u8, b: *mut u8, len: usize) {
+    let mut tmp = [0u8; XCHG_BLOCK];
+    let mut off = 0;
+    while off < len {
+        let n = (len - off).min(XCHG_BLOCK);
+        std::ptr::copy_nonoverlapping(a.add(off), tmp.as_mut_ptr(), n);
+        std::ptr::copy_nonoverlapping(b.add(off), a.add(off), n);
+        std::ptr::copy_nonoverlapping(tmp.as_ptr(), b.add(off), n);
+        off += n;
+    }
+}
+
+/// The runtime's bulk-data state: one registry and one buffer pool per
+/// virtual processor, plus the sharded stats the engine accounts to.
+/// Shared into every bound entry so handlers reach it without a back
+/// reference to the [`crate::Runtime`].
+pub struct BulkState {
+    registries: Vec<RegionRegistry>,
+    pools: Vec<BufferPool>,
+    pub(crate) stats: Arc<RuntimeStats>,
+}
+
+impl BulkState {
+    pub(crate) fn new(n_vcpus: usize, stats: Arc<RuntimeStats>) -> Arc<BulkState> {
+        Arc::new(BulkState {
+            registries: (0..n_vcpus).map(|_| RegionRegistry::new()).collect(),
+            pools: (0..n_vcpus).map(|_| BufferPool::new()).collect(),
+            stats,
+        })
+    }
+
+    /// vCPU `v`'s region registry.
+    pub fn registry(&self, v: usize) -> &RegionRegistry {
+        &self.registries[v]
+    }
+
+    /// vCPU `v`'s payload-buffer pool.
+    pub fn pool(&self, v: usize) -> &BufferPool {
+        &self.pools[v]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_cover_and_align() {
+        assert_eq!(class_for(1), Some(0));
+        assert_eq!(class_for(64), Some(0));
+        assert_eq!(class_for(65), Some(1));
+        assert_eq!(class_for(1 << 20), Some(SIZE_CLASSES.len() - 1));
+        assert_eq!(class_for((1 << 20) + 1), None);
+        let cell = StatsCell::default();
+        let pool = BufferPool::new();
+        for len in [1usize, 64, 100, 4096, 1 << 20] {
+            let b = pool.take(len, &cell).unwrap();
+            assert!(b.cap() >= len);
+            assert_eq!(b.as_mut_ptr() as usize % BULK_ALIGN, 0, "64-byte aligned");
+            pool.put(b);
+        }
+        // Four class-cold takes missed; the second class-0 take (len 64,
+        // after len 1 recycled its buffer) hit.
+        assert_eq!(cell.bulk_pool_misses.load(Ordering::Relaxed), 4);
+        assert_eq!(cell.bulk_pool_hits.load(Ordering::Relaxed), 1);
+        let b = pool.take(4096, &cell).unwrap();
+        assert_eq!(cell.bulk_pool_hits.load(Ordering::Relaxed), 2);
+        pool.put(b);
+    }
+
+    #[test]
+    fn copy_and_exchange_spans() {
+        // Cover aligned fast lanes, misaligned fallback, and chunking.
+        for (src_off, dst_off, len) in
+            [(0usize, 0usize, 4096usize), (1, 1, 1000), (1, 2, 777), (0, 0, COPY_CHUNK + 123), (3, 3, 0)]
+        {
+            let src: Vec<u8> = (0..src_off + len).map(|i| (i * 7) as u8).collect();
+            let mut dst = vec![0u8; dst_off + len];
+            unsafe {
+                copy_span(dst.as_mut_ptr().add(dst_off), src.as_ptr().add(src_off), len)
+            };
+            assert_eq!(&dst[dst_off..], &src[src_off..], "copy ({src_off},{dst_off},{len})");
+        }
+        let mut a: Vec<u8> = (0..2000u32).map(|i| i as u8).collect();
+        let mut b: Vec<u8> = (0..2000u32).map(|i| (i * 3) as u8).collect();
+        let (a0, b0) = (a.clone(), b.clone());
+        unsafe { exchange_span(a.as_mut_ptr(), b.as_mut_ptr(), 2000) };
+        assert_eq!(a, b0);
+        assert_eq!(b, a0);
+    }
+}

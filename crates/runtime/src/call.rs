@@ -32,8 +32,13 @@ impl Runtime {
         program: ProgramId,
         sync: bool,
     ) -> Result<Option<[u64; 8]>, RtError> {
-        if sync && self.entry(ep)?.opts.inline_ok {
-            return self.dispatch_inline(vcpu, ep, args, program, None).map(|(r, _)| Some(r));
+        if sync {
+            let entry = self.entry(ep)?;
+            if entry.opts.inline_ok {
+                return self
+                    .dispatch_inline(vcpu, ep, args, program, None, entry)
+                    .map(|(r, _)| Some(r));
+            }
         }
         let (entry, worker, slot, held) = self.prepare(vcpu, ep, args, program, sync)?;
         worker.post(Arc::clone(&slot));
@@ -98,8 +103,10 @@ impl Runtime {
             "payload exceeds the {}-byte scratch page",
             crate::slot::SCRATCH_BYTES
         );
-        if self.entry(ep)?.opts.inline_ok {
-            let (rets, resp) = self.dispatch_inline(vcpu, ep, args, program, Some(payload))?;
+        let probe = self.entry(ep)?;
+        if probe.opts.inline_ok {
+            let (rets, resp) =
+                self.dispatch_inline(vcpu, ep, args, program, Some(payload), probe)?;
             return Ok((rets, resp.expect("payload dispatch returns a response")));
         }
         let (entry, worker, slot, held) = self.prepare_payload(vcpu, ep, args, program, payload)?;
@@ -154,9 +161,9 @@ impl Runtime {
         args: [u64; 8],
         program: ProgramId,
         payload: Option<&[u8]>,
+        entry: &crate::entry::EntryShared,
     ) -> Result<([u64; 8], Option<Vec<u8>>), RtError> {
         let vc = self.vcpu(vcpu)?;
-        let entry = self.entry(ep)?;
         let cell = self.stats.cell(vcpu);
         // Claim an in-flight slot, then re-check state — same kill
         // protocol as the hand-off path.
@@ -165,49 +172,76 @@ impl Runtime {
             entry.active.fetch_sub(1, Ordering::AcqRel);
             return Err(RtError::EntryDead(ep));
         }
-        let slot = vc.take_slot(cell);
-        if let Some(p) = payload {
-            slot.write_payload(p);
-        }
         let handler = entry.handler();
+        // A payload call owns a CD up front (the scratch page carries the
+        // bytes both ways); a plain call borrows one lazily, only if the
+        // handler asks — descriptor-only bulk calls skip the CD pool.
+        let slot = payload.map(|p| {
+            let s = vc.take_slot(cell);
+            s.write_payload(p);
+            s
+        });
         // Fault containment matches the worker loop: a panicking handler
         // unwinds to here, not through the caller's frames.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            slot.with_scratch(|scratch| {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &slot {
+            Some(s) => s.with_scratch(|scratch| {
                 let mut ctx = CallCtx {
                     args,
                     caller_program: program,
                     vcpu,
                     ep,
-                    scratch,
+                    scratch: crate::ScratchRef::Ready(scratch),
                     worker: None,
                     entry,
                 };
-                handler(&mut ctx)
-            })
+                (handler(&mut ctx), None)
+            }),
+            None => {
+                let mut ctx = CallCtx {
+                    args,
+                    caller_program: program,
+                    vcpu,
+                    ep,
+                    scratch: crate::ScratchRef::Lazy { vc, cell, slot: None },
+                    worker: None,
+                    entry,
+                };
+                let rets = handler(&mut ctx);
+                (rets, ctx.take_lazy_slot())
+            }
         }));
         entry.finish_call();
         let killed = entry.entry_state() == EntryState::Dead;
         match result {
-            Ok(rets) => {
+            Ok((rets, lazy)) => {
                 // The slot never left IDLE, so the response is read
                 // straight off the scratch page before recycling.
-                let response = payload.map(|_| {
-                    slot.with_scratch(|s| {
-                        s[..(rets[7] as usize).min(crate::slot::SCRATCH_BYTES)].to_vec()
-                    })
+                let response = slot.map(|s| {
+                    let r = s.with_scratch(|sc| {
+                        sc[..(rets[7] as usize).min(crate::slot::SCRATCH_BYTES)].to_vec()
+                    });
+                    vc.put_slot(s);
+                    r
                 });
-                vc.put_slot(slot);
+                if let Some(s) = lazy {
+                    vc.put_slot(s);
+                }
                 if killed {
                     return Err(RtError::Aborted(ep));
                 }
                 entry.calls.fetch_add(1, Ordering::Relaxed);
-                cell.calls.fetch_add(1, Ordering::Relaxed);
+                // `inline_calls` alone records the completion: the
+                // aggregate `calls` getter derives hand-off + inline, so
+                // the fast path pays one counter increment, not two.
                 cell.inline_calls.fetch_add(1, Ordering::Relaxed);
                 Ok((rets, response))
             }
             Err(_) => {
-                vc.put_slot(slot);
+                // A lazily-borrowed CD unwound with the context (freed,
+                // not repooled) — faults are cold; the pool regrows.
+                if let Some(s) = slot {
+                    vc.put_slot(s);
+                }
                 if killed {
                     return Err(RtError::Aborted(ep));
                 }

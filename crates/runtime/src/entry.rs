@@ -97,6 +97,10 @@ pub struct EntryShared {
     /// so the rendezvous is spin-paired on both sides; updated by
     /// [`Runtime::set_spin_policy`] through the registry.
     pub(crate) idle_spin: AtomicU32,
+    /// The runtime's payload plane, shared in at bind so handlers reach
+    /// region registries and buffer pools from [`crate::CallCtx`] without
+    /// a back reference to the [`Runtime`].
+    pub(crate) bulk: Arc<crate::bulk::BulkState>,
     pools: Vec<WorkerPool>,
 }
 
@@ -108,6 +112,7 @@ impl EntryShared {
         handler: Handler,
         n_vcpus: usize,
         idle_spin: u32,
+        bulk: Arc<crate::bulk::BulkState>,
     ) -> Self {
         EntryShared {
             id,
@@ -119,6 +124,7 @@ impl EntryShared {
             handler_ptr: AtomicPtr::new(Box::into_raw(Box::new(handler))),
             handler_graveyard: Mutex::new(Vec::new()),
             idle_spin: AtomicU32::new(idle_spin),
+            bulk,
             pools: (0..n_vcpus).map(|_| WorkerPool::new()).collect(),
         }
     }
@@ -209,6 +215,7 @@ impl Runtime {
             handler,
             self.n_vcpus(),
             crate::worker_idle_budget(self.spin_policy()),
+            Arc::clone(self.bulk()),
         ));
         for v in 0..self.n_vcpus() {
             for _ in 0..opts.initial_workers {

@@ -58,9 +58,11 @@
 
 pub mod auth;
 pub mod baseline;
+pub mod bulk;
 pub mod call;
 pub mod entry;
 pub mod naming;
+pub mod region;
 pub mod slot;
 pub mod stats;
 pub mod worker;
@@ -70,7 +72,9 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+pub use bulk::{BufferPool, BulkState, PoolBuf};
 pub use entry::{EntryOptions, EntryState};
+pub use region::{BulkDesc, RegionId, MAX_BULK, MAX_REGIONS};
 pub use stats::{RuntimeStats, Snapshot, StatsCell};
 
 use entry::EntryShared;
@@ -95,6 +99,15 @@ pub enum RtError {
     EntryDead(EntryId),
     /// The call ran while the entry point was hard-killed.
     Aborted(EntryId),
+    /// Bulk descriptor malformed, region unknown, span out of bounds, or
+    /// the region table is exhausted for this vCPU.
+    BadBulk,
+    /// Bulk access denied: no matching grant, wrong owner, or the
+    /// descriptor does not permit the requested direction.
+    BulkDenied(RegionId),
+    /// The region's permissions changed (grant/revoke/unregister) while
+    /// the transfer was in flight; the transfer is not acknowledged.
+    BulkRevoked(RegionId),
     /// The entry table is full, or the requested slot is taken.
     TableFull,
     /// Operation requires ownership of the entry point.
@@ -114,6 +127,11 @@ impl std::fmt::Display for RtError {
             RtError::UnknownEntry(ep) => write!(f, "unknown entry point {ep}"),
             RtError::EntryDead(ep) => write!(f, "entry point {ep} is dead"),
             RtError::Aborted(ep) => write!(f, "call aborted by hard kill of {ep}"),
+            RtError::BadBulk => write!(f, "bulk descriptor malformed or out of bounds"),
+            RtError::BulkDenied(r) => write!(f, "bulk access to region {r} denied"),
+            RtError::BulkRevoked(r) => {
+                write!(f, "bulk region {r} permissions changed mid-transfer")
+            }
             RtError::TableFull => write!(f, "entry table full or slot taken"),
             RtError::NotOwner => write!(f, "caller does not own this entry point"),
             RtError::BadVcpu(v) => write!(f, "virtual processor {v} does not exist"),
@@ -163,6 +181,24 @@ pub mod spin {
     pub const PARK_THRESHOLD_NS: u64 = 100_000;
 }
 
+/// Where a handler's scratch page comes from.
+pub(crate) enum ScratchRef<'a> {
+    /// Materialized by the dispatcher: hand-off workers and payload calls
+    /// own a CD before the handler runs.
+    Ready(&'a mut [u8]),
+    /// Inline dispatch without a payload: no CD is borrowed unless the
+    /// handler actually asks for [`CallCtx::scratch`]. Descriptor-only
+    /// bulk calls never touch the CD pool at all — their payload lives in
+    /// the granted region, so charging them two pool operations for a
+    /// page they never read would violate the fast path's "touch nothing
+    /// you don't need" discipline.
+    Lazy {
+        vc: &'a VcpuState,
+        cell: &'a stats::StatsCell,
+        slot: Option<Arc<slot::CallSlot>>,
+    },
+}
+
 /// Context a service handler receives for one call.
 pub struct CallCtx<'a> {
     /// The 8 argument words.
@@ -173,7 +209,7 @@ pub struct CallCtx<'a> {
     pub vcpu: usize,
     /// The entry point being invoked.
     pub ep: EntryId,
-    pub(crate) scratch: &'a mut [u8],
+    pub(crate) scratch: ScratchRef<'a>,
     /// `None` when the call executes inline on the caller's thread
     /// ([`EntryOptions::inline_ok`]) — there is no worker to configure.
     pub(crate) worker: Option<&'a WorkerHandle>,
@@ -185,8 +221,30 @@ impl<'a> CallCtx<'a> {
     /// across calls and, by default, across services — exactly the paper's
     /// serially-shared stacks, with the same caveat that secrets should
     /// not be left behind (use trust groups or hold-CD mode for that).
+    ///
+    /// Inline calls without a payload borrow the page lazily on first
+    /// use; handlers that never ask for it cost the CD pool nothing.
     pub fn scratch(&mut self) -> &mut [u8] {
-        self.scratch
+        match &mut self.scratch {
+            ScratchRef::Ready(s) => s,
+            ScratchRef::Lazy { vc, cell, slot } => {
+                let s = slot.get_or_insert_with(|| vc.take_slot(cell));
+                // Safety: the slot was popped from the pool, so this
+                // context owns it exclusively until dispatch recycles it;
+                // the borrow is tied to `&mut self`.
+                unsafe {
+                    std::slice::from_raw_parts_mut(s.scratch_raw(), slot::SCRATCH_BYTES)
+                }
+            }
+        }
+    }
+
+    /// Reclaim a lazily-borrowed CD so the dispatcher can repool it.
+    pub(crate) fn take_lazy_slot(&mut self) -> Option<Arc<slot::CallSlot>> {
+        match &mut self.scratch {
+            ScratchRef::Lazy { slot, .. } => slot.take(),
+            ScratchRef::Ready(_) => None,
+        }
     }
 
     /// Replace **this worker's** handling routine for subsequent calls —
@@ -205,6 +263,132 @@ impl<'a> CallCtx<'a> {
     /// Number of calls this entry point has completed (diagnostics).
     pub fn entry_calls(&self) -> u64 {
         self.entry.calls.load(Ordering::Relaxed)
+    }
+
+    // ---- bulk data: the handler side of the payload plane (§4.2) ----
+    //
+    // Every accessor below is warm-path legal: authorization is a
+    // lock-free epoch-stamped registry read on this vCPU, transfers go
+    // through the vectored copy engine, and accounting is a Relaxed
+    // increment on this vCPU's own stats cell. The server's identity for
+    // the grant check is (entry, entry owner) — the same pair
+    // `ppc-core`'s Copy Server validates.
+
+    /// The bulk descriptor riding in `args[7]`, if the caller sent one
+    /// (see [`Client::call_bulk`]).
+    pub fn bulk_desc(&self) -> Option<BulkDesc> {
+        BulkDesc::decode(self.args[7])
+    }
+
+    /// Begin an authorized access to `desc`'s span on behalf of this
+    /// entry, counting denials.
+    fn bulk_access(&self, desc: BulkDesc, write: bool) -> Result<region::Access<'_>, RtError> {
+        let r = self.entry.bulk.registry(self.vcpu).begin(
+            desc,
+            self.ep,
+            self.entry.opts.owner,
+            self.caller_program,
+            write,
+            false,
+        );
+        if r.is_err() {
+            self.entry.bulk.stats.cell(self.vcpu).bulk_denied.fetch_add(1, Ordering::Relaxed);
+        }
+        r
+    }
+
+    /// Settle a finished access: count the moved bytes on success, a
+    /// denial when the authorization lapsed mid-transfer.
+    fn bulk_settle(&self, acc: region::Access<'_>, n: usize) -> Result<usize, RtError> {
+        let cell = self.entry.bulk.stats.cell(self.vcpu);
+        match acc.finish() {
+            Ok(()) => {
+                cell.bulk_bytes.fetch_add(n as u64, Ordering::Relaxed);
+                Ok(n)
+            }
+            Err(e) => {
+                cell.bulk_denied.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// CopyFrom (§4.2): copy up to `dst.len()` bytes of the granted span
+    /// into server memory. Returns the bytes copied. Requires a read
+    /// grant.
+    pub fn copy_from(&self, desc: BulkDesc, dst: &mut [u8]) -> Result<usize, RtError> {
+        let acc = self.bulk_access(desc, false)?;
+        let n = acc.len.min(dst.len());
+        // Safety: `acc` authorizes [ptr, ptr+n); `dst` is a live unique
+        // borrow and cannot alias registry memory.
+        unsafe { bulk::copy_span(dst.as_mut_ptr(), acc.ptr, n) };
+        self.bulk_settle(acc, n)
+    }
+
+    /// CopyTo (§4.2): copy up to the span length from server memory into
+    /// the granted span. Returns the bytes copied. Requires a write grant
+    /// and a writable descriptor.
+    pub fn copy_to(&self, desc: BulkDesc, src: &[u8]) -> Result<usize, RtError> {
+        let acc = self.bulk_access(desc, true)?;
+        let n = acc.len.min(src.len());
+        // Safety: as in `copy_from`, directions reversed.
+        unsafe { bulk::copy_span(acc.ptr, src.as_ptr(), n) };
+        self.bulk_settle(acc, n)
+    }
+
+    /// Exchange for payloads: swap bytes between the granted span and
+    /// `buf` (both directions in one pass, no allocation). Returns the
+    /// bytes swapped. Requires a write grant.
+    pub fn exchange_bulk(&self, desc: BulkDesc, buf: &mut [u8]) -> Result<usize, RtError> {
+        let acc = self.bulk_access(desc, true)?;
+        let n = acc.len.min(buf.len());
+        // Safety: as in `copy_to`; `exchange_span` reads and writes both.
+        unsafe { bulk::exchange_span(acc.ptr, buf.as_mut_ptr(), n) };
+        self.bulk_settle(acc, n)
+    }
+
+    /// Zero-copy read: run `f` over the granted span **in place** — no
+    /// bytes move at all. If the authorization lapses while `f` runs the
+    /// result is discarded and [`RtError::BulkRevoked`] is returned, so a
+    /// revoked access is never acknowledged.
+    pub fn with_bulk<R>(&self, desc: BulkDesc, f: impl FnOnce(&[u8]) -> R) -> Result<R, RtError> {
+        let acc = self.bulk_access(desc, false)?;
+        // Safety: span authorized; shared read view for the closure's
+        // duration, protected from unmapping by the reader announcement.
+        let r = f(unsafe { std::slice::from_raw_parts(acc.ptr, acc.len) });
+        // No bytes moved: settle directly, skipping the byte-counter RMW
+        // (`bulk_bytes += 0` would cost a locked add on the warm path).
+        match acc.finish() {
+            Ok(()) => Ok(r),
+            Err(e) => {
+                self.entry.bulk.stats.cell(self.vcpu).bulk_denied.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Zero-copy write: run `f` over the granted span in place with
+    /// mutable access. Requires a write grant. The revocation caveat of
+    /// [`CallCtx::with_bulk`] applies — plus, since `f` mutates client
+    /// memory directly, a revoked access may still have written bytes
+    /// (the client revoked mid-flight; the transfer is unacknowledged).
+    pub fn with_bulk_mut<R>(
+        &self,
+        desc: BulkDesc,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Result<R, RtError> {
+        let acc = self.bulk_access(desc, true)?;
+        // Safety: span authorized for write; the registry protocol keeps
+        // the memory mapped while the reader announcement is held.
+        let r = f(unsafe { std::slice::from_raw_parts_mut(acc.ptr, acc.len) });
+        // As in `with_bulk`: no byte counter to bump for in-place access.
+        match acc.finish() {
+            Ok(()) => Ok(r),
+            Err(e) => {
+                self.entry.bulk.stats.cell(self.vcpu).bulk_denied.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
     }
 }
 
@@ -302,8 +486,11 @@ pub struct Runtime {
     registry: Mutex<Vec<Arc<EntryShared>>>,
     /// Name table (cold path).
     pub(crate) names: Mutex<std::collections::HashMap<String, EntryId>>,
-    /// Facility counters, sharded per vCPU.
-    pub stats: RuntimeStats,
+    /// Facility counters, sharded per vCPU. (`Arc` so the bulk engine can
+    /// account from handler context without a back reference.)
+    pub stats: Arc<RuntimeStats>,
+    /// The payload plane: per-vCPU region registries and buffer pools.
+    bulk: Arc<bulk::BulkState>,
     /// Pin worker threads to cores.
     pin: bool,
     /// Encoded [`SpinPolicy`] discriminant (see `SPIN_*` constants).
@@ -346,12 +533,14 @@ impl Runtime {
     /// each vCPU's CD pool.
     pub fn with_options(n_vcpus: usize, pin: bool, initial_cds: usize) -> Arc<Self> {
         assert!(n_vcpus >= 1, "at least one virtual processor");
+        let stats = Arc::new(RuntimeStats::new(n_vcpus));
         Arc::new(Runtime {
             vcpus: (0..n_vcpus).map(|i| VcpuState::new(i, initial_cds)).collect(),
             table: (0..MAX_ENTRIES).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect(),
             registry: Mutex::new(Vec::new()),
             names: Mutex::new(std::collections::HashMap::new()),
-            stats: RuntimeStats::new(n_vcpus),
+            bulk: bulk::BulkState::new(n_vcpus, Arc::clone(&stats)),
+            stats,
             pin,
             spin_mode: AtomicU8::new(SPIN_ADAPTIVE),
             spin_fixed: AtomicU32::new(spin::DEFAULT_BUDGET),
@@ -412,6 +601,11 @@ impl Runtime {
         self.pin
     }
 
+    /// The bulk-data state (per-vCPU region registries and buffer pools).
+    pub fn bulk(&self) -> &Arc<bulk::BulkState> {
+        &self.bulk
+    }
+
     /// A client bound to vCPU `vcpu` with program identity `program`.
     /// Calls made through the client use that vCPU's pools, mirroring
     /// "requests are always handled on the same processor as the client".
@@ -469,6 +663,11 @@ impl Client {
     /// slot's scratch page, the handler rewrites it in place, and the
     /// first `rets[7]` bytes come back as the response payload. Panics if
     /// `payload` exceeds the scratch page.
+    ///
+    /// This is the **memcpy-through-mailbox** path: the payload is copied
+    /// into the slot, and the response copied back out. For transfers
+    /// where the copies matter, use a registered region and
+    /// [`Client::call_bulk`] instead.
     pub fn call_with_payload(
         &self,
         ep: EntryId,
@@ -476,6 +675,170 @@ impl Client {
         payload: &[u8],
     ) -> Result<([u64; 8], Vec<u8>), RtError> {
         self.rt.dispatch_payload(self.vcpu, ep, args, self.program, payload)
+    }
+
+    /// Synchronous PPC carrying a bulk-region descriptor: `desc` is
+    /// packed into `args[7]` and rides the ordinary 8-word frame, so
+    /// every dispatch mode (inline, spin-then-park, park) works
+    /// unchanged and nothing is copied at dispatch time. The handler
+    /// recovers the descriptor with [`CallCtx::bulk_desc`] and accesses
+    /// the granted span through [`CallCtx::copy_from`] /
+    /// [`CallCtx::copy_to`] / [`CallCtx::with_bulk_mut`].
+    ///
+    /// The warm path performs no lock acquisitions and no allocations on
+    /// top of [`Client::call`]'s — encoding a descriptor is pure bit
+    /// packing.
+    pub fn call_bulk(
+        &self,
+        ep: EntryId,
+        mut args: [u64; 8],
+        desc: BulkDesc,
+    ) -> Result<[u64; 8], RtError> {
+        args[7] = desc.encode();
+        let r = self.call(ep, args)?;
+        self.rt.stats.cell(self.vcpu).bulk_calls.fetch_add(1, Ordering::Relaxed);
+        Ok(r)
+    }
+
+    /// Register a `len`-byte shared region backed by this vCPU's buffer
+    /// pool (lock-free pool hit when warm; a counted Frank allocation
+    /// otherwise). The region is owned by this client's program; grant
+    /// entry points access with [`BulkRegion::grant`], then pass
+    /// descriptors to [`Client::call_bulk`]. Dropping the handle revokes
+    /// everything and recycles the buffer.
+    ///
+    /// Errors with [`RtError::BadBulk`] when `len` exceeds [`MAX_BULK`],
+    /// or [`RtError::TableFull`] when this vCPU's [`MAX_REGIONS`] region
+    /// slots are all taken.
+    pub fn bulk_register(&self, len: usize) -> Result<BulkRegion, RtError> {
+        let bulk = self.rt.bulk();
+        let buf = bulk
+            .pool(self.vcpu)
+            .take(len, self.rt.stats.cell(self.vcpu))
+            .ok_or(RtError::BadBulk)?;
+        let id = bulk.registry(self.vcpu).register(buf, len, self.program)?;
+        Ok(BulkRegion {
+            rt: Arc::clone(&self.rt),
+            vcpu: self.vcpu,
+            program: self.program,
+            id,
+            len,
+        })
+    }
+}
+
+/// A registered shared region: the client-side handle to one entry in
+/// its vCPU's region registry. The owner fills and drains it in place
+/// ([`BulkRegion::fill`], [`BulkRegion::read_into`],
+/// [`BulkRegion::with_bytes`]), grants servers access, and mints
+/// descriptors for [`Client::call_bulk`]. Dropped ⇒ unregistered, buffer
+/// recycled to the vCPU pool (after in-flight transfers drain).
+pub struct BulkRegion {
+    rt: Arc<Runtime>,
+    vcpu: usize,
+    program: ProgramId,
+    id: RegionId,
+    len: usize,
+}
+
+impl BulkRegion {
+    /// The region's ID within its vCPU registry.
+    pub fn id(&self) -> RegionId {
+        self.id
+    }
+
+    /// Registered length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the region is zero-length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A descriptor for `[offset, offset + len)`; `write` lets the
+    /// server modify the span (still subject to its grant).
+    pub fn desc(&self, offset: u32, len: u32, write: bool) -> BulkDesc {
+        BulkDesc { region: self.id, offset, len, write }
+    }
+
+    /// A descriptor covering the whole region.
+    pub fn full_desc(&self, write: bool) -> BulkDesc {
+        self.desc(0, self.len as u32, write)
+    }
+
+    /// Grant entry `ep` access (write access if `write`), bound to the
+    /// program owning `ep` right now — `ppc-core`'s grant semantics: a
+    /// later re-bind of the same entry ID under a different owner does
+    /// not inherit the grant. Cold path.
+    pub fn grant(&self, ep: EntryId, write: bool) -> Result<(), RtError> {
+        let e = self.rt.entry(ep)?;
+        if e.entry_state() != EntryState::Active {
+            return Err(RtError::EntryDead(ep));
+        }
+        self.rt.bulk().registry(self.vcpu).grant(self.id, self.program, ep, e.opts.owner, write)
+    }
+
+    /// Revoke every grant to `ep`. Blocks until in-flight transfers
+    /// drain; once this returns, no transfer under the revoked grant can
+    /// report success. Returns the number of grants removed.
+    pub fn revoke(&self, ep: EntryId) -> Result<usize, RtError> {
+        self.rt.bulk().registry(self.vcpu).revoke(self.id, self.program, ep)
+    }
+
+    /// Owner access: run `f` over `[offset, offset+len)` of the region.
+    fn with_span<R>(
+        &self,
+        offset: u32,
+        len: u32,
+        f: impl FnOnce(*mut u8, usize) -> R,
+    ) -> Result<R, RtError> {
+        let desc = self.desc(offset, len, true);
+        let acc = self.rt.bulk().registry(self.vcpu).begin(
+            desc, 0, self.program, self.program, true, true,
+        )?;
+        let r = f(acc.ptr, acc.len);
+        acc.finish()?;
+        Ok(r)
+    }
+
+    /// Owner write: copy `data` into the region at `offset` (the fill
+    /// before a call). Lock-free; uses the vectored copy engine.
+    pub fn fill(&self, offset: u32, data: &[u8]) -> Result<(), RtError> {
+        self.with_span(offset, data.len() as u32, |ptr, n| {
+            // Safety: span validated by the registry; `data` cannot alias
+            // registry memory.
+            unsafe { bulk::copy_span(ptr, data.as_ptr(), n) };
+        })
+    }
+
+    /// Owner read: copy `[offset, offset+dst.len())` out of the region
+    /// (the drain after a call).
+    pub fn read_into(&self, offset: u32, dst: &mut [u8]) -> Result<(), RtError> {
+        self.with_span(offset, dst.len() as u32, |ptr, n| {
+            // Safety: as in `fill`, directions reversed.
+            unsafe { bulk::copy_span(dst.as_mut_ptr(), ptr, n) };
+        })
+    }
+
+    /// Owner zero-copy access: run `f` over the whole region in place.
+    pub fn with_bytes<R>(&self, f: impl FnOnce(&mut [u8]) -> R) -> Result<R, RtError> {
+        self.with_span(0, self.len as u32, |ptr, n| {
+            // Safety: owner-validated span, kept mapped by the reader
+            // announcement for the closure's duration.
+            f(unsafe { std::slice::from_raw_parts_mut(ptr, n) })
+        })
+    }
+}
+
+impl Drop for BulkRegion {
+    fn drop(&mut self) {
+        // Unregister drains in-flight transfers, then the buffer goes
+        // back to this vCPU's pool for the next region.
+        if let Ok(buf) = self.rt.bulk().registry(self.vcpu).unregister(self.id, self.program) {
+            self.rt.bulk().pool(self.vcpu).put(buf);
+        }
     }
 }
 

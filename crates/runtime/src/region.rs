@@ -1,0 +1,540 @@
+//! Grant-backed shared regions — the paper's V-style region permissions
+//! (§4.2) rebuilt for the real-threads runtime.
+//!
+//! The simulator's Copy Server keeps one global `ppc-core` grant table
+//! behind shared mutable state; that is exactly what the runtime's "a PPC
+//! accesses no shared data" discipline forbids on a hot path. Here every
+//! virtual processor owns a [`RegionRegistry`]: a fixed array of region
+//! slots whose *read* path (the per-transfer authorization check) is
+//! lock-free and epoch-stamped, while the *write* path (register, grant,
+//! revoke, unregister — all cold) serializes on a per-registry mutex.
+//!
+//! Each slot is a writer-preference seqlock with a reader-presence count:
+//!
+//! 1. a reader announces itself (`readers.fetch_add`), checks the epoch is
+//!    even (no writer), dereferences the published `RegionState`, and
+//!    performs its copy;
+//! 2. after the copy it re-reads the epoch: unchanged ⇒ the authorization
+//!    it validated held for the whole transfer, changed ⇒ the access fails
+//!    (a grant/revoke/unregister landed mid-copy);
+//! 3. a writer bumps the epoch to odd *first*, waits for announced readers
+//!    to drain (new readers see the odd epoch and back off), swaps the
+//!    state, frees the old one, and bumps the epoch back to even.
+//!
+//! The drain means a revoke **blocks until in-flight transfers finish**,
+//! and no transfer can report success once the revoke has returned — the
+//! property the revocation stress test pins. State boxes are freed eagerly
+//! (the drain guarantees no reader holds them); the region's backing
+//! buffer returns to its vCPU's pool only at unregister.
+
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
+
+use crossbeam::utils::CachePadded;
+use parking_lot::Mutex;
+
+use crate::bulk::PoolBuf;
+use crate::{EntryId, ProgramId, RtError};
+
+/// Region identifier, small and per-vCPU (< [`MAX_REGIONS`]).
+pub type RegionId = u16;
+
+/// Regions per virtual processor.
+pub const MAX_REGIONS: usize = 256;
+
+/// Largest single bulk transfer (mirrors `ppc-core`'s `MAX_COPY`).
+pub const MAX_BULK: usize = 1 << 20;
+
+/// A bulk-transfer descriptor: which region, which span, and whether the
+/// server may write. Packs into **one argument word**, so it rides in the
+/// existing 8-word frame (`args[7]` by convention, see
+/// [`crate::Client::call_bulk`]) and every dispatch mode from the hand-off
+/// fast path — inline, spin-then-park, park — carries it unchanged.
+///
+/// Layout (LSB first): `len:24 | offset:24 | region:12 | write:1 | tag:3`.
+/// The tag distinguishes a descriptor from an arbitrary argument word;
+/// [`BulkDesc::decode`] returns `None` for non-descriptor words (zero
+/// included).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BulkDesc {
+    /// The region being shared.
+    pub region: RegionId,
+    /// Byte offset of the span within the region.
+    pub offset: u32,
+    /// Span length in bytes.
+    pub len: u32,
+    /// Whether the server side may write the span.
+    pub write: bool,
+}
+
+/// Tag in the top 3 bits marking a word as an encoded descriptor.
+const DESC_TAG: u64 = 0b101;
+/// 24-bit field mask (offset and length).
+const FIELD24: u64 = (1 << 24) - 1;
+/// 12-bit region-id mask.
+const REGION12: u64 = (1 << 12) - 1;
+
+impl BulkDesc {
+    /// A read-only descriptor covering `[offset, offset + len)`.
+    pub fn read(region: RegionId, offset: u32, len: u32) -> BulkDesc {
+        BulkDesc { region, offset, len, write: false }
+    }
+
+    /// A read-write descriptor covering `[offset, offset + len)`.
+    pub fn write(region: RegionId, offset: u32, len: u32) -> BulkDesc {
+        BulkDesc { region, offset, len, write: true }
+    }
+
+    /// Pack into one argument word. Panics (debug) if a field exceeds its
+    /// bit budget; offsets and lengths are bounded by [`MAX_BULK`] ≪ 2²⁴
+    /// everywhere descriptors are produced.
+    pub fn encode(self) -> u64 {
+        debug_assert!(u64::from(self.offset) <= FIELD24);
+        debug_assert!(u64::from(self.len) <= FIELD24);
+        debug_assert!(u64::from(self.region) <= REGION12);
+        (DESC_TAG << 61)
+            | ((self.write as u64) << 60)
+            | ((u64::from(self.region) & REGION12) << 48)
+            | ((u64::from(self.offset) & FIELD24) << 24)
+            | (u64::from(self.len) & FIELD24)
+    }
+
+    /// Unpack an argument word; `None` when the word is not a descriptor.
+    pub fn decode(w: u64) -> Option<BulkDesc> {
+        if w >> 61 != DESC_TAG {
+            return None;
+        }
+        Some(BulkDesc {
+            region: ((w >> 48) & REGION12) as RegionId,
+            offset: ((w >> 24) & FIELD24) as u32,
+            len: (w & FIELD24) as u32,
+            write: (w >> 60) & 1 == 1,
+        })
+    }
+}
+
+/// One permission: `grantee` (bound by `grantee_program` at grant time)
+/// may access the region, writing if `write` — the runtime restatement of
+/// `ppc-core`'s `Grant`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct GrantSpec {
+    grantee: EntryId,
+    grantee_program: ProgramId,
+    write: bool,
+}
+
+/// Published, immutable-after-publish view of one region. Replaced
+/// wholesale (copy-on-write) by the cold write path; readers only ever
+/// dereference it between epoch validations.
+struct RegionState {
+    mem: *mut u8,
+    len: usize,
+    owner: ProgramId,
+    grants: Vec<GrantSpec>,
+}
+
+/// One region slot: epoch + reader count + published state.
+struct RegionSlot {
+    /// Epoch (seqlock word): even = stable, odd = writer in progress.
+    /// Padded: readers on the hot path re-read only this line.
+    seq: CachePadded<AtomicU64>,
+    /// Announced lock-free readers (in-flight transfers).
+    readers: AtomicU32,
+    state: AtomicPtr<RegionState>,
+}
+
+impl RegionSlot {
+    fn new() -> RegionSlot {
+        RegionSlot {
+            seq: CachePadded::new(AtomicU64::new(0)),
+            readers: AtomicU32::new(0),
+            state: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+}
+
+/// Cold-path registry state, serialized behind the writer mutex.
+struct RegistryCold {
+    /// Free region IDs.
+    free: Vec<RegionId>,
+    /// Backing buffers, indexed by region ID (owned here until
+    /// unregister hands them back to the vCPU's pool).
+    bufs: Vec<Option<PoolBuf>>,
+}
+
+/// The per-vCPU region registry: lock-free epoch-stamped reads, mutexed
+/// cold writes.
+pub struct RegionRegistry {
+    slots: Box<[RegionSlot]>,
+    cold: Mutex<RegistryCold>,
+}
+
+/// An in-flight authorized access to a region span. Holding it keeps the
+/// backing memory alive (writers drain readers before freeing anything);
+/// [`Access::finish`] re-validates the epoch so a transfer that raced a
+/// grant change reports failure instead of silently succeeding.
+pub(crate) struct Access<'a> {
+    slot: &'a RegionSlot,
+    seq: u64,
+    region: RegionId,
+    /// Start of the authorized span.
+    pub(crate) ptr: *mut u8,
+    /// Length of the authorized span.
+    pub(crate) len: usize,
+}
+
+impl Access<'_> {
+    /// End the access, reporting whether the authorization held for its
+    /// whole duration (no grant/revoke/unregister landed).
+    pub(crate) fn finish(self) -> Result<(), RtError> {
+        let ok = self.slot.seq.load(Ordering::SeqCst) == self.seq;
+        let region = self.region;
+        drop(self); // release the reader announcement
+        if ok {
+            Ok(())
+        } else {
+            Err(RtError::BulkRevoked(region))
+        }
+    }
+}
+
+impl Drop for Access<'_> {
+    fn drop(&mut self) {
+        // Release: orders the transfer's memory operations before a
+        // writer's observation of the drained count (and any free that
+        // follows it).
+        self.slot.readers.fetch_sub(1, Ordering::Release);
+    }
+}
+
+impl RegionRegistry {
+    /// An empty registry with [`MAX_REGIONS`] slots.
+    pub(crate) fn new() -> RegionRegistry {
+        RegionRegistry {
+            slots: (0..MAX_REGIONS).map(|_| RegionSlot::new()).collect(),
+            cold: Mutex::new(RegistryCold {
+                free: (0..MAX_REGIONS as RegionId).rev().collect(),
+                bufs: (0..MAX_REGIONS).map(|_| None).collect(),
+            }),
+        }
+    }
+
+    /// Register `buf` as a region of `len` bytes owned by `owner`.
+    /// Cold path (mutex). Errors with [`RtError::TableFull`] when all
+    /// [`MAX_REGIONS`] slots are taken.
+    pub(crate) fn register(
+        &self,
+        buf: PoolBuf,
+        len: usize,
+        owner: ProgramId,
+    ) -> Result<RegionId, RtError> {
+        debug_assert!(len <= buf.cap());
+        let mut cold = self.cold.lock();
+        let id = cold.free.pop().ok_or(RtError::TableFull)?;
+        let state = Box::new(RegionState {
+            mem: buf.as_mut_ptr(),
+            len,
+            owner,
+            grants: Vec::new(),
+        });
+        cold.bufs[id as usize] = Some(buf);
+        let slot = &self.slots[id as usize];
+        // The slot was free: no state pointer, no readers can get past the
+        // null check. Publish state then bump the epoch once (by 2, staying
+        // even) so descriptors forged for the previous tenancy fail their
+        // finish() validation rather than touching the new region.
+        let prev = slot.state.swap(Box::into_raw(state), Ordering::Release);
+        debug_assert!(prev.is_null());
+        slot.seq.fetch_add(2, Ordering::SeqCst);
+        Ok(id)
+    }
+
+    /// Replace `id`'s published state via `f`. Cold path: epoch goes odd,
+    /// announced readers drain, the state is swapped and the old box freed
+    /// (safe — no reader can hold it past the drain), epoch returns even.
+    fn mutate(
+        &self,
+        id: RegionId,
+        by: ProgramId,
+        f: impl FnOnce(&RegionState) -> RegionState,
+    ) -> Result<(), RtError> {
+        let slot = self.slots.get(id as usize).ok_or(RtError::BadBulk)?;
+        let _cold = self.cold.lock();
+        let cur = slot.state.load(Ordering::Acquire);
+        if cur.is_null() {
+            return Err(RtError::BadBulk);
+        }
+        // Safety: non-null states are only freed under this mutex, after
+        // an epoch-odd drain; we hold the mutex.
+        let cur_ref = unsafe { &*cur };
+        if cur_ref.owner != by {
+            return Err(RtError::NotOwner);
+        }
+        let next = Box::into_raw(Box::new(f(cur_ref)));
+        slot.seq.fetch_add(1, Ordering::SeqCst); // odd: writer present
+        while slot.readers.load(Ordering::Acquire) != 0 {
+            std::hint::spin_loop();
+        }
+        let old = slot.state.swap(next, Ordering::Release);
+        // Safety: drained — no reader holds `old`.
+        unsafe { drop(Box::from_raw(old)) };
+        slot.seq.fetch_add(1, Ordering::SeqCst); // even: stable again
+        Ok(())
+    }
+
+    /// Grant `grantee` (currently owned by `grantee_program`) access to
+    /// the whole region; `write` allows the server to modify it.
+    pub(crate) fn grant(
+        &self,
+        id: RegionId,
+        by: ProgramId,
+        grantee: EntryId,
+        grantee_program: ProgramId,
+        write: bool,
+    ) -> Result<(), RtError> {
+        self.mutate(id, by, |cur| {
+            let mut grants = cur.grants.clone();
+            grants.retain(|g| g.grantee != grantee);
+            grants.push(GrantSpec { grantee, grantee_program, write });
+            RegionState { mem: cur.mem, len: cur.len, owner: cur.owner, grants }
+        })
+    }
+
+    /// Revoke every grant `id → grantee`. Returns how many were removed.
+    /// Blocks until in-flight transfers drain; once this returns, no
+    /// transfer under the revoked grant can report success.
+    pub(crate) fn revoke(
+        &self,
+        id: RegionId,
+        by: ProgramId,
+        grantee: EntryId,
+    ) -> Result<usize, RtError> {
+        let mut removed = 0;
+        self.mutate(id, by, |cur| {
+            let mut grants = cur.grants.clone();
+            let before = grants.len();
+            grants.retain(|g| g.grantee != grantee);
+            removed = before - grants.len();
+            RegionState { mem: cur.mem, len: cur.len, owner: cur.owner, grants }
+        })?;
+        Ok(removed)
+    }
+
+    /// Unregister the region, returning its backing buffer for pooling.
+    /// Cold path; drains in-flight transfers like any other write.
+    pub(crate) fn unregister(&self, id: RegionId, by: ProgramId) -> Result<PoolBuf, RtError> {
+        let slot = self.slots.get(id as usize).ok_or(RtError::BadBulk)?;
+        let mut cold = self.cold.lock();
+        let cur = slot.state.load(Ordering::Acquire);
+        if cur.is_null() {
+            return Err(RtError::BadBulk);
+        }
+        // Safety: as in `mutate`.
+        if unsafe { &*cur }.owner != by {
+            return Err(RtError::NotOwner);
+        }
+        slot.seq.fetch_add(1, Ordering::SeqCst);
+        while slot.readers.load(Ordering::Acquire) != 0 {
+            std::hint::spin_loop();
+        }
+        let old = slot.state.swap(std::ptr::null_mut(), Ordering::Release);
+        // Safety: drained.
+        unsafe { drop(Box::from_raw(old)) };
+        slot.seq.fetch_add(1, Ordering::SeqCst);
+        let buf = cold.bufs[id as usize].take().expect("registered region has a buffer");
+        cold.free.push(id);
+        Ok(buf)
+    }
+
+    /// Begin a lock-free access to `desc`'s span, authorizing `accessor`
+    /// (an entry bound by `accessor_program`) against the grants of the
+    /// region owned by `granter` — the exact check `ppc-core`'s
+    /// `GrantTable::authorizes` performs, minus its lock.
+    ///
+    /// `owner_access` short-circuits the grant check for the region owner
+    /// itself (client-side fill/drain of its own buffer).
+    pub(crate) fn begin(
+        &self,
+        desc: BulkDesc,
+        accessor: EntryId,
+        accessor_program: ProgramId,
+        granter: ProgramId,
+        write: bool,
+        owner_access: bool,
+    ) -> Result<Access<'_>, RtError> {
+        let slot = self.slots.get(desc.region as usize).ok_or(RtError::BadBulk)?;
+        if write && !desc.write && !owner_access {
+            // The descriptor itself caps the server at read-only.
+            return Err(RtError::BulkDenied(desc.region));
+        }
+        loop {
+            // Cheap pre-check keeps backed-off readers from hammering the
+            // reader count while a writer drains.
+            if slot.seq.load(Ordering::SeqCst) & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            slot.readers.fetch_add(1, Ordering::SeqCst);
+            let seq = slot.seq.load(Ordering::SeqCst);
+            if seq & 1 == 1 {
+                slot.readers.fetch_sub(1, Ordering::Release);
+                std::hint::spin_loop();
+                continue;
+            }
+            let p = slot.state.load(Ordering::Acquire);
+            if p.is_null() {
+                slot.readers.fetch_sub(1, Ordering::Release);
+                return Err(RtError::BadBulk);
+            }
+            // Safety: our announced presence precedes the even-epoch
+            // observation, so a writer cannot free `p` until we drop.
+            let st = unsafe { &*p };
+            let authorized = if owner_access {
+                st.owner == accessor_program
+            } else {
+                st.owner == granter
+                    && st.grants.iter().any(|g| {
+                        g.grantee == accessor
+                            && g.grantee_program == accessor_program
+                            && (!write || g.write)
+                    })
+            };
+            if !authorized {
+                slot.readers.fetch_sub(1, Ordering::Release);
+                return Err(RtError::BulkDenied(desc.region));
+            }
+            // Overflow-proof span check (checked_add: a forged descriptor
+            // must fail, not wrap).
+            let len = desc.len as usize;
+            let off = desc.offset as usize;
+            let end = match off.checked_add(len) {
+                Some(e) if e <= st.len && len <= MAX_BULK => e,
+                _ => {
+                    slot.readers.fetch_sub(1, Ordering::Release);
+                    return Err(RtError::BadBulk);
+                }
+            };
+            let _ = end;
+            // Safety: off is within the live allocation just validated.
+            let ptr = unsafe { st.mem.add(off) };
+            return Ok(Access { slot, seq, region: desc.region, ptr, len });
+        }
+    }
+
+    /// Number of live regions (diagnostics; takes the cold mutex).
+    pub fn live(&self) -> usize {
+        let cold = self.cold.lock();
+        cold.bufs.iter().filter(|b| b.is_some()).count()
+    }
+}
+
+// Safety: RegionState pointers are managed under the documented
+// seqlock-plus-drain protocol; PoolBuf memory is plain bytes.
+unsafe impl Send for RegionRegistry {}
+unsafe impl Sync for RegionRegistry {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bulk::BufferPool;
+    use crate::stats::StatsCell;
+
+    fn buf(pool: &BufferPool, len: usize) -> PoolBuf {
+        pool.take(len, &StatsCell::default()).unwrap()
+    }
+
+    #[test]
+    fn desc_encode_decode_roundtrip() {
+        let d = BulkDesc { region: 0xabc, offset: 0x12_3456, len: 0x65_4321, write: true };
+        assert_eq!(BulkDesc::decode(d.encode()), Some(d));
+        let r = BulkDesc::read(3, 64, 4096);
+        assert_eq!(BulkDesc::decode(r.encode()), Some(r));
+        // Ordinary argument words are not descriptors.
+        assert_eq!(BulkDesc::decode(0), None);
+        assert_eq!(BulkDesc::decode(42), None);
+        assert_eq!(BulkDesc::decode(u64::MAX >> 3), None);
+    }
+
+    #[test]
+    fn register_grant_authorize_revoke() {
+        let pool = BufferPool::new();
+        let reg = RegionRegistry::new();
+        let id = reg.register(buf(&pool, 4096), 4096, 10).unwrap();
+        assert_eq!(reg.live(), 1);
+        let d = BulkDesc::read(id, 0, 4096);
+
+        // No grant yet: server access denied, owner access allowed.
+        assert!(matches!(
+            reg.begin(d, 5, 20, 10, false, false),
+            Err(RtError::BulkDenied(_))
+        ));
+        reg.begin(d, 0, 10, 10, true, true).unwrap().finish().unwrap();
+
+        reg.grant(id, 10, 5, 20, false).unwrap();
+        reg.begin(d, 5, 20, 10, false, false).unwrap().finish().unwrap();
+        // Write against a read grant: denied.
+        let dw = BulkDesc::write(id, 0, 4096);
+        assert!(matches!(
+            reg.begin(dw, 5, 20, 10, true, false),
+            Err(RtError::BulkDenied(_))
+        ));
+        // Wrong entry, wrong program, wrong granter: denied.
+        assert!(reg.begin(d, 6, 20, 10, false, false).is_err());
+        assert!(reg.begin(d, 5, 21, 10, false, false).is_err());
+        assert!(reg.begin(d, 5, 20, 11, false, false).is_err());
+
+        assert_eq!(reg.revoke(id, 10, 5).unwrap(), 1);
+        assert!(reg.begin(d, 5, 20, 10, false, false).is_err());
+
+        // Only the owner may mutate or unregister.
+        assert_eq!(reg.grant(id, 99, 5, 20, false), Err(RtError::NotOwner));
+        assert_eq!(reg.unregister(id, 99).err(), Some(RtError::NotOwner));
+        let b = reg.unregister(id, 10).unwrap();
+        assert_eq!(reg.live(), 0);
+        assert!(b.cap() >= 4096);
+    }
+
+    #[test]
+    fn bounds_are_checked_without_overflow() {
+        let pool = BufferPool::new();
+        let reg = RegionRegistry::new();
+        let id = reg.register(buf(&pool, 256), 256, 1).unwrap();
+        reg.grant(id, 1, 2, 3, true).unwrap();
+        // End-of-region zero-length span: allowed.
+        reg.begin(BulkDesc::read(id, 256, 0), 2, 3, 1, false, false)
+            .unwrap()
+            .finish()
+            .unwrap();
+        // One past the end: rejected.
+        assert_eq!(
+            reg.begin(BulkDesc::read(id, 256, 1), 2, 3, 1, false, false).err(),
+            Some(RtError::BadBulk)
+        );
+        // Offset+len overflowing u32/usize arithmetic: rejected, no wrap.
+        let forged = BulkDesc::read(id, FIELD24 as u32, FIELD24 as u32);
+        assert_eq!(
+            reg.begin(forged, 2, 3, 1, false, false).err(),
+            Some(RtError::BadBulk)
+        );
+        reg.unregister(id, 1).unwrap();
+    }
+
+    #[test]
+    fn epoch_invalidates_in_flight_access() {
+        let pool = BufferPool::new();
+        let reg = RegionRegistry::new();
+        let id = reg.register(buf(&pool, 64), 64, 1).unwrap();
+        reg.grant(id, 1, 2, 3, false).unwrap();
+        let acc = reg.begin(BulkDesc::read(id, 0, 64), 2, 3, 1, false, false).unwrap();
+        // A writer cannot start until `acc` drops, so run it concurrently.
+        let t = std::thread::spawn({
+            let reg: &RegionRegistry = &reg;
+            // Safety: joined before `reg` drops (scoped-thread stand-in).
+            let reg = unsafe { std::mem::transmute::<&RegionRegistry, &'static RegionRegistry>(reg) };
+            move || reg.revoke(id, 1, 2).unwrap()
+        });
+        // Give the revoker time to set the epoch odd and start draining.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(matches!(acc.finish(), Err(RtError::BulkRevoked(_))));
+        assert_eq!(t.join().unwrap(), 1);
+    }
+}

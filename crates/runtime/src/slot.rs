@@ -128,6 +128,14 @@ impl CallSlot {
         f(scratch)
     }
 
+    /// Raw pointer to the scratch page, for an exclusive owner operating
+    /// outside the rendezvous protocol (the lazy inline scratch borrow).
+    pub(crate) fn scratch_raw(&self) -> *mut u8 {
+        // Safety: the caller owns the slot; this only materializes the
+        // page's data pointer without forming a reference to its bytes.
+        unsafe { (*self.scratch.get()).as_mut_ptr() }
+    }
+
     /// Worker side: publish the results and wake the client if one waits.
     pub fn complete(&self, rets: [u64; 8]) {
         // Safety: worker still owns the slot.

@@ -16,7 +16,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 #[derive(Debug, Default)]
 #[repr(align(64))]
 pub struct StatsCell {
-    /// Completed synchronous calls (inline or hand-off).
+    /// Completed synchronous hand-off calls. Inline completions count in
+    /// [`StatsCell::inline_calls`] only; the aggregate
+    /// [`RuntimeStats::calls`] getter sums the two, so each dispatch path
+    /// pays exactly one counter increment.
     pub calls: AtomicU64,
     /// Synchronous calls executed inline on the caller's thread.
     pub inline_calls: AtomicU64,
@@ -36,6 +39,19 @@ pub struct StatsCell {
     pub cds_created: AtomicU64,
     /// Handler panics contained by fault isolation.
     pub server_faults: AtomicU64,
+    /// Synchronous calls dispatched with a bulk descriptor.
+    pub bulk_calls: AtomicU64,
+    /// Payload bytes moved by the bulk copy engine (copy/exchange; the
+    /// in-place zero-copy path moves none by construction).
+    pub bulk_bytes: AtomicU64,
+    /// Bulk buffer requests served from the vCPU pool.
+    pub bulk_pool_hits: AtomicU64,
+    /// Bulk buffer requests that missed the pool and allocated (the
+    /// payload plane's Frank slow-path entries).
+    pub bulk_pool_misses: AtomicU64,
+    /// Bulk accesses rejected: no grant, bad descriptor, or revoked
+    /// mid-transfer.
+    pub bulk_denied: AtomicU64,
 }
 
 /// Sharded facility counters: one padded cell per virtual processor.
@@ -66,9 +82,17 @@ impl RuntimeStats {
         &self.cells[vcpu]
     }
 
+    /// Completed synchronous calls across all vCPUs (hand-off + inline).
+    pub fn calls(&self) -> u64 {
+        self.cells
+            .iter()
+            .map(|c| {
+                c.calls.load(Ordering::Relaxed) + c.inline_calls.load(Ordering::Relaxed)
+            })
+            .sum()
+    }
+
     aggregate_getters! {
-        /// Completed synchronous calls across all vCPUs.
-        calls,
         /// Inline (caller-thread) synchronous calls across all vCPUs.
         inline_calls,
         /// Rendezvous resolved by spinning alone across all vCPUs.
@@ -87,6 +111,16 @@ impl RuntimeStats {
         cds_created,
         /// Contained handler panics across all vCPUs.
         server_faults,
+        /// Bulk-descriptor calls across all vCPUs.
+        bulk_calls,
+        /// Payload bytes moved by the copy engine across all vCPUs.
+        bulk_bytes,
+        /// Bulk pool hits across all vCPUs.
+        bulk_pool_hits,
+        /// Bulk pool misses (slow-path allocations) across all vCPUs.
+        bulk_pool_misses,
+        /// Rejected bulk accesses across all vCPUs.
+        bulk_denied,
     }
 
     /// A consistent-enough point-in-time aggregation (each counter read
@@ -103,6 +137,11 @@ impl RuntimeStats {
             workers_created: self.workers_created(),
             cds_created: self.cds_created(),
             server_faults: self.server_faults(),
+            bulk_calls: self.bulk_calls(),
+            bulk_bytes: self.bulk_bytes(),
+            bulk_pool_hits: self.bulk_pool_hits(),
+            bulk_pool_misses: self.bulk_pool_misses(),
+            bulk_denied: self.bulk_denied(),
         }
     }
 }
@@ -132,6 +171,16 @@ pub struct Snapshot {
     pub cds_created: u64,
     /// Contained handler panics.
     pub server_faults: u64,
+    /// Bulk-descriptor calls.
+    pub bulk_calls: u64,
+    /// Payload bytes moved by the copy engine.
+    pub bulk_bytes: u64,
+    /// Bulk pool hits.
+    pub bulk_pool_hits: u64,
+    /// Bulk pool misses (slow-path allocations).
+    pub bulk_pool_misses: u64,
+    /// Rejected bulk accesses.
+    pub bulk_denied: u64,
 }
 
 impl Snapshot {
@@ -149,6 +198,11 @@ impl Snapshot {
             workers_created: self.workers_created.saturating_sub(earlier.workers_created),
             cds_created: self.cds_created.saturating_sub(earlier.cds_created),
             server_faults: self.server_faults.saturating_sub(earlier.server_faults),
+            bulk_calls: self.bulk_calls.saturating_sub(earlier.bulk_calls),
+            bulk_bytes: self.bulk_bytes.saturating_sub(earlier.bulk_bytes),
+            bulk_pool_hits: self.bulk_pool_hits.saturating_sub(earlier.bulk_pool_hits),
+            bulk_pool_misses: self.bulk_pool_misses.saturating_sub(earlier.bulk_pool_misses),
+            bulk_denied: self.bulk_denied.saturating_sub(earlier.bulk_denied),
         }
     }
 }
@@ -158,7 +212,8 @@ impl fmt::Display for Snapshot {
         write!(
             f,
             "calls={} (inline={}, spin={}, park={}) async={} upcalls={} \
-             frank={} workers+={} cds+={} faults={}",
+             frank={} workers+={} cds+={} faults={} \
+             bulk={} (bytes={}, hit={}, miss={}, denied={})",
             self.calls,
             self.inline_calls,
             self.spin_waits,
@@ -169,6 +224,11 @@ impl fmt::Display for Snapshot {
             self.workers_created,
             self.cds_created,
             self.server_faults,
+            self.bulk_calls,
+            self.bulk_bytes,
+            self.bulk_pool_hits,
+            self.bulk_pool_misses,
+            self.bulk_denied,
         )
     }
 }
@@ -185,7 +245,8 @@ mod tests {
         s.cell(0).calls.fetch_add(2, Ordering::Relaxed);
         s.cell(3).calls.fetch_add(3, Ordering::Relaxed);
         s.cell(1).inline_calls.fetch_add(1, Ordering::Relaxed);
-        assert_eq!(s.calls(), 5);
+        // Aggregate `calls` derives hand-off + inline.
+        assert_eq!(s.calls(), 6);
         assert_eq!(s.inline_calls(), 1);
     }
 

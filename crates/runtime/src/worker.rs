@@ -352,7 +352,7 @@ fn worker_loop(entry: Arc<crate::entry::EntryShared>, me: Arc<WorkerHandle>, vcp
                     caller_program: program,
                     vcpu,
                     ep: entry.id,
-                    scratch,
+                    scratch: crate::ScratchRef::Ready(scratch),
                     worker: Some(&me),
                     entry: &entry,
                 };

@@ -6,10 +6,38 @@ use proptest::prelude::*;
 use proptest::test_runner::Config;
 
 use ppc_rt::slot::CallSlot;
-use ppc_rt::{EntryOptions, Runtime};
+use ppc_rt::{BulkDesc, EntryOptions, Runtime};
 
 proptest! {
     #![proptest_config(Config { cases: 64, ..Config::default() })]
+
+    /// Every descriptor expressible within the bit budget survives the
+    /// trip through its single argument word.
+    #[test]
+    fn bulk_desc_roundtrips_through_one_word(region in any::<u16>(),
+                                             offset in any::<u32>(),
+                                             len in any::<u32>(),
+                                             write in any::<bool>()) {
+        let d = BulkDesc {
+            region: region & 0x0fff,          // 12-bit region id
+            offset: offset & 0x00ff_ffff,     // 24-bit offset
+            len: len & 0x00ff_ffff,           // 24-bit length
+            write,
+        };
+        let word = d.encode();
+        prop_assert_eq!(BulkDesc::decode(word), Some(d));
+    }
+
+    /// Decoding is the exact inverse of encoding on tagged words, and
+    /// rejects every untagged word — an ordinary argument can never be
+    /// mistaken for a descriptor.
+    #[test]
+    fn bulk_desc_decode_partitions_words(word in any::<u64>()) {
+        match BulkDesc::decode(word) {
+            Some(d) => prop_assert_eq!(d.encode(), word),
+            None => prop_assert_ne!(word >> 61, 0b101),
+        }
+    }
 
     #[test]
     fn slot_frames_roundtrip(args in prop::array::uniform8(any::<u64>()),
