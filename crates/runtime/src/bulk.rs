@@ -46,13 +46,32 @@ pub fn class_for(len: usize) -> Option<usize> {
     SIZE_CLASSES.iter().position(|c| len <= *c)
 }
 
+/// Who last held a [`PoolBuf`]'s contents — the input to the
+/// cross-program scrub decision in [`PoolBuf::bind_owner`].
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BufOwner {
+    /// Fresh allocation, still all-zero: safe for any program as is.
+    Fresh,
+    /// Used outside the region machinery (e.g. as server scratch via
+    /// [`PoolBuf::as_mut_slice`]): contents unknown, scrub before any
+    /// region registration.
+    Unbound,
+    /// Last registered as a region by this program: its own leftovers,
+    /// the serially-shared-stacks caveat applies within the program.
+    Program(crate::ProgramId),
+}
+
 /// A pooled, 64-byte-aligned byte buffer. Dropping it outside a pool
 /// frees the allocation; returning it via [`BufferPool::put`] recycles
-/// it. Contents persist across recycling (the serially-shared-stacks
-/// caveat from §2 applies to payload buffers too).
+/// it. Contents persist across recycling **within one program** (the
+/// serially-shared-stacks caveat from §2 applies to payload buffers
+/// too); a region registration that rebinds the buffer to a different
+/// program scrubs it first, so payload bytes never leak across the
+/// program boundary the grant model enforces.
 pub struct PoolBuf {
     ptr: NonNull<u8>,
     class: u8,
+    owner: BufOwner,
 }
 
 // Safety: the buffer is a plain owned allocation.
@@ -66,7 +85,25 @@ impl PoolBuf {
         // region never leaks a previous allocation's bytes.
         let raw = unsafe { alloc_zeroed(layout) };
         let Some(ptr) = NonNull::new(raw) else { handle_alloc_error(layout) };
-        PoolBuf { ptr, class: class as u8 }
+        PoolBuf { ptr, class: class as u8, owner: BufOwner::Fresh }
+    }
+
+    /// Claim the buffer for a region owned by `program`. Recycled
+    /// contents left by a *different* program (or by scratch use outside
+    /// the region machinery) are zeroed — the whole capacity, not just
+    /// the new region's length, because a later same-program
+    /// re-registration may expose more of the buffer. Fresh allocations
+    /// are already zero; same-program recycling keeps its bytes.
+    pub(crate) fn bind_owner(&mut self, program: crate::ProgramId) {
+        match self.owner {
+            BufOwner::Fresh => {}
+            BufOwner::Program(p) if p == program => {}
+            _ => {
+                // Safety: owned allocation of `cap()` bytes.
+                unsafe { std::ptr::write_bytes(self.ptr.as_ptr(), 0, self.cap()) };
+            }
+        }
+        self.owner = BufOwner::Program(program);
     }
 
     fn layout(class: usize) -> Layout {
@@ -84,8 +121,13 @@ impl PoolBuf {
 
     /// The whole buffer as a mutable slice (servers using pooled buffers
     /// as private scratch — the bulk-copy pattern in `bulk_modes`).
+    /// Marks the contents unknown: if the buffer later backs a region,
+    /// [`PoolBuf::bind_owner`] scrubs it first.
     pub fn as_mut_slice(&mut self) -> &mut [u8] {
-        // Safety: owned, zero-initialized allocation of `cap()` bytes.
+        // Whatever gets written here (possibly another program's data) is
+        // not attributable to the last region owner any more.
+        self.owner = BufOwner::Unbound;
+        // Safety: owned, fully initialized allocation of `cap()` bytes.
         unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.cap()) }
     }
 }
@@ -258,6 +300,28 @@ mod tests {
         let b = pool.take(4096, &cell).unwrap();
         assert_eq!(cell.bulk_pool_hits.load(Ordering::Relaxed), 2);
         pool.put(b);
+    }
+
+    #[test]
+    fn bind_owner_scrubs_cross_program_leftovers() {
+        let cell = StatsCell::default();
+        let pool = BufferPool::new();
+        let mut b = pool.take(256, &cell).unwrap();
+        b.bind_owner(7);
+        // Region-style write through the raw pointer (what a registered
+        // region's fill/copy path does).
+        unsafe { b.as_mut_ptr().write(42) };
+        // Same-program rebind keeps the bytes (serially-shared caveat).
+        b.bind_owner(7);
+        assert_eq!(unsafe { b.as_mut_ptr().read() }, 42);
+        // Cross-program rebind scrubs the whole capacity.
+        b.bind_owner(8);
+        assert_eq!(unsafe { b.as_mut_ptr().read() }, 0);
+        // Scratch use leaves unattributable contents: the next region
+        // bind scrubs even for the same program.
+        b.as_mut_slice()[0] = 9;
+        b.bind_owner(8);
+        assert_eq!(unsafe { b.as_mut_ptr().read() }, 0);
     }
 
     #[test]

@@ -79,7 +79,7 @@ impl Runtime {
             cell.server_faults.fetch_add(1, Ordering::Relaxed);
             return Err(RtError::ServerFault(ep));
         }
-        cell.calls.fetch_add(1, Ordering::Relaxed);
+        cell.handoff_calls.fetch_add(1, Ordering::Relaxed);
         Ok(Some(rets))
     }
 
@@ -144,7 +144,7 @@ impl Runtime {
         } else {
             slot.reset();
         }
-        cell.calls.fetch_add(1, Ordering::Relaxed);
+        cell.handoff_calls.fetch_add(1, Ordering::Relaxed);
         Ok((rets, response))
     }
 

@@ -108,6 +108,12 @@ pub enum RtError {
     /// The region's permissions changed (grant/revoke/unregister) while
     /// the transfer was in flight; the transfer is not acknowledged.
     BulkRevoked(RegionId),
+    /// The calling thread already holds an in-flight access to the region
+    /// that this operation would have to wait out — a self-deadlock,
+    /// reported instead of spinning forever. E.g. beginning a write
+    /// access, revoking, or unregistering from inside a
+    /// [`CallCtx::with_bulk`]-family closure over the same region.
+    BulkReentrant(RegionId),
     /// The entry table is full, or the requested slot is taken.
     TableFull,
     /// Operation requires ownership of the entry point.
@@ -131,6 +137,9 @@ impl std::fmt::Display for RtError {
             RtError::BulkDenied(r) => write!(f, "bulk access to region {r} denied"),
             RtError::BulkRevoked(r) => {
                 write!(f, "bulk region {r} permissions changed mid-transfer")
+            }
+            RtError::BulkReentrant(r) => {
+                write!(f, "reentrant access to bulk region {r} would deadlock")
             }
             RtError::TableFull => write!(f, "entry table full or slot taken"),
             RtError::NotOwner => write!(f, "caller does not own this entry point"),
@@ -273,6 +282,17 @@ impl<'a> CallCtx<'a> {
     // increment on this vCPU's own stats cell. The server's identity for
     // the grant check is (entry, entry owner) — the same pair
     // `ppc-core`'s Copy Server validates.
+    //
+    // Concurrency contract: *writing* accessors (`copy_to`,
+    // `exchange_bulk`, `with_bulk_mut`, and the owner-side
+    // `BulkRegion::fill`/`with_bytes`) hold their region **exclusively**
+    // for the duration of the transfer or closure — concurrent accesses
+    // to the same region wait, and grant/revoke/unregister block until
+    // the access finishes. Keep closures short: a long-running closure
+    // stalls every conflicting access and all registry writes for its
+    // region. Beginning a conflicting access — or revoking/dropping the
+    // region — from the thread that already holds one returns
+    // `RtError::BulkReentrant` rather than deadlocking.
 
     /// The bulk descriptor riding in `args[7]`, if the caller sent one
     /// (see [`Client::call_bulk`]).
@@ -351,6 +371,12 @@ impl<'a> CallCtx<'a> {
     /// bytes move at all. If the authorization lapses while `f` runs the
     /// result is discarded and [`RtError::BulkRevoked`] is returned, so a
     /// revoked access is never acknowledged.
+    ///
+    /// A shared access: concurrent reads proceed in parallel, write
+    /// accesses to the region wait for `f` to return. Keep `f` short —
+    /// it stalls the region's writers and grant/revoke traffic — and do
+    /// not revoke or unregister the region from inside `f` (that returns
+    /// [`RtError::BulkReentrant`]).
     pub fn with_bulk<R>(&self, desc: BulkDesc, f: impl FnOnce(&[u8]) -> R) -> Result<R, RtError> {
         let acc = self.bulk_access(desc, false)?;
         // Safety: span authorized; shared read view for the closure's
@@ -372,6 +398,10 @@ impl<'a> CallCtx<'a> {
     /// [`CallCtx::with_bulk`] applies — plus, since `f` mutates client
     /// memory directly, a revoked access may still have written bytes
     /// (the client revoked mid-flight; the transfer is unacknowledged).
+    ///
+    /// The access is **exclusive**: while `f` runs, every other access
+    /// to the region waits, and any bulk operation on the same region
+    /// from inside `f` returns [`RtError::BulkReentrant`].
     pub fn with_bulk_mut<R>(
         &self,
         desc: BulkDesc,
@@ -687,14 +717,16 @@ impl Client {
     ///
     /// The warm path performs no lock acquisitions and no allocations on
     /// top of [`Client::call`]'s — encoding a descriptor is pure bit
-    /// packing.
+    /// packing. A descriptor whose fields exceed the word's bit budget
+    /// is rejected with [`RtError::BadBulk`] up front (it could not be
+    /// transmitted faithfully).
     pub fn call_bulk(
         &self,
         ep: EntryId,
         mut args: [u64; 8],
         desc: BulkDesc,
     ) -> Result<[u64; 8], RtError> {
-        args[7] = desc.encode();
+        args[7] = desc.encode().ok_or(RtError::BadBulk)?;
         let r = self.call(ep, args)?;
         self.rt.stats.cell(self.vcpu).bulk_calls.fetch_add(1, Ordering::Relaxed);
         Ok(r)
@@ -712,10 +744,15 @@ impl Client {
     /// slots are all taken.
     pub fn bulk_register(&self, len: usize) -> Result<BulkRegion, RtError> {
         let bulk = self.rt.bulk();
-        let buf = bulk
+        let mut buf = bulk
             .pool(self.vcpu)
             .take(len, self.rt.stats.cell(self.vcpu))
             .ok_or(RtError::BadBulk)?;
+        // A buffer recycled from another program (or dirtied outside the
+        // region machinery) is scrubbed here, so a new region can never
+        // read a previous tenant's payload bytes across the program
+        // boundary the grant model enforces.
+        buf.bind_owner(self.program);
         let id = bulk.registry(self.vcpu).register(buf, len, self.program)?;
         Ok(BulkRegion {
             rt: Arc::clone(&self.rt),
@@ -782,21 +819,28 @@ impl BulkRegion {
 
     /// Revoke every grant to `ep`. Blocks until in-flight transfers
     /// drain; once this returns, no transfer under the revoked grant can
-    /// report success. Returns the number of grants removed.
+    /// report success. Returns the number of grants removed. Calling
+    /// this from a thread holding an in-flight access to the region
+    /// (e.g. inside a `with_*` closure) returns
+    /// [`RtError::BulkReentrant`] instead of deadlocking.
     pub fn revoke(&self, ep: EntryId) -> Result<usize, RtError> {
         self.rt.bulk().registry(self.vcpu).revoke(self.id, self.program, ep)
     }
 
     /// Owner access: run `f` over `[offset, offset+len)` of the region.
+    /// A `write` access excludes every concurrent access to the region
+    /// (in-place mutation must never alias another access); a read
+    /// access shares with other reads.
     fn with_span<R>(
         &self,
         offset: u32,
         len: u32,
+        write: bool,
         f: impl FnOnce(*mut u8, usize) -> R,
     ) -> Result<R, RtError> {
-        let desc = self.desc(offset, len, true);
+        let desc = self.desc(offset, len, write);
         let acc = self.rt.bulk().registry(self.vcpu).begin(
-            desc, 0, self.program, self.program, true, true,
+            desc, 0, self.program, self.program, write, true,
         )?;
         let r = f(acc.ptr, acc.len);
         acc.finish()?;
@@ -804,29 +848,42 @@ impl BulkRegion {
     }
 
     /// Owner write: copy `data` into the region at `offset` (the fill
-    /// before a call). Lock-free; uses the vectored copy engine.
+    /// before a call). Lock-free; uses the vectored copy engine. Holds
+    /// the region exclusively while the copy runs — a concurrent
+    /// server-side access to the same region waits.
     pub fn fill(&self, offset: u32, data: &[u8]) -> Result<(), RtError> {
-        self.with_span(offset, data.len() as u32, |ptr, n| {
-            // Safety: span validated by the registry; `data` cannot alias
-            // registry memory.
+        self.with_span(offset, data.len() as u32, true, |ptr, n| {
+            // Safety: span validated by the registry, held exclusively;
+            // `data` cannot alias registry memory.
             unsafe { bulk::copy_span(ptr, data.as_ptr(), n) };
         })
     }
 
     /// Owner read: copy `[offset, offset+dst.len())` out of the region
-    /// (the drain after a call).
+    /// (the drain after a call). A shared read access — concurrent reads
+    /// of the region proceed in parallel.
     pub fn read_into(&self, offset: u32, dst: &mut [u8]) -> Result<(), RtError> {
-        self.with_span(offset, dst.len() as u32, |ptr, n| {
-            // Safety: as in `fill`, directions reversed.
+        self.with_span(offset, dst.len() as u32, false, |ptr, n| {
+            // Safety: as in `fill`, directions reversed; writers are
+            // excluded while this read access is announced.
             unsafe { bulk::copy_span(dst.as_mut_ptr(), ptr, n) };
         })
     }
 
     /// Owner zero-copy access: run `f` over the whole region in place.
+    ///
+    /// The access is **exclusive** while `f` runs: concurrent accesses
+    /// to the region (e.g. a handler's [`CallCtx::with_bulk_mut`] from
+    /// an async call) wait, and any bulk operation on the same region
+    /// from inside `f` — including dropping the region — returns
+    /// [`RtError::BulkReentrant`]. Keep `f` short; it stalls the
+    /// region's grant/revoke traffic for its duration.
     pub fn with_bytes<R>(&self, f: impl FnOnce(&mut [u8]) -> R) -> Result<R, RtError> {
-        self.with_span(0, self.len as u32, |ptr, n| {
-            // Safety: owner-validated span, kept mapped by the reader
-            // announcement for the closure's duration.
+        self.with_span(0, self.len as u32, true, |ptr, n| {
+            // Safety: owner-validated span, held exclusively and kept
+            // mapped by the access announcement for the closure's
+            // duration — no other &mut (or &) view of these bytes can
+            // exist concurrently.
             f(unsafe { std::slice::from_raw_parts_mut(ptr, n) })
         })
     }

@@ -9,24 +9,38 @@
 //! lock-free and epoch-stamped, while the *write* path (register, grant,
 //! revoke, unregister — all cold) serializes on a per-registry mutex.
 //!
-//! Each slot is a writer-preference seqlock with a reader-presence count:
+//! Each slot is a writer-preference seqlock with an access-presence word:
 //!
-//! 1. a reader announces itself (`readers.fetch_add`), checks the epoch is
-//!    even (no writer), dereferences the published `RegionState`, and
-//!    performs its copy;
-//! 2. after the copy it re-reads the epoch: unchanged ⇒ the authorization
-//!    it validated held for the whole transfer, changed ⇒ the access fails
-//!    (a grant/revoke/unregister landed mid-copy);
-//! 3. a writer bumps the epoch to odd *first*, waits for announced readers
-//!    to drain (new readers see the odd epoch and back off), swaps the
-//!    state, frees the old one, and bumps the epoch back to even.
+//! 1. an accessor announces itself in the slot's `access` word — *read*
+//!    accesses share (a counter), *write* accesses are **exclusive**
+//!    against every other access to the slot, because the in-place APIs
+//!    ([`crate::CallCtx::with_bulk_mut`], [`crate::BulkRegion::with_bytes`])
+//!    materialize `&mut [u8]` over the span and two overlapping writers
+//!    (or a writer racing a reader) would be undefined behavior, not just
+//!    a torn transfer;
+//! 2. it checks the epoch is even (no registry writer), dereferences the
+//!    published `RegionState`, and performs its copy; afterwards it
+//!    re-reads the epoch: unchanged ⇒ the authorization it validated held
+//!    for the whole transfer, changed ⇒ the access fails (a
+//!    grant/revoke/unregister landed mid-copy);
+//! 3. a registry writer bumps the epoch to odd *first*, waits for
+//!    announced accesses to drain (new ones see the odd epoch and back
+//!    off), swaps the state, frees the old one, and bumps the epoch back
+//!    to even.
 //!
 //! The drain means a revoke **blocks until in-flight transfers finish**,
 //! and no transfer can report success once the revoke has returned — the
 //! property the revocation stress test pins. State boxes are freed eagerly
 //! (the drain guarantees no reader holds them); the region's backing
 //! buffer returns to its vCPU's pool only at unregister.
+//!
+//! Because drains and write exclusivity block, a thread that already
+//! holds an [`Access`] on a slot must not begin a conflicting access or a
+//! registry write on the *same* slot — that is a self-deadlock. A
+//! per-thread ledger of live accesses turns those cycles into
+//! [`RtError::BulkReentrant`] instead of an infinite spin.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
 
 use crossbeam::utils::CachePadded;
@@ -84,18 +98,24 @@ impl BulkDesc {
         BulkDesc { region, offset, len, write: true }
     }
 
-    /// Pack into one argument word. Panics (debug) if a field exceeds its
-    /// bit budget; offsets and lengths are bounded by [`MAX_BULK`] ≪ 2²⁴
-    /// everywhere descriptors are produced.
-    pub fn encode(self) -> u64 {
-        debug_assert!(u64::from(self.offset) <= FIELD24);
-        debug_assert!(u64::from(self.len) <= FIELD24);
-        debug_assert!(u64::from(self.region) <= REGION12);
-        (DESC_TAG << 61)
-            | ((self.write as u64) << 60)
-            | ((u64::from(self.region) & REGION12) << 48)
-            | ((u64::from(self.offset) & FIELD24) << 24)
-            | (u64::from(self.len) & FIELD24)
+    /// Pack into one argument word. `None` when a field exceeds its bit
+    /// budget (offset or length ≥ 2²⁴, region ≥ 2¹²) — rejected in
+    /// release builds too, so an oversized descriptor can never silently
+    /// encode a different, smaller span.
+    pub fn encode(self) -> Option<u64> {
+        if u64::from(self.offset) > FIELD24
+            || u64::from(self.len) > FIELD24
+            || u64::from(self.region) > REGION12
+        {
+            return None;
+        }
+        Some(
+            (DESC_TAG << 61)
+                | ((self.write as u64) << 60)
+                | (u64::from(self.region) << 48)
+                | (u64::from(self.offset) << 24)
+                | u64::from(self.len),
+        )
     }
 
     /// Unpack an argument word; `None` when the word is not a descriptor.
@@ -132,13 +152,18 @@ struct RegionState {
     grants: Vec<GrantSpec>,
 }
 
-/// One region slot: epoch + reader count + published state.
+/// Bit of [`RegionSlot::access`] held by an exclusive (write) access.
+const WRITE_ACCESS: u32 = 1 << 31;
+
+/// One region slot: epoch + access word + published state.
 struct RegionSlot {
     /// Epoch (seqlock word): even = stable, odd = writer in progress.
     /// Padded: readers on the hot path re-read only this line.
     seq: CachePadded<AtomicU64>,
-    /// Announced lock-free readers (in-flight transfers).
-    readers: AtomicU32,
+    /// Announced in-flight accesses: low bits count shared (read)
+    /// accesses, [`WRITE_ACCESS`] is set while an exclusive (write)
+    /// access holds the slot. Registry writers drain this word to zero.
+    access: AtomicU32,
     state: AtomicPtr<RegionState>,
 }
 
@@ -146,10 +171,74 @@ impl RegionSlot {
     fn new() -> RegionSlot {
         RegionSlot {
             seq: CachePadded::new(AtomicU64::new(0)),
-            readers: AtomicU32::new(0),
+            access: AtomicU32::new(0),
             state: AtomicPtr::new(std::ptr::null_mut()),
         }
     }
+}
+
+/// Per-thread ledger of live [`Access`]es, keyed by slot address with the
+/// access's write-ness in bit 0 (slots are cache-line aligned, the bit is
+/// free). Fixed-size — no allocation ever, so begin/drop stay legal on
+/// the allocation-free warm path; nesting deeper than the window falls
+/// back to an untracked count so the books still balance (conflict checks
+/// then miss those entries, which only weakens deadlock *detection*,
+/// never soundness — the slot's access word still enforces exclusion).
+const MAX_TRACKED_ACCESSES: usize = 16;
+
+struct AccessLedger {
+    slots: [usize; MAX_TRACKED_ACCESSES],
+    n: usize,
+    untracked: usize,
+}
+
+thread_local! {
+    static LIVE_ACCESSES: RefCell<AccessLedger> = const {
+        RefCell::new(AccessLedger { slots: [0; MAX_TRACKED_ACCESSES], n: 0, untracked: 0 })
+    };
+}
+
+fn ledger_key(slot: &RegionSlot, write: bool) -> usize {
+    (slot as *const RegionSlot as usize) | usize::from(write)
+}
+
+fn ledger_push(slot: &RegionSlot, write: bool) {
+    LIVE_ACCESSES.with(|l| {
+        let mut l = l.borrow_mut();
+        if l.n < MAX_TRACKED_ACCESSES {
+            let n = l.n;
+            l.slots[n] = ledger_key(slot, write);
+            l.n = n + 1;
+        } else {
+            l.untracked += 1;
+        }
+    });
+}
+
+fn ledger_pop(slot: &RegionSlot, write: bool) {
+    LIVE_ACCESSES.with(|l| {
+        let mut l = l.borrow_mut();
+        let key = ledger_key(slot, write);
+        if let Some(i) = l.slots[..l.n].iter().rposition(|s| *s == key) {
+            l.slots[i] = l.slots[l.n - 1];
+            l.n -= 1;
+        } else {
+            l.untracked -= 1;
+        }
+    });
+}
+
+/// Whether this thread already holds an access on `slot` that a new
+/// operation would deadlock against: any access blocks a registry write
+/// or a write access (`write_wanted`), only a write access blocks a read.
+fn ledger_conflicts(slot: &RegionSlot, write_wanted: bool) -> bool {
+    let addr = slot as *const RegionSlot as usize;
+    LIVE_ACCESSES.with(|l| {
+        let l = l.borrow();
+        l.slots[..l.n]
+            .iter()
+            .any(|s| (s & !1) == addr && (write_wanted || s & 1 == 1))
+    })
 }
 
 /// Cold-path registry state, serialized behind the writer mutex.
@@ -169,13 +258,17 @@ pub struct RegionRegistry {
 }
 
 /// An in-flight authorized access to a region span. Holding it keeps the
-/// backing memory alive (writers drain readers before freeing anything);
+/// backing memory alive (writers drain accesses before freeing anything);
 /// [`Access::finish`] re-validates the epoch so a transfer that raced a
-/// grant change reports failure instead of silently succeeding.
+/// grant change reports failure instead of silently succeeding. A write
+/// access additionally holds the slot's [`WRITE_ACCESS`] bit, excluding
+/// every other access for its duration.
 pub(crate) struct Access<'a> {
     slot: &'a RegionSlot,
     seq: u64,
     region: RegionId,
+    /// Whether this access holds the slot exclusively.
+    write: bool,
     /// Start of the authorized span.
     pub(crate) ptr: *mut u8,
     /// Length of the authorized span.
@@ -199,10 +292,12 @@ impl Access<'_> {
 
 impl Drop for Access<'_> {
     fn drop(&mut self) {
+        ledger_pop(self.slot, self.write);
         // Release: orders the transfer's memory operations before a
-        // writer's observation of the drained count (and any free that
+        // writer's observation of the drained word (and any free that
         // follows it).
-        self.slot.readers.fetch_sub(1, Ordering::Release);
+        let held = if self.write { WRITE_ACCESS } else { 1 };
+        self.slot.access.fetch_sub(held, Ordering::Release);
     }
 }
 
@@ -249,8 +344,11 @@ impl RegionRegistry {
     }
 
     /// Replace `id`'s published state via `f`. Cold path: epoch goes odd,
-    /// announced readers drain, the state is swapped and the old box freed
-    /// (safe — no reader can hold it past the drain), epoch returns even.
+    /// announced accesses drain, the state is swapped and the old box
+    /// freed (safe — no reader can hold it past the drain), epoch returns
+    /// even. Errors with [`RtError::BulkReentrant`] when the calling
+    /// thread itself holds an in-flight access on the slot — the drain
+    /// would never finish.
     fn mutate(
         &self,
         id: RegionId,
@@ -258,6 +356,9 @@ impl RegionRegistry {
         f: impl FnOnce(&RegionState) -> RegionState,
     ) -> Result<(), RtError> {
         let slot = self.slots.get(id as usize).ok_or(RtError::BadBulk)?;
+        if ledger_conflicts(slot, true) {
+            return Err(RtError::BulkReentrant(id));
+        }
         let _cold = self.cold.lock();
         let cur = slot.state.load(Ordering::Acquire);
         if cur.is_null() {
@@ -271,7 +372,7 @@ impl RegionRegistry {
         }
         let next = Box::into_raw(Box::new(f(cur_ref)));
         slot.seq.fetch_add(1, Ordering::SeqCst); // odd: writer present
-        while slot.readers.load(Ordering::Acquire) != 0 {
+        while slot.access.load(Ordering::Acquire) != 0 {
             std::hint::spin_loop();
         }
         let old = slot.state.swap(next, Ordering::Release);
@@ -323,6 +424,9 @@ impl RegionRegistry {
     /// Cold path; drains in-flight transfers like any other write.
     pub(crate) fn unregister(&self, id: RegionId, by: ProgramId) -> Result<PoolBuf, RtError> {
         let slot = self.slots.get(id as usize).ok_or(RtError::BadBulk)?;
+        if ledger_conflicts(slot, true) {
+            return Err(RtError::BulkReentrant(id));
+        }
         let mut cold = self.cold.lock();
         let cur = slot.state.load(Ordering::Acquire);
         if cur.is_null() {
@@ -333,7 +437,7 @@ impl RegionRegistry {
             return Err(RtError::NotOwner);
         }
         slot.seq.fetch_add(1, Ordering::SeqCst);
-        while slot.readers.load(Ordering::Acquire) != 0 {
+        while slot.access.load(Ordering::Acquire) != 0 {
             std::hint::spin_loop();
         }
         let old = slot.state.swap(std::ptr::null_mut(), Ordering::Release);
@@ -352,6 +456,16 @@ impl RegionRegistry {
     ///
     /// `owner_access` short-circuits the grant check for the region owner
     /// itself (client-side fill/drain of its own buffer).
+    ///
+    /// A `write` access is **exclusive** for the whole slot: it waits for
+    /// every in-flight access to the region to finish and blocks new ones
+    /// until it drops, because write accesses hand out `&mut [u8]` views
+    /// (or perform non-atomic stores) that must never alias a concurrent
+    /// access to the same bytes. Read accesses share. Exclusivity is
+    /// per-slot, not per-span — coarser than strictly necessary, but the
+    /// conflict window is one transfer. Beginning an access that
+    /// conflicts with one this thread already holds returns
+    /// [`RtError::BulkReentrant`] instead of deadlocking.
     pub(crate) fn begin(
         &self,
         desc: BulkDesc,
@@ -366,23 +480,47 @@ impl RegionRegistry {
             // The descriptor itself caps the server at read-only.
             return Err(RtError::BulkDenied(desc.region));
         }
+        if ledger_conflicts(slot, write) {
+            // Our own thread holds a conflicting access: waiting for it
+            // to drop would wait forever.
+            return Err(RtError::BulkReentrant(desc.region));
+        }
         loop {
-            // Cheap pre-check keeps backed-off readers from hammering the
-            // reader count while a writer drains.
+            // Cheap pre-check keeps backed-off accessors from hammering
+            // the access word while a registry writer drains.
             if slot.seq.load(Ordering::SeqCst) & 1 == 1 {
                 std::hint::spin_loop();
                 continue;
             }
-            slot.readers.fetch_add(1, Ordering::SeqCst);
+            // Announce. Writes take the slot exclusively (the word must
+            // be idle); reads bounce off only a held write access.
+            if write {
+                if slot
+                    .access
+                    .compare_exchange(0, WRITE_ACCESS, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_err()
+                {
+                    std::hint::spin_loop();
+                    continue;
+                }
+            } else {
+                let prev = slot.access.fetch_add(1, Ordering::SeqCst);
+                if prev & WRITE_ACCESS != 0 {
+                    slot.access.fetch_sub(1, Ordering::Release);
+                    std::hint::spin_loop();
+                    continue;
+                }
+            }
+            let held = if write { WRITE_ACCESS } else { 1 };
             let seq = slot.seq.load(Ordering::SeqCst);
             if seq & 1 == 1 {
-                slot.readers.fetch_sub(1, Ordering::Release);
+                slot.access.fetch_sub(held, Ordering::Release);
                 std::hint::spin_loop();
                 continue;
             }
             let p = slot.state.load(Ordering::Acquire);
             if p.is_null() {
-                slot.readers.fetch_sub(1, Ordering::Release);
+                slot.access.fetch_sub(held, Ordering::Release);
                 return Err(RtError::BadBulk);
             }
             // Safety: our announced presence precedes the even-epoch
@@ -399,7 +537,7 @@ impl RegionRegistry {
                     })
             };
             if !authorized {
-                slot.readers.fetch_sub(1, Ordering::Release);
+                slot.access.fetch_sub(held, Ordering::Release);
                 return Err(RtError::BulkDenied(desc.region));
             }
             // Overflow-proof span check (checked_add: a forged descriptor
@@ -409,14 +547,15 @@ impl RegionRegistry {
             let end = match off.checked_add(len) {
                 Some(e) if e <= st.len && len <= MAX_BULK => e,
                 _ => {
-                    slot.readers.fetch_sub(1, Ordering::Release);
+                    slot.access.fetch_sub(held, Ordering::Release);
                     return Err(RtError::BadBulk);
                 }
             };
             let _ = end;
+            ledger_push(slot, write);
             // Safety: off is within the live allocation just validated.
             let ptr = unsafe { st.mem.add(off) };
-            return Ok(Access { slot, seq, region: desc.region, ptr, len });
+            return Ok(Access { slot, seq, region: desc.region, write, ptr, len });
         }
     }
 
@@ -445,13 +584,18 @@ mod tests {
     #[test]
     fn desc_encode_decode_roundtrip() {
         let d = BulkDesc { region: 0xabc, offset: 0x12_3456, len: 0x65_4321, write: true };
-        assert_eq!(BulkDesc::decode(d.encode()), Some(d));
+        assert_eq!(BulkDesc::decode(d.encode().unwrap()), Some(d));
         let r = BulkDesc::read(3, 64, 4096);
-        assert_eq!(BulkDesc::decode(r.encode()), Some(r));
+        assert_eq!(BulkDesc::decode(r.encode().unwrap()), Some(r));
         // Ordinary argument words are not descriptors.
         assert_eq!(BulkDesc::decode(0), None);
         assert_eq!(BulkDesc::decode(42), None);
         assert_eq!(BulkDesc::decode(u64::MAX >> 3), None);
+        // Fields past their bit budget are rejected, not truncated —
+        // release builds included.
+        assert_eq!(BulkDesc::read(0, 1 << 24, 4).encode(), None);
+        assert_eq!(BulkDesc::read(0, 4, 1 << 24).encode(), None);
+        assert_eq!(BulkDesc { region: 1 << 12, offset: 0, len: 4, write: false }.encode(), None);
     }
 
     #[test]
@@ -515,6 +659,89 @@ mod tests {
             reg.begin(forged, 2, 3, 1, false, false).err(),
             Some(RtError::BadBulk)
         );
+        reg.unregister(id, 1).unwrap();
+    }
+
+    /// Regression for the aliasing-`&mut` soundness hole: two write
+    /// accesses (or a write and a read) to the same slot must never be
+    /// live at once, across threads.
+    #[test]
+    fn write_accesses_are_exclusive_per_slot() {
+        use std::sync::atomic::AtomicBool;
+
+        let pool = BufferPool::new();
+        let reg = RegionRegistry::new();
+        let id = reg.register(buf(&pool, 4096), 4096, 1).unwrap();
+        reg.grant(id, 1, 2, 3, true).unwrap();
+        let d = BulkDesc::write(id, 0, 4096);
+        let writer_live = AtomicBool::new(false);
+
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..200 {
+                        let acc = reg.begin(d, 2, 3, 1, true, false).unwrap();
+                        assert!(
+                            !writer_live.swap(true, Ordering::SeqCst),
+                            "two write accesses overlapped"
+                        );
+                        // Safety: the exclusivity under test is exactly
+                        // what makes this &mut unique.
+                        let bytes = unsafe { std::slice::from_raw_parts_mut(acc.ptr, acc.len) };
+                        bytes[0] = bytes[0].wrapping_add(1);
+                        writer_live.store(false, Ordering::SeqCst);
+                        acc.finish().unwrap();
+                    }
+                });
+                s.spawn(|| {
+                    for _ in 0..200 {
+                        let acc = reg.begin(d, 2, 3, 1, false, false).unwrap();
+                        assert!(
+                            !writer_live.load(Ordering::SeqCst),
+                            "read access overlapped a write access"
+                        );
+                        acc.finish().unwrap();
+                    }
+                });
+            }
+        });
+        reg.unregister(id, 1).unwrap();
+    }
+
+    /// A thread holding an access must get an error — not a deadlock —
+    /// from conflicting operations on the same slot.
+    #[test]
+    fn reentrant_conflicts_error_instead_of_deadlocking() {
+        let pool = BufferPool::new();
+        let reg = RegionRegistry::new();
+        let id = reg.register(buf(&pool, 256), 256, 1).unwrap();
+        reg.grant(id, 1, 2, 3, true).unwrap();
+        let d = BulkDesc::write(id, 0, 256);
+
+        // Holding a read access: another read is fine, a write or any
+        // registry mutation on the same slot is a reentrancy error.
+        let r1 = reg.begin(d, 2, 3, 1, false, false).unwrap();
+        let r2 = reg.begin(d, 2, 3, 1, false, false).unwrap();
+        assert_eq!(
+            reg.begin(d, 2, 3, 1, true, false).err(),
+            Some(RtError::BulkReentrant(id))
+        );
+        assert_eq!(reg.revoke(id, 1, 2).err(), Some(RtError::BulkReentrant(id)));
+        assert_eq!(reg.unregister(id, 1).err(), Some(RtError::BulkReentrant(id)));
+        r2.finish().unwrap();
+        r1.finish().unwrap();
+
+        // Holding a write access: even a read on the same slot errors.
+        let w = reg.begin(d, 2, 3, 1, true, false).unwrap();
+        assert_eq!(
+            reg.begin(d, 2, 3, 1, false, false).err(),
+            Some(RtError::BulkReentrant(id))
+        );
+        w.finish().unwrap();
+
+        // Ledger fully drained: everything works again.
+        reg.begin(d, 2, 3, 1, true, false).unwrap().finish().unwrap();
+        assert_eq!(reg.revoke(id, 1, 2).unwrap(), 1);
         reg.unregister(id, 1).unwrap();
     }
 

@@ -16,11 +16,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 #[derive(Debug, Default)]
 #[repr(align(64))]
 pub struct StatsCell {
-    /// Completed synchronous hand-off calls. Inline completions count in
-    /// [`StatsCell::inline_calls`] only; the aggregate
-    /// [`RuntimeStats::calls`] getter sums the two, so each dispatch path
-    /// pays exactly one counter increment.
-    pub calls: AtomicU64,
+    /// Completed synchronous hand-off calls — hand-off completions
+    /// *only*; inline completions count in [`StatsCell::inline_calls`].
+    /// The aggregate [`RuntimeStats::calls`] getter sums the two, so
+    /// each dispatch path pays exactly one counter increment. (Named
+    /// `handoff_calls` rather than `calls` so a reader wanting all
+    /// completed calls cannot pick it up by accident.)
+    pub handoff_calls: AtomicU64,
     /// Synchronous calls executed inline on the caller's thread.
     pub inline_calls: AtomicU64,
     /// Hand-off rendezvous resolved by spinning alone (no park).
@@ -87,12 +89,15 @@ impl RuntimeStats {
         self.cells
             .iter()
             .map(|c| {
-                c.calls.load(Ordering::Relaxed) + c.inline_calls.load(Ordering::Relaxed)
+                c.handoff_calls.load(Ordering::Relaxed)
+                    + c.inline_calls.load(Ordering::Relaxed)
             })
             .sum()
     }
 
     aggregate_getters! {
+        /// Hand-off (worker-dispatched) synchronous calls across all vCPUs.
+        handoff_calls,
         /// Inline (caller-thread) synchronous calls across all vCPUs.
         inline_calls,
         /// Rendezvous resolved by spinning alone across all vCPUs.
@@ -242,8 +247,8 @@ mod tests {
         let s = RuntimeStats::new(4);
         assert_eq!(s.calls(), 0);
         assert_eq!(s.frank_redirects(), 0);
-        s.cell(0).calls.fetch_add(2, Ordering::Relaxed);
-        s.cell(3).calls.fetch_add(3, Ordering::Relaxed);
+        s.cell(0).handoff_calls.fetch_add(2, Ordering::Relaxed);
+        s.cell(3).handoff_calls.fetch_add(3, Ordering::Relaxed);
         s.cell(1).inline_calls.fetch_add(1, Ordering::Relaxed);
         // Aggregate `calls` derives hand-off + inline.
         assert_eq!(s.calls(), 6);
@@ -263,9 +268,9 @@ mod tests {
     #[test]
     fn snapshot_since_and_display() {
         let s = RuntimeStats::new(2);
-        s.cell(0).calls.fetch_add(10, Ordering::Relaxed);
+        s.cell(0).handoff_calls.fetch_add(10, Ordering::Relaxed);
         let first = s.snapshot();
-        s.cell(1).calls.fetch_add(4, Ordering::Relaxed);
+        s.cell(1).handoff_calls.fetch_add(4, Ordering::Relaxed);
         s.cell(1).park_waits.fetch_add(4, Ordering::Relaxed);
         let delta = s.snapshot().since(&first);
         assert_eq!(delta.calls, 4);

@@ -211,6 +211,18 @@ fn bounds_and_descriptor_validation() {
 
     // Oversized registration is refused up front.
     assert_eq!(client.bulk_register((1 << 20) + 1).err(), Some(RtError::BadBulk));
+
+    // A descriptor whose fields exceed the one-word bit budget cannot be
+    // transmitted faithfully: rejected before dispatch, never silently
+    // truncated to a smaller span.
+    assert_eq!(
+        client.call_bulk(ep, [0; 8], region.desc(1 << 24, 16, false)).err(),
+        Some(RtError::BadBulk)
+    );
+    assert_eq!(
+        client.call_bulk(ep, [0; 8], region.desc(0, 1 << 24, false)).err(),
+        Some(RtError::BadBulk)
+    );
 }
 
 #[test]
@@ -229,6 +241,132 @@ fn buffers_recycle_through_the_pool() {
     let delta = rt.stats.snapshot().since(&before);
     assert_eq!(delta.bulk_pool_hits, 32, "every re-registration reused the pooled buffer");
     assert_eq!(delta.bulk_pool_misses, 0);
+}
+
+/// A buffer recycled through the vCPU pool must never surface one
+/// program's payload bytes inside another program's freshly registered
+/// region — the grant model's boundary applies to leftovers too.
+#[test]
+fn recycled_buffers_do_not_leak_across_programs() {
+    let rt = Runtime::new(1);
+    let alice = rt.client(0, 100);
+    let bob = rt.client(0, 200);
+    {
+        let secret = alice.bulk_register(4096).unwrap();
+        secret.fill(0, &[0xA5; 4096]).unwrap();
+    } // dropped: Alice's bytes ride back to the pool
+    let before = rt.stats.snapshot();
+    let probe = bob.bulk_register(4096).unwrap();
+    // Bob really did get the recycled buffer, and it is scrubbed.
+    assert_eq!(rt.stats.snapshot().since(&before).bulk_pool_hits, 1);
+    probe
+        .with_bytes(|bytes| assert!(bytes.iter().all(|b| *b == 0), "leaked payload bytes"))
+        .unwrap();
+    drop(probe);
+    // Same-program recycling keeps its own leftovers (the paper's
+    // serially-shared caveat, scoped to one program).
+    let again = bob.bulk_register(4096).unwrap();
+    let mut out = [0u8; 16];
+    again.read_into(0, &mut out).unwrap();
+    assert!(out.iter().all(|b| *b == 0));
+}
+
+/// Regression for the aliasing-`&mut` soundness hole: the owner's
+/// in-place access (`with_bytes`) and a handler's `with_bulk_mut` on a
+/// worker thread (reachable via `call_async`) must be mutually
+/// exclusive, never two live `&mut [u8]` over the same bytes.
+#[test]
+fn owner_and_server_in_place_writes_exclude_each_other() {
+    watchdog(120);
+    let rt = Runtime::new(1);
+    let writer_live = Arc::new(AtomicBool::new(false));
+    let wl = Arc::clone(&writer_live);
+    let ep = rt
+        .bind(
+            "mutator",
+            EntryOptions::default(),
+            Arc::new(move |ctx| {
+                let desc = ctx.bulk_desc().unwrap();
+                let ok = ctx
+                    .with_bulk_mut(desc, |bytes| {
+                        assert!(
+                            !wl.swap(true, Ordering::SeqCst),
+                            "two in-place write accesses overlapped"
+                        );
+                        for b in bytes.iter_mut() {
+                            *b = b.wrapping_add(1);
+                        }
+                        wl.store(false, Ordering::SeqCst);
+                    })
+                    .is_ok();
+                [ok as u64, 0, 0, 0, 0, 0, 0, 0]
+            }),
+        )
+        .unwrap();
+    let client = rt.client(0, 1);
+    let region = client.bulk_register(4096).unwrap();
+    region.grant(ep, true).unwrap();
+    let mut args = [0u64; 8];
+    args[7] = region.full_desc(true).encode().unwrap();
+
+    for _ in 0..20 {
+        let pending: Vec<_> =
+            (0..8).map(|_| client.call_async(ep, args).unwrap()).collect();
+        // Owner-side in-place writes race the async handlers.
+        for _ in 0..8 {
+            region
+                .with_bytes(|bytes| {
+                    assert!(
+                        !writer_live.swap(true, Ordering::SeqCst),
+                        "owner write overlapped a server write"
+                    );
+                    for b in bytes.iter_mut() {
+                        *b = b.wrapping_sub(1);
+                    }
+                    writer_live.store(false, Ordering::SeqCst);
+                })
+                .unwrap();
+        }
+        for p in pending {
+            p.wait();
+        }
+    }
+}
+
+/// Reentrant bulk operations from inside an in-place closure report
+/// [`RtError::BulkReentrant`] instead of deadlocking the slot.
+#[test]
+fn reentrant_bulk_access_errors_cleanly() {
+    let rt = Runtime::new(1);
+    let ep = rt
+        .bind(
+            "reentrant",
+            EntryOptions { inline_ok: true, ..Default::default() },
+            Arc::new(|ctx| {
+                let desc = ctx.bulk_desc().unwrap();
+                let mut nested = [0u64; 2];
+                ctx.with_bulk_mut(desc, |_| {
+                    // Both directions conflict with the write access we
+                    // already hold on this region.
+                    nested[0] = matches!(
+                        ctx.copy_to(desc, &[1, 2, 3]),
+                        Err(RtError::BulkReentrant(_))
+                    ) as u64;
+                    nested[1] = matches!(
+                        ctx.with_bulk(desc, |_| ()),
+                        Err(RtError::BulkReentrant(_))
+                    ) as u64;
+                })
+                .unwrap();
+                [nested[0], nested[1], 0, 0, 0, 0, 0, 0]
+            }),
+        )
+        .unwrap();
+    let client = rt.client(0, 1);
+    let region = client.bulk_register(256).unwrap();
+    region.grant(ep, true).unwrap();
+    let rets = client.call_bulk(ep, [0; 8], region.full_desc(true)).unwrap();
+    assert_eq!((rets[0], rets[1]), (1, 1), "nested accesses must error, not deadlock");
 }
 
 #[test]

@@ -24,8 +24,20 @@ proptest! {
             len: len & 0x00ff_ffff,           // 24-bit length
             write,
         };
-        let word = d.encode();
+        let word = d.encode().expect("masked fields fit the bit budget");
         prop_assert_eq!(BulkDesc::decode(word), Some(d));
+    }
+
+    /// Fields past the bit budget never encode — in release builds too —
+    /// so an oversized descriptor can't silently become a smaller span.
+    #[test]
+    fn bulk_desc_out_of_range_fields_refuse_to_encode(region in any::<u16>(),
+                                                      offset in any::<u32>(),
+                                                      len in any::<u32>(),
+                                                      write in any::<bool>()) {
+        let d = BulkDesc { region, offset, len, write };
+        let in_range = region <= 0x0fff && offset <= 0x00ff_ffff && len <= 0x00ff_ffff;
+        prop_assert_eq!(d.encode().is_some(), in_range);
     }
 
     /// Decoding is the exact inverse of encoding on tagged words, and
@@ -34,7 +46,7 @@ proptest! {
     #[test]
     fn bulk_desc_decode_partitions_words(word in any::<u64>()) {
         match BulkDesc::decode(word) {
-            Some(d) => prop_assert_eq!(d.encode(), word),
+            Some(d) => prop_assert_eq!(d.encode(), Some(word)),
             None => prop_assert_ne!(word >> 61, 0b101),
         }
     }
