@@ -7,6 +7,8 @@
 use ppc_bench::{ablation, report};
 
 fn main() {
+    let (_rest, json_path) = report::json_flag(std::env::args().skip(1));
+    let mut json = report::JsonReport::new("ablation_locks");
     println!("Lock ablation: null-call throughput (calls/second) vs. processors\n");
     let rows = ablation::run(16, 30_000.0);
     let widths = [5, 12, 12, 12, 12];
@@ -19,6 +21,15 @@ fn main() {
     );
     println!("{}", report::rule(&widths));
     for r in &rows {
+        json.mode(
+            &format!("n{}", r.n),
+            report::num_fields(&[
+                ("ppc", r.ppc),
+                ("locked_ppc", r.locked_ppc),
+                ("lrpc", r.lrpc),
+                ("msg_rpc", r.msg_rpc),
+            ]),
+        );
         println!(
             "{}",
             report::row(
@@ -41,4 +52,6 @@ fn main() {
     println!("  locked-ppc {:6.2}x", rl.locked_ppc / r1.locked_ppc);
     println!("  lrpc       {:6.2}x", rl.lrpc / r1.lrpc);
     println!("  msg-rpc    {:6.2}x", rl.msg_rpc / r1.msg_rpc);
+    json.meta("ppc_speedup", report::Json::Num(rl.ppc / r1.ppc));
+    json.write_if(&json_path);
 }

@@ -48,6 +48,8 @@ fn warm_us(sys: &mut PpcSystem, ep: usize, client: usize, bytes: u64) -> f64 {
 }
 
 fn main() {
+    let (_rest, json_path) = report::json_flag(std::env::args().skip(1));
+    let mut json = report::JsonReport::new("ablation_stack_policy");
     println!("Stack policy ablation: {LIMIT_PAGES}-page service, warm call cost vs. stack use\n");
     let widths = [12, 12, 12, 10];
     println!(
@@ -63,6 +65,10 @@ fn main() {
         let (mut lazy, ep_l, cl_l) = build(true);
         let e = warm_us(&mut eager, ep_e, cl_e, bytes);
         let l = warm_us(&mut lazy, ep_l, cl_l, bytes);
+        json.mode(
+            &format!("{bytes}B"),
+            report::num_fields(&[("eager_us", e), ("lazy_us", l)]),
+        );
         println!(
             "{}",
             report::row(
@@ -80,4 +86,5 @@ fn main() {
     println!("paper (§4.5.4): lazy growth \"would keep the common case fast and only");
     println!("penalize those servers that require the extra space (which are likely");
     println!("to execute longer and more easily amortize the cost of the page-fault)\".");
+    json.write_if(&json_path);
 }

@@ -88,6 +88,8 @@ fn rotation(sys: &mut PpcSystem, eps: &[usize], client: usize, pressure: bool) -
 }
 
 fn main() {
+    let (_rest, json_path) = report::json_flag(std::env::args().skip(1));
+    let mut json = report::JsonReport::new("ablation_stack_sharing");
     println!("Stack sharing ablation: one client calling {K} servers round-robin");
     println!("(one full rotation measured after warm-up)\n");
 
@@ -109,6 +111,14 @@ fn main() {
     ] {
         let (mut sys, eps, client) = build(hold);
         let r = rotation(&mut sys, &eps, client, pressure);
+        json.mode(
+            label,
+            report::num_fields(&[
+                ("us_per_rotation", r.us),
+                ("distinct_lines", r.lines as f64),
+                ("dcache_misses", r.misses as f64),
+            ]),
+        );
         println!(
             "{}",
             report::row(
@@ -128,4 +138,5 @@ fn main() {
     println!("\"removes the advantages of sharing stacks, and may ultimately result");
     println!("in overall lower performance\" — visible above as ~2.5x the distinct");
     println!("lines and a substantially slower rotation.");
+    json.write_if(&json_path);
 }

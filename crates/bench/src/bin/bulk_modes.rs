@@ -6,6 +6,7 @@
 //!
 //! Run: `cargo run -p ppc-bench --release --bin bulk_modes`
 //! CI:  `cargo run -p ppc-bench --release --bin bulk_modes -- --smoke`
+//! JSON: `cargo run -p ppc-bench --release --bin bulk_modes -- --json BENCH_BULKMODES.json`
 //!
 //! The task is identical across modes: the client owns `size` bytes, the
 //! server must observe and stamp them, and the (stamped) bytes must end
@@ -69,7 +70,7 @@ fn measure(budget_ms: u64, trials: usize, mut f: impl FnMut()) -> f64 {
 /// scratch page, stamped, copied back out as the response `Vec`, and the
 /// client lands it in its destination buffer — the full obligation of a
 /// transport whose server can only see shipped bytes.
-fn mailbox_mode(size: usize, budget_ms: u64, trials: usize) -> (f64, String) {
+fn mailbox_mode(size: usize, budget_ms: u64, trials: usize) -> (f64, String, report::Json) {
     let rt = Runtime::new(1);
     let ep = rt
         .bind(
@@ -101,14 +102,20 @@ fn mailbox_mode(size: usize, budget_ms: u64, trials: usize) -> (f64, String) {
         }
         std::hint::black_box(&mut dst);
     });
-    (ns, rt.stats.snapshot().since(&before).to_string())
+    let json = mode_json(size, ns, &rt);
+    (ns, rt.stats.snapshot().since(&before).to_string(), json)
 }
 
 /// The grant-backed modes. `zerocopy` selects `with_bulk_mut` in place;
 /// otherwise the server copies the span into a pooled buffer, works on
 /// it, and copies it back (CopyFrom + CopyTo through the vectored
 /// engine).
-fn bulk_mode(size: usize, zerocopy: bool, budget_ms: u64, trials: usize) -> (f64, String) {
+fn bulk_mode(
+    size: usize,
+    zerocopy: bool,
+    budget_ms: u64,
+    trials: usize,
+) -> (f64, String, report::Json) {
     let rt = Runtime::new(1);
     let bulk = Arc::clone(rt.bulk());
     let stats = Arc::clone(&rt.stats);
@@ -151,7 +158,21 @@ fn bulk_mode(size: usize, zerocopy: bool, budget_ms: u64, trials: usize) -> (f64
         let rets = client.call_bulk(ep, [0; 8], desc).unwrap();
         std::hint::black_box(rets);
     });
-    (ns, rt.stats.snapshot().since(&before).to_string())
+    let json = mode_json(size, ns, &rt);
+    (ns, rt.stats.snapshot().since(&before).to_string(), json)
+}
+
+/// One mode's JSON row: throughput plus the runtime's own sampled
+/// end-to-end call distribution for the run.
+fn mode_json(size: usize, ns: f64, rt: &Runtime) -> report::Json {
+    report::Json::Obj(vec![
+        ("ns_per_transfer".to_string(), report::Json::Num(ns)),
+        ("mb_per_s".to_string(), report::Json::Num(mbps(size, ns))),
+        (
+            "latency_ns".to_string(),
+            report::latency_fields(&rt.obs().merged(report::LatencyKind::Call)),
+        ),
+    ])
 }
 
 fn fmt_size(size: usize) -> String {
@@ -169,7 +190,10 @@ fn mbps(size: usize, ns: f64) -> f64 {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (args, json_path) = report::json_flag(std::env::args().skip(1));
+    let mut json = report::JsonReport::new("bulk_modes");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    json.meta("smoke", report::Json::Bool(smoke));
     let (sizes, budget_ms, trials): (&[usize], u64, usize) = if smoke {
         (&[64, 4 << 10], 15, 2)
     } else {
@@ -201,10 +225,14 @@ fn main() {
 
     let mut details: Vec<String> = Vec::new();
     for &size in sizes {
-        let (mb_ns, mb_d) = mailbox_mode(size, budget_ms, trials);
-        let (cp_ns, cp_d) = bulk_mode(size, false, budget_ms, trials);
-        let (zc_ns, zc_d) = bulk_mode(size, true, budget_ms, trials);
+        let (mb_ns, mb_d, mb_j) = mailbox_mode(size, budget_ms, trials);
+        let (cp_ns, cp_d, cp_j) = bulk_mode(size, false, budget_ms, trials);
+        let (zc_ns, zc_d, zc_j) = bulk_mode(size, true, budget_ms, trials);
         let label = fmt_size(size);
+        for (mode, j) in [("mailbox", mb_j), ("copy", cp_j), ("zerocopy", zc_j)] {
+            let report::Json::Obj(fields) = j else { unreachable!() };
+            json.mode(&format!("{label}/{mode}"), fields);
+        }
         println!(
             "{}",
             report::row(
@@ -264,4 +292,5 @@ fn main() {
         println!();
         println!("smoke: OK");
     }
+    json.write_if(&json_path);
 }

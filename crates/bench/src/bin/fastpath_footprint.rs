@@ -4,9 +4,12 @@
 //!
 //! Run: `cargo run -p ppc-bench --bin fastpath_footprint`
 
+use ppc_bench::report;
 use ppc_core::microbench::{measure_path_stats, Condition};
 
 fn main() {
+    let (_rest, json_path) = report::json_flag(std::env::args().skip(1));
+    let mut json = report::JsonReport::new("fastpath_footprint");
     println!("Fastpath footprint (warm user-to-user null call)\n");
     for (label, cond) in [
         ("no CD   ", Condition { kernel_server: false, hold_cd: false, flushed: false }),
@@ -15,6 +18,19 @@ fn main() {
         ("k+hold  ", Condition { kernel_server: true, hold_cd: true, flushed: false }),
     ] {
         let st = measure_path_stats(cond);
+        json.mode(
+            label.trim_end(),
+            report::num_fields(&[
+                ("instructions", st.instructions as f64),
+                ("loads", st.loads as f64),
+                ("stores", st.stores as f64),
+                ("distinct_lines", st.distinct_data_lines() as f64),
+                ("dcache_misses", st.dcache_misses as f64),
+                ("tlb_misses", st.tlb_misses as f64),
+                ("shared_accesses", st.shared_accesses as f64),
+                ("lock_acquires", st.lock_acquires as f64),
+            ]),
+        );
         println!(
             "{label} instructions={:<4} loads={:<3} stores={:<3} distinct-lines={:<3} \
              dcache-misses={:<2} tlb-misses={:<2} shared={} locks={}",
@@ -32,4 +48,5 @@ fn main() {
     println!("our distinct-line count includes the user save area, PCBs, trap");
     println!("frame and worker stack as well as the 6-ish PPC facility lines.");
     println!("shared=0 locks=0 is the paper's central design property.");
+    json.write_if(&json_path);
 }

@@ -8,6 +8,8 @@ use ppc_bench::report;
 use ppc_core::microbench::{measure, Condition};
 
 fn main() {
+    let (_rest, json_path) = report::json_flag(std::env::args().skip(1));
+    let mut json = report::JsonReport::new("figure2");
     println!("Figure 2: round-trip PPC time breakdown (microseconds)");
     println!("Categories follow the paper's legend; totals compared to CSRI-294.\n");
 
@@ -29,11 +31,16 @@ fn main() {
     for cond in Condition::ALL {
         let bd = measure(cond);
         let mut cells = vec![cond.label()];
+        let mut fields: Vec<(&str, f64)> = Vec::new();
         for c in &cats {
             cells.push(format!("{:.1}", bd.get(*c).as_us()));
+            fields.push((short(*c), bd.get(*c).as_us()));
         }
         cells.push(format!("{:.1}", bd.total().as_us()));
         cells.push(format!("{:.1}", cond.paper_total_us()));
+        fields.push(("total_us", bd.total().as_us()));
+        fields.push(("paper_us", cond.paper_total_us()));
+        json.mode(&cond.label(), report::num_fields(&fields));
         println!("{}", report::row(&cells, &widths));
         results.push((cond, bd));
     }
@@ -64,6 +71,7 @@ fn main() {
         "  dirty cache + I-flush, extra:    {:5.2} us   (paper: another 20-30 us)",
         worst.total().as_us() - t(false, false, true)
     );
+    json.write_if(&json_path);
 }
 
 fn short(c: CostCategory) -> &'static str {

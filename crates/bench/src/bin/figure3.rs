@@ -6,7 +6,10 @@
 use ppc_bench::{fig3, report};
 
 fn main() {
+    let (_rest, json_path) = report::json_flag(std::env::args().skip(1));
+    let mut json = report::JsonReport::new("figure3");
     let base = fig3::sequential_base_us();
+    json.meta("sequential_base_us", report::Json::Num(base));
     println!("Figure 3: GetLength throughput vs. processors");
     println!("sequential base: {base:.1} us/call (paper: 66 us, half IPC / half server)\n");
 
@@ -22,6 +25,14 @@ fn main() {
     println!("{}", report::rule(&widths[..4]));
     let max = rows.last().map(|r| r.ideal).unwrap_or(1.0);
     for r in &rows {
+        json.mode(
+            &format!("n{}", r.n),
+            report::num_fields(&[
+                ("ideal", r.ideal),
+                ("different_files", r.different_files),
+                ("single_file", r.single_file),
+            ]),
+        );
         println!(
             "{}",
             report::row(
@@ -66,4 +77,7 @@ fn main() {
         jpeak / j1,
         jit[15].1 / j1
     );
+    json.meta("different_files_speedup_16", report::Json::Num(r16.different_files / r1.different_files));
+    json.meta("single_file_peak_n", report::Json::Num(peak.n as f64));
+    json.write_if(&json_path);
 }

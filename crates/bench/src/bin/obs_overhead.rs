@@ -1,0 +1,119 @@
+//! OBS-OVERHEAD gate: the cost of the always-on observability plane on
+//! the null inline call, measured as enabled-vs-compiled-out.
+//!
+//! Two-step protocol (CI builds the binary twice):
+//!
+//! ```text
+//! cargo run -p ppc-bench --release --no-default-features --bin obs_overhead -- --write base.json
+//! cargo run -p ppc-bench --release --bin obs_overhead -- --check base.json --budget 1.05
+//! ```
+//!
+//! The compiled-out run records the baseline ns/call; the enabled run
+//! re-measures and fails (exit 1) if it exceeds `baseline × budget`.
+//! Shared CI runners jitter by more than 5% on a ~70 ns number, so an
+//! absolute grace floor (default 25 ns, `--floor-ns`) also passes the
+//! check — the budget is the real gate on quiet machines, the floor
+//! keeps noisy ones from flaking. Histograms stay affordable because the
+//! per-call cost is one `Relaxed` config load plus a thread-local tick;
+//! timestamps are only taken on sampled calls (1 in 128 by default).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ppc_bench::report::{self, Json};
+use ppc_rt::{EntryOptions, Runtime};
+
+/// Null inline call ns/call: minimum over trials (interference only ever
+/// adds time), same estimator as `rt_modes`.
+fn measure_null_inline() -> f64 {
+    const TRIALS: usize = 8;
+    const BUDGET: Duration = Duration::from_millis(60);
+    let rt = Runtime::new(1);
+    let ep = rt
+        .bind(
+            "null",
+            EntryOptions { inline_ok: true, ..Default::default() },
+            Arc::new(|ctx| ctx.args),
+        )
+        .unwrap();
+    let client = rt.client(0, 1);
+    for _ in 0..1_000 {
+        client.call(ep, [7; 8]).unwrap();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..TRIALS {
+        let t0 = Instant::now();
+        let mut iters = 0u64;
+        while t0.elapsed() < BUDGET {
+            for _ in 0..100 {
+                std::hint::black_box(client.call(ep, std::hint::black_box([7; 8])).unwrap());
+            }
+            iters += 100;
+        }
+        best = best.min(t0.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    best
+}
+
+fn doc(ns: f64) -> Json {
+    Json::obj([
+        ("bench", Json::Str("obs_overhead".to_string())),
+        ("obs_compiled", Json::Bool(cfg!(feature = "obs"))),
+        ("ns_per_call", Json::Num(ns)),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_value = |name: &str| -> Option<String> {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    };
+    let budget: f64 = flag_value("--budget").map(|s| s.parse().unwrap()).unwrap_or(1.05);
+    let floor_ns: f64 = flag_value("--floor-ns").map(|s| s.parse().unwrap()).unwrap_or(25.0);
+
+    let ns = measure_null_inline();
+    println!(
+        "null inline call: {ns:.1} ns/call (histograms {})",
+        if cfg!(feature = "obs") { "compiled in, enabled" } else { "compiled out" }
+    );
+
+    if let Some(path) = flag_value("--write") {
+        std::fs::write(&path, doc(ns).to_string() + "\n")
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("baseline written: {path}");
+        return;
+    }
+
+    if let Some(path) = flag_value("--check") {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        let base = Json::parse(&text)
+            .unwrap_or_else(|e| panic!("parsing {path}: {e}"))
+            .get("ns_per_call")
+            .and_then(|v| v.as_f64())
+            .expect("baseline has ns_per_call");
+        let ratio = ns / base;
+        let within_budget = ratio <= budget;
+        let within_floor = ns - base <= floor_ns;
+        println!(
+            "baseline {base:.1} ns/call -> {ns:.1} ns/call ({:+.1}%, budget {:.0}%, \
+             grace floor {floor_ns:.0} ns)",
+            (ratio - 1.0) * 100.0,
+            (budget - 1.0) * 100.0,
+        );
+        if within_budget || within_floor {
+            println!("obs overhead: OK");
+        } else {
+            println!("obs overhead: FAIL — regression exceeds budget and grace floor");
+            std::process::exit(1);
+        }
+    }
+
+    // Consistency with the other bins: `--json` emits the same document.
+    let (_rest, json_path) = report::json_flag(args.into_iter());
+    if let Some(path) = json_path {
+        std::fs::write(&path, doc(ns).to_string() + "\n")
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("json report: {}", path.display());
+    }
+}

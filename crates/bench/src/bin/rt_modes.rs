@@ -3,6 +3,7 @@
 //! across handler service times.
 //!
 //! Run: `cargo run -p ppc-bench --release --bin rt_modes`
+//! JSON: `cargo run -p ppc-bench --release --bin rt_modes -- --json BENCH_RTMODES.json`
 //!
 //! This is the measurement behind the hand-off fast-path rework: inline
 //! dispatch eliminates the park/unpark round trip entirely (the caller
@@ -61,7 +62,7 @@ fn measure(budget_ms: u64, mut f: impl FnMut()) -> f64 {
     best
 }
 
-fn ppc_mode(handler_ns: u64, inline: bool, policy: SpinPolicy) -> (f64, String) {
+fn ppc_mode(handler_ns: u64, inline: bool, policy: SpinPolicy) -> (f64, String, report::Json) {
     let rt = Runtime::new(1);
     rt.set_spin_policy(policy);
     let ep = rt
@@ -77,10 +78,18 @@ fn ppc_mode(handler_ns: u64, inline: bool, policy: SpinPolicy) -> (f64, String) 
         std::hint::black_box(client.call(ep, std::hint::black_box([7; 8])).unwrap());
     });
     let delta = rt.stats.snapshot().since(&before);
-    (ns, delta.to_string())
+    // The runtime's own sampled histogram plane supplies the
+    // distribution — no extra timing pass, the fast path measured
+    // itself while `measure` ran.
+    let mut fields = vec![("ns_per_call".to_string(), report::Json::Num(ns))];
+    fields.push((
+        "latency_ns".to_string(),
+        report::latency_fields(&rt.obs().merged(report::LatencyKind::Call)),
+    ));
+    (ns, delta.to_string(), report::Json::Obj(fields))
 }
 
-fn locked_mode(handler_ns: u64) -> f64 {
+fn locked_mode(handler_ns: u64) -> (f64, report::Json) {
     let server = LockedServer::start(
         1,
         Arc::new(move |a: [u64; 8]| {
@@ -93,12 +102,27 @@ fn locked_mode(handler_ns: u64) -> f64 {
             a
         }),
     );
-    measure(100, || {
+    let ns = measure(100, || {
         std::hint::black_box(server.call(std::hint::black_box([7; 8])));
-    })
+    });
+    // The baseline has no runtime (and thus no histogram plane): a short
+    // explicitly-timed pass fills a private histogram for the artifact.
+    let mut h = report::Histogram::new();
+    for _ in 0..4096 {
+        let t0 = Instant::now();
+        std::hint::black_box(server.call(std::hint::black_box([7; 8])));
+        h.record(t0.elapsed().as_nanos() as u64);
+    }
+    let fields = vec![
+        ("ns_per_call".to_string(), report::Json::Num(ns)),
+        ("latency_ns".to_string(), report::latency_fields(&h)),
+    ];
+    (ns, report::Json::Obj(fields))
 }
 
 fn main() {
+    let (_rest, json_path) = report::json_flag(std::env::args().skip(1));
+    let mut json = report::JsonReport::new("rt_modes");
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     println!("Dispatch-mode latency matrix ({cores} host core(s)); ns/call");
     println!();
@@ -120,15 +144,21 @@ fn main() {
 
     let mut details: Vec<String> = Vec::new();
     for handler_ns in [0u64, 500, 2_000, 20_000] {
-        let (inline_ns, inline_d) = ppc_mode(handler_ns, true, SpinPolicy::Adaptive);
-        let (spin_ns, spin_d) = ppc_mode(handler_ns, false, SpinPolicy::Adaptive);
-        let (park_ns, park_d) = ppc_mode(handler_ns, false, SpinPolicy::ParkOnly);
-        let locked_ns = locked_mode(handler_ns);
+        let (inline_ns, inline_d, inline_j) = ppc_mode(handler_ns, true, SpinPolicy::Adaptive);
+        let (spin_ns, spin_d, spin_j) = ppc_mode(handler_ns, false, SpinPolicy::Adaptive);
+        let (park_ns, park_d, park_j) = ppc_mode(handler_ns, false, SpinPolicy::ParkOnly);
+        let (locked_ns, locked_j) = locked_mode(handler_ns);
         let label = if handler_ns == 0 {
             "null".to_string()
         } else {
             format!("{handler_ns} ns")
         };
+        for (mode, j) in
+            [("inline", inline_j), ("spin", spin_j), ("park", park_j), ("locked", locked_j)]
+        {
+            let report::Json::Obj(fields) = j else { unreachable!() };
+            json.mode(&format!("{label}/{mode}"), fields);
+        }
         println!(
             "{}",
             report::row(
@@ -152,4 +182,5 @@ fn main() {
     for d in details {
         println!("  {d}");
     }
+    json.write_if(&json_path);
 }

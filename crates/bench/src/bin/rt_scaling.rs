@@ -68,6 +68,8 @@ fn locked_throughput(n_clients: usize) -> f64 {
 }
 
 fn main() {
+    let (_rest, json_path) = report::json_flag(std::env::args().skip(1));
+    let mut json = report::JsonReport::new("rt_scaling");
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     println!("Real-threads PPC scalability ({cores} host core(s))");
     if cores == 1 {
@@ -85,6 +87,10 @@ fn main() {
     for n in [1usize, 2, 4, 8] {
         let (p, snap) = ppc_throughput(n);
         let l = locked_throughput(n);
+        json.mode(
+            &format!("{n}_clients"),
+            report::num_fields(&[("ppc_calls_per_s", p), ("locked_calls_per_s", l)]),
+        );
         println!(
             "{}",
             report::row(&[n.to_string(), format!("{p:.0}"), format!("{l:.0}")], &widths)
@@ -96,4 +102,5 @@ fn main() {
     for (n, snap) in snapshots {
         println!("  {n} client(s): {snap}");
     }
+    json.write_if(&json_path);
 }

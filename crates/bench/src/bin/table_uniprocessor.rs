@@ -7,6 +7,8 @@ use ppc_bench::report;
 use ppc_core::microbench::{measure, Condition};
 
 fn main() {
+    let (_rest, json_path) = report::json_flag(std::env::args().skip(1));
+    let mut json = report::JsonReport::new("table_uniprocessor");
     println!("Uniprocessor IPC comparison (null round-trip RPC, microseconds)");
     println!("Reference values as cited in the paper's introduction.\n");
 
@@ -28,11 +30,23 @@ fn main() {
         ("LRPC (paper citation)", 157.0, "CVAX Firefly"),
     ];
     for (name, us, plat) in rows {
+        json.mode(
+            &format!("{name} ({plat})"),
+            report::num_fields(&[("time_us", us)]),
+        );
         println!(
             "{}",
             report::row(&[name.into(), format!("{us:.1}"), plat.into()], &widths)
         );
     }
+    json.mode(
+        "ppc user-to-user (repro)",
+        report::num_fields(&[("time_us", u2u.total().as_us())]),
+    );
+    json.mode(
+        "ppc user-to-kernel hold-cd (repro)",
+        report::num_fields(&[("time_us", u2k.total().as_us())]),
+    );
     println!("{}", report::rule(&widths));
     println!(
         "{}",
@@ -58,4 +72,5 @@ fn main() {
     );
     println!("\npaper: 32.4 us user-to-user warm; 19.2 us user-to-kernel with held CD —");
     println!("multiprocessor IPC competitive with the fastest uniprocessor times.");
+    json.write_if(&json_path);
 }

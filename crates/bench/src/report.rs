@@ -1,4 +1,110 @@
-//! Small fixed-width table formatting for the figure/table binaries.
+//! Small fixed-width table formatting for the figure/table binaries,
+//! plus the shared `--json <path>` machine-readable artifact writer.
+//!
+//! Every bench binary accepts `--json <path>` (or `--json=<path>`) and
+//! writes a `BENCH_*.json`-style document next to its ASCII table:
+//! `{"bench": ..., <metadata>, "modes": {<label>: {...}}}`. Latency
+//! distributions ride along as the runtime exporter's histogram objects
+//! (`count`/`p50`/`p90`/`p99`/`max`/`buckets`), so the repo accumulates
+//! a queryable perf trajectory instead of screen-scraped tables.
+
+use std::path::{Path, PathBuf};
+
+pub use ppc_rt::export::{histogram_json, Json};
+pub use ppc_rt::{Histogram, LatencyKind};
+
+/// Split the shared `--json <path>` / `--json=<path>` flag out of an
+/// argument stream; returns the remaining args and the path, if given.
+pub fn json_flag(args: impl Iterator<Item = String>) -> (Vec<String>, Option<PathBuf>) {
+    let mut rest = Vec::new();
+    let mut path = None;
+    let mut args = args;
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            path = args.next().map(PathBuf::from);
+        } else if let Some(p) = a.strip_prefix("--json=") {
+            path = Some(PathBuf::from(p));
+        } else {
+            rest.push(a);
+        }
+    }
+    (rest, path)
+}
+
+/// One bench run's machine-readable artifact, accumulated as the run
+/// prints its table and written once at the end.
+pub struct JsonReport {
+    bench: String,
+    meta: Vec<(String, Json)>,
+    modes: Vec<(String, Json)>,
+}
+
+impl JsonReport {
+    /// A report for bench `bench`, stamped with the host's parallelism.
+    pub fn new(bench: &str) -> Self {
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        JsonReport {
+            bench: bench.to_string(),
+            meta: vec![("host_cores".to_string(), Json::Num(cores as f64))],
+            modes: Vec::new(),
+        }
+    }
+
+    /// Attach a top-level metadata field.
+    pub fn meta(&mut self, key: &str, value: Json) {
+        self.meta.push((key.to_string(), value));
+    }
+
+    /// Record one measured mode/row (label must be unique per run).
+    pub fn mode(&mut self, label: &str, fields: Vec<(String, Json)>) {
+        self.modes.push((label.to_string(), Json::Obj(fields)));
+    }
+
+    /// The document: `{"bench": ..., <meta>, "modes": {...}}`.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![("bench".to_string(), Json::Str(self.bench.clone()))];
+        fields.extend(self.meta.iter().cloned());
+        fields.push(("modes".to_string(), Json::Obj(self.modes.clone())));
+        Json::Obj(fields)
+    }
+
+    /// Write the document to `path` (with a trailing newline).
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().to_string() + "\n")
+    }
+
+    /// Write to `path` when the `--json` flag was given; prints the
+    /// destination, panics on I/O failure (a bench artifact silently
+    /// missing is worse than a failed run).
+    pub fn write_if(&self, path: &Option<PathBuf>) {
+        if let Some(path) = path {
+            self.write(path).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+            println!("json report: {}", path.display());
+        }
+    }
+}
+
+/// `(label, value)` numeric fields, the common row shape.
+pub fn num_fields(pairs: &[(&str, f64)]) -> Vec<(String, Json)> {
+    pairs.iter().map(|(k, v)| (k.to_string(), Json::Num(*v))).collect()
+}
+
+/// The percentile summary every latency-reporting mode includes:
+/// p50/p90/p99/max plus the sample count, from a merged histogram.
+/// Returns an empty object for an empty histogram (e.g. histograms
+/// compiled out).
+pub fn latency_fields(h: &Histogram) -> Json {
+    if h.count() == 0 {
+        return Json::Obj(Vec::new());
+    }
+    Json::obj([
+        ("count", Json::Num(h.count() as f64)),
+        ("p50", Json::Num(h.quantile(0.50) as f64)),
+        ("p90", Json::Num(h.quantile(0.90) as f64)),
+        ("p99", Json::Num(h.quantile(0.99) as f64)),
+        ("max", Json::Num(h.max_ns as f64)),
+    ])
+}
 
 /// Format a row of cells with the given column widths (right-aligned
 /// numerics look best for the paper-style tables).
@@ -41,5 +147,43 @@ mod tests {
         assert_eq!(bar(5.0, 10.0, 10), "#####");
         assert_eq!(bar(20.0, 10.0, 10), "##########", "clamped at width");
         assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+
+    #[test]
+    fn json_flag_both_spellings() {
+        let (rest, p) = json_flag(
+            ["--smoke", "--json", "out.json"].iter().map(|s| s.to_string()),
+        );
+        assert_eq!(rest, vec!["--smoke".to_string()]);
+        assert_eq!(p.unwrap().to_str(), Some("out.json"));
+        let (rest, p) = json_flag(["--json=x.json"].iter().map(|s| s.to_string()));
+        assert!(rest.is_empty());
+        assert_eq!(p.unwrap().to_str(), Some("x.json"));
+        let (_, p) = json_flag(std::iter::empty());
+        assert!(p.is_none());
+    }
+
+    #[test]
+    fn report_roundtrips_through_parser() {
+        let mut r = JsonReport::new("unit");
+        r.meta("budget_ms", Json::Num(100.0));
+        r.mode("null/inline", num_fields(&[("ns_per_call", 68.5)]));
+        let text = r.to_json().to_string();
+        let back = Json::parse(&text).expect("self-produced JSON parses");
+        assert_eq!(back.get("bench").unwrap().as_str(), Some("unit"));
+        let mode = back.get("modes").unwrap().get("null/inline").unwrap();
+        assert_eq!(mode.get("ns_per_call").unwrap().as_f64(), Some(68.5));
+    }
+
+    #[test]
+    fn latency_fields_reports_percentiles() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(1_000);
+        }
+        let j = latency_fields(&h);
+        assert_eq!(j.get("count").unwrap().as_u64(), Some(100));
+        assert!(j.get("p50").unwrap().as_u64().unwrap() >= 1_000);
+        assert_eq!(latency_fields(&Histogram::new()), Json::Obj(Vec::new()));
     }
 }

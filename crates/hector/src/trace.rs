@@ -8,6 +8,20 @@
 //! bounded trace buffer with its cost category, kind, address and cycle
 //! cost — so a user can read the anatomy of a PPC call operation by
 //! operation (see the `call_anatomy` example).
+//!
+//! This format is deliberately **not** unified with the real-threads
+//! runtime's observability plane (`ppc-rt`'s sampled latency histograms
+//! and packed 16-byte flight-recorder events). The two answer different
+//! questions in different domains: the runtime plane summarizes
+//! *wall-clock nanoseconds* statistically, sampling 1-in-N calls and
+//! retaining a bounded ring of recent events, because on the hot path
+//! measurement itself is a tax to be minimized. The simulator operates
+//! in the *cycle* domain where observation is free — tracing here must
+//! be **lossless and exhaustively attributed** (every charged cycle
+//! tagged with a [`CostCategory`]), since Figure 2's breakdown and the
+//! §5 instruction/cache-line counts are exact accountings, not
+//! percentile summaries. Collapsing either format into the other would
+//! forfeit what that side exists to provide.
 
 use std::fmt;
 

@@ -122,7 +122,7 @@ impl PoolBuf {
     /// The whole buffer as a mutable slice (servers using pooled buffers
     /// as private scratch — the bulk-copy pattern in `bulk_modes`).
     /// Marks the contents unknown: if the buffer later backs a region,
-    /// [`PoolBuf::bind_owner`] scrubs it first.
+    /// `PoolBuf::bind_owner` scrubs it first.
     pub fn as_mut_slice(&mut self) -> &mut [u8] {
         // Whatever gets written here (possibly another program's data) is
         // not attributable to the last region owner any more.

@@ -17,6 +17,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crate::entry::EntryState;
+use crate::flight::FlightKind;
+use crate::obs::LatencyKind;
 use crate::slot::CallSlot;
 use crate::worker::WorkerHandle;
 use crate::{AsyncCall, CallCtx, EntryId, ProgramId, RtError, Runtime, SpinPolicy, VcpuState};
@@ -40,6 +42,10 @@ impl Runtime {
                     .map(|(r, _)| Some(r));
             }
         }
+        // Observability gate: one Relaxed load (plus a thread-local tick
+        // when enabled). Unsampled calls pay nothing further.
+        let sampled = sync && self.obs().try_sample();
+        let t0 = sampled.then(Instant::now);
         let (entry, worker, slot, held) = self.prepare(vcpu, ep, args, program, sync)?;
         worker.post(Arc::clone(&slot));
         if !sync {
@@ -62,7 +68,7 @@ impl Runtime {
                 return Err(RtError::Aborted(ep));
             }
         }
-        self.rendezvous(self.vcpu(vcpu)?, &slot);
+        self.rendezvous(self.vcpu(vcpu)?, &slot, ep, sampled);
         let rets = slot.read_rets();
         let faulted = slot.is_faulted();
         // A hard kill that landed while we ran aborts the call.
@@ -80,6 +86,10 @@ impl Runtime {
             return Err(RtError::ServerFault(ep));
         }
         cell.handoff_calls.fetch_add(1, Ordering::Relaxed);
+        if let Some(t0) = t0 {
+            self.obs().record(LatencyKind::Call, vcpu, t0.elapsed().as_nanos() as u64);
+            self.flight().record(vcpu, FlightKind::Handoff, ep, program);
+        }
         Ok(Some(rets))
     }
 
@@ -109,6 +119,8 @@ impl Runtime {
                 self.dispatch_inline(vcpu, ep, args, program, Some(payload), probe)?;
             return Ok((rets, resp.expect("payload dispatch returns a response")));
         }
+        let sampled = self.obs().try_sample();
+        let t0 = sampled.then(Instant::now);
         let (entry, worker, slot, held) = self.prepare_payload(vcpu, ep, args, program, payload)?;
         worker.post(Arc::clone(&slot));
         if worker.is_shutdown() {
@@ -123,7 +135,7 @@ impl Runtime {
                 return Err(RtError::Aborted(ep));
             }
         }
-        self.rendezvous(self.vcpu(vcpu)?, &slot);
+        self.rendezvous(self.vcpu(vcpu)?, &slot, ep, sampled);
         let rets = slot.read_rets();
         if entry.entry_state() == EntryState::Dead {
             return Err(RtError::Aborted(ep));
@@ -145,6 +157,10 @@ impl Runtime {
             slot.reset();
         }
         cell.handoff_calls.fetch_add(1, Ordering::Relaxed);
+        if let Some(t0) = t0 {
+            self.obs().record(LatencyKind::Call, vcpu, t0.elapsed().as_nanos() as u64);
+            self.flight().record(vcpu, FlightKind::Handoff, ep, program);
+        }
         Ok((rets, response))
     }
 
@@ -165,6 +181,8 @@ impl Runtime {
     ) -> Result<([u64; 8], Option<Vec<u8>>), RtError> {
         let vc = self.vcpu(vcpu)?;
         let cell = self.stats.cell(vcpu);
+        let sampled = self.obs().try_sample();
+        let t0 = sampled.then(Instant::now);
         // Claim an in-flight slot, then re-check state — same kill
         // protocol as the hand-off path.
         entry.active.fetch_add(1, Ordering::AcqRel);
@@ -177,12 +195,13 @@ impl Runtime {
         // bytes both ways); a plain call borrows one lazily, only if the
         // handler asks — descriptor-only bulk calls skip the CD pool.
         let slot = payload.map(|p| {
-            let s = vc.take_slot(cell);
+            let s = vc.take_slot(cell, self.flight());
             s.write_payload(p);
             s
         });
         // Fault containment matches the worker loop: a panicking handler
         // unwinds to here, not through the caller's frames.
+        let th0 = sampled.then(Instant::now);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &slot {
             Some(s) => s.with_scratch(|scratch| {
                 let mut ctx = CallCtx {
@@ -210,6 +229,9 @@ impl Runtime {
                 (rets, ctx.take_lazy_slot())
             }
         }));
+        if let Some(th0) = th0 {
+            self.obs().record(LatencyKind::Handler, vcpu, th0.elapsed().as_nanos() as u64);
+        }
         entry.finish_call();
         let killed = entry.entry_state() == EntryState::Dead;
         match result {
@@ -234,6 +256,10 @@ impl Runtime {
                 // aggregate `calls` getter derives hand-off + inline, so
                 // the fast path pays one counter increment, not two.
                 cell.inline_calls.fetch_add(1, Ordering::Relaxed);
+                if let Some(t0) = t0 {
+                    self.obs().record(LatencyKind::Call, vcpu, t0.elapsed().as_nanos() as u64);
+                    self.flight().record(vcpu, FlightKind::Inline, ep, program);
+                }
                 Ok((rets, response))
             }
             Err(_) => {
@@ -246,6 +272,10 @@ impl Runtime {
                     return Err(RtError::Aborted(ep));
                 }
                 cell.server_faults.fetch_add(1, Ordering::Relaxed);
+                // Contained faults are rare: record unconditionally so
+                // the ring always has them, and dump the context.
+                self.flight().record(vcpu, FlightKind::Fault, ep, program);
+                entry.dump_fault(vcpu);
                 Err(RtError::ServerFault(ep))
             }
         }
@@ -254,21 +284,35 @@ impl Runtime {
     /// Wait for the posted call to complete, per the runtime's
     /// [`SpinPolicy`]. Under `Adaptive`, the observed wall-clock latency
     /// feeds the calling vCPU's EWMA so the next budget fits the
-    /// workload.
-    fn rendezvous(&self, vc: &VcpuState, slot: &CallSlot) {
+    /// workload. A `sampled` rendezvous additionally records the wait
+    /// into the [`LatencyKind::Rendezvous`] histogram and its
+    /// spin-vs-park outcome into the flight ring (Adaptive already times
+    /// the wait for the EWMA; the other policies only pay the timestamps
+    /// when sampled).
+    fn rendezvous(&self, vc: &VcpuState, slot: &CallSlot, ep: EntryId, sampled: bool) {
         let cell = self.stats.cell(vc.id);
+        let mut wait_ns = 0u64;
         let spun = match self.spin_policy() {
             SpinPolicy::ParkOnly => {
+                let t0 = sampled.then(Instant::now);
                 slot.wait_done();
+                if let Some(t0) = t0 {
+                    wait_ns = t0.elapsed().as_nanos() as u64;
+                }
                 false
             }
             SpinPolicy::Fixed(budget) => {
-                if budget == 0 {
+                let t0 = sampled.then(Instant::now);
+                let spun = if budget == 0 {
                     slot.wait_done();
                     false
                 } else {
                     slot.wait_done_spin(budget)
+                };
+                if let Some(t0) = t0 {
+                    wait_ns = t0.elapsed().as_nanos() as u64;
                 }
+                spun
             }
             SpinPolicy::Adaptive => {
                 let budget = vc.spin_budget();
@@ -279,7 +323,8 @@ impl Runtime {
                 } else {
                     slot.wait_done_spin(budget)
                 };
-                vc.observe_latency(t0.elapsed().as_nanos() as u64);
+                wait_ns = t0.elapsed().as_nanos() as u64;
+                vc.observe_latency(wait_ns);
                 spun
             }
         };
@@ -287,6 +332,11 @@ impl Runtime {
             cell.spin_waits.fetch_add(1, Ordering::Relaxed);
         } else {
             cell.park_waits.fetch_add(1, Ordering::Relaxed);
+        }
+        if sampled {
+            self.obs().record(LatencyKind::Rendezvous, vc.id, wait_ns);
+            let kind = if spun { FlightKind::SpinResolved } else { FlightKind::Parked };
+            self.flight().record(vc.id, kind, ep, wait_ns.min(u32::MAX as u64) as u32);
         }
     }
 
@@ -322,6 +372,9 @@ impl Runtime {
         let (_entry, worker, slot, held) = self.prepare(vcpu, ep, args, program, false)?;
         worker.post(Arc::clone(&slot));
         self.stats.cell(vcpu).async_calls.fetch_add(1, Ordering::Relaxed);
+        if self.obs().try_sample() {
+            self.flight().record(vcpu, FlightKind::Async, ep, program);
+        }
         Ok(AsyncCall { slot, vcpu: Arc::clone(self.vcpu(vcpu)?), ep, held })
     }
 
@@ -381,6 +434,9 @@ impl Runtime {
             None => {
                 cell.frank_redirects.fetch_add(1, Ordering::Relaxed);
                 cell.workers_created.fetch_add(1, Ordering::Relaxed);
+                // Frank redirects are the slow path by definition:
+                // record unconditionally (data 0 = worker pool).
+                self.flight().record(vcpu, FlightKind::Frank, ep, 0);
                 let arc = self.entry_arc(ep).ok_or(RtError::UnknownEntry(ep))?;
                 entry.pool(vcpu).grow(&arc, vcpu, self.pinned(), false)
             }
@@ -391,13 +447,13 @@ impl Runtime {
             match worker.held_slot() {
                 Some(s) => (s, true),
                 None => {
-                    let s = vc.take_slot(cell);
+                    let s = vc.take_slot(cell, self.flight());
                     worker.pin_slot(Arc::clone(&s));
                     (s, true)
                 }
             }
         } else {
-            (vc.take_slot(cell), false)
+            (vc.take_slot(cell, self.flight()), false)
         };
         Ok((entry, worker, slot, held))
     }

@@ -101,10 +101,22 @@ pub struct EntryShared {
     /// region registries and buffer pools from [`crate::CallCtx`] without
     /// a back reference to the [`Runtime`].
     pub(crate) bulk: Arc<crate::bulk::BulkState>,
+    /// The latency-histogram plane, shared in at bind for the same
+    /// no-back-reference reason (workers time handler runs, the bulk
+    /// accessors time copies).
+    pub(crate) obs: Arc<crate::obs::ObsState>,
+    /// The flight-recorder plane, shared in at bind (workers record
+    /// contained faults; kill paths record on the entry).
+    pub(crate) flight: Arc<crate::flight::FlightPlane>,
+    /// The facility counters, shared in at bind so the contained-fault
+    /// dump can attach the last [`crate::Snapshot`] from the worker
+    /// thread (which has no back reference to the [`Runtime`]).
+    pub(crate) stats: Arc<crate::stats::RuntimeStats>,
     pools: Vec<WorkerPool>,
 }
 
 impl EntryShared {
+    #[allow(clippy::too_many_arguments)] // internal ctor mirroring the field list
     fn new(
         id: EntryId,
         name: &str,
@@ -113,6 +125,9 @@ impl EntryShared {
         n_vcpus: usize,
         idle_spin: u32,
         bulk: Arc<crate::bulk::BulkState>,
+        obs: Arc<crate::obs::ObsState>,
+        flight: Arc<crate::flight::FlightPlane>,
+        stats: Arc<crate::stats::RuntimeStats>,
     ) -> Self {
         EntryShared {
             id,
@@ -125,8 +140,31 @@ impl EntryShared {
             handler_graveyard: Mutex::new(Vec::new()),
             idle_spin: AtomicU32::new(idle_spin),
             bulk,
+            obs,
+            flight,
+            stats,
             pools: (0..n_vcpus).map(|_| WorkerPool::new()).collect(),
         }
+    }
+
+    /// Contained-fault diagnostics: the last counter snapshot plus the
+    /// faulting vCPU's retained flight events, to stderr. Cold by
+    /// construction — only runs after a handler panic was caught, so the
+    /// dump can never tax a healthy fast path.
+    pub(crate) fn dump_fault(&self, vcpu: usize) {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "=== contained fault: entry {} ({:?}) on vcpu {vcpu} ===",
+            self.id, self.name
+        );
+        let _ = writeln!(out, "stats: {}", self.stats.snapshot());
+        for ev in self.flight.snapshot(vcpu) {
+            let _ = writeln!(out, "  {ev}");
+        }
+        let _ = writeln!(out, "=== end fault dump ===");
+        eprint!("{out}");
     }
 
     /// Current lifecycle state.
@@ -216,6 +254,9 @@ impl Runtime {
             self.n_vcpus(),
             crate::worker_idle_budget(self.spin_policy()),
             Arc::clone(self.bulk()),
+            Arc::clone(self.obs()),
+            Arc::clone(self.flight()),
+            Arc::clone(&self.stats),
         ));
         for v in 0..self.n_vcpus() {
             for _ in 0..opts.initial_workers {
@@ -240,6 +281,9 @@ impl Runtime {
         match e.entry_state() {
             EntryState::Active => {
                 e.state.store(EntryState::SoftKilled as u8, Ordering::Release);
+                // Lifecycle events are facility-global, not tied to a
+                // calling vCPU; by convention they land on ring 0.
+                e.flight.record(0, crate::flight::FlightKind::SoftKill, ep, by);
                 Ok(())
             }
             _ => Err(RtError::EntryDead(ep)),
@@ -268,6 +312,7 @@ impl Runtime {
             return Err(RtError::EntryDead(ep));
         }
         e.state.store(EntryState::Dead as u8, Ordering::SeqCst);
+        e.flight.record(0, crate::flight::FlightKind::HardKill, ep, by);
         e.reap_workers();
         Ok(())
     }
@@ -282,6 +327,7 @@ impl Runtime {
             return Err(RtError::EntryDead(ep));
         }
         e.swap_handler(h);
+        e.flight.record(0, crate::flight::FlightKind::Exchange, ep, by);
         Ok(())
     }
 

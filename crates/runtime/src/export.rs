@@ -1,0 +1,497 @@
+//! Metrics export: Prometheus text and JSON snapshots of the counter
+//! and histogram planes.
+//!
+//! Everything here is cold-path: an export walks [`Snapshot::fields`]
+//! (generated from the `counters!` list, so new counters appear without
+//! touching this module) and the merged per-kind [`Histogram`]s, and
+//! renders them. No external dependency is used — the repo vendors its
+//! dependency graph, so JSON is a small hand-rolled [`Json`] value type
+//! with a parser, which also gives tests a real round-trip check
+//! instead of string-compares.
+//!
+//! Two renderings:
+//!
+//! * [`prometheus`] — the Prometheus text exposition format: one
+//!   `ppc_<counter>` counter per stats field and a classic
+//!   `ppc_latency_ns` histogram per [`LatencyKind`] (cumulative
+//!   `_bucket{kind,le}` series plus `_count`/`_sum`).
+//! * [`json_snapshot`] — the same data as a [`Json`] object tree with
+//!   per-kind percentiles precomputed, the shape the bench bins write
+//!   to `BENCH_*.json`.
+
+use std::fmt::Write as _;
+
+use crate::obs::{Histogram, LatencyKind, ObsState, KINDS};
+use crate::stats::Snapshot;
+
+// ---------------------------------------------------------------------
+// Json value type
+// ---------------------------------------------------------------------
+
+/// A JSON value. Numbers are `f64` (counter magnitudes in practice stay
+/// far below the 2⁵³ integer-exactness limit; the writer renders
+/// integral values without a decimal point). Object key order is
+/// preserved.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object constructor from `(key, value)` pairs.
+    pub fn obj(fields: impl IntoIterator<Item = (impl Into<String>, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Member lookup on an object (`None` on other variants).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() && n.fract() == 0.0 && n.abs() < 9.0e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else if n.is_finite() {
+                    let _ = write!(out, "{n}");
+                } else {
+                    out.push_str("null"); // JSON has no NaN/Inf
+                }
+            }
+            Json::Str(s) => write_json_string(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document (the whole input must be one value).
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError { pos, what: "trailing garbage" });
+        }
+        Ok(value)
+    }
+}
+
+/// Parse failure: byte offset and a static description.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    pub pos: usize,
+    pub what: &'static str,
+}
+
+/// Serialization (`json.to_string()`). Integral numbers render without
+/// a fraction (`3`, not `3.0`) so counters stay readable.
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error at byte {}: {}", self.pos, self.what)
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, lit: &'static str) -> Result<(), JsonError> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(JsonError { pos: *pos, what: "unexpected token" })
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(JsonError { pos: *pos, what: "unexpected end of input" }),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(JsonError { pos: *pos, what: "expected ',' or ']'" }),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, ":")?;
+                fields.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(JsonError { pos: *pos, what: "expected ',' or '}'" }),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos).map(Json::Num),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(JsonError { pos: *pos, what: "expected string" });
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err(JsonError { pos: *pos, what: "unterminated string" }),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or(JsonError { pos: *pos, what: "bad \\u escape" })?;
+                        // Surrogate pairs are out of scope for metrics
+                        // payloads; map them to the replacement char.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(JsonError { pos: *pos, what: "bad escape" }),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is &str, so this is
+                // always on a char boundary).
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| JsonError { pos: *pos, what: "invalid utf-8" })?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, JsonError> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .ok_or(JsonError { pos: start, what: "bad number" })
+}
+
+// ---------------------------------------------------------------------
+// Renderers
+// ---------------------------------------------------------------------
+
+/// The quantiles every export reports.
+pub const QUANTILES: [(&str, f64); 3] = [("p50", 0.50), ("p90", 0.90), ("p99", 0.99)];
+
+/// Render the counter + histogram planes in Prometheus text exposition
+/// format. Counters become `ppc_<name>` counter series; each
+/// [`LatencyKind`] with samples becomes a `kind`-labelled cumulative
+/// `ppc_latency_ns` histogram. Latencies are in nanoseconds (sampled —
+/// see [`ObsState`]; counts are of sampled recordings, not raw calls).
+pub fn prometheus(snap: &Snapshot, obs: &ObsState) -> String {
+    let mut out = String::new();
+    for (name, value) in snap.fields() {
+        let _ = writeln!(out, "# TYPE ppc_{name} counter");
+        let _ = writeln!(out, "ppc_{name} {value}");
+    }
+    let hists: Vec<(LatencyKind, Histogram)> =
+        KINDS.iter().map(|&k| (k, obs.merged(k))).collect();
+    if hists.iter().any(|(_, h)| h.count() > 0) {
+        let _ = writeln!(out, "# TYPE ppc_latency_ns histogram");
+        for (kind, h) in &hists {
+            if h.count() == 0 {
+                continue;
+            }
+            let kind = kind.label();
+            let mut cumulative = 0u64;
+            for (bound, bucket_count) in h.bucket_entries() {
+                if bucket_count == 0 {
+                    continue;
+                }
+                cumulative += bucket_count;
+                let _ = writeln!(
+                    out,
+                    "ppc_latency_ns_bucket{{kind=\"{kind}\",le=\"{bound}\"}} {cumulative}"
+                );
+            }
+            let _ = writeln!(
+                out,
+                "ppc_latency_ns_bucket{{kind=\"{kind}\",le=\"+Inf\"}} {cumulative}"
+            );
+            let _ = writeln!(out, "ppc_latency_ns_count{{kind=\"{kind}\"}} {}", h.count());
+            let _ = writeln!(out, "ppc_latency_ns_sum{{kind=\"{kind}\"}} {}", h.sum_ns);
+        }
+    }
+    out
+}
+
+/// One histogram as a JSON object: sample count, p50/p90/p99/max in
+/// nanoseconds, and the non-empty log₂ buckets as `[le, count]` pairs.
+pub fn histogram_json(h: &Histogram) -> Json {
+    let mut fields: Vec<(String, Json)> =
+        vec![("count".into(), Json::Num(h.count() as f64))];
+    for (name, q) in QUANTILES {
+        fields.push((name.into(), Json::Num(h.quantile(q) as f64)));
+    }
+    fields.push(("max".into(), Json::Num(h.max_ns as f64)));
+    fields.push(("sum".into(), Json::Num(h.sum_ns as f64)));
+    fields.push((
+        "buckets".into(),
+        Json::Arr(
+            h.bucket_entries()
+                .filter(|&(_, n)| n > 0)
+                .map(|(le, n)| Json::Arr(vec![Json::Num(le as f64), Json::Num(n as f64)]))
+                .collect(),
+        ),
+    ));
+    Json::Obj(fields)
+}
+
+/// Render the counter + histogram planes as one JSON object:
+/// `{"counters": {...}, "latency_ns": {"call": {...}, ...}}`. Kinds
+/// with no samples are omitted from `latency_ns`.
+pub fn json_snapshot(snap: &Snapshot, obs: &ObsState) -> Json {
+    let counters = Json::Obj(
+        snap.fields()
+            .into_iter()
+            .map(|(name, value)| (name.to_string(), Json::Num(value as f64)))
+            .collect(),
+    );
+    let latency = Json::Obj(
+        KINDS
+            .iter()
+            .map(|&k| (k, obs.merged(k)))
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(k, h)| (k.label().to_string(), histogram_json(&h)))
+            .collect(),
+    );
+    Json::obj([("counters", counters), ("latency_ns", latency)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_preserves_structure() {
+        let doc = Json::obj([
+            ("name", Json::Str("rt_modes \"smoke\"\n".into())),
+            ("n", Json::Num(12345.0)),
+            ("frac", Json::Num(0.125)),
+            ("flag", Json::Bool(true)),
+            ("none", Json::Null),
+            (
+                "arr",
+                Json::Arr(vec![Json::Num(1.0), Json::Num(2.0), Json::Str("µs".into())]),
+            ),
+        ]);
+        let text = doc.to_string();
+        let back = Json::parse(&text).expect("parse back");
+        assert_eq!(back, doc);
+        assert_eq!(back.get("n").unwrap().as_u64(), Some(12345));
+        assert_eq!(back.get("arr").unwrap().as_arr().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn json_integers_render_without_fraction() {
+        assert_eq!(Json::Num(3.0).to_string(), "3");
+        assert_eq!(Json::Num(0.5).to_string(), "0.5");
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn json_parse_rejects_garbage() {
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2,]").is_err());
+        assert!(Json::parse("123 456").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse(" {\"a\" : [ 1 , 2 ] } ").is_ok());
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let obs = ObsState::new(2);
+        obs.set_enabled(true);
+        obs.set_sample_shift(0);
+        let snap = Snapshot { calls: 7, inline_calls: 7, ..Default::default() };
+        for ns in [100, 200, 5_000] {
+            obs.record(LatencyKind::Call, 0, ns);
+        }
+        let text = prometheus(&snap, &obs);
+        assert!(text.contains("# TYPE ppc_calls counter"), "{text}");
+        assert!(text.contains("ppc_calls 7"), "{text}");
+        assert!(text.contains("ppc_inline_calls 7"), "{text}");
+        if cfg!(feature = "obs") {
+            assert!(
+                text.contains("ppc_latency_ns_bucket{kind=\"call\",le=\"+Inf\"} 3"),
+                "{text}"
+            );
+            assert!(text.contains("ppc_latency_ns_count{kind=\"call\"} 3"), "{text}");
+            assert!(text.contains("ppc_latency_ns_sum{kind=\"call\"} 5300"), "{text}");
+        }
+    }
+
+    #[test]
+    fn json_snapshot_has_percentiles() {
+        let obs = ObsState::new(1);
+        obs.set_enabled(true);
+        obs.set_sample_shift(0);
+        for _ in 0..99 {
+            obs.record(LatencyKind::Handler, 0, 1_000);
+        }
+        obs.record(LatencyKind::Handler, 0, 1_000_000);
+        let snap = Snapshot::default();
+        let doc = json_snapshot(&snap, &obs);
+        let text = doc.to_string();
+        let back = Json::parse(&text).unwrap();
+        assert!(back.get("counters").unwrap().get("calls").is_some());
+        if cfg!(feature = "obs") {
+            let handler = back.get("latency_ns").unwrap().get("handler").unwrap();
+            assert_eq!(handler.get("count").unwrap().as_u64(), Some(100));
+            let p50 = handler.get("p50").unwrap().as_u64().unwrap();
+            assert!((1_000..2_048).contains(&p50), "p50={p50}");
+            assert_eq!(handler.get("max").unwrap().as_u64(), Some(1_000_000));
+        } else {
+            assert_eq!(back.get("latency_ns").unwrap(), &Json::Obj(vec![]));
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Per-vCPU flight recorder: the last N facility events, always on.
+//!
+//! When a chaos or kill test wedges, aggregate counters say *that*
+//! something happened, never *what happened last*. The flight recorder
+//! answers that: each vCPU owns a fixed-capacity ring of 16-byte packed
+//! events — dispatch-mode choices, spin-vs-park outcomes, Frank
+//! redirects, bulk denials and revoke races, kills, contained faults —
+//! stamped with a monotonic per-vCPU sequence number. A failing test
+//! dumps the rings ([`crate::Runtime::dump_diagnostics`]) and reads the
+//! facility's final seconds instead of debugging blind.
+//!
+//! Shared-nothing discipline matches the stats and histogram planes:
+//! recording touches only the calling vCPU's ring (one `Relaxed`
+//! `fetch_add` on the cursor plus two stores into the claimed slot —
+//! no locks, no SeqCst). Rare events (kills, faults, denials, Frank
+//! redirects) are recorded unconditionally; per-call events (dispatch
+//! mode, spin outcome) are recorded only on observability-sampled calls
+//! so the recorder never becomes the hot path's biggest store.
+//!
+//! On the wire an event is two words:
+//!
+//! ```text
+//! word 0: sequence number + 1  (0 = slot empty / write in progress)
+//! word 1: kind:8 | vcpu:8 | entry:16 | data:32
+//! ```
+//!
+//! Writers claim a slot by `fetch_add` on the cursor, invalidate it
+//! (`seq = 0`), store the payload, then publish the sequence with
+//! `Release`. Readers validate by re-reading the sequence word after
+//! the payload — a torn slot (writer in flight) is skipped, never
+//! misreported.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Events retained per vCPU (power of two; ~4 KB of slots per vCPU).
+pub const RING_CAPACITY: usize = 256;
+
+/// What a flight event records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FlightKind {
+    /// Synchronous call dispatched inline on the caller's thread
+    /// (`data` = caller program).
+    Inline = 1,
+    /// Synchronous call handed off to a worker (`data` = caller
+    /// program).
+    Handoff = 2,
+    /// Hand-off rendezvous resolved by spinning (`data` = wait ns,
+    /// saturated to u32).
+    SpinResolved = 3,
+    /// Hand-off rendezvous fell back to parking (`data` = wait ns,
+    /// saturated).
+    Parked = 4,
+    /// Asynchronous dispatch (`data` = caller program).
+    Async = 5,
+    /// Frank slow path: a pool ran dry and grew (`data` = 0 worker
+    /// pool, 1 CD pool).
+    Frank = 6,
+    /// Bulk access denied (`data` = region id).
+    BulkDenied = 7,
+    /// Bulk authorization lapsed mid-transfer — the revoke race
+    /// (`data` = region id).
+    BulkRevoked = 8,
+    /// Entry soft-killed (`data` = killer program).
+    SoftKill = 9,
+    /// Entry hard-killed (`data` = killer program).
+    HardKill = 10,
+    /// Handler panic contained as a server fault (`data` = caller
+    /// program).
+    Fault = 11,
+    /// Handler exchanged on a live entry (`data` = requester program).
+    Exchange = 12,
+}
+
+impl FlightKind {
+    fn from_u8(v: u8) -> Option<FlightKind> {
+        Some(match v {
+            1 => FlightKind::Inline,
+            2 => FlightKind::Handoff,
+            3 => FlightKind::SpinResolved,
+            4 => FlightKind::Parked,
+            5 => FlightKind::Async,
+            6 => FlightKind::Frank,
+            7 => FlightKind::BulkDenied,
+            8 => FlightKind::BulkRevoked,
+            9 => FlightKind::SoftKill,
+            10 => FlightKind::HardKill,
+            11 => FlightKind::Fault,
+            12 => FlightKind::Exchange,
+            _ => return None,
+        })
+    }
+
+    /// Stable lower-case label for dumps and exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlightKind::Inline => "inline",
+            FlightKind::Handoff => "handoff",
+            FlightKind::SpinResolved => "spin",
+            FlightKind::Parked => "park",
+            FlightKind::Async => "async",
+            FlightKind::Frank => "frank",
+            FlightKind::BulkDenied => "bulk_denied",
+            FlightKind::BulkRevoked => "bulk_revoked",
+            FlightKind::SoftKill => "soft_kill",
+            FlightKind::HardKill => "hard_kill",
+            FlightKind::Fault => "fault",
+            FlightKind::Exchange => "exchange",
+        }
+    }
+}
+
+/// One decoded flight event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Monotonic per-vCPU sequence number (0-based; contiguous within a
+    /// snapshot — gaps mean torn slots were skipped).
+    pub seq: u64,
+    /// Event kind.
+    pub kind: FlightKind,
+    /// vCPU the event was recorded on.
+    pub vcpu: u8,
+    /// Entry point involved (0 when not entry-specific).
+    pub ep: u16,
+    /// Kind-specific payload (program, region id, or saturated ns).
+    pub data: u32,
+}
+
+impl FlightEvent {
+    /// Pack the payload word (`kind:8 | vcpu:8 | ep:16 | data:32`).
+    pub fn pack(kind: FlightKind, vcpu: u8, ep: u16, data: u32) -> u64 {
+        ((kind as u64) << 56) | ((vcpu as u64) << 48) | ((ep as u64) << 32) | data as u64
+    }
+
+    /// Decode a payload word; `None` for an invalid kind byte.
+    pub fn unpack(seq: u64, word: u64) -> Option<FlightEvent> {
+        Some(FlightEvent {
+            seq,
+            kind: FlightKind::from_u8((word >> 56) as u8)?,
+            vcpu: (word >> 48) as u8,
+            ep: (word >> 32) as u16,
+            data: word as u32,
+        })
+    }
+}
+
+impl fmt::Display for FlightEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{:<6} {:<12} ep={:<4} data={}",
+            self.seq,
+            self.kind.label(),
+            self.ep,
+            self.data
+        )
+    }
+}
+
+/// 16-byte ring slot: sequence word (`seq + 1`, 0 = invalid) and packed
+/// payload.
+#[derive(Debug)]
+struct Slot {
+    seq: AtomicU64,
+    word: AtomicU64,
+}
+
+/// One vCPU's event ring, line-aligned so recording never shares a line
+/// with a neighbor vCPU's ring head.
+#[repr(align(64))]
+#[derive(Debug)]
+struct Ring {
+    cursor: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl Ring {
+    fn new() -> Self {
+        Ring {
+            cursor: AtomicU64::new(0),
+            slots: (0..RING_CAPACITY)
+                .map(|_| Slot { seq: AtomicU64::new(0), word: AtomicU64::new(0) })
+                .collect(),
+        }
+    }
+
+    fn record(&self, word: u64) {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[seq as usize & (RING_CAPACITY - 1)];
+        // Invalidate, fill, publish: a reader that acquires the final
+        // sequence store is guaranteed a matching payload, and a reader
+        // racing the middle sees 0 and skips the slot.
+        slot.seq.store(0, Ordering::Relaxed);
+        slot.word.store(word, Ordering::Relaxed);
+        slot.seq.store(seq + 1, Ordering::Release);
+    }
+
+    /// The retained events, oldest first. Torn slots (concurrent
+    /// writers mid-store) are skipped.
+    fn snapshot(&self) -> Vec<FlightEvent> {
+        let cursor = self.cursor.load(Ordering::Acquire);
+        let retained = cursor.min(RING_CAPACITY as u64);
+        let mut out = Vec::with_capacity(retained as usize);
+        for seq in cursor - retained..cursor {
+            let slot = &self.slots[seq as usize & (RING_CAPACITY - 1)];
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 != seq + 1 {
+                continue; // overwritten or in-flight
+            }
+            let word = slot.word.load(Ordering::Relaxed);
+            if slot.seq.load(Ordering::Relaxed) != s1 {
+                continue; // torn under us
+            }
+            if let Some(ev) = FlightEvent::unpack(seq, word) {
+                out.push(ev);
+            }
+        }
+        out
+    }
+}
+
+/// The runtime's flight-recorder plane: one ring per vCPU plus the
+/// global enable bit. Always compiled (the per-event cost only exists
+/// when events fire; per-call events are additionally sample-gated by
+/// the caller).
+#[derive(Debug)]
+pub struct FlightPlane {
+    rings: Box<[Ring]>,
+    enabled: AtomicBool,
+}
+
+impl FlightPlane {
+    pub(crate) fn new(n_vcpus: usize) -> Self {
+        FlightPlane {
+            rings: (0..n_vcpus.max(1)).map(|_| Ring::new()).collect(),
+            enabled: AtomicBool::new(true),
+        }
+    }
+
+    /// Whether recording is enabled (one `Relaxed` load).
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enable or disable recording at runtime.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Record an event on `vcpu`'s ring. Lock-free; see module docs for
+    /// the slot protocol.
+    #[inline]
+    pub fn record(&self, vcpu: usize, kind: FlightKind, ep: usize, data: u32) {
+        if !self.enabled() {
+            return;
+        }
+        let word = FlightEvent::pack(kind, vcpu as u8, ep as u16, data);
+        self.rings[vcpu].record(word);
+    }
+
+    /// Number of vCPU rings.
+    pub fn n_vcpus(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// Events recorded on `vcpu` since boot (including overwritten
+    /// ones).
+    pub fn recorded(&self, vcpu: usize) -> u64 {
+        self.rings[vcpu].cursor.load(Ordering::Relaxed)
+    }
+
+    /// The retained events of `vcpu`'s ring, oldest first.
+    pub fn snapshot(&self, vcpu: usize) -> Vec<FlightEvent> {
+        self.rings[vcpu].snapshot()
+    }
+
+    /// Snapshot `vcpu`'s ring and clear it (sequence numbering
+    /// continues — a post-drain snapshot starts where this one ended).
+    pub fn drain(&self, vcpu: usize) -> Vec<FlightEvent> {
+        let out = self.rings[vcpu].snapshot();
+        for ev in &out {
+            let slot = &self.rings[vcpu].slots[ev.seq as usize & (RING_CAPACITY - 1)];
+            // Only clear the slot if it still holds the drained event; a
+            // racing writer's fresher event survives.
+            let _ = slot.seq.compare_exchange(
+                ev.seq + 1,
+                0,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let word = FlightEvent::pack(FlightKind::BulkRevoked, 3, 512, 0xDEAD_BEEF);
+        let ev = FlightEvent::unpack(41, word).unwrap();
+        assert_eq!(ev.seq, 41);
+        assert_eq!(ev.kind, FlightKind::BulkRevoked);
+        assert_eq!(ev.vcpu, 3);
+        assert_eq!(ev.ep, 512);
+        assert_eq!(ev.data, 0xDEAD_BEEF);
+        assert!(FlightEvent::unpack(0, 0).is_none(), "kind 0 is invalid");
+        assert_eq!(std::mem::size_of::<Slot>(), 16, "16-byte packed slots");
+    }
+
+    #[test]
+    fn ring_keeps_newest_with_contiguous_seqs() {
+        let fp = FlightPlane::new(1);
+        let n = RING_CAPACITY as u64 + 37;
+        for i in 0..n {
+            fp.record(0, FlightKind::Inline, 7, i as u32);
+        }
+        let evs = fp.snapshot(0);
+        assert_eq!(evs.len(), RING_CAPACITY);
+        // Newest RING_CAPACITY events, contiguous, ending at n-1.
+        for (i, ev) in evs.iter().enumerate() {
+            assert_eq!(ev.seq, n - RING_CAPACITY as u64 + i as u64);
+            assert_eq!(ev.data as u64, ev.seq);
+        }
+        assert_eq!(fp.recorded(0), n);
+    }
+
+    #[test]
+    fn drain_clears_but_keeps_numbering() {
+        let fp = FlightPlane::new(2);
+        fp.record(1, FlightKind::HardKill, 9, 0);
+        fp.record(1, FlightKind::Fault, 9, 1);
+        let first = fp.drain(1);
+        assert_eq!(first.len(), 2);
+        assert!(fp.snapshot(1).is_empty());
+        fp.record(1, FlightKind::Inline, 9, 2);
+        let second = fp.snapshot(1);
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].seq, 2, "numbering continues across drain");
+    }
+
+    #[test]
+    fn disabled_plane_records_nothing() {
+        let fp = FlightPlane::new(1);
+        fp.set_enabled(false);
+        fp.record(0, FlightKind::Inline, 1, 1);
+        assert!(fp.snapshot(0).is_empty());
+        fp.set_enabled(true);
+        fp.record(0, FlightKind::Inline, 1, 1);
+        assert_eq!(fp.snapshot(0).len(), 1);
+    }
+
+    #[test]
+    fn display_is_greppable() {
+        let ev = FlightEvent::unpack(5, FlightEvent::pack(FlightKind::Parked, 0, 3, 950)).unwrap();
+        let s = ev.to_string();
+        assert!(s.contains("park"), "{s}");
+        assert!(s.contains("ep=3"), "{s}");
+    }
+}

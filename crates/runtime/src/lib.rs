@@ -61,7 +61,10 @@ pub mod baseline;
 pub mod bulk;
 pub mod call;
 pub mod entry;
+pub mod export;
+pub mod flight;
 pub mod naming;
+pub mod obs;
 pub mod region;
 pub mod slot;
 pub mod stats;
@@ -74,6 +77,8 @@ use parking_lot::Mutex;
 
 pub use bulk::{BufferPool, BulkState, PoolBuf};
 pub use entry::{EntryOptions, EntryState};
+pub use flight::{FlightEvent, FlightKind, FlightPlane};
+pub use obs::{Histogram, LatencyKind, ObsState};
 pub use region::{BulkDesc, RegionId, MAX_BULK, MAX_REGIONS};
 pub use stats::{RuntimeStats, Snapshot, StatsCell};
 
@@ -237,7 +242,8 @@ impl<'a> CallCtx<'a> {
         match &mut self.scratch {
             ScratchRef::Ready(s) => s,
             ScratchRef::Lazy { vc, cell, slot } => {
-                let s = slot.get_or_insert_with(|| vc.take_slot(cell));
+                let flight = &self.entry.flight;
+                let s = slot.get_or_insert_with(|| vc.take_slot(cell, flight));
                 // Safety: the slot was popped from the pool, so this
                 // context owns it exclusively until dispatch recycles it;
                 // the borrow is tied to `&mut self`.
@@ -313,6 +319,12 @@ impl<'a> CallCtx<'a> {
         );
         if r.is_err() {
             self.entry.bulk.stats.cell(self.vcpu).bulk_denied.fetch_add(1, Ordering::Relaxed);
+            self.entry.flight.record(
+                self.vcpu,
+                flight::FlightKind::BulkDenied,
+                self.ep,
+                desc.region as u32,
+            );
         }
         r
     }
@@ -328,6 +340,16 @@ impl<'a> CallCtx<'a> {
             }
             Err(e) => {
                 cell.bulk_denied.fetch_add(1, Ordering::Relaxed);
+                // The revoke race is exactly what a post-mortem needs to
+                // see: always in the flight ring.
+                if let RtError::BulkRevoked(r) = &e {
+                    self.entry.flight.record(
+                        self.vcpu,
+                        flight::FlightKind::BulkRevoked,
+                        self.ep,
+                        *r as u32,
+                    );
+                }
                 Err(e)
             }
         }
@@ -337,11 +359,19 @@ impl<'a> CallCtx<'a> {
     /// into server memory. Returns the bytes copied. Requires a read
     /// grant.
     pub fn copy_from(&self, desc: BulkDesc, dst: &mut [u8]) -> Result<usize, RtError> {
+        let t0 = self.entry.obs.try_sample().then(std::time::Instant::now);
         let acc = self.bulk_access(desc, false)?;
         let n = acc.len.min(dst.len());
         // Safety: `acc` authorizes [ptr, ptr+n); `dst` is a live unique
         // borrow and cannot alias registry memory.
         unsafe { bulk::copy_span(dst.as_mut_ptr(), acc.ptr, n) };
+        if let Some(t0) = t0 {
+            self.entry.obs.record(
+                obs::LatencyKind::BulkCopy,
+                self.vcpu,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
         self.bulk_settle(acc, n)
     }
 
@@ -349,10 +379,18 @@ impl<'a> CallCtx<'a> {
     /// the granted span. Returns the bytes copied. Requires a write grant
     /// and a writable descriptor.
     pub fn copy_to(&self, desc: BulkDesc, src: &[u8]) -> Result<usize, RtError> {
+        let t0 = self.entry.obs.try_sample().then(std::time::Instant::now);
         let acc = self.bulk_access(desc, true)?;
         let n = acc.len.min(src.len());
         // Safety: as in `copy_from`, directions reversed.
         unsafe { bulk::copy_span(acc.ptr, src.as_ptr(), n) };
+        if let Some(t0) = t0 {
+            self.entry.obs.record(
+                obs::LatencyKind::BulkCopy,
+                self.vcpu,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
         self.bulk_settle(acc, n)
     }
 
@@ -360,10 +398,18 @@ impl<'a> CallCtx<'a> {
     /// `buf` (both directions in one pass, no allocation). Returns the
     /// bytes swapped. Requires a write grant.
     pub fn exchange_bulk(&self, desc: BulkDesc, buf: &mut [u8]) -> Result<usize, RtError> {
+        let t0 = self.entry.obs.try_sample().then(std::time::Instant::now);
         let acc = self.bulk_access(desc, true)?;
         let n = acc.len.min(buf.len());
         // Safety: as in `copy_to`; `exchange_span` reads and writes both.
         unsafe { bulk::exchange_span(acc.ptr, buf.as_mut_ptr(), n) };
+        if let Some(t0) = t0 {
+            self.entry.obs.record(
+                obs::LatencyKind::BulkCopy,
+                self.vcpu,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
         self.bulk_settle(acc, n)
     }
 
@@ -388,6 +434,14 @@ impl<'a> CallCtx<'a> {
             Ok(()) => Ok(r),
             Err(e) => {
                 self.entry.bulk.stats.cell(self.vcpu).bulk_denied.fetch_add(1, Ordering::Relaxed);
+                if let RtError::BulkRevoked(rid) = &e {
+                    self.entry.flight.record(
+                        self.vcpu,
+                        flight::FlightKind::BulkRevoked,
+                        self.ep,
+                        *rid as u32,
+                    );
+                }
                 Err(e)
             }
         }
@@ -416,6 +470,14 @@ impl<'a> CallCtx<'a> {
             Ok(()) => Ok(r),
             Err(e) => {
                 self.entry.bulk.stats.cell(self.vcpu).bulk_denied.fetch_add(1, Ordering::Relaxed);
+                if let RtError::BulkRevoked(rid) = &e {
+                    self.entry.flight.record(
+                        self.vcpu,
+                        flight::FlightKind::BulkRevoked,
+                        self.ep,
+                        *rid as u32,
+                    );
+                }
                 Err(e)
             }
         }
@@ -482,14 +544,17 @@ impl VcpuState {
     }
 
     /// Take a slot, growing the pool if dry (the Frank slow path).
-    /// `cell` is the calling vCPU's stats cell.
-    pub(crate) fn take_slot(&self, cell: &StatsCell) -> Arc<CallSlot> {
+    /// `cell` is the calling vCPU's stats cell; `flight` records the
+    /// Frank event (slow path by definition, so unconditionally).
+    pub(crate) fn take_slot(&self, cell: &StatsCell, flight: &FlightPlane) -> Arc<CallSlot> {
         match self.cd_pool.pop() {
             Some(s) => s,
             None => {
                 cell.frank_redirects.fetch_add(1, Ordering::Relaxed);
                 cell.cds_created.fetch_add(1, Ordering::Relaxed);
                 self.cds_created.fetch_add(1, Ordering::Relaxed);
+                // data 1 = CD pool (the entry is unknown this deep).
+                flight.record(self.id, flight::FlightKind::Frank, 0, 1);
                 CallSlot::new()
             }
         }
@@ -521,6 +586,12 @@ pub struct Runtime {
     pub stats: Arc<RuntimeStats>,
     /// The payload plane: per-vCPU region registries and buffer pools.
     bulk: Arc<bulk::BulkState>,
+    /// Latency-histogram plane, sharded per vCPU (`Arc` for the same
+    /// reason as `stats`: handler-context instrumentation without a back
+    /// reference).
+    obs: Arc<ObsState>,
+    /// Flight-recorder event rings, sharded per vCPU.
+    flight: Arc<FlightPlane>,
     /// Pin worker threads to cores.
     pin: bool,
     /// Encoded [`SpinPolicy`] discriminant (see `SPIN_*` constants).
@@ -570,6 +641,8 @@ impl Runtime {
             registry: Mutex::new(Vec::new()),
             names: Mutex::new(std::collections::HashMap::new()),
             bulk: bulk::BulkState::new(n_vcpus, Arc::clone(&stats)),
+            obs: Arc::new(ObsState::new(n_vcpus)),
+            flight: Arc::new(FlightPlane::new(n_vcpus)),
             stats,
             pin,
             spin_mode: AtomicU8::new(SPIN_ADAPTIVE),
@@ -634,6 +707,78 @@ impl Runtime {
     /// The bulk-data state (per-vCPU region registries and buffer pools).
     pub fn bulk(&self) -> &Arc<bulk::BulkState> {
         &self.bulk
+    }
+
+    /// The latency-histogram plane (enable bit, sampling shift, merged
+    /// percentile reads).
+    pub fn obs(&self) -> &Arc<ObsState> {
+        &self.obs
+    }
+
+    /// The flight-recorder plane (per-vCPU event rings).
+    pub fn flight(&self) -> &Arc<FlightPlane> {
+        &self.flight
+    }
+
+    /// Counters + histograms in Prometheus text exposition format (cold
+    /// path).
+    pub fn export_prometheus(&self) -> String {
+        export::prometheus(&self.stats.snapshot(), &self.obs)
+    }
+
+    /// Counters + histograms as a JSON document (cold path). Parse it
+    /// back with [`export::Json::parse`].
+    pub fn export_json(&self) -> export::Json {
+        export::json_snapshot(&self.stats.snapshot(), &self.obs)
+    }
+
+    /// The full diagnostics dump: final counter [`Snapshot`], per-kind
+    /// latency percentiles, and every vCPU's retained flight-recorder
+    /// events (oldest first). This is what a wedged stress/kill test
+    /// prints before aborting, so failures come with the facility's last
+    /// seconds attached.
+    pub fn diagnostics(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "=== ppc-rt diagnostics ===");
+        let _ = writeln!(out, "stats: {}", self.stats.snapshot());
+        for kind in obs::KINDS {
+            let h = self.obs.merged(kind);
+            if h.count() == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "latency[{}]: n={} p50={} p90={} p99={} max={} (ns, sampled 1/{})",
+                kind.label(),
+                h.count(),
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99),
+                h.max_ns,
+                1u64 << self.obs.sample_shift(),
+            );
+        }
+        for v in 0..self.flight.n_vcpus() {
+            let events = self.flight.snapshot(v);
+            let _ = writeln!(
+                out,
+                "vcpu {v}: {} flight events retained ({} recorded)",
+                events.len(),
+                self.flight.recorded(v),
+            );
+            for ev in events {
+                let _ = writeln!(out, "  {ev}");
+            }
+        }
+        let _ = writeln!(out, "=== end diagnostics ===");
+        out
+    }
+
+    /// Print [`Runtime::diagnostics`] to stderr (failure-path hook for
+    /// watchdogs and panic containment).
+    pub fn dump_diagnostics(&self) {
+        eprintln!("{}", self.diagnostics());
     }
 
     /// A client bound to vCPU `vcpu` with program identity `program`.
@@ -852,22 +997,32 @@ impl BulkRegion {
     /// the region exclusively while the copy runs — a concurrent
     /// server-side access to the same region waits.
     pub fn fill(&self, offset: u32, data: &[u8]) -> Result<(), RtError> {
-        self.with_span(offset, data.len() as u32, true, |ptr, n| {
+        let t0 = self.rt.obs.try_sample().then(std::time::Instant::now);
+        let r = self.with_span(offset, data.len() as u32, true, |ptr, n| {
             // Safety: span validated by the registry, held exclusively;
             // `data` cannot alias registry memory.
             unsafe { bulk::copy_span(ptr, data.as_ptr(), n) };
-        })
+        });
+        if let Some(t0) = t0 {
+            self.rt.obs.record(obs::LatencyKind::BulkCopy, self.vcpu, t0.elapsed().as_nanos() as u64);
+        }
+        r
     }
 
     /// Owner read: copy `[offset, offset+dst.len())` out of the region
     /// (the drain after a call). A shared read access — concurrent reads
     /// of the region proceed in parallel.
     pub fn read_into(&self, offset: u32, dst: &mut [u8]) -> Result<(), RtError> {
-        self.with_span(offset, dst.len() as u32, false, |ptr, n| {
+        let t0 = self.rt.obs.try_sample().then(std::time::Instant::now);
+        let r = self.with_span(offset, dst.len() as u32, false, |ptr, n| {
             // Safety: as in `fill`, directions reversed; writers are
             // excluded while this read access is announced.
             unsafe { bulk::copy_span(dst.as_mut_ptr(), ptr, n) };
-        })
+        });
+        if let Some(t0) = t0 {
+            self.rt.obs.record(obs::LatencyKind::BulkCopy, self.vcpu, t0.elapsed().as_nanos() as u64);
+        }
+        r
     }
 
     /// Owner zero-copy access: run `f` over the whole region in place.

@@ -1,0 +1,505 @@
+//! Lock-free latency histograms, sharded per virtual processor.
+//!
+//! The instrumentation must preserve the property it exists to prove:
+//! a PPC "accesses no shared data and acquires no locks" in the common
+//! case. So the histograms mirror [`crate::stats::StatsCell`] exactly —
+//! one `#[repr(align(64))]` [`HistCell`] per vCPU, `Relaxed` increments
+//! on the recording (hot) path, merge and percentile extraction only on
+//! the cold read path.
+//!
+//! Three mechanisms keep the fast path honest:
+//!
+//! 1. **Compile-out** — the `obs` cargo feature (default on) gates every
+//!    bucket array and every recording store. Built with
+//!    `--no-default-features`, the whole plane folds to nothing: the
+//!    public API remains (so callers need no `cfg`), but reads return
+//!    zeros and records are empty inline functions.
+//! 2. **Runtime enable bit** — one `Relaxed` load per call
+//!    ([`ObsState::try_sample`]). Disabled at runtime, a call pays that
+//!    single load and nothing else.
+//! 3. **Sampling** — timestamps are the real cost (`Instant::now` is
+//!    tens of nanoseconds, comparable to a whole null inline call), so
+//!    durations are recorded for every 2^`sample_shift`-th call per
+//!    *thread* (default 1/128). A thread-local tick makes the decision
+//!    without touching shared memory; sampled calls pay the two
+//!    timestamps and one bucket increment, unsampled calls pay a
+//!    thread-local increment and a branch. Uniform every-Nth sampling
+//!    is unbiased for quantiles, which is what the plane reports.
+//!
+//! Buckets are log₂-spaced over nanoseconds: bucket *i* holds durations
+//! with bit length *i* (i.e. `ns in [2^(i-1), 2^i)` for `i ≥ 1`, and
+//! `ns == 0` in bucket 0), clamped to [`BUCKETS`]`-1`. Percentiles
+//! report the bucket's inclusive upper bound — a ≤2× overestimate by
+//! construction, the standard trade of log-bucketed recorders.
+
+#[cfg(feature = "obs")]
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Number of log₂ buckets per histogram (covers 0 ns up to ≈ 2⁶³ ns).
+pub const BUCKETS: usize = 64;
+
+/// Default per-thread sampling shift: record every 2^7 = 128th call.
+/// Chosen against the ≤5% overhead budget on a ~65 ns null inline call:
+/// a sampled call costs ~200 ns (four timestamps plus the bucket and
+/// ring stores), so 1/128 amortizes to ~1.6 ns; a busy bench run still
+/// collects tens of thousands of samples.
+pub const DEFAULT_SAMPLE_SHIFT: u32 = 7;
+
+/// Which duration a histogram tracks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum LatencyKind {
+    /// Synchronous call, end to end (dispatch entry to result return).
+    Call = 0,
+    /// Client-side rendezvous wait (post → `DONE` observed).
+    Rendezvous = 1,
+    /// Handler execution (worker-side or inline).
+    Handler = 2,
+    /// Bulk copy engine transfer (`copy_from`/`copy_to`/`exchange`,
+    /// owner `fill`/`read_into`).
+    BulkCopy = 3,
+}
+
+/// All kinds, in discriminant order (exporter iteration surface).
+pub const KINDS: [LatencyKind; 4] =
+    [LatencyKind::Call, LatencyKind::Rendezvous, LatencyKind::Handler, LatencyKind::BulkCopy];
+
+/// Number of tracked [`LatencyKind`]s.
+pub const NKINDS: usize = 4;
+
+impl LatencyKind {
+    /// Stable lower-case label (Prometheus `kind` tag / JSON key).
+    pub fn label(self) -> &'static str {
+        match self {
+            LatencyKind::Call => "call",
+            LatencyKind::Rendezvous => "rendezvous",
+            LatencyKind::Handler => "handler",
+            LatencyKind::BulkCopy => "bulk_copy",
+        }
+    }
+}
+
+/// The log₂ bucket index of a duration in nanoseconds.
+#[inline]
+pub fn bucket_of(ns: u64) -> usize {
+    ((u64::BITS - ns.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound (ns) of bucket `i` — the value percentiles
+/// report for samples landing in that bucket. `bucket_of` of this bound
+/// is `i` again, so re-encoding a decoded value never migrates buckets.
+#[inline]
+pub fn bucket_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// One virtual processor's histograms: [`NKINDS`] × [`BUCKETS`] bucket
+/// counters plus a running sum and max per kind, aligned so two vCPUs
+/// never share a cache line (the recording path touches only the
+/// calling vCPU's cell).
+#[cfg(feature = "obs")]
+#[repr(align(64))]
+#[derive(Debug)]
+pub struct HistCell {
+    buckets: [[AtomicU64; BUCKETS]; NKINDS],
+    sum_ns: [AtomicU64; NKINDS],
+    max_ns: [AtomicU64; NKINDS],
+}
+
+#[cfg(feature = "obs")]
+impl HistCell {
+    fn new() -> Self {
+        // `AtomicU64` is not Copy; build the arrays element-wise.
+        HistCell {
+            buckets: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+            sum_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+            max_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    #[inline]
+    fn record(&self, kind: LatencyKind, ns: u64) {
+        let k = kind as usize;
+        self.buckets[k][bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns[k].fetch_add(ns, Ordering::Relaxed);
+        self.max_ns[k].fetch_max(ns, Ordering::Relaxed);
+    }
+}
+
+/// A merged (cross-vCPU) view of one kind's histogram — the cold-path
+/// product handed to percentile queries and the exporter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    /// Per-bucket sample counts (log₂ buckets, see [`bucket_bound`]).
+    pub buckets: [u64; BUCKETS],
+    /// Sum of recorded durations (ns).
+    pub sum_ns: u64,
+    /// Largest recorded duration (ns; exact, not bucket-rounded).
+    pub max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram { buckets: [0; BUCKETS], sum_ns: 0, max_ns: 0 }
+    }
+
+    /// Record one duration (single-owner variant, used by bench
+    /// harnesses that keep a private histogram rather than going through
+    /// a runtime's sampled plane).
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[bucket_of(ns)] += 1;
+        self.sum_ns += ns;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Total recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// `(inclusive upper bound ns, count)` per bucket, in bucket order —
+    /// the exporter's iteration surface.
+    pub fn bucket_entries(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().enumerate().map(|(i, &n)| (bucket_bound(i), n))
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the inclusive upper bound of
+    /// the bucket where the cumulative count crosses `q`, except the
+    /// topmost populated bucket reports the exact tracked max (so p100
+    /// and near-tail quantiles are not inflated to a power of two).
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let top = self.buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if i == top { self.max_ns } else { bucket_bound(i) };
+            }
+        }
+        self.max_ns
+    }
+
+    /// Merge `other` into `self` (bucket-wise add).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+/// The runtime's histogram plane: per-vCPU cells plus the shared
+/// enable/sampling configuration word.
+///
+/// With the `obs` feature disabled this struct carries only the (inert)
+/// configuration; every record folds to nothing and every read returns
+/// an empty [`Histogram`].
+#[derive(Debug)]
+pub struct ObsState {
+    /// Bit 0: histograms enabled. Bits 8..=15: sample shift (record
+    /// every 2^shift-th call per thread). One `Relaxed` load per call.
+    #[cfg(feature = "obs")]
+    cfg: AtomicU32,
+    #[cfg(feature = "obs")]
+    cells: Box<[HistCell]>,
+}
+
+#[cfg(feature = "obs")]
+const CFG_HIST_ON: u32 = 1;
+
+thread_local! {
+    /// Per-thread sampling tick. Thread-local so the unsampled common
+    /// case touches no shared memory at all (a shared per-vCPU tick
+    /// would put an RMW on every call — measurable against a ~70 ns
+    /// null inline call).
+    static SAMPLE_TICK: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+impl ObsState {
+    /// Histograms for `n_vcpus` virtual processors, enabled, sampling
+    /// every 2^[`DEFAULT_SAMPLE_SHIFT`]-th call per thread.
+    pub(crate) fn new(n_vcpus: usize) -> Self {
+        let _ = n_vcpus;
+        ObsState {
+            #[cfg(feature = "obs")]
+            cfg: AtomicU32::new(CFG_HIST_ON | (DEFAULT_SAMPLE_SHIFT << 8)),
+            #[cfg(feature = "obs")]
+            cells: (0..n_vcpus.max(1)).map(|_| HistCell::new()).collect(),
+        }
+    }
+
+    /// Whether histogram recording is compiled in *and* enabled.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        #[cfg(feature = "obs")]
+        {
+            self.cfg.load(Ordering::Relaxed) & CFG_HIST_ON != 0
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            false
+        }
+    }
+
+    /// Enable or disable recording at runtime (no-op when compiled out).
+    pub fn set_enabled(&self, on: bool) {
+        #[cfg(feature = "obs")]
+        {
+            let mut cur = self.cfg.load(Ordering::Relaxed);
+            loop {
+                let next = if on { cur | CFG_HIST_ON } else { cur & !CFG_HIST_ON };
+                match self.cfg.compare_exchange_weak(
+                    cur,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return,
+                    Err(c) => cur = c,
+                }
+            }
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = on;
+    }
+
+    /// Set the sampling shift: durations are recorded for every
+    /// 2^`shift`-th call per thread. `0` records every call (full cost:
+    /// two timestamps per call). Clamped to 16.
+    pub fn set_sample_shift(&self, shift: u32) {
+        #[cfg(feature = "obs")]
+        {
+            let shift = shift.min(16);
+            let mut cur = self.cfg.load(Ordering::Relaxed);
+            loop {
+                let next = (cur & !(0xFF << 8)) | (shift << 8);
+                match self.cfg.compare_exchange_weak(
+                    cur,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return,
+                    Err(c) => cur = c,
+                }
+            }
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = shift;
+    }
+
+    /// The current sampling shift.
+    pub fn sample_shift(&self) -> u32 {
+        #[cfg(feature = "obs")]
+        {
+            (self.cfg.load(Ordering::Relaxed) >> 8) & 0xFF
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            0
+        }
+    }
+
+    /// The once-per-call gate: one `Relaxed` config load; if enabled,
+    /// one thread-local tick. Returns `true` when this call should be
+    /// timed (the caller then takes timestamps and calls
+    /// [`ObsState::record`]).
+    #[inline]
+    pub fn try_sample(&self) -> bool {
+        #[cfg(feature = "obs")]
+        {
+            let cfg = self.cfg.load(Ordering::Relaxed);
+            if cfg & CFG_HIST_ON == 0 {
+                return false;
+            }
+            let mask = (1u64 << ((cfg >> 8) & 0xFF)) - 1;
+            SAMPLE_TICK.with(|t| {
+                let n = t.get();
+                t.set(n.wrapping_add(1));
+                n & mask == 0
+            })
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            false
+        }
+    }
+
+    /// Record one duration into the calling vCPU's cell. Hot-path legal:
+    /// three `Relaxed` RMWs on this vCPU's own cache lines. Callers
+    /// normally gate this behind [`ObsState::try_sample`]; the method
+    /// itself is unconditional (tests and cold paths may record
+    /// directly).
+    #[inline]
+    pub fn record(&self, kind: LatencyKind, vcpu: usize, ns: u64) {
+        #[cfg(feature = "obs")]
+        self.cells[vcpu].record(kind, ns);
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = (kind, vcpu, ns);
+        }
+    }
+
+    /// Merge every vCPU's histogram for `kind` (cold read path).
+    pub fn merged(&self, kind: LatencyKind) -> Histogram {
+        #[cfg_attr(not(feature = "obs"), allow(unused_mut))]
+        let mut out = Histogram::new();
+        #[cfg(feature = "obs")]
+        {
+            let k = kind as usize;
+            for cell in self.cells.iter() {
+                for (i, b) in cell.buckets[k].iter().enumerate() {
+                    out.buckets[i] += b.load(Ordering::Relaxed);
+                }
+                out.sum_ns += cell.sum_ns[k].load(Ordering::Relaxed);
+                out.max_ns = out.max_ns.max(cell.max_ns[k].load(Ordering::Relaxed));
+            }
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = kind;
+        out
+    }
+
+    /// One vCPU's histogram for `kind` (cold read path).
+    pub fn vcpu_hist(&self, kind: LatencyKind, vcpu: usize) -> Histogram {
+        #[cfg_attr(not(feature = "obs"), allow(unused_mut))]
+        let mut out = Histogram::new();
+        #[cfg(feature = "obs")]
+        {
+            let k = kind as usize;
+            let cell = &self.cells[vcpu];
+            for (i, b) in cell.buckets[k].iter().enumerate() {
+                out.buckets[i] = b.load(Ordering::Relaxed);
+            }
+            out.sum_ns = cell.sum_ns[k].load(Ordering::Relaxed);
+            out.max_ns = cell.max_ns[k].load(Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = (kind, vcpu);
+        out
+    }
+
+    /// Reset every bucket, sum and max to zero (cold path; racing
+    /// recorders may land increments before or after — fine for the
+    /// bench "reset between phases" use).
+    pub fn reset(&self) {
+        #[cfg(feature = "obs")]
+        for cell in self.cells.iter() {
+            for k in 0..NKINDS {
+                for b in &cell.buckets[k] {
+                    b.store(0, Ordering::Relaxed);
+                }
+                cell.sum_ns[k].store(0, Ordering::Relaxed);
+                cell.max_ns[k].store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_scheme_covers_the_range() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        // Re-encoding the reported bound never migrates buckets.
+        for i in 0..BUCKETS {
+            assert_eq!(bucket_of(bucket_bound(i)), i, "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn quantiles_step_through_buckets() {
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(100); // bucket 7, bound 127
+        }
+        for _ in 0..10 {
+            h.record(10_000); // bucket 14, bound 16383
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile(0.5), 127);
+        assert_eq!(h.quantile(0.9), 127);
+        // The topmost populated bucket reports the exact max.
+        assert_eq!(h.quantile(0.99), 10_000);
+        assert_eq!(h.quantile(1.0), 10_000);
+        assert_eq!(h.max_ns, 10_000);
+        assert_eq!(Histogram::new().quantile(0.99), 0);
+    }
+
+    #[test]
+    fn merge_adds_bucketwise() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(5);
+        b.record(500_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max_ns, 500_000);
+        assert_eq!(a.buckets[bucket_of(5)], 2);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn state_records_per_vcpu_and_merges() {
+        let obs = ObsState::new(2);
+        obs.record(LatencyKind::Call, 0, 100);
+        obs.record(LatencyKind::Call, 1, 200);
+        obs.record(LatencyKind::Handler, 1, 50);
+        assert_eq!(obs.merged(LatencyKind::Call).count(), 2);
+        assert_eq!(obs.merged(LatencyKind::Call).max_ns, 200);
+        assert_eq!(obs.vcpu_hist(LatencyKind::Call, 0).count(), 1);
+        assert_eq!(obs.merged(LatencyKind::Handler).count(), 1);
+        assert_eq!(obs.merged(LatencyKind::BulkCopy).count(), 0);
+        obs.reset();
+        assert_eq!(obs.merged(LatencyKind::Call).count(), 0);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn sampling_honors_shift_and_enable_bit() {
+        let obs = ObsState::new(1);
+        obs.set_sample_shift(2); // every 4th
+        let hits = (0..32).filter(|_| obs.try_sample()).count();
+        assert_eq!(hits, 8);
+        obs.set_enabled(false);
+        assert!(!obs.enabled());
+        assert_eq!((0..32).filter(|_| obs.try_sample()).count(), 0);
+        obs.set_enabled(true);
+        obs.set_sample_shift(0); // every call
+        assert_eq!((0..8).filter(|_| obs.try_sample()).count(), 8);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn cells_are_line_aligned() {
+        assert!(std::mem::align_of::<HistCell>() >= 64);
+    }
+}

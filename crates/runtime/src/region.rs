@@ -35,7 +35,7 @@
 //! buffer returns to its vCPU's pool only at unregister.
 //!
 //! Because drains and write exclusivity block, a thread that already
-//! holds an [`Access`] on a slot must not begin a conflicting access or a
+//! holds an `Access` on a slot must not begin a conflicting access or a
 //! registry write on the *same* slot — that is a self-deadlock. A
 //! per-thread ledger of live accesses turns those cycles into
 //! [`RtError::BulkReentrant`] instead of an infinite spin.

@@ -7,68 +7,146 @@
 //! [`StatsCell`] per vCPU, each `#[repr(align(64))]` so two vCPUs never
 //! share a line, updated with `Relaxed` stores on the fast path and
 //! aggregated only when someone asks (a cold read path).
+//!
+//! The whole counter surface — the cell fields, the aggregate getters,
+//! [`Snapshot`], [`Snapshot::since`], [`Snapshot::fields`], and the
+//! `Display` impl — is generated from the single `counters!` list below,
+//! so adding a counter is a one-line change and the five views can never
+//! drift apart. The only hand-written special case is the aggregate
+//! [`RuntimeStats::calls`] / [`Snapshot::calls`], which derives
+//! hand-off + inline completions so each dispatch path pays exactly one
+//! counter increment.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// One virtual processor's counters, padded to its own cache line so
-/// fast-path increments on different vCPUs never contend.
-#[derive(Debug, Default)]
-#[repr(align(64))]
-pub struct StatsCell {
+/// Defines every facility counter exactly once. Expands to:
+///
+/// * the [`StatsCell`] field (one padded `AtomicU64` per counter),
+/// * the per-counter aggregate getter on [`RuntimeStats`],
+/// * the [`Snapshot`] field, filled by [`RuntimeStats::snapshot`],
+/// * the counter-wise [`Snapshot::since`] difference,
+/// * the `name=value` segment of [`Snapshot`]'s `Display`,
+/// * the `(name, value)` entry in [`Snapshot::fields`] (what the
+///   metrics exporter iterates).
+macro_rules! counters {
+    ($($(#[$doc:meta])* $field:ident),+ $(,)?) => {
+        /// One virtual processor's counters, padded to its own cache
+        /// line so fast-path increments on different vCPUs never
+        /// contend.
+        #[derive(Debug, Default)]
+        #[repr(align(64))]
+        pub struct StatsCell {
+            $($(#[$doc])* pub $field: AtomicU64,)+
+        }
+
+        impl RuntimeStats {
+            $(
+                $(#[$doc])*
+                /// (Aggregated across all vCPUs.)
+                pub fn $field(&self) -> u64 {
+                    self.cells.iter().map(|c| c.$field.load(Ordering::Relaxed)).sum()
+                }
+            )+
+
+            /// A consistent-enough point-in-time aggregation (each
+            /// counter read is atomic; the set is not — fine for
+            /// diagnostics and benches).
+            pub fn snapshot(&self) -> Snapshot {
+                Snapshot {
+                    calls: self.calls(),
+                    $($field: self.$field(),)+
+                }
+            }
+        }
+
+        /// Plain-value aggregation of [`RuntimeStats`], comparable and
+        /// printable — what benches and tests should consume instead of
+        /// reading atomics by hand.
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+        pub struct Snapshot {
+            /// Completed synchronous calls (hand-off + inline; derived).
+            pub calls: u64,
+            $($(#[$doc])* pub $field: u64,)+
+        }
+
+        impl Snapshot {
+            /// Counter-wise difference (`self - earlier`, saturating):
+            /// the activity between two snapshots.
+            pub fn since(&self, earlier: &Snapshot) -> Snapshot {
+                Snapshot {
+                    calls: self.calls.saturating_sub(earlier.calls),
+                    $($field: self.$field.saturating_sub(earlier.$field),)+
+                }
+            }
+
+            /// Every counter as a `(name, value)` pair, `calls` first —
+            /// the exporter's iteration surface. Generated from the same
+            /// list as the fields, so a new counter shows up in the
+            /// Prometheus/JSON output without touching the exporter.
+            pub fn fields(&self) -> Vec<(&'static str, u64)> {
+                vec![
+                    ("calls", self.calls),
+                    $((stringify!($field), self.$field),)+
+                ]
+            }
+        }
+
+        impl fmt::Display for Snapshot {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "calls={}", self.calls)?;
+                $(write!(f, concat!(" ", stringify!($field), "={}"), self.$field)?;)+
+                Ok(())
+            }
+        }
+    };
+}
+
+counters! {
     /// Completed synchronous hand-off calls — hand-off completions
     /// *only*; inline completions count in [`StatsCell::inline_calls`].
     /// The aggregate [`RuntimeStats::calls`] getter sums the two, so
     /// each dispatch path pays exactly one counter increment. (Named
     /// `handoff_calls` rather than `calls` so a reader wanting all
     /// completed calls cannot pick it up by accident.)
-    pub handoff_calls: AtomicU64,
+    handoff_calls,
     /// Synchronous calls executed inline on the caller's thread.
-    pub inline_calls: AtomicU64,
+    inline_calls,
     /// Hand-off rendezvous resolved by spinning alone (no park).
-    pub spin_waits: AtomicU64,
+    spin_waits,
     /// Hand-off rendezvous that exhausted the spin budget and parked.
-    pub park_waits: AtomicU64,
+    park_waits,
     /// Dispatched asynchronous calls.
-    pub async_calls: AtomicU64,
+    async_calls,
     /// Upcall dispatches.
-    pub upcalls: AtomicU64,
+    upcalls,
     /// Slow-path events (pool empty → grow), the Frank redirections.
-    pub frank_redirects: AtomicU64,
+    frank_redirects,
     /// Workers created on demand.
-    pub workers_created: AtomicU64,
+    workers_created,
     /// Call slots created on demand.
-    pub cds_created: AtomicU64,
+    cds_created,
     /// Handler panics contained by fault isolation.
-    pub server_faults: AtomicU64,
+    server_faults,
     /// Synchronous calls dispatched with a bulk descriptor.
-    pub bulk_calls: AtomicU64,
+    bulk_calls,
     /// Payload bytes moved by the bulk copy engine (copy/exchange; the
     /// in-place zero-copy path moves none by construction).
-    pub bulk_bytes: AtomicU64,
+    bulk_bytes,
     /// Bulk buffer requests served from the vCPU pool.
-    pub bulk_pool_hits: AtomicU64,
+    bulk_pool_hits,
     /// Bulk buffer requests that missed the pool and allocated (the
     /// payload plane's Frank slow-path entries).
-    pub bulk_pool_misses: AtomicU64,
+    bulk_pool_misses,
     /// Bulk accesses rejected: no grant, bad descriptor, or revoked
     /// mid-transfer.
-    pub bulk_denied: AtomicU64,
+    bulk_denied,
 }
 
 /// Sharded facility counters: one padded cell per virtual processor.
 #[derive(Debug)]
 pub struct RuntimeStats {
     cells: Box<[StatsCell]>,
-}
-
-macro_rules! aggregate_getters {
-    ($($(#[$doc:meta])* $field:ident),+ $(,)?) => {$(
-        $(#[$doc])*
-        pub fn $field(&self) -> u64 {
-            self.cells.iter().map(|c| c.$field.load(Ordering::Relaxed)).sum()
-        }
-    )+};
 }
 
 impl RuntimeStats {
@@ -93,148 +171,6 @@ impl RuntimeStats {
                     + c.inline_calls.load(Ordering::Relaxed)
             })
             .sum()
-    }
-
-    aggregate_getters! {
-        /// Hand-off (worker-dispatched) synchronous calls across all vCPUs.
-        handoff_calls,
-        /// Inline (caller-thread) synchronous calls across all vCPUs.
-        inline_calls,
-        /// Rendezvous resolved by spinning alone across all vCPUs.
-        spin_waits,
-        /// Rendezvous that fell back to parking across all vCPUs.
-        park_waits,
-        /// Asynchronous dispatches across all vCPUs.
-        async_calls,
-        /// Upcall dispatches across all vCPUs.
-        upcalls,
-        /// Frank (grow) slow-path events across all vCPUs.
-        frank_redirects,
-        /// Workers created on demand across all vCPUs.
-        workers_created,
-        /// Call slots created on demand across all vCPUs.
-        cds_created,
-        /// Contained handler panics across all vCPUs.
-        server_faults,
-        /// Bulk-descriptor calls across all vCPUs.
-        bulk_calls,
-        /// Payload bytes moved by the copy engine across all vCPUs.
-        bulk_bytes,
-        /// Bulk pool hits across all vCPUs.
-        bulk_pool_hits,
-        /// Bulk pool misses (slow-path allocations) across all vCPUs.
-        bulk_pool_misses,
-        /// Rejected bulk accesses across all vCPUs.
-        bulk_denied,
-    }
-
-    /// A consistent-enough point-in-time aggregation (each counter read
-    /// is atomic; the set is not — fine for diagnostics and benches).
-    pub fn snapshot(&self) -> Snapshot {
-        Snapshot {
-            calls: self.calls(),
-            inline_calls: self.inline_calls(),
-            spin_waits: self.spin_waits(),
-            park_waits: self.park_waits(),
-            async_calls: self.async_calls(),
-            upcalls: self.upcalls(),
-            frank_redirects: self.frank_redirects(),
-            workers_created: self.workers_created(),
-            cds_created: self.cds_created(),
-            server_faults: self.server_faults(),
-            bulk_calls: self.bulk_calls(),
-            bulk_bytes: self.bulk_bytes(),
-            bulk_pool_hits: self.bulk_pool_hits(),
-            bulk_pool_misses: self.bulk_pool_misses(),
-            bulk_denied: self.bulk_denied(),
-        }
-    }
-}
-
-/// Plain-value aggregation of [`RuntimeStats`], comparable and printable
-/// — what benches and tests should consume instead of reading atomics by
-/// hand.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct Snapshot {
-    /// Completed synchronous calls.
-    pub calls: u64,
-    /// Synchronous calls executed inline on the caller's thread.
-    pub inline_calls: u64,
-    /// Rendezvous resolved by spinning alone.
-    pub spin_waits: u64,
-    /// Rendezvous that fell back to parking.
-    pub park_waits: u64,
-    /// Dispatched asynchronous calls.
-    pub async_calls: u64,
-    /// Upcall dispatches.
-    pub upcalls: u64,
-    /// Slow-path (grow) events.
-    pub frank_redirects: u64,
-    /// Workers created on demand.
-    pub workers_created: u64,
-    /// Call slots created on demand.
-    pub cds_created: u64,
-    /// Contained handler panics.
-    pub server_faults: u64,
-    /// Bulk-descriptor calls.
-    pub bulk_calls: u64,
-    /// Payload bytes moved by the copy engine.
-    pub bulk_bytes: u64,
-    /// Bulk pool hits.
-    pub bulk_pool_hits: u64,
-    /// Bulk pool misses (slow-path allocations).
-    pub bulk_pool_misses: u64,
-    /// Rejected bulk accesses.
-    pub bulk_denied: u64,
-}
-
-impl Snapshot {
-    /// Counter-wise difference (`self - earlier`, saturating): the
-    /// activity between two snapshots.
-    pub fn since(&self, earlier: &Snapshot) -> Snapshot {
-        Snapshot {
-            calls: self.calls.saturating_sub(earlier.calls),
-            inline_calls: self.inline_calls.saturating_sub(earlier.inline_calls),
-            spin_waits: self.spin_waits.saturating_sub(earlier.spin_waits),
-            park_waits: self.park_waits.saturating_sub(earlier.park_waits),
-            async_calls: self.async_calls.saturating_sub(earlier.async_calls),
-            upcalls: self.upcalls.saturating_sub(earlier.upcalls),
-            frank_redirects: self.frank_redirects.saturating_sub(earlier.frank_redirects),
-            workers_created: self.workers_created.saturating_sub(earlier.workers_created),
-            cds_created: self.cds_created.saturating_sub(earlier.cds_created),
-            server_faults: self.server_faults.saturating_sub(earlier.server_faults),
-            bulk_calls: self.bulk_calls.saturating_sub(earlier.bulk_calls),
-            bulk_bytes: self.bulk_bytes.saturating_sub(earlier.bulk_bytes),
-            bulk_pool_hits: self.bulk_pool_hits.saturating_sub(earlier.bulk_pool_hits),
-            bulk_pool_misses: self.bulk_pool_misses.saturating_sub(earlier.bulk_pool_misses),
-            bulk_denied: self.bulk_denied.saturating_sub(earlier.bulk_denied),
-        }
-    }
-}
-
-impl fmt::Display for Snapshot {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "calls={} (inline={}, spin={}, park={}) async={} upcalls={} \
-             frank={} workers+={} cds+={} faults={} \
-             bulk={} (bytes={}, hit={}, miss={}, denied={})",
-            self.calls,
-            self.inline_calls,
-            self.spin_waits,
-            self.park_waits,
-            self.async_calls,
-            self.upcalls,
-            self.frank_redirects,
-            self.workers_created,
-            self.cds_created,
-            self.server_faults,
-            self.bulk_calls,
-            self.bulk_bytes,
-            self.bulk_pool_hits,
-            self.bulk_pool_misses,
-            self.bulk_denied,
-        )
     }
 }
 
@@ -278,6 +214,27 @@ mod tests {
         assert_eq!(delta.frank_redirects, 0);
         let text = delta.to_string();
         assert!(text.contains("calls=4"));
-        assert!(text.contains("park=4"));
+        assert!(text.contains("park_waits=4"));
+    }
+
+    #[test]
+    fn snapshot_fields_cover_every_counter() {
+        let s = RuntimeStats::new(1);
+        s.cell(0).inline_calls.fetch_add(7, Ordering::Relaxed);
+        s.cell(0).bulk_denied.fetch_add(2, Ordering::Relaxed);
+        let snap = s.snapshot();
+        let fields = snap.fields();
+        // `calls` plus one entry per StatsCell counter, no drift.
+        assert_eq!(fields.len(), 16);
+        assert_eq!(fields[0], ("calls", 7));
+        let get = |name: &str| fields.iter().find(|(n, _)| *n == name).unwrap().1;
+        assert_eq!(get("inline_calls"), 7);
+        assert_eq!(get("bulk_denied"), 2);
+        assert_eq!(get("park_waits"), 0);
+        // Display is generated from the same list: every name appears.
+        let text = snap.to_string();
+        for (name, _) in &fields {
+            assert!(text.contains(&format!("{name}=")), "{name} missing in {text}");
+        }
     }
 }

@@ -345,6 +345,9 @@ fn worker_loop(entry: Arc<crate::entry::EntryShared>, me: Arc<WorkerHandle>, vcp
         // parked client — down with it: the paper chose worker processes
         // precisely so failure modes "more closely follow those of a
         // message exchange" (§2).
+        // Handler-run timing samples on *this* worker thread's tick —
+        // per-thread sampling needs no coordination with the client side.
+        let th0 = entry.obs.try_sample().then(std::time::Instant::now);
         let rets = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             slot.with_scratch(|scratch| {
                 let mut ctx = CallCtx {
@@ -362,9 +365,21 @@ fn worker_loop(entry: Arc<crate::entry::EntryShared>, me: Arc<WorkerHandle>, vcp
             Ok(rets) => rets,
             Err(_) => {
                 slot.mark_faulted();
+                // Contained faults are rare: always in the flight ring,
+                // and always dumped — a panic that something upstream
+                // swallows still leaves its context on stderr.
+                entry.flight.record(vcpu, crate::flight::FlightKind::Fault, entry.id, program);
+                entry.dump_fault(vcpu);
                 [u64::MAX; 8]
             }
         };
+        if let Some(th0) = th0 {
+            entry.obs.record(
+                crate::obs::LatencyKind::Handler,
+                vcpu,
+                th0.elapsed().as_nanos() as u64,
+            );
+        }
         me.calls.fetch_add(1, Ordering::Relaxed);
         entry.calls.fetch_add(1, Ordering::Relaxed);
         entry.finish_call();

@@ -2,15 +2,42 @@
 //! traffic must never hang a client, leak an in-flight count, or produce
 //! anything but `Ok` / `EntryDead` / `Aborted`.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use ppc_rt::{EntryOptions, RtError, Runtime};
 
+/// Abort the process if `done` is not set within `secs`, dumping the
+/// runtime's diagnostics (counters, latency percentiles, per-vCPU
+/// flight-recorder rings) first — a kill that wedges a client should
+/// fail CI with the facility's last events on stderr, not hang it.
+fn watchdog(
+    done: Arc<AtomicBool>,
+    secs: u64,
+    tag: &'static str,
+    rt: Arc<Runtime>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let deadline = std::time::Instant::now() + Duration::from_secs(secs);
+        while std::time::Instant::now() < deadline {
+            if done.load(Ordering::Acquire) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        eprintln!("watchdog: {tag} did not finish within {secs}s — aborting");
+        rt.dump_diagnostics();
+        std::process::abort();
+    })
+}
+
 #[test]
 fn hard_kill_under_traffic_never_hangs() {
     for round in 0..10 {
         let rt = Runtime::new(2);
+        let done = Arc::new(AtomicBool::new(false));
+        let dog = watchdog(Arc::clone(&done), 60, "hard kill round", Arc::clone(&rt));
         let ep = rt
             .bind(
                 "victim",
@@ -55,12 +82,16 @@ fn hard_kill_under_traffic_never_hangs() {
             total_dead += dead;
         }
         assert!(total_dead > 0, "the kill landed mid-traffic");
+        done.store(true, Ordering::Release);
+        dog.join().unwrap();
     }
 }
 
 #[test]
 fn soft_kill_under_traffic_drains_cleanly() {
     let rt = Runtime::new(1);
+    let done = Arc::new(AtomicBool::new(false));
+    let dog = watchdog(Arc::clone(&done), 60, "soft kill drain", Arc::clone(&rt));
     let ep = rt
         .bind(
             "drainee",
@@ -96,6 +127,8 @@ fn soft_kill_under_traffic_drains_cleanly() {
     // returned), and the runtime can still bind new services.
     let ep2 = rt.bind("next", EntryOptions::default(), Arc::new(|c| c.args)).unwrap();
     assert_eq!(c.call(ep2, [9; 8]).unwrap(), [9; 8]);
+    done.store(true, Ordering::Release);
+    dog.join().unwrap();
 }
 
 #[test]

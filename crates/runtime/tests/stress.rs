@@ -23,8 +23,16 @@ use rand::{Rng, SeedableRng};
 use ppc_rt::{EntryOptions, RtError, Runtime};
 
 /// Abort the whole process if `done` is not set within `secs` — a hung
-/// rendezvous would otherwise park the harness forever.
-fn watchdog(done: Arc<AtomicBool>, secs: u64, tag: &'static str) -> std::thread::JoinHandle<()> {
+/// rendezvous would otherwise park the harness forever. Before aborting,
+/// dump the runtime's diagnostics (final counter snapshot, latency
+/// percentiles, per-vCPU flight-recorder rings) so the wedge comes with
+/// the facility's last events attached.
+fn watchdog(
+    done: Arc<AtomicBool>,
+    secs: u64,
+    tag: &'static str,
+    rt: Arc<Runtime>,
+) -> std::thread::JoinHandle<()> {
     std::thread::spawn(move || {
         let deadline = std::time::Instant::now() + Duration::from_secs(secs);
         while std::time::Instant::now() < deadline {
@@ -34,6 +42,7 @@ fn watchdog(done: Arc<AtomicBool>, secs: u64, tag: &'static str) -> std::thread:
             std::thread::sleep(Duration::from_millis(50));
         }
         eprintln!("watchdog: {tag} did not finish within {secs}s — aborting");
+        rt.dump_diagnostics();
         std::process::abort();
     })
 }
@@ -70,7 +79,7 @@ fn cross_vcpu_mixed_traffic_conserves_stats() {
     ];
 
     let done = Arc::new(AtomicBool::new(false));
-    let dog = watchdog(Arc::clone(&done), 120, "mixed traffic");
+    let dog = watchdog(Arc::clone(&done), 120, "mixed traffic", Arc::clone(&rt));
 
     let handles: Vec<_> = (0..CLIENTS)
         .map(|i| {
@@ -154,7 +163,7 @@ fn chaos_kill_exchange_never_wedges() {
         .collect();
 
     let done = Arc::new(AtomicBool::new(false));
-    let dog = watchdog(Arc::clone(&done), 120, "chaos kill/exchange");
+    let dog = watchdog(Arc::clone(&done), 120, "chaos kill/exchange", Arc::clone(&rt));
     let stop = Arc::new(AtomicBool::new(false));
 
     let clients: Vec<_> = (0..CLIENTS)
