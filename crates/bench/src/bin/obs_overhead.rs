@@ -16,6 +16,11 @@
 //! keeps noisy ones from flaking. Histograms stay affordable because the
 //! per-call cost is one `Relaxed` config load plus a thread-local tick;
 //! timestamps are only taken on sampled calls (1 in 128 by default).
+//!
+//! The enabled run measures with the causal-tracing plane in its
+//! default (enabled) state, so the gate covers span minting too;
+//! `--no-trace` disables the span plane for an attribution run that
+//! isolates histogram cost from tracing cost.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -24,11 +29,14 @@ use ppc_bench::report::{self, Json};
 use ppc_rt::{EntryOptions, Runtime};
 
 /// Null inline call ns/call: minimum over trials (interference only ever
-/// adds time), same estimator as `rt_modes`.
-fn measure_null_inline() -> f64 {
+/// adds time), same estimator as `rt_modes`. `trace_on` leaves the span
+/// plane in its default enabled state; `--no-trace` switches it off so
+/// the gate can attribute a regression to tracing vs the histograms.
+fn measure_null_inline(trace_on: bool) -> f64 {
     const TRIALS: usize = 8;
     const BUDGET: Duration = Duration::from_millis(60);
     let rt = Runtime::new(1);
+    rt.spans().set_enabled(trace_on);
     let ep = rt
         .bind(
             "null",
@@ -55,10 +63,11 @@ fn measure_null_inline() -> f64 {
     best
 }
 
-fn doc(ns: f64) -> Json {
+fn doc(ns: f64, trace_on: bool) -> Json {
     Json::obj([
         ("bench", Json::Str("obs_overhead".to_string())),
         ("obs_compiled", Json::Bool(cfg!(feature = "obs"))),
+        ("trace_enabled", Json::Bool(cfg!(feature = "obs") && trace_on)),
         ("ns_per_call", Json::Num(ns)),
     ])
 }
@@ -70,15 +79,21 @@ fn main() {
     };
     let budget: f64 = flag_value("--budget").map(|s| s.parse().unwrap()).unwrap_or(1.05);
     let floor_ns: f64 = flag_value("--floor-ns").map(|s| s.parse().unwrap()).unwrap_or(25.0);
+    let trace_on = !args.iter().any(|a| a == "--no-trace");
 
-    let ns = measure_null_inline();
+    let ns = measure_null_inline(trace_on);
     println!(
-        "null inline call: {ns:.1} ns/call (histograms {})",
-        if cfg!(feature = "obs") { "compiled in, enabled" } else { "compiled out" }
+        "null inline call: {ns:.1} ns/call (histograms {}, tracing {})",
+        if cfg!(feature = "obs") { "compiled in, enabled" } else { "compiled out" },
+        match (cfg!(feature = "obs"), trace_on) {
+            (false, _) => "compiled out",
+            (true, true) => "enabled",
+            (true, false) => "disabled",
+        }
     );
 
     if let Some(path) = flag_value("--write") {
-        std::fs::write(&path, doc(ns).to_string() + "\n")
+        std::fs::write(&path, doc(ns, trace_on).to_string() + "\n")
             .unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!("baseline written: {path}");
         return;
@@ -112,7 +127,7 @@ fn main() {
     // Consistency with the other bins: `--json` emits the same document.
     let (_rest, json_path) = report::json_flag(args.into_iter());
     if let Some(path) = json_path {
-        std::fs::write(&path, doc(ns).to_string() + "\n")
+        std::fs::write(&path, doc(ns, trace_on).to_string() + "\n")
             .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
         println!("json report: {}", path.display());
     }

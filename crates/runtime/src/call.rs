@@ -20,6 +20,7 @@ use crate::entry::EntryState;
 use crate::flight::FlightKind;
 use crate::obs::LatencyKind;
 use crate::slot::CallSlot;
+use crate::span::SpanPhase;
 use crate::worker::WorkerHandle;
 use crate::{AsyncCall, CallCtx, EntryId, ProgramId, RtError, Runtime, SpinPolicy, VcpuState};
 
@@ -34,23 +35,31 @@ impl Runtime {
         program: ProgramId,
         sync: bool,
     ) -> Result<Option<[u64; 8]>, RtError> {
-        if sync {
-            let entry = self.entry(ep)?;
-            if entry.opts.inline_ok {
-                return self
-                    .dispatch_inline(vcpu, ep, args, program, None, entry)
-                    .map(|(r, _)| Some(r));
-            }
+        if !sync {
+            let (_entry, worker, slot, _held) = self.prepare(vcpu, ep, args, program, false)?;
+            worker.post(Arc::clone(&slot));
+            return Ok(None);
+        }
+        let probe = self.entry(ep)?;
+        if probe.opts.inline_ok {
+            return self
+                .dispatch_inline(vcpu, ep, args, program, None, probe)
+                .map(|(r, _)| Some(r));
         }
         // Observability gate: one Relaxed load (plus a thread-local tick
         // when enabled). Unsampled calls pay nothing further.
-        let sampled = sync && self.obs().try_sample();
+        let sampled = self.obs().try_sample();
         let t0 = sampled.then(Instant::now);
-        let (entry, worker, slot, held) = self.prepare(vcpu, ep, args, program, sync)?;
-        worker.post(Arc::clone(&slot));
-        if !sync {
-            return Ok(None);
+        // The call span opens before resource acquisition so Frank grow
+        // events during `prepare` parent under it; the drop guard closes
+        // it (and runs the root's tail-exemplar check) on every exit.
+        let scope = self.spans().call_scope(sampled, vcpu, ep, Some(&probe.trace_ewma_ns));
+        let (entry, worker, slot, held) = self.prepare(vcpu, ep, args, program, true)?;
+        if scope.active() {
+            // The mailbox publish below orders this for the worker.
+            slot.set_trace(scope.ctx_word());
         }
+        worker.post(Arc::clone(&slot));
         // Racing a kill: if the worker was told to shut down, it may have
         // exited after its final mailbox drain without seeing our post.
         // Reclaim the slot if it is still in the mailbox; the mailbox
@@ -121,7 +130,11 @@ impl Runtime {
         }
         let sampled = self.obs().try_sample();
         let t0 = sampled.then(Instant::now);
+        let scope = self.spans().call_scope(sampled, vcpu, ep, Some(&probe.trace_ewma_ns));
         let (entry, worker, slot, held) = self.prepare_payload(vcpu, ep, args, program, payload)?;
+        if scope.active() {
+            slot.set_trace(scope.ctx_word());
+        }
         worker.post(Arc::clone(&slot));
         if worker.is_shutdown() {
             if let Some(reclaimed) = worker.take_mail() {
@@ -183,6 +196,9 @@ impl Runtime {
         let cell = self.stats.cell(vcpu);
         let sampled = self.obs().try_sample();
         let t0 = sampled.then(Instant::now);
+        // The inline call span; the drop guard closes it on the early
+        // kill/fault returns too, restoring the caller's trace context.
+        let call_scope = self.spans().call_scope(sampled, vcpu, ep, Some(&entry.trace_ewma_ns));
         // Claim an in-flight slot, then re-check state — same kill
         // protocol as the hand-off path.
         entry.active.fetch_add(1, Ordering::AcqRel);
@@ -195,13 +211,17 @@ impl Runtime {
         // bytes both ways); a plain call borrows one lazily, only if the
         // handler asks — descriptor-only bulk calls skip the CD pool.
         let slot = payload.map(|p| {
-            let s = vc.take_slot(cell, self.flight());
+            let s = vc.take_slot(cell, self.flight(), self.spans());
             s.write_payload(p);
             s
         });
         // Fault containment matches the worker loop: a panicking handler
-        // unwinds to here, not through the caller's frames.
+        // unwinds to here, not through the caller's frames. The handler
+        // span nests under the call span (no slot hop inline — the
+        // context word passes directly), so nested calls the handler
+        // makes parent under it.
         let th0 = sampled.then(Instant::now);
+        let h_scope = self.spans().handler_scope(call_scope.ctx_word(), vcpu, ep);
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &slot {
             Some(s) => s.with_scratch(|scratch| {
                 let mut ctx = CallCtx {
@@ -229,6 +249,7 @@ impl Runtime {
                 (rets, ctx.take_lazy_slot())
             }
         }));
+        drop(h_scope); // handler span ends here, even on a panic
         if let Some(th0) = th0 {
             self.obs().record(LatencyKind::Handler, vcpu, th0.elapsed().as_nanos() as u64);
         }
@@ -290,6 +311,10 @@ impl Runtime {
     /// the wait for the EWMA; the other policies only pay the timestamps
     /// when sampled).
     fn rendezvous(&self, vc: &VcpuState, slot: &CallSlot, ep: EntryId, sampled: bool) {
+        // The client-side wait as a leaf span under the live call span
+        // (no-op otherwise) — this is the "rendezvous wait" slice of a
+        // tail exemplar's phase breakdown.
+        let _span = self.spans().leaf_scope(vc.id, ep, SpanPhase::Rendezvous);
         let cell = self.stats.cell(vc.id);
         let mut wait_ns = 0u64;
         let spun = match self.spin_policy() {
@@ -369,13 +394,29 @@ impl Runtime {
         args: [u64; 8],
         program: ProgramId,
     ) -> Result<AsyncCall, RtError> {
+        let sampled = self.obs().try_sample();
         let (_entry, worker, slot, held) = self.prepare(vcpu, ep, args, program, false)?;
+        // The async span is not installed (the caller continues past the
+        // dispatch); it closes when the completion is observed. The
+        // context word rides the slot so the worker's handler span — and
+        // anything nested under it — parents here.
+        let trace = self.spans().begin_async(sampled, vcpu, ep);
+        if let Some(tok) = &trace {
+            slot.set_trace(tok.ctx.pack());
+        }
         worker.post(Arc::clone(&slot));
         self.stats.cell(vcpu).async_calls.fetch_add(1, Ordering::Relaxed);
-        if self.obs().try_sample() {
+        if sampled {
             self.flight().record(vcpu, FlightKind::Async, ep, program);
         }
-        Ok(AsyncCall { slot, vcpu: Arc::clone(self.vcpu(vcpu)?), ep, held })
+        Ok(AsyncCall {
+            slot,
+            vcpu: Arc::clone(self.vcpu(vcpu)?),
+            ep,
+            held,
+            trace: std::cell::Cell::new(trace),
+            spans: Arc::clone(self.spans()),
+        })
     }
 
     /// Upcall / interrupt dispatch (§4.4): an asynchronous request with no
@@ -437,6 +478,7 @@ impl Runtime {
                 // Frank redirects are the slow path by definition:
                 // record unconditionally (data 0 = worker pool).
                 self.flight().record(vcpu, FlightKind::Frank, ep, 0);
+                self.spans().record_instant(vcpu, ep, SpanPhase::Frank);
                 let arc = self.entry_arc(ep).ok_or(RtError::UnknownEntry(ep))?;
                 entry.pool(vcpu).grow(&arc, vcpu, self.pinned(), false)
             }
@@ -447,13 +489,13 @@ impl Runtime {
             match worker.held_slot() {
                 Some(s) => (s, true),
                 None => {
-                    let s = vc.take_slot(cell, self.flight());
+                    let s = vc.take_slot(cell, self.flight(), self.spans());
                     worker.pin_slot(Arc::clone(&s));
                     (s, true)
                 }
             }
         } else {
-            (vc.take_slot(cell, self.flight()), false)
+            (vc.take_slot(cell, self.flight(), self.spans()), false)
         };
         Ok((entry, worker, slot, held))
     }

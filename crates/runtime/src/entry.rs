@@ -112,6 +112,13 @@ pub struct EntryShared {
     /// dump can attach the last [`crate::Snapshot`] from the worker
     /// thread (which has no back reference to the [`Runtime`]).
     pub(crate) stats: Arc<crate::stats::RuntimeStats>,
+    /// The tracing plane, shared in at bind (workers open handler spans
+    /// under the propagated context; dispatch opens call spans).
+    pub(crate) spans: Arc<crate::span::SpanPlane>,
+    /// EWMA of this entry's traced root-call latency (ns; 0 = unseeded)
+    /// — the tail-exemplar promotion baseline. Only traced roots feed
+    /// it, so the cell costs nothing untraced.
+    pub(crate) trace_ewma_ns: AtomicU64,
     pools: Vec<WorkerPool>,
 }
 
@@ -128,6 +135,7 @@ impl EntryShared {
         obs: Arc<crate::obs::ObsState>,
         flight: Arc<crate::flight::FlightPlane>,
         stats: Arc<crate::stats::RuntimeStats>,
+        spans: Arc<crate::span::SpanPlane>,
     ) -> Self {
         EntryShared {
             id,
@@ -143,6 +151,8 @@ impl EntryShared {
             obs,
             flight,
             stats,
+            spans,
+            trace_ewma_ns: AtomicU64::new(0),
             pools: (0..n_vcpus).map(|_| WorkerPool::new()).collect(),
         }
     }
@@ -257,6 +267,7 @@ impl Runtime {
             Arc::clone(self.obs()),
             Arc::clone(self.flight()),
             Arc::clone(&self.stats),
+            Arc::clone(self.spans()),
         ));
         for v in 0..self.n_vcpus() {
             for _ in 0..opts.initial_workers {

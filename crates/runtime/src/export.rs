@@ -22,6 +22,7 @@
 use std::fmt::Write as _;
 
 use crate::obs::{Histogram, LatencyKind, ObsState, KINDS};
+use crate::span::SpanRecord;
 use crate::stats::Snapshot;
 
 // ---------------------------------------------------------------------
@@ -359,9 +360,115 @@ pub fn prometheus(snap: &Snapshot, obs: &ObsState) -> String {
             );
             let _ = writeln!(out, "ppc_latency_ns_count{{kind=\"{kind}\"}} {}", h.count());
             let _ = writeln!(out, "ppc_latency_ns_sum{{kind=\"{kind}\"}} {}", h.sum_ns);
+            let _ = writeln!(out, "ppc_latency_ns_max{{kind=\"{kind}\"}} {}", h.max_ns);
         }
     }
     out
+}
+
+/// A parsed Prometheus exposition: the `ppc_` counters and the
+/// de-cumulated per-kind latency histograms.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PromSnapshot {
+    /// `(counter name, value)`, in exposition order, `ppc_` stripped.
+    pub counters: Vec<(String, u64)>,
+    /// `(kind label, histogram)` reconstructed from the cumulative
+    /// `_bucket` series plus `_sum`/`_max`.
+    pub latency: Vec<(String, Histogram)>,
+}
+
+impl PromSnapshot {
+    /// Value of counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The reconstructed histogram for `kind`, if present.
+    pub fn hist(&self, kind: &str) -> Option<&Histogram> {
+        self.latency.iter().find(|(k, _)| k == kind).map(|(_, h)| h)
+    }
+}
+
+/// One `key="value"` lookup in a Prometheus label body.
+fn label_value<'a>(labels: &'a str, key: &str) -> Option<&'a str> {
+    let start = labels.find(&format!("{key}=\""))? + key.len() + 2;
+    let rest = &labels[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Parse [`prometheus`] output back into counters and histograms — the
+/// round-trip check that keeps the exporter honest. The cumulative
+/// `_bucket{le}` series is de-cumulated back into per-bucket counts
+/// (exact: the exporter emits ascending `le`, and a skipped bucket is a
+/// zero bucket); `_count` is validated against the bucket sum.
+pub fn parse_prometheus(text: &str) -> Result<PromSnapshot, String> {
+    fn hist_entry<'a>(
+        latency: &'a mut Vec<(String, Histogram)>,
+        kind: &str,
+    ) -> &'a mut Histogram {
+        if let Some(i) = latency.iter().position(|(k, _)| k == kind) {
+            return &mut latency[i].1;
+        }
+        latency.push((kind.to_string(), Histogram::new()));
+        &mut latency.last_mut().unwrap().1
+    }
+    let mut out = PromSnapshot::default();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name_part, value_part) =
+            line.rsplit_once(' ').ok_or_else(|| format!("no value in line: {line}"))?;
+        if let Some(rest) = name_part.strip_prefix("ppc_latency_ns_") {
+            let (series, labels) = rest
+                .split_once('{')
+                .ok_or_else(|| format!("latency series without labels: {line}"))?;
+            let labels = labels
+                .strip_suffix('}')
+                .ok_or_else(|| format!("unterminated labels: {line}"))?;
+            let kind =
+                label_value(labels, "kind").ok_or_else(|| format!("no kind label: {line}"))?;
+            let value: u64 = value_part
+                .parse()
+                .map_err(|_| format!("bad latency value: {line}"))?;
+            let h = hist_entry(&mut out.latency, kind);
+            match series {
+                "bucket" => {
+                    let le = label_value(labels, "le")
+                        .ok_or_else(|| format!("bucket without le: {line}"))?;
+                    if le == "+Inf" {
+                        continue; // the total; `_count` validates it below
+                    }
+                    let le: u64 =
+                        le.parse().map_err(|_| format!("bad le bound: {line}"))?;
+                    let seen: u64 = h.buckets.iter().sum();
+                    h.buckets[crate::obs::bucket_of(le)] = value
+                        .checked_sub(seen)
+                        .ok_or_else(|| format!("non-monotonic cumulative bucket: {line}"))?;
+                }
+                "count" => {
+                    if h.count() != value {
+                        return Err(format!(
+                            "count {} disagrees with bucket sum {}: {line}",
+                            value,
+                            h.count()
+                        ));
+                    }
+                }
+                "sum" => h.sum_ns = value,
+                "max" => h.max_ns = value,
+                other => return Err(format!("unknown latency series {other}: {line}")),
+            }
+        } else if let Some(name) = name_part.strip_prefix("ppc_") {
+            let value: u64 =
+                value_part.parse().map_err(|_| format!("bad counter value: {line}"))?;
+            out.counters.push((name.to_string(), value));
+        } else {
+            return Err(format!("unknown metric family: {line}"));
+        }
+    }
+    Ok(out)
 }
 
 /// One histogram as a JSON object: sample count, p50/p90/p99/max in
@@ -407,9 +514,172 @@ pub fn json_snapshot(snap: &Snapshot, obs: &ObsState) -> Json {
     Json::obj([("counters", counters), ("latency_ns", latency)])
 }
 
+// ---------------------------------------------------------------------
+// Chrome trace-event export
+// ---------------------------------------------------------------------
+
+/// Render span records as a Chrome trace-event JSON document — the
+/// format `chrome://tracing` and [Perfetto](https://ui.perfetto.dev)
+/// load directly. Each span becomes a `"B"`/`"E"` (begin/end) pair:
+///
+/// * `pid` is `vcpu + 1` (Perfetto groups tracks by process, pid 0 is
+///   reserved), so each vCPU renders as its own process lane.
+/// * `tid` is `depth * 2` for client-side phases and `depth * 2 + 1`
+///   for server-side ones ([`crate::span::SpanPhase::server_side`]), so a call and
+///   the handler it dispatched occupy adjacent tracks instead of
+///   fighting over one.
+/// * `ts` is microseconds (the format's unit) as `f64`, carrying
+///   nanosecond precision in the fraction.
+/// * `args` carries the causal identity: trace id, span id, parent
+///   span id, depth, entry point, vcpu.
+pub fn chrome_trace(records: &[SpanRecord]) -> String {
+    struct Ev {
+        ts_ns: u64,
+        rank: u32, // orders B before E at equal timestamps
+        json: Json,
+    }
+    let mut events: Vec<Ev> = Vec::with_capacity(records.len() * 2);
+    for r in records {
+        let phase = r.phase;
+        let tid = u64::from(r.depth) * 2 + u64::from(phase.server_side());
+        let common = |ph: &str, ts_ns: u64| {
+            Json::obj([
+                ("name", Json::Str(phase.label().into())),
+                ("cat", Json::Str("ppc".into())),
+                ("ph", Json::Str(ph.into())),
+                ("pid", Json::Num(f64::from(r.vcpu) + 1.0)),
+                ("tid", Json::Num(tid as f64)),
+                ("ts", Json::Num(ts_ns as f64 / 1000.0)),
+                (
+                    "args",
+                    Json::obj([
+                        ("trace", Json::Num(f64::from(r.trace_id))),
+                        ("span", Json::Num(f64::from(r.span_id))),
+                        ("parent", Json::Num(f64::from(r.parent_id))),
+                        ("depth", Json::Num(f64::from(r.depth))),
+                        ("ep", Json::Num(f64::from(r.ep))),
+                        ("vcpu", Json::Num(f64::from(r.vcpu))),
+                    ]),
+                ),
+            ])
+        };
+        events.push(Ev {
+            ts_ns: r.start_ns,
+            rank: u32::from(r.depth),
+            json: common("B", r.start_ns),
+        });
+        events.push(Ev {
+            ts_ns: r.start_ns + r.dur_ns,
+            rank: 256 + (255 - u32::from(r.depth)),
+            json: common("E", r.start_ns + r.dur_ns),
+        });
+    }
+    events.sort_by_key(|e| (e.ts_ns, e.rank));
+    Json::obj([
+        ("displayTimeUnit", Json::Str("ns".into())),
+        ("traceEvents", Json::Arr(events.into_iter().map(|e| e.json).collect())),
+    ])
+    .to_string()
+}
+
+/// A span reconstructed from a Chrome trace-event document: one matched
+/// `"B"`/`"E"` pair.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceSpan {
+    /// Phase label (`"call"`, `"handler"`, ...).
+    pub name: String,
+    pub trace_id: u32,
+    pub span_id: u16,
+    pub parent_id: u16,
+    pub depth: u8,
+    pub ep: u16,
+    pub vcpu: u8,
+    /// Begin timestamp in microseconds (the document's `ts` unit).
+    pub start_us: f64,
+    /// `E.ts - B.ts`, microseconds.
+    pub dur_us: f64,
+}
+
+impl TraceSpan {
+    /// Root spans have no parent.
+    pub fn is_root(&self) -> bool {
+        self.parent_id == 0
+    }
+}
+
+/// Load a [`chrome_trace`] document back into spans, matching each
+/// `"B"` to its `"E"` by `(trace, span)` identity from `args`. Errors
+/// on malformed JSON, a missing field, an `"E"` with no open `"B"`, or
+/// a `"B"` never closed — the strictness is the point: this is the
+/// round-trip check the exporter is tested against. Returned spans are
+/// sorted by `(start_us, depth)`.
+pub fn load_chrome_trace(text: &str) -> Result<Vec<TraceSpan>, String> {
+    let doc = Json::parse(text).map_err(|e| e.to_string())?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("no traceEvents array")?;
+    fn arg(ev: &Json, key: &str) -> Result<u64, String> {
+        ev.get("args")
+            .and_then(|a| a.get(key))
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("event missing args.{key}"))
+    }
+    let mut open: std::collections::HashMap<(u64, u64), TraceSpan> =
+        std::collections::HashMap::new();
+    let mut out = Vec::new();
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).ok_or("event missing ph")?;
+        let key = (arg(ev, "trace")?, arg(ev, "span")?);
+        let ts = ev.get("ts").and_then(Json::as_f64).ok_or("event missing ts")?;
+        match ph {
+            "B" => {
+                let span = TraceSpan {
+                    name: ev
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or("event missing name")?
+                        .to_string(),
+                    trace_id: key.0 as u32,
+                    span_id: key.1 as u16,
+                    parent_id: arg(ev, "parent")? as u16,
+                    depth: arg(ev, "depth")? as u8,
+                    ep: arg(ev, "ep")? as u16,
+                    vcpu: arg(ev, "vcpu")? as u8,
+                    start_us: ts,
+                    dur_us: 0.0,
+                };
+                if open.insert(key, span).is_some() {
+                    return Err(format!("duplicate open span {key:?}"));
+                }
+            }
+            "E" => {
+                let mut span = open
+                    .remove(&key)
+                    .ok_or_else(|| format!("end without begin for span {key:?}"))?;
+                span.dur_us = ts - span.start_us;
+                out.push(span);
+            }
+            other => return Err(format!("unexpected event phase {other:?}")),
+        }
+    }
+    if let Some(key) = open.keys().next() {
+        return Err(format!("begin without end for span {key:?}"));
+    }
+    out.sort_by(|a, b| {
+        a.start_us
+            .total_cmp(&b.start_us)
+            .then(a.depth.cmp(&b.depth))
+            .then(a.span_id.cmp(&b.span_id))
+    });
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "obs")]
+    use crate::span::SpanPhase;
 
     #[test]
     fn json_roundtrip_preserves_structure() {
@@ -493,5 +763,123 @@ mod tests {
         } else {
             assert_eq!(back.get("latency_ns").unwrap(), &Json::Obj(vec![]));
         }
+    }
+
+    #[test]
+    fn prometheus_roundtrips_through_parser() {
+        let obs = ObsState::new(2);
+        obs.set_enabled(true);
+        obs.set_sample_shift(0);
+        let snap = Snapshot { calls: 9, handoff_calls: 2, ..Default::default() };
+        for ns in [1, 100, 100, 5_000, 1 << 30] {
+            obs.record(LatencyKind::Call, 0, ns);
+        }
+        for ns in [250, 800] {
+            obs.record(LatencyKind::Handler, 1, ns);
+        }
+        let text = prometheus(&snap, &obs);
+        let back = parse_prometheus(&text).expect("parse exposition");
+        assert_eq!(back.counter("calls"), Some(9));
+        assert_eq!(back.counter("handoff_calls"), Some(2));
+        if cfg!(feature = "obs") {
+            let call = back.hist("call").expect("call histogram");
+            assert_eq!(*call, obs.merged(LatencyKind::Call));
+            let handler = back.hist("handler").expect("handler histogram");
+            assert_eq!(*handler, obs.merged(LatencyKind::Handler));
+        } else {
+            assert!(back.latency.is_empty());
+        }
+    }
+
+    #[test]
+    fn prometheus_parser_rejects_malformed_input() {
+        assert!(parse_prometheus("ppc_calls").is_err(), "no value");
+        assert!(parse_prometheus("other_metric 3").is_err(), "foreign family");
+        assert!(parse_prometheus("ppc_latency_ns_bucket{le=\"3\"} 1").is_err(), "no kind");
+        assert!(
+            parse_prometheus(
+                "ppc_latency_ns_bucket{kind=\"call\",le=\"3\"} 5\n\
+                 ppc_latency_ns_bucket{kind=\"call\",le=\"7\"} 2\n"
+            )
+            .is_err(),
+            "non-monotonic cumulative counts"
+        );
+        assert!(parse_prometheus("# HELP whatever\nppc_calls 3\n").is_ok());
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn chrome_trace_roundtrips_through_loader() {
+        use crate::span::SpanRecord;
+        let records = vec![
+            SpanRecord {
+                seq: 1,
+                trace_id: 7,
+                span_id: 1,
+                parent_id: 0,
+                phase: SpanPhase::Call,
+                depth: 0,
+                vcpu: 0,
+                ep: 3,
+                start_ns: 1_000,
+                dur_ns: 9_000,
+            },
+            SpanRecord {
+                seq: 1,
+                trace_id: 7,
+                span_id: 2,
+                parent_id: 1,
+                phase: SpanPhase::Handler,
+                depth: 1,
+                vcpu: 0,
+                ep: 3,
+                start_ns: 2_000,
+                dur_ns: 6_000,
+            },
+            SpanRecord {
+                seq: 1,
+                trace_id: 7,
+                span_id: 3,
+                parent_id: 2,
+                phase: SpanPhase::Frank,
+                depth: 2,
+                vcpu: 0,
+                ep: 3,
+                start_ns: 3_000,
+                dur_ns: 0,
+            },
+        ];
+        let text = chrome_trace(&records);
+        let doc = Json::parse(&text).expect("valid JSON");
+        assert_eq!(
+            doc.get("traceEvents").unwrap().as_arr().unwrap().len(),
+            records.len() * 2,
+            "one B and one E per span"
+        );
+        let spans = load_chrome_trace(&text).expect("round-trip");
+        assert_eq!(spans.len(), records.len());
+        for (got, want) in spans.iter().zip(&records) {
+            assert_eq!(got.trace_id, want.trace_id);
+            assert_eq!(got.span_id, want.span_id);
+            assert_eq!(got.parent_id, want.parent_id);
+            assert_eq!(got.depth, want.depth);
+            assert_eq!(got.name, want.phase.label());
+            let dur_ns = (got.dur_us * 1000.0).round() as u64;
+            assert_eq!(dur_ns, want.dur_ns);
+        }
+        assert!(spans[0].is_root());
+        assert!(!spans[1].is_root());
+    }
+
+    #[test]
+    fn chrome_trace_loader_rejects_unpaired_events() {
+        let text = chrome_trace(&[]);
+        assert!(load_chrome_trace(&text).unwrap().is_empty());
+        let orphan_end = r#"{"traceEvents":[{"name":"call","ph":"E","ts":1,
+            "args":{"trace":1,"span":1,"parent":0,"depth":0,"ep":0,"vcpu":0}}]}"#;
+        assert!(load_chrome_trace(orphan_end).is_err());
+        let orphan_begin = r#"{"traceEvents":[{"name":"call","ph":"B","ts":1,
+            "args":{"trace":1,"span":1,"parent":0,"depth":0,"ep":0,"vcpu":0}}]}"#;
+        assert!(load_chrome_trace(orphan_begin).is_err());
     }
 }

@@ -33,7 +33,9 @@
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
-/// Events retained per vCPU (power of two; ~4 KB of slots per vCPU).
+/// Default events retained per vCPU (power of two; ~4 KB of slots per
+/// vCPU). Long-running captures can raise it with
+/// `RuntimeOptions::flight_capacity`.
 pub const RING_CAPACITY: usize = 256;
 
 /// What a flight event records.
@@ -176,10 +178,10 @@ struct Ring {
 }
 
 impl Ring {
-    fn new() -> Self {
+    fn new(capacity: usize) -> Self {
         Ring {
             cursor: AtomicU64::new(0),
-            slots: (0..RING_CAPACITY)
+            slots: (0..capacity)
                 .map(|_| Slot { seq: AtomicU64::new(0), word: AtomicU64::new(0) })
                 .collect(),
         }
@@ -187,7 +189,7 @@ impl Ring {
 
     fn record(&self, word: u64) {
         let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
-        let slot = &self.slots[seq as usize & (RING_CAPACITY - 1)];
+        let slot = &self.slots[seq as usize & (self.slots.len() - 1)];
         // Invalidate, fill, publish: a reader that acquires the final
         // sequence store is guaranteed a matching payload, and a reader
         // racing the middle sees 0 and skips the slot.
@@ -200,10 +202,10 @@ impl Ring {
     /// writers mid-store) are skipped.
     fn snapshot(&self) -> Vec<FlightEvent> {
         let cursor = self.cursor.load(Ordering::Acquire);
-        let retained = cursor.min(RING_CAPACITY as u64);
+        let retained = cursor.min(self.slots.len() as u64);
         let mut out = Vec::with_capacity(retained as usize);
         for seq in cursor - retained..cursor {
-            let slot = &self.slots[seq as usize & (RING_CAPACITY - 1)];
+            let slot = &self.slots[seq as usize & (self.slots.len() - 1)];
             let s1 = slot.seq.load(Ordering::Acquire);
             if s1 != seq + 1 {
                 continue; // overwritten or in-flight
@@ -231,11 +233,19 @@ pub struct FlightPlane {
 }
 
 impl FlightPlane {
-    pub(crate) fn new(n_vcpus: usize) -> Self {
+    /// A plane for `n_vcpus` with `capacity` ring slots per vCPU (must
+    /// be a power of two so the cursor mask is a single AND).
+    pub(crate) fn new(n_vcpus: usize, capacity: usize) -> Self {
+        assert!(capacity.is_power_of_two(), "flight_capacity must be a power of two");
         FlightPlane {
-            rings: (0..n_vcpus.max(1)).map(|_| Ring::new()).collect(),
+            rings: (0..n_vcpus.max(1)).map(|_| Ring::new(capacity)).collect(),
             enabled: AtomicBool::new(true),
         }
+    }
+
+    /// Ring slots per vCPU.
+    pub fn capacity(&self) -> usize {
+        self.rings.first().map_or(0, |r| r.slots.len())
     }
 
     /// Whether recording is enabled (one `Relaxed` load).
@@ -280,8 +290,9 @@ impl FlightPlane {
     /// continues — a post-drain snapshot starts where this one ended).
     pub fn drain(&self, vcpu: usize) -> Vec<FlightEvent> {
         let out = self.rings[vcpu].snapshot();
+        let mask = self.rings[vcpu].slots.len() - 1;
         for ev in &out {
-            let slot = &self.rings[vcpu].slots[ev.seq as usize & (RING_CAPACITY - 1)];
+            let slot = &self.rings[vcpu].slots[ev.seq as usize & mask];
             // Only clear the slot if it still holds the drained event; a
             // racing writer's fresher event survives.
             let _ = slot.seq.compare_exchange(
@@ -314,7 +325,7 @@ mod tests {
 
     #[test]
     fn ring_keeps_newest_with_contiguous_seqs() {
-        let fp = FlightPlane::new(1);
+        let fp = FlightPlane::new(1, RING_CAPACITY);
         let n = RING_CAPACITY as u64 + 37;
         for i in 0..n {
             fp.record(0, FlightKind::Inline, 7, i as u32);
@@ -330,8 +341,27 @@ mod tests {
     }
 
     #[test]
+    fn custom_capacity_rings_wrap_at_their_own_size() {
+        let fp = FlightPlane::new(1, 8);
+        assert_eq!(fp.capacity(), 8);
+        for i in 0..20 {
+            fp.record(0, FlightKind::Inline, 1, i);
+        }
+        let evs = fp.snapshot(0);
+        assert_eq!(evs.len(), 8);
+        assert_eq!(evs.last().unwrap().data, 19);
+        assert_eq!(fp.recorded(0), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_flight_capacity_panics() {
+        let _ = FlightPlane::new(1, 100);
+    }
+
+    #[test]
     fn drain_clears_but_keeps_numbering() {
-        let fp = FlightPlane::new(2);
+        let fp = FlightPlane::new(2, RING_CAPACITY);
         fp.record(1, FlightKind::HardKill, 9, 0);
         fp.record(1, FlightKind::Fault, 9, 1);
         let first = fp.drain(1);
@@ -345,7 +375,7 @@ mod tests {
 
     #[test]
     fn disabled_plane_records_nothing() {
-        let fp = FlightPlane::new(1);
+        let fp = FlightPlane::new(1, RING_CAPACITY);
         fp.set_enabled(false);
         fp.record(0, FlightKind::Inline, 1, 1);
         assert!(fp.snapshot(0).is_empty());

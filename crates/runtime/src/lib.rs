@@ -67,6 +67,7 @@ pub mod naming;
 pub mod obs;
 pub mod region;
 pub mod slot;
+pub mod span;
 pub mod stats;
 pub mod worker;
 
@@ -80,6 +81,7 @@ pub use entry::{EntryOptions, EntryState};
 pub use flight::{FlightEvent, FlightKind, FlightPlane};
 pub use obs::{Histogram, LatencyKind, ObsState};
 pub use region::{BulkDesc, RegionId, MAX_BULK, MAX_REGIONS};
+pub use span::{Exemplar, SpanPhase, SpanPlane, SpanRecord, TraceCtx};
 pub use stats::{RuntimeStats, Snapshot, StatsCell};
 
 use entry::EntryShared;
@@ -243,7 +245,8 @@ impl<'a> CallCtx<'a> {
             ScratchRef::Ready(s) => s,
             ScratchRef::Lazy { vc, cell, slot } => {
                 let flight = &self.entry.flight;
-                let s = slot.get_or_insert_with(|| vc.take_slot(cell, flight));
+                let spans = &self.entry.spans;
+                let s = slot.get_or_insert_with(|| vc.take_slot(cell, flight, spans));
                 // Safety: the slot was popped from the pool, so this
                 // context owns it exclusively until dispatch recycles it;
                 // the borrow is tied to `&mut self`.
@@ -359,6 +362,7 @@ impl<'a> CallCtx<'a> {
     /// into server memory. Returns the bytes copied. Requires a read
     /// grant.
     pub fn copy_from(&self, desc: BulkDesc, dst: &mut [u8]) -> Result<usize, RtError> {
+        let _span = self.entry.spans.leaf_scope(self.vcpu, self.ep, SpanPhase::BulkCopy);
         let t0 = self.entry.obs.try_sample().then(std::time::Instant::now);
         let acc = self.bulk_access(desc, false)?;
         let n = acc.len.min(dst.len());
@@ -379,6 +383,7 @@ impl<'a> CallCtx<'a> {
     /// the granted span. Returns the bytes copied. Requires a write grant
     /// and a writable descriptor.
     pub fn copy_to(&self, desc: BulkDesc, src: &[u8]) -> Result<usize, RtError> {
+        let _span = self.entry.spans.leaf_scope(self.vcpu, self.ep, SpanPhase::BulkCopy);
         let t0 = self.entry.obs.try_sample().then(std::time::Instant::now);
         let acc = self.bulk_access(desc, true)?;
         let n = acc.len.min(src.len());
@@ -398,6 +403,7 @@ impl<'a> CallCtx<'a> {
     /// `buf` (both directions in one pass, no allocation). Returns the
     /// bytes swapped. Requires a write grant.
     pub fn exchange_bulk(&self, desc: BulkDesc, buf: &mut [u8]) -> Result<usize, RtError> {
+        let _span = self.entry.spans.leaf_scope(self.vcpu, self.ep, SpanPhase::BulkCopy);
         let t0 = self.entry.obs.try_sample().then(std::time::Instant::now);
         let acc = self.bulk_access(desc, true)?;
         let n = acc.len.min(buf.len());
@@ -545,8 +551,14 @@ impl VcpuState {
 
     /// Take a slot, growing the pool if dry (the Frank slow path).
     /// `cell` is the calling vCPU's stats cell; `flight` records the
-    /// Frank event (slow path by definition, so unconditionally).
-    pub(crate) fn take_slot(&self, cell: &StatsCell, flight: &FlightPlane) -> Arc<CallSlot> {
+    /// Frank event (slow path by definition, so unconditionally) and
+    /// `spans` stamps it into a live trace, if one encloses the take.
+    pub(crate) fn take_slot(
+        &self,
+        cell: &StatsCell,
+        flight: &FlightPlane,
+        spans: &SpanPlane,
+    ) -> Arc<CallSlot> {
         match self.cd_pool.pop() {
             Some(s) => s,
             None => {
@@ -555,6 +567,7 @@ impl VcpuState {
                 self.cds_created.fetch_add(1, Ordering::Relaxed);
                 // data 1 = CD pool (the entry is unknown this deep).
                 flight.record(self.id, flight::FlightKind::Frank, 0, 1);
+                spans.record_instant(self.id, 0, SpanPhase::Frank);
                 CallSlot::new()
             }
         }
@@ -592,6 +605,8 @@ pub struct Runtime {
     obs: Arc<ObsState>,
     /// Flight-recorder event rings, sharded per vCPU.
     flight: Arc<FlightPlane>,
+    /// Causal-tracing plane: per-vCPU span rings + tail exemplars.
+    spans: Arc<SpanPlane>,
     /// Pin worker threads to cores.
     pin: bool,
     /// Encoded [`SpinPolicy`] discriminant (see `SPIN_*` constants).
@@ -619,6 +634,33 @@ pub(crate) fn worker_idle_budget(p: SpinPolicy) -> u32 {
     }
 }
 
+/// Construction-time knobs for [`Runtime::with_runtime_options`].
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeOptions {
+    /// Pin worker threads with `core_affinity` (vCPU *i* to core
+    /// *i mod n_cores*; silently unpinned where pinning fails).
+    pub pin: bool,
+    /// CDs pre-pooled per vCPU.
+    pub initial_cds: usize,
+    /// Flight-recorder ring slots per vCPU (power of two). The
+    /// [`flight::RING_CAPACITY`] default retains ~the last 256 events;
+    /// raise it for long captures so the ring doesn't silently wrap.
+    pub flight_capacity: usize,
+    /// Span-ring slots per vCPU for the tracing plane (power of two).
+    pub trace_capacity: usize,
+}
+
+impl Default for RuntimeOptions {
+    fn default() -> Self {
+        RuntimeOptions {
+            pin: false,
+            initial_cds: 1,
+            flight_capacity: flight::RING_CAPACITY,
+            trace_capacity: span::DEFAULT_TRACE_CAPACITY,
+        }
+    }
+}
+
 impl Runtime {
     /// A runtime with `n_vcpus` virtual processors, unpinned, one CD
     /// pre-pooled per vCPU (like the worker pools, the CD pool "most
@@ -628,23 +670,31 @@ impl Runtime {
         Self::with_options(n_vcpus, false, 1)
     }
 
-    /// A runtime with explicit options: `pin` requests `core_affinity`
-    /// pinning of worker threads (vCPU *i* to core *i mod n_cores*;
-    /// silently unpinned where pinning fails), `initial_cds` pre-populates
-    /// each vCPU's CD pool.
+    /// A runtime with the historical option pair; see
+    /// [`Runtime::with_runtime_options`] for the full knob set.
     pub fn with_options(n_vcpus: usize, pin: bool, initial_cds: usize) -> Arc<Self> {
+        Self::with_runtime_options(
+            n_vcpus,
+            RuntimeOptions { pin, initial_cds, ..RuntimeOptions::default() },
+        )
+    }
+
+    /// A runtime with explicit [`RuntimeOptions`]. Panics if a ring
+    /// capacity is not a power of two (the rings mask with a single AND).
+    pub fn with_runtime_options(n_vcpus: usize, opts: RuntimeOptions) -> Arc<Self> {
         assert!(n_vcpus >= 1, "at least one virtual processor");
         let stats = Arc::new(RuntimeStats::new(n_vcpus));
         Arc::new(Runtime {
-            vcpus: (0..n_vcpus).map(|i| VcpuState::new(i, initial_cds)).collect(),
+            vcpus: (0..n_vcpus).map(|i| VcpuState::new(i, opts.initial_cds)).collect(),
             table: (0..MAX_ENTRIES).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect(),
             registry: Mutex::new(Vec::new()),
             names: Mutex::new(std::collections::HashMap::new()),
             bulk: bulk::BulkState::new(n_vcpus, Arc::clone(&stats)),
             obs: Arc::new(ObsState::new(n_vcpus)),
-            flight: Arc::new(FlightPlane::new(n_vcpus)),
+            flight: Arc::new(FlightPlane::new(n_vcpus, opts.flight_capacity)),
+            spans: Arc::new(SpanPlane::new(n_vcpus, opts.trace_capacity)),
             stats,
-            pin,
+            pin: opts.pin,
             spin_mode: AtomicU8::new(SPIN_ADAPTIVE),
             spin_fixed: AtomicU32::new(spin::DEFAULT_BUDGET),
             shutdown: AtomicU8::new(0),
@@ -720,6 +770,11 @@ impl Runtime {
         &self.flight
     }
 
+    /// The causal-tracing plane (per-vCPU span rings, tail exemplars).
+    pub fn spans(&self) -> &Arc<SpanPlane> {
+        &self.spans
+    }
+
     /// Counters + histograms in Prometheus text exposition format (cold
     /// path).
     pub fn export_prometheus(&self) -> String {
@@ -730,6 +785,15 @@ impl Runtime {
     /// back with [`export::Json::parse`].
     pub fn export_json(&self) -> export::Json {
         export::json_snapshot(&self.stats.snapshot(), &self.obs)
+    }
+
+    /// Every retained span record as a Chrome/Perfetto trace-event JSON
+    /// document (cold path). Load the file in `ui.perfetto.dev` or
+    /// `chrome://tracing`; parse it back with
+    /// [`export::load_chrome_trace`]. Empty (but valid) with the `obs`
+    /// feature off or tracing disabled.
+    pub fn export_trace(&self) -> String {
+        export::chrome_trace(&self.spans.all_records())
     }
 
     /// The full diagnostics dump: final counter [`Snapshot`], per-kind
@@ -769,6 +833,24 @@ impl Runtime {
             );
             for ev in events {
                 let _ = writeln!(out, "  {ev}");
+            }
+        }
+        let mut any_exemplar = false;
+        for v in 0..self.spans.n_vcpus() {
+            for ex in self.spans.exemplars(v) {
+                if !any_exemplar {
+                    let _ = writeln!(
+                        out,
+                        "slowest recent calls ({} promoted, > {}x entry EWMA):",
+                        self.spans.promoted(),
+                        span::EXEMPLAR_FACTOR,
+                    );
+                    any_exemplar = true;
+                }
+                let _ = writeln!(out, "  {}", ex.summary());
+                for s in &ex.spans {
+                    let _ = writeln!(out, "    {s}");
+                }
             }
         }
         let _ = writeln!(out, "=== end diagnostics ===");
@@ -997,6 +1079,7 @@ impl BulkRegion {
     /// the region exclusively while the copy runs — a concurrent
     /// server-side access to the same region waits.
     pub fn fill(&self, offset: u32, data: &[u8]) -> Result<(), RtError> {
+        let _span = self.rt.spans.leaf_scope(self.vcpu, 0, SpanPhase::BulkCopy);
         let t0 = self.rt.obs.try_sample().then(std::time::Instant::now);
         let r = self.with_span(offset, data.len() as u32, true, |ptr, n| {
             // Safety: span validated by the registry, held exclusively;
@@ -1013,6 +1096,7 @@ impl BulkRegion {
     /// (the drain after a call). A shared read access — concurrent reads
     /// of the region proceed in parallel.
     pub fn read_into(&self, offset: u32, dst: &mut [u8]) -> Result<(), RtError> {
+        let _span = self.rt.spans.leaf_scope(self.vcpu, 0, SpanPhase::BulkCopy);
         let t0 = self.rt.obs.try_sample().then(std::time::Instant::now);
         let r = self.with_span(offset, dst.len() as u32, false, |ptr, n| {
             // Safety: as in `fill`, directions reversed; writers are
@@ -1063,12 +1147,25 @@ pub struct AsyncCall {
     /// but never returned to the vCPU pool — it already has an owner, and
     /// pooling it would let two calls fill the same slot concurrently.
     pub(crate) held: bool,
+    /// The async span, if the dispatch was traced; closed when the
+    /// completion is observed (first of [`AsyncCall::wait`] / drop) —
+    /// the span covers dispatch → completion-observed, the async
+    /// analogue of the sync call span.
+    pub(crate) trace: std::cell::Cell<Option<span::SpanToken>>,
+    pub(crate) spans: Arc<SpanPlane>,
 }
 
 impl AsyncCall {
+    fn finish_trace(&self) {
+        if let Some(tok) = self.trace.take() {
+            self.spans.end_token(tok, None);
+        }
+    }
+
     /// Block until the worker completes and return the result words.
     pub fn wait(&self) -> [u64; 8] {
         self.slot.wait_done();
+        self.finish_trace();
         self.slot.read_rets()
     }
 
@@ -1088,6 +1185,7 @@ impl Drop for AsyncCall {
         // Recycle the slot only once the worker is finished with it. A
         // held CD stays pinned to its worker: reset it in place.
         self.slot.wait_done();
+        self.finish_trace();
         if self.held {
             self.slot.reset();
         } else {

@@ -21,6 +21,8 @@
 //! analogue of the paper's hand-off scheduling.
 
 use std::cell::UnsafeCell;
+#[cfg(feature = "obs")]
+use std::sync::atomic::AtomicU64;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::Thread;
@@ -56,6 +58,11 @@ pub struct CallSlot {
     has_client: AtomicBool,
     /// The handler faulted (panicked) while servicing this call.
     faulted: AtomicBool,
+    /// Packed trace context riding the hand-off (0 = no trace). Written
+    /// by the client between `fill` and the mailbox post; the mailbox's
+    /// Release/Acquire edge publishes it to the worker.
+    #[cfg(feature = "obs")]
+    trace: AtomicU64,
     client: UnsafeCell<Option<Thread>>,
     scratch: UnsafeCell<Box<[u8; SCRATCH_BYTES]>>,
 }
@@ -77,6 +84,8 @@ impl CallSlot {
             caller_program: AtomicU32::new(0),
             has_client: AtomicBool::new(false),
             faulted: AtomicBool::new(false),
+            #[cfg(feature = "obs")]
+            trace: AtomicU64::new(0),
             client: UnsafeCell::new(None),
             scratch: UnsafeCell::new(Box::new([0; SCRATCH_BYTES])),
         })
@@ -106,7 +115,34 @@ impl CallSlot {
         self.caller_program.store(program, Ordering::Relaxed);
         self.has_client.store(client.is_some(), Ordering::Relaxed);
         self.faulted.store(false, Ordering::Relaxed);
+        #[cfg(feature = "obs")]
+        self.trace.store(0, Ordering::Relaxed);
         self.st.store(state::POSTED, Ordering::Release);
+    }
+
+    /// Client side, after `fill` and before posting: attach the packed
+    /// trace context ([`crate::span::TraceCtx::pack`]) to the call. The
+    /// mailbox publish orders it for the worker. No-op compiled out.
+    #[inline]
+    pub fn set_trace(&self, word: u64) {
+        #[cfg(feature = "obs")]
+        self.trace.store(word, Ordering::Relaxed);
+        #[cfg(not(feature = "obs"))]
+        let _ = word;
+    }
+
+    /// Worker side: the call's packed trace context (0 = none, and
+    /// always 0 with the `obs` feature off).
+    #[inline]
+    pub fn trace_word(&self) -> u64 {
+        #[cfg(feature = "obs")]
+        {
+            self.trace.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            0
+        }
     }
 
     /// Worker side: read the arguments (slot must be POSTED and owned).
@@ -281,6 +317,20 @@ mod tests {
             assert_eq!(buf[0], 0xAB);
             assert_eq!(buf[SCRATCH_BYTES - 1], 0xCD);
         });
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn trace_word_rides_the_slot_and_clears_on_refill() {
+        let s = CallSlot::new();
+        s.fill([0; 8], 0, None);
+        assert_eq!(s.trace_word(), 0);
+        s.set_trace(0xAB_CD);
+        assert_eq!(s.trace_word(), 0xAB_CD);
+        s.complete([0; 8]);
+        s.reset();
+        s.fill([0; 8], 0, None);
+        assert_eq!(s.trace_word(), 0, "stale context never leaks into the next call");
     }
 
     #[test]

@@ -1,0 +1,1120 @@
+//! Causal call tracing: span propagation across PPC chains.
+//!
+//! The histogram plane ([`crate::obs`]) reports marginal distributions —
+//! it can say rendezvous waits are slow *in aggregate*, never why *this*
+//! p99 call was slow. The tracing plane answers that: every sampled root
+//! call mints a 64-bit **trace context** (trace id + parent span + depth)
+//! that rides the call through inline dispatch, the hand-off rendezvous,
+//! nested calls made from inside handlers, Frank grow events, and bulk
+//! copies, leaving packed **span records** (begin/end + phase tag) in
+//! per-vCPU rings that mirror the flight recorder's slot protocol.
+//!
+//! The discipline matches the rest of the observability plane:
+//!
+//! * **Compile-out** — every field and store is gated on the `obs`
+//!   feature; built with `--no-default-features` the public API remains
+//!   but folds to nothing (no new branches on the fast path).
+//! * **Sampling** — a root span is only minted on calls already chosen
+//!   by [`crate::ObsState::try_sample`], so the unsampled common case
+//!   pays one thread-local read and a branch. Once a trace is live,
+//!   every span *within* it records (causal completeness: a sampled
+//!   trace with holes cannot attribute its own tail).
+//! * **Allocation-free recording** — span records go into fixed
+//!   per-vCPU rings (five words per slot, claimed with a `Relaxed`
+//!   cursor `fetch_add`, published with `Release` — readers skip torn
+//!   slots exactly like the flight recorder). Exemplar promotion reuses
+//!   preallocated buffers.
+//!
+//! **Propagation** is thread-local: whoever begins an *enclosing* span
+//! (the root call span, a handler span) installs its context into a
+//! thread-local cell and restores the previous value at end, so nested
+//! `Client::call`s from inside a handler parent naturally. Across the
+//! hand-off the context travels in a word on the [`crate::slot::CallSlot`]
+//! (written before the mailbox publish, read by the worker after the
+//! mailbox acquire — the existing edges order it for free).
+//!
+//! **Tail exemplars**: when a completed root span's duration exceeds
+//! [`EXEMPLAR_FACTOR`] × the entry point's EWMA latency, the whole span
+//! tree is copied from the rings into a small per-vCPU exemplar buffer
+//! with a per-phase time breakdown — `Runtime::diagnostics()` prints
+//! "slowest recent calls and where the time went".
+
+use std::sync::atomic::AtomicU64;
+#[cfg(feature = "obs")]
+use std::sync::atomic::{AtomicU32, Ordering};
+#[cfg(feature = "obs")]
+use std::time::Instant;
+
+#[cfg(feature = "obs")]
+use parking_lot::Mutex;
+
+use crate::EntryId;
+
+/// Default span-ring slots per vCPU (power of two; ~40 KB per vCPU).
+/// Override with `RuntimeOptions::trace_capacity`.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1024;
+
+/// Tail exemplars retained per vCPU.
+pub const EXEMPLAR_CAPACITY: usize = 4;
+
+/// Spans retained per exemplar (a deeper tree is truncated, flagged).
+pub const EXEMPLAR_SPANS: usize = 32;
+
+/// Promotion threshold: a root span slower than this factor times the
+/// entry's EWMA latency becomes an exemplar.
+pub const EXEMPLAR_FACTOR: u64 = 2;
+
+/// What a span covers — the phase tag in the packed record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum SpanPhase {
+    /// Synchronous root or nested call, end to end (dispatch → return).
+    Call = 1,
+    /// Client-side rendezvous wait (post → `DONE` observed).
+    Rendezvous = 2,
+    /// Handler execution (worker-side or inline).
+    Handler = 3,
+    /// Bulk copy engine transfer.
+    BulkCopy = 4,
+    /// Frank slow path fired inside the call (instant span, duration 0).
+    Frank = 5,
+    /// Asynchronous call, dispatch to completion-observed.
+    Async = 6,
+}
+
+/// All phases, in discriminant order (exporter iteration surface).
+pub const PHASES: [SpanPhase; 6] = [
+    SpanPhase::Call,
+    SpanPhase::Rendezvous,
+    SpanPhase::Handler,
+    SpanPhase::BulkCopy,
+    SpanPhase::Frank,
+    SpanPhase::Async,
+];
+
+/// Slots in a per-phase accumulation array indexed by discriminant
+/// (index 0 unused).
+pub const NPHASES: usize = 7;
+
+impl SpanPhase {
+    /// Decode a phase byte; `None` for an invalid value.
+    pub fn from_u8(v: u8) -> Option<SpanPhase> {
+        Some(match v {
+            1 => SpanPhase::Call,
+            2 => SpanPhase::Rendezvous,
+            3 => SpanPhase::Handler,
+            4 => SpanPhase::BulkCopy,
+            5 => SpanPhase::Frank,
+            6 => SpanPhase::Async,
+            _ => return None,
+        })
+    }
+
+    /// Stable lower-case label (trace-event `name`, diagnostics).
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanPhase::Call => "call",
+            SpanPhase::Rendezvous => "rendezvous",
+            SpanPhase::Handler => "handler",
+            SpanPhase::BulkCopy => "bulk_copy",
+            SpanPhase::Frank => "frank",
+            SpanPhase::Async => "async",
+        }
+    }
+
+    /// Whether this phase runs on the serving side of the hand-off
+    /// (drawn on the server track in the exported trace, so overlapping
+    /// client waits and handler runs never mis-nest).
+    pub fn server_side(self) -> bool {
+        matches!(self, SpanPhase::Handler | SpanPhase::BulkCopy | SpanPhase::Frank)
+    }
+}
+
+/// The 64-bit trace context: `trace_id:32 | span_id:16 | depth:8 | 0:8`.
+/// A packed value of 0 means "no active trace" — trace ids are minted
+/// non-zero, so every live context packs non-zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Trace identity, shared by every span of one causal chain.
+    pub trace_id: u32,
+    /// This context's own span (the parent of spans begun under it).
+    pub span_id: u16,
+    /// Nesting depth (root call = 0).
+    pub depth: u8,
+}
+
+impl TraceCtx {
+    /// Pack into the wire word (non-zero for any minted context).
+    pub fn pack(self) -> u64 {
+        ((self.trace_id as u64) << 32) | ((self.span_id as u64) << 16) | ((self.depth as u64) << 8)
+    }
+
+    /// Unpack a wire word; `None` for the "no trace" zero word.
+    pub fn unpack(w: u64) -> Option<TraceCtx> {
+        if w == 0 {
+            return None;
+        }
+        Some(TraceCtx {
+            trace_id: (w >> 32) as u32,
+            span_id: (w >> 16) as u16,
+            depth: (w >> 8) as u8,
+        })
+    }
+}
+
+/// One decoded span record (ring read product).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Monotonic per-vCPU sequence number.
+    pub seq: u64,
+    /// The trace this span belongs to.
+    pub trace_id: u32,
+    /// This span's id (unique within a trace for practical trace sizes;
+    /// ids come from a wrapping 16-bit mint).
+    pub span_id: u16,
+    /// Parent span id (0 = root).
+    pub parent_id: u16,
+    /// Phase tag.
+    pub phase: SpanPhase,
+    /// Nesting depth (root = 0).
+    pub depth: u8,
+    /// vCPU whose ring recorded the span.
+    pub vcpu: u8,
+    /// Entry point involved.
+    pub ep: u16,
+    /// Begin time, nanoseconds since the plane's epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds (0 for instant spans).
+    pub dur_ns: u64,
+}
+
+impl SpanRecord {
+    /// Whether this is a trace root (no parent).
+    pub fn is_root(&self) -> bool {
+        self.parent_id == 0
+    }
+}
+
+impl std::fmt::Display for SpanRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "trace={:08x} span={} parent={} {} ep={} depth={} start={}ns dur={}ns",
+            self.trace_id,
+            self.span_id,
+            self.parent_id,
+            self.phase.label(),
+            self.ep,
+            self.depth,
+            self.start_ns,
+            self.dur_ns,
+        )
+    }
+}
+
+/// A live span handed back by the begin calls; closed by
+/// [`SpanPlane::end_token`] (usually via [`SpanScope`]'s drop).
+#[derive(Clone, Copy, Debug)]
+#[cfg_attr(not(feature = "obs"), allow(dead_code))] // fields read by the gated bodies
+pub struct SpanToken {
+    /// This span's own context (what children parent under).
+    pub ctx: TraceCtx,
+    pub(crate) parent_id: u16,
+    pub(crate) phase: SpanPhase,
+    pub(crate) ep: u16,
+    pub(crate) vcpu: u8,
+    pub(crate) start_ns: u64,
+    /// Thread context to restore at end (only meaningful if installed).
+    pub(crate) prev: u64,
+    /// Whether this span was installed as the thread's current context.
+    pub(crate) installed: bool,
+}
+
+impl SpanToken {
+    /// Whether this token is a trace root.
+    pub fn is_root(&self) -> bool {
+        self.parent_id == 0
+    }
+}
+
+/// 40-byte ring slot: a sequence word (`seq + 1`, 0 = invalid) plus four
+/// payload words, written under the flight recorder's invalidate → fill
+/// → publish protocol.
+#[cfg(feature = "obs")]
+#[derive(Debug)]
+struct SpanSlot {
+    seq: AtomicU64,
+    /// `trace_id:32 | span_id:16 | parent_id:16`
+    ids: AtomicU64,
+    /// `phase:8 | depth:8 | vcpu:8 | ep:16 | 0:24`
+    meta: AtomicU64,
+    start_ns: AtomicU64,
+    dur_ns: AtomicU64,
+}
+
+/// One vCPU's span ring, line-aligned like its flight-recorder sibling.
+#[cfg(feature = "obs")]
+#[repr(align(64))]
+#[derive(Debug)]
+struct SpanRing {
+    cursor: AtomicU64,
+    slots: Box<[SpanSlot]>,
+}
+
+#[cfg(feature = "obs")]
+impl SpanRing {
+    fn new(capacity: usize) -> Self {
+        SpanRing {
+            cursor: AtomicU64::new(0),
+            slots: (0..capacity)
+                .map(|_| SpanSlot {
+                    seq: AtomicU64::new(0),
+                    ids: AtomicU64::new(0),
+                    meta: AtomicU64::new(0),
+                    start_ns: AtomicU64::new(0),
+                    dur_ns: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    fn record(&self, ids: u64, meta: u64, start_ns: u64, dur_ns: u64) {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[seq as usize & (self.slots.len() - 1)];
+        slot.seq.store(0, Ordering::Relaxed);
+        slot.ids.store(ids, Ordering::Relaxed);
+        slot.meta.store(meta, Ordering::Relaxed);
+        slot.start_ns.store(start_ns, Ordering::Relaxed);
+        slot.dur_ns.store(dur_ns, Ordering::Relaxed);
+        slot.seq.store(seq + 1, Ordering::Release);
+    }
+
+    /// Visit every retained, untorn record, oldest first.
+    fn for_each(&self, mut f: impl FnMut(SpanRecord)) {
+        let cursor = self.cursor.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let retained = cursor.min(cap);
+        for seq in cursor - retained..cursor {
+            let slot = &self.slots[seq as usize & (self.slots.len() - 1)];
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 != seq + 1 {
+                continue; // overwritten or in-flight
+            }
+            let ids = slot.ids.load(Ordering::Relaxed);
+            let meta = slot.meta.load(Ordering::Relaxed);
+            let start_ns = slot.start_ns.load(Ordering::Relaxed);
+            let dur_ns = slot.dur_ns.load(Ordering::Relaxed);
+            if slot.seq.load(Ordering::Relaxed) != s1 {
+                continue; // torn under us
+            }
+            let Some(phase) = SpanPhase::from_u8((meta >> 56) as u8) else {
+                continue;
+            };
+            f(SpanRecord {
+                seq,
+                trace_id: (ids >> 32) as u32,
+                span_id: (ids >> 16) as u16,
+                parent_id: ids as u16,
+                phase,
+                depth: (meta >> 48) as u8,
+                vcpu: (meta >> 40) as u8,
+                ep: (meta >> 24) as u16,
+                start_ns,
+                dur_ns,
+            });
+        }
+    }
+}
+
+/// One promoted tail exemplar: a slow root call with its span tree and
+/// per-phase time breakdown.
+#[derive(Clone, Debug)]
+pub struct Exemplar {
+    /// The promoted trace.
+    pub trace_id: u32,
+    /// Root entry point.
+    pub ep: u16,
+    /// vCPU the root completed on.
+    pub vcpu: u8,
+    /// Root span duration (ns).
+    pub total_ns: u64,
+    /// The entry's EWMA latency when promoted (ns) — the threshold base.
+    pub ewma_ns: u64,
+    /// Root begin time (ns since plane epoch).
+    pub start_ns: u64,
+    /// Summed duration per phase, indexed by [`SpanPhase`] discriminant
+    /// (index 0 unused; the root call span itself is excluded so the
+    /// breakdown attributes time *within* the call).
+    pub phase_ns: [u64; NPHASES],
+    /// Frank slow-path events inside the trace.
+    pub frank_events: u32,
+    /// The retained span tree (at most [`EXEMPLAR_SPANS`], by start
+    /// time).
+    pub spans: Vec<SpanRecord>,
+    /// The tree had more spans than [`EXEMPLAR_SPANS`].
+    pub truncated: bool,
+}
+
+impl Exemplar {
+    #[cfg(feature = "obs")]
+    fn empty() -> Self {
+        Exemplar {
+            trace_id: 0,
+            ep: 0,
+            vcpu: 0,
+            total_ns: 0,
+            ewma_ns: 0,
+            start_ns: 0,
+            phase_ns: [0; NPHASES],
+            frank_events: 0,
+            spans: Vec::with_capacity(EXEMPLAR_SPANS),
+            truncated: false,
+        }
+    }
+
+    /// One-line summary: where the time went.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "trace {:08x} ep {} vcpu {}: total={}ns (ewma {}ns)",
+            self.trace_id, self.ep, self.vcpu, self.total_ns, self.ewma_ns
+        );
+        for phase in PHASES {
+            if phase == SpanPhase::Call {
+                continue;
+            }
+            let ns = self.phase_ns[phase as usize];
+            if ns > 0 {
+                let _ = write!(out, " {}={}ns", phase.label(), ns);
+            }
+        }
+        if self.frank_events > 0 {
+            let _ = write!(out, " frank_events={}", self.frank_events);
+        }
+        if self.truncated {
+            let _ = write!(out, " (tree truncated)");
+        }
+        out
+    }
+}
+
+/// Per-vCPU exemplar store: a tiny ring of preallocated exemplars,
+/// overwritten oldest-first. The mutex is promotion-only (cold by the
+/// EWMA threshold's construction) and never touched on the fast path.
+#[cfg(feature = "obs")]
+#[repr(align(64))]
+#[derive(Debug)]
+struct ExemplarCell {
+    ring: Mutex<ExemplarRing>,
+}
+
+#[cfg(feature = "obs")]
+#[derive(Debug)]
+struct ExemplarRing {
+    slots: Vec<Exemplar>,
+    next: usize,
+    used: usize,
+}
+
+thread_local! {
+    /// The calling thread's current trace context (packed; 0 = none).
+    /// Thread-local for the same reason the sampling tick is: the
+    /// unsampled fast path must not touch shared memory to learn "no
+    /// trace is active".
+    #[cfg(feature = "obs")]
+    static CTX: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// The runtime's tracing plane: per-vCPU span rings, exemplar buffers,
+/// and the id mints. With the `obs` feature disabled this struct is
+/// empty and every method folds to a no-op.
+#[derive(Debug)]
+pub struct SpanPlane {
+    /// Bit 0: tracing enabled.
+    #[cfg(feature = "obs")]
+    cfg: AtomicU32,
+    #[cfg(feature = "obs")]
+    next_trace: AtomicU32,
+    #[cfg(feature = "obs")]
+    next_span: AtomicU32,
+    #[cfg(feature = "obs")]
+    promotions: AtomicU64,
+    #[cfg(feature = "obs")]
+    rings: Box<[SpanRing]>,
+    #[cfg(feature = "obs")]
+    exemplars: Box<[ExemplarCell]>,
+    /// Time zero for `start_ns` stamps.
+    #[cfg(feature = "obs")]
+    epoch: Instant,
+}
+
+#[cfg(feature = "obs")]
+const CFG_TRACE_ON: u32 = 1;
+
+impl SpanPlane {
+    /// A plane for `n_vcpus` virtual processors with `capacity` ring
+    /// slots per vCPU (must be a power of two), enabled.
+    pub(crate) fn new(n_vcpus: usize, capacity: usize) -> Self {
+        assert!(capacity.is_power_of_two(), "trace_capacity must be a power of two");
+        #[cfg(not(feature = "obs"))]
+        let _ = n_vcpus;
+        SpanPlane {
+            #[cfg(feature = "obs")]
+            cfg: AtomicU32::new(CFG_TRACE_ON),
+            #[cfg(feature = "obs")]
+            next_trace: AtomicU32::new(0),
+            #[cfg(feature = "obs")]
+            next_span: AtomicU32::new(0),
+            #[cfg(feature = "obs")]
+            promotions: AtomicU64::new(0),
+            #[cfg(feature = "obs")]
+            rings: (0..n_vcpus.max(1)).map(|_| SpanRing::new(capacity)).collect(),
+            #[cfg(feature = "obs")]
+            exemplars: (0..n_vcpus.max(1))
+                .map(|_| ExemplarCell {
+                    ring: Mutex::new(ExemplarRing {
+                        slots: (0..EXEMPLAR_CAPACITY).map(|_| Exemplar::empty()).collect(),
+                        next: 0,
+                        used: 0,
+                    }),
+                })
+                .collect(),
+            #[cfg(feature = "obs")]
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Whether tracing is compiled in *and* enabled.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        #[cfg(feature = "obs")]
+        {
+            self.cfg.load(Ordering::Relaxed) & CFG_TRACE_ON != 0
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            false
+        }
+    }
+
+    /// Enable or disable span recording at runtime (no-op compiled out).
+    pub fn set_enabled(&self, on: bool) {
+        #[cfg(feature = "obs")]
+        self.cfg.store(if on { CFG_TRACE_ON } else { 0 }, Ordering::Relaxed);
+        #[cfg(not(feature = "obs"))]
+        let _ = on;
+    }
+
+    /// Ring slots per vCPU (0 when compiled out).
+    pub fn capacity(&self) -> usize {
+        #[cfg(feature = "obs")]
+        {
+            self.rings.first().map_or(0, |r| r.slots.len())
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            0
+        }
+    }
+
+    /// Number of vCPU rings (0 when compiled out).
+    pub fn n_vcpus(&self) -> usize {
+        #[cfg(feature = "obs")]
+        {
+            self.rings.len()
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            0
+        }
+    }
+
+    /// The calling thread's current trace context, if any.
+    pub fn current(&self) -> Option<TraceCtx> {
+        #[cfg(feature = "obs")]
+        {
+            TraceCtx::unpack(CTX.with(|c| c.get()))
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            None
+        }
+    }
+
+    #[cfg(feature = "obs")]
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Mint a non-zero span id. A wrapping 16-bit mint: ids can recur
+    /// across traces (records are disambiguated by trace id) and, in a
+    /// trace spanning > 65535 concurrent mints, within one — acceptable
+    /// for a diagnostics plane; the exporter matches begin/end pairs by
+    /// (trace, span).
+    #[cfg(feature = "obs")]
+    fn mint_span(&self) -> u16 {
+        (self.next_span.fetch_add(1, Ordering::Relaxed) % 0xFFFF) as u16 + 1
+    }
+
+    #[cfg(feature = "obs")]
+    fn begin(
+        &self,
+        parent: Option<TraceCtx>,
+        mint_root: bool,
+        install: bool,
+        vcpu: usize,
+        ep: EntryId,
+        phase: SpanPhase,
+    ) -> Option<SpanToken> {
+        let (trace_id, parent_id, depth) = match parent {
+            Some(p) => (p.trace_id, p.span_id, p.depth.saturating_add(1)),
+            None if mint_root && self.enabled() => {
+                (self.next_trace.fetch_add(1, Ordering::Relaxed).wrapping_add(1).max(1), 0, 0)
+            }
+            None => return None,
+        };
+        let ctx = TraceCtx { trace_id, span_id: self.mint_span(), depth };
+        let prev = if install { CTX.with(|c| c.replace(ctx.pack())) } else { 0 };
+        Some(SpanToken {
+            ctx,
+            parent_id,
+            phase,
+            ep: ep as u16,
+            vcpu: vcpu as u8,
+            start_ns: self.now_ns(),
+            prev,
+            installed: install,
+        })
+    }
+
+    /// Begin a (possibly root) call span on the client side and install
+    /// it as the thread's context, so Frank events during resource
+    /// acquisition and the rendezvous wait parent under it. A root is
+    /// minted only when `sampled` (the caller's existing
+    /// [`crate::ObsState::try_sample`] verdict); a live enclosing
+    /// context always traces, sampled or not.
+    #[inline]
+    pub fn begin_call(&self, sampled: bool, vcpu: usize, ep: EntryId) -> Option<SpanToken> {
+        #[cfg(feature = "obs")]
+        {
+            let parent = TraceCtx::unpack(CTX.with(|c| c.get()));
+            if parent.is_none() && !sampled {
+                return None;
+            }
+            self.begin(parent, sampled, true, vcpu, ep, SpanPhase::Call)
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = (sampled, vcpu, ep);
+            None
+        }
+    }
+
+    /// Begin an async span (client side). Not installed — the caller
+    /// continues immediately; the span closes when the completion is
+    /// observed ([`crate::AsyncCall::wait`] or drop).
+    #[inline]
+    pub fn begin_async(&self, sampled: bool, vcpu: usize, ep: EntryId) -> Option<SpanToken> {
+        #[cfg(feature = "obs")]
+        {
+            let parent = TraceCtx::unpack(CTX.with(|c| c.get()));
+            if parent.is_none() && !sampled {
+                return None;
+            }
+            self.begin(parent, sampled, false, vcpu, ep, SpanPhase::Async)
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = (sampled, vcpu, ep);
+            None
+        }
+    }
+
+    /// Begin a handler span under a propagated context word (the call
+    /// slot's trace word for hand-off, the call token's context for
+    /// inline) and install it, so nested calls made by the handler
+    /// parent under the handler span.
+    #[inline]
+    pub fn begin_handler(&self, ctx_word: u64, vcpu: usize, ep: EntryId) -> Option<SpanToken> {
+        #[cfg(feature = "obs")]
+        {
+            let parent = TraceCtx::unpack(ctx_word)?;
+            self.begin(Some(parent), false, true, vcpu, ep, SpanPhase::Handler)
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = (ctx_word, vcpu, ep);
+            None
+        }
+    }
+
+    /// Begin a leaf span (rendezvous wait, bulk copy) under the thread's
+    /// current context. Not installed — leaves have no children.
+    #[inline]
+    pub fn begin_leaf(&self, vcpu: usize, ep: EntryId, phase: SpanPhase) -> Option<SpanToken> {
+        #[cfg(feature = "obs")]
+        {
+            let parent = TraceCtx::unpack(CTX.with(|c| c.get()))?;
+            self.begin(Some(parent), false, false, vcpu, ep, phase)
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = (vcpu, ep, phase);
+            None
+        }
+    }
+
+    /// Record an instant (zero-duration) span under the thread's current
+    /// context — Frank grow events. No-op outside a live trace.
+    #[inline]
+    pub fn record_instant(&self, vcpu: usize, ep: EntryId, phase: SpanPhase) {
+        #[cfg(feature = "obs")]
+        {
+            let Some(parent) = TraceCtx::unpack(CTX.with(|c| c.get())) else {
+                return;
+            };
+            let ids = ((parent.trace_id as u64) << 32)
+                | ((self.mint_span() as u64) << 16)
+                | parent.span_id as u64;
+            let meta = Self::pack_meta(phase, parent.depth.saturating_add(1), vcpu, ep);
+            self.rings[vcpu].record(ids, meta, self.now_ns(), 0);
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = (vcpu, ep, phase);
+    }
+
+    #[cfg(feature = "obs")]
+    fn pack_meta(phase: SpanPhase, depth: u8, vcpu: usize, ep: EntryId) -> u64 {
+        ((phase as u64) << 56) | ((depth as u64) << 48) | ((vcpu as u64 & 0xFF) << 40)
+            | ((ep as u64 & 0xFFFF) << 24)
+    }
+
+    /// End a span: write its record into the token's vCPU ring, restore
+    /// the thread context if the begin installed one, and — for a root
+    /// token with an EWMA cell — run the exemplar promotion check.
+    /// Returns the span duration in nanoseconds.
+    pub fn end_token(&self, tok: SpanToken, ewma: Option<&AtomicU64>) -> u64 {
+        #[cfg(feature = "obs")]
+        {
+            let dur = self.now_ns().saturating_sub(tok.start_ns);
+            let ids = ((tok.ctx.trace_id as u64) << 32)
+                | ((tok.ctx.span_id as u64) << 16)
+                | tok.parent_id as u64;
+            let meta = Self::pack_meta(tok.phase, tok.ctx.depth, tok.vcpu as usize, tok.ep as usize);
+            self.rings[tok.vcpu as usize].record(ids, meta, tok.start_ns, dur);
+            if tok.installed {
+                CTX.with(|c| c.set(tok.prev));
+            }
+            if tok.is_root() {
+                if let Some(cell) = ewma {
+                    self.consider_exemplar(&tok, dur, cell);
+                }
+            }
+            dur
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = (tok, ewma);
+            0
+        }
+    }
+
+    /// Root-span tail check: promote the trace into the vCPU's exemplar
+    /// buffer when its duration exceeds [`EXEMPLAR_FACTOR`] × the
+    /// entry's EWMA, then fold the duration into the EWMA (weight 1/8,
+    /// like the spin-budget EWMA). First observation seeds the EWMA and
+    /// never promotes (no baseline yet).
+    #[cfg(feature = "obs")]
+    fn consider_exemplar(&self, tok: &SpanToken, dur: u64, ewma: &AtomicU64) {
+        let old = ewma.load(Ordering::Relaxed);
+        let promote = old > 0 && dur > old.saturating_mul(EXEMPLAR_FACTOR);
+        let new = if old == 0 { dur } else { old - old / 8 + dur / 8 };
+        ewma.store(new, Ordering::Relaxed);
+        if promote {
+            self.promote(tok, dur, old);
+        }
+    }
+
+    /// Copy the trace's span tree from the rings into the next exemplar
+    /// slot. Cold path (taken only past the tail threshold); the only
+    /// allocation-free guarantee needed is that the preallocated span
+    /// buffer is reused, which `clear()` + bounded `push` preserves.
+    #[cfg(feature = "obs")]
+    fn promote(&self, tok: &SpanToken, dur: u64, ewma: u64) {
+        let vcpu = tok.vcpu as usize;
+        let mut ring = self.exemplars[vcpu].ring.lock();
+        let idx = ring.next;
+        ring.next = (ring.next + 1) % EXEMPLAR_CAPACITY;
+        ring.used = (ring.used + 1).min(EXEMPLAR_CAPACITY);
+        let ex = &mut ring.slots[idx];
+        ex.trace_id = tok.ctx.trace_id;
+        ex.ep = tok.ep;
+        ex.vcpu = tok.vcpu;
+        ex.total_ns = dur;
+        ex.ewma_ns = ewma;
+        ex.start_ns = tok.start_ns;
+        ex.phase_ns = [0; NPHASES];
+        ex.frank_events = 0;
+        ex.spans.clear();
+        ex.truncated = false;
+        let root_span = tok.ctx.span_id;
+        for r in self.rings.iter() {
+            r.for_each(|rec| {
+                if rec.trace_id != tok.ctx.trace_id {
+                    return;
+                }
+                // Attribute time within the call: every span but the
+                // root itself (nested calls count under Call).
+                if !(rec.span_id == root_span && rec.is_root()) {
+                    ex.phase_ns[rec.phase as usize] += rec.dur_ns;
+                }
+                if rec.phase == SpanPhase::Frank {
+                    ex.frank_events += 1;
+                }
+                if ex.spans.len() < EXEMPLAR_SPANS {
+                    ex.spans.push(rec);
+                } else {
+                    ex.truncated = true;
+                }
+            });
+        }
+        ex.spans.sort_unstable_by_key(|r| (r.start_ns, r.depth));
+        self.promotions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total exemplar promotions since boot.
+    pub fn promoted(&self) -> u64 {
+        #[cfg(feature = "obs")]
+        {
+            self.promotions.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            0
+        }
+    }
+
+    /// Spans recorded on `vcpu` since boot (including overwritten ones).
+    pub fn recorded(&self, vcpu: usize) -> u64 {
+        #[cfg(feature = "obs")]
+        {
+            self.rings[vcpu].cursor.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = vcpu;
+            0
+        }
+    }
+
+    /// The retained span records of `vcpu`'s ring, oldest first (cold
+    /// read path; torn slots skipped).
+    pub fn snapshot(&self, vcpu: usize) -> Vec<SpanRecord> {
+        #[cfg_attr(not(feature = "obs"), allow(unused_mut))]
+        let mut out = Vec::new();
+        #[cfg(feature = "obs")]
+        self.rings[vcpu].for_each(|rec| out.push(rec));
+        #[cfg(not(feature = "obs"))]
+        let _ = vcpu;
+        out
+    }
+
+    /// Every retained span record across all vCPUs, ordered by start
+    /// time (the exporter's input).
+    pub fn all_records(&self) -> Vec<SpanRecord> {
+        #[cfg_attr(not(feature = "obs"), allow(unused_mut))]
+        let mut out = Vec::new();
+        #[cfg(feature = "obs")]
+        {
+            for r in self.rings.iter() {
+                r.for_each(|rec| out.push(rec));
+            }
+            out.sort_unstable_by_key(|r| (r.start_ns, r.depth, r.span_id));
+        }
+        out
+    }
+
+    /// The retained tail exemplars of `vcpu`, most recent last (cold
+    /// path, clones out of the preallocated buffer).
+    pub fn exemplars(&self, vcpu: usize) -> Vec<Exemplar> {
+        #[cfg_attr(not(feature = "obs"), allow(unused_mut))]
+        let mut out = Vec::new();
+        #[cfg(feature = "obs")]
+        {
+            let ring = self.exemplars[vcpu].ring.lock();
+            for i in 0..ring.used {
+                // Oldest-first: start after the next write position.
+                let idx = (ring.next + EXEMPLAR_CAPACITY - ring.used + i) % EXEMPLAR_CAPACITY;
+                out.push(ring.slots[idx].clone());
+            }
+        }
+        #[cfg(not(feature = "obs"))]
+        let _ = vcpu;
+        out
+    }
+
+    /// A no-children scope for tests and cold paths: begin + end around
+    /// a closure under the current thread context.
+    pub fn with_leaf<R>(
+        &self,
+        vcpu: usize,
+        ep: EntryId,
+        phase: SpanPhase,
+        f: impl FnOnce() -> R,
+    ) -> R {
+        let tok = self.begin_leaf(vcpu, ep, phase);
+        let r = f();
+        if let Some(tok) = tok {
+            self.end_token(tok, None);
+        }
+        r
+    }
+}
+
+/// Drop guard closing a span on every exit path of the function that
+/// began it (dispatch has several early `return Err(..)` exits; a span
+/// left open would leak the installed thread context into unrelated
+/// calls). With the `obs` feature off this is a zero-sized no-op.
+pub struct SpanScope<'a> {
+    #[cfg(feature = "obs")]
+    plane: &'a SpanPlane,
+    #[cfg(feature = "obs")]
+    tok: Option<SpanToken>,
+    /// Root-span exemplar accounting target (the entry's trace EWMA).
+    #[cfg(feature = "obs")]
+    ewma: Option<&'a AtomicU64>,
+    #[cfg(not(feature = "obs"))]
+    _p: std::marker::PhantomData<&'a ()>,
+}
+
+impl<'a> SpanScope<'a> {
+    /// Whether a span is actually live inside this scope.
+    #[inline]
+    pub fn active(&self) -> bool {
+        #[cfg(feature = "obs")]
+        {
+            self.tok.is_some()
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            false
+        }
+    }
+
+    /// The packed context word of the live span (0 when inactive) — what
+    /// the dispatcher writes into the call slot's trace word.
+    #[inline]
+    pub fn ctx_word(&self) -> u64 {
+        #[cfg(feature = "obs")]
+        {
+            self.tok.map_or(0, |t| t.ctx.pack())
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            0
+        }
+    }
+}
+
+/// Unconditional so explicit `drop(scope)` call sites stay meaningful
+/// in both builds; the compiled-out body is empty and folds away.
+impl Drop for SpanScope<'_> {
+    fn drop(&mut self) {
+        #[cfg(feature = "obs")]
+        if let Some(tok) = self.tok.take() {
+            self.plane.end_token(tok, self.ewma);
+        }
+    }
+}
+
+impl SpanPlane {
+    /// Scope wrapper around [`SpanPlane::begin_call`]: closes (and, for
+    /// roots, exemplar-checks against `ewma`) on drop.
+    #[inline]
+    pub fn call_scope<'a>(
+        &'a self,
+        sampled: bool,
+        vcpu: usize,
+        ep: EntryId,
+        ewma: Option<&'a AtomicU64>,
+    ) -> SpanScope<'a> {
+        #[cfg(feature = "obs")]
+        {
+            SpanScope { plane: self, tok: self.begin_call(sampled, vcpu, ep), ewma }
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = (sampled, vcpu, ep, ewma);
+            SpanScope { _p: std::marker::PhantomData }
+        }
+    }
+
+    /// Scope wrapper around [`SpanPlane::begin_handler`].
+    #[inline]
+    pub fn handler_scope(&self, ctx_word: u64, vcpu: usize, ep: EntryId) -> SpanScope<'_> {
+        #[cfg(feature = "obs")]
+        {
+            SpanScope { plane: self, tok: self.begin_handler(ctx_word, vcpu, ep), ewma: None }
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = (ctx_word, vcpu, ep);
+            SpanScope { _p: std::marker::PhantomData }
+        }
+    }
+
+    /// Scope wrapper around [`SpanPlane::begin_leaf`].
+    #[inline]
+    pub fn leaf_scope(&self, vcpu: usize, ep: EntryId, phase: SpanPhase) -> SpanScope<'_> {
+        #[cfg(feature = "obs")]
+        {
+            SpanScope { plane: self, tok: self.begin_leaf(vcpu, ep, phase), ewma: None }
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = (vcpu, ep, phase);
+            SpanScope { _p: std::marker::PhantomData }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_pack_unpack_roundtrip() {
+        let ctx = TraceCtx { trace_id: 0xDEADBEEF, span_id: 513, depth: 3 };
+        assert_eq!(TraceCtx::unpack(ctx.pack()), Some(ctx));
+        assert_eq!(TraceCtx::unpack(0), None);
+        // Every minted context packs non-zero (trace ids are non-zero).
+        let min = TraceCtx { trace_id: 1, span_id: 0, depth: 0 };
+        assert_ne!(min.pack(), 0);
+    }
+
+    #[test]
+    fn phase_bytes_roundtrip() {
+        for phase in PHASES {
+            assert_eq!(SpanPhase::from_u8(phase as u8), Some(phase), "{phase:?}");
+            assert!((phase as usize) < NPHASES);
+        }
+        assert_eq!(SpanPhase::from_u8(0), None);
+        assert_eq!(SpanPhase::from_u8(99), None);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn slot_is_forty_bytes() {
+        assert_eq!(std::mem::size_of::<SpanSlot>(), 40);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn root_and_children_share_a_trace() {
+        let plane = SpanPlane::new(1, 64);
+        let root = plane.begin_call(true, 0, 7).expect("sampled root");
+        assert!(root.is_root());
+        assert_eq!(plane.current().unwrap().trace_id, root.ctx.trace_id);
+        let leaf = plane.begin_leaf(0, 7, SpanPhase::Rendezvous).expect("leaf under root");
+        assert_eq!(leaf.ctx.trace_id, root.ctx.trace_id);
+        assert_eq!(leaf.parent_id, root.ctx.span_id);
+        assert_eq!(leaf.ctx.depth, 1);
+        plane.end_token(leaf, None);
+        plane.end_token(root, None);
+        assert!(plane.current().is_none(), "root end restores empty ctx");
+        let recs = plane.snapshot(0);
+        assert_eq!(recs.len(), 2);
+        let root_rec = recs.iter().find(|r| r.is_root()).unwrap();
+        assert_eq!(root_rec.phase, SpanPhase::Call);
+        let leaf_rec = recs.iter().find(|r| !r.is_root()).unwrap();
+        assert_eq!(leaf_rec.parent_id, root_rec.span_id);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn unsampled_without_enclosing_trace_is_free() {
+        let plane = SpanPlane::new(1, 64);
+        assert!(plane.begin_call(false, 0, 1).is_none());
+        assert!(plane.begin_leaf(0, 1, SpanPhase::Rendezvous).is_none());
+        plane.record_instant(0, 1, SpanPhase::Frank);
+        assert_eq!(plane.recorded(0), 0);
+        // Disabled plane mints nothing even when sampled.
+        plane.set_enabled(false);
+        assert!(plane.begin_call(true, 0, 1).is_none());
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn handler_scope_installs_and_restores() {
+        let plane = SpanPlane::new(1, 64);
+        let root = plane.begin_call(true, 0, 3).unwrap();
+        let word = root.ctx.pack();
+        {
+            let h = plane.handler_scope(word, 0, 3);
+            assert!(h.active());
+            let cur = plane.current().unwrap();
+            assert_eq!(cur.trace_id, root.ctx.trace_id);
+            assert_eq!(cur.depth, 1, "handler installed");
+            // A nested call under the handler parents under it.
+            let nested = plane.begin_call(false, 0, 4).unwrap();
+            assert_eq!(nested.parent_id, cur.span_id);
+            assert_eq!(nested.ctx.depth, 2);
+            plane.end_token(nested, None);
+        }
+        assert_eq!(plane.current().unwrap().span_id, root.ctx.span_id, "scope restored");
+        plane.end_token(root, None);
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn ring_wraps_and_keeps_newest() {
+        let plane = SpanPlane::new(1, 8);
+        for _ in 0..20 {
+            let t = plane.begin_call(true, 0, 1).unwrap();
+            plane.end_token(t, None);
+        }
+        assert_eq!(plane.recorded(0), 20);
+        let recs = plane.snapshot(0);
+        assert_eq!(recs.len(), 8);
+        for w in recs.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn exemplar_promotes_past_threshold() {
+        let plane = SpanPlane::new(1, 64);
+        let ewma = AtomicU64::new(0);
+        // Seed the EWMA: first root never promotes.
+        let t = plane.begin_call(true, 0, 9).unwrap();
+        plane.end_token(t, Some(&ewma));
+        assert_eq!(plane.promoted(), 0);
+        assert!(ewma.load(Ordering::Relaxed) > 0);
+        // Force a tail: backdate the root to the plane's epoch, so its
+        // measured duration dwarfs the seeded EWMA deterministically.
+        let mut slow = plane.begin_call(true, 0, 9).unwrap();
+        slow.start_ns = 0;
+        let leaf = plane.begin_leaf(0, 9, SpanPhase::Rendezvous).unwrap();
+        plane.record_instant(0, 9, SpanPhase::Frank);
+        plane.end_token(leaf, None);
+        let dur = plane.end_token(slow, Some(&ewma));
+        assert_eq!(plane.promoted(), 1);
+        let exemplars = plane.exemplars(0);
+        assert_eq!(exemplars.len(), 1);
+        let ex = &exemplars[0];
+        assert_eq!(ex.ep, 9);
+        assert_eq!(ex.total_ns, dur);
+        assert_eq!(ex.frank_events, 1);
+        assert!(ex.spans.len() >= 3, "root + leaf + frank instant");
+        assert!(ex.summary().contains("frank_events=1"), "{}", ex.summary());
+        // The breakdown attributes the leaf's wait, not the root's total.
+        assert!(ex.phase_ns[SpanPhase::Call as usize] < ex.total_ns);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_capacity_panics() {
+        let _ = SpanPlane::new(1, 100);
+    }
+}

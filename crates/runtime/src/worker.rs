@@ -348,6 +348,13 @@ fn worker_loop(entry: Arc<crate::entry::EntryShared>, me: Arc<WorkerHandle>, vcp
         // Handler-run timing samples on *this* worker thread's tick —
         // per-thread sampling needs no coordination with the client side.
         let th0 = entry.obs.try_sample().then(std::time::Instant::now);
+        // Handler span under the context that rode the slot across the
+        // hand-off (active only when the client traced this call). The
+        // scope installs it, so nested calls the handler makes from this
+        // thread parent here; the drop below — before `complete` — ends
+        // it, and the DONE Release/Acquire edge orders our ring write
+        // before any client-side scan of the trace.
+        let h_scope = entry.spans.handler_scope(slot.trace_word(), vcpu, entry.id);
         let rets = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             slot.with_scratch(|scratch| {
                 let mut ctx = CallCtx {
@@ -373,6 +380,7 @@ fn worker_loop(entry: Arc<crate::entry::EntryShared>, me: Arc<WorkerHandle>, vcp
                 [u64::MAX; 8]
             }
         };
+        drop(h_scope);
         if let Some(th0) = th0 {
             entry.obs.record(
                 crate::obs::LatencyKind::Handler,

@@ -1,0 +1,248 @@
+//! Causal-tracing integration tests: span propagation through real
+//! dispatch (inline, hand-off, nested, async), the exported Chrome
+//! trace round-trip, tail-exemplar promotion, and the capacity knobs.
+//!
+//! Everything here runs against the public `Runtime` surface — the
+//! plane's unit tests live in `span.rs`; these tests check the wiring:
+//! that real calls on real threads produce one correctly-parented span
+//! tree per causal chain.
+
+use std::sync::Arc;
+
+use ppc_rt::export::{load_chrome_trace, TraceSpan};
+use ppc_rt::{EntryOptions, FlightKind, Runtime, RuntimeOptions};
+
+fn spans_of(rt: &Arc<Runtime>) -> Vec<TraceSpan> {
+    let text = rt.export_trace();
+    load_chrome_trace(&text).expect("export_trace emits a loadable Chrome trace")
+}
+
+/// The acceptance chain: a client call into an inline entry whose
+/// handler calls a second entry point that Frank-grows its worker pool
+/// on first use. One trace id; every span parented into one tree:
+///
+/// ```text
+/// call(outer) ── handler(outer) ── call(inner) ──┬─ frank (pool grow)
+///                                                ├─ rendezvous
+///                                                └─ handler(inner)
+/// ```
+#[test]
+fn nested_chain_produces_one_correctly_parented_trace() {
+    let rt = Runtime::new(1);
+    rt.obs().set_sample_shift(0); // sample every root deterministically
+    let inner = rt
+        .bind(
+            "inner",
+            EntryOptions { initial_workers: 0, ..Default::default() },
+            Arc::new(|c| [c.args[0] * 2; 8]),
+        )
+        .unwrap();
+    let rt2 = Arc::clone(&rt);
+    let outer = rt
+        .bind(
+            "outer",
+            EntryOptions { inline_ok: true, ..Default::default() },
+            Arc::new(move |ctx| {
+                let c = rt2.client(ctx.vcpu, 999);
+                let r = c.call(inner, [ctx.args[0] + 1; 8]).unwrap();
+                [r[0] + 5; 8]
+            }),
+        )
+        .unwrap();
+    let client = rt.client(0, 1);
+    assert_eq!(client.call(outer, [10; 8]).unwrap()[0], 27);
+
+    let spans = spans_of(&rt);
+    if !cfg!(feature = "obs") {
+        assert!(spans.is_empty(), "compiled out: no spans recorded");
+        return;
+    }
+
+    // One trace, rooted once.
+    let trace = spans[0].trace_id;
+    assert!(spans.iter().all(|s| s.trace_id == trace), "one causal chain, one id: {spans:#?}");
+    let roots: Vec<_> = spans.iter().filter(|s| s.is_root()).collect();
+    assert_eq!(roots.len(), 1, "exactly one root: {spans:#?}");
+    let root = roots[0];
+    assert_eq!((root.name.as_str(), root.depth, root.ep), ("call", 0, outer as u16));
+
+    let find = |name: &str, depth: u8| -> &TraceSpan {
+        spans
+            .iter()
+            .find(|s| s.name == name && s.depth == depth)
+            .unwrap_or_else(|| panic!("no {name} span at depth {depth} in {spans:#?}"))
+    };
+    let outer_handler = find("handler", 1);
+    assert_eq!(outer_handler.parent_id, root.span_id, "handler under its call");
+    let inner_call = find("call", 2);
+    assert_eq!(inner_call.parent_id, outer_handler.span_id, "nested call under the handler");
+    assert_eq!(inner_call.ep, inner as u16);
+    let inner_handler = find("handler", 3);
+    assert_eq!(inner_handler.parent_id, inner_call.span_id, "inner handler under its call");
+    let rendezvous = find("rendezvous", 3);
+    assert_eq!(rendezvous.parent_id, inner_call.span_id, "wait attributed to the nested call");
+    let franks: Vec<_> = spans.iter().filter(|s| s.name == "frank").collect();
+    assert!(!franks.is_empty(), "worker-pool grow recorded: {spans:#?}");
+    assert!(
+        franks.iter().any(|f| f.parent_id == inner_call.span_id),
+        "the grow fired inside the nested dispatch: {spans:#?}"
+    );
+    // Every span's parent is in the tree (no orphans).
+    for s in &spans {
+        assert!(
+            s.is_root() || spans.iter().any(|p| p.span_id == s.parent_id),
+            "orphaned span {s:?}"
+        );
+    }
+    // Containment: children start no earlier than their parent.
+    for s in &spans {
+        if let Some(p) = spans.iter().find(|p| p.span_id == s.parent_id) {
+            assert!(s.start_us >= p.start_us, "child {s:?} starts before parent {p:?}");
+        }
+    }
+}
+
+/// The thread-local trace context never leaks past the call that
+/// installed it — including through nested handlers on the same thread.
+#[test]
+fn trace_context_is_restored_after_every_call() {
+    let rt = Runtime::new(1);
+    rt.obs().set_sample_shift(0);
+    let ep = rt
+        .bind("svc", EntryOptions { inline_ok: true, ..Default::default() }, Arc::new(|c| c.args))
+        .unwrap();
+    let client = rt.client(0, 1);
+    assert!(rt.spans().current().is_none());
+    for i in 0..5u64 {
+        client.call(ep, [i; 8]).unwrap();
+        assert!(rt.spans().current().is_none(), "context restored after call {i}");
+    }
+}
+
+/// Asynchronous calls are observable end to end: the stats counter and
+/// flight event fire at dispatch, and the trace context crosses the
+/// completion boundary — the async root span closes at `wait()` and the
+/// worker-side handler span carries the same trace id.
+#[test]
+fn call_async_is_fully_observable() {
+    let rt = Runtime::new(1);
+    rt.obs().set_sample_shift(0);
+    let ep = rt
+        .bind("svc", EntryOptions::default(), Arc::new(|c| [c.args[0] + 1; 8]))
+        .unwrap();
+    let client = rt.client(0, 1);
+    let pending = client.call_async(ep, [41; 8]).unwrap();
+    assert_eq!(pending.wait(), [42; 8]);
+
+    assert_eq!(rt.stats.async_calls(), 1, "counter fires regardless of sampling");
+
+    let spans = spans_of(&rt);
+    if !cfg!(feature = "obs") {
+        // Compiled out, `try_sample` is always false: no flight event,
+        // no spans — only the counter plane sees the call.
+        assert!(spans.is_empty());
+        return;
+    }
+    let events = rt.flight().snapshot(0);
+    assert!(
+        events.iter().any(|e| e.kind == FlightKind::Async && e.ep == ep as u16),
+        "async dispatch in the flight ring: {events:?}"
+    );
+    let root = spans
+        .iter()
+        .find(|s| s.name == "async" && s.is_root())
+        .unwrap_or_else(|| panic!("async root span closed by wait(): {spans:#?}"));
+    let handler = spans
+        .iter()
+        .find(|s| s.name == "handler")
+        .unwrap_or_else(|| panic!("worker handler span: {spans:#?}"));
+    assert_eq!(handler.trace_id, root.trace_id, "context crossed the hand-off");
+    assert_eq!(handler.parent_id, root.span_id, "handler parented under the async root");
+    // Dropping an unwaited call still closes its span (no dangling B).
+    let pending = client.call_async(ep, [1; 8]).unwrap();
+    drop(pending);
+    load_chrome_trace(&rt.export_trace()).expect("every begin has an end after drop");
+}
+
+/// A root call slower than `EXEMPLAR_FACTOR`× the entry's EWMA is
+/// promoted into the per-vCPU exemplar buffer, and the diagnostics dump
+/// reports it with its phase breakdown.
+#[test]
+fn tail_call_promotes_an_exemplar() {
+    let rt = Runtime::new(1);
+    rt.obs().set_sample_shift(0);
+    let ep = rt
+        .bind(
+            "svc",
+            EntryOptions { inline_ok: true, ..Default::default() },
+            Arc::new(|c| {
+                if c.args[0] == 1 {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                c.args
+            }),
+        )
+        .unwrap();
+    let client = rt.client(0, 1);
+    for _ in 0..40 {
+        client.call(ep, [0; 8]).unwrap(); // seed the EWMA with fast calls
+    }
+    client.call(ep, [1; 8]).unwrap(); // the tail
+
+    if !cfg!(feature = "obs") {
+        assert_eq!(rt.spans().promoted(), 0);
+        return;
+    }
+    assert!(rt.spans().promoted() >= 1, "the 5ms call dwarfs the µs-scale EWMA");
+    let exemplars = rt.spans().exemplars(0);
+    assert!(!exemplars.is_empty());
+    let ex = exemplars.last().unwrap();
+    assert_eq!(ex.ep, ep as u16);
+    assert!(ex.total_ns >= 5_000_000, "captured the slow call: {}", ex.summary());
+    assert!(!ex.spans.is_empty(), "span tree attached");
+    let dump = rt.diagnostics();
+    assert!(dump.contains("slowest recent calls"), "exemplar section present:\n{dump}");
+}
+
+/// `RuntimeOptions` sizes both per-vCPU rings; the planes report the
+/// configured capacities and the flight ring wraps at its own size.
+#[test]
+fn runtime_options_size_the_rings() {
+    let rt = Runtime::with_runtime_options(
+        1,
+        RuntimeOptions { flight_capacity: 64, trace_capacity: 128, ..Default::default() },
+    );
+    assert_eq!(rt.flight().capacity(), 64);
+    for i in 0..100u32 {
+        rt.flight().record(0, FlightKind::Inline, 1, i);
+    }
+    let events = rt.flight().snapshot(0);
+    assert_eq!(events.len(), 64, "flight ring wraps at the configured size");
+    assert_eq!(events.last().unwrap().data, 99, "newest retained");
+    if cfg!(feature = "obs") {
+        assert_eq!(rt.spans().capacity(), 128);
+    }
+}
+
+/// Disabling the trace plane at runtime stops span recording without
+/// touching the histogram/counter planes.
+#[test]
+fn trace_plane_disable_stops_span_recording() {
+    let rt = Runtime::new(1);
+    rt.obs().set_sample_shift(0);
+    rt.spans().set_enabled(false);
+    let ep = rt
+        .bind("svc", EntryOptions { inline_ok: true, ..Default::default() }, Arc::new(|c| c.args))
+        .unwrap();
+    let client = rt.client(0, 1);
+    for i in 0..10u64 {
+        client.call(ep, [i; 8]).unwrap();
+    }
+    assert!(spans_of(&rt).is_empty(), "no roots minted while disabled");
+    assert_eq!(rt.stats.calls(), 10, "counters unaffected");
+    rt.spans().set_enabled(true);
+    client.call(ep, [0; 8]).unwrap();
+    if cfg!(feature = "obs") {
+        assert!(!spans_of(&rt).is_empty(), "recording resumes on re-enable");
+    }
+}
