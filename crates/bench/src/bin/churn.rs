@@ -1,0 +1,253 @@
+//! Control-plane churn throughput: entry lifecycle operations — bind,
+//! exchange, soft-kill, hard-kill, reclaim — measured **under concurrent
+//! call load**, across the dispatch modes.
+//!
+//! Run: `cargo run -p ppc-bench --release --bin churn`
+//! JSON: `cargo run -p ppc-bench --release --bin churn -- --json BENCH_CHURN.json`
+//! CI:  `cargo run -p ppc-bench --release --bin churn -- --smoke`
+//!
+//! The per-vCPU control-plane rework moved every one of these onto the
+//! Frank cold path: bind publishes to every vCPU's table replica,
+//! exchange retires the old handler into an era-tagged limbo, reclaim
+//! unpublishes and waits out a pin-era grace period before freeing the
+//! entry. The numbers here are the price of that safety — and the
+//! `stability` column is the anti-leak gate: ns/cycle over the second
+//! half of ≥10k bind→call→kill→reclaim cycles divided by the first
+//! half. A runtime that leaked entries, handlers, or workers per cycle
+//! (the pre-epoch runtime leaked all three) degrades monotonically and
+//! fails the ~1.0 ratio; a memory-flat one holds it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use ppc_bench::report;
+use ppc_rt::{EntryOptions, Handler, Runtime, SpinPolicy};
+
+/// Echo handler with a touch of work so calls are genuinely in flight.
+fn load_handler() -> Handler {
+    Arc::new(|ctx| {
+        std::hint::black_box(ctx.args[0]);
+        ctx.args
+    })
+}
+
+struct LoadedRt {
+    rt: Arc<Runtime>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<u64>>,
+    load_ep: usize,
+}
+
+/// A 2-vCPU runtime in the given dispatch mode with one background
+/// client per vCPU hammering a `load` entry for the whole measurement —
+/// every lifecycle op below runs against live fast-path traffic (claims
+/// pinning eras, pools cycling, grace periods having something to wait
+/// for).
+fn loaded_runtime(inline: bool, policy: SpinPolicy) -> LoadedRt {
+    let rt = Runtime::new(2);
+    rt.set_spin_policy(policy);
+    let load_ep = rt
+        .bind("load", EntryOptions { inline_ok: inline, ..Default::default() }, load_handler())
+        .unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let threads = (0..2)
+        .map(|v| {
+            let c = rt.client(v, 1 + v as u32);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut n = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    c.call(load_ep, [n; 8]).unwrap();
+                    n += 1;
+                }
+                n
+            })
+        })
+        .collect();
+    LoadedRt { rt, stop, threads, load_ep }
+}
+
+impl LoadedRt {
+    fn finish(self) -> u64 {
+        self.stop.store(true, Ordering::Release);
+        self.threads.into_iter().map(|t| t.join().unwrap()).sum()
+    }
+}
+
+/// Mean ns/cycle of `cycle` over `n` runs, split into halves for the
+/// stability ratio (second-half mean / first-half mean).
+fn timed_halves(n: u64, mut cycle: impl FnMut()) -> (f64, f64, f64) {
+    let half = n / 2;
+    let mut halves = [0f64; 2];
+    for slot in &mut halves {
+        let t0 = Instant::now();
+        for _ in 0..half {
+            cycle();
+        }
+        *slot = t0.elapsed().as_nanos() as f64 / half as f64;
+    }
+    let mean = (halves[0] + halves[1]) / 2.0;
+    (mean, halves[0], halves[1])
+}
+
+/// bind → `calls` calls → kill → reclaim at a fixed entry ID, `cycles`
+/// times. `soft` drains via soft-kill + wait_drained, otherwise
+/// hard-kill aborts stragglers.
+fn cycle_mode(
+    inline: bool,
+    policy: SpinPolicy,
+    cycles: u64,
+    calls: u64,
+    soft: bool,
+) -> (f64, f64, Vec<(String, report::Json)>) {
+    const EP: usize = 200;
+    let l = loaded_runtime(inline, policy);
+    let rt = Arc::clone(&l.rt);
+    let opts = EntryOptions { want_ep: Some(EP), inline_ok: inline, ..Default::default() };
+    let c = rt.client(0, 9);
+    let before = rt.stats.snapshot();
+    let (mean, first, second) = timed_halves(cycles, || {
+        let ep = rt.bind("churned", opts, load_handler()).unwrap();
+        assert_eq!(ep, EP, "the reclaimed ID is reused every cycle");
+        for i in 0..calls {
+            c.call(ep, [i; 8]).unwrap();
+        }
+        if soft {
+            rt.soft_kill(ep, 0).unwrap();
+            rt.wait_drained(ep).unwrap();
+        } else {
+            rt.hard_kill(ep, 0).unwrap();
+        }
+        rt.reclaim_slot(ep, 0).unwrap();
+    });
+    let delta = rt.stats.snapshot().since(&before);
+    let bg_calls = l.finish();
+    let stability = second / first;
+    let fields = vec![
+        ("ns_per_cycle".to_string(), report::Json::Num(mean)),
+        ("first_half_ns".to_string(), report::Json::Num(first)),
+        ("second_half_ns".to_string(), report::Json::Num(second)),
+        ("stability".to_string(), report::Json::Num(stability)),
+        ("cycles".to_string(), report::Json::Num(2.0 * (cycles / 2) as f64)),
+        ("entries_reclaimed".to_string(), report::Json::Num(delta.entries_reclaimed as f64)),
+        ("background_calls".to_string(), report::Json::Num(bg_calls as f64)),
+    ];
+    (mean, stability, fields)
+}
+
+/// ns/exchange on an entry under live two-vCPU call traffic: each swap
+/// retires the previous handler into limbo and frees the era that
+/// quiesced — steady-state cost of on-line replacement.
+fn exchange_mode(
+    inline: bool,
+    policy: SpinPolicy,
+    n: u64,
+) -> (f64, f64, Vec<(String, report::Json)>) {
+    let l = loaded_runtime(inline, policy);
+    let rt = Arc::clone(&l.rt);
+    let ep = l.load_ep;
+    let before = rt.stats.snapshot();
+    let (mean, first, second) = timed_halves(n, || {
+        rt.exchange(ep, load_handler(), 0).unwrap();
+    });
+    let delta = rt.stats.snapshot().since(&before);
+    let bg_calls = l.finish();
+    // Anti-leak accounting: everything retired was freed, up to the
+    // bounded limbo tail still waiting on the final era.
+    let outstanding = delta.handlers_retired - delta.handlers_freed;
+    assert!(outstanding <= 2, "limbo unbounded: {outstanding} handlers outstanding");
+    let stability = second / first;
+    let fields = vec![
+        ("ns_per_exchange".to_string(), report::Json::Num(mean)),
+        ("first_half_ns".to_string(), report::Json::Num(first)),
+        ("second_half_ns".to_string(), report::Json::Num(second)),
+        ("stability".to_string(), report::Json::Num(stability)),
+        ("handlers_retired".to_string(), report::Json::Num(delta.handlers_retired as f64)),
+        ("handlers_freed".to_string(), report::Json::Num(delta.handlers_freed as f64)),
+        ("background_calls".to_string(), report::Json::Num(bg_calls as f64)),
+    ];
+    (mean, stability, fields)
+}
+
+fn main() {
+    let (args, json_path) = report::json_flag(std::env::args().skip(1));
+    let mut json = report::JsonReport::new("churn");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    json.meta("smoke", report::Json::Bool(smoke));
+    // Acceptance floor: the full run drives ≥10k hard cycles per mode.
+    let (cycles, soft_cycles, exchanges, calls) =
+        if smoke { (200, 50, 500, 2) } else { (10_000, 1_000, 10_000, 4) };
+    json.meta("hard_cycles", report::Json::Num(cycles as f64));
+    json.meta("calls_per_cycle", report::Json::Num(calls as f64));
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("Control-plane churn under load ({cores} host core(s)); ns/op");
+    println!();
+    let widths = [14, 12, 12, 12, 10];
+    println!(
+        "{}",
+        report::row(
+            &["op".into(), "inline".into(), "spin".into(), "park".into(), "stability".into()],
+            &widths
+        )
+    );
+    println!("{}", report::rule(&widths));
+
+    let modes: [(&str, bool, SpinPolicy); 3] = [
+        ("inline", true, SpinPolicy::Adaptive),
+        ("spin", false, SpinPolicy::Adaptive),
+        ("park", false, SpinPolicy::ParkOnly),
+    ];
+
+    for (op, n) in [("hard_cycle", cycles), ("soft_cycle", soft_cycles), ("exchange", exchanges)]
+    {
+        let mut ns = Vec::new();
+        let mut worst_stability = 0f64;
+        for (mode, inline, policy) in modes {
+            let (mean, stability, fields) = match op {
+                "exchange" => exchange_mode(inline, policy, n),
+                _ => cycle_mode(inline, policy, n, calls, op == "soft_cycle"),
+            };
+            json.mode(&format!("{op}/{mode}"), fields);
+            ns.push(mean);
+            worst_stability = worst_stability.max(stability);
+        }
+        println!(
+            "{}",
+            report::row(
+                &[
+                    op.into(),
+                    format!("{:.0}", ns[0]),
+                    format!("{:.0}", ns[1]),
+                    format!("{:.0}", ns[2]),
+                    format!("{worst_stability:.2}"),
+                ],
+                &widths
+            )
+        );
+    }
+
+    println!();
+    println!(
+        "stability = worst (second half ns / first half ns) across modes; \
+         ~1.0 means the control plane is memory-flat over the run"
+    );
+
+    if smoke {
+        // Functional gate for CI: after churning, the last generation is
+        // really gone and the ID rebinds cleanly.
+        let rt = Runtime::new(1);
+        let ep = rt.bind("gate", EntryOptions::default(), load_handler()).unwrap();
+        let weak = rt.entry_weak(ep).unwrap();
+        rt.client(0, 1).call(ep, [1; 8]).unwrap();
+        rt.hard_kill(ep, 0).unwrap();
+        rt.reclaim_slot(ep, 0).unwrap();
+        assert!(weak.upgrade().is_none(), "reclaim frees the entry");
+        let ep2 = rt.bind("gate2", EntryOptions::default(), load_handler()).unwrap();
+        assert_eq!(rt.client(0, 1).call(ep2, [2; 8]).unwrap(), [2; 8]);
+        println!();
+        println!("smoke: OK");
+    }
+    json.write_if(&json_path);
+}

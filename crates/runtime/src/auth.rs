@@ -6,12 +6,13 @@
 //! common one: an ACL keyed by program ID, usable from handlers.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
 
 use crate::ProgramId;
 
-/// Per-client record.
+/// Per-client record (a snapshot; see [`Acl::record`]).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ClientRecord {
     /// Whether calls are allowed.
@@ -22,11 +23,22 @@ pub struct ClientRecord {
     pub calls: u64,
 }
 
-/// A server-side ACL. Reads take a shared lock (server state, not the IPC
-/// fastpath; the facility itself stays lock-free).
+/// The stored form: the call count is atomic so [`Acl::check`] — which
+/// handlers may run on every call — takes only the *shared* lock and
+/// never serializes concurrent checks behind a write lock.
+#[derive(Debug, Default)]
+struct StoredRecord {
+    allowed: bool,
+    rights: u32,
+    calls: AtomicU64,
+}
+
+/// A server-side ACL. Checks take a shared lock plus one `Relaxed`
+/// increment (server state, not the IPC fastpath; the facility itself
+/// stays lock-free); only grants/denials take the write lock.
 #[derive(Debug)]
 pub struct Acl {
-    clients: RwLock<HashMap<ProgramId, ClientRecord>>,
+    clients: RwLock<HashMap<ProgramId, StoredRecord>>,
     /// Policy for unknown programs.
     pub default_allow: bool,
 }
@@ -41,20 +53,20 @@ impl Acl {
     pub fn allow(&self, program: ProgramId, rights: u32) {
         self.clients
             .write()
-            .insert(program, ClientRecord { allowed: true, rights, calls: 0 });
+            .insert(program, StoredRecord { allowed: true, rights, calls: AtomicU64::new(0) });
     }
 
     /// Explicitly deny `program`.
     pub fn deny(&self, program: ProgramId) {
-        self.clients.write().insert(program, ClientRecord::default());
+        self.clients.write().insert(program, StoredRecord::default());
     }
 
-    /// Check and account a call from `program`.
+    /// Check and account a call from `program`. Read-lock only:
+    /// concurrent handler checks never contend on a writer.
     pub fn check(&self, program: ProgramId) -> bool {
-        let mut w = self.clients.write();
-        match w.get_mut(&program) {
+        match self.clients.read().get(&program) {
             Some(r) => {
-                r.calls += 1;
+                r.calls.fetch_add(1, Ordering::Relaxed);
                 r.allowed
             }
             None => self.default_allow,
@@ -63,7 +75,11 @@ impl Acl {
 
     /// The record for `program`, if any.
     pub fn record(&self, program: ProgramId) -> Option<ClientRecord> {
-        self.clients.read().get(&program).copied()
+        self.clients.read().get(&program).map(|r| ClientRecord {
+            allowed: r.allowed,
+            rights: r.rights,
+            calls: r.calls.load(Ordering::Relaxed),
+        })
     }
 }
 

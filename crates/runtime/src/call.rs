@@ -1,11 +1,15 @@
 //! The dispatch fastpath.
 //!
-//! A synchronous call performs, in order: one atomic entry-table load, one
-//! lock-free worker-pool pop, one lock-free CD-pool pop (or the worker's
-//! held CD in hold-CD mode), the slot fill, one atomic mailbox publish +
-//! unpark (the hand-off), an adaptive spin-then-park wait for `DONE`, and
-//! two lock-free pushes to recycle. **Zero lock acquisitions, zero SeqCst
-//! atomics** — the user-level restatement of the paper's common case.
+//! A synchronous call performs, in order: one pinned load of the calling
+//! vCPU's own service-table replica plus a lifecycle claim on its own
+//! shard (see [`crate::frank`]), one lock-free worker-pool pop, one
+//! lock-free CD-pool pop (or the worker's held CD in hold-CD mode), the
+//! slot fill, one atomic mailbox publish + unpark (the hand-off), an
+//! adaptive spin-then-park wait for `DONE`, and two lock-free pushes to
+//! recycle. **Zero lock acquisitions, zero writes to a cache line any
+//! other vCPU's fast path writes** — the user-level restatement of the
+//! paper's common case. (The epoch protocol's `SeqCst` operations are
+//! vCPU-local RMWs plus loads of read-mostly era/table words.)
 //!
 //! Entries bound with [`crate::EntryOptions::inline_ok`] skip even the
 //! hand-off: the handler runs on the caller's own thread in a borrowed
@@ -16,7 +20,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
-use crate::entry::EntryState;
+use crate::entry::{EntryShared, EntryState};
 use crate::flight::FlightKind;
 use crate::obs::LatencyKind;
 use crate::slot::CallSlot;
@@ -24,9 +28,28 @@ use crate::span::SpanPhase;
 use crate::worker::WorkerHandle;
 use crate::{AsyncCall, CallCtx, EntryId, ProgramId, RtError, Runtime, SpinPolicy, VcpuState};
 
+/// Releases a claim exactly once when the client-side work of a sync
+/// call — including the trace scope's drop, which reads the entry's EWMA
+/// cell — is done. Declare it *before* any scope borrowing the entry, so
+/// it drops after them; the claim is what keeps the entry's memory alive
+/// against a concurrent reclaim.
+struct ClaimGuard<'a> {
+    entry: &'a EntryShared,
+    vcpu: usize,
+    parity: u8,
+}
+
+impl Drop for ClaimGuard<'_> {
+    fn drop(&mut self) {
+        self.entry.finish_call(self.vcpu, self.parity);
+    }
+}
+
 impl Runtime {
     /// Core dispatch. With `sync`, blocks and returns `Some(rets)`;
-    /// otherwise the caller must manage the slot (see `dispatch_async`).
+    /// otherwise the call is fire-and-forget (the worker releases the
+    /// claim and recycles nothing — see `dispatch_async` for the managed
+    /// variant).
     pub(crate) fn dispatch(
         &self,
         vcpu: usize,
@@ -36,25 +59,53 @@ impl Runtime {
         sync: bool,
     ) -> Result<Option<[u64; 8]>, RtError> {
         if !sync {
-            let (_entry, worker, slot, _held) = self.prepare(vcpu, ep, args, program, false)?;
+            let (entry, parity) = self.claim(vcpu, ep)?;
+            let (worker, slot, held) = match self.acquire(vcpu, entry) {
+                Ok(t) => t,
+                Err(e) => {
+                    entry.finish_call(vcpu, parity);
+                    return Err(e);
+                }
+            };
+            slot.fill(args, program, None);
+            slot.set_parity(parity);
             worker.post(Arc::clone(&slot));
+            if worker.is_shutdown() {
+                if let Some(reclaimed) = worker.take_mail() {
+                    entry.finish_call(vcpu, parity); // the worker never ran it
+                    drop(reclaimed);
+                    if !held {
+                        self.vcpu(vcpu)?.put_slot(slot);
+                    } else {
+                        slot.reset();
+                    }
+                    return Err(RtError::Aborted(ep));
+                }
+            }
             return Ok(None);
         }
-        let probe = self.entry(ep)?;
-        if probe.opts.inline_ok {
+        let (entry, parity) = self.claim(vcpu, ep)?;
+        if entry.opts.inline_ok {
             return self
-                .dispatch_inline(vcpu, ep, args, program, None, probe)
+                .dispatch_inline(vcpu, ep, args, program, None, entry, parity)
                 .map(|(r, _)| Some(r));
         }
+        // The guard owns the claim for the rest of the call: every early
+        // `?`/`return Err` below releases it, and at the happy-path exit
+        // it drops after `scope` (declared later ⇒ dropped earlier),
+        // keeping the entry alive for the scope's EWMA read.
+        let guard = ClaimGuard { entry, vcpu, parity };
         // Observability gate: one Relaxed load (plus a thread-local tick
         // when enabled). Unsampled calls pay nothing further.
         let sampled = self.obs().try_sample();
         let t0 = sampled.then(Instant::now);
         // The call span opens before resource acquisition so Frank grow
-        // events during `prepare` parent under it; the drop guard closes
+        // events during `acquire` parent under it; the drop guard closes
         // it (and runs the root's tail-exemplar check) on every exit.
-        let scope = self.spans().call_scope(sampled, vcpu, ep, Some(&probe.trace_ewma_ns));
-        let (entry, worker, slot, held) = self.prepare(vcpu, ep, args, program, true)?;
+        let scope = self.spans().call_scope(sampled, vcpu, ep, Some(&entry.trace_ewma_ns));
+        let (worker, slot, held) = self.acquire(vcpu, entry)?;
+        slot.fill(args, program, Some(std::thread::current()));
+        slot.set_parity(parity);
         if scope.active() {
             // The mailbox publish below orders this for the worker.
             slot.set_trace(scope.ctx_word());
@@ -67,7 +118,6 @@ impl Runtime {
         // side gets the slot.
         if worker.is_shutdown() {
             if let Some(reclaimed) = worker.take_mail() {
-                entry.finish_call(); // the worker never ran the call
                 drop(reclaimed);
                 if !held {
                     self.vcpu(vcpu)?.put_slot(slot);
@@ -80,7 +130,8 @@ impl Runtime {
         self.rendezvous(self.vcpu(vcpu)?, &slot, ep, sampled);
         let rets = slot.read_rets();
         let faulted = slot.is_faulted();
-        // A hard kill that landed while we ran aborts the call.
+        // A hard kill that landed while we ran aborts the call. (The
+        // guard still holds our claim, so the entry memory is safe.)
         if entry.entry_state() == EntryState::Dead {
             return Err(RtError::Aborted(ep));
         }
@@ -99,6 +150,7 @@ impl Runtime {
             self.obs().record(LatencyKind::Call, vcpu, t0.elapsed().as_nanos() as u64);
             self.flight().record(vcpu, FlightKind::Handoff, ep, program);
         }
+        drop(guard);
         Ok(Some(rets))
     }
 
@@ -122,23 +174,27 @@ impl Runtime {
             "payload exceeds the {}-byte scratch page",
             crate::slot::SCRATCH_BYTES
         );
-        let probe = self.entry(ep)?;
-        if probe.opts.inline_ok {
+        let (entry, parity) = self.claim(vcpu, ep)?;
+        if entry.opts.inline_ok {
             let (rets, resp) =
-                self.dispatch_inline(vcpu, ep, args, program, Some(payload), probe)?;
+                self.dispatch_inline(vcpu, ep, args, program, Some(payload), entry, parity)?;
             return Ok((rets, resp.expect("payload dispatch returns a response")));
         }
+        let guard = ClaimGuard { entry, vcpu, parity };
         let sampled = self.obs().try_sample();
         let t0 = sampled.then(Instant::now);
-        let scope = self.spans().call_scope(sampled, vcpu, ep, Some(&probe.trace_ewma_ns));
-        let (entry, worker, slot, held) = self.prepare_payload(vcpu, ep, args, program, payload)?;
+        let scope = self.spans().call_scope(sampled, vcpu, ep, Some(&entry.trace_ewma_ns));
+        let (worker, slot, held) = self.acquire(vcpu, entry)?;
+        // The payload is written before the fill publishes the slot.
+        slot.write_payload(payload);
+        slot.fill(args, program, Some(std::thread::current()));
+        slot.set_parity(parity);
         if scope.active() {
             slot.set_trace(scope.ctx_word());
         }
         worker.post(Arc::clone(&slot));
         if worker.is_shutdown() {
             if let Some(reclaimed) = worker.take_mail() {
-                entry.finish_call();
                 drop(reclaimed);
                 if !held {
                     self.vcpu(vcpu)?.put_slot(slot);
@@ -174,15 +230,17 @@ impl Runtime {
             self.obs().record(LatencyKind::Call, vcpu, t0.elapsed().as_nanos() as u64);
             self.flight().record(vcpu, FlightKind::Handoff, ep, program);
         }
+        drop(guard);
         Ok((rets, response))
     }
 
     /// Caller-thread inline dispatch ([`crate::EntryOptions::inline_ok`]):
-    /// claim the entry, borrow a CD from the vCPU pool for its scratch
-    /// page, and run the handler right here — no worker, no mailbox, no
-    /// park/unpark. With `payload`, the scratch page carries the request
-    /// in and the first `rets[7]` bytes back out, as in the hand-off
-    /// variant.
+    /// the caller already claimed the entry (`parity`); borrow a CD from
+    /// the vCPU pool for its scratch page and run the handler right here —
+    /// no worker, no mailbox, no park/unpark. With `payload`, the scratch
+    /// page carries the request in and the first `rets[7]` bytes back
+    /// out, as in the hand-off variant.
+    #[allow(clippy::too_many_arguments)]
     fn dispatch_inline(
         &self,
         vcpu: usize,
@@ -190,8 +248,12 @@ impl Runtime {
         args: [u64; 8],
         program: ProgramId,
         payload: Option<&[u8]>,
-        entry: &crate::entry::EntryShared,
+        entry: &EntryShared,
+        parity: u8,
     ) -> Result<([u64; 8], Option<Vec<u8>>), RtError> {
+        // Declared first ⇒ dropped last: the claim outlives the trace
+        // scope below, whose drop reads `entry.trace_ewma_ns`.
+        let _claim = ClaimGuard { entry, vcpu, parity };
         let vc = self.vcpu(vcpu)?;
         let cell = self.stats.cell(vcpu);
         let sampled = self.obs().try_sample();
@@ -199,13 +261,6 @@ impl Runtime {
         // The inline call span; the drop guard closes it on the early
         // kill/fault returns too, restoring the caller's trace context.
         let call_scope = self.spans().call_scope(sampled, vcpu, ep, Some(&entry.trace_ewma_ns));
-        // Claim an in-flight slot, then re-check state — same kill
-        // protocol as the hand-off path.
-        entry.active.fetch_add(1, Ordering::AcqRel);
-        if entry.entry_state() != EntryState::Active {
-            entry.active.fetch_sub(1, Ordering::AcqRel);
-            return Err(RtError::EntryDead(ep));
-        }
         let handler = entry.handler();
         // A payload call owns a CD up front (the scratch page carries the
         // bytes both ways); a plain call borrows one lazily, only if the
@@ -253,7 +308,6 @@ impl Runtime {
         if let Some(th0) = th0 {
             self.obs().record(LatencyKind::Handler, vcpu, th0.elapsed().as_nanos() as u64);
         }
-        entry.finish_call();
         let killed = entry.entry_state() == EntryState::Dead;
         match result {
             Ok((rets, lazy)) => {
@@ -272,7 +326,7 @@ impl Runtime {
                 if killed {
                     return Err(RtError::Aborted(ep));
                 }
-                entry.calls.fetch_add(1, Ordering::Relaxed);
+                entry.record_completion(vcpu);
                 // `inline_calls` alone records the completion: the
                 // aggregate `calls` getter derives hand-off + inline, so
                 // the fast path pays one counter increment, not two.
@@ -365,28 +419,12 @@ impl Runtime {
         }
     }
 
-    #[allow(clippy::type_complexity)]
-    fn prepare_payload(
-        &self,
-        vcpu: usize,
-        ep: EntryId,
-        args: [u64; 8],
-        program: ProgramId,
-        payload: &[u8],
-    ) -> Result<(&crate::entry::EntryShared, Arc<WorkerHandle>, Arc<CallSlot>, bool), RtError>
-    {
-        // Same as `prepare`, but the payload is written before the fill
-        // publishes the slot.
-        let (entry, worker, slot, held) = self.prepare_parts(vcpu, ep)?;
-        slot.write_payload(payload);
-        slot.fill(args, program, Some(std::thread::current()));
-        Ok((entry, worker, slot, held))
-    }
-
     /// Asynchronous dispatch: returns a handle; the caller continues
     /// immediately ("the caller and worker proceed independently").
     /// Always hands off to a worker — inline execution would defeat the
-    /// point of an async call.
+    /// point of an async call. The *worker* releases the entry claim
+    /// when the handler completes (the caller may be long gone), using
+    /// the parity that rides the slot.
     pub(crate) fn dispatch_async(
         &self,
         vcpu: usize,
@@ -395,7 +433,16 @@ impl Runtime {
         program: ProgramId,
     ) -> Result<AsyncCall, RtError> {
         let sampled = self.obs().try_sample();
-        let (_entry, worker, slot, held) = self.prepare(vcpu, ep, args, program, false)?;
+        let (entry, parity) = self.claim(vcpu, ep)?;
+        let (worker, slot, held) = match self.acquire(vcpu, entry) {
+            Ok(t) => t,
+            Err(e) => {
+                entry.finish_call(vcpu, parity);
+                return Err(e);
+            }
+        };
+        slot.fill(args, program, None);
+        slot.set_parity(parity);
         // The async span is not installed (the caller continues past the
         // dispatch); it closes when the completion is observed. The
         // context word rides the slot so the worker's handler span — and
@@ -405,6 +452,25 @@ impl Runtime {
             slot.set_trace(tok.ctx.pack());
         }
         worker.post(Arc::clone(&slot));
+        // Racing a kill, as in the sync path — but here nobody would
+        // ever rendezvous with the orphaned slot, so reclaiming it (and
+        // the claim) is the only thing standing between a shutdown race
+        // and a leak that wedges `wait_drained`.
+        if worker.is_shutdown() {
+            if let Some(reclaimed) = worker.take_mail() {
+                entry.finish_call(vcpu, parity);
+                drop(reclaimed);
+                if let Some(tok) = trace {
+                    self.spans().end_token(tok, None);
+                }
+                if !held {
+                    self.vcpu(vcpu)?.put_slot(slot);
+                } else {
+                    slot.reset();
+                }
+                return Err(RtError::Aborted(ep));
+            }
+        }
         self.stats.cell(vcpu).async_calls.fetch_add(1, Ordering::Relaxed);
         if sampled {
             self.flight().record(vcpu, FlightKind::Async, ep, program);
@@ -434,41 +500,18 @@ impl Runtime {
         r
     }
 
+    /// Acquire the call's transport resources — worker and CD — for an
+    /// entry the caller has already claimed. Does **not** release the
+    /// claim on failure; the caller owns that (via its `ClaimGuard` or
+    /// an explicit `finish_call`), so the release happens exactly once.
     #[allow(clippy::type_complexity)]
-    fn prepare(
+    fn acquire(
         &self,
         vcpu: usize,
-        ep: EntryId,
-        args: [u64; 8],
-        program: ProgramId,
-        sync: bool,
-    ) -> Result<(&crate::entry::EntryShared, Arc<WorkerHandle>, Arc<CallSlot>, bool), RtError>
-    {
-        let (entry, worker, slot, held) = self.prepare_parts(vcpu, ep)?;
-        slot.fill(args, program, sync.then(std::thread::current));
-        Ok((entry, worker, slot, held))
-    }
-
-    /// Acquire the call's resources (entry claim, worker, CD) without
-    /// publishing the slot, so callers can stage payload data first.
-    #[allow(clippy::type_complexity)]
-    fn prepare_parts(
-        &self,
-        vcpu: usize,
-        ep: EntryId,
-    ) -> Result<(&crate::entry::EntryShared, Arc<WorkerHandle>, Arc<CallSlot>, bool), RtError>
-    {
+        entry: &EntryShared,
+    ) -> Result<(Arc<WorkerHandle>, Arc<CallSlot>, bool), RtError> {
         let vc = self.vcpu(vcpu)?;
-        let entry = self.entry(ep)?;
         let cell = self.stats.cell(vcpu);
-        // Claim an in-flight slot, then re-check state so a racing kill
-        // either sees our claim or we see its state change.
-        entry.active.fetch_add(1, Ordering::AcqRel);
-        if entry.entry_state() != EntryState::Active {
-            entry.active.fetch_sub(1, Ordering::AcqRel);
-            return Err(RtError::EntryDead(ep));
-        }
-
         // Worker: lock-free pool pop, or the Frank grow path.
         let worker = match entry.pool(vcpu).pop() {
             Some(w) => w,
@@ -477,9 +520,11 @@ impl Runtime {
                 cell.workers_created.fetch_add(1, Ordering::Relaxed);
                 // Frank redirects are the slow path by definition:
                 // record unconditionally (data 0 = worker pool).
-                self.flight().record(vcpu, FlightKind::Frank, ep, 0);
-                self.spans().record_instant(vcpu, ep, SpanPhase::Frank);
-                let arc = self.entry_arc(ep).ok_or(RtError::UnknownEntry(ep))?;
+                self.flight().record(vcpu, FlightKind::Frank, entry.id, 0);
+                self.spans().record_instant(vcpu, entry.id, SpanPhase::Frank);
+                // The self-weak upgrade cannot fail while our claim is
+                // held — reclamation drains claims first.
+                let arc = entry.strong().ok_or(RtError::UnknownEntry(entry.id))?;
                 entry.pool(vcpu).grow(&arc, vcpu, self.pinned(), false)
             }
         };
@@ -497,6 +542,6 @@ impl Runtime {
         } else {
             (vc.take_slot(cell, self.flight(), self.spans()), false)
         };
-        Ok((entry, worker, slot, held))
+        Ok((worker, slot, held))
     }
 }

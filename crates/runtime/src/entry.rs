@@ -1,16 +1,34 @@
-//! Entry points: binding, lifecycle, kill and exchange.
+//! Entry points: per-entry lifecycle state, sharded in-flight accounting,
+//! and the era-parity handler-retirement protocol.
 //!
-//! The entry table is the paper's per-processor array scaled to a single
-//! shared-memory process: reads are one atomic load (wait-free), writes
-//! (bind/kill/exchange — all cold paths) go through the registry lock.
+//! The cold-path mutations themselves (bind, kill, exchange, reclaim) live
+//! in [`crate::frank`]; this module owns the data those operations act on:
+//!
+//! * **Per-vCPU lifecycle cells** (`LifeCell`): every in-flight claim and
+//!   every completion is counted on the calling vCPU's own cache line, so
+//!   the hot path never writes a line another vCPU's hot path also writes.
+//!   Kill/drain paths *sum* the shards — the same aggregate-on-read
+//!   discipline as the stats plane.
+//! * **Era-parity claims**: the entry carries an `era` counter, bumped by
+//!   each handler exchange. A claim counts itself under the era's parity
+//!   and re-validates the era afterwards, so "every call that can still
+//!   observe the previous handler" is exactly "the claims counted under
+//!   the previous parity" — a directly observable drain condition, even
+//!   under continuous new traffic.
+//! * **The limbo list**: a replaced handler is quarantined tagged with the
+//!   era it was retired under, and freed once that era's parity drains —
+//!   which [`EntryShared::swap_handler`] forces before installing the next
+//!   handler, so the list never holds more than about one handler no
+//!   matter how many exchanges run (the fix for the old unbounded
+//!   graveyard).
 
 use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, AtomicU8, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 use parking_lot::Mutex;
 
 use crate::worker::WorkerPool;
-use crate::{EntryId, Handler, ProgramId, RtError, Runtime, MAX_ENTRIES};
+use crate::{EntryId, Handler, ProgramId};
 
 /// Entry lifecycle states.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -71,6 +89,20 @@ impl Default for EntryOptions {
     }
 }
 
+/// One vCPU's lifecycle shard for one entry: in-flight claims split by
+/// era parity, plus the completion count. Line-aligned so two vCPUs'
+/// claim traffic never shares a cache line — the hot path's claim,
+/// finish, and completion writes all land here and nowhere else.
+#[repr(align(64))]
+#[derive(Default)]
+pub(crate) struct LifeCell {
+    /// In-flight claims, indexed by the parity of the era they were
+    /// validated under (see [`EntryShared::claim`]).
+    active: [AtomicU64; 2],
+    /// Calls completed on this vCPU (sync, async, and upcall alike).
+    completed: AtomicU64,
+}
+
 /// Shared state of one bound entry point.
 pub struct EntryShared {
     /// Entry ID.
@@ -81,25 +113,40 @@ pub struct EntryShared {
     pub opts: EntryOptions,
     /// Lifecycle state (`EntryState` as u8).
     pub state: AtomicU8,
-    /// In-flight calls (soft-kill drain gate).
-    pub active: AtomicU64,
-    /// Completed calls.
-    pub calls: AtomicU64,
+    /// Handler-exchange era. Bumped (under `xlock`) by every
+    /// [`EntryShared::swap_handler`]; claims re-validate against it so
+    /// each in-flight call is attributed to exactly one era's parity.
+    /// The hot path only *reads* this line — it stays shared in every
+    /// vCPU's cache and transfers only on an exchange (a cold path).
+    era: AtomicU64,
+    /// Per-vCPU lifecycle shards (claims + completions).
+    life: Box<[LifeCell]>,
     handler_ptr: AtomicPtr<Handler>,
-    /// Replaced handlers are quarantined here so in-flight calls through
-    /// the old pointer stay valid (freed when the entry drops). The boxes
-    /// are reconstructed from `Box::into_raw` pointers handed out via
-    /// `handler_ptr`, hence `Box` inside the `Vec`.
+    /// Retired handlers, tagged with the era they were retired under.
+    /// A tag-`t` handler can only be referenced by claims validated at
+    /// era `t` (counted under parity `t & 1`): once that parity drains
+    /// the box is freed. `swap_handler` forces the drain before every
+    /// install, so the list holds at most ~one handler in steady state.
     #[allow(clippy::vec_box)]
-    handler_graveyard: Mutex<Vec<Box<Handler>>>,
+    limbo: Mutex<Vec<(u64, Box<Handler>)>>,
+    /// Serializes handler exchanges (and opportunistic limbo drains):
+    /// the era-parity argument needs at most two live eras at any time.
+    /// Deliberately *not* the Frank lock — the quiesce wait inside an
+    /// exchange must not block unrelated binds.
+    xlock: Mutex<()>,
+    /// Self-reference, set at construction ([`Arc::new_cyclic`]). The
+    /// grow-on-demand path upgrades this instead of scanning a registry
+    /// under a lock, and tests observe entry reclamation through
+    /// downgraded copies of it.
+    weak_self: Weak<EntryShared>,
     /// Worker-side mailbox spin budget before an idle worker parks
     /// (0 = park immediately). Mirrors the runtime's [`crate::SpinPolicy`]
     /// so the rendezvous is spin-paired on both sides; updated by
-    /// [`Runtime::set_spin_policy`] through the registry.
+    /// [`crate::Runtime::set_spin_policy`] through Frank.
     pub(crate) idle_spin: AtomicU32,
     /// The runtime's payload plane, shared in at bind so handlers reach
     /// region registries and buffer pools from [`crate::CallCtx`] without
-    /// a back reference to the [`Runtime`].
+    /// a back reference to the [`crate::Runtime`].
     pub(crate) bulk: Arc<crate::bulk::BulkState>,
     /// The latency-histogram plane, shared in at bind for the same
     /// no-back-reference reason (workers time handler runs, the bulk
@@ -110,7 +157,7 @@ pub struct EntryShared {
     pub(crate) flight: Arc<crate::flight::FlightPlane>,
     /// The facility counters, shared in at bind so the contained-fault
     /// dump can attach the last [`crate::Snapshot`] from the worker
-    /// thread (which has no back reference to the [`Runtime`]).
+    /// thread (which has no back reference to the [`crate::Runtime`]).
     pub(crate) stats: Arc<crate::stats::RuntimeStats>,
     /// The tracing plane, shared in at bind (workers open handler spans
     /// under the propagated context; dispatch opens call spans).
@@ -124,7 +171,7 @@ pub struct EntryShared {
 
 impl EntryShared {
     #[allow(clippy::too_many_arguments)] // internal ctor mirroring the field list
-    fn new(
+    pub(crate) fn new_arc(
         id: EntryId,
         name: &str,
         opts: EntryOptions,
@@ -136,16 +183,18 @@ impl EntryShared {
         flight: Arc<crate::flight::FlightPlane>,
         stats: Arc<crate::stats::RuntimeStats>,
         spans: Arc<crate::span::SpanPlane>,
-    ) -> Self {
-        EntryShared {
+    ) -> Arc<Self> {
+        Arc::new_cyclic(|weak| EntryShared {
             id,
             name: name.to_string(),
             opts,
             state: AtomicU8::new(EntryState::Active as u8),
-            active: AtomicU64::new(0),
-            calls: AtomicU64::new(0),
+            era: AtomicU64::new(0),
+            life: (0..n_vcpus).map(|_| LifeCell::default()).collect(),
             handler_ptr: AtomicPtr::new(Box::into_raw(Box::new(handler))),
-            handler_graveyard: Mutex::new(Vec::new()),
+            limbo: Mutex::new(Vec::new()),
+            xlock: Mutex::new(()),
+            weak_self: weak.clone(),
             idle_spin: AtomicU32::new(idle_spin),
             bulk,
             obs,
@@ -154,7 +203,13 @@ impl EntryShared {
             spans,
             trace_ewma_ns: AtomicU64::new(0),
             pools: (0..n_vcpus).map(|_| WorkerPool::new()).collect(),
-        }
+        })
+    }
+
+    /// Upgrade the self-reference (grow-on-demand path). Cannot fail
+    /// while a claim on this entry is held — a claim blocks reclamation.
+    pub(crate) fn strong(&self) -> Option<Arc<EntryShared>> {
+        self.weak_self.upgrade()
     }
 
     /// Contained-fault diagnostics: the last counter snapshot plus the
@@ -187,29 +242,158 @@ impl EntryShared {
         &self.pools[vcpu]
     }
 
-    /// The current handler (one atomic load + an `Arc` clone).
+    /// Claim an in-flight call slot on `vcpu`; returns the era parity the
+    /// claim was counted under (pass it to [`EntryShared::finish_call`]).
+    ///
+    /// The loop re-validates the era *after* the increment: if an
+    /// exchange flipped the era in between, the claim backs out and
+    /// retries under the new parity. In the sequentially-consistent total
+    /// order this guarantees that any claim whose later `handler()` load
+    /// can still observe a pre-swap handler is counted under the pre-swap
+    /// parity — which the swap drains before freeing that handler. All
+    /// three operations touch this vCPU's own [`LifeCell`] line plus a
+    /// read-only load of the shared era word; a `SeqCst` RMW costs the
+    /// same as the `AcqRel` it replaces on x86/ARM.
+    #[inline]
+    pub(crate) fn claim(&self, vcpu: usize) -> u8 {
+        let cell = &self.life[vcpu];
+        loop {
+            let era = self.era.load(Ordering::SeqCst);
+            let parity = (era & 1) as usize;
+            cell.active[parity].fetch_add(1, Ordering::SeqCst);
+            if self.era.load(Ordering::SeqCst) == era {
+                return parity as u8;
+            }
+            cell.active[parity].fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Release a claim taken on `vcpu` under `parity` (invoked by the
+    /// side that owns the claim: the client for sync/inline calls, the
+    /// worker for async ones).
+    #[inline]
+    pub(crate) fn finish_call(&self, vcpu: usize, parity: u8) {
+        self.life[vcpu].active[parity as usize & 1].fetch_sub(1, Ordering::Release);
+    }
+
+    /// Count one completed call on `vcpu` (a `Relaxed` increment on the
+    /// vCPU's own lifecycle line — the sharded successor of the old
+    /// shared `calls` counter).
+    #[inline]
+    pub(crate) fn record_completion(&self, vcpu: usize) {
+        self.life[vcpu].completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// In-flight claims, summed across every vCPU and both parities —
+    /// the kill paths' drain gate (aggregate-on-read; cold).
+    pub fn active(&self) -> u64 {
+        self.life
+            .iter()
+            .map(|c| {
+                c.active[0].load(Ordering::SeqCst) + c.active[1].load(Ordering::SeqCst)
+            })
+            .sum()
+    }
+
+    /// In-flight claims counted under `parity`, summed across vCPUs.
+    fn parity_active(&self, parity: usize) -> u64 {
+        self.life.iter().map(|c| c.active[parity & 1].load(Ordering::SeqCst)).sum()
+    }
+
+    /// Completed calls, summed across every vCPU (diagnostics).
+    pub fn completions(&self) -> u64 {
+        self.life.iter().map(|c| c.completed.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Completed calls on one vCPU (the shard itself; used by tests that
+    /// verify the shards sum exactly).
+    pub(crate) fn completions_on(&self, vcpu: usize) -> u64 {
+        self.life[vcpu].completed.load(Ordering::Relaxed)
+    }
+
+    /// The current handler (one atomic load + an `Arc` clone). The load
+    /// is `SeqCst` so it participates in the era-parity total order; on
+    /// the architectures this runtime targets it compiles to the same
+    /// instruction as the `Acquire` load it replaced.
     pub fn handler(&self) -> Handler {
-        let p = self.handler_ptr.load(Ordering::Acquire);
-        // Safety: handler boxes are only freed when the entry drops; swaps
-        // quarantine the old box in the graveyard.
+        let p = self.handler_ptr.load(Ordering::SeqCst);
+        // Safety: a handler box is only freed once the era parity that
+        // could observe it has drained (see `swap_handler`), and the
+        // caller holds a claim, which pins the current parity.
         unsafe { (*p).clone() }
     }
 
     /// Replace the handler (Exchange, §4.5.2) and clear worker overrides
-    /// so initialization reruns against the new code.
-    pub fn swap_handler(&self, h: Handler) {
+    /// so initialization reruns against the new code. Returns the number
+    /// of previously retired handlers freed by this exchange's quiesce.
+    ///
+    /// Protocol (serialized by `xlock`): wait for the *previous* era's
+    /// parity to drain — after which every handler already in limbo is
+    /// unreferenced and freed — then swap the new handler in, quarantine
+    /// the old box tagged with the current era, and bump the era. The
+    /// two-era window keeps the parity counters unambiguous, and limbo
+    /// never accumulates: 10k exchanges leave at most one box pending.
+    ///
+    /// Must not be called from one of this entry's own handlers — the
+    /// quiesce can wait on the caller's own claim (same restriction as
+    /// `wait_drained`/`hard_kill`).
+    pub fn swap_handler(&self, h: Handler) -> u64 {
+        let _x = self.xlock.lock();
+        let era = self.era.load(Ordering::SeqCst);
+        if era > 0 {
+            let old_parity = ((era - 1) & 1) as usize;
+            while self.parity_active(old_parity) != 0 {
+                std::thread::yield_now();
+            }
+        }
+        // The previous era has quiesced: every limbo tag is < era, and a
+        // tag-t handler is only reachable from era-t claims, all drained.
+        let freed = {
+            let mut limbo = self.limbo.lock();
+            let n = limbo.len() as u64;
+            limbo.clear();
+            n
+        };
         let new = Box::into_raw(Box::new(h));
-        let old = self.handler_ptr.swap(new, Ordering::AcqRel);
+        let old = self.handler_ptr.swap(new, Ordering::SeqCst);
         // Safety: `old` came from Box::into_raw at bind or a prior swap.
-        self.handler_graveyard.lock().push(unsafe { Box::from_raw(old) });
+        self.limbo.lock().push((era, unsafe { Box::from_raw(old) }));
+        self.era.fetch_add(1, Ordering::SeqCst);
+        let cold = self.stats.cell(0);
+        cold.handlers_retired.fetch_add(1, Ordering::Relaxed);
+        cold.handlers_freed.fetch_add(freed, Ordering::Relaxed);
+        if freed > 0 {
+            self.flight.record(0, crate::flight::FlightKind::Retire, self.id, freed as u32);
+        }
         for p in &self.pools {
             p.for_each_worker(|w| w.clear_override());
         }
+        freed
     }
 
-    /// One in-flight call completed (invoked by the worker loop).
-    pub fn finish_call(&self) {
-        self.active.fetch_sub(1, Ordering::AcqRel);
+    /// Opportunistically free quiesced limbo handlers (Frank maintenance;
+    /// also the final drain a reclaim performs once the entry is fully
+    /// drained). Returns how many were freed.
+    pub(crate) fn try_drain_limbo(&self) -> u64 {
+        let Some(_x) = self.xlock.try_lock() else { return 0 };
+        let mut limbo = self.limbo.lock();
+        let before = limbo.len();
+        // `xlock` is held, so the era cannot advance under us; a tag-t
+        // box is free once parity t&1 shows no claims (conservative when
+        // era ≥ t+2 traffic shares the parity, but never unsound).
+        limbo.retain(|(tag, _)| self.parity_active((tag & 1) as usize) != 0);
+        let freed = (before - limbo.len()) as u64;
+        if freed > 0 {
+            self.stats.cell(0).handlers_freed.fetch_add(freed, Ordering::Relaxed);
+            self.flight.record(0, crate::flight::FlightKind::Retire, self.id, freed as u32);
+        }
+        freed
+    }
+
+    /// Retired-but-not-yet-freed handlers (diagnostics; the exchange
+    /// regression test asserts this stays bounded).
+    pub fn limbo_len(&self) -> usize {
+        self.limbo.lock().len()
     }
 
     /// Shut down and join every worker (called off the worker threads).
@@ -227,168 +411,6 @@ impl Drop for EntryShared {
             // Safety: the final handler box, never freed elsewhere.
             unsafe { drop(Box::from_raw(p)) };
         }
-    }
-}
-
-impl Runtime {
-    /// Bind a service: claim an entry ID (specific one via
-    /// `opts.want_ep`), install the handler, and pre-spawn
-    /// `opts.initial_workers` pooled workers on every vCPU. Also registers
-    /// `name` with the name table when non-empty.
-    pub fn bind(
-        self: &Arc<Self>,
-        name: &str,
-        opts: EntryOptions,
-        handler: Handler,
-    ) -> Result<EntryId, RtError> {
-        let mut registry = self.registry_lock();
-        let ep = match opts.want_ep {
-            Some(ep) => {
-                if ep >= MAX_ENTRIES {
-                    return Err(RtError::UnknownEntry(ep));
-                }
-                if !self.table_ptr(ep).load(Ordering::Acquire).is_null() {
-                    return Err(RtError::TableFull);
-                }
-                ep
-            }
-            None => (0..MAX_ENTRIES)
-                .find(|i| self.table_ptr(*i).load(Ordering::Acquire).is_null())
-                .ok_or(RtError::TableFull)?,
-        };
-        let entry = Arc::new(EntryShared::new(
-            ep,
-            name,
-            opts,
-            handler,
-            self.n_vcpus(),
-            crate::worker_idle_budget(self.spin_policy()),
-            Arc::clone(self.bulk()),
-            Arc::clone(self.obs()),
-            Arc::clone(self.flight()),
-            Arc::clone(&self.stats),
-            Arc::clone(self.spans()),
-        ));
-        for v in 0..self.n_vcpus() {
-            for _ in 0..opts.initial_workers {
-                entry.pool(v).grow(&entry, v, self.pinned(), true);
-            }
-        }
-        let raw = Arc::as_ptr(&entry) as *mut EntryShared;
-        registry.push(Arc::clone(&entry));
-        self.table_ptr(ep).store(raw, Ordering::Release);
-        drop(registry);
-        if !name.is_empty() {
-            self.names.lock().insert(name.to_string(), ep);
-        }
-        Ok(ep)
-    }
-
-    /// Soft-kill `ep`: reject new calls, let in-progress calls drain.
-    /// Resources are reaped by [`Runtime::wait_drained`] or shutdown.
-    pub fn soft_kill(&self, ep: EntryId, by: ProgramId) -> Result<(), RtError> {
-        let e = self.entry(ep)?;
-        self.check_owner(e, by)?;
-        match e.entry_state() {
-            EntryState::Active => {
-                e.state.store(EntryState::SoftKilled as u8, Ordering::Release);
-                // Lifecycle events are facility-global, not tied to a
-                // calling vCPU; by convention they land on ring 0.
-                e.flight.record(0, crate::flight::FlightKind::SoftKill, ep, by);
-                Ok(())
-            }
-            _ => Err(RtError::EntryDead(ep)),
-        }
-    }
-
-    /// Wait for a soft-killed entry to drain, then reap its workers.
-    /// Must not be called from one of the entry's own handlers.
-    pub fn wait_drained(&self, ep: EntryId) -> Result<(), RtError> {
-        let e = self.entry(ep)?;
-        while e.active.load(Ordering::Acquire) != 0 {
-            std::thread::yield_now();
-        }
-        e.state.store(EntryState::Dead as u8, Ordering::Release);
-        e.reap_workers();
-        Ok(())
-    }
-
-    /// Hard-kill `ep`: reject new calls, abort callers of in-progress
-    /// calls (they observe [`RtError::Aborted`]), reap all workers. Must
-    /// not be called from one of the entry's own handlers.
-    pub fn hard_kill(&self, ep: EntryId, by: ProgramId) -> Result<(), RtError> {
-        let e = self.entry(ep)?;
-        self.check_owner(e, by)?;
-        if e.entry_state() == EntryState::Dead {
-            return Err(RtError::EntryDead(ep));
-        }
-        e.state.store(EntryState::Dead as u8, Ordering::SeqCst);
-        e.flight.record(0, crate::flight::FlightKind::HardKill, ep, by);
-        e.reap_workers();
-        Ok(())
-    }
-
-    /// Exchange (§4.5.2): atomically replace the handler of a live entry
-    /// — on-line replacement of an executing server. Worker-local
-    /// initialization overrides are cleared.
-    pub fn exchange(&self, ep: EntryId, h: Handler, by: ProgramId) -> Result<(), RtError> {
-        let e = self.entry(ep)?;
-        self.check_owner(e, by)?;
-        if e.entry_state() != EntryState::Active {
-            return Err(RtError::EntryDead(ep));
-        }
-        e.swap_handler(h);
-        e.flight.record(0, crate::flight::FlightKind::Exchange, ep, by);
-        Ok(())
-    }
-
-    /// Free a dead entry's ID for rebinding. Kept separate from the kill
-    /// so stale callers racing a kill observe `EntryDead`, never an
-    /// unrelated new service.
-    pub fn reclaim_slot(&self, ep: EntryId, by: ProgramId) -> Result<(), RtError> {
-        let e = self.entry(ep)?;
-        self.check_owner(e, by)?;
-        if e.entry_state() != EntryState::Dead {
-            return Err(RtError::EntryDead(ep));
-        }
-        // The registry keeps the Arc alive for racing readers; only the
-        // table slot is released.
-        self.table_ptr(ep).store(std::ptr::null_mut(), Ordering::Release);
-        Ok(())
-    }
-
-    /// Completed calls of entry `ep` — sync (inline or hand-off), async,
-    /// and upcall alike (diagnostics; used by stats-conservation checks).
-    pub fn entry_completions(&self, ep: EntryId) -> Result<u64, RtError> {
-        Ok(self.entry(ep)?.calls.load(Ordering::Relaxed))
-    }
-
-    /// Shrink the pooled workers of (`ep`, `vcpu`) down to `keep`.
-    pub fn shrink_workers(&self, ep: EntryId, vcpu: usize, keep: usize) -> Result<usize, RtError> {
-        let e = self.entry(ep)?;
-        if vcpu >= self.n_vcpus() {
-            return Err(RtError::BadVcpu(vcpu));
-        }
-        Ok(e.pool(vcpu).shrink_to(keep))
-    }
-
-    fn check_owner(&self, e: &EntryShared, by: ProgramId) -> Result<(), RtError> {
-        if e.opts.owner != 0 && by != 0 && e.opts.owner != by {
-            return Err(RtError::NotOwner);
-        }
-        Ok(())
-    }
-
-    pub(crate) fn table_ptr(&self, ep: EntryId) -> &AtomicPtr<EntryShared> {
-        &self.table()[ep]
-    }
-
-    /// The `Arc` behind entry `ep` (cold path: pool growth, reaping).
-    pub(crate) fn entry_arc(&self, ep: EntryId) -> Option<Arc<EntryShared>> {
-        let raw = self.table_ptr(ep).load(Ordering::Acquire);
-        if raw.is_null() {
-            return None;
-        }
-        self.registry_lock().iter().find(|e| Arc::as_ptr(e) == raw).cloned()
+        // Limbo boxes drop with the Vec.
     }
 }

@@ -73,6 +73,15 @@ pub enum FlightKind {
     Fault = 11,
     /// Handler exchanged on a live entry (`data` = requester program).
     Exchange = 12,
+    /// Entry published: bound and broadcast to every vCPU's table
+    /// replica (`data` = owner program).
+    Publish = 13,
+    /// Retired handler(s) freed after their era quiesced (`data` =
+    /// handlers freed).
+    Retire = 14,
+    /// Dead entry reclaimed: unpublished, grace period run, registry
+    /// reference dropped (`data` = requester program).
+    Reclaim = 15,
 }
 
 impl FlightKind {
@@ -90,6 +99,9 @@ impl FlightKind {
             10 => FlightKind::HardKill,
             11 => FlightKind::Fault,
             12 => FlightKind::Exchange,
+            13 => FlightKind::Publish,
+            14 => FlightKind::Retire,
+            15 => FlightKind::Reclaim,
             _ => return None,
         })
     }
@@ -109,6 +121,9 @@ impl FlightKind {
             FlightKind::HardKill => "hard_kill",
             FlightKind::Fault => "fault",
             FlightKind::Exchange => "exchange",
+            FlightKind::Publish => "publish",
+            FlightKind::Retire => "retire",
+            FlightKind::Reclaim => "reclaim",
         }
     }
 }

@@ -11,8 +11,8 @@
 //! | call descriptor + stack page | [`slot::CallSlot`] with a 4 KB scratch page, per-vCPU lock-free pool |
 //! | hand-off scheduling | `thread::park` / `Thread::unpark` direct switch |
 //! | 8 registers each way | `[u64; 8]` argument/result frames, never touching shared queues |
-//! | service table (1024, per CPU) | `AtomicPtr` entry table, wait-free reads |
-//! | Frank (slow-path resource manager) | the grow path: pool-empty events create workers/slots |
+//! | service table (1024, per CPU) | per-vCPU `AtomicPtr` table **replicas**, wait-free reads, cold-path publish broadcast |
+//! | Frank (slow-path resource manager) | [`frank`]: bind/kill/exchange/reclaim + the grow/shrink paths, epoch-based reclamation |
 //! | program-ID authentication | `caller_program` in [`CallCtx`] + [`auth::Acl`] |
 //! | soft-/hard-kill, Exchange | [`Runtime::soft_kill`], [`Runtime::hard_kill`], [`Runtime::exchange`] |
 //! | worker initialization (§4.5.3) | per-worker handler override via [`CallCtx::set_worker_handler`] |
@@ -24,13 +24,18 @@
 //! | "a PPC accesses no shared data" (§3) | per-vCPU `#[repr(align(64))]` [`stats::StatsCell`]s, aggregated only on read |
 //!
 //! The common-case call path performs **no lock acquisitions and no
-//! SeqCst atomics**: pools are lock-free queues (`crossbeam`), the entry
-//! table is read with a single atomic load, the client↔worker rendezvous
-//! is an atomic mailbox plus an adaptive spin-then-park wait, and every
-//! fast-path counter is a `Relaxed` increment on the calling vCPU's own
-//! cache line. Locks appear only on cold paths (registration, kill,
-//! exchange, worker-override installation) — exactly the paper's
-//! discipline.
+//! writes to a cache line any other vCPU's fast path writes**: pools are
+//! lock-free queues (`crossbeam`), the entry lookup is a single atomic
+//! load of the calling vCPU's own table replica, the client↔worker
+//! rendezvous is an atomic mailbox plus an adaptive spin-then-park wait,
+//! and every fast-path counter — including the entry's in-flight and
+//! completion accounting — is an increment on the calling vCPU's own
+//! cache line. The handful of `SeqCst` operations the epoch-reclamation
+//! protocol adds are all vCPU-local RMWs or loads of read-mostly shared
+//! words (the era counters, the table replica), which stay resident in
+//! every cache until a cold-path exchange or reclaim actually flips
+//! them. Locks appear only on cold paths (registration, kill, exchange,
+//! worker-override installation) — exactly the paper's discipline.
 //!
 //! Three dispatch modes cover the latency spectrum (measured by the
 //! `rt_modes` bench; see `EXPERIMENTS.md`):
@@ -63,6 +68,7 @@ pub mod call;
 pub mod entry;
 pub mod export;
 pub mod flight;
+pub mod frank;
 pub mod naming;
 pub mod obs;
 pub mod region;
@@ -73,8 +79,6 @@ pub mod worker;
 
 use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU8, AtomicU64, Ordering};
 use std::sync::Arc;
-
-use parking_lot::Mutex;
 
 pub use bulk::{BufferPool, BulkState, PoolBuf};
 pub use entry::{EntryOptions, EntryState};
@@ -278,9 +282,10 @@ impl<'a> CallCtx<'a> {
         }
     }
 
-    /// Number of calls this entry point has completed (diagnostics).
+    /// Number of calls this entry point has completed (diagnostics; a
+    /// sum over the per-vCPU lifecycle shards).
     pub fn entry_calls(&self) -> u64 {
-        self.entry.calls.load(Ordering::Relaxed)
+        self.entry.completions()
     }
 
     // ---- bulk data: the handler side of the payload plane (§4.2) ----
@@ -494,8 +499,16 @@ impl<'a> CallCtx<'a> {
 pub type Handler = Arc<dyn Fn(&mut CallCtx<'_>) -> [u64; 8] + Send + Sync>;
 
 /// Per-virtual-processor state: the CD pool (all services on this vCPU
-/// share it) — the direct analogue of the paper's per-processor pools.
+/// share it) and this vCPU's replica of the service table — the direct
+/// analogue of the paper's per-processor pools and per-processor table.
 pub struct VcpuState {
+    /// This vCPU's service-table replica: one atomic pointer per entry
+    /// ID, read only by callers on this vCPU (a single cache-local load
+    /// per call), written only by Frank's publish/unpublish broadcasts.
+    pub(crate) table: Box<[AtomicPtr<EntryShared>]>,
+    /// This vCPU's pin cell for the epoch-reclamation protocol (see
+    /// [`frank`]).
+    pub(crate) epoch: frank::EpochCell,
     /// Lock-free pool of idle call slots.
     pub(crate) cd_pool: crossbeam::queue::ArrayQueue<Arc<CallSlot>>,
     /// Slots ever created on this vCPU (diagnostics).
@@ -511,6 +524,8 @@ pub struct VcpuState {
 impl VcpuState {
     fn new(id: usize, initial_cds: usize) -> Arc<Self> {
         let v = Arc::new(VcpuState {
+            table: (0..MAX_ENTRIES).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect(),
+            epoch: frank::EpochCell::default(),
             cd_pool: crossbeam::queue::ArrayQueue::new(256),
             cds_created: AtomicU64::new(0),
             ewma_ns: AtomicU64::new(0),
@@ -581,19 +596,14 @@ impl VcpuState {
     }
 }
 
-/// The PPC runtime: virtual processors, the entry table, and the cold-path
-/// registries.
+/// The PPC runtime: virtual processors (each with its own service-table
+/// replica) and the Frank cold-path resource manager.
 pub struct Runtime {
-    vcpus: Vec<Arc<VcpuState>>,
-    /// Wait-free entry table: one atomic pointer per entry ID, per the
-    /// paper's "simple array with direct indexing".
-    table: Vec<AtomicPtr<EntryShared>>,
-    /// Cold-path registry holding strong references for the table's raw
-    /// pointers (and for unbound entries until shutdown, so readers racing
-    /// a kill never observe a dangling pointer).
-    registry: Mutex<Vec<Arc<EntryShared>>>,
-    /// Name table (cold path).
-    pub(crate) names: Mutex<std::collections::HashMap<String, EntryId>>,
+    pub(crate) vcpus: Vec<Arc<VcpuState>>,
+    /// The cold-path resource manager: entry registry (the strong
+    /// references behind every published table pointer), name table, and
+    /// the pin-era grace machinery (see [`frank`]).
+    pub(crate) frank: frank::Frank,
     /// Facility counters, sharded per vCPU. (`Arc` so the bulk engine can
     /// account from handler context without a back reference.)
     pub stats: Arc<RuntimeStats>,
@@ -686,9 +696,7 @@ impl Runtime {
         let stats = Arc::new(RuntimeStats::new(n_vcpus));
         Arc::new(Runtime {
             vcpus: (0..n_vcpus).map(|i| VcpuState::new(i, opts.initial_cds)).collect(),
-            table: (0..MAX_ENTRIES).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect(),
-            registry: Mutex::new(Vec::new()),
-            names: Mutex::new(std::collections::HashMap::new()),
+            frank: frank::Frank::new(),
             bulk: bulk::BulkState::new(n_vcpus, Arc::clone(&stats)),
             obs: Arc::new(ObsState::new(n_vcpus)),
             flight: Arc::new(FlightPlane::new(n_vcpus, opts.flight_capacity)),
@@ -716,7 +724,7 @@ impl Runtime {
         // Propagate the paired worker-side idle spin budget to every bound
         // entry (cold path; new binds pick it up from the policy directly).
         let budget = worker_idle_budget(p);
-        for e in self.registry_lock().iter() {
+        for e in self.frank.inner.lock().entries.iter().flatten() {
             e.idle_spin.store(budget, Ordering::Relaxed);
         }
     }
@@ -737,16 +745,6 @@ impl Runtime {
 
     pub(crate) fn vcpu(&self, v: usize) -> Result<&Arc<VcpuState>, RtError> {
         self.vcpus.get(v).ok_or(RtError::BadVcpu(v))
-    }
-
-    pub(crate) fn registry_lock(
-        &self,
-    ) -> parking_lot::MutexGuard<'_, Vec<Arc<EntryShared>>> {
-        self.registry.lock()
-    }
-
-    pub(crate) fn table(&self) -> &[AtomicPtr<EntryShared>] {
-        &self.table
     }
 
     /// Whether worker pinning was requested.
@@ -869,21 +867,6 @@ impl Runtime {
     pub fn client(self: &Arc<Self>, vcpu: usize, program: ProgramId) -> Client {
         assert!(vcpu < self.vcpus.len(), "vcpu {vcpu} out of range");
         Client { rt: Arc::clone(self), vcpu, program }
-    }
-
-    /// Wait-free entry lookup (the fastpath's single atomic load).
-    pub(crate) fn entry(&self, ep: EntryId) -> Result<&EntryShared, RtError> {
-        if ep >= MAX_ENTRIES {
-            return Err(RtError::UnknownEntry(ep));
-        }
-        let p = self.table[ep].load(Ordering::Acquire);
-        if p.is_null() {
-            return Err(RtError::UnknownEntry(ep));
-        }
-        // Safety: the registry holds a strong reference for every pointer
-        // ever published in the table until Runtime shutdown, so the
-        // pointee outlives any reader.
-        Ok(unsafe { &*p })
     }
 }
 
@@ -1037,7 +1020,7 @@ impl BulkRegion {
     /// later re-bind of the same entry ID under a different owner does
     /// not inherit the grant. Cold path.
     pub fn grant(&self, ep: EntryId, write: bool) -> Result<(), RtError> {
-        let e = self.rt.entry(ep)?;
+        let e = self.rt.frank_entry(ep)?;
         if e.entry_state() != EntryState::Active {
             return Err(RtError::EntryDead(ep));
         }
@@ -1199,7 +1182,8 @@ impl Drop for Runtime {
         self.shutdown.store(1, Ordering::SeqCst);
         // Reap every live entry: signal workers and join them, then let
         // the registry drop the shared state.
-        let entries: Vec<Arc<EntryShared>> = self.registry.lock().clone();
+        let entries: Vec<Arc<EntryShared>> =
+            self.frank.inner.lock().entries.iter().flatten().cloned().collect();
         for e in &entries {
             e.state.store(EntryState::Dead as u8, Ordering::SeqCst);
             e.reap_workers();

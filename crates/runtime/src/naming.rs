@@ -2,10 +2,12 @@
 //!
 //! As in the paper, naming is separate from authentication: entry points
 //! are small integers, and the name table simply maps strings to them.
-//! Registration is a cold path (a lock is fine there); lookup results
-//! should be cached by clients, as the paper's clients do — "a client
-//! obtains the server's entry point ID from the Name Server, and uses the
-//! ID as an argument on subsequent PPC operations".
+//! Registration is a cold path; the table lives inside Frank (the
+//! single owner of cold-path registry state — reclaim drops a dead
+//! entry's automatic registration with the entry itself) and lookup
+//! results should be cached by clients, as the paper's clients do — "a
+//! client obtains the server's entry point ID from the Name Server, and
+//! uses the ID as an argument on subsequent PPC operations".
 
 use crate::{EntryId, Runtime};
 
@@ -14,17 +16,17 @@ impl Runtime {
     /// service was bound with a non-empty name). Returns any previous
     /// binding.
     pub fn ns_register(&self, name: &str, ep: EntryId) -> Option<EntryId> {
-        self.names.lock().insert(name.to_string(), ep)
+        self.frank.inner.lock().names.insert(name.to_string(), ep)
     }
 
     /// Resolve `name`.
     pub fn ns_lookup(&self, name: &str) -> Option<EntryId> {
-        self.names.lock().get(name).copied()
+        self.frank.inner.lock().names.get(name).copied()
     }
 
     /// Remove `name`, returning its binding.
     pub fn ns_unregister(&self, name: &str) -> Option<EntryId> {
-        self.names.lock().remove(name)
+        self.frank.inner.lock().names.remove(name)
     }
 }
 

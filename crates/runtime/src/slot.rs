@@ -32,6 +32,9 @@ use crossbeam::utils::CachePadded;
 /// Size of the per-call scratch page ("one-page stacks", §4.5.4).
 pub const SCRATCH_BYTES: usize = 4096;
 
+/// The result frame a shutdown-aborted call completes with.
+pub const ABORT_RETS: [u64; 8] = [u64::MAX; 8];
+
 /// Slot lifecycle states.
 pub mod state {
     /// In a pool, unowned.
@@ -58,6 +61,11 @@ pub struct CallSlot {
     has_client: AtomicBool,
     /// The handler faulted (panicked) while servicing this call.
     faulted: AtomicBool,
+    /// Era parity the dispatcher's entry claim was counted under. Rides
+    /// the hand-off so whichever side owns the claim's release (worker
+    /// for async calls) decrements the right lifecycle shard. Not
+    /// feature-gated: it is lifecycle correctness, not observability.
+    parity: AtomicU8,
     /// Packed trace context riding the hand-off (0 = no trace). Written
     /// by the client between `fill` and the mailbox post; the mailbox's
     /// Release/Acquire edge publishes it to the worker.
@@ -84,6 +92,7 @@ impl CallSlot {
             caller_program: AtomicU32::new(0),
             has_client: AtomicBool::new(false),
             faulted: AtomicBool::new(false),
+            parity: AtomicU8::new(0),
             #[cfg(feature = "obs")]
             trace: AtomicU64::new(0),
             client: UnsafeCell::new(None),
@@ -155,6 +164,26 @@ impl CallSlot {
     /// Worker side: the caller's program identity.
     pub fn caller_program(&self) -> u32 {
         self.caller_program.load(Ordering::Relaxed)
+    }
+
+    /// Client side, after `fill` and before posting: record the claim's
+    /// era parity. The mailbox publish orders it for the worker.
+    #[inline]
+    pub(crate) fn set_parity(&self, p: u8) {
+        self.parity.store(p, Ordering::Relaxed);
+    }
+
+    /// Worker side: the claim's era parity.
+    #[inline]
+    pub(crate) fn parity(&self) -> u8 {
+        self.parity.load(Ordering::Relaxed)
+    }
+
+    /// Whether a client thread waits synchronously on this call — which
+    /// side owns the claim release (see `worker_loop`).
+    #[inline]
+    pub(crate) fn has_client(&self) -> bool {
+        self.has_client.load(Ordering::Relaxed)
     }
 
     /// Worker side: run `f` with exclusive access to the scratch page.

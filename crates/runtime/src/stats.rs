@@ -141,6 +141,15 @@ counters! {
     /// Bulk accesses rejected: no grant, bad descriptor, or revoked
     /// mid-transfer.
     bulk_denied,
+    /// Handlers retired by Exchange into the era-tagged limbo list.
+    handlers_retired,
+    /// Retired handlers freed after their era quiesced. Trails
+    /// `handlers_retired` by at most the bounded limbo length — the
+    /// anti-leak invariant the churn tests assert.
+    handlers_freed,
+    /// Dead entries reclaimed (unpublished + grace period + registry
+    /// reference dropped).
+    entries_reclaimed,
 }
 
 /// Sharded facility counters: one padded cell per virtual processor.
@@ -225,7 +234,7 @@ mod tests {
         let snap = s.snapshot();
         let fields = snap.fields();
         // `calls` plus one entry per StatsCell counter, no drift.
-        assert_eq!(fields.len(), 16);
+        assert_eq!(fields.len(), 19);
         assert_eq!(fields[0], ("calls", 7));
         let get = |name: &str| fields.iter().find(|(n, _)| *n == name).unwrap().1;
         assert_eq!(get("inline_calls"), 7);

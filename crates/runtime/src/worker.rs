@@ -318,11 +318,14 @@ fn worker_loop(entry: Arc<crate::entry::EntryShared>, me: Arc<WorkerHandle>, vcp
             // popping this worker and our shutdown: complete it with the
             // abort marker so the caller is never left parked forever
             // (it will observe the entry's Dead state and report
-            // `Aborted`), and balance the in-flight count its dispatch
-            // claimed.
+            // `Aborted`). A waiting client owns the claim release (its
+            // guard drops after it reads the entry state); for async
+            // calls nobody else will, so release it here.
             if let Some(slot) = me.take_mail() {
-                entry.finish_call();
-                slot.complete([u64::MAX; 8]);
+                if !slot.has_client() {
+                    entry.finish_call(vcpu, slot.parity());
+                }
+                slot.complete(crate::slot::ABORT_RETS);
             }
             return;
         }
@@ -389,8 +392,17 @@ fn worker_loop(entry: Arc<crate::entry::EntryShared>, me: Arc<WorkerHandle>, vcp
             );
         }
         me.calls.fetch_add(1, Ordering::Relaxed);
-        entry.calls.fetch_add(1, Ordering::Relaxed);
-        entry.finish_call();
+        // The completion count lands on this vCPU's lifecycle shard —
+        // the worker is bound to the caller's vCPU, so this is the same
+        // cache line the caller's own accounting uses, never a remote
+        // one. Claim release is ownership-split: a synchronous caller's
+        // guard releases after it finishes reading the entry (releasing
+        // here would let a reclaim free the entry under the caller);
+        // async calls have no one else to do it.
+        entry.record_completion(vcpu);
+        if !slot.has_client() {
+            entry.finish_call(vcpu, slot.parity());
+        }
         // Re-pool *before* waking the client: a client that immediately
         // re-dispatches must find this worker idle again, not grow the
         // pool (the paper's single pooled worker handles back-to-back

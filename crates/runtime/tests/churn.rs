@@ -1,0 +1,315 @@
+//! Control-plane churn: the lifecycle paths the per-vCPU replication
+//! rework added — exchange-era handler retirement, dead-entry
+//! reclamation, pool decay — exercised under concurrent call traffic.
+//!
+//! These are the anti-leak gates: before the epoch rework, retired
+//! handlers accumulated in a graveyard forever and reclaimed entries
+//! stayed pinned by the registry. Every test here would have failed
+//! against that runtime.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ppc_rt::{EntryOptions, RtError, Runtime};
+
+/// Abort (with diagnostics) if `done` is not set within `secs`.
+fn watchdog(
+    done: Arc<AtomicBool>,
+    secs: u64,
+    tag: &'static str,
+    rt: Arc<Runtime>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let deadline = std::time::Instant::now() + Duration::from_secs(secs);
+        while std::time::Instant::now() < deadline {
+            if done.load(Ordering::Acquire) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        eprintln!("watchdog: {tag} did not finish within {secs}s — aborting");
+        rt.dump_diagnostics();
+        std::process::abort();
+    })
+}
+
+/// Satellite (a), part 1: 10k exchanges under concurrent call load stay
+/// memory-flat. Every retired handler is freed as its era quiesces —
+/// `handlers_freed` trails `handlers_retired` by at most the bounded
+/// limbo length, and the limbo itself drains to empty once traffic
+/// stops.
+#[test]
+fn ten_k_exchanges_under_load_stay_memory_flat() {
+    let rt = Runtime::new(2);
+    let done = Arc::new(AtomicBool::new(false));
+    let dog = watchdog(Arc::clone(&done), 120, "10k exchanges", Arc::clone(&rt));
+    let ep = rt.bind("swapee", EntryOptions::default(), Arc::new(|c| c.args)).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut clients = Vec::new();
+    for v in 0..2 {
+        let c = rt.client(v, 1 + v as u32);
+        let stop = Arc::clone(&stop);
+        clients.push(std::thread::spawn(move || {
+            let mut ok = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                match c.call(ep, [ok; 8]) {
+                    Ok(_) => ok += 1,
+                    Err(e) => panic!("unexpected error under exchange churn: {e}"),
+                }
+            }
+            ok
+        }));
+    }
+
+    const EXCHANGES: u64 = 10_000;
+    for gen in 0..EXCHANGES {
+        rt.exchange(ep, Arc::new(move |_| [gen; 8]), 0).unwrap();
+    }
+    stop.store(true, Ordering::Release);
+    for c in clients {
+        assert!(c.join().unwrap() > 0, "clients made progress throughout");
+    }
+
+    let entry = rt.entry_weak(ep).unwrap().upgrade().expect("entry still live");
+    // In steady state each exchange frees the previous era's retiree, so
+    // the limbo never grows beyond a couple of eras.
+    assert!(entry.limbo_len() <= 2, "limbo unbounded: {}", entry.limbo_len());
+    // Traffic has stopped; a maintenance pass drains whatever era was
+    // still in flight at the end.
+    for _ in 0..100 {
+        if entry.limbo_len() == 0 {
+            break;
+        }
+        rt.frank_maintain();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(entry.limbo_len(), 0, "limbo drains to empty after quiesce");
+    let retired = rt.stats.handlers_retired();
+    let freed = rt.stats.handlers_freed();
+    assert_eq!(retired, EXCHANGES);
+    assert_eq!(freed, retired, "every retired handler was freed: {freed}/{retired}");
+    done.store(true, Ordering::Release);
+    dog.join().unwrap();
+}
+
+/// Satellite (a), part 2: after `reclaim_slot`, a `Weak` taken on the
+/// entry's shared state fails to upgrade — the registry reference (the
+/// old leak) is actually gone.
+#[test]
+fn weak_upgrade_fails_after_reclaim() {
+    let rt = Runtime::new(1);
+    let ep = rt.bind("mortal", EntryOptions::default(), Arc::new(|c| c.args)).unwrap();
+    let c = rt.client(0, 1);
+    assert_eq!(c.call(ep, [3; 8]).unwrap(), [3; 8]);
+    let weak = rt.entry_weak(ep).unwrap();
+    assert!(weak.upgrade().is_some(), "live entry upgrades");
+
+    rt.hard_kill(ep, 0).unwrap();
+    assert!(weak.upgrade().is_some(), "dead-but-unreclaimed entry is still pinned");
+    rt.reclaim_slot(ep, 0).unwrap();
+    assert!(weak.upgrade().is_none(), "reclaim dropped the last registry reference");
+    assert_eq!(c.call(ep, [0; 8]), Err(RtError::UnknownEntry(ep)));
+    assert_eq!(rt.stats.entries_reclaimed(), 1);
+}
+
+/// Acceptance criterion 3: bind → kill → reclaim → rebind at the same
+/// `EntryId` frees the old `EntryShared` while the new binding serves.
+#[test]
+fn rebind_at_same_id_frees_old_entry() {
+    let rt = Runtime::new(2);
+    let opts = EntryOptions { want_ep: Some(37), ..Default::default() };
+    let ep = rt.bind("first", opts, Arc::new(|_| [1; 8])).unwrap();
+    assert_eq!(ep, 37);
+    let c = rt.client(0, 1);
+    assert_eq!(c.call(ep, [0; 8]).unwrap(), [1; 8]);
+    let old = rt.entry_weak(ep).unwrap();
+
+    rt.hard_kill(ep, 0).unwrap();
+    rt.reclaim_slot(ep, 0).unwrap();
+    let ep2 = rt.bind("second", opts, Arc::new(|_| [2; 8])).unwrap();
+    assert_eq!(ep2, 37, "the reclaimed ID is reusable");
+    assert!(old.upgrade().is_none(), "old generation freed, not shadowed");
+    assert_eq!(c.call(ep2, [0; 8]).unwrap(), [2; 8], "new generation serves");
+    // The name table followed the lifecycle: the old name went with the
+    // reclaim, the new one resolves.
+    assert_eq!(rt.ns_lookup("first"), None);
+    assert_eq!(rt.ns_lookup("second"), Some(37));
+}
+
+/// Satellite (b): worker pools grown by a burst decay back to the idle
+/// high-watermark on a Frank maintenance pass, and the shrunken entry
+/// still serves.
+#[test]
+fn pools_decay_after_burst() {
+    let rt = Runtime::new(1);
+    let done = Arc::new(AtomicBool::new(false));
+    let dog = watchdog(Arc::clone(&done), 60, "pool decay", Arc::clone(&rt));
+    let ep = rt
+        .bind(
+            "bursty",
+            EntryOptions::default(),
+            Arc::new(|c| {
+                std::thread::sleep(Duration::from_millis(2));
+                c.args
+            }),
+        )
+        .unwrap();
+
+    // A burst of concurrent callers forces the pool to grow (each
+    // blocked call holds a worker).
+    let burst: Vec<_> = (0..8)
+        .map(|i| {
+            let c = rt.client(0, 1 + i as u32);
+            std::thread::spawn(move || c.call(ep, [i; 8]).unwrap())
+        })
+        .collect();
+    for t in burst {
+        t.join().unwrap();
+    }
+    let grown = rt.idle_workers(ep).unwrap();
+    assert!(grown >= 4, "burst grew the pool (idle={grown})");
+
+    rt.set_idle_watermark(2);
+    let (reaped, _) = rt.frank_maintain();
+    assert!(reaped >= grown - 2, "maintenance reaped the surplus (reaped={reaped})");
+    assert!(rt.idle_workers(ep).unwrap() <= 2, "idle pool decayed to the watermark");
+
+    // The decayed entry still serves, growing back on demand.
+    let c = rt.client(0, 99);
+    for i in 0..20u64 {
+        assert_eq!(c.call(ep, [i; 8]).unwrap(), [i; 8]);
+    }
+    done.store(true, Ordering::Release);
+    dog.join().unwrap();
+}
+
+/// Satellite (d): cross-vCPU drain correctness. Handlers carry a canary
+/// that counts live (not-yet-dropped) closures; calls racing exchanges
+/// across two vCPUs must only ever execute a live handler, and once
+/// traffic quiesces exactly one canary — the current handler's — is
+/// left alive (every retiree was dropped, none early).
+#[test]
+fn exchange_churn_never_runs_a_freed_handler() {
+    struct Canary {
+        live: Arc<AtomicU64>,
+        executing_freed: Arc<AtomicBool>,
+        dropped: AtomicBool,
+    }
+    impl Canary {
+        fn new(live: &Arc<AtomicU64>, executing_freed: &Arc<AtomicBool>) -> Arc<Canary> {
+            live.fetch_add(1, Ordering::SeqCst);
+            Arc::new(Canary {
+                live: Arc::clone(live),
+                executing_freed: Arc::clone(executing_freed),
+                dropped: AtomicBool::new(false),
+            })
+        }
+    }
+    impl Drop for Canary {
+        fn drop(&mut self) {
+            self.dropped.store(true, Ordering::SeqCst);
+            self.live.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    let rt = Runtime::new(2);
+    let done = Arc::new(AtomicBool::new(false));
+    let dog = watchdog(Arc::clone(&done), 120, "canary churn", Arc::clone(&rt));
+    let live = Arc::new(AtomicU64::new(0));
+    let executing_freed = Arc::new(AtomicBool::new(false));
+
+    let make_handler = |live: &Arc<AtomicU64>, flag: &Arc<AtomicBool>, gen: u64| {
+        let canary = Canary::new(live, flag);
+        Arc::new(move |_: &mut ppc_rt::CallCtx<'_>| {
+            // The dispatch claim must keep the handler alive for the
+            // whole execution; observing our own Drop is the bug the
+            // era protocol exists to prevent.
+            if canary.dropped.load(Ordering::SeqCst) {
+                canary.executing_freed.store(true, Ordering::SeqCst);
+            }
+            [gen; 8]
+        }) as ppc_rt::Handler
+    };
+
+    let ep = rt
+        .bind("canary", EntryOptions::default(), make_handler(&live, &executing_freed, 0))
+        .unwrap();
+
+    let remaining = Arc::new(AtomicU64::new(2));
+    let clients: Vec<_> = (0..2)
+        .map(|v| {
+            let c = rt.client(v, 1 + v as u32);
+            let remaining = Arc::clone(&remaining);
+            std::thread::spawn(move || {
+                for _ in 0..1_000u64 {
+                    // Torn or freed-handler results are caught by the
+                    // canary flag, not the return value.
+                    c.call(ep, [0; 8]).expect("entry stays live");
+                }
+                remaining.fetch_sub(1, Ordering::AcqRel);
+            })
+        })
+        .collect();
+
+    // At least 2000 exchanges, and keep churning until every client has
+    // finished its quota mid-churn.
+    let mut gen = 0u64;
+    while gen < 2_000 || remaining.load(Ordering::Acquire) > 0 {
+        gen += 1;
+        rt.exchange(ep, make_handler(&live, &executing_freed, gen), 0).unwrap();
+    }
+    for c in clients {
+        c.join().unwrap();
+    }
+    assert!(!executing_freed.load(Ordering::SeqCst), "a call executed a freed handler");
+
+    // Quiesce: drain the final era's limbo, then exactly the current
+    // handler's canary survives.
+    for _ in 0..100 {
+        if live.load(Ordering::SeqCst) == 1 {
+            break;
+        }
+        rt.frank_maintain();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(live.load(Ordering::SeqCst), 1, "all retired handlers dropped, current alive");
+    done.store(true, Ordering::Release);
+    dog.join().unwrap();
+}
+
+/// Acceptance criterion 2: the per-vCPU lifecycle shards are exact —
+/// per-vCPU completion counts sum to the entry total, and the total
+/// matches the calls actually made. (If the hot path wrote any shared
+/// line, the cheap way to implement it would be one counter; this pins
+/// the sharding.)
+#[test]
+fn sharded_completions_sum_exactly() {
+    let rt = Runtime::new(2);
+    let ep = rt.bind("counted", EntryOptions::default(), Arc::new(|c| c.args)).unwrap();
+    const PER_VCPU: u64 = 400;
+    let threads: Vec<_> = (0..2)
+        .map(|v| {
+            let c = rt.client(v, 1 + v as u32);
+            std::thread::spawn(move || {
+                for i in 0..PER_VCPU {
+                    assert_eq!(c.call(ep, [i; 8]).unwrap(), [i; 8]);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let total = rt.entry_completions(ep).unwrap();
+    let per: u64 =
+        (0..2).map(|v| rt.entry_completions_on(ep, v).unwrap()).sum();
+    assert_eq!(total, 2 * PER_VCPU);
+    assert_eq!(per, total, "shards sum exactly to the aggregate");
+    // Each vCPU's shard saw exactly its own traffic: no cross-vCPU
+    // writes to another shard's line.
+    for v in 0..2 {
+        assert_eq!(rt.entry_completions_on(ep, v).unwrap(), PER_VCPU);
+    }
+}

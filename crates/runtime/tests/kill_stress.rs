@@ -145,3 +145,68 @@ fn repeated_bind_kill_cycles_do_not_leak_calls() {
     }
     assert_eq!(rt.stats.calls(), 200);
 }
+
+/// Reclaim under fire: one entry ID is bound, killed, reclaimed, and
+/// re-bound in a loop while two client threads hammer it the whole
+/// time. Every generation's shared state must actually be freed (its
+/// `Weak` dies) even though stale calls race the teardown, and clients
+/// may only ever observe the lifecycle errors — never a hang, a fault,
+/// or a torn result.
+#[test]
+fn reclaim_and_rebind_reuses_ids_under_traffic() {
+    let rt = Runtime::new(2);
+    let done = Arc::new(AtomicBool::new(false));
+    let dog = watchdog(Arc::clone(&done), 120, "reclaim under traffic", Arc::clone(&rt));
+    const EP: usize = 11;
+    let opts = EntryOptions { want_ep: Some(EP), ..Default::default() };
+    let ep = rt.bind("gen", opts, Arc::new(|c| c.args)).unwrap();
+    assert_eq!(ep, EP);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..2)
+        .map(|v| {
+            let c = rt.client(v, 1 + v as u32);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut ok = 0u64;
+                while !stop.load(Ordering::Acquire) {
+                    match c.call(EP, [7; 8]) {
+                        Ok(r) => {
+                            assert_eq!(r, [7; 8], "echo result never torn across generations");
+                            ok += 1;
+                        }
+                        // The lifecycle races produce exactly these:
+                        // killed-but-not-reclaimed (EntryDead), reclaimed
+                        // slot (UnknownEntry), teardown mid-rendezvous
+                        // (Aborted).
+                        Err(RtError::EntryDead(_))
+                        | Err(RtError::UnknownEntry(_))
+                        | Err(RtError::Aborted(_)) => {}
+                        Err(e) => panic!("unexpected error under reclaim churn: {e}"),
+                    }
+                }
+                ok
+            })
+        })
+        .collect();
+
+    for round in 0..60u64 {
+        let weak = rt.entry_weak(EP).unwrap();
+        // Let traffic land on this generation.
+        std::thread::sleep(Duration::from_micros(200 + round * 31));
+        rt.hard_kill(EP, 0).unwrap();
+        rt.reclaim_slot(EP, 0).unwrap();
+        assert!(
+            weak.upgrade().is_none(),
+            "round {round}: reclaim freed the generation despite live traffic"
+        );
+        rt.bind("gen", opts, Arc::new(|c| c.args)).unwrap();
+    }
+
+    stop.store(true, Ordering::Release);
+    let total: u64 = clients.into_iter().map(|c| c.join().unwrap()).sum();
+    assert!(total > 0, "traffic made progress across generations");
+    assert_eq!(rt.stats.entries_reclaimed(), 60);
+    done.store(true, Ordering::Release);
+    dog.join().unwrap();
+}

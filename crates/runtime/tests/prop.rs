@@ -149,3 +149,164 @@ fn stress_async_burst() {
     }
     assert!(rt.stats.workers_created() > 0);
 }
+
+/// One lifecycle operation in the randomized interleaving below.
+#[derive(Clone, Copy, Debug)]
+enum LifeOp {
+    Call,
+    Exchange,
+    SoftKill,
+    HardKill,
+    Reclaim,
+    Rebind,
+}
+
+/// What the model says entry 5 currently is. (`wait_drained` marks a
+/// soft-killed entry Dead once it drains, so a drained soft kill and a
+/// hard kill land in the same model state.)
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum LifeState {
+    Vacant,
+    Active,
+    Dead,
+}
+
+proptest! {
+    #![proptest_config(Config { cases: 16, ..Config::default() })]
+
+    /// Random interleavings of call / exchange / soft-kill / hard-kill /
+    /// reclaim / rebind against a single entry ID, checked against an
+    /// explicit lifecycle model — while a concurrent client thread
+    /// hammers the same ID and must only ever observe the lifecycle
+    /// error set. Pins the Frank state machine: every operation's
+    /// outcome is a function of the entry's lifecycle state alone, and
+    /// reclaim really vacates the ID (later ops see `UnknownEntry`, a
+    /// rebind revives it at the same ID).
+    #[test]
+    fn lifecycle_interleavings_follow_the_model(
+        raw_ops in prop::collection::vec(any::<u8>(), 1..40),
+    ) {
+        // Weighted op mix: calls dominate, lifecycle ops interleave.
+        let ops: Vec<LifeOp> = raw_ops
+            .iter()
+            .map(|b| match b % 12 {
+                0..=2 => LifeOp::Call,
+                3..=4 => LifeOp::Exchange,
+                5 => LifeOp::SoftKill,
+                6..=7 => LifeOp::HardKill,
+                8..=9 => LifeOp::Reclaim,
+                _ => LifeOp::Rebind,
+            })
+            .collect();
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use ppc_rt::RtError;
+
+        const EP: usize = 5;
+        let rt = Runtime::new(1);
+        let opts = EntryOptions { want_ep: Some(EP), ..Default::default() };
+        let c = rt.client(0, 1);
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let background = {
+            let c = rt.client(0, 2);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    match c.call(EP, [1; 8]) {
+                        Ok(r) => assert_eq!(r, [1; 8], "echo never torn"),
+                        Err(RtError::EntryDead(_))
+                        | Err(RtError::UnknownEntry(_))
+                        | Err(RtError::Aborted(_)) => {}
+                        Err(e) => panic!("background caller saw {e}"),
+                    }
+                }
+            })
+        };
+
+        let mut model = LifeState::Vacant;
+        for op in ops {
+            match op {
+                LifeOp::Call => {
+                    let got = c.call(EP, [9; 8]);
+                    match model {
+                        LifeState::Active => prop_assert_eq!(got.unwrap(), [9; 8]),
+                        LifeState::Vacant => {
+                            prop_assert_eq!(got, Err(RtError::UnknownEntry(EP)))
+                        }
+                        // A drained soft-killed or dead entry rejects.
+                        _ => prop_assert_eq!(got, Err(RtError::EntryDead(EP))),
+                    }
+                }
+                LifeOp::Exchange => {
+                    let got = rt.exchange(EP, Arc::new(|x| x.args), 0);
+                    match model {
+                        LifeState::Active => prop_assert_eq!(got, Ok(())),
+                        LifeState::Vacant => {
+                            prop_assert_eq!(got, Err(RtError::UnknownEntry(EP)))
+                        }
+                        _ => prop_assert_eq!(got, Err(RtError::EntryDead(EP))),
+                    }
+                }
+                LifeOp::SoftKill => {
+                    let got = rt.soft_kill(EP, 0);
+                    match model {
+                        LifeState::Active => {
+                            prop_assert_eq!(got, Ok(()));
+                            // Deterministic model: drain immediately —
+                            // `wait_drained` marks the entry Dead.
+                            rt.wait_drained(EP).unwrap();
+                            model = LifeState::Dead;
+                        }
+                        LifeState::Vacant => {
+                            prop_assert_eq!(got, Err(RtError::UnknownEntry(EP)))
+                        }
+                        _ => prop_assert_eq!(got, Err(RtError::EntryDead(EP))),
+                    }
+                }
+                LifeOp::HardKill => {
+                    let got = rt.hard_kill(EP, 0);
+                    match model {
+                        LifeState::Active => {
+                            prop_assert_eq!(got, Ok(()));
+                            model = LifeState::Dead;
+                        }
+                        LifeState::Vacant => {
+                            prop_assert_eq!(got, Err(RtError::UnknownEntry(EP)))
+                        }
+                        LifeState::Dead => {
+                            prop_assert_eq!(got, Err(RtError::EntryDead(EP)))
+                        }
+                    }
+                }
+                LifeOp::Reclaim => {
+                    let got = rt.reclaim_slot(EP, 0);
+                    match model {
+                        LifeState::Dead => {
+                            prop_assert_eq!(got, Ok(()));
+                            model = LifeState::Vacant;
+                        }
+                        LifeState::Vacant => {
+                            prop_assert_eq!(got, Err(RtError::UnknownEntry(EP)))
+                        }
+                        LifeState::Active => {
+                            prop_assert_eq!(got, Err(RtError::EntryDead(EP)))
+                        }
+                    }
+                }
+                LifeOp::Rebind => {
+                    let got = rt.bind("prop-life", opts, Arc::new(|x| x.args));
+                    match model {
+                        LifeState::Vacant => {
+                            prop_assert_eq!(got.unwrap(), EP);
+                            model = LifeState::Active;
+                        }
+                        _ => prop_assert_eq!(got, Err(RtError::TableFull)),
+                    }
+                }
+            }
+        }
+
+        stop.store(true, Ordering::Release);
+        background.join().unwrap();
+    }
+}

@@ -522,7 +522,9 @@ fn warm_path_is_pure_fast_path() {
     // leave the fast path — no Frank redirections, no worker growth, no
     // CD growth. Combined with the fast path's construction (lock-free
     // pools, OnceLock unpark target, Relaxed sharded counters, Acquire
-    // shutdown checks), this pins "no Mutex/Condvar, no SeqCst" behavior.
+    // shutdown checks, vCPU-local epoch/lifecycle claims), this pins
+    // "no Mutex/Condvar, no writes to another vCPU's cache lines"
+    // behavior.
     let (rt, ep) = echo_rt(1);
     let c = rt.client(0, 1);
     c.call(ep, [0; 8]).unwrap(); // warm
