@@ -22,28 +22,12 @@ use std::time::Instant;
 
 use crate::entry::{EntryShared, EntryState};
 use crate::flight::FlightKind;
+use crate::frank::Claim;
 use crate::obs::LatencyKind;
 use crate::slot::CallSlot;
 use crate::span::SpanPhase;
 use crate::worker::WorkerHandle;
 use crate::{AsyncCall, CallCtx, EntryId, ProgramId, RtError, Runtime, SpinPolicy, VcpuState};
-
-/// Releases a claim exactly once when the client-side work of a sync
-/// call — including the trace scope's drop, which reads the entry's EWMA
-/// cell — is done. Declare it *before* any scope borrowing the entry, so
-/// it drops after them; the claim is what keeps the entry's memory alive
-/// against a concurrent reclaim.
-struct ClaimGuard<'a> {
-    entry: &'a EntryShared,
-    vcpu: usize,
-    parity: u8,
-}
-
-impl Drop for ClaimGuard<'_> {
-    fn drop(&mut self) {
-        self.entry.finish_call(self.vcpu, self.parity);
-    }
-}
 
 impl Runtime {
     /// Core dispatch. With `sync`, blocks and returns `Some(rets)`;
@@ -59,16 +43,13 @@ impl Runtime {
         sync: bool,
     ) -> Result<Option<[u64; 8]>, RtError> {
         if !sync {
-            let (entry, parity) = self.claim(vcpu, ep)?;
-            let (worker, slot, held) = match self.acquire(vcpu, entry) {
-                Ok(t) => t,
-                Err(e) => {
-                    entry.finish_call(vcpu, parity);
-                    return Err(e);
-                }
-            };
+            let claim = self.claim(vcpu, ep)?;
+            let (worker, slot, held) = self.acquire(vcpu, &claim)?; // `?` releases the claim
             slot.fill(args, program, None);
-            slot.set_parity(parity);
+            slot.set_parity(claim.parity());
+            // The worker owns the release from here (the parity rides
+            // the slot); the shutdown race below takes it back.
+            let (entry, parity) = claim.transfer();
             worker.post(Arc::clone(&slot));
             if worker.is_shutdown() {
                 if let Some(reclaimed) = worker.take_mail() {
@@ -84,17 +65,18 @@ impl Runtime {
             }
             return Ok(None);
         }
-        let (entry, parity) = self.claim(vcpu, ep)?;
-        if entry.opts.inline_ok {
+        let claim = self.claim(vcpu, ep)?;
+        if claim.opts.inline_ok {
             return self
-                .dispatch_inline(vcpu, ep, args, program, None, entry, parity)
+                .dispatch_inline(vcpu, ep, args, program, None, claim)
                 .map(|(r, _)| Some(r));
         }
-        // The guard owns the claim for the rest of the call: every early
-        // `?`/`return Err` below releases it, and at the happy-path exit
-        // it drops after `scope` (declared later ⇒ dropped earlier),
+        // The claim guards the rest of the call: every early `?`/`return
+        // Err` below releases it, and at the happy-path exit it drops
+        // last (no explicit drop — `scope` below borrows the entry
+        // *through* it, so the compiler rejects any earlier release),
         // keeping the entry alive for the scope's EWMA read.
-        let guard = ClaimGuard { entry, vcpu, parity };
+        //
         // Observability gate: one Relaxed load (plus a thread-local tick
         // when enabled). Unsampled calls pay nothing further.
         let sampled = self.obs().try_sample();
@@ -102,10 +84,10 @@ impl Runtime {
         // The call span opens before resource acquisition so Frank grow
         // events during `acquire` parent under it; the drop guard closes
         // it (and runs the root's tail-exemplar check) on every exit.
-        let scope = self.spans().call_scope(sampled, vcpu, ep, Some(&entry.trace_ewma_ns));
-        let (worker, slot, held) = self.acquire(vcpu, entry)?;
+        let scope = self.spans().call_scope(sampled, vcpu, ep, Some(&claim.trace_ewma_ns));
+        let (worker, slot, held) = self.acquire(vcpu, &claim)?;
         slot.fill(args, program, Some(std::thread::current()));
-        slot.set_parity(parity);
+        slot.set_parity(claim.parity());
         if scope.active() {
             // The mailbox publish below orders this for the worker.
             slot.set_trace(scope.ctx_word());
@@ -131,8 +113,8 @@ impl Runtime {
         let rets = slot.read_rets();
         let faulted = slot.is_faulted();
         // A hard kill that landed while we ran aborts the call. (The
-        // guard still holds our claim, so the entry memory is safe.)
-        if entry.entry_state() == EntryState::Dead {
+        // claim is still held, so the entry memory is safe.)
+        if claim.entry_state() == EntryState::Dead {
             return Err(RtError::Aborted(ep));
         }
         if !held {
@@ -150,7 +132,8 @@ impl Runtime {
             self.obs().record(LatencyKind::Call, vcpu, t0.elapsed().as_nanos() as u64);
             self.flight().record(vcpu, FlightKind::Handoff, ep, program);
         }
-        drop(guard);
+        // `scope` drops first (it borrows `claim`), then the claim
+        // releases — the order the reclaim protocol requires.
         Ok(Some(rets))
     }
 
@@ -174,21 +157,22 @@ impl Runtime {
             "payload exceeds the {}-byte scratch page",
             crate::slot::SCRATCH_BYTES
         );
-        let (entry, parity) = self.claim(vcpu, ep)?;
-        if entry.opts.inline_ok {
+        let claim = self.claim(vcpu, ep)?;
+        if claim.opts.inline_ok {
             let (rets, resp) =
-                self.dispatch_inline(vcpu, ep, args, program, Some(payload), entry, parity)?;
+                self.dispatch_inline(vcpu, ep, args, program, Some(payload), claim)?;
             return Ok((rets, resp.expect("payload dispatch returns a response")));
         }
-        let guard = ClaimGuard { entry, vcpu, parity };
         let sampled = self.obs().try_sample();
         let t0 = sampled.then(Instant::now);
-        let scope = self.spans().call_scope(sampled, vcpu, ep, Some(&entry.trace_ewma_ns));
-        let (worker, slot, held) = self.acquire(vcpu, entry)?;
+        // `scope` borrows the entry through `claim`, so the claim cannot
+        // release before the scope's EWMA read (see `dispatch`).
+        let scope = self.spans().call_scope(sampled, vcpu, ep, Some(&claim.trace_ewma_ns));
+        let (worker, slot, held) = self.acquire(vcpu, &claim)?;
         // The payload is written before the fill publishes the slot.
         slot.write_payload(payload);
         slot.fill(args, program, Some(std::thread::current()));
-        slot.set_parity(parity);
+        slot.set_parity(claim.parity());
         if scope.active() {
             slot.set_trace(scope.ctx_word());
         }
@@ -206,7 +190,7 @@ impl Runtime {
         }
         self.rendezvous(self.vcpu(vcpu)?, &slot, ep, sampled);
         let rets = slot.read_rets();
-        if entry.entry_state() == EntryState::Dead {
+        if claim.entry_state() == EntryState::Dead {
             return Err(RtError::Aborted(ep));
         }
         let cell = self.stats.cell(vcpu);
@@ -230,17 +214,17 @@ impl Runtime {
             self.obs().record(LatencyKind::Call, vcpu, t0.elapsed().as_nanos() as u64);
             self.flight().record(vcpu, FlightKind::Handoff, ep, program);
         }
-        drop(guard);
+        // `scope` drops first (it borrows `claim`), then the claim
+        // releases.
         Ok((rets, response))
     }
 
     /// Caller-thread inline dispatch ([`crate::EntryOptions::inline_ok`]):
-    /// the caller already claimed the entry (`parity`); borrow a CD from
+    /// the caller already claimed the entry; borrow a CD from
     /// the vCPU pool for its scratch page and run the handler right here —
     /// no worker, no mailbox, no park/unpark. With `payload`, the scratch
     /// page carries the request in and the first `rets[7]` bytes back
     /// out, as in the hand-off variant.
-    #[allow(clippy::too_many_arguments)]
     fn dispatch_inline(
         &self,
         vcpu: usize,
@@ -248,12 +232,12 @@ impl Runtime {
         args: [u64; 8],
         program: ProgramId,
         payload: Option<&[u8]>,
-        entry: &EntryShared,
-        parity: u8,
+        claim: Claim<'_>,
     ) -> Result<([u64; 8], Option<Vec<u8>>), RtError> {
-        // Declared first ⇒ dropped last: the claim outlives the trace
-        // scope below, whose drop reads `entry.trace_ewma_ns`.
-        let _claim = ClaimGuard { entry, vcpu, parity };
+        // The claim (a parameter, so dropped after every local) releases
+        // on exit; the trace scope and `CallCtx` below borrow the entry
+        // through it, so no use can outlive the release.
+        let entry: &EntryShared = &claim;
         let vc = self.vcpu(vcpu)?;
         let cell = self.stats.cell(vcpu);
         let sampled = self.obs().try_sample();
@@ -433,16 +417,10 @@ impl Runtime {
         program: ProgramId,
     ) -> Result<AsyncCall, RtError> {
         let sampled = self.obs().try_sample();
-        let (entry, parity) = self.claim(vcpu, ep)?;
-        let (worker, slot, held) = match self.acquire(vcpu, entry) {
-            Ok(t) => t,
-            Err(e) => {
-                entry.finish_call(vcpu, parity);
-                return Err(e);
-            }
-        };
+        let claim = self.claim(vcpu, ep)?;
+        let (worker, slot, held) = self.acquire(vcpu, &claim)?; // `?` releases the claim
         slot.fill(args, program, None);
-        slot.set_parity(parity);
+        slot.set_parity(claim.parity());
         // The async span is not installed (the caller continues past the
         // dispatch); it closes when the completion is observed. The
         // context word rides the slot so the worker's handler span — and
@@ -451,6 +429,9 @@ impl Runtime {
         if let Some(tok) = &trace {
             slot.set_trace(tok.ctx.pack());
         }
+        // The worker owns the release from here (the parity rides the
+        // slot); the shutdown race below takes it back.
+        let (entry, parity) = claim.transfer();
         worker.post(Arc::clone(&slot));
         // Racing a kill, as in the sync path — but here nobody would
         // ever rendezvous with the orphaned slot, so reclaiming it (and
@@ -502,8 +483,8 @@ impl Runtime {
 
     /// Acquire the call's transport resources — worker and CD — for an
     /// entry the caller has already claimed. Does **not** release the
-    /// claim on failure; the caller owns that (via its `ClaimGuard` or
-    /// an explicit `finish_call`), so the release happens exactly once.
+    /// claim on failure; the caller's [`Claim`] owns that (callers pass
+    /// `&claim` here), so the release happens exactly once.
     #[allow(clippy::type_complexity)]
     fn acquire(
         &self,

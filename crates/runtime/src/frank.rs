@@ -27,6 +27,7 @@
 //! because new pins land in the *new* parity.
 
 use std::collections::HashMap;
+use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 
@@ -37,6 +38,56 @@ use crate::flight::FlightKind;
 use crate::span::SpanPhase;
 use crate::worker::MAX_POOLED;
 use crate::{EntryId, Handler, ProgramId, RtError, Runtime, VcpuState, MAX_ENTRIES};
+
+/// A counted lifecycle claim on an entry, returned by [`Runtime::claim`].
+///
+/// Derefs to the entry, and releasing happens on drop — so the borrow
+/// checker itself enforces the reclamation contract: any borrow taken
+/// *through* the claim (a trace scope holding `&entry.trace_ewma_ns`, a
+/// `CallCtx` handed to an inline handler) keeps the claim borrowed and
+/// therefore cannot outlive the release. The claim is what keeps the
+/// entry's memory alive against a concurrent `reclaim_slot`; before this
+/// type, that invariant lived only in comments and was broken twice.
+///
+/// Async dispatch transfers the release obligation to the worker (the
+/// parity rides the slot) via [`Claim::transfer`], which is the one
+/// deliberate escape hatch back to an unguarded reference.
+pub(crate) struct Claim<'rt> {
+    entry: &'rt EntryShared,
+    vcpu: usize,
+    parity: u8,
+}
+
+impl<'rt> Claim<'rt> {
+    /// The era parity the claim was counted under (rides the slot so the
+    /// releasing side passes it back to [`EntryShared::finish_call`]).
+    pub(crate) fn parity(&self) -> u8 {
+        self.parity
+    }
+
+    /// Hand the release obligation to another owner (the worker, for
+    /// async calls): suppresses the drop and returns the raw parts. The
+    /// caller takes back responsibility for the entry staying alive —
+    /// valid only while some side still holds the counted claim.
+    pub(crate) fn transfer(self) -> (&'rt EntryShared, u8) {
+        let (entry, parity) = (self.entry, self.parity);
+        std::mem::forget(self);
+        (entry, parity)
+    }
+}
+
+impl Deref for Claim<'_> {
+    type Target = EntryShared;
+    fn deref(&self) -> &EntryShared {
+        self.entry
+    }
+}
+
+impl Drop for Claim<'_> {
+    fn drop(&mut self) {
+        self.entry.finish_call(self.vcpu, self.parity);
+    }
+}
 
 /// One vCPU's pin cell: claims in the lookup→claim window, split by
 /// pin-era parity. Line-aligned for the same reason as the entries'
@@ -112,11 +163,12 @@ impl Runtime {
     /// lines; the era words and the table replica are read-only here, so
     /// they stay resident in shared state across vCPUs.
     ///
-    /// The returned reference is valid while the claim is held — release
-    /// it with [`EntryShared::finish_call`] (or a `ClaimGuard`) exactly
-    /// once, passing the returned parity.
+    /// The returned [`Claim`] releases on drop and Derefs to the entry;
+    /// borrows of the entry go through it, so the compiler rejects any
+    /// use of the entry past the release (async dispatch escapes via
+    /// [`Claim::transfer`], handing the release to the worker).
     #[inline]
-    pub(crate) fn claim(&self, vcpu: usize, ep: EntryId) -> Result<(&EntryShared, u8), RtError> {
+    pub(crate) fn claim(&self, vcpu: usize, ep: EntryId) -> Result<Claim<'_>, RtError> {
         let vc = self.vcpu(vcpu)?;
         if ep >= MAX_ENTRIES {
             return Err(RtError::UnknownEntry(ep));
@@ -143,11 +195,11 @@ impl Runtime {
             let parity = entry.claim(vcpu);
             // The entry claim now protects the entry; exit the pin.
             cell.active[pin].fetch_sub(1, Ordering::Release);
-            if entry.entry_state() != EntryState::Active {
-                entry.finish_call(vcpu, parity);
-                return Err(RtError::EntryDead(ep));
+            let claim = Claim { entry, vcpu, parity };
+            if claim.entry_state() != EntryState::Active {
+                return Err(RtError::EntryDead(ep)); // drop releases the claim
             }
-            return Ok((entry, parity));
+            return Ok(claim);
         }
     }
 

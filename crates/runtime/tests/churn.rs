@@ -47,20 +47,32 @@ fn ten_k_exchanges_under_load_stay_memory_flat() {
     let ep = rt.bind("swapee", EntryOptions::default(), Arc::new(|c| c.args)).unwrap();
 
     let stop = Arc::new(AtomicBool::new(false));
+    let progress: Vec<Arc<AtomicU64>> =
+        (0..2).map(|_| Arc::new(AtomicU64::new(0))).collect();
     let mut clients = Vec::new();
     for v in 0..2 {
         let c = rt.client(v, 1 + v as u32);
         let stop = Arc::clone(&stop);
+        let progress = Arc::clone(&progress[v]);
         clients.push(std::thread::spawn(move || {
             let mut ok = 0u64;
             while !stop.load(Ordering::Acquire) {
                 match c.call(ep, [ok; 8]) {
-                    Ok(_) => ok += 1,
+                    Ok(_) => {
+                        ok += 1;
+                        progress.store(ok, Ordering::Release);
+                    }
                     Err(e) => panic!("unexpected error under exchange churn: {e}"),
                 }
             }
             ok
         }));
+    }
+    // Don't start churning until every client is demonstrably in its
+    // call loop — a tight exchange loop can otherwise finish before the
+    // client threads are first scheduled, making "under load" vacuous.
+    while progress.iter().any(|p| p.load(Ordering::Acquire) == 0) {
+        std::thread::yield_now();
     }
 
     const EXCHANGES: u64 = 10_000;
