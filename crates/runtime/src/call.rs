@@ -340,6 +340,70 @@ impl Runtime {
         }
     }
 
+    /// Ring-worker-side execution of one accepted SQE
+    /// ([`crate::ring::ClientRing`]): claim the entry *at execution
+    /// time* — never while the SQE sits queued, so kill/exchange/
+    /// reclaim drain with the queue instead of deadlocking against
+    /// claims parked inside it — run the handler on the ring worker's
+    /// thread under the SQE's propagated trace word, and contain
+    /// faults exactly like the worker loop. `scratch` is the page the
+    /// handler sees ([`crate::ScratchRef::Ready`]); the ring worker
+    /// passes its persistent page, or the SQE's staged payload buffer.
+    pub(crate) fn ring_execute(
+        &self,
+        vcpu: usize,
+        ep: EntryId,
+        args: [u64; 8],
+        program: ProgramId,
+        trace_word: u64,
+        scratch: &mut [u8],
+    ) -> Result<[u64; 8], RtError> {
+        let claim = self.claim(vcpu, ep)?;
+        // The claim (a parameter-position binding dropped after every
+        // local) releases on exit; handler borrows go through it.
+        let entry: &EntryShared = &claim;
+        let cell = self.stats.cell(vcpu);
+        let th0 = self.obs().try_sample().then(Instant::now);
+        let h_scope = self.spans().handler_scope(trace_word, vcpu, ep);
+        let handler = entry.handler();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut ctx = CallCtx {
+                args,
+                caller_program: program,
+                vcpu,
+                ep,
+                scratch: crate::ScratchRef::Ready(scratch),
+                worker: None,
+                entry,
+            };
+            handler(&mut ctx)
+        }));
+        drop(h_scope); // handler span ends here, even on a panic
+        if let Some(th0) = th0 {
+            self.obs().record(LatencyKind::Handler, vcpu, th0.elapsed().as_nanos() as u64);
+        }
+        let killed = entry.entry_state() == EntryState::Dead;
+        match result {
+            Ok(rets) => {
+                if killed {
+                    return Err(RtError::Aborted(ep));
+                }
+                entry.record_completion(vcpu);
+                cell.ring_calls.fetch_add(1, Ordering::Relaxed);
+                Ok(rets)
+            }
+            Err(_) => {
+                if killed {
+                    return Err(RtError::Aborted(ep));
+                }
+                cell.server_faults.fetch_add(1, Ordering::Relaxed);
+                self.flight().record(vcpu, FlightKind::Fault, ep, program);
+                entry.dump_fault(vcpu);
+                Err(RtError::ServerFault(ep))
+            }
+        }
+    }
+
     /// Wait for the posted call to complete, per the runtime's
     /// [`SpinPolicy`]. Under `Adaptive`, the observed wall-clock latency
     /// feeds the calling vCPU's EWMA so the next budget fits the

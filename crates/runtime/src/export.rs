@@ -321,7 +321,8 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, JsonError> {
 // ---------------------------------------------------------------------
 
 /// The quantiles every export reports.
-pub const QUANTILES: [(&str, f64); 3] = [("p50", 0.50), ("p90", 0.90), ("p99", 0.99)];
+pub const QUANTILES: [(&str, f64); 4] =
+    [("p50", 0.50), ("p90", 0.90), ("p99", 0.99), ("p999", 0.999)];
 
 /// Render the counter + histogram planes in Prometheus text exposition
 /// format. Counters become `ppc_<name>` counter series; each
@@ -471,8 +472,9 @@ pub fn parse_prometheus(text: &str) -> Result<PromSnapshot, String> {
     Ok(out)
 }
 
-/// One histogram as a JSON object: sample count, p50/p90/p99/max in
-/// nanoseconds, and the non-empty log₂ buckets as `[le, count]` pairs.
+/// One histogram as a JSON object: sample count, p50/p90/p99/p999/max
+/// in nanoseconds, and the non-empty log₂ buckets as `[le, count]`
+/// pairs.
 pub fn histogram_json(h: &Histogram) -> Json {
     let mut fields: Vec<(String, Json)> =
         vec![("count".into(), Json::Num(h.count() as f64))];
@@ -757,8 +759,13 @@ mod tests {
         if cfg!(feature = "obs") {
             let handler = back.get("latency_ns").unwrap().get("handler").unwrap();
             assert_eq!(handler.get("count").unwrap().as_u64(), Some(100));
+            // 99 samples of 1 000 ns live in the [512, 1023] bucket;
+            // interpolation places p50 inside it rather than at the
+            // bound.
             let p50 = handler.get("p50").unwrap().as_u64().unwrap();
-            assert!((1_000..2_048).contains(&p50), "p50={p50}");
+            assert!((512..1_024).contains(&p50), "p50={p50}");
+            let p999 = handler.get("p999").unwrap().as_u64().unwrap();
+            assert!(p999 > 512_000, "p999={p999} should reach the outlier bucket");
             assert_eq!(handler.get("max").unwrap().as_u64(), Some(1_000_000));
         } else {
             assert_eq!(back.get("latency_ns").unwrap(), &Json::Obj(vec![]));

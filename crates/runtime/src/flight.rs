@@ -82,6 +82,11 @@ pub enum FlightKind {
     /// Dead entry reclaimed: unpublished, grace period run, registry
     /// reference dropped (`data` = requester program).
     Reclaim = 15,
+    /// Ring doorbell that woke a sleeping ring worker (`data` =
+    /// submission-queue depth at wake).
+    Doorbell = 16,
+    /// Completion-queue reap batch (`data` = completions harvested).
+    RingReap = 17,
 }
 
 impl FlightKind {
@@ -102,6 +107,8 @@ impl FlightKind {
             13 => FlightKind::Publish,
             14 => FlightKind::Retire,
             15 => FlightKind::Reclaim,
+            16 => FlightKind::Doorbell,
+            17 => FlightKind::RingReap,
             _ => return None,
         })
     }
@@ -124,6 +131,8 @@ impl FlightKind {
             FlightKind::Publish => "publish",
             FlightKind::Retire => "retire",
             FlightKind::Reclaim => "reclaim",
+            FlightKind::Doorbell => "doorbell",
+            FlightKind::RingReap => "ring_reap",
         }
     }
 }

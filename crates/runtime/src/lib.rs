@@ -72,6 +72,7 @@ pub mod frank;
 pub mod naming;
 pub mod obs;
 pub mod region;
+pub mod ring;
 pub mod slot;
 pub mod span;
 pub mod stats;
@@ -85,6 +86,7 @@ pub use entry::{EntryOptions, EntryState};
 pub use flight::{FlightEvent, FlightKind, FlightPlane};
 pub use obs::{Histogram, LatencyKind, ObsState};
 pub use region::{BulkDesc, RegionId, MAX_BULK, MAX_REGIONS};
+pub use ring::{ClientRing, Completion, RingOptions};
 pub use span::{Exemplar, SpanPhase, SpanPlane, SpanRecord, TraceCtx};
 pub use stats::{RuntimeStats, Snapshot, StatsCell};
 
@@ -136,6 +138,11 @@ pub enum RtError {
     /// those of a message exchange": the caller gets an error, the server
     /// (and its other workers) keep running.
     ServerFault(EntryId),
+    /// A ring submission was refused by admission control: the
+    /// submission queue is full or the client's in-flight credits are
+    /// exhausted. Open-loop backpressure — reap completions (or shed
+    /// the request) and retry.
+    RingFull,
 }
 
 impl std::fmt::Display for RtError {
@@ -157,6 +164,9 @@ impl std::fmt::Display for RtError {
             RtError::BadVcpu(v) => write!(f, "virtual processor {v} does not exist"),
             RtError::ServerFault(ep) => {
                 write!(f, "server handler for entry {ep} faulted during the call")
+            }
+            RtError::RingFull => {
+                write!(f, "submission ring full or in-flight credits exhausted")
             }
         }
     }
@@ -722,10 +732,15 @@ impl Runtime {
             }
         }
         // Propagate the paired worker-side idle spin budget to every bound
-        // entry (cold path; new binds pick it up from the policy directly).
+        // entry and live client ring (cold path; new binds and rings pick
+        // it up from the policy directly).
         let budget = worker_idle_budget(p);
-        for e in self.frank.inner.lock().entries.iter().flatten() {
+        let inner = self.frank.inner.lock();
+        for e in inner.entries.iter().flatten() {
             e.idle_spin.store(budget, Ordering::Relaxed);
+        }
+        for r in inner.rings.iter().filter_map(|w| w.upgrade()) {
+            r.set_idle_spin(budget);
         }
     }
 

@@ -3,7 +3,7 @@
 //! The instrumentation must preserve the property it exists to prove:
 //! a PPC "accesses no shared data and acquires no locks" in the common
 //! case. So the histograms mirror [`crate::stats::StatsCell`] exactly —
-//! one `#[repr(align(64))]` [`HistCell`] per vCPU, `Relaxed` increments
+//! one `#[repr(align(64))]` `HistCell` per vCPU, `Relaxed` increments
 //! on the recording (hot) path, merge and percentile extraction only on
 //! the cold read path.
 //!
@@ -29,8 +29,9 @@
 //! Buckets are log₂-spaced over nanoseconds: bucket *i* holds durations
 //! with bit length *i* (i.e. `ns in [2^(i-1), 2^i)` for `i ≥ 1`, and
 //! `ns == 0` in bucket 0), clamped to [`BUCKETS`]`-1`. Percentiles
-//! report the bucket's inclusive upper bound — a ≤2× overestimate by
-//! construction, the standard trade of log-bucketed recorders.
+//! interpolate linearly within the crossing bucket (assuming a uniform
+//! spread of samples inside it), so reported quantiles are usable for
+//! gating rather than snapping to the next power of two.
 
 #[cfg(feature = "obs")]
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -58,14 +59,27 @@ pub enum LatencyKind {
     /// Bulk copy engine transfer (`copy_from`/`copy_to`/`exchange`,
     /// owner `fill`/`read_into`).
     BulkCopy = 3,
+    /// Submission-queue occupancy observed by a ring worker when it
+    /// picks up a doorbell (a depth in entries, not a duration — the
+    /// log₂ buckets read as queue-depth bands).
+    RingDepth = 4,
+    /// Completions harvested per [`crate::ring::ClientRing::reap`] call
+    /// (a batch size, not a duration).
+    ReapBatch = 5,
 }
 
 /// All kinds, in discriminant order (exporter iteration surface).
-pub const KINDS: [LatencyKind; 4] =
-    [LatencyKind::Call, LatencyKind::Rendezvous, LatencyKind::Handler, LatencyKind::BulkCopy];
+pub const KINDS: [LatencyKind; 6] = [
+    LatencyKind::Call,
+    LatencyKind::Rendezvous,
+    LatencyKind::Handler,
+    LatencyKind::BulkCopy,
+    LatencyKind::RingDepth,
+    LatencyKind::ReapBatch,
+];
 
 /// Number of tracked [`LatencyKind`]s.
-pub const NKINDS: usize = 4;
+pub const NKINDS: usize = 6;
 
 impl LatencyKind {
     /// Stable lower-case label (Prometheus `kind` tag / JSON key).
@@ -75,6 +89,8 @@ impl LatencyKind {
             LatencyKind::Rendezvous => "rendezvous",
             LatencyKind::Handler => "handler",
             LatencyKind::BulkCopy => "bulk_copy",
+            LatencyKind::RingDepth => "ring_depth",
+            LatencyKind::ReapBatch => "reap_batch",
         }
     }
 }
@@ -174,10 +190,14 @@ impl Histogram {
         self.buckets.iter().enumerate().map(|(i, &n)| (bucket_bound(i), n))
     }
 
-    /// The `q`-quantile (`0.0 ..= 1.0`) as the inclusive upper bound of
-    /// the bucket where the cumulative count crosses `q`, except the
-    /// topmost populated bucket reports the exact tracked max (so p100
-    /// and near-tail quantiles are not inflated to a power of two).
+    /// The `q`-quantile (`0.0 ..= 1.0`), linearly interpolated within the
+    /// log₂ bucket where the cumulative count crosses `q`: the rank's
+    /// position among the bucket's samples picks a proportional point
+    /// between the bucket's lower and upper bound (assuming samples
+    /// spread uniformly inside the bucket — the standard refinement that
+    /// keeps a 70 ns p50 from reporting as 127). The topmost populated
+    /// bucket uses the exact tracked max as its upper bound, so p100 and
+    /// near-tail quantiles are never inflated to a power of two.
     /// Returns 0 for an empty histogram.
     pub fn quantile(&self, q: f64) -> u64 {
         let total = self.count();
@@ -188,10 +208,18 @@ impl Histogram {
         let top = self.buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return if i == top { self.max_ns } else { bucket_bound(i) };
+            if c == 0 {
+                continue;
             }
+            if seen + c >= rank {
+                let lower = if i == 0 { 0 } else { bucket_bound(i - 1) + 1 };
+                let upper =
+                    if i == top { self.max_ns.max(lower) } else { bucket_bound(i) };
+                let within = rank - seen; // 1 ..= c
+                let span = (upper - lower) as f64;
+                return lower + (span * within as f64 / c as f64).round() as u64;
+            }
+            seen += c;
         }
         self.max_ns
     }
@@ -444,13 +472,33 @@ mod tests {
             h.record(10_000); // bucket 14, bound 16383
         }
         assert_eq!(h.count(), 100);
-        assert_eq!(h.quantile(0.5), 127);
+        // Interpolated within bucket 7 ([64, 127]): rank 50 of 90
+        // samples lands at 64 + 63·50/90 ≈ 99; rank 90 pins the upper
+        // bound.
+        assert_eq!(h.quantile(0.5), 99);
         assert_eq!(h.quantile(0.9), 127);
-        // The topmost populated bucket reports the exact max.
-        assert_eq!(h.quantile(0.99), 10_000);
+        // The topmost populated bucket interpolates toward the exact
+        // max ([8192, 10_000]): rank 99 is the 9th of its 10 samples.
+        assert_eq!(h.quantile(0.99), 9_819);
         assert_eq!(h.quantile(1.0), 10_000);
         assert_eq!(h.max_ns, 10_000);
         assert_eq!(Histogram::new().quantile(0.99), 0);
+    }
+
+    #[test]
+    fn quantile_interpolation_brackets_uniform_samples() {
+        // A single value recorded repeatedly: every quantile must land
+        // inside its bucket, and the median should sit near the value's
+        // proportional position, not at the bucket bound.
+        let mut h = Histogram::new();
+        for _ in 0..1_000 {
+            h.record(70); // bucket 7: [64, 127]
+        }
+        for q in [0.01, 0.5, 0.999] {
+            let v = h.quantile(q);
+            assert!((64..=70).contains(&v), "q{q} = {v} outside [64, 70]");
+        }
+        assert_eq!(h.quantile(1.0), 70, "top bucket upper bound is the exact max");
     }
 
     #[test]

@@ -1,0 +1,723 @@
+//! Submission/completion rings: pipelined PPC with doorbell batching.
+//!
+//! Every dispatch mode in `call.rs` is one-call-at-a-time rendezvous: a
+//! client's throughput is capped at 1/RTT however fast the control
+//! plane gets, and the park modes pay a park/unpark **per call**. This
+//! module adds the io_uring-style alternative over the same per-vCPU
+//! machinery: a per-client **submission queue** (SQ) and **completion
+//! queue** (CQ) pair serviced by one dedicated ring worker thread, so
+//! many PPCs ride in flight per client and the wake cost amortizes over
+//! a whole batch.
+//!
+//! Layout and protocol:
+//!
+//! * Both queues are power-of-two single-producer/single-consumer rings
+//!   of fixed-size entries, with cache-line-padded head/tail words. The
+//!   client is the SQ producer and CQ consumer; the ring worker is the
+//!   SQ consumer and CQ producer. Each side publishes its cursor with a
+//!   `Release` store and reads the other's with `Acquire` — no RMWs on
+//!   the per-entry fast path at all.
+//! * An SQE carries the entry id, the 8 argument words, a user tag
+//!   (returned verbatim in the completion), the packed span context
+//!   (so PR-4 traces stay causally complete across the queue hop), and
+//!   optionally a staged payload buffer from the PR-2 pools.
+//! * **Doorbell batching**: [`ClientRing::submit`] only writes the SQE
+//!   and publishes the tail. [`ClientRing::doorbell`] — once per batch
+//!   — re-publishes the tail `SeqCst` and wakes the worker only if it
+//!   actually went to sleep, Dekker-style: the worker announces
+//!   `sleeping` with `SeqCst`, re-checks the tail in the same total
+//!   order, then parks; the doorbell's `SeqCst` tail store + sleep-flag
+//!   swap make a lost wakeup impossible. In the spin modes the worker
+//!   picks submissions up mid-spin and the doorbell is a no-op.
+//! * **Admission control**: the client holds a fixed credit budget,
+//!   clamped to the CQ capacity. `submitted - reaped >= credits` (or a
+//!   full SQ) refuses the submission with [`RtError::RingFull`] — the
+//!   open-loop backpressure signal — so overload shows up as shed
+//!   requests and bounded queues, never unbounded memory. The same
+//!   invariant proves the CQ can never overflow: completions in flight
+//!   plus queued SQEs never exceed the credit budget.
+//! * **Execution-time claims**: the worker claims the entry (the PR-5
+//!   lifetime-bearing `frank::Claim` guard) only when an SQE
+//!   reaches the head of the queue, never while it waits. Queued
+//!   submissions therefore hold no entry references: kill, Exchange and
+//!   reclaim drain cleanly (in-queue SQEs for a killed entry complete
+//!   with [`RtError::EntryDead`]/[`RtError::Aborted`] CQEs), and
+//!   `wait_drained` cannot wedge on parked queue depth.
+//! * **Async copy engine**: [`ClientRing::submit_bulk`] stages the
+//!   payload into a pool buffer (a local memcpy) and returns; the ring
+//!   worker performs the grant-checked copy into the client's region
+//!   *off the caller's critical path* before running the handler. The
+//!   owner-side access (`owner_access = true`) authorizes iff the ring
+//!   client's program owns the region, so a forged descriptor is
+//!   refused in the worker with a [`RtError::BulkDenied`] completion.
+//!
+//! Completions are posted in submission order (one FIFO worker), which
+//! is the ordering guarantee the tests pin down: CQE *i* is always the
+//! completion of SQE *i*.
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::Thread;
+use std::time::Instant;
+
+use crossbeam::utils::CachePadded;
+
+use crate::bulk::PoolBuf;
+use crate::flight::FlightKind;
+use crate::obs::LatencyKind;
+use crate::region::BulkDesc;
+use crate::span::SpanToken;
+use crate::{bulk, Client, EntryId, ProgramId, RtError, Runtime};
+
+/// Hard cap on ring capacities (entries). Large enough for any open-loop
+/// experiment, small enough that a mis-typed depth cannot allocate gigabytes.
+pub const MAX_RING_DEPTH: usize = 1 << 16;
+
+/// Sizing for a [`ClientRing`]. Depths are rounded up to powers of two
+/// and clamped to [2, [`MAX_RING_DEPTH`]]; `credits` is clamped to the
+/// completion-queue capacity so the CQ can never overflow.
+#[derive(Clone, Copy, Debug)]
+pub struct RingOptions {
+    /// Submission-queue capacity (entries).
+    pub sq_depth: usize,
+    /// Completion-queue capacity (entries).
+    pub cq_depth: usize,
+    /// In-flight credit budget: submissions not yet reaped. The
+    /// admission bound behind [`RtError::RingFull`].
+    pub credits: usize,
+}
+
+impl Default for RingOptions {
+    fn default() -> Self {
+        RingOptions { sq_depth: 64, cq_depth: 64, credits: 64 }
+    }
+}
+
+/// One harvested completion (see [`ClientRing::reap`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Completion {
+    /// The user tag passed at submission, returned verbatim.
+    pub user: u64,
+    /// The entry the SQE targeted.
+    pub ep: EntryId,
+    /// The handler's 8 return words, or the dispatch/execution error
+    /// (unknown/dead entry, contained fault, refused bulk copy).
+    pub result: Result<[u64; 8], RtError>,
+}
+
+/// A queued submission. Fixed-size; the staged payload (if any) rides
+/// as an owned pool buffer, so dropping an unexecuted SQE cannot leak.
+struct Sqe {
+    ep: EntryId,
+    args: [u64; 8],
+    user: u64,
+    /// Packed [`crate::TraceCtx`] of the client-side ring span (0 = no
+    /// trace) — the handler span parents under it, exactly like the
+    /// call slot's trace word on the hand-off path.
+    trace: u64,
+    staged: Option<Staged>,
+}
+
+/// Payload staged client-side for worker-side delivery.
+enum Staged {
+    /// Request bytes the handler sees as its scratch page
+    /// ([`crate::ScratchRef::Ready`] over the buffer).
+    Payload { buf: PoolBuf },
+    /// Async bulk copy: `len` bytes to move into the granted region
+    /// span `desc` before the handler (which receives `desc` in
+    /// `args[7]`) runs.
+    Bulk { buf: PoolBuf, len: usize, desc: BulkDesc },
+}
+
+/// A queued completion (plain data; the CQ never owns resources).
+struct Cqe {
+    user: u64,
+    ep: EntryId,
+    result: Result<[u64; 8], RtError>,
+}
+
+/// A power-of-two SPSC ring: cache-line-padded cursors, `MaybeUninit`
+/// slots. The index protocol is the whole synchronization story: the
+/// producer owns `[tail, head + capacity)`, the consumer owns
+/// `[head, tail)`, and each side publishes its cursor with `Release`
+/// after touching a slot, never before.
+struct Spsc<T> {
+    /// Consumer cursor (next entry to read). Monotonic, never masked.
+    head: CachePadded<AtomicU64>,
+    /// Producer cursor (next entry to write). Monotonic, never masked.
+    tail: CachePadded<AtomicU64>,
+    mask: u64,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+// Safety: slots are accessed only under the SPSC index protocol — the
+// producer touches a slot strictly before publishing it via `tail`, the
+// consumer strictly after observing it there (and symmetrically for
+// recycling via `head`) — so no slot is ever reachable from two threads
+// at once.
+unsafe impl<T: Send> Send for Spsc<T> {}
+unsafe impl<T: Send> Sync for Spsc<T> {}
+
+impl<T> Spsc<T> {
+    fn new(cap: usize) -> Spsc<T> {
+        debug_assert!(cap.is_power_of_two());
+        Spsc {
+            head: CachePadded::new(AtomicU64::new(0)),
+            tail: CachePadded::new(AtomicU64::new(0)),
+            mask: cap as u64 - 1,
+            slots: (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect(),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Producer side: move `v` into slot `idx`.
+    ///
+    /// # Safety
+    /// Caller is the sole producer, `idx` is its unpublished cursor, and
+    /// `idx - head < capacity` (the slot is free).
+    unsafe fn write(&self, idx: u64, v: T) {
+        (*self.slots[(idx & self.mask) as usize].get()).write(v);
+    }
+
+    /// Consumer side: move slot `idx`'s entry out.
+    ///
+    /// # Safety
+    /// Caller is the sole consumer, `idx` is its cursor, and `idx <
+    /// tail` was observed with `Acquire` (the slot is published).
+    unsafe fn read(&self, idx: u64) -> T {
+        (*self.slots[(idx & self.mask) as usize].get()).assume_init_read()
+    }
+
+    /// Drop every published-but-unconsumed entry (sole-owner teardown).
+    fn drain_owned(&mut self) {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
+        for i in head..tail {
+            // Safety: exclusive access (`&mut self`), entries in
+            // `[head, tail)` are initialized and unconsumed.
+            unsafe { drop(self.read(i)) };
+        }
+        self.head.store(tail, Ordering::Relaxed);
+    }
+}
+
+/// The state shared between a [`ClientRing`] handle and its worker
+/// thread. Registered (weakly) with Frank so runtime-wide policy
+/// changes reach the worker's idle budget.
+pub(crate) struct RingShared {
+    vcpu: usize,
+    program: ProgramId,
+    sq: Spsc<Sqe>,
+    cq: Spsc<Cqe>,
+    /// Worker's sleep announcement (the Dekker flag the doorbell pairs
+    /// with).
+    sleeping: AtomicBool,
+    /// Worker thread handle, installed by the spawner before the ring
+    /// is usable — a doorbell can never miss its unpark target.
+    worker: OnceLock<Thread>,
+    shutdown: AtomicBool,
+    /// Worker-side idle spin budget before sleeping; paired with the
+    /// runtime [`crate::SpinPolicy`] like every entry's `idle_spin`.
+    idle_spin: AtomicU32,
+}
+
+impl RingShared {
+    pub(crate) fn set_idle_spin(&self, budget: u32) {
+        self.idle_spin.store(budget, Ordering::Relaxed);
+    }
+}
+
+impl Drop for RingShared {
+    fn drop(&mut self) {
+        // Sole owner at this point (client handle and worker both
+        // gone): free anything still queued so staged payload buffers
+        // never leak.
+        self.sq.drain_owned();
+        self.cq.drain_owned();
+    }
+}
+
+/// The per-client ring handle: submit many PPCs, ring the doorbell once
+/// per batch, reap completions in submission order. Created with
+/// [`Client::ring`] / [`Client::ring_with`]; dropping it shuts the
+/// worker down after everything queued has completed.
+///
+/// All producer-side methods take `&mut self`: the type system enforces
+/// the single-producer half of the SPSC contract (clone the
+/// [`Client`] and build another ring for a second submitter).
+pub struct ClientRing {
+    rt: Arc<Runtime>,
+    shared: Arc<RingShared>,
+    /// Client-local submission cursor (equals the published SQ tail).
+    local_tail: u64,
+    /// Completions harvested so far (equals the published CQ head).
+    reaped: u64,
+    credits: u64,
+    /// Ring spans of in-flight SQEs, submission order — completions
+    /// arrive in the same order, so reap closes them front-first.
+    tokens: VecDeque<Option<SpanToken>>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ClientRing {
+    pub(crate) fn new(client: &Client, opts: RingOptions) -> ClientRing {
+        let rt = Arc::clone(client.runtime());
+        let sq_cap = opts.sq_depth.next_power_of_two().clamp(2, MAX_RING_DEPTH);
+        let cq_cap = opts.cq_depth.next_power_of_two().clamp(2, MAX_RING_DEPTH);
+        let credits = opts.credits.clamp(1, cq_cap) as u64;
+        let shared = Arc::new(RingShared {
+            vcpu: client.vcpu,
+            program: client.program,
+            sq: Spsc::new(sq_cap),
+            cq: Spsc::new(cq_cap),
+            sleeping: AtomicBool::new(false),
+            worker: OnceLock::new(),
+            shutdown: AtomicBool::new(false),
+            idle_spin: AtomicU32::new(crate::worker_idle_budget(rt.spin_policy())),
+        });
+        rt.register_ring(&shared);
+        let rt2 = Arc::clone(&rt);
+        let sh2 = Arc::clone(&shared);
+        let pin = rt.pinned();
+        let jh = std::thread::Builder::new()
+            .name(format!("ppc-ring-v{}", client.vcpu))
+            .spawn(move || {
+                if pin {
+                    crate::worker::pin_to_vcpu_core(sh2.vcpu);
+                }
+                ring_worker(rt2, sh2);
+            })
+            .expect("spawn ring worker thread");
+        shared.worker.set(jh.thread().clone()).expect("worker thread set once");
+        rt.stats.cell(client.vcpu).workers_created.fetch_add(1, Ordering::Relaxed);
+        ClientRing {
+            rt,
+            shared,
+            local_tail: 0,
+            reaped: 0,
+            credits,
+            tokens: VecDeque::new(),
+            join: Some(jh),
+        }
+    }
+
+    /// Submissions accepted but not yet reaped — bounded by
+    /// [`ClientRing::credits`] at all times (the bounded-memory
+    /// invariant the overload experiment checks).
+    pub fn in_flight(&self) -> u64 {
+        self.local_tail - self.reaped
+    }
+
+    /// The in-flight credit budget.
+    pub fn credits(&self) -> u64 {
+        self.credits
+    }
+
+    /// Submission-queue capacity (entries).
+    pub fn sq_capacity(&self) -> usize {
+        self.shared.sq.capacity()
+    }
+
+    /// Completion-queue capacity (entries).
+    pub fn cq_capacity(&self) -> usize {
+        self.shared.cq.capacity()
+    }
+
+    /// Admission control: refuse when the credit budget is spent or the
+    /// SQ has no free slot, counting the shed into `ring_full`.
+    fn admit(&self) -> Result<(), RtError> {
+        let s = &self.shared;
+        if self.local_tail - self.reaped >= self.credits
+            || self.local_tail - s.sq.head.load(Ordering::Acquire) >= s.sq.capacity() as u64
+        {
+            self.rt.stats.cell(s.vcpu).ring_full.fetch_add(1, Ordering::Relaxed);
+            return Err(RtError::RingFull);
+        }
+        Ok(())
+    }
+
+    /// Write one SQE and publish the tail (`Release`). No wake — that
+    /// is [`ClientRing::doorbell`]'s job, once per batch.
+    fn push(&mut self, ep: EntryId, args: [u64; 8], user: u64, staged: Option<Staged>) {
+        let s = &self.shared;
+        let sampled = self.rt.obs().try_sample();
+        let tok = self.rt.spans().begin_ring(sampled, s.vcpu, ep);
+        let trace = tok.as_ref().map_or(0, |t| t.ctx.pack());
+        // Safety: single producer (`&mut self`), space checked by
+        // `admit` — the cursor's slot is free.
+        unsafe { s.sq.write(self.local_tail, Sqe { ep, args, user, trace, staged }) };
+        self.local_tail += 1;
+        s.sq.tail.store(self.local_tail, Ordering::Release);
+        self.tokens.push_back(tok);
+        self.rt.stats.cell(s.vcpu).ring_submits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Queue one PPC: entry `ep`, 8 argument words, and a `user` tag
+    /// returned verbatim in the [`Completion`]. Returns
+    /// [`RtError::RingFull`] when admission control refuses (reap, or
+    /// shed the request, and retry). Call [`ClientRing::doorbell`]
+    /// after the batch.
+    pub fn submit(&mut self, ep: EntryId, args: [u64; 8], user: u64) -> Result<(), RtError> {
+        self.admit()?;
+        self.push(ep, args, user, None);
+        Ok(())
+    }
+
+    /// Queue one PPC carrying a request payload. The bytes are staged
+    /// into a pool buffer (one local memcpy) and handed to the handler
+    /// as its scratch page, payload in the prefix. Payloads above the
+    /// top pool size class are refused with [`RtError::BadBulk`].
+    pub fn submit_payload(
+        &mut self,
+        ep: EntryId,
+        args: [u64; 8],
+        user: u64,
+        payload: &[u8],
+    ) -> Result<(), RtError> {
+        self.admit()?;
+        let s = &self.shared;
+        let cell = self.rt.stats.cell(s.vcpu);
+        let mut buf =
+            self.rt.bulk().pool(s.vcpu).take(payload.len().max(1), cell).ok_or(RtError::BadBulk)?;
+        buf.as_mut_slice()[..payload.len()].copy_from_slice(payload);
+        self.push(ep, args, user, Some(Staged::Payload { buf }));
+        Ok(())
+    }
+
+    /// Queue one bulk PPC, draining the region copy off this thread's
+    /// critical path: `payload` is staged into a pool buffer now (one
+    /// local memcpy), the ring worker later performs the grant-checked
+    /// copy into the span `desc` describes — which this client's
+    /// program must own — and then runs the handler with `desc` packed
+    /// into `args[7]`, exactly like [`Client::call_bulk`]. A payload
+    /// longer than the descriptor's span, or wider than the top pool
+    /// class, is refused with [`RtError::BadBulk`] up front.
+    pub fn submit_bulk(
+        &mut self,
+        ep: EntryId,
+        mut args: [u64; 8],
+        user: u64,
+        desc: BulkDesc,
+        payload: &[u8],
+    ) -> Result<(), RtError> {
+        self.admit()?;
+        args[7] = desc.encode().ok_or(RtError::BadBulk)?;
+        if payload.len() > desc.len as usize {
+            return Err(RtError::BadBulk);
+        }
+        let s = &self.shared;
+        let cell = self.rt.stats.cell(s.vcpu);
+        let mut buf =
+            self.rt.bulk().pool(s.vcpu).take(payload.len().max(1), cell).ok_or(RtError::BadBulk)?;
+        buf.as_mut_slice()[..payload.len()].copy_from_slice(payload);
+        cell.bulk_calls.fetch_add(1, Ordering::Relaxed);
+        self.push(ep, args, user, Some(Staged::Bulk { buf, len: payload.len(), desc }));
+        Ok(())
+    }
+
+    /// Ring the doorbell: make the batch visible in the `SeqCst` order
+    /// and wake the worker iff it actually went to sleep. One
+    /// park/unpark pair per *batch*, not per call — the amortization
+    /// that pays for the ring in the park modes. Idempotent and cheap
+    /// when the worker is awake (spin modes): one store and one swap.
+    pub fn doorbell(&self) {
+        let s = &self.shared;
+        // The SeqCst re-publish pairs with the worker's sleep protocol:
+        // worker stores `sleeping = true` (SeqCst), re-loads the tail
+        // (SeqCst), parks. Whichever lands first in the total order,
+        // either the worker sees this tail, or this swap sees the
+        // worker's announcement — a lost wakeup would need both loads
+        // to miss both stores, which SeqCst forbids.
+        s.sq.tail.store(self.local_tail, Ordering::SeqCst);
+        if s.sleeping.swap(false, Ordering::SeqCst) {
+            if let Some(t) = s.worker.get() {
+                let cell = self.rt.stats.cell(s.vcpu);
+                cell.ring_doorbells.fetch_add(1, Ordering::Relaxed);
+                let depth = self.local_tail.saturating_sub(s.sq.head.load(Ordering::Relaxed));
+                self.rt.flight().record(s.vcpu, FlightKind::Doorbell, 0, depth as u32);
+                t.unpark();
+            }
+        }
+    }
+
+    /// Harvest up to `max` completions into `out` (append; the caller
+    /// reuses the vector so the hot loop never allocates). Returns how
+    /// many were reaped. Completions arrive in submission order; each
+    /// reap closes the matching ring span and returns a credit.
+    /// Non-blocking — an empty CQ reaps zero.
+    pub fn reap(&mut self, max: usize, out: &mut Vec<Completion>) -> usize {
+        let s = &self.shared;
+        let tail = s.cq.tail.load(Ordering::Acquire);
+        let mut n = 0usize;
+        while self.reaped < tail && n < max {
+            // Safety: single consumer (`&mut self`), `reaped < tail`
+            // observed with Acquire.
+            let cqe = unsafe { s.cq.read(self.reaped) };
+            self.reaped += 1;
+            s.cq.head.store(self.reaped, Ordering::Release);
+            if let Some(tok) = self.tokens.pop_front().flatten() {
+                self.rt.spans().end_token(tok, None);
+            }
+            out.push(Completion { user: cqe.user, ep: cqe.ep, result: cqe.result });
+            n += 1;
+        }
+        if n > 0 && self.rt.obs().try_sample() {
+            self.rt.obs().record(LatencyKind::ReapBatch, s.vcpu, n as u64);
+            self.rt.flight().record(s.vcpu, FlightKind::RingReap, 0, n as u32);
+        }
+        n
+    }
+
+    /// Doorbell, then reap until every accepted submission has
+    /// completed. Yields between empty polls; progress is guaranteed
+    /// because the worker completes every queued SQE (a dead entry
+    /// yields an error CQE, never silence).
+    pub fn drain(&mut self, out: &mut Vec<Completion>) {
+        self.doorbell();
+        while self.reaped < self.local_tail {
+            if self.reap(usize::MAX, out) == 0 {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+impl Drop for ClientRing {
+    fn drop(&mut self) {
+        // Shut the worker down; it finishes everything still queued
+        // (error CQEs for dead entries) before exiting, so staged
+        // buffers recycle and nothing is silently dropped mid-queue.
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.doorbell();
+        if let Some(jh) = self.join.take() {
+            let _ = jh.join();
+        }
+        // Close the ring spans of completions never reaped.
+        while let Some(tok) = self.tokens.pop_front() {
+            if let Some(tok) = tok {
+                self.rt.spans().end_token(tok, None);
+            }
+        }
+    }
+}
+
+impl Client {
+    /// A submission/completion ring with default sizing (see
+    /// [`RingOptions`]): pipelined PPC for this client's vCPU.
+    pub fn ring(&self) -> ClientRing {
+        ClientRing::new(self, RingOptions::default())
+    }
+
+    /// A submission/completion ring with explicit sizing.
+    pub fn ring_with(&self, opts: RingOptions) -> ClientRing {
+        ClientRing::new(self, opts)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------
+
+/// Idle rendezvous, ring-worker side: bounded spin on the SQ tail (the
+/// mirror of the entry workers' mailbox spin), then the Dekker sleep
+/// protocol the doorbell pairs with.
+fn idle_wait(ring: &RingShared, head: u64) {
+    let budget = ring.idle_spin.load(Ordering::Relaxed);
+    let mut spins = 0u32;
+    while spins < budget {
+        if spins & 63 == 0 {
+            std::thread::yield_now();
+        }
+        std::hint::spin_loop();
+        if ring.sq.tail.load(Ordering::Relaxed) != head
+            || ring.shutdown.load(Ordering::Relaxed)
+        {
+            return;
+        }
+        spins += 1;
+    }
+    // Announce, re-check in the SeqCst order, then sleep. See
+    // `ClientRing::doorbell` for why this cannot lose a wakeup.
+    ring.sleeping.store(true, Ordering::SeqCst);
+    if ring.sq.tail.load(Ordering::SeqCst) != head || ring.shutdown.load(Ordering::SeqCst) {
+        ring.sleeping.store(false, Ordering::Relaxed);
+        return;
+    }
+    std::thread::park();
+    ring.sleeping.store(false, Ordering::Relaxed);
+}
+
+/// The ring worker loop: consume SQEs in order, execute each under an
+/// execution-time claim, post the CQE, repeat. One thread per ring; it
+/// exits when the client handle drops (after finishing the queue).
+fn ring_worker(rt: Arc<Runtime>, ring: Arc<RingShared>) {
+    // The persistent scratch page handlers see on non-payload SQEs —
+    // the ring worker's stand-in for a CD's scratch.
+    let mut scratch = vec![0u8; crate::slot::SCRATCH_BYTES].into_boxed_slice();
+    let mut head = 0u64;
+    let mut cq_tail = 0u64;
+    loop {
+        let tail = ring.sq.tail.load(Ordering::Acquire);
+        if head == tail {
+            if ring.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            idle_wait(&ring, head);
+            continue;
+        }
+        if rt.obs().try_sample() {
+            // The queue depth this pickup observes — log₂ depth bands.
+            rt.obs().record(LatencyKind::RingDepth, ring.vcpu, tail - head);
+        }
+        while head != tail {
+            // Safety: sole consumer; `head < tail` observed Acquire.
+            let sqe = unsafe { ring.sq.read(head) };
+            head += 1;
+            // Free the SQ slot before executing: admission is bounded
+            // by credits, not SQ occupancy, so the client may refill
+            // while this entry runs.
+            ring.sq.head.store(head, Ordering::Release);
+            let cqe = execute_sqe(&rt, &ring, sqe, &mut scratch);
+            debug_assert!(
+                cq_tail - ring.cq.head.load(Ordering::Relaxed)
+                    < ring.cq.capacity() as u64,
+                "credit clamp must bound CQ occupancy"
+            );
+            // Safety: sole CQ producer; occupancy bounded by the
+            // credit clamp (credits <= cq capacity).
+            unsafe { ring.cq.write(cq_tail, cqe) };
+            cq_tail += 1;
+            ring.cq.tail.store(cq_tail, Ordering::Release);
+        }
+    }
+}
+
+/// Execute one SQE: deliver any staged payload, run the handler under
+/// an execution-time claim, recycle the staging buffer, and produce the
+/// completion entry.
+fn execute_sqe(rt: &Arc<Runtime>, ring: &RingShared, sqe: Sqe, scratch: &mut [u8]) -> Cqe {
+    let Sqe { ep, args, user, trace, staged } = sqe;
+    let result = match staged {
+        None => rt.ring_execute(ring.vcpu, ep, args, ring.program, trace, scratch),
+        Some(Staged::Payload { mut buf }) => {
+            let r = rt.ring_execute(ring.vcpu, ep, args, ring.program, trace, buf.as_mut_slice());
+            rt.bulk().pool(ring.vcpu).put(buf);
+            r
+        }
+        Some(Staged::Bulk { buf, len, desc }) => {
+            let copied = bulk_copy_in(rt, ring, &buf, len, desc);
+            rt.bulk().pool(ring.vcpu).put(buf);
+            match copied {
+                Ok(()) => rt.ring_execute(ring.vcpu, ep, args, ring.program, trace, scratch),
+                Err(e) => Err(e),
+            }
+        }
+    };
+    Cqe { user, ep, result }
+}
+
+/// The async copy engine's worker half: move the staged bytes into the
+/// granted region span on behalf of the submitting program. Owner-side
+/// access — authorized iff the ring client's program owns the region —
+/// with the same accounting as the synchronous copy paths.
+fn bulk_copy_in(
+    rt: &Arc<Runtime>,
+    ring: &RingShared,
+    buf: &PoolBuf,
+    len: usize,
+    desc: BulkDesc,
+) -> Result<(), RtError> {
+    let cell = rt.stats.cell(ring.vcpu);
+    let t0 = rt.obs().try_sample().then(Instant::now);
+    let acc = rt
+        .bulk()
+        .registry(ring.vcpu)
+        .begin(desc, 0, ring.program, ring.program, true, true)
+        .inspect_err(|_| {
+            cell.bulk_denied.fetch_add(1, Ordering::Relaxed);
+        })?;
+    let n = acc.len.min(len);
+    // Safety: `acc` authorizes `[acc.ptr, acc.ptr + acc.len)` and holds
+    // the slot exclusively (write access); the pool buffer holds at
+    // least `len` initialized bytes and cannot alias region memory.
+    unsafe { bulk::copy_span(acc.ptr, buf.as_mut_ptr() as *const u8, n) };
+    acc.finish().inspect_err(|_| {
+        cell.bulk_denied.fetch_add(1, Ordering::Relaxed);
+    })?;
+    cell.bulk_bytes.fetch_add(n as u64, Ordering::Relaxed);
+    if let Some(t0) = t0 {
+        rt.obs().record(LatencyKind::BulkCopy, ring.vcpu, t0.elapsed().as_nanos() as u64);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spsc_wraps_and_preserves_order() {
+        let q: Spsc<u64> = Spsc::new(4);
+        let mut tail = 0u64;
+        let mut head = 0u64;
+        // Three full laps around a 4-slot ring.
+        for round in 0..3u64 {
+            for i in 0..4u64 {
+                unsafe { q.write(tail, round * 100 + i) };
+                tail += 1;
+                q.tail.store(tail, Ordering::Release);
+            }
+            assert_eq!(tail - head, 4, "full");
+            for i in 0..4u64 {
+                let got = unsafe { q.read(head) };
+                head += 1;
+                q.head.store(head, Ordering::Release);
+                assert_eq!(got, round * 100 + i);
+            }
+        }
+    }
+
+    #[test]
+    fn spsc_drain_owned_frees_queued_entries() {
+        let counter = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        struct Probe(std::sync::Arc<std::sync::atomic::AtomicUsize>);
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let mut q: Spsc<Probe> = Spsc::new(8);
+        for i in 0..5u64 {
+            unsafe { q.write(i, Probe(std::sync::Arc::clone(&counter))) };
+            q.tail.store(i + 1, Ordering::Release);
+        }
+        // Consume two, leave three queued.
+        for i in 0..2u64 {
+            unsafe { drop(q.read(i)) };
+            q.head.store(i + 1, Ordering::Release);
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+        q.drain_owned();
+        assert_eq!(counter.load(Ordering::Relaxed), 5, "queued entries freed exactly once");
+        drop(q);
+        assert_eq!(counter.load(Ordering::Relaxed), 5, "no double free on drop");
+    }
+
+    #[test]
+    fn ring_options_clamp() {
+        let rt = Runtime::new(1);
+        let client = rt.client(0, 1);
+        let ring =
+            client.ring_with(RingOptions { sq_depth: 5, cq_depth: 3, credits: 1000 });
+        assert_eq!(ring.sq_capacity(), 8, "rounded up to a power of two");
+        assert_eq!(ring.cq_capacity(), 4);
+        assert_eq!(ring.credits(), 4, "credits clamped to CQ capacity");
+        assert_eq!(ring.in_flight(), 0);
+    }
+}

@@ -80,21 +80,24 @@ pub enum SpanPhase {
     Frank = 5,
     /// Asynchronous call, dispatch to completion-observed.
     Async = 6,
+    /// Ring-submitted call, SQE accepted to completion reaped.
+    Ring = 7,
 }
 
 /// All phases, in discriminant order (exporter iteration surface).
-pub const PHASES: [SpanPhase; 6] = [
+pub const PHASES: [SpanPhase; 7] = [
     SpanPhase::Call,
     SpanPhase::Rendezvous,
     SpanPhase::Handler,
     SpanPhase::BulkCopy,
     SpanPhase::Frank,
     SpanPhase::Async,
+    SpanPhase::Ring,
 ];
 
 /// Slots in a per-phase accumulation array indexed by discriminant
 /// (index 0 unused).
-pub const NPHASES: usize = 7;
+pub const NPHASES: usize = 8;
 
 impl SpanPhase {
     /// Decode a phase byte; `None` for an invalid value.
@@ -106,6 +109,7 @@ impl SpanPhase {
             4 => SpanPhase::BulkCopy,
             5 => SpanPhase::Frank,
             6 => SpanPhase::Async,
+            7 => SpanPhase::Ring,
             _ => return None,
         })
     }
@@ -119,6 +123,7 @@ impl SpanPhase {
             SpanPhase::BulkCopy => "bulk_copy",
             SpanPhase::Frank => "frank",
             SpanPhase::Async => "async",
+            SpanPhase::Ring => "ring",
         }
     }
 
@@ -622,6 +627,27 @@ impl SpanPlane {
                 return None;
             }
             self.begin(parent, sampled, false, vcpu, ep, SpanPhase::Async)
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = (sampled, vcpu, ep);
+            None
+        }
+    }
+
+    /// Begin a ring span (client side, one per accepted SQE). Not
+    /// installed — the submitter continues immediately; the span closes
+    /// when the completion is reaped, and its packed context rides the
+    /// SQE's trace word so the handler span parents under it.
+    #[inline]
+    pub fn begin_ring(&self, sampled: bool, vcpu: usize, ep: EntryId) -> Option<SpanToken> {
+        #[cfg(feature = "obs")]
+        {
+            let parent = TraceCtx::unpack(CTX.with(|c| c.get()));
+            if parent.is_none() && !sampled {
+                return None;
+            }
+            self.begin(parent, sampled, false, vcpu, ep, SpanPhase::Ring)
         }
         #[cfg(not(feature = "obs"))]
         {

@@ -150,6 +150,18 @@ counters! {
     /// Dead entries reclaimed (unpublished + grace period + registry
     /// reference dropped).
     entries_reclaimed,
+    /// SQEs accepted into a submission ring (admitted past the credit
+    /// gate; each later completes exactly once).
+    ring_submits,
+    /// Ring-submitted calls executed by a ring worker (completions
+    /// posted to a CQ, successful or not).
+    ring_calls,
+    /// Doorbell rings that actually woke a sleeping ring worker — the
+    /// batched stand-in for per-call unpark.
+    ring_doorbells,
+    /// Submissions refused by admission control ([`crate::RtError::RingFull`]):
+    /// the open-loop backpressure signal.
+    ring_full,
 }
 
 /// Sharded facility counters: one padded cell per virtual processor.
@@ -234,7 +246,7 @@ mod tests {
         let snap = s.snapshot();
         let fields = snap.fields();
         // `calls` plus one entry per StatsCell counter, no drift.
-        assert_eq!(fields.len(), 19);
+        assert_eq!(fields.len(), 23);
         assert_eq!(fields[0], ("calls", 7));
         let get = |name: &str| fields.iter().find(|(n, _)| *n == name).unwrap().1;
         assert_eq!(get("inline_calls"), 7);

@@ -206,12 +206,7 @@ impl WorkerPool {
             .name(name)
             .spawn(move || {
                 if pin_core {
-                    if let Some(cores) = core_affinity::get_core_ids() {
-                        if !cores.is_empty() {
-                            let core = cores[vcpu % cores.len()];
-                            let _ = core_affinity::set_for_current(core);
-                        }
-                    }
+                    pin_to_vcpu_core(vcpu);
                 }
                 worker_loop(entry2, w2, vcpu);
             })
@@ -276,6 +271,19 @@ impl WorkerPool {
 impl Default for WorkerPool {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Pin the calling thread to `vcpu`'s core (modulo the host's core
+/// count) — the placement discipline every facility thread follows, so
+/// a vCPU's entry workers and its ring worker land on the same core as
+/// the clients they serve.
+pub(crate) fn pin_to_vcpu_core(vcpu: usize) {
+    if let Some(cores) = core_affinity::get_core_ids() {
+        if !cores.is_empty() {
+            let core = cores[vcpu % cores.len()];
+            let _ = core_affinity::set_for_current(core);
+        }
     }
 }
 

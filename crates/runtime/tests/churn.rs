@@ -291,6 +291,112 @@ fn exchange_churn_never_runs_a_freed_handler() {
     dog.join().unwrap();
 }
 
+/// Ring lifecycle interop: kill and reclaim with SQEs still queued.
+/// Ring submissions hold no entry claim while they wait (claims are
+/// taken at execution time), so a hard kill mid-queue must not wedge
+/// `reclaim_slot` — queued SQEs for the dead entry complete with error
+/// CQEs, every accepted submission gets exactly one completion, and the
+/// slot reclaims and rebinds while the same ring keeps serving.
+#[test]
+fn kill_with_queued_sqes_drains_cleanly() {
+    let rt = Runtime::new(1);
+    let done = Arc::new(AtomicBool::new(false));
+    let dog = watchdog(Arc::clone(&done), 60, "ring kill drain", Arc::clone(&rt));
+    let gate = Arc::new(AtomicBool::new(false));
+    let g = Arc::clone(&gate);
+    let ep = rt
+        .bind(
+            "victim",
+            ppc_rt::EntryOptions { want_ep: Some(11), ..Default::default() },
+            Arc::new(move |c| {
+                // The first SQE blocks the ring worker so the rest of
+                // the batch is provably still queued at kill time.
+                if c.args[0] == 0 {
+                    while !g.load(Ordering::Acquire) {
+                        std::thread::yield_now();
+                    }
+                }
+                c.args
+            }),
+        )
+        .unwrap();
+    let client = rt.client(0, 1);
+    let mut ring = client.ring();
+    for i in 0..8u64 {
+        ring.submit(ep, [i; 8], i).unwrap();
+    }
+    ring.doorbell();
+    rt.hard_kill(ep, 0).unwrap();
+    gate.store(true, Ordering::Release);
+
+    let mut out = Vec::new();
+    ring.drain(&mut out);
+    assert_eq!(out.len(), 8, "every accepted SQE completed exactly once");
+    let errors = out.iter().filter(|c| c.result.is_err()).count();
+    assert!(errors >= 1, "submissions queued behind the kill fail: {out:?}");
+    for c in &out {
+        if let Err(e) = &c.result {
+            assert!(
+                matches!(
+                    e,
+                    RtError::EntryDead(_) | RtError::Aborted(_) | RtError::UnknownEntry(_)
+                ),
+                "dead-entry shaped error, got {e}"
+            );
+        }
+    }
+
+    // The queue held no claims, so the slot reclaims without wedging
+    // and the ID rebinds — and the *same ring* serves the new binding.
+    rt.reclaim_slot(ep, 0).unwrap();
+    let opts = ppc_rt::EntryOptions { want_ep: Some(11), ..Default::default() };
+    let ep2 = rt.bind("reborn", opts, Arc::new(|_| [7; 8])).unwrap();
+    assert_eq!(ep2, ep);
+    ring.submit(ep2, [0; 8], 99).unwrap();
+    ring.drain(&mut out);
+    assert_eq!(out.last().unwrap().result, Ok([7; 8]));
+    done.store(true, Ordering::Release);
+    dog.join().unwrap();
+}
+
+/// Exchange with SQEs in flight: each queued submission executes
+/// whichever handler era is current when it reaches the head of the
+/// queue — never a freed one, never a torn mix — and all complete Ok.
+#[test]
+fn exchange_with_queued_sqes_serves_some_era() {
+    let rt = Runtime::new(1);
+    let done = Arc::new(AtomicBool::new(false));
+    let dog = watchdog(Arc::clone(&done), 60, "ring exchange drain", Arc::clone(&rt));
+    let ep = rt.bind("gen", EntryOptions::default(), Arc::new(|_| [1; 8])).unwrap();
+    let client = rt.client(0, 1);
+    let mut ring = client.ring_with(ppc_rt::RingOptions {
+        sq_depth: 256,
+        cq_depth: 256,
+        credits: 256,
+    });
+    let mut out = Vec::new();
+    for round in 2..50u64 {
+        for i in 0..16u64 {
+            ring.submit(ep, [i; 8], round * 100 + i).unwrap();
+        }
+        ring.doorbell();
+        // Race the exchange against the draining batch.
+        rt.exchange(ep, Arc::new(move |_| [round; 8]), 0).unwrap();
+        ring.drain(&mut out);
+    }
+    assert_eq!(out.len(), 48 * 16);
+    for c in &out {
+        let rets = c.result.clone().expect("exchange never kills the entry");
+        let gen = rets[0];
+        assert!(
+            (1..50).contains(&gen),
+            "result from a real handler era, got {gen}"
+        );
+    }
+    done.store(true, Ordering::Release);
+    dog.join().unwrap();
+}
+
 /// Acceptance criterion 2: the per-vCPU lifecycle shards are exact —
 /// per-vCPU completion counts sum to the entry total, and the total
 /// matches the calls actually made. (If the hot path wrote any shared

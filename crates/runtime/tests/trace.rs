@@ -164,6 +164,76 @@ fn call_async_is_fully_observable() {
     load_chrome_trace(&rt.export_trace()).expect("every begin has an end after drop");
 }
 
+/// Ring submissions trace like every other dispatch: each sampled SQE
+/// mints a `ring` root span that opens at submit and closes at reap,
+/// and the worker-side handler span rides the SQE's packed context —
+/// same trace id, parented under the ring span.
+#[test]
+fn ring_submissions_parent_their_handler_spans() {
+    let rt = Runtime::new(1);
+    rt.obs().set_sample_shift(0);
+    let ep = rt
+        .bind("svc", EntryOptions::default(), Arc::new(|c| c.args))
+        .unwrap();
+    let client = rt.client(0, 1);
+    let mut ring = client.ring();
+    let mut out = Vec::new();
+    ring.submit(ep, [1; 8], 1).unwrap();
+    ring.submit(ep, [2; 8], 2).unwrap();
+    ring.drain(&mut out);
+    assert_eq!(out.len(), 2);
+
+    let spans = spans_of(&rt);
+    if !cfg!(feature = "obs") {
+        assert!(spans.is_empty(), "compiled out: no spans recorded");
+        return;
+    }
+    let rings: Vec<_> = spans.iter().filter(|s| s.name == "ring").collect();
+    assert_eq!(rings.len(), 2, "one ring span per SQE: {spans:#?}");
+    for r in &rings {
+        assert!(r.is_root(), "ring submissions are trace roots");
+        assert_eq!(r.ep, ep as u16);
+        let handler = spans
+            .iter()
+            .find(|s| s.name == "handler" && s.trace_id == r.trace_id)
+            .unwrap_or_else(|| panic!("handler span for trace {}: {spans:#?}", r.trace_id));
+        assert_eq!(handler.parent_id, r.span_id, "handler under its ring span");
+        assert!(handler.start_us >= r.start_us, "containment");
+    }
+    // The two SQEs are distinct causal chains.
+    assert_ne!(rings[0].trace_id, rings[1].trace_id);
+    // Submitting from inside a traced handler parents the ring span
+    // into the surrounding chain instead of minting a new root.
+    drop(ring);
+    let rt2 = Arc::clone(&rt);
+    let inner = ep;
+    let outer = rt
+        .bind(
+            "outer",
+            EntryOptions { inline_ok: true, ..Default::default() },
+            Arc::new(move |ctx| {
+                let c = rt2.client(ctx.vcpu, 999);
+                let mut ring = c.ring();
+                let mut out = Vec::new();
+                ring.submit(inner, ctx.args, 1).unwrap();
+                ring.drain(&mut out);
+                out[0].result.clone().unwrap()
+            }),
+        )
+        .unwrap();
+    client.call(outer, [5; 8]).unwrap();
+    let spans = spans_of(&rt);
+    let nested = spans
+        .iter()
+        .find(|s| s.name == "ring" && !s.is_root())
+        .unwrap_or_else(|| panic!("nested ring span joins the caller's chain: {spans:#?}"));
+    let parent = spans
+        .iter()
+        .find(|s| s.span_id == nested.parent_id)
+        .expect("nested ring span's parent exists");
+    assert_eq!(parent.name, "handler", "ring span parented under the submitting handler");
+}
+
 /// A root call slower than `EXEMPLAR_FACTOR`× the entry's EWMA is
 /// promoted into the per-vCPU exemplar buffer, and the diagnostics dump
 /// reports it with its phase breakdown.
