@@ -110,9 +110,12 @@ fn ring_mode(rt: &Arc<Runtime>, depth: usize, budget_ms: u64, trials: usize) -> 
 }
 
 /// One open-loop row: offer exponential arrivals at `rate_per_s` for
-/// `run_ms`, shedding on `RingFull`. Returns the JSON fields and the
-/// (max observed in-flight, credit budget) pair for the bounded-memory
-/// check.
+/// `run_ms`, shedding on `RingFull`. Every 8th arrival targets a
+/// `QosClass::Bulk` entry with 4× the service time — the QoS-lane
+/// mix — and sojourn is reported per class, so the artifact shows the
+/// Latency lane's tail staying flat while Bulk absorbs the queueing.
+/// Returns the JSON fields and the (max observed in-flight, credit
+/// budget) pair for the bounded-memory check.
 fn open_loop(
     rt: &Arc<Runtime>,
     service_ns: u64,
@@ -121,6 +124,13 @@ fn open_loop(
     credits: usize,
 ) -> (Vec<(String, report::Json)>, u64, u64) {
     let ep = rt.bind("svc-open", EntryOptions::default(), busy_handler(service_ns)).unwrap();
+    let bulk_ep = rt
+        .bind(
+            "svc-open-bulk",
+            EntryOptions { qos: ppc_rt::QosClass::Bulk, ..Default::default() },
+            busy_handler(service_ns * 4),
+        )
+        .unwrap();
     let client = rt.client(0, 1);
     let mut ring = client.ring_with(RingOptions {
         sq_depth: credits,
@@ -138,9 +148,12 @@ fn open_loop(
     };
 
     let mut sojourn = report::Histogram::new();
+    let mut sojourn_lat = report::Histogram::new();
+    let mut sojourn_bulk = report::Histogram::new();
     let mut depth_hist = report::Histogram::new();
     let mut out: Vec<ppc_rt::Completion> = Vec::with_capacity(credits);
     let (mut offered, mut shed, mut done, mut max_if) = (0u64, 0u64, 0u64, 0u64);
+    let before = rt.stats.snapshot();
     let run_ns = run_ms * 1_000_000;
     let t0 = Instant::now();
     let mut next_arrival = next_exp();
@@ -153,7 +166,9 @@ fn open_loop(
         while next_arrival <= now {
             offered += 1;
             next_arrival += next_exp();
-            match ring.submit(ep, [0; 8], now) {
+            // Every 8th arrival rides the Bulk lane.
+            let target = if offered.is_multiple_of(8) { bulk_ep } else { ep };
+            match ring.submit(target, [0; 8], now) {
                 Ok(()) => {
                     submitted = true;
                     depth_hist.record(ring.in_flight());
@@ -173,7 +188,9 @@ fn open_loop(
             let now = t0.elapsed().as_nanos() as u64;
             for c in out.drain(..) {
                 c.result.expect("open-loop entry stays live");
-                sojourn.record(now.saturating_sub(c.user));
+                let s = now.saturating_sub(c.user);
+                sojourn.record(s);
+                if c.ep == bulk_ep { &mut sojourn_bulk } else { &mut sojourn_lat }.record(s);
                 done += 1;
             }
         } else if !submitted {
@@ -186,21 +203,34 @@ fn open_loop(
     ring.drain(&mut out);
     let tail = t0.elapsed().as_nanos() as u64;
     for c in out.drain(..) {
-        sojourn.record(tail.saturating_sub(c.user));
+        let s = tail.saturating_sub(c.user);
+        sojourn.record(s);
+        if c.ep == bulk_ep { &mut sojourn_bulk } else { &mut sojourn_lat }.record(s);
         done += 1;
     }
     let elapsed_s = t0.elapsed().as_secs_f64();
     drop(ring);
-    rt.hard_kill(ep, 0).unwrap();
-    rt.reclaim_slot(ep, 0).unwrap();
+    let delta = rt.stats.snapshot().since(&before);
+    for e in [ep, bulk_ep] {
+        rt.hard_kill(e, 0).unwrap();
+        rt.reclaim_slot(e, 0).unwrap();
+    }
 
     let fields = vec![
         ("offered_per_s".to_string(), report::Json::Num(offered as f64 / elapsed_s)),
         ("achieved_per_s".to_string(), report::Json::Num(done as f64 / elapsed_s)),
         ("shed".to_string(), report::Json::Num(shed as f64)),
+        // The shed split: a full credit budget (`shed_no_credit` — the
+        // client should reap) is a different condition from a full SQ
+        // (`shed_sq_full` — the worker is behind); the old artifact
+        // conflated both into one count.
+        ("shed_no_credit".to_string(), report::Json::Num(delta.ring_no_credit as f64)),
+        ("shed_sq_full".to_string(), report::Json::Num(delta.ring_full as f64)),
         ("max_in_flight".to_string(), report::Json::Num(max_if as f64)),
         ("credits".to_string(), report::Json::Num(credits as f64)),
         ("sojourn_ns".to_string(), report::latency_fields(&sojourn)),
+        ("sojourn_latency_ns".to_string(), report::latency_fields(&sojourn_lat)),
+        ("sojourn_bulk_ns".to_string(), report::latency_fields(&sojourn_bulk)),
         ("queue_depth".to_string(), report::latency_fields(&depth_hist)),
     ];
     (fields, max_if, credits as u64)
@@ -285,7 +315,7 @@ fn main() {
     json.meta("open_capacity_per_s", report::Json::Num(capacity));
     println!("open loop: 1 µs service, measured capacity {capacity:.0}/s, credits 64");
     println!();
-    let ow = [8, 12, 12, 10, 10, 10, 10, 12];
+    let ow = [8, 12, 12, 10, 10, 10, 10, 10, 10, 12];
     println!(
         "{}",
         report::row(
@@ -297,6 +327,8 @@ fn main() {
                 "p50 us".into(),
                 "p99 us".into(),
                 "p999 us".into(),
+                "latP99".into(),
+                "blkP99".into(),
                 "max_inflight".into(),
             ],
             &ow
@@ -319,8 +351,12 @@ fn main() {
                 .and_then(|(_, v)| v.as_f64())
                 .unwrap_or(0.0)
         };
-        let soj = fields.iter().find(|(n, _)| n == "sojourn_ns").map(|(_, v)| v.clone()).unwrap();
+        let sub = |k: &str| fields.iter().find(|(n, _)| n == k).map(|(_, v)| v.clone()).unwrap();
+        let soj = sub("sojourn_ns");
         let q = |p: &str| soj.get(p).and_then(|v| v.as_f64()).unwrap_or(0.0) / 1_000.0;
+        let class_q = |k: &str, p: &str| {
+            sub(k).get(p).and_then(|v| v.as_f64()).unwrap_or(0.0) / 1_000.0
+        };
         println!(
             "{}",
             report::row(
@@ -332,6 +368,8 @@ fn main() {
                     format!("{:.1}", q("p50")),
                     format!("{:.1}", q("p99")),
                     format!("{:.1}", q("p999")),
+                    format!("{:.1}", class_q("sojourn_latency_ns", "p99")),
+                    format!("{:.1}", class_q("sojourn_bulk_ns", "p99")),
                     format!("{max_if}"),
                 ],
                 &ow

@@ -62,16 +62,10 @@ fn measure(budget_ms: u64, mut f: impl FnMut()) -> f64 {
     best
 }
 
-fn ppc_mode(handler_ns: u64, inline: bool, policy: SpinPolicy) -> (f64, String, report::Json) {
+fn ppc_mode(handler_ns: u64, opts: EntryOptions, policy: SpinPolicy) -> (f64, String, report::Json) {
     let rt = Runtime::new(1);
     rt.set_spin_policy(policy);
-    let ep = rt
-        .bind(
-            "svc",
-            EntryOptions { inline_ok: inline, ..Default::default() },
-            busy_handler(handler_ns),
-        )
-        .unwrap();
+    let ep = rt.bind("svc", opts, busy_handler(handler_ns)).unwrap();
     let client = rt.client(0, 1);
     let before = rt.stats.snapshot();
     let ns = measure(100, || {
@@ -126,7 +120,7 @@ fn main() {
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     println!("Dispatch-mode latency matrix ({cores} host core(s)); ns/call");
     println!();
-    let widths = [12, 10, 10, 10, 10];
+    let widths = [12, 10, 10, 10, 10, 10];
     println!(
         "{}",
         report::row(
@@ -134,6 +128,7 @@ fn main() {
                 "handler".into(),
                 "inline".into(),
                 "spin".into(),
+                "hold".into(),
                 "park".into(),
                 "locked".into(),
             ],
@@ -144,18 +139,35 @@ fn main() {
 
     let mut details: Vec<String> = Vec::new();
     for handler_ns in [0u64, 500, 2_000, 20_000] {
-        let (inline_ns, inline_d, inline_j) = ppc_mode(handler_ns, true, SpinPolicy::Adaptive);
-        let (spin_ns, spin_d, spin_j) = ppc_mode(handler_ns, false, SpinPolicy::Adaptive);
-        let (park_ns, park_d, park_j) = ppc_mode(handler_ns, false, SpinPolicy::ParkOnly);
+        let (inline_ns, inline_d, inline_j) = ppc_mode(
+            handler_ns,
+            EntryOptions { inline_ok: true, ..Default::default() },
+            SpinPolicy::Adaptive,
+        );
+        let (spin_ns, spin_d, spin_j) =
+            ppc_mode(handler_ns, EntryOptions::default(), SpinPolicy::Adaptive);
+        // The paper's hold-CD mode: the worker pins its CD + scratch
+        // page across calls, skipping the per-call pool borrow/return.
+        let (hold_ns, hold_d, hold_j) = ppc_mode(
+            handler_ns,
+            EntryOptions { hold_cd: true, ..Default::default() },
+            SpinPolicy::Adaptive,
+        );
+        let (park_ns, park_d, park_j) =
+            ppc_mode(handler_ns, EntryOptions::default(), SpinPolicy::ParkOnly);
         let (locked_ns, locked_j) = locked_mode(handler_ns);
         let label = if handler_ns == 0 {
             "null".to_string()
         } else {
             format!("{handler_ns} ns")
         };
-        for (mode, j) in
-            [("inline", inline_j), ("spin", spin_j), ("park", park_j), ("locked", locked_j)]
-        {
+        for (mode, j) in [
+            ("inline", inline_j),
+            ("spin", spin_j),
+            ("hold", hold_j),
+            ("park", park_j),
+            ("locked", locked_j),
+        ] {
             let report::Json::Obj(fields) = j else { unreachable!() };
             json.mode(&format!("{label}/{mode}"), fields);
         }
@@ -166,6 +178,7 @@ fn main() {
                     label.clone(),
                     format!("{inline_ns:.0}"),
                     format!("{spin_ns:.0}"),
+                    format!("{hold_ns:.0}"),
                     format!("{park_ns:.0}"),
                     format!("{locked_ns:.0}"),
                 ],
@@ -174,6 +187,7 @@ fn main() {
         );
         details.push(format!("[{label}] inline: {inline_d}"));
         details.push(format!("[{label}] spin:   {spin_d}"));
+        details.push(format!("[{label}] hold:   {hold_d}"));
         details.push(format!("[{label}] park:   {park_d}"));
     }
 

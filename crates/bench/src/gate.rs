@@ -1,0 +1,229 @@
+//! The CI latency gate: compare a freshly measured latency
+//! distribution against the committed `BENCH_*.json` baselines and
+//! fail on tail regression.
+//!
+//! The committed artifacts are the perf contract: a change that slides
+//! null-call p999 from 8 µs to 30 µs still passes every functional
+//! test, so without a gate tail regressions land silently and are
+//! archaeology to bisect later. The gate replays the same workloads
+//! the bench bins measure (see `bin/latency_gate.rs`), with a
+//! *private, unsampled* histogram per mode — every call recorded, the
+//! max exact — and checks each tail quantile against the committed
+//! value times a tolerance factor.
+//!
+//! Tolerances are deliberately loose (3–8×): CI boxes are noisy,
+//! one-shot runs land anywhere inside the committed distribution, and
+//! a gate that cries wolf gets deleted. What it must catch is the
+//! step-function regression — a lost wakeup path, an accidental lock,
+//! a convoy — which shows up as 10×+ on p999/max, not 1.3×. The
+//! `floor_ns` clamp keeps sub-microsecond baselines from turning
+//! scheduler jitter into failures.
+
+use std::fmt;
+use std::path::Path;
+
+use crate::report::Json;
+
+/// Multiplicative slack per gated field, plus the absolute floor under
+/// which a measurement never violates (noise immunity for tiny
+/// baselines).
+#[derive(Clone, Copy, Debug)]
+pub struct Tolerance {
+    /// Factor over the baseline p99.
+    pub p99: f64,
+    /// Factor over the baseline p999.
+    pub p999: f64,
+    /// Factor over the baseline max.
+    pub max: f64,
+    /// Measurements at or under this many ns never violate, whatever
+    /// the baseline says.
+    pub floor_ns: f64,
+    /// The `max` field's own floor: a single hypervisor descheduling
+    /// slice (1–4 ms on shared runners) can land in *any* run's max, so
+    /// a max under this bound is scheduler noise, not a regression. The
+    /// failures max-gating exists for — a lost wakeup, a wedged worker —
+    /// measure 10 ms to whole watchdog timeouts.
+    pub max_floor_ns: f64,
+}
+
+impl Tolerance {
+    /// The full-run gate: p99 ×3, p999 ×4, max ×8, 4 µs floor, 2 ms
+    /// max-floor.
+    pub fn full() -> Tolerance {
+        Tolerance { p99: 3.0, p999: 4.0, max: 8.0, floor_ns: 4_000.0, max_floor_ns: 2_000_000.0 }
+    }
+
+    /// The smoke gate: everything doubled — smoke runs take far fewer
+    /// samples, so their tails are noisier by construction.
+    pub fn smoke() -> Tolerance {
+        let t = Tolerance::full();
+        Tolerance {
+            p99: t.p99 * 2.0,
+            p999: t.p999 * 2.0,
+            max: t.max * 2.0,
+            floor_ns: t.floor_ns * 2.0,
+            max_floor_ns: t.max_floor_ns * 2.0,
+        }
+    }
+}
+
+/// One gated field that exceeded its budget.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    /// The mode label (e.g. `null/spin`).
+    pub mode: String,
+    /// The quantile that regressed (`p99`, `p999`, `max`).
+    pub field: &'static str,
+    /// What this run measured (ns).
+    pub measured: f64,
+    /// The committed baseline value (ns).
+    pub baseline: f64,
+    /// The budget that was exceeded (ns).
+    pub limit: f64,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}: measured {:.0} ns > limit {:.0} ns (baseline {:.0} ns, {:.1}x)",
+            self.mode,
+            self.field,
+            self.measured,
+            self.limit,
+            self.baseline,
+            self.measured / self.baseline.max(1.0),
+        )
+    }
+}
+
+/// Check one mode's measured latency object (`p50`/`p99`/`p999`/`max`
+/// fields, as produced by [`crate::report::latency_fields`]) against
+/// the committed baseline's. Fields absent on either side are skipped
+/// — a new mode gates itself only once its baseline is committed.
+pub fn check(mode: &str, measured: &Json, baseline: &Json, tol: &Tolerance) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (field, factor) in [("p99", tol.p99), ("p999", tol.p999), ("max", tol.max)] {
+        let (Some(m), Some(b)) = (
+            measured.get(field).and_then(|v| v.as_f64()),
+            baseline.get(field).and_then(|v| v.as_f64()),
+        ) else {
+            continue;
+        };
+        let floor = if field == "max" { tol.max_floor_ns } else { tol.floor_ns };
+        let limit = (b * factor).max(floor);
+        if m > limit {
+            out.push(Violation {
+                mode: mode.to_string(),
+                field,
+                measured: m,
+                baseline: b,
+                limit,
+            });
+        }
+    }
+    out
+}
+
+/// Load a committed `BENCH_*.json` baseline from `dir`. `None` when the
+/// file is absent or unparsable — the caller skips that matrix rather
+/// than failing CI on a baseline that was never committed.
+pub fn load_baseline(dir: &Path, name: &str) -> Option<Json> {
+    let text = std::fs::read_to_string(dir.join(name)).ok()?;
+    Json::parse(&text).ok()
+}
+
+/// The latency object of `mode`'s field `field` inside a parsed
+/// baseline document (`{"modes": {mode: {field: {...}}}}`).
+pub fn baseline_latency<'a>(doc: &'a Json, mode: &str, field: &str) -> Option<&'a Json> {
+    doc.get("modes")?.get(mode)?.get(field)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{latency_fields, Histogram};
+
+    fn lat(p99: f64, p999: f64, max: f64) -> Json {
+        Json::obj([
+            ("p50", Json::Num(p99 / 3.0)),
+            ("p99", Json::Num(p99)),
+            ("p999", Json::Num(p999)),
+            ("max", Json::Num(max)),
+        ])
+    }
+
+    #[test]
+    fn gate_fails_on_synthetic_regression() {
+        // The committed distribution of a healthy spin-mode null call…
+        let baseline = lat(3_200.0, 8_000.0, 30_000.0);
+        // …and a run with a reintroduced park convoy: p999 blown out an
+        // order of magnitude, max into wedge territory, p99 fine.
+        let regressed = lat(3_500.0, 90_000.0, 12_000_000.0);
+        let v = check("null/spin", &regressed, &baseline, &Tolerance::full());
+        assert_eq!(v.len(), 2, "p999 and max both violate: {v:?}");
+        assert!(v.iter().any(|x| x.field == "p999" && x.measured == 90_000.0));
+        assert!(v.iter().any(|x| x.field == "max"));
+        // The violation prints enough to act on without re-running.
+        let msg = v[0].to_string();
+        assert!(msg.contains("null/spin"), "{msg}");
+        assert!(msg.contains("baseline"), "{msg}");
+    }
+
+    #[test]
+    fn gate_passes_identical_and_tolerated_runs() {
+        let baseline = lat(3_200.0, 8_000.0, 30_000.0);
+        assert!(check("m", &baseline, &baseline, &Tolerance::full()).is_empty());
+        // Anything inside the factor budget passes — and a max that is
+        // merely one descheduling slice (under the 2 ms max-floor)
+        // passes even when the baseline max was tiny.
+        let warm = lat(3_200.0 * 2.9, 8_000.0 * 3.9, 1_900_000.0);
+        assert!(check("m", &warm, &baseline, &Tolerance::full()).is_empty());
+        // The smoke gate is strictly looser.
+        let noisy = lat(3_200.0 * 5.0, 8_000.0 * 7.0, 30_000.0 * 15.0);
+        assert!(!check("m", &noisy, &baseline, &Tolerance::full()).is_empty());
+        assert!(check("m", &noisy, &baseline, &Tolerance::smoke()).is_empty());
+    }
+
+    #[test]
+    fn floor_absorbs_tiny_baselines() {
+        // A 100 ns baseline p99 with a 900 ns measurement is scheduler
+        // jitter, not a regression: under the floor, never a violation.
+        let baseline = lat(100.0, 150.0, 300.0);
+        let jittery = lat(900.0, 2_000.0, 3_900.0);
+        assert!(check("m", &jittery, &baseline, &Tolerance::full()).is_empty());
+        // Past the floor the factors take over again.
+        let real = lat(5_000.0, 9_000.0, 40_000.0);
+        assert!(!check("m", &real, &baseline, &Tolerance::full()).is_empty());
+    }
+
+    #[test]
+    fn missing_fields_and_baselines_are_skipped() {
+        let baseline = lat(3_200.0, 8_000.0, 30_000.0);
+        // An empty measured object (histograms compiled out) gates
+        // nothing rather than panicking.
+        assert!(check("m", &Json::Obj(Vec::new()), &baseline, &Tolerance::full()).is_empty());
+        assert!(load_baseline(Path::new("/nonexistent"), "BENCH_NOPE.json").is_none());
+    }
+
+    #[test]
+    fn measured_histogram_feeds_the_gate() {
+        // End-to-end shape check: a real Histogram's latency_fields
+        // object flows through check() against a parsed baseline doc.
+        let mut h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(1_500);
+        }
+        h.record(10_000_000); // one catastrophic (wedge-scale) outlier → exact max
+        let doc = Json::parse(
+            r#"{"modes":{"null/spin":{"latency_ns":{"p99":3191,"p999":24576,"max":84704}}}}"#,
+        )
+        .unwrap();
+        let base = baseline_latency(&doc, "null/spin", "latency_ns").unwrap();
+        let v = check("null/spin", &latency_fields(&h), base, &Tolerance::full());
+        assert!(
+            v.iter().any(|x| x.field == "max" && x.measured >= 10_000_000.0),
+            "the unsampled exact max reaches the gate: {v:?}"
+        );
+    }
+}

@@ -15,4 +15,5 @@
 
 pub mod ablation;
 pub mod fig3;
+pub mod gate;
 pub mod report;

@@ -44,7 +44,8 @@ impl Runtime {
     ) -> Result<Option<[u64; 8]>, RtError> {
         if !sync {
             let claim = self.claim(vcpu, ep)?;
-            let (worker, slot, held) = self.acquire(vcpu, &claim)?; // `?` releases the claim
+            let qos = claim.opts.qos;
+            let (worker, slot, held) = self.acquire(vcpu, &claim, program)?; // `?` releases the claim
             slot.fill(args, program, None);
             slot.set_parity(claim.parity());
             // The worker owns the release from here (the parity rides
@@ -56,7 +57,7 @@ impl Runtime {
                     entry.finish_call(vcpu, parity); // the worker never ran it
                     drop(reclaimed);
                     if !held {
-                        self.vcpu(vcpu)?.put_slot(slot);
+                        self.vcpu(vcpu)?.put_slot(qos, slot);
                     } else {
                         slot.reset();
                     }
@@ -78,14 +79,17 @@ impl Runtime {
         // keeping the entry alive for the scope's EWMA read.
         //
         // Observability gate: one Relaxed load (plus a thread-local tick
-        // when enabled). Unsampled calls pay nothing further.
+        // when enabled). Unsampled calls pay only the end-to-end
+        // timestamp pair that feeds the *exact* per-kind max — the tail
+        // gate cannot live with a 1/128-sampled max — and nothing when
+        // the plane is off entirely.
         let sampled = self.obs().try_sample();
-        let t0 = sampled.then(Instant::now);
+        let t0 = self.obs().enabled().then(Instant::now);
         // The call span opens before resource acquisition so Frank grow
         // events during `acquire` parent under it; the drop guard closes
         // it (and runs the root's tail-exemplar check) on every exit.
         let scope = self.spans().call_scope(sampled, vcpu, ep, Some(&claim.trace_ewma_ns));
-        let (worker, slot, held) = self.acquire(vcpu, &claim)?;
+        let (worker, slot, held) = self.acquire(vcpu, &claim, program)?;
         slot.fill(args, program, Some(std::thread::current()));
         slot.set_parity(claim.parity());
         if scope.active() {
@@ -102,14 +106,14 @@ impl Runtime {
             if let Some(reclaimed) = worker.take_mail() {
                 drop(reclaimed);
                 if !held {
-                    self.vcpu(vcpu)?.put_slot(slot);
+                    self.vcpu(vcpu)?.put_slot(claim.opts.qos, slot);
                 } else {
                     slot.reset();
                 }
                 return Err(RtError::Aborted(ep));
             }
         }
-        self.rendezvous(self.vcpu(vcpu)?, &slot, ep, sampled);
+        self.rendezvous(self.vcpu(vcpu)?, &slot, &worker, ep, sampled);
         let rets = slot.read_rets();
         let faulted = slot.is_faulted();
         // A hard kill that landed while we ran aborts the call. (The
@@ -118,7 +122,7 @@ impl Runtime {
             return Err(RtError::Aborted(ep));
         }
         if !held {
-            self.vcpu(vcpu)?.put_slot(slot);
+            self.vcpu(vcpu)?.put_slot(claim.opts.qos, slot);
         } else {
             slot.reset();
         }
@@ -129,8 +133,12 @@ impl Runtime {
         }
         cell.handoff_calls.fetch_add(1, Ordering::Relaxed);
         if let Some(t0) = t0 {
-            self.obs().record(LatencyKind::Call, vcpu, t0.elapsed().as_nanos() as u64);
-            self.flight().record(vcpu, FlightKind::Handoff, ep, program);
+            let ns = t0.elapsed().as_nanos() as u64;
+            self.obs().record_max(LatencyKind::Call, vcpu, ns);
+            if sampled {
+                self.obs().record(LatencyKind::Call, vcpu, ns);
+                self.flight().record(vcpu, FlightKind::Handoff, ep, program);
+            }
         }
         // `scope` drops first (it borrows `claim`), then the claim
         // releases — the order the reclaim protocol requires.
@@ -164,11 +172,11 @@ impl Runtime {
             return Ok((rets, resp.expect("payload dispatch returns a response")));
         }
         let sampled = self.obs().try_sample();
-        let t0 = sampled.then(Instant::now);
+        let t0 = self.obs().enabled().then(Instant::now);
         // `scope` borrows the entry through `claim`, so the claim cannot
         // release before the scope's EWMA read (see `dispatch`).
         let scope = self.spans().call_scope(sampled, vcpu, ep, Some(&claim.trace_ewma_ns));
-        let (worker, slot, held) = self.acquire(vcpu, &claim)?;
+        let (worker, slot, held) = self.acquire(vcpu, &claim, program)?;
         // The payload is written before the fill publishes the slot.
         slot.write_payload(payload);
         slot.fill(args, program, Some(std::thread::current()));
@@ -181,14 +189,14 @@ impl Runtime {
             if let Some(reclaimed) = worker.take_mail() {
                 drop(reclaimed);
                 if !held {
-                    self.vcpu(vcpu)?.put_slot(slot);
+                    self.vcpu(vcpu)?.put_slot(claim.opts.qos, slot);
                 } else {
                     slot.reset();
                 }
                 return Err(RtError::Aborted(ep));
             }
         }
-        self.rendezvous(self.vcpu(vcpu)?, &slot, ep, sampled);
+        self.rendezvous(self.vcpu(vcpu)?, &slot, &worker, ep, sampled);
         let rets = slot.read_rets();
         if claim.entry_state() == EntryState::Dead {
             return Err(RtError::Aborted(ep));
@@ -196,7 +204,7 @@ impl Runtime {
         let cell = self.stats.cell(vcpu);
         if slot.is_faulted() {
             if !held {
-                self.vcpu(vcpu)?.put_slot(slot);
+                self.vcpu(vcpu)?.put_slot(claim.opts.qos, slot);
             } else {
                 slot.reset();
             }
@@ -205,14 +213,18 @@ impl Runtime {
         }
         let response = slot.read_payload(rets[7] as usize);
         if !held {
-            self.vcpu(vcpu)?.put_slot(slot);
+            self.vcpu(vcpu)?.put_slot(claim.opts.qos, slot);
         } else {
             slot.reset();
         }
         cell.handoff_calls.fetch_add(1, Ordering::Relaxed);
         if let Some(t0) = t0 {
-            self.obs().record(LatencyKind::Call, vcpu, t0.elapsed().as_nanos() as u64);
-            self.flight().record(vcpu, FlightKind::Handoff, ep, program);
+            let ns = t0.elapsed().as_nanos() as u64;
+            self.obs().record_max(LatencyKind::Call, vcpu, ns);
+            if sampled {
+                self.obs().record(LatencyKind::Call, vcpu, ns);
+                self.flight().record(vcpu, FlightKind::Handoff, ep, program);
+            }
         }
         // `scope` drops first (it borrows `claim`), then the claim
         // releases.
@@ -250,7 +262,7 @@ impl Runtime {
         // bytes both ways); a plain call borrows one lazily, only if the
         // handler asks — descriptor-only bulk calls skip the CD pool.
         let slot = payload.map(|p| {
-            let s = vc.take_slot(cell, self.flight(), self.spans());
+            let s = vc.take_slot(entry.opts.qos, cell, self.flight(), self.spans());
             s.write_payload(p);
             s
         });
@@ -301,11 +313,11 @@ impl Runtime {
                     let r = s.with_scratch(|sc| {
                         sc[..(rets[7] as usize).min(crate::slot::SCRATCH_BYTES)].to_vec()
                     });
-                    vc.put_slot(s);
+                    vc.put_slot(entry.opts.qos, s);
                     r
                 });
                 if let Some(s) = lazy {
-                    vc.put_slot(s);
+                    vc.put_slot(entry.opts.qos, s);
                 }
                 if killed {
                     return Err(RtError::Aborted(ep));
@@ -325,7 +337,7 @@ impl Runtime {
                 // A lazily-borrowed CD unwound with the context (freed,
                 // not repooled) — faults are cold; the pool regrows.
                 if let Some(s) = slot {
-                    vc.put_slot(s);
+                    vc.put_slot(entry.opts.qos, s);
                 }
                 if killed {
                     return Err(RtError::Aborted(ep));
@@ -405,64 +417,82 @@ impl Runtime {
     }
 
     /// Wait for the posted call to complete, per the runtime's
-    /// [`SpinPolicy`]. Under `Adaptive`, the observed wall-clock latency
-    /// feeds the calling vCPU's EWMA so the next budget fits the
-    /// workload. A `sampled` rendezvous additionally records the wait
-    /// into the [`LatencyKind::Rendezvous`] histogram and its
-    /// spin-vs-park outcome into the flight ring (Adaptive already times
-    /// the wait for the EWMA; the other policies only pay the timestamps
-    /// when sampled).
-    fn rendezvous(&self, vc: &VcpuState, slot: &CallSlot, ep: EntryId, sampled: bool) {
+    /// [`SpinPolicy`]. Every budgeted wait is *bounded with escalation*
+    /// ([`CallSlot::wait_done_donate`]): when the spin budget runs dry
+    /// the client donates its timeslice to `worker` — priority-unpark
+    /// plus `yield_now`, up to [`crate::spin::ESCALATE_YIELDS`] rounds —
+    /// before finally parking. A spun-out budget means the worker lost
+    /// the processor mid-handler; parking straight away stacks a futex
+    /// sleep/wake round trip on top of the context switch the worker
+    /// needs anyway, and that convoy is precisely the 50–80µs p999/max
+    /// outlier the tail histograms showed. `ParkOnly` skips the spin but
+    /// keeps the escalation (its tail had the same convoy shape);
+    /// `Fixed(0)` remains the pure park/unpark escape hatch.
+    ///
+    /// Under `Adaptive`, the observed wall-clock latency feeds the
+    /// calling vCPU's EWMA so the next budget fits the workload. With
+    /// the obs plane enabled the wait is always timed and feeds the
+    /// exact [`LatencyKind::Rendezvous`] max; a `sampled` rendezvous
+    /// additionally records the full histogram entry and its
+    /// spin-vs-park outcome into the flight ring.
+    fn rendezvous(
+        &self,
+        vc: &VcpuState,
+        slot: &CallSlot,
+        worker: &WorkerHandle,
+        ep: EntryId,
+        sampled: bool,
+    ) {
         // The client-side wait as a leaf span under the live call span
         // (no-op otherwise) — this is the "rendezvous wait" slice of a
         // tail exemplar's phase breakdown.
         let _span = self.spans().leaf_scope(vc.id, ep, SpanPhase::Rendezvous);
         let cell = self.stats.cell(vc.id);
-        let mut wait_ns = 0u64;
-        let spun = match self.spin_policy() {
-            SpinPolicy::ParkOnly => {
-                let t0 = sampled.then(Instant::now);
-                slot.wait_done();
-                if let Some(t0) = t0 {
-                    wait_ns = t0.elapsed().as_nanos() as u64;
-                }
-                false
-            }
+        let policy = self.spin_policy();
+        let adaptive = matches!(policy, SpinPolicy::Adaptive);
+        let t0 = (adaptive || self.obs().enabled()).then(Instant::now);
+        let (resolved, escalated) = match policy {
+            SpinPolicy::ParkOnly => slot.wait_done_donate(0, worker.thread()),
             SpinPolicy::Fixed(budget) => {
-                let t0 = sampled.then(Instant::now);
-                let spun = if budget == 0 {
+                if budget == 0 {
                     slot.wait_done();
-                    false
+                    (false, false)
                 } else {
-                    slot.wait_done_spin(budget)
-                };
-                if let Some(t0) = t0 {
-                    wait_ns = t0.elapsed().as_nanos() as u64;
+                    slot.wait_done_donate(budget, worker.thread())
                 }
-                spun
             }
             SpinPolicy::Adaptive => {
                 let budget = vc.spin_budget();
-                let t0 = Instant::now();
-                let spun = if budget == 0 {
+                if budget == 0 {
+                    // The EWMA passed `PARK_THRESHOLD_NS`: handlers run
+                    // ≥100µs and donation rounds would burn the client's
+                    // slice for nothing — park flat out.
                     slot.wait_done();
-                    false
+                    (false, false)
                 } else {
-                    slot.wait_done_spin(budget)
-                };
-                wait_ns = t0.elapsed().as_nanos() as u64;
-                vc.observe_latency(wait_ns);
-                spun
+                    slot.wait_done_donate(budget, worker.thread())
+                }
             }
         };
-        if spun {
+        let mut wait_ns = 0u64;
+        if let Some(t0) = t0 {
+            wait_ns = t0.elapsed().as_nanos() as u64;
+            self.obs().record_max(LatencyKind::Rendezvous, vc.id, wait_ns);
+            if adaptive {
+                vc.observe_latency(wait_ns);
+            }
+        }
+        if resolved {
             cell.spin_waits.fetch_add(1, Ordering::Relaxed);
         } else {
             cell.park_waits.fetch_add(1, Ordering::Relaxed);
         }
+        if escalated {
+            cell.spin_escalations.fetch_add(1, Ordering::Relaxed);
+        }
         if sampled {
             self.obs().record(LatencyKind::Rendezvous, vc.id, wait_ns);
-            let kind = if spun { FlightKind::SpinResolved } else { FlightKind::Parked };
+            let kind = if resolved { FlightKind::SpinResolved } else { FlightKind::Parked };
             self.flight().record(vc.id, kind, ep, wait_ns.min(u32::MAX as u64) as u32);
         }
     }
@@ -482,7 +512,8 @@ impl Runtime {
     ) -> Result<AsyncCall, RtError> {
         let sampled = self.obs().try_sample();
         let claim = self.claim(vcpu, ep)?;
-        let (worker, slot, held) = self.acquire(vcpu, &claim)?; // `?` releases the claim
+        let qos = claim.opts.qos;
+        let (worker, slot, held) = self.acquire(vcpu, &claim, program)?; // `?` releases the claim
         slot.fill(args, program, None);
         slot.set_parity(claim.parity());
         // The async span is not installed (the caller continues past the
@@ -509,7 +540,7 @@ impl Runtime {
                     self.spans().end_token(tok, None);
                 }
                 if !held {
-                    self.vcpu(vcpu)?.put_slot(slot);
+                    self.vcpu(vcpu)?.put_slot(qos, slot);
                 } else {
                     slot.reset();
                 }
@@ -525,6 +556,7 @@ impl Runtime {
             vcpu: Arc::clone(self.vcpu(vcpu)?),
             ep,
             held,
+            qos,
             trace: std::cell::Cell::new(trace),
             spans: Arc::clone(self.spans()),
         })
@@ -548,12 +580,15 @@ impl Runtime {
     /// Acquire the call's transport resources — worker and CD — for an
     /// entry the caller has already claimed. Does **not** release the
     /// claim on failure; the caller's [`Claim`] owns that (callers pass
-    /// `&claim` here), so the release happens exactly once.
+    /// `&claim` here), so the release happens exactly once. `program` is
+    /// the caller's identity, consulted only for hold-CD entries that
+    /// restrict the pinned CD to a trust group.
     #[allow(clippy::type_complexity)]
     fn acquire(
         &self,
         vcpu: usize,
         entry: &EntryShared,
+        program: ProgramId,
     ) -> Result<(Arc<WorkerHandle>, Arc<CallSlot>, bool), RtError> {
         let vc = self.vcpu(vcpu)?;
         let cell = self.stats.cell(vcpu);
@@ -574,18 +609,28 @@ impl Runtime {
             }
         };
 
-        // CD: the worker's held slot in hold-CD mode, else the vCPU pool.
-        let (slot, held) = if entry.opts.hold_cd {
+        // CD: the worker's held slot in hold-CD mode, else the vCPU
+        // pool (per-QoS-class, so bulk bursts can't starve latency
+        // callers of warm CDs). A hold-CD entry with a non-zero trust
+        // group extends the pinned CD only to callers registered under
+        // that group — the trust lookup is paid solely by trust-gated
+        // entries, and an untrusted caller routes through the pool, so
+        // it never reads (or leaves bytes in) the trusted scratch page.
+        let qos = entry.opts.qos;
+        let hold = entry.opts.hold_cd
+            && (entry.opts.trust_group == 0
+                || self.program_trust(program) == entry.opts.trust_group);
+        let (slot, held) = if hold {
             match worker.held_slot() {
                 Some(s) => (s, true),
                 None => {
-                    let s = vc.take_slot(cell, self.flight(), self.spans());
+                    let s = vc.take_slot(qos, cell, self.flight(), self.spans());
                     worker.pin_slot(Arc::clone(&s));
                     (s, true)
                 }
             }
         } else {
-            (vc.take_slot(cell, self.flight(), self.spans()), false)
+            (vc.take_slot(qos, cell, self.flight(), self.spans()), false)
         };
         Ok((worker, slot, held))
     }

@@ -52,12 +52,53 @@ impl EntryState {
     }
 }
 
+/// Dispatch quality-of-service class of an entry point.
+///
+/// The class segregates the transport resources a call consumes so bulk
+/// work can never head-of-line-block latency-critical calls: each vCPU
+/// keeps one CD pool per class (a `Bulk` burst that drains its pool
+/// grows *its* pool, not the `Latency` one), and submission rings keep
+/// one SQ/CQ lane per class with the ring worker draining every queued
+/// `Latency` SQE before each `Bulk` one (see [`crate::ring`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum QosClass {
+    /// Latency-critical calls (null calls, small control RPCs). The
+    /// default.
+    #[default]
+    Latency,
+    /// Throughput work (large payload/bulk transfers, long handlers)
+    /// that must yield priority to `Latency` traffic.
+    Bulk,
+}
+
+impl QosClass {
+    /// Stable index for per-class resource arrays.
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        match self {
+            QosClass::Latency => 0,
+            QosClass::Bulk => 1,
+        }
+    }
+}
+
 /// Options for a bound entry point.
 #[derive(Clone, Copy, Debug)]
 pub struct EntryOptions {
     /// Workers permanently hold a CD + scratch page (2–3 µs faster per
     /// call in the paper; defeats stack sharing).
     pub hold_cd: bool,
+    /// Restrict [`EntryOptions::hold_cd`]'s pinned-CD fast path to
+    /// callers in this trust group (0 = every caller trusted — the
+    /// paper's hold-CD mode shares the worker's scratch page across
+    /// *all* callers). With a non-zero group, only programs registered
+    /// under the same group via [`crate::Runtime::set_trust_group`] ride
+    /// the pinned CD; everyone else falls back to the per-call CD pool,
+    /// so an untrusted caller never shares a scratch page with the
+    /// trusted set. Ignored when `hold_cd` is off.
+    pub trust_group: u32,
+    /// Dispatch QoS class (see [`QosClass`]). `Latency` by default.
+    pub qos: QosClass,
     /// Synchronous calls may run the handler *inline on the caller's
     /// thread* — the logical conclusion of hand-off scheduling: when the
     /// worker would run on the caller's processor anyway, skip the worker
@@ -81,6 +122,8 @@ impl Default for EntryOptions {
     fn default() -> Self {
         EntryOptions {
             hold_cd: false,
+            trust_group: 0,
+            qos: QosClass::Latency,
             inline_ok: false,
             initial_workers: 1,
             owner: 0,
@@ -397,10 +440,16 @@ impl EntryShared {
     }
 
     /// Shut down and join every worker (called off the worker threads).
-    pub fn reap_workers(&self) {
-        for p in &self.pools {
-            p.reap();
+    /// Returns the `(vcpu, slot)` pairs of every CD the workers had
+    /// pinned (hold-CD mode); callers with a live runtime recycle them
+    /// into the vCPU CD pools via [`crate::Runtime`]'s kill/reclaim
+    /// paths so entry churn doesn't bleed the warm-CD reservoir.
+    pub fn reap_workers(&self) -> Vec<(usize, Arc<crate::slot::CallSlot>)> {
+        let mut freed = Vec::new();
+        for (v, p) in self.pools.iter().enumerate() {
+            freed.extend(p.reap().into_iter().map(|s| (v, s)));
         }
+        freed
     }
 }
 

@@ -320,7 +320,7 @@ impl Runtime {
             std::thread::yield_now();
         }
         e.state.store(EntryState::Dead as u8, Ordering::Release);
-        e.reap_workers();
+        self.reap_and_recycle(&e);
         Ok(())
     }
 
@@ -335,7 +335,7 @@ impl Runtime {
         }
         e.state.store(EntryState::Dead as u8, Ordering::SeqCst);
         e.flight.record(0, FlightKind::HardKill, ep, by);
-        e.reap_workers();
+        self.reap_and_recycle(&e);
         Ok(())
     }
 
@@ -398,7 +398,7 @@ impl Runtime {
         // pool after the kill's reap; with zero claims left no more can
         // appear, so this second reap is final — no pooled worker
         // outlives the reclaim holding the entry `Arc`.
-        e.reap_workers();
+        self.reap_and_recycle(&e);
         // Fully drained: every parity is zero, so all limbo handlers free.
         e.try_drain_limbo();
         let mut inner = self.frank.inner.lock();
@@ -437,7 +437,21 @@ impl Runtime {
         if vcpu >= self.n_vcpus() {
             return Err(RtError::BadVcpu(vcpu));
         }
-        Ok(e.pool(vcpu).shrink_to(keep))
+        let (reaped, held) = e.pool(vcpu).shrink_to(keep);
+        for s in held {
+            self.vcpus[vcpu].put_slot(e.opts.qos, s);
+        }
+        Ok(reaped)
+    }
+
+    /// Reap an entry's workers and recycle any CDs they had pinned
+    /// (hold-CD mode) back into the owning vCPU's CD pool — the pool is
+    /// a fixed reservoir, so dropping a pinned slot on every kill would
+    /// let hold-CD entry churn bleed the warm-CD supply dry.
+    pub(crate) fn reap_and_recycle(&self, e: &EntryShared) {
+        for (v, s) in e.reap_workers() {
+            self.vcpus[v].put_slot(e.opts.qos, s);
+        }
     }
 
     /// Idle pooled workers of `ep`, summed across vCPUs (diagnostics;
@@ -468,7 +482,11 @@ impl Runtime {
         for e in entries {
             for v in 0..self.n_vcpus() {
                 if e.pool(v).idle_len() > keep {
-                    reaped += e.pool(v).shrink_to(keep);
+                    let (n, held) = e.pool(v).shrink_to(keep);
+                    reaped += n;
+                    for s in held {
+                        self.vcpus[v].put_slot(e.opts.qos, s);
+                    }
                 }
             }
             freed += e.try_drain_limbo();

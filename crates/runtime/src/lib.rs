@@ -78,11 +78,12 @@ pub mod span;
 pub mod stats;
 pub mod worker;
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU8, AtomicU64, Ordering};
 use std::sync::Arc;
 
 pub use bulk::{BufferPool, BulkState, PoolBuf};
-pub use entry::{EntryOptions, EntryState};
+pub use entry::{EntryOptions, EntryState, QosClass};
 pub use flight::{FlightEvent, FlightKind, FlightPlane};
 pub use obs::{Histogram, LatencyKind, ObsState};
 pub use region::{BulkDesc, RegionId, MAX_BULK, MAX_REGIONS};
@@ -190,10 +191,20 @@ pub enum SpinPolicy {
     /// EWMA past [`spin::PARK_THRESHOLD_NS`] and the vCPU stops spinning
     /// altogether. The default.
     Adaptive,
-    /// Spin a fixed number of iterations before parking.
+    /// Spin a fixed number of iterations before parking. `Fixed(0)` is
+    /// the pure park/unpark rendezvous with no spin and no escalation —
+    /// the measurement baseline for the pre-optimization behavior.
     Fixed(u32),
-    /// Park immediately — the pre-optimization rendezvous. One
-    /// park/unpark round trip per call regardless of handler latency.
+    /// Skip the spin budget: go straight to the bounded escalation
+    /// (donate the timeslice to the worker for up to
+    /// [`spin::ESCALATE_YIELDS`] yields, see [`slot::CallSlot`]), then
+    /// park. Historically this was a pure park/unpark pair; the
+    /// escalation was folded in because the park convoy — client parks,
+    /// worker finishes, futex wake straggles — produced the exact same
+    /// 50–80µs tail here as in the spun-out adaptive case, and a yield
+    /// to the worker costs strictly less than a futex sleep/wake when
+    /// the handler is already done or about to be. Use `Fixed(0)` for
+    /// the un-escalated baseline.
     ParkOnly,
 }
 
@@ -209,6 +220,25 @@ pub mod spin {
     /// EWMA latency (ns) above which the adaptive policy stops spinning
     /// entirely: a 100 µs handler dwarfs any park/unpark saving.
     pub const PARK_THRESHOLD_NS: u64 = 100_000;
+    /// Escalation rounds after the spin budget runs dry and before the
+    /// client finally parks: each round donates the client's timeslice
+    /// (priority-unpark the worker, then `yield_now`) so a worker that
+    /// lost the processor mid-handler gets it back *now* instead of
+    /// whenever the scheduler's futex wake path runs. This is what caps
+    /// the park-convoy tail — a park/unpark round trip under contention
+    /// costs tens of µs; a yield-to-the-worker round costs two context
+    /// switches.
+    pub const ESCALATE_YIELDS: u32 = 64;
+    /// Hard cap on the *donating* wait's spin phase, in iterations
+    /// (~2–4 µs of wall clock). The adaptive EWMA budget may grow to
+    /// [`MAX_BUDGET`] (~30 µs of spinning) after a latency spike
+    /// inflates the average — exactly the head-of-line stall that
+    /// shows up as the null-call p999. Past this cap the client stops
+    /// burning cycles *hoping* the worker gets scheduled and instead
+    /// donates its timeslice to make it happen; the EWMA keeps its
+    /// full range for deciding *whether* to spin at all
+    /// ([`PARK_THRESHOLD_NS`]).
+    pub const SPIN_HARD_CAP: u32 = 2_048;
 }
 
 /// Where a handler's scratch page comes from.
@@ -260,7 +290,8 @@ impl<'a> CallCtx<'a> {
             ScratchRef::Lazy { vc, cell, slot } => {
                 let flight = &self.entry.flight;
                 let spans = &self.entry.spans;
-                let s = slot.get_or_insert_with(|| vc.take_slot(cell, flight, spans));
+                let s =
+                    slot.get_or_insert_with(|| vc.take_slot(self.entry.opts.qos, cell, flight, spans));
                 // Safety: the slot was popped from the pool, so this
                 // context owns it exclusively until dispatch recycles it;
                 // the borrow is tied to `&mut self`.
@@ -519,8 +550,12 @@ pub struct VcpuState {
     /// This vCPU's pin cell for the epoch-reclamation protocol (see
     /// [`frank`]).
     pub(crate) epoch: frank::EpochCell,
-    /// Lock-free pool of idle call slots.
-    pub(crate) cd_pool: crossbeam::queue::ArrayQueue<Arc<CallSlot>>,
+    /// Lock-free pools of idle call slots, one per [`QosClass`]
+    /// (indexed by [`QosClass::index`]). Segregated so a burst of `Bulk`
+    /// traffic that drains its pool grows *its* pool — a `Latency`
+    /// caller arriving mid-burst still finds a warm CD instead of
+    /// eating the Frank slow path behind the bulk work.
+    pub(crate) cd_pools: [crossbeam::queue::ArrayQueue<Arc<CallSlot>>; 2],
     /// Slots ever created on this vCPU (diagnostics).
     pub(crate) cds_created: AtomicU64,
     /// EWMA of observed synchronous hand-off latency on this vCPU, in
@@ -536,13 +571,19 @@ impl VcpuState {
         let v = Arc::new(VcpuState {
             table: (0..MAX_ENTRIES).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect(),
             epoch: frank::EpochCell::default(),
-            cd_pool: crossbeam::queue::ArrayQueue::new(256),
+            cd_pools: [
+                crossbeam::queue::ArrayQueue::new(256),
+                crossbeam::queue::ArrayQueue::new(256),
+            ],
             cds_created: AtomicU64::new(0),
             ewma_ns: AtomicU64::new(0),
             id,
         });
+        // Pre-pooled CDs go to the Latency class — it is the default
+        // class and the one whose first call must not eat a Frank
+        // allocation; the Bulk pool warms up on first use.
         for _ in 0..initial_cds {
-            let _ = v.cd_pool.push(CallSlot::new());
+            let _ = v.cd_pools[QosClass::Latency.index()].push(CallSlot::new());
             v.cds_created.fetch_add(1, Ordering::Relaxed);
         }
         v
@@ -574,17 +615,19 @@ impl VcpuState {
         (ewma as u32).clamp(spin::MIN_BUDGET, spin::MAX_BUDGET)
     }
 
-    /// Take a slot, growing the pool if dry (the Frank slow path).
-    /// `cell` is the calling vCPU's stats cell; `flight` records the
-    /// Frank event (slow path by definition, so unconditionally) and
-    /// `spans` stamps it into a live trace, if one encloses the take.
+    /// Take a slot from `class`'s pool, growing it if dry (the Frank
+    /// slow path). `cell` is the calling vCPU's stats cell; `flight`
+    /// records the Frank event (slow path by definition, so
+    /// unconditionally) and `spans` stamps it into a live trace, if one
+    /// encloses the take.
     pub(crate) fn take_slot(
         &self,
+        class: QosClass,
         cell: &StatsCell,
         flight: &FlightPlane,
         spans: &SpanPlane,
     ) -> Arc<CallSlot> {
-        match self.cd_pool.pop() {
+        match self.cd_pools[class.index()].pop() {
             Some(s) => s,
             None => {
                 cell.frank_redirects.fetch_add(1, Ordering::Relaxed);
@@ -598,11 +641,11 @@ impl VcpuState {
         }
     }
 
-    /// Return a slot to the pool (dropped if the pool is full — surplus
-    /// reclamation, §2's "extra stacks can easily be reclaimed").
-    pub(crate) fn put_slot(&self, slot: Arc<CallSlot>) {
+    /// Return a slot to `class`'s pool (dropped if the pool is full —
+    /// surplus reclamation, §2's "extra stacks can easily be reclaimed").
+    pub(crate) fn put_slot(&self, class: QosClass, slot: Arc<CallSlot>) {
         slot.reset();
-        let _ = self.cd_pool.push(slot);
+        let _ = self.cd_pools[class.index()].push(slot);
     }
 }
 
@@ -633,6 +676,11 @@ pub struct Runtime {
     spin_mode: AtomicU8,
     /// Budget operand for [`SpinPolicy::Fixed`].
     spin_fixed: AtomicU32,
+    /// Trust-group registry for hold-CD gating: program → group (absent
+    /// = group 0 = untrusted-by-default). Writes are cold
+    /// ([`Runtime::set_trust_group`]); the dispatch path reads it only
+    /// for entries that set a non-zero [`EntryOptions::trust_group`].
+    trust: parking_lot::RwLock<HashMap<ProgramId, u32>>,
     shutdown: AtomicU8,
 }
 
@@ -715,6 +763,7 @@ impl Runtime {
             pin: opts.pin,
             spin_mode: AtomicU8::new(SPIN_ADAPTIVE),
             spin_fixed: AtomicU32::new(spin::DEFAULT_BUDGET),
+            trust: parking_lot::RwLock::new(HashMap::new()),
             shutdown: AtomicU8::new(0),
         })
     }
@@ -742,6 +791,34 @@ impl Runtime {
         for r in inner.rings.iter().filter_map(|w| w.upgrade()) {
             r.set_idle_spin(budget);
         }
+    }
+
+    /// Register `program` in hold-CD trust group `group` (0 removes it
+    /// from every group). An entry bound with [`EntryOptions::hold_cd`]
+    /// and a non-zero [`EntryOptions::trust_group`] extends its pinned
+    /// CD/scratch fast path only to programs registered under the same
+    /// group; calls from any other program borrow from the per-call CD
+    /// pool instead, so they never touch the trusted callers' scratch
+    /// page. Cold path (write lock); safe concurrently with dispatch.
+    pub fn set_trust_group(&self, program: ProgramId, group: u32) {
+        if group == 0 {
+            self.trust.write().remove(&program);
+        } else {
+            self.trust.write().insert(program, group);
+        }
+    }
+
+    /// The trust group `program` is registered under (0 if none).
+    pub fn program_trust(&self, program: ProgramId) -> u32 {
+        self.trust.read().get(&program).copied().unwrap_or(0)
+    }
+
+    /// The QoS class of entry `ep` as seen from `vcpu`'s table replica
+    /// (`None` if unbound or dead). Used by rings to pick a lane at
+    /// submit time; a dead entry's class is irrelevant — its SQE
+    /// completes with an error either way.
+    pub(crate) fn entry_qos(&self, vcpu: usize, ep: EntryId) -> Option<QosClass> {
+        self.claim(vcpu, ep).ok().map(|c| c.opts.qos)
     }
 
     /// The current synchronous-rendezvous wait policy.
@@ -1145,6 +1222,9 @@ pub struct AsyncCall {
     /// but never returned to the vCPU pool — it already has an owner, and
     /// pooling it would let two calls fill the same slot concurrently.
     pub(crate) held: bool,
+    /// QoS class the slot was borrowed under — a pooled slot must return
+    /// to the same class's pool.
+    pub(crate) qos: QosClass,
     /// The async span, if the dispatch was traced; closed when the
     /// completion is observed (first of [`AsyncCall::wait`] / drop) —
     /// the span covers dispatch → completion-observed, the async
@@ -1187,7 +1267,7 @@ impl Drop for AsyncCall {
         if self.held {
             self.slot.reset();
         } else {
-            self.vcpu.put_slot(Arc::clone(&self.slot));
+            self.vcpu.put_slot(self.qos, Arc::clone(&self.slot));
         }
     }
 }
@@ -1201,7 +1281,8 @@ impl Drop for Runtime {
             self.frank.inner.lock().entries.iter().flatten().cloned().collect();
         for e in &entries {
             e.state.store(EntryState::Dead as u8, Ordering::SeqCst);
-            e.reap_workers();
+            // Final teardown: pinned CDs drop with everything else.
+            let _ = e.reap_workers();
         }
     }
 }

@@ -144,6 +144,11 @@ impl HistCell {
         self.sum_ns[k].fetch_add(ns, Ordering::Relaxed);
         self.max_ns[k].fetch_max(ns, Ordering::Relaxed);
     }
+
+    #[inline]
+    fn record_max(&self, kind: LatencyKind, ns: u64) {
+        self.max_ns[kind as usize].fetch_max(ns, Ordering::Relaxed);
+    }
 }
 
 /// A merged (cross-vCPU) view of one kind's histogram — the cold-path
@@ -213,8 +218,17 @@ impl Histogram {
             }
             if seen + c >= rank {
                 let lower = if i == 0 { 0 } else { bucket_bound(i - 1) + 1 };
-                let upper =
-                    if i == top { self.max_ns.max(lower) } else { bucket_bound(i) };
+                // The top populated bucket's upper bound is the exact
+                // tracked max — but clamped into the bucket: `max_ns` may
+                // exceed the top *sampled* bucket when the unconditional
+                // max feed saw a tail the 1/128 sampler missed, and
+                // letting it stretch the interpolation span would corrupt
+                // every near-tail quantile.
+                let upper = if i == top {
+                    self.max_ns.clamp(lower, bucket_bound(i))
+                } else {
+                    bucket_bound(i)
+                };
                 let within = rank - seen; // 1 ..= c
                 let span = (upper - lower) as f64;
                 return lower + (span * within as f64 / c as f64).round() as u64;
@@ -386,6 +400,27 @@ impl ObsState {
         }
     }
 
+    /// Feed only the **exact max** for `kind` — one `Relaxed`
+    /// `fetch_max` on the calling vCPU's cell, no bucket or sum traffic.
+    /// The hand-off dispatch path calls this for *every* timed call (not
+    /// just the 1/128 sampled ones): a sampled max under-reports the
+    /// worst call by construction — precisely the tail the latency gate
+    /// and the flight-ring exemplars exist to catch — while an
+    /// unconditional `fetch_max` on an almost-always-unchanged
+    /// vCPU-local line costs next to nothing next to a hand-off. No-op
+    /// when the plane is disabled or compiled out.
+    #[inline]
+    pub fn record_max(&self, kind: LatencyKind, vcpu: usize, ns: u64) {
+        #[cfg(feature = "obs")]
+        if self.enabled() {
+            self.cells[vcpu].record_max(kind, ns);
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            let _ = (kind, vcpu, ns);
+        }
+    }
+
     /// Merge every vCPU's histogram for `kind` (cold read path).
     pub fn merged(&self, kind: LatencyKind) -> Histogram {
         #[cfg_attr(not(feature = "obs"), allow(unused_mut))]
@@ -502,6 +537,24 @@ mod tests {
     }
 
     #[test]
+    fn unsampled_max_does_not_skew_quantiles() {
+        // The unconditional max feed can push `max_ns` far above the top
+        // *sampled* bucket (an 80µs convoy the 1/128 sampler missed).
+        // Quantiles must stay inside the sampled distribution; only the
+        // exact max reports the outlier.
+        let mut h = Histogram::new();
+        for _ in 0..1_000 {
+            h.record(1_500); // bucket 11: [1024, 2047]
+        }
+        h.max_ns = 80_000;
+        for q in [0.5, 0.99, 0.999] {
+            let v = h.quantile(q);
+            assert!((1024..=2047).contains(&v), "q{q} = {v} escaped the sampled bucket");
+        }
+        assert_eq!(h.max_ns, 80_000);
+    }
+
+    #[test]
     fn merge_adds_bucketwise() {
         let mut a = Histogram::new();
         let mut b = Histogram::new();
@@ -526,6 +579,14 @@ mod tests {
         assert_eq!(obs.vcpu_hist(LatencyKind::Call, 0).count(), 1);
         assert_eq!(obs.merged(LatencyKind::Handler).count(), 1);
         assert_eq!(obs.merged(LatencyKind::BulkCopy).count(), 0);
+        // The exact-max feed raises only the max: no bucket, no sum.
+        obs.record_max(LatencyKind::Call, 0, 9_999);
+        assert_eq!(obs.merged(LatencyKind::Call).count(), 2);
+        assert_eq!(obs.merged(LatencyKind::Call).max_ns, 9_999);
+        obs.set_enabled(false);
+        obs.record_max(LatencyKind::Call, 0, 99_999);
+        obs.set_enabled(true);
+        assert_eq!(obs.merged(LatencyKind::Call).max_ns, 9_999, "disabled feed is a no-op");
         obs.reset();
         assert_eq!(obs.merged(LatencyKind::Call).count(), 0);
     }

@@ -51,9 +51,27 @@
 //!   client's program owns the region, so a forged descriptor is
 //!   refused in the worker with a [`RtError::BulkDenied`] completion.
 //!
-//! Completions are posted in submission order (one FIFO worker), which
-//! is the ordering guarantee the tests pin down: CQE *i* is always the
-//! completion of SQE *i*.
+//! * **QoS lanes**: each ring keeps one SQ/CQ pair per
+//!   [`crate::QosClass`] (the class of the *entry* an SQE targets,
+//!   resolved at submit time and cached per-entry). The single ring
+//!   worker drains every queued `Latency` SQE before each `Bulk` one
+//!   and re-checks the `Latency` lane between `Bulk` executions, so a
+//!   latency-critical submission waits behind at most one in-progress
+//!   bulk handler — never behind a deep batch of 1MiB copies that
+//!   happened to be queued first. Credits are a single budget across
+//!   both lanes (total in-flight bounds each lane's CQ occupancy, so
+//!   the no-overflow proof is unchanged). A cached class can go stale
+//!   if an entry ID is killed and re-bound under the other class; that
+//!   mis-sorts *priority* for that ID until the ring is rebuilt — it
+//!   never affects correctness, since execution re-claims the entry
+//!   fresh.
+//!
+//! Completions are posted in submission order **within a QoS lane**
+//! (one FIFO worker per lane stream), which is the ordering guarantee
+//! the tests pin down: for SQEs of the same class, CQE *i* is always
+//! the completion of SQE *i*. Across classes, `Latency` completions
+//! overtake `Bulk` ones by design — [`ClientRing::reap`] also harvests
+//! the `Latency` lane first.
 
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
@@ -71,6 +89,13 @@ use crate::obs::LatencyKind;
 use crate::region::BulkDesc;
 use crate::span::SpanToken;
 use crate::{bulk, Client, EntryId, ProgramId, RtError, Runtime};
+
+/// Number of QoS lanes per ring — one per [`crate::QosClass`] variant.
+const LANES: usize = 2;
+/// Lane index of the `Latency` class (drained first by the worker).
+const LANE_LAT: usize = 0;
+/// Lane index of the `Bulk` class.
+const LANE_BULK: usize = 1;
 
 /// Hard cap on ring capacities (entries). Large enough for any open-loop
 /// experiment, small enough that a mis-typed depth cannot allocate gigabytes.
@@ -207,14 +232,23 @@ impl<T> Spsc<T> {
     }
 }
 
+/// One QoS lane: an SQ/CQ pair carrying SQEs of a single
+/// [`crate::QosClass`]. Both lanes share the worker, the sleep flag and the
+/// credit budget — the lane split only decides *drain order*.
+struct Lane {
+    sq: Spsc<Sqe>,
+    cq: Spsc<Cqe>,
+}
+
 /// The state shared between a [`ClientRing`] handle and its worker
 /// thread. Registered (weakly) with Frank so runtime-wide policy
 /// changes reach the worker's idle budget.
 pub(crate) struct RingShared {
     vcpu: usize,
     program: ProgramId,
-    sq: Spsc<Sqe>,
-    cq: Spsc<Cqe>,
+    /// SQ/CQ pairs indexed by [`crate::QosClass::index`]: `Latency` in lane 0,
+    /// `Bulk` in lane 1.
+    lanes: [Lane; LANES],
     /// Worker's sleep announcement (the Dekker flag the doorbell pairs
     /// with).
     sleeping: AtomicBool,
@@ -238,8 +272,10 @@ impl Drop for RingShared {
         // Sole owner at this point (client handle and worker both
         // gone): free anything still queued so staged payload buffers
         // never leak.
-        self.sq.drain_owned();
-        self.cq.drain_owned();
+        for lane in &mut self.lanes {
+            lane.sq.drain_owned();
+            lane.cq.drain_owned();
+        }
     }
 }
 
@@ -254,14 +290,22 @@ impl Drop for RingShared {
 pub struct ClientRing {
     rt: Arc<Runtime>,
     shared: Arc<RingShared>,
-    /// Client-local submission cursor (equals the published SQ tail).
-    local_tail: u64,
-    /// Completions harvested so far (equals the published CQ head).
-    reaped: u64,
+    /// Client-local submission cursors, one per lane (each equals the
+    /// lane's published SQ tail).
+    local_tail: [u64; LANES],
+    /// Completions harvested so far per lane (each equals the lane's
+    /// published CQ head).
+    reaped: [u64; LANES],
     credits: u64,
-    /// Ring spans of in-flight SQEs, submission order — completions
-    /// arrive in the same order, so reap closes them front-first.
-    tokens: VecDeque<Option<SpanToken>>,
+    /// Per-entry lane cache: 0 = not yet resolved, else
+    /// `1 + QosClass::index()`. Submit-time classification costs one
+    /// byte load after the first call on an entry — no claim, no
+    /// atomic.
+    classes: Box<[u8]>,
+    /// Ring spans of in-flight SQEs per lane, submission order —
+    /// completions arrive in the same per-lane order, so reap closes
+    /// them front-first.
+    tokens: [VecDeque<Option<SpanToken>>; LANES],
     join: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -271,11 +315,17 @@ impl ClientRing {
         let sq_cap = opts.sq_depth.next_power_of_two().clamp(2, MAX_RING_DEPTH);
         let cq_cap = opts.cq_depth.next_power_of_two().clamp(2, MAX_RING_DEPTH);
         let credits = opts.credits.clamp(1, cq_cap) as u64;
+        // Each lane gets the full configured depth: the lane split is a
+        // priority mechanism, not a capacity partition, and the global
+        // credit budget (<= one lane's CQ capacity) already bounds
+        // total occupancy.
         let shared = Arc::new(RingShared {
             vcpu: client.vcpu,
             program: client.program,
-            sq: Spsc::new(sq_cap),
-            cq: Spsc::new(cq_cap),
+            lanes: std::array::from_fn(|_| Lane {
+                sq: Spsc::new(sq_cap),
+                cq: Spsc::new(cq_cap),
+            }),
             sleeping: AtomicBool::new(false),
             worker: OnceLock::new(),
             shutdown: AtomicBool::new(false),
@@ -299,62 +349,91 @@ impl ClientRing {
         ClientRing {
             rt,
             shared,
-            local_tail: 0,
-            reaped: 0,
+            local_tail: [0; LANES],
+            reaped: [0; LANES],
             credits,
-            tokens: VecDeque::new(),
+            classes: vec![0u8; crate::MAX_ENTRIES].into_boxed_slice(),
+            tokens: std::array::from_fn(|_| VecDeque::new()),
             join: Some(jh),
         }
     }
 
-    /// Submissions accepted but not yet reaped — bounded by
+    /// Submissions accepted but not yet reaped, both lanes — bounded by
     /// [`ClientRing::credits`] at all times (the bounded-memory
     /// invariant the overload experiment checks).
     pub fn in_flight(&self) -> u64 {
-        self.local_tail - self.reaped
+        (self.local_tail[LANE_LAT] - self.reaped[LANE_LAT])
+            + (self.local_tail[LANE_BULK] - self.reaped[LANE_BULK])
     }
 
-    /// The in-flight credit budget.
+    /// The in-flight credit budget (shared across both QoS lanes).
     pub fn credits(&self) -> u64 {
         self.credits
     }
 
-    /// Submission-queue capacity (entries).
+    /// Submission-queue capacity (entries, per QoS lane).
     pub fn sq_capacity(&self) -> usize {
-        self.shared.sq.capacity()
+        self.shared.lanes[LANE_LAT].sq.capacity()
     }
 
-    /// Completion-queue capacity (entries).
+    /// Completion-queue capacity (entries, per QoS lane).
     pub fn cq_capacity(&self) -> usize {
-        self.shared.cq.capacity()
+        self.shared.lanes[LANE_LAT].cq.capacity()
     }
 
-    /// Admission control: refuse when the credit budget is spent or the
-    /// SQ has no free slot, counting the shed into `ring_full`.
-    fn admit(&self) -> Result<(), RtError> {
+    /// The QoS lane `ep` rides: its entry's [`crate::QosClass`], resolved from
+    /// this vCPU's service table on first submission and cached. An
+    /// unknown or dead entry rides the `Latency` lane un-cached (its
+    /// SQE completes with an error CQE either way; the id may be bound
+    /// for real later).
+    fn lane_of(&mut self, ep: EntryId) -> usize {
+        if ep >= crate::MAX_ENTRIES {
+            return LANE_LAT;
+        }
+        match self.classes[ep] {
+            0 => match self.rt.entry_qos(self.shared.vcpu, ep) {
+                Some(q) => {
+                    self.classes[ep] = 1 + q.index() as u8;
+                    q.index()
+                }
+                None => LANE_LAT,
+            },
+            c => (c - 1) as usize,
+        }
+    }
+
+    /// Admission control for `lane`: refuse when the shared credit
+    /// budget is spent (`ring_no_credit` — the remedy is to reap) or
+    /// the lane's SQ has no free slot (`ring_full` — the worker is
+    /// behind), both surfacing as [`RtError::RingFull`].
+    fn admit(&self, lane: usize) -> Result<(), RtError> {
         let s = &self.shared;
-        if self.local_tail - self.reaped >= self.credits
-            || self.local_tail - s.sq.head.load(Ordering::Acquire) >= s.sq.capacity() as u64
-        {
+        if self.in_flight() >= self.credits {
+            self.rt.stats.cell(s.vcpu).ring_no_credit.fetch_add(1, Ordering::Relaxed);
+            return Err(RtError::RingFull);
+        }
+        let sq = &s.lanes[lane].sq;
+        if self.local_tail[lane] - sq.head.load(Ordering::Acquire) >= sq.capacity() as u64 {
             self.rt.stats.cell(s.vcpu).ring_full.fetch_add(1, Ordering::Relaxed);
             return Err(RtError::RingFull);
         }
         Ok(())
     }
 
-    /// Write one SQE and publish the tail (`Release`). No wake — that
-    /// is [`ClientRing::doorbell`]'s job, once per batch.
-    fn push(&mut self, ep: EntryId, args: [u64; 8], user: u64, staged: Option<Staged>) {
+    /// Write one SQE into `lane` and publish that lane's tail
+    /// (`Release`). No wake — that is [`ClientRing::doorbell`]'s job,
+    /// once per batch.
+    fn push(&mut self, lane: usize, ep: EntryId, args: [u64; 8], user: u64, staged: Option<Staged>) {
         let s = &self.shared;
         let sampled = self.rt.obs().try_sample();
         let tok = self.rt.spans().begin_ring(sampled, s.vcpu, ep);
         let trace = tok.as_ref().map_or(0, |t| t.ctx.pack());
         // Safety: single producer (`&mut self`), space checked by
         // `admit` — the cursor's slot is free.
-        unsafe { s.sq.write(self.local_tail, Sqe { ep, args, user, trace, staged }) };
-        self.local_tail += 1;
-        s.sq.tail.store(self.local_tail, Ordering::Release);
-        self.tokens.push_back(tok);
+        unsafe { s.lanes[lane].sq.write(self.local_tail[lane], Sqe { ep, args, user, trace, staged }) };
+        self.local_tail[lane] += 1;
+        s.lanes[lane].sq.tail.store(self.local_tail[lane], Ordering::Release);
+        self.tokens[lane].push_back(tok);
         self.rt.stats.cell(s.vcpu).ring_submits.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -364,8 +443,9 @@ impl ClientRing {
     /// shed the request, and retry). Call [`ClientRing::doorbell`]
     /// after the batch.
     pub fn submit(&mut self, ep: EntryId, args: [u64; 8], user: u64) -> Result<(), RtError> {
-        self.admit()?;
-        self.push(ep, args, user, None);
+        let lane = self.lane_of(ep);
+        self.admit(lane)?;
+        self.push(lane, ep, args, user, None);
         Ok(())
     }
 
@@ -380,13 +460,14 @@ impl ClientRing {
         user: u64,
         payload: &[u8],
     ) -> Result<(), RtError> {
-        self.admit()?;
+        let lane = self.lane_of(ep);
+        self.admit(lane)?;
         let s = &self.shared;
         let cell = self.rt.stats.cell(s.vcpu);
         let mut buf =
             self.rt.bulk().pool(s.vcpu).take(payload.len().max(1), cell).ok_or(RtError::BadBulk)?;
         buf.as_mut_slice()[..payload.len()].copy_from_slice(payload);
-        self.push(ep, args, user, Some(Staged::Payload { buf }));
+        self.push(lane, ep, args, user, Some(Staged::Payload { buf }));
         Ok(())
     }
 
@@ -406,7 +487,8 @@ impl ClientRing {
         desc: BulkDesc,
         payload: &[u8],
     ) -> Result<(), RtError> {
-        self.admit()?;
+        let lane = self.lane_of(ep);
+        self.admit(lane)?;
         args[7] = desc.encode().ok_or(RtError::BadBulk)?;
         if payload.len() > desc.len as usize {
             return Err(RtError::BadBulk);
@@ -417,7 +499,7 @@ impl ClientRing {
             self.rt.bulk().pool(s.vcpu).take(payload.len().max(1), cell).ok_or(RtError::BadBulk)?;
         buf.as_mut_slice()[..payload.len()].copy_from_slice(payload);
         cell.bulk_calls.fetch_add(1, Ordering::Relaxed);
-        self.push(ep, args, user, Some(Staged::Bulk { buf, len: payload.len(), desc }));
+        self.push(lane, ep, args, user, Some(Staged::Bulk { buf, len: payload.len(), desc }));
         Ok(())
     }
 
@@ -429,47 +511,66 @@ impl ClientRing {
     pub fn doorbell(&self) {
         let s = &self.shared;
         // The SeqCst re-publish pairs with the worker's sleep protocol:
-        // worker stores `sleeping = true` (SeqCst), re-loads the tail
-        // (SeqCst), parks. Whichever lands first in the total order,
-        // either the worker sees this tail, or this swap sees the
-        // worker's announcement — a lost wakeup would need both loads
-        // to miss both stores, which SeqCst forbids.
-        s.sq.tail.store(self.local_tail, Ordering::SeqCst);
+        // worker stores `sleeping = true` (SeqCst), re-loads both lane
+        // tails (SeqCst), parks. Whichever lands first in the total
+        // order, either the worker sees these tails, or this swap sees
+        // the worker's announcement — a lost wakeup would need both
+        // loads to miss both stores, which SeqCst forbids.
+        for lane in 0..LANES {
+            s.lanes[lane].sq.tail.store(self.local_tail[lane], Ordering::SeqCst);
+        }
         if s.sleeping.swap(false, Ordering::SeqCst) {
             if let Some(t) = s.worker.get() {
                 let cell = self.rt.stats.cell(s.vcpu);
                 cell.ring_doorbells.fetch_add(1, Ordering::Relaxed);
-                let depth = self.local_tail.saturating_sub(s.sq.head.load(Ordering::Relaxed));
+                let depth: u64 = (0..LANES)
+                    .map(|l| {
+                        self.local_tail[l]
+                            .saturating_sub(s.lanes[l].sq.head.load(Ordering::Relaxed))
+                    })
+                    .sum();
                 self.rt.flight().record(s.vcpu, FlightKind::Doorbell, 0, depth as u32);
                 t.unpark();
             }
         }
     }
 
-    /// Harvest up to `max` completions into `out` (append; the caller
-    /// reuses the vector so the hot loop never allocates). Returns how
-    /// many were reaped. Completions arrive in submission order; each
-    /// reap closes the matching ring span and returns a credit.
-    /// Non-blocking — an empty CQ reaps zero.
-    pub fn reap(&mut self, max: usize, out: &mut Vec<Completion>) -> usize {
+    /// Harvest completions from one lane's CQ (per-lane submission
+    /// order; closes ring spans front-first and returns credits).
+    fn reap_lane(&mut self, lane: usize, max: usize, out: &mut Vec<Completion>) -> usize {
         let s = &self.shared;
-        let tail = s.cq.tail.load(Ordering::Acquire);
+        let cq = &s.lanes[lane].cq;
+        let tail = cq.tail.load(Ordering::Acquire);
         let mut n = 0usize;
-        while self.reaped < tail && n < max {
+        while self.reaped[lane] < tail && n < max {
             // Safety: single consumer (`&mut self`), `reaped < tail`
             // observed with Acquire.
-            let cqe = unsafe { s.cq.read(self.reaped) };
-            self.reaped += 1;
-            s.cq.head.store(self.reaped, Ordering::Release);
-            if let Some(tok) = self.tokens.pop_front().flatten() {
+            let cqe = unsafe { cq.read(self.reaped[lane]) };
+            self.reaped[lane] += 1;
+            cq.head.store(self.reaped[lane], Ordering::Release);
+            if let Some(tok) = self.tokens[lane].pop_front().flatten() {
                 self.rt.spans().end_token(tok, None);
             }
             out.push(Completion { user: cqe.user, ep: cqe.ep, result: cqe.result });
             n += 1;
         }
+        n
+    }
+
+    /// Harvest up to `max` completions into `out` (append; the caller
+    /// reuses the vector so the hot loop never allocates). Returns how
+    /// many were reaped. The `Latency` lane is harvested first — its
+    /// completions overtake queued `Bulk` ones end to end — and within
+    /// a lane completions arrive in submission order; each reap closes
+    /// the matching ring span and returns a credit. Non-blocking — an
+    /// empty CQ reaps zero.
+    pub fn reap(&mut self, max: usize, out: &mut Vec<Completion>) -> usize {
+        let mut n = self.reap_lane(LANE_LAT, max, out);
+        n += self.reap_lane(LANE_BULK, max - n, out);
         if n > 0 && self.rt.obs().try_sample() {
-            self.rt.obs().record(LatencyKind::ReapBatch, s.vcpu, n as u64);
-            self.rt.flight().record(s.vcpu, FlightKind::RingReap, 0, n as u32);
+            let vcpu = self.shared.vcpu;
+            self.rt.obs().record(LatencyKind::ReapBatch, vcpu, n as u64);
+            self.rt.flight().record(vcpu, FlightKind::RingReap, 0, n as u32);
         }
         n
     }
@@ -480,7 +581,7 @@ impl ClientRing {
     /// yields an error CQE, never silence).
     pub fn drain(&mut self, out: &mut Vec<Completion>) {
         self.doorbell();
-        while self.reaped < self.local_tail {
+        while self.in_flight() > 0 {
             if self.reap(usize::MAX, out) == 0 {
                 std::thread::yield_now();
             }
@@ -498,10 +599,12 @@ impl Drop for ClientRing {
         if let Some(jh) = self.join.take() {
             let _ = jh.join();
         }
-        // Close the ring spans of completions never reaped.
-        while let Some(tok) = self.tokens.pop_front() {
-            if let Some(tok) = tok {
-                self.rt.spans().end_token(tok, None);
+        // Close the ring spans of completions never reaped, both lanes.
+        for lane in &mut self.tokens {
+            while let Some(tok) = lane.pop_front() {
+                if let Some(tok) = tok {
+                    self.rt.spans().end_token(tok, None);
+                }
             }
         }
     }
@@ -524,10 +627,13 @@ impl Client {
 // Worker side
 // ---------------------------------------------------------------------
 
-/// Idle rendezvous, ring-worker side: bounded spin on the SQ tail (the
-/// mirror of the entry workers' mailbox spin), then the Dekker sleep
-/// protocol the doorbell pairs with.
-fn idle_wait(ring: &RingShared, head: u64) {
+/// Idle rendezvous, ring-worker side: bounded spin on both lanes' SQ
+/// tails (the mirror of the entry workers' mailbox spin), then the
+/// Dekker sleep protocol the doorbell pairs with.
+fn idle_wait(ring: &RingShared, head: &[u64; LANES]) {
+    let pending = |ord: Ordering| {
+        (0..LANES).any(|l| ring.lanes[l].sq.tail.load(ord) != head[l])
+    };
     let budget = ring.idle_spin.load(Ordering::Relaxed);
     let mut spins = 0u32;
     while spins < budget {
@@ -535,9 +641,7 @@ fn idle_wait(ring: &RingShared, head: u64) {
             std::thread::yield_now();
         }
         std::hint::spin_loop();
-        if ring.sq.tail.load(Ordering::Relaxed) != head
-            || ring.shutdown.load(Ordering::Relaxed)
-        {
+        if pending(Ordering::Relaxed) || ring.shutdown.load(Ordering::Relaxed) {
             return;
         }
         spins += 1;
@@ -545,7 +649,7 @@ fn idle_wait(ring: &RingShared, head: u64) {
     // Announce, re-check in the SeqCst order, then sleep. See
     // `ClientRing::doorbell` for why this cannot lose a wakeup.
     ring.sleeping.store(true, Ordering::SeqCst);
-    if ring.sq.tail.load(Ordering::SeqCst) != head || ring.shutdown.load(Ordering::SeqCst) {
+    if pending(Ordering::SeqCst) || ring.shutdown.load(Ordering::SeqCst) {
         ring.sleeping.store(false, Ordering::Relaxed);
         return;
     }
@@ -553,47 +657,75 @@ fn idle_wait(ring: &RingShared, head: u64) {
     ring.sleeping.store(false, Ordering::Relaxed);
 }
 
-/// The ring worker loop: consume SQEs in order, execute each under an
-/// execution-time claim, post the CQE, repeat. One thread per ring; it
-/// exits when the client handle drops (after finishing the queue).
+/// Consume one SQE from `lane` and post its CQE: the per-SQE body of
+/// the worker loop, parameterized so the priority scheduler above can
+/// interleave lanes.
+fn execute_lane(
+    rt: &Arc<Runtime>,
+    ring: &RingShared,
+    lane: usize,
+    head: &mut [u64; LANES],
+    cq_tail: &mut [u64; LANES],
+    scratch: &mut [u8],
+) {
+    let l = &ring.lanes[lane];
+    // Safety: sole consumer; `head < tail` observed Acquire by the
+    // caller.
+    let sqe = unsafe { l.sq.read(head[lane]) };
+    head[lane] += 1;
+    // Free the SQ slot before executing: admission is bounded by
+    // credits, not SQ occupancy, so the client may refill while this
+    // entry runs.
+    l.sq.head.store(head[lane], Ordering::Release);
+    let cqe = execute_sqe(rt, ring, sqe, scratch);
+    debug_assert!(
+        cq_tail[lane] - l.cq.head.load(Ordering::Relaxed) < l.cq.capacity() as u64,
+        "credit clamp must bound CQ occupancy"
+    );
+    // Safety: sole CQ producer; occupancy bounded by the credit clamp
+    // (credits <= cq capacity, and per-lane in-flight <= total).
+    unsafe { l.cq.write(cq_tail[lane], cqe) };
+    cq_tail[lane] += 1;
+    l.cq.tail.store(cq_tail[lane], Ordering::Release);
+}
+
+/// The ring worker loop: consume SQEs in per-lane order — every queued
+/// `Latency` SQE before each `Bulk` one, re-reading the `Latency` tail
+/// between `Bulk` executions so a latency submission arriving mid-batch
+/// waits behind at most one in-progress bulk handler — execute each
+/// under an execution-time claim, post the CQE, repeat. One thread per
+/// ring; it exits when the client handle drops (after finishing both
+/// queues).
 fn ring_worker(rt: Arc<Runtime>, ring: Arc<RingShared>) {
     // The persistent scratch page handlers see on non-payload SQEs —
     // the ring worker's stand-in for a CD's scratch.
     let mut scratch = vec![0u8; crate::slot::SCRATCH_BYTES].into_boxed_slice();
-    let mut head = 0u64;
-    let mut cq_tail = 0u64;
+    let mut head = [0u64; LANES];
+    let mut cq_tail = [0u64; LANES];
     loop {
-        let tail = ring.sq.tail.load(Ordering::Acquire);
-        if head == tail {
+        let lat_tail = ring.lanes[LANE_LAT].sq.tail.load(Ordering::Acquire);
+        let bulk_tail = ring.lanes[LANE_BULK].sq.tail.load(Ordering::Acquire);
+        if head[LANE_LAT] == lat_tail && head[LANE_BULK] == bulk_tail {
             if ring.shutdown.load(Ordering::Acquire) {
                 break;
             }
-            idle_wait(&ring, head);
+            idle_wait(&ring, &head);
             continue;
         }
         if rt.obs().try_sample() {
             // The queue depth this pickup observes — log₂ depth bands.
-            rt.obs().record(LatencyKind::RingDepth, ring.vcpu, tail - head);
+            let depth = (lat_tail - head[LANE_LAT]) + (bulk_tail - head[LANE_BULK]);
+            rt.obs().record(LatencyKind::RingDepth, ring.vcpu, depth);
         }
-        while head != tail {
-            // Safety: sole consumer; `head < tail` observed Acquire.
-            let sqe = unsafe { ring.sq.read(head) };
-            head += 1;
-            // Free the SQ slot before executing: admission is bounded
-            // by credits, not SQ occupancy, so the client may refill
-            // while this entry runs.
-            ring.sq.head.store(head, Ordering::Release);
-            let cqe = execute_sqe(&rt, &ring, sqe, &mut scratch);
-            debug_assert!(
-                cq_tail - ring.cq.head.load(Ordering::Relaxed)
-                    < ring.cq.capacity() as u64,
-                "credit clamp must bound CQ occupancy"
-            );
-            // Safety: sole CQ producer; occupancy bounded by the
-            // credit clamp (credits <= cq capacity).
-            unsafe { ring.cq.write(cq_tail, cqe) };
-            cq_tail += 1;
-            ring.cq.tail.store(cq_tail, Ordering::Release);
+        loop {
+            if ring.lanes[LANE_LAT].sq.tail.load(Ordering::Acquire) != head[LANE_LAT] {
+                execute_lane(&rt, &ring, LANE_LAT, &mut head, &mut cq_tail, &mut scratch);
+                continue;
+            }
+            if ring.lanes[LANE_BULK].sq.tail.load(Ordering::Acquire) == head[LANE_BULK] {
+                break;
+            }
+            execute_lane(&rt, &ring, LANE_BULK, &mut head, &mut cq_tail, &mut scratch);
         }
     }
 }

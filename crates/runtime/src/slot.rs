@@ -279,6 +279,78 @@ impl CallSlot {
         false
     }
 
+    /// Client side: the bounded-spin rendezvous with escalation. Spin
+    /// like [`CallSlot::wait_done_spin`] for up to `budget` iterations,
+    /// then — instead of parking straight away — run up to
+    /// [`crate::spin::ESCALATE_YIELDS`] *donation* rounds: priority-unpark
+    /// the worker (a redundant token on a running worker is harmless — the
+    /// idle wait tolerates spurious tokens) and `yield_now`, explicitly
+    /// handing the processor to the thread we are waiting on. Only when
+    /// donation also fails does the client park.
+    ///
+    /// Spinning out the budget means the worker lost the processor
+    /// mid-handler (or never got it); a plain park adds a futex
+    /// sleep/wake round trip on top of the context switch the worker
+    /// needs anyway, and under scheduler contention that wake is exactly
+    /// the multi-10µs convoy the tail histograms show. Donating the
+    /// timeslice gets the worker running for the price of the context
+    /// switch alone.
+    ///
+    /// Returns `(resolved_without_park, escalated)`.
+    pub(crate) fn wait_done_donate(
+        &self,
+        budget: u32,
+        worker: Option<&Thread>,
+    ) -> (bool, bool) {
+        // The EWMA budget decides whether spinning is worth it at all;
+        // the hard cap decides how long to spin before donating beats
+        // hoping (see `spin::SPIN_HARD_CAP`).
+        if self.wait_done_spin_phase(budget.min(crate::spin::SPIN_HARD_CAP)) {
+            return (true, false);
+        }
+        let Some(worker) = worker else {
+            // No worker thread to donate to (not yet spawned its first
+            // call); fall back to the plain park.
+            while !self.is_done() {
+                std::thread::park();
+            }
+            return (false, true);
+        };
+        let mut rounds = 0u32;
+        while rounds < crate::spin::ESCALATE_YIELDS {
+            worker.unpark();
+            std::thread::yield_now();
+            if self.is_done() {
+                return (true, true);
+            }
+            rounds += 1;
+        }
+        while !self.is_done() {
+            std::thread::park();
+        }
+        (false, true)
+    }
+
+    /// The spin phase of [`CallSlot::wait_done_spin`], without the park
+    /// fallback: `true` if DONE landed within `budget`.
+    fn wait_done_spin_phase(&self, budget: u32) -> bool {
+        if self.is_done() {
+            return true;
+        }
+        let mut spins = 0u32;
+        while spins < budget {
+            if spins & 63 == 0 {
+                std::thread::yield_now();
+            }
+            std::hint::spin_loop();
+            if self.is_done() {
+                return true;
+            }
+            spins += 1;
+        }
+        false
+    }
+
     /// Client side: read the results (slot must be DONE).
     pub fn read_rets(&self) -> [u64; 8] {
         debug_assert!(self.is_done());

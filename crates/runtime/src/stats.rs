@@ -116,6 +116,12 @@ counters! {
     spin_waits,
     /// Hand-off rendezvous that exhausted the spin budget and parked.
     park_waits,
+    /// Hand-off rendezvous that spun out their budget and escalated to
+    /// timeslice donation (priority-unpark the worker + yield) before
+    /// deciding between resolve-in-userspace and park. Counted whether
+    /// or not the donation resolved the wait; subtract `park_waits` in a
+    /// window to see how many donations saved a futex round trip.
+    spin_escalations,
     /// Dispatched asynchronous calls.
     async_calls,
     /// Upcall dispatches.
@@ -159,9 +165,15 @@ counters! {
     /// Doorbell rings that actually woke a sleeping ring worker — the
     /// batched stand-in for per-call unpark.
     ring_doorbells,
-    /// Submissions refused by admission control ([`crate::RtError::RingFull`]):
-    /// the open-loop backpressure signal.
+    /// Submissions refused because the submission queue itself was full
+    /// ([`crate::RtError::RingFull`]): the producer outran the ring
+    /// worker's drain.
     ring_full,
+    /// Submissions refused because the in-flight credit budget was
+    /// exhausted (also [`crate::RtError::RingFull`], but a different
+    /// remedy: the client must *reap* — completions are waiting — where
+    /// a full SQ means the worker is behind).
+    ring_no_credit,
 }
 
 /// Sharded facility counters: one padded cell per virtual processor.
@@ -246,7 +258,7 @@ mod tests {
         let snap = s.snapshot();
         let fields = snap.fields();
         // `calls` plus one entry per StatsCell counter, no drift.
-        assert_eq!(fields.len(), 23);
+        assert_eq!(fields.len(), 25);
         assert_eq!(fields[0], ("calls", 7));
         let get = |name: &str| fields.iter().find(|(n, _)| *n == name).unwrap().1;
         assert_eq!(get("inline_calls"), 7);

@@ -74,6 +74,13 @@ impl WorkerHandle {
         }
     }
 
+    /// The worker's thread handle, once spawned (for the rendezvous's
+    /// donation escalation: the client priority-unparks this thread when
+    /// its spin budget runs dry).
+    pub(crate) fn thread(&self) -> Option<&Thread> {
+        self.thread.get()
+    }
+
     pub(crate) fn take_mail(&self) -> Option<Arc<CallSlot>> {
         let raw = self.mailbox.swap(std::ptr::null_mut(), Ordering::AcqRel);
         if raw.is_null() {
@@ -109,11 +116,18 @@ impl WorkerHandle {
         }
     }
 
-    fn release_held(&self) {
+    /// Unpin the held CD, surrendering it to the caller. Teardown paths
+    /// hand the slot back to a vCPU CD pool rather than dropping it:
+    /// each pool is a fixed-capacity reservoir, so a slot dropped here
+    /// would shrink the warm-CD supply by one for the rest of the
+    /// process — hold-CD entry churn would bleed the pool dry.
+    fn release_held(&self) -> Option<Arc<CallSlot>> {
         let raw = self.held.swap(std::ptr::null_mut(), Ordering::AcqRel);
-        if !raw.is_null() {
+        if raw.is_null() {
+            None
+        } else {
             // Safety: symmetric with pin_slot.
-            unsafe { drop(Arc::from_raw(raw)) };
+            Some(unsafe { Arc::from_raw(raw) })
         }
     }
 
@@ -227,8 +241,11 @@ impl WorkerPool {
         }
     }
 
-    /// Shut down every worker and join the threads.
-    pub fn reap(&self) {
+    /// Shut down every worker and join the threads. Returns the CDs the
+    /// workers had pinned (hold-CD mode) so the caller can recycle them
+    /// into a vCPU pool.
+    pub fn reap(&self) -> Vec<Arc<CallSlot>> {
+        let mut freed = Vec::new();
         let mut all = self.all.lock();
         for (w, _) in all.iter() {
             w.request_shutdown();
@@ -237,14 +254,18 @@ impl WorkerPool {
             if let Some(jh) = jh.take() {
                 let _ = jh.join();
             }
-            w.release_held();
+            freed.extend(w.release_held());
         }
         while self.idle.pop().is_some() {}
+        freed
     }
 
     /// Shut down surplus idle workers beyond `keep` ("pools can grow and
-    /// shrink dynamically"). Returns how many were reaped.
-    pub fn shrink_to(&self, keep: usize) -> usize {
+    /// shrink dynamically"). Returns how many were reaped, plus the CDs
+    /// they had pinned (hold-CD mode) for the caller to recycle — a
+    /// shrunk worker never runs again, so a slot left in its `held`
+    /// field would leak and stay invisible to the vCPU pool forever.
+    pub fn shrink_to(&self, keep: usize) -> (usize, Vec<Arc<CallSlot>>) {
         let mut reaped = 0;
         while self.idle.len() > keep {
             match self.idle.pop() {
@@ -255,16 +276,18 @@ impl WorkerPool {
                 None => break,
             }
         }
-        // Join the reaped threads.
+        // Join the reaped threads and collect any pinned CDs.
+        let mut freed = Vec::new();
         let mut all = self.all.lock();
         for (w, jh) in all.iter_mut() {
             if w.shutdown.load(Ordering::Acquire) {
                 if let Some(jh) = jh.take() {
                     let _ = jh.join();
                 }
+                freed.extend(w.release_held());
             }
         }
-        reaped
+        (reaped, freed)
     }
 }
 

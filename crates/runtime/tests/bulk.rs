@@ -528,9 +528,11 @@ fn unregister_vs_streaming_copies_race() {
         region.fill(0, &[1; 4096]).unwrap();
         region.grant(ep, false).unwrap();
         let stop = Arc::new(AtomicBool::new(false));
+        let seen = Arc::new(AtomicU64::new(0));
         let c = client.clone();
         let desc = region.full_desc(false);
         let stop2 = Arc::clone(&stop);
+        let seen2 = Arc::clone(&seen);
         let t = std::thread::spawn(move || {
             let mut good = 0u64;
             while !stop2.load(Ordering::Acquire) {
@@ -538,11 +540,18 @@ fn unregister_vs_streaming_copies_race() {
                 if rets[0] == 1 {
                     assert_eq!(rets[1], 4096, "torn read of a live region");
                     good += 1;
+                    seen2.store(good, Ordering::Release);
                 }
             }
             good
         });
-        std::thread::sleep(Duration::from_millis(2));
+        // Wait until the stream has actually observed the live region
+        // before unregistering — a fixed sleep loses to a loaded
+        // single-core scheduler (the watchdog bounds this loop).
+        while seen.load(Ordering::Acquire) == 0 {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(1));
         drop(region); // unregister mid-stream
         std::thread::sleep(Duration::from_millis(1));
         stop.store(true, Ordering::Release);

@@ -554,7 +554,13 @@ fn spin_policy_roundtrip_and_modes_complete() {
             assert_eq!(c.call(ep, [i; 8]).unwrap(), [i; 8]);
         }
     }
-    // ParkOnly never spins; its 50 rendezvous all parked.
-    assert!(rt.stats.park_waits() >= 50);
+    // ParkOnly never spins a budget: a rendezvous that does not find
+    // DONE already set goes straight to the bounded escalation
+    // (timeslice donation), then either resolves in userspace
+    // (spin_waits) or parks (park_waits). At least the cold first call
+    // must have escalated; warm calls may find DONE immediately.
+    assert!(rt.stats.spin_escalations() >= 1);
+    // Every hand-off rendezvous still accounts as exactly one of the two.
+    assert_eq!(rt.stats.spin_waits() + rt.stats.park_waits(), 150);
     assert_eq!(rt.stats.calls(), 150);
 }
