@@ -18,9 +18,11 @@
 //! timestamps are only taken on sampled calls (1 in 128 by default).
 //!
 //! The enabled run measures with the causal-tracing plane in its
-//! default (enabled) state, so the gate covers span minting too;
-//! `--no-trace` disables the span plane for an attribution run that
-//! isolates histogram cost from tracing cost.
+//! default (enabled) state **and the telemetry sampler running at its
+//! default tick**, so the gate covers span minting and the background
+//! snapshot/delta work too. `--no-trace` disables the span plane and
+//! `--no-sampler` the telemetry thread, for attribution runs that
+//! isolate histogram cost from tracing cost from sampler cost.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -32,11 +34,24 @@ use ppc_rt::{EntryOptions, Runtime};
 /// adds time), same estimator as `rt_modes`. `trace_on` leaves the span
 /// plane in its default enabled state; `--no-trace` switches it off so
 /// the gate can attribute a regression to tracing vs the histograms.
-fn measure_null_inline(trace_on: bool) -> f64 {
+///
+/// On the enabled (`obs`) side the telemetry sampler runs at its default
+/// tick for the whole measurement, so the budget also covers the
+/// background snapshot/delta work the sampler's shared-nothing reads
+/// cause. The compiled-out baseline stays sampler-free: it defines the
+/// zero-observability floor the budget is measured against.
+fn measure_null_inline(trace_on: bool, sampler_on: bool) -> f64 {
     const TRIALS: usize = 8;
     const BUDGET: Duration = Duration::from_millis(60);
     let rt = Runtime::new(1);
     rt.spans().set_enabled(trace_on);
+    if sampler_on && cfg!(feature = "obs") {
+        rt.start_telemetry(
+            ppc_rt::telemetry::DEFAULT_TICK,
+            ppc_rt::telemetry::DEFAULT_SERIES_DEPTH,
+            Vec::new(),
+        );
+    }
     let ep = rt
         .bind(
             "null",
@@ -63,11 +78,12 @@ fn measure_null_inline(trace_on: bool) -> f64 {
     best
 }
 
-fn doc(ns: f64, trace_on: bool) -> Json {
+fn doc(ns: f64, trace_on: bool, sampler_on: bool) -> Json {
     Json::obj([
         ("bench", Json::Str("obs_overhead".to_string())),
         ("obs_compiled", Json::Bool(cfg!(feature = "obs"))),
         ("trace_enabled", Json::Bool(cfg!(feature = "obs") && trace_on)),
+        ("sampler_enabled", Json::Bool(cfg!(feature = "obs") && sampler_on)),
         ("ns_per_call", Json::Num(ns)),
     ])
 }
@@ -80,11 +96,16 @@ fn main() {
     let budget: f64 = flag_value("--budget").map(|s| s.parse().unwrap()).unwrap_or(1.05);
     let floor_ns: f64 = flag_value("--floor-ns").map(|s| s.parse().unwrap()).unwrap_or(25.0);
     let trace_on = !args.iter().any(|a| a == "--no-trace");
+    let sampler_on = !args.iter().any(|a| a == "--no-sampler");
 
-    let ns = measure_null_inline(trace_on);
+    let ns = measure_null_inline(trace_on, sampler_on);
     println!(
         "null inline call: {ns:.1} ns/call (histograms {}, tracing {})",
-        if cfg!(feature = "obs") { "compiled in, enabled" } else { "compiled out" },
+        match (cfg!(feature = "obs"), sampler_on) {
+            (false, _) => "compiled out",
+            (true, true) => "compiled in, enabled, sampler running",
+            (true, false) => "compiled in, enabled, sampler off",
+        },
         match (cfg!(feature = "obs"), trace_on) {
             (false, _) => "compiled out",
             (true, true) => "enabled",
@@ -93,7 +114,7 @@ fn main() {
     );
 
     if let Some(path) = flag_value("--write") {
-        std::fs::write(&path, doc(ns, trace_on).to_string() + "\n")
+        std::fs::write(&path, doc(ns, trace_on, sampler_on).to_string() + "\n")
             .unwrap_or_else(|e| panic!("writing {path}: {e}"));
         println!("baseline written: {path}");
         return;
@@ -127,7 +148,7 @@ fn main() {
     // Consistency with the other bins: `--json` emits the same document.
     let (_rest, json_path) = report::json_flag(args.into_iter());
     if let Some(path) = json_path {
-        std::fs::write(&path, doc(ns, trace_on).to_string() + "\n")
+        std::fs::write(&path, doc(ns, trace_on, sampler_on).to_string() + "\n")
             .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
         println!("json report: {}", path.display());
     }

@@ -127,10 +127,15 @@ pub fn check(mode: &str, measured: &Json, baseline: &Json, tol: &Tolerance) -> V
 
 /// Load a committed `BENCH_*.json` baseline from `dir`. `None` when the
 /// file is absent or unparsable — the caller skips that matrix rather
-/// than failing CI on a baseline that was never committed.
+/// than failing CI on a baseline that was never committed. A baseline
+/// with a stale or missing `schema_version` still loads (the quantile
+/// fields it gates on are stable), but warns on stderr so the drift
+/// gets re-stamped instead of silently accumulating.
 pub fn load_baseline(dir: &Path, name: &str) -> Option<Json> {
     let text = std::fs::read_to_string(dir.join(name)).ok()?;
-    Json::parse(&text).ok()
+    let doc = Json::parse(&text).ok()?;
+    ppc_rt::export::check_schema_version(&doc, name);
+    Some(doc)
 }
 
 /// The latency object of `mode`'s field `field` inside a parsed

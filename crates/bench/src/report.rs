@@ -89,6 +89,10 @@ impl JsonReport {
         JsonReport {
             bench: bench.to_string(),
             meta: vec![
+                (
+                    "schema_version".to_string(),
+                    Json::Num(ppc_rt::export::SCHEMA_VERSION as f64),
+                ),
                 ("host_cores".to_string(), Json::Num(host_cores() as f64)),
                 ("host_parallelism".to_string(), Json::Num(parallelism as f64)),
                 ("cpus_allowed".to_string(), Json::Num(cpus_allowed() as f64)),
@@ -219,6 +223,12 @@ mod tests {
         let text = r.to_json().to_string();
         let back = Json::parse(&text).expect("self-produced JSON parses");
         assert_eq!(back.get("bench").unwrap().as_str(), Some("unit"));
+        assert_eq!(
+            back.get("schema_version").unwrap().as_u64(),
+            Some(ppc_rt::export::SCHEMA_VERSION),
+            "every bench artifact is stamped with the exporter schema version"
+        );
+        assert!(ppc_rt::export::check_schema_version(&back, "unit report"));
         let mode = back.get("modes").unwrap().get("null/inline").unwrap();
         assert_eq!(mode.get("ns_per_call").unwrap().as_f64(), Some(68.5));
     }

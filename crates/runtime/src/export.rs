@@ -24,6 +24,42 @@ use std::fmt::Write as _;
 use crate::obs::{Histogram, LatencyKind, ObsState, KINDS};
 use crate::span::SpanRecord;
 use crate::stats::Snapshot;
+use crate::telemetry::{Telemetry, TickDelta, WINDOWS};
+
+/// Version stamp carried by every JSON artifact this module (and the
+/// bench reports built on it) emits. Bump it when a field is renamed,
+/// re-unitted, or re-shaped; loaders compare it and **warn** on
+/// mismatch instead of silently mis-parsing an old committed
+/// `BENCH_*.json`.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// `schema_version` of a parsed JSON artifact (`None` when the document
+/// predates the stamp).
+pub fn schema_version_of(doc: &Json) -> Option<u64> {
+    doc.get("schema_version").and_then(Json::as_u64)
+}
+
+/// Warn (once per call, on stderr) when a loaded artifact's schema
+/// version differs from ours. Returns `true` when versions agree.
+pub fn check_schema_version(doc: &Json, what: &str) -> bool {
+    match schema_version_of(doc) {
+        Some(v) if v == SCHEMA_VERSION => true,
+        Some(v) => {
+            eprintln!(
+                "warning: {what}: schema_version {v} != current {SCHEMA_VERSION}; \
+                 fields may have moved — consider regenerating the artifact"
+            );
+            false
+        }
+        None => {
+            eprintln!(
+                "warning: {what}: no schema_version (pre-v{SCHEMA_VERSION} artifact); \
+                 consider regenerating"
+            );
+            false
+        }
+    }
+}
 
 // ---------------------------------------------------------------------
 // Json value type
@@ -81,6 +117,13 @@ impl Json {
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
             _ => None,
         }
     }
@@ -367,8 +410,31 @@ pub fn prometheus(snap: &Snapshot, obs: &ObsState) -> String {
     out
 }
 
-/// A parsed Prometheus exposition: the `ppc_` counters and the
-/// de-cumulated per-kind latency histograms.
+/// Render the telemetry plane's windowed rates in Prometheus text
+/// exposition format: one `ppc_rate_<counter>` gauge per counter, with
+/// a sample per [`WINDOWS`] entry (`{window="1s"}` etc.), in events per
+/// second. Appended to [`prometheus`] output by
+/// [`crate::Runtime::export_prometheus`] when the sampler is running.
+pub fn prometheus_rates(tel: &Telemetry) -> String {
+    let windows: Vec<(&str, crate::telemetry::WindowStats)> =
+        WINDOWS.iter().map(|&(label, dur)| (label, tel.window(dur))).collect();
+    let mut out = String::new();
+    for &name in Snapshot::field_names() {
+        let _ = writeln!(out, "# TYPE ppc_rate_{name} gauge");
+        for (label, w) in &windows {
+            let _ = writeln!(
+                out,
+                "ppc_rate_{name}{{window=\"{label}\"}} {:.6}",
+                w.rate(name)
+            );
+        }
+    }
+    out
+}
+
+/// A parsed Prometheus exposition: the `ppc_` counters, the
+/// de-cumulated per-kind latency histograms, and the `ppc_rate_*`
+/// windowed gauges.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct PromSnapshot {
     /// `(counter name, value)`, in exposition order, `ppc_` stripped.
@@ -376,6 +442,9 @@ pub struct PromSnapshot {
     /// `(kind label, histogram)` reconstructed from the cumulative
     /// `_bucket` series plus `_sum`/`_max`.
     pub latency: Vec<(String, Histogram)>,
+    /// `(counter name, window label, events/s)` from the `ppc_rate_*`
+    /// gauges, in exposition order.
+    pub rates: Vec<(String, String, f64)>,
 }
 
 impl PromSnapshot {
@@ -387,6 +456,15 @@ impl PromSnapshot {
     /// The reconstructed histogram for `kind`, if present.
     pub fn hist(&self, kind: &str) -> Option<&Histogram> {
         self.latency.iter().find(|(k, _)| k == kind).map(|(_, h)| h)
+    }
+
+    /// The windowed rate of counter `name` over `window` (label as in
+    /// [`WINDOWS`]), if present.
+    pub fn rate(&self, name: &str, window: &str) -> Option<f64> {
+        self.rates
+            .iter()
+            .find(|(n, w, _)| n == name && w == window)
+            .map(|&(_, _, v)| v)
     }
 }
 
@@ -421,7 +499,21 @@ pub fn parse_prometheus(text: &str) -> Result<PromSnapshot, String> {
         }
         let (name_part, value_part) =
             line.rsplit_once(' ').ok_or_else(|| format!("no value in line: {line}"))?;
-        if let Some(rest) = name_part.strip_prefix("ppc_latency_ns_") {
+        // The `ppc_rate_` family must be matched before the generic
+        // `ppc_` counter branch (same prefix, float-valued, labelled).
+        if let Some(rest) = name_part.strip_prefix("ppc_rate_") {
+            let (name, labels) = rest
+                .split_once('{')
+                .ok_or_else(|| format!("rate series without labels: {line}"))?;
+            let labels = labels
+                .strip_suffix('}')
+                .ok_or_else(|| format!("unterminated labels: {line}"))?;
+            let window = label_value(labels, "window")
+                .ok_or_else(|| format!("no window label: {line}"))?;
+            let value: f64 =
+                value_part.parse().map_err(|_| format!("bad rate value: {line}"))?;
+            out.rates.push((name.to_string(), window.to_string(), value));
+        } else if let Some(rest) = name_part.strip_prefix("ppc_latency_ns_") {
             let (series, labels) = rest
                 .split_once('{')
                 .ok_or_else(|| format!("latency series without labels: {line}"))?;
@@ -495,16 +587,22 @@ pub fn histogram_json(h: &Histogram) -> Json {
     Json::Obj(fields)
 }
 
-/// Render the counter + histogram planes as one JSON object:
-/// `{"counters": {...}, "latency_ns": {"call": {...}, ...}}`. Kinds
-/// with no samples are omitted from `latency_ns`.
-pub fn json_snapshot(snap: &Snapshot, obs: &ObsState) -> Json {
-    let counters = Json::Obj(
+/// One [`Snapshot`]'s counters as a JSON object (name → value, driven
+/// by [`Snapshot::fields`] so a new counter appears automatically).
+pub fn counters_json(snap: &Snapshot) -> Json {
+    Json::Obj(
         snap.fields()
             .into_iter()
             .map(|(name, value)| (name.to_string(), Json::Num(value as f64)))
             .collect(),
-    );
+    )
+}
+
+/// Render the counter + histogram planes as one JSON object:
+/// `{"schema_version": N, "counters": {...}, "latency_ns":
+/// {"call": {...}, ...}}`. Kinds with no samples are omitted from
+/// `latency_ns`.
+pub fn json_snapshot(snap: &Snapshot, obs: &ObsState) -> Json {
     let latency = Json::Obj(
         KINDS
             .iter()
@@ -513,7 +611,125 @@ pub fn json_snapshot(snap: &Snapshot, obs: &ObsState) -> Json {
             .map(|(k, h)| (k.label().to_string(), histogram_json(&h)))
             .collect(),
     );
-    Json::obj([("counters", counters), ("latency_ns", latency)])
+    Json::obj([
+        ("schema_version", Json::Num(SCHEMA_VERSION as f64)),
+        ("counters", counters_json(snap)),
+        ("latency_ns", latency),
+    ])
+}
+
+/// One [`TickDelta`] as JSON: the tick's identity, its counter deltas
+/// (aggregate and per-vCPU), and the non-empty per-kind histogram
+/// deltas. (Per-vCPU call histograms stay out of the document — the
+/// per-vCPU view consumers want is the *windowed* one in
+/// [`telemetry_json`], not per-tick buckets.)
+fn tick_json(t: &TickDelta) -> Json {
+    let latency = Json::Obj(
+        KINDS
+            .iter()
+            .zip(t.hists.iter())
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(k, h)| (k.label().to_string(), histogram_json(h)))
+            .collect(),
+    );
+    Json::obj([
+        ("seq", Json::Num(t.seq as f64)),
+        ("at_ns", Json::Num(t.at_ns as f64)),
+        ("dt_ns", Json::Num(t.dt_ns as f64)),
+        ("counters", counters_json(&t.counters)),
+        ("latency_ns", latency),
+        ("per_vcpu", Json::Arr(t.per_vcpu.iter().map(counters_json).collect())),
+    ])
+}
+
+/// The raw telemetry ring (the `/series` endpoint): every retained
+/// [`TickDelta`], oldest first.
+pub fn series_json(ticks: &[TickDelta]) -> Json {
+    Json::obj([
+        ("schema_version", Json::Num(SCHEMA_VERSION as f64)),
+        ("ticks", Json::Arr(ticks.iter().map(tick_json).collect())),
+    ])
+}
+
+/// One window's merged stats as JSON: width, per-counter rates
+/// (events/s), per-kind windowed quantiles, and the per-vCPU view
+/// (counter deltas + call-latency quantiles) — the shape `ppc-top`
+/// renders.
+fn window_json(w: &crate::telemetry::WindowStats) -> Json {
+    let rates = Json::Obj(
+        w.counters
+            .fields()
+            .into_iter()
+            .map(|(name, _)| (name.to_string(), Json::Num(w.rate(name))))
+            .collect(),
+    );
+    let latency = Json::Obj(
+        KINDS
+            .iter()
+            .zip(w.hists.iter())
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(k, h)| (k.label().to_string(), histogram_json(h)))
+            .collect(),
+    );
+    let per_vcpu = Json::Arr(
+        w.per_vcpu
+            .iter()
+            .zip(w.vcpu_call.iter())
+            .map(|(snap, call)| {
+                Json::obj([
+                    ("counters", counters_json(snap)),
+                    ("call_ns", histogram_json(call)),
+                ])
+            })
+            .collect(),
+    );
+    Json::obj([
+        ("dt_ns", Json::Num(w.dt_ns as f64)),
+        ("ticks", Json::Num(w.ticks as f64)),
+        ("rates", rates),
+        ("latency_ns", latency),
+        ("per_vcpu", per_vcpu),
+    ])
+}
+
+/// The live telemetry document (merged into the `/json` endpoint under
+/// `"telemetry"`): sampler identity, every [`WINDOWS`] entry rendered
+/// as its window object — wall-window rates and quantiles, per-vCPU —
+/// and the SLO watchdog's alert states.
+pub fn telemetry_json(tel: &Telemetry) -> Json {
+    let windows = Json::Obj(
+        WINDOWS
+            .iter()
+            .map(|&(label, dur)| (label.to_string(), window_json(&tel.window(dur))))
+            .collect(),
+    );
+    let alerts = Json::Arr(
+        tel.alerts()
+            .iter()
+            .map(|a| {
+                Json::obj([
+                    ("name", Json::Str(a.rule.name.into())),
+                    ("metric", Json::Str(format!("{:?}", a.rule.metric))),
+                    ("window_ms", Json::Num(a.rule.window.as_millis() as f64)),
+                    ("threshold", Json::Num(a.rule.threshold)),
+                    ("burn_factor", Json::Num(a.rule.burn_factor)),
+                    ("firing", Json::Bool(a.firing)),
+                    ("fired", Json::Num(a.fired as f64)),
+                    ("measured_slow", Json::Num(a.measured_slow)),
+                    ("measured_fast", Json::Num(a.measured_fast)),
+                    ("firing_ticks", Json::Num(a.firing_ticks as f64)),
+                ])
+            })
+            .collect(),
+    );
+    Json::obj([
+        ("schema_version", Json::Num(SCHEMA_VERSION as f64)),
+        ("tick_ms", Json::Num(tel.tick().as_secs_f64() * 1e3)),
+        ("ticks", Json::Num(tel.ticks() as f64)),
+        ("depth", Json::Num(tel.depth() as f64)),
+        ("windows", windows),
+        ("alerts", alerts),
+    ])
 }
 
 // ---------------------------------------------------------------------

@@ -69,6 +69,7 @@ pub mod entry;
 pub mod export;
 pub mod flight;
 pub mod frank;
+pub mod http;
 pub mod naming;
 pub mod obs;
 pub mod region;
@@ -76,11 +77,13 @@ pub mod ring;
 pub mod slot;
 pub mod span;
 pub mod stats;
+pub mod telemetry;
 pub mod worker;
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU8, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 pub use bulk::{BufferPool, BulkState, PoolBuf};
 pub use entry::{EntryOptions, EntryState, QosClass};
@@ -90,6 +93,7 @@ pub use region::{BulkDesc, RegionId, MAX_BULK, MAX_REGIONS};
 pub use ring::{ClientRing, Completion, RingOptions};
 pub use span::{Exemplar, SpanPhase, SpanPlane, SpanRecord, TraceCtx};
 pub use stats::{RuntimeStats, Snapshot, StatsCell};
+pub use telemetry::{AlertState, SloMetric, SloRule, Telemetry, TickDelta, WindowStats};
 
 use entry::EntryShared;
 use slot::CallSlot;
@@ -681,6 +685,11 @@ pub struct Runtime {
     /// ([`Runtime::set_trust_group`]); the dispatch path reads it only
     /// for entries that set a non-zero [`EntryOptions::trust_group`].
     trust: parking_lot::RwLock<HashMap<ProgramId, u32>>,
+    /// The telemetry plane (windowed sampler + SLO watchdog), present
+    /// once started via [`RuntimeOptions::telemetry_tick`] or
+    /// [`Runtime::start_telemetry`]. Cold-path mutex: touched only at
+    /// start/stop/read, never by dispatch.
+    telemetry: parking_lot::Mutex<Option<Arc<telemetry::Telemetry>>>,
     shutdown: AtomicU8,
 }
 
@@ -703,7 +712,8 @@ pub(crate) fn worker_idle_budget(p: SpinPolicy) -> u32 {
 }
 
 /// Construction-time knobs for [`Runtime::with_runtime_options`].
-#[derive(Clone, Copy, Debug)]
+/// (`Clone` but no longer `Copy`: the SLO rule list is heap-backed.)
+#[derive(Clone, Debug)]
 pub struct RuntimeOptions {
     /// Pin worker threads with `core_affinity` (vCPU *i* to core
     /// *i mod n_cores*; silently unpinned where pinning fails).
@@ -716,6 +726,15 @@ pub struct RuntimeOptions {
     pub flight_capacity: usize,
     /// Span-ring slots per vCPU for the tracing plane (power of two).
     pub trace_capacity: usize,
+    /// Start the telemetry sampler with this tick (`None`, the default,
+    /// spawns no thread; [`telemetry::DEFAULT_TICK`] is the conventional
+    /// choice). Also startable later via [`Runtime::start_telemetry`].
+    pub telemetry_tick: Option<Duration>,
+    /// Telemetry time-series ring depth in ticks (power of two).
+    pub telemetry_depth: usize,
+    /// SLO watchdog rules evaluated every telemetry tick (ignored until
+    /// the sampler starts).
+    pub slo_rules: Vec<telemetry::SloRule>,
 }
 
 impl Default for RuntimeOptions {
@@ -725,6 +744,9 @@ impl Default for RuntimeOptions {
             initial_cds: 1,
             flight_capacity: flight::RING_CAPACITY,
             trace_capacity: span::DEFAULT_TRACE_CAPACITY,
+            telemetry_tick: None,
+            telemetry_depth: telemetry::DEFAULT_SERIES_DEPTH,
+            slo_rules: Vec::new(),
         }
     }
 }
@@ -752,7 +774,7 @@ impl Runtime {
     pub fn with_runtime_options(n_vcpus: usize, opts: RuntimeOptions) -> Arc<Self> {
         assert!(n_vcpus >= 1, "at least one virtual processor");
         let stats = Arc::new(RuntimeStats::new(n_vcpus));
-        Arc::new(Runtime {
+        let rt = Arc::new(Runtime {
             vcpus: (0..n_vcpus).map(|i| VcpuState::new(i, opts.initial_cds)).collect(),
             frank: frank::Frank::new(),
             bulk: bulk::BulkState::new(n_vcpus, Arc::clone(&stats)),
@@ -764,8 +786,55 @@ impl Runtime {
             spin_mode: AtomicU8::new(SPIN_ADAPTIVE),
             spin_fixed: AtomicU32::new(spin::DEFAULT_BUDGET),
             trust: parking_lot::RwLock::new(HashMap::new()),
+            telemetry: parking_lot::Mutex::new(None),
             shutdown: AtomicU8::new(0),
-        })
+        });
+        if let Some(tick) = opts.telemetry_tick {
+            rt.start_telemetry(tick, opts.telemetry_depth, opts.slo_rules);
+        }
+        rt
+    }
+
+    /// Start the telemetry sampler (tick period, time-series ring depth
+    /// in ticks — a power of two — and the SLO watchdog rules). Idempotent:
+    /// if a sampler is already running, it is returned unchanged and the
+    /// arguments are ignored. See [`telemetry::Telemetry`].
+    pub fn start_telemetry(
+        self: &Arc<Self>,
+        tick: Duration,
+        depth: usize,
+        rules: Vec<telemetry::SloRule>,
+    ) -> Arc<telemetry::Telemetry> {
+        let mut guard = self.telemetry.lock();
+        if let Some(t) = guard.as_ref() {
+            return Arc::clone(t);
+        }
+        let t = telemetry::Telemetry::start(
+            tick,
+            depth,
+            rules,
+            Arc::clone(&self.stats),
+            Arc::clone(&self.obs),
+            Arc::clone(&self.flight),
+            Arc::downgrade(self),
+            self.vcpus.len(),
+        );
+        *guard = Some(Arc::clone(&t));
+        t
+    }
+
+    /// The telemetry plane, if the sampler has been started.
+    pub fn telemetry(&self) -> Option<Arc<telemetry::Telemetry>> {
+        self.telemetry.lock().clone()
+    }
+
+    /// Stop and join the telemetry sampler (idempotent; also runs on
+    /// drop).
+    pub fn stop_telemetry(&self) {
+        let t = self.telemetry.lock().take();
+        if let Some(t) = t {
+            t.stop();
+        }
     }
 
     /// Change the synchronous-rendezvous wait policy. Takes effect for
@@ -866,15 +935,37 @@ impl Runtime {
     }
 
     /// Counters + histograms in Prometheus text exposition format (cold
-    /// path).
+    /// path). With the telemetry sampler running, the `ppc_rate_*`
+    /// windowed gauges are appended.
     pub fn export_prometheus(&self) -> String {
-        export::prometheus(&self.stats.snapshot(), &self.obs)
+        let mut out = export::prometheus(&self.stats.snapshot(), &self.obs);
+        if let Some(tel) = self.telemetry() {
+            out.push_str(&export::prometheus_rates(&tel));
+        }
+        out
     }
 
     /// Counters + histograms as a JSON document (cold path). Parse it
-    /// back with [`export::Json::parse`].
+    /// back with [`export::Json::parse`]. With the telemetry sampler
+    /// running, a `"telemetry"` member carries the windowed rates,
+    /// quantiles and alert states ([`export::telemetry_json`]).
     pub fn export_json(&self) -> export::Json {
-        export::json_snapshot(&self.stats.snapshot(), &self.obs)
+        let mut doc = export::json_snapshot(&self.stats.snapshot(), &self.obs);
+        if let Some(tel) = self.telemetry() {
+            if let export::Json::Obj(fields) = &mut doc {
+                fields.push(("telemetry".into(), export::telemetry_json(&tel)));
+            }
+        }
+        doc
+    }
+
+    /// The raw telemetry time-series ring as JSON (the `/series`
+    /// endpoint); an empty series when the sampler isn't running.
+    pub fn export_series(&self) -> export::Json {
+        match self.telemetry() {
+            Some(tel) => export::series_json(&tel.series(usize::MAX)),
+            None => export::series_json(&[]),
+        }
     }
 
     /// Every retained span record as a Chrome/Perfetto trace-event JSON
@@ -896,6 +987,33 @@ impl Runtime {
         let mut out = String::new();
         let _ = writeln!(out, "=== ppc-rt diagnostics ===");
         let _ = writeln!(out, "stats: {}", self.stats.snapshot());
+        if let Some(tel) = self.telemetry() {
+            let alerts = tel.alerts();
+            let _ = writeln!(
+                out,
+                "alerts: {} rule(s), {} firing ({} ticks sampled, tick {:?})",
+                alerts.len(),
+                alerts.iter().filter(|a| a.firing).count(),
+                tel.ticks(),
+                tel.tick(),
+            );
+            for a in &alerts {
+                let _ = writeln!(
+                    out,
+                    "  [{}] {}: {:.3}{} over {:?} (threshold {}, burn \
+                     {:.2}x slow / {:.2}x fast, fired {} rising edge(s))",
+                    if a.firing { "FIRING" } else { "ok" },
+                    a.rule.name,
+                    a.measured_slow,
+                    a.rule.metric.unit(),
+                    a.rule.window,
+                    a.rule.threshold,
+                    a.measured_slow / a.rule.threshold.max(f64::MIN_POSITIVE),
+                    a.measured_fast / a.rule.threshold.max(f64::MIN_POSITIVE),
+                    a.fired,
+                );
+            }
+        }
         for kind in obs::KINDS {
             let h = self.obs.merged(kind);
             if h.count() == 0 {
@@ -1275,6 +1393,12 @@ impl Drop for AsyncCall {
 impl Drop for Runtime {
     fn drop(&mut self) {
         self.shutdown.store(1, Ordering::SeqCst);
+        // Stop and join the telemetry sampler before tearing down the
+        // planes it reads.
+        let tel = self.telemetry.lock().take();
+        if let Some(t) = tel {
+            t.stop();
+        }
         // Reap every live entry: signal workers and join them, then let
         // the registry drop the shared state.
         let entries: Vec<Arc<EntryShared>> =

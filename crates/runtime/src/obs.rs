@@ -246,6 +246,40 @@ impl Histogram {
         self.sum_ns += other.sum_ns;
         self.max_ns = self.max_ns.max(other.max_ns);
     }
+
+    /// Clear every bucket, the sum, **and the exact max** back to zero.
+    /// The max reset matters: the PR-7 exact-max feed is unconditional,
+    /// so a histogram reused across measurement windows would otherwise
+    /// report a stale worst-case from a previous window forever.
+    pub fn reset(&mut self) {
+        *self = Histogram::new();
+    }
+
+    /// The activity between two cumulative snapshots of the same
+    /// histogram: bucket-wise `self - earlier` (saturating, so a
+    /// concurrent [`ObsState::reset`] between the two reads degrades to
+    /// zeros instead of wrapping).
+    ///
+    /// Delta-safe exact-max semantics: a cumulative `max_ns` only ever
+    /// ratchets up, so it cannot be subtracted. If `self.max_ns` moved
+    /// past `earlier.max_ns`, the new worst case was observed *inside*
+    /// this window and is reported exactly; otherwise the window saw no
+    /// new max and the delta's `max_ns` is 0 — "unknown", which
+    /// [`Histogram::quantile`] already handles by clamping the top
+    /// bucket's interpolation span to the bucket bounds. Reporting the
+    /// stale cumulative max instead would pin every window's p100 at
+    /// boot-time's worst call.
+    pub fn delta_since(&self, earlier: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        for (o, (a, b)) in
+            out.buckets.iter_mut().zip(self.buckets.iter().zip(earlier.buckets.iter()))
+        {
+            *o = a.saturating_sub(*b);
+        }
+        out.sum_ns = self.sum_ns.saturating_sub(earlier.sum_ns);
+        out.max_ns = if self.max_ns > earlier.max_ns { self.max_ns } else { 0 };
+        out
+    }
 }
 
 /// The runtime's histogram plane: per-vCPU cells plus the shared
@@ -552,6 +586,69 @@ mod tests {
             assert!((1024..=2047).contains(&v), "q{q} = {v} escaped the sampled bucket");
         }
         assert_eq!(h.max_ns, 80_000);
+    }
+
+    #[test]
+    fn reset_clears_the_exact_max() {
+        let mut h = Histogram::new();
+        h.record(80_000); // the PR-7 unconditional max feed's outlier
+        assert_eq!(h.max_ns, 80_000);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum_ns, 0);
+        assert_eq!(h.max_ns, 0, "a stale max must not leak into the next window");
+        h.record(500);
+        assert_eq!(h.quantile(1.0), 500, "post-reset quantiles use post-reset max only");
+    }
+
+    #[test]
+    fn delta_since_isolates_the_window() {
+        let mut cum = Histogram::new();
+        cum.record(100);
+        cum.record(80_000);
+        let t0 = cum.clone();
+        // Window activity: three fast samples, no new max.
+        for _ in 0..3 {
+            cum.record(120);
+        }
+        let d = cum.delta_since(&t0);
+        assert_eq!(d.count(), 3);
+        assert_eq!(d.sum_ns, 360);
+        assert_eq!(d.max_ns, 0, "no new max observed in the window");
+        // Quantiles stay inside the window's own bucket despite max=0.
+        let q = d.quantile(0.99);
+        assert!((64..=127).contains(&q), "q={q}");
+        // A new max inside the window reports exactly.
+        let t1 = cum.clone();
+        cum.record(200_000);
+        let d2 = cum.delta_since(&t1);
+        assert_eq!(d2.count(), 1);
+        assert_eq!(d2.max_ns, 200_000);
+    }
+
+    #[test]
+    fn delta_of_deltas_is_consistent() {
+        // delta(t2, t0) == merge(delta(t2, t1), delta(t1, t0)) for
+        // buckets and sums — the property the windowed merger relies on.
+        let mut cum = Histogram::new();
+        cum.record(50);
+        let t0 = cum.clone();
+        cum.record(500);
+        cum.record(700);
+        let t1 = cum.clone();
+        cum.record(9_000);
+        let t2 = cum.clone();
+        let whole = t2.delta_since(&t0);
+        let mut stitched = t1.delta_since(&t0);
+        stitched.merge(&t2.delta_since(&t1));
+        assert_eq!(whole.buckets, stitched.buckets);
+        assert_eq!(whole.sum_ns, stitched.sum_ns);
+        assert_eq!(whole.count(), 3);
+        // A racing reset between snapshots degrades to zeros, not wrap.
+        let empty = Histogram::new();
+        let d = empty.delta_since(&t2);
+        assert_eq!(d.count(), 0);
+        assert_eq!(d.sum_ns, 0);
     }
 
     #[test]

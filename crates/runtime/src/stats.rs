@@ -58,6 +58,18 @@ macro_rules! counters {
                     $($field: self.$field(),)+
                 }
             }
+
+            /// One vCPU's counters as a [`Snapshot`] (the telemetry
+            /// sampler's per-vCPU read; generated from the same list as
+            /// the cell, so it can never miss a counter).
+            pub fn vcpu_snapshot(&self, vcpu: usize) -> Snapshot {
+                let c = &self.cells[vcpu];
+                Snapshot {
+                    calls: c.handoff_calls.load(Ordering::Relaxed)
+                        + c.inline_calls.load(Ordering::Relaxed),
+                    $($field: c.$field.load(Ordering::Relaxed),)+
+                }
+            }
         }
 
         /// Plain-value aggregation of [`RuntimeStats`], comparable and
@@ -80,6 +92,28 @@ macro_rules! counters {
                 }
             }
 
+            /// Counter-wise sum (`self + other`, saturating): how two
+            /// disjoint deltas compose — what the telemetry window
+            /// merger uses to stitch tick deltas together.
+            pub fn plus(&self, other: &Snapshot) -> Snapshot {
+                Snapshot {
+                    calls: self.calls.saturating_add(other.calls),
+                    $($field: self.$field.saturating_add(other.$field),)+
+                }
+            }
+
+            /// Set counter `name` to `value`; `false` for an unknown
+            /// name. (Cold-path helper for tests and loaders; generated
+            /// from the same list as the fields.)
+            pub fn set_field(&mut self, name: &str, value: u64) -> bool {
+                match name {
+                    "calls" => self.calls = value,
+                    $(stringify!($field) => self.$field = value,)+
+                    _ => return false,
+                }
+                true
+            }
+
             /// Every counter as a `(name, value)` pair, `calls` first —
             /// the exporter's iteration surface. Generated from the same
             /// list as the fields, so a new counter shows up in the
@@ -89,6 +123,25 @@ macro_rules! counters {
                     ("calls", self.calls),
                     $((stringify!($field), self.$field),)+
                 ]
+            }
+
+            /// Every counter name, `calls` first — the same list
+            /// [`Snapshot::fields`] iterates, without needing values.
+            /// Tests drive exporter-completeness checks from this so a
+            /// new counter that fails to surface in an export fails
+            /// loudly instead of silently vanishing.
+            pub fn field_names() -> &'static [&'static str] {
+                &["calls", $(stringify!($field),)+]
+            }
+
+            /// Value of counter `name` (`None` for an unknown name) —
+            /// the lookup the SLO watchdog's rate rules use.
+            pub fn field(&self, name: &str) -> Option<u64> {
+                match name {
+                    "calls" => Some(self.calls),
+                    $(stringify!($field) => Some(self.$field),)+
+                    _ => None,
+                }
             }
         }
 
@@ -248,6 +301,47 @@ mod tests {
         let text = delta.to_string();
         assert!(text.contains("calls=4"));
         assert!(text.contains("park_waits=4"));
+    }
+
+    #[test]
+    fn vcpu_snapshot_and_field_lookup() {
+        let s = RuntimeStats::new(2);
+        s.cell(0).inline_calls.fetch_add(3, Ordering::Relaxed);
+        s.cell(1).inline_calls.fetch_add(5, Ordering::Relaxed);
+        s.cell(1).ring_submits.fetch_add(2, Ordering::Relaxed);
+        let v0 = s.vcpu_snapshot(0);
+        let v1 = s.vcpu_snapshot(1);
+        assert_eq!(v0.calls, 3);
+        assert_eq!(v1.calls, 5);
+        assert_eq!(v1.ring_submits, 2);
+        assert_eq!(v0.ring_submits, 0);
+        // Per-vCPU shards partition the aggregate, counter for counter.
+        let total = s.snapshot();
+        for name in Snapshot::field_names() {
+            assert_eq!(
+                total.field(name).unwrap(),
+                v0.field(name).unwrap() + v1.field(name).unwrap(),
+                "{name} shards must sum to the aggregate"
+            );
+        }
+        assert_eq!(total.field("calls"), Some(8));
+        assert_eq!(total.field("no_such_counter"), None);
+        assert_eq!(Snapshot::field_names().len(), total.fields().len());
+    }
+
+    #[test]
+    fn snapshot_plus_and_set_field() {
+        let mut a = Snapshot::default();
+        let mut b = Snapshot::default();
+        assert!(a.set_field("park_waits", 3));
+        assert!(b.set_field("park_waits", 4));
+        assert!(b.set_field("calls", 9));
+        assert!(!b.set_field("no_such_counter", 1));
+        let m = a.plus(&b);
+        assert_eq!(m.park_waits, 7);
+        assert_eq!(m.calls, 9);
+        // plus is since's inverse on every counter.
+        assert_eq!(m.since(&b), a);
     }
 
     #[test]
