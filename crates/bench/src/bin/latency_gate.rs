@@ -226,17 +226,41 @@ fn gate_mode(
         h.quantile(0.999),
         h.max_ns,
     );
-    json.mode(
-        mode,
-        vec![
-            (field.to_string(), measured),
-            ("violations".to_string(), Json::Num(v.len() as f64)),
-        ],
-    );
+    let mut fields = vec![
+        (field.to_string(), measured),
+        ("violations".to_string(), Json::Num(v.len() as f64)),
+    ];
     if !v.is_empty() {
+        // Before blaming the runtime, measure the box: a clock-gap
+        // probe right after the violation says how much of this
+        // machine's time was going to *someone else* (CI neighbors,
+        // the hypervisor). A high ratio re-attributes the tail.
+        let probe = ppc_rt::telemetry::interference_probe(std::time::Duration::from_millis(5));
+        eprintln!(
+            "-- interference probe for {mode}: {:.2}% time lost, {} excursion(s), worst {} ns --",
+            probe.ratio() * 100.0,
+            probe.excursions,
+            probe.max_excursion_ns,
+        );
+        fields.push(("interference_ratio".to_string(), Json::Num(probe.ratio())));
         eprintln!("-- diagnostics for {mode} (tail exemplars attribute by phase) --");
         rt.dump_diagnostics();
+        // Freeze the full postmortem for CI artifact upload.
+        let dir = std::env::var_os("PPC_BLACKBOX_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."));
+        let _ = std::fs::create_dir_all(&dir);
+        let fname: String = mode
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect();
+        let path = dir.join(format!("blackbox-gate-{fname}.json"));
+        match rt.write_blackbox(&format!("latency-gate:{mode}"), &path) {
+            Ok(()) => eprintln!("black box written: {}", path.display()),
+            Err(e) => eprintln!("black-box write to {} failed: {e}", path.display()),
+        }
     }
+    json.mode(mode, fields);
     violations.extend(v);
     *gated += 1;
 }
@@ -366,6 +390,11 @@ fn main() -> ExitCode {
 
     json.meta("modes_gated", Json::Num(gated as f64));
     json.meta("violation_count", Json::Num(violations.len() as f64));
+    // Stamp the run's ambient interference (scheduling time lost to
+    // other tenants of this box) so a flaky-looking artifact carries
+    // its own exculpatory evidence.
+    let probe = ppc_rt::telemetry::interference_probe(std::time::Duration::from_millis(5));
+    json.meta("interference_ratio", Json::Num(probe.ratio()));
     json.write_if(&json_path);
     println!();
     if violations.is_empty() {

@@ -129,13 +129,14 @@ fn render_frame(doc: &Json, window: &str) -> Result<String, String> {
             let name = a.get("name").and_then(|v| v.as_str()).unwrap_or("?");
             let firing = a.get("firing").and_then(|v| v.as_bool()) == Some(true);
             out.push_str(&format!(
-                "  {} {name:<24} measured {:.3} / threshold {:.3}  (burn x{:.1}, fired {}, {} firing tick(s))\n",
+                "  {} {name:<24} measured {:.3} / threshold {:.3}  (burn x{:.1}, fired {}, {} firing tick(s), intf {:.1}%)\n",
                 if firing { "[FIRING]" } else { "[ok]    " },
                 num(a, "measured_slow"),
                 num(a, "threshold"),
                 num(a, "burn_factor"),
                 num(a, "fired"),
                 num(a, "firing_ticks"),
+                num(a, "interference_ratio") * 100.0,
             ));
         }
     }
@@ -153,6 +154,24 @@ fn render_frame(doc: &Json, window: &str) -> Result<String, String> {
         fmt_rate(num(rates, "park_waits")),
     ));
 
+    // Facility occupancy: attributed thread-seconds per wall-second,
+    // split by time state. (Several threads account to one vCPU's
+    // shard — pooled workers, the ring worker, waiting clients — so
+    // the states sum to the attributed *thread* count, not to 1.0.)
+    let occ = |name: &str| num(rates, name) / 1e9;
+    out.push_str(&format!(
+        "occupancy: handler {:.2}  spin {:.2}  park {:.2}  ring {:.2}  copy {:.2}  frank {:.2}  idle {:.2}",
+        occ("time_handler_ns"),
+        occ("time_spin_ns"),
+        occ("time_park_ns"),
+        occ("time_ring_ns"),
+        occ("time_copy_ns"),
+        occ("time_frank_ns"),
+        occ("time_idle_ns"),
+    ));
+    let intf = tel.get("interference").map(|i| num(i, window)).unwrap_or(0.0);
+    out.push_str(&format!("   interference {:.2}%\n", intf * 100.0));
+
     // Windowed call latency, merged then per vCPU.
     if let Some(call) = w.get("latency_ns").and_then(|l| l.get("call")) {
         out.push_str(&format!(
@@ -167,19 +186,24 @@ fn render_frame(doc: &Json, window: &str) -> Result<String, String> {
         out.push_str("call latency: no samples in window\n");
     }
     let per_vcpu = w.get("per_vcpu").and_then(|v| v.as_arr()).unwrap_or_default();
-    out.push_str("  vcpu      calls/s     handoff      inline         p50         p99        p999\n");
+    out.push_str("  vcpu      calls/s     handoff      inline         p50         p99        p999   hnd%  spn%  prk%  idl%\n");
     for (i, v) in per_vcpu.iter().enumerate() {
         let c = v.get("counters").cloned().unwrap_or(Json::Obj(Vec::new()));
         let call = v.get("call_ns").cloned().unwrap_or(Json::Obj(Vec::new()));
         let dt_s = (num(w, "dt_ns") / 1e9).max(1e-9);
+        let pct = |name: &str| num(&c, name) / (num(w, "dt_ns")).max(1.0) * 100.0;
         out.push_str(&format!(
-            "  {i:<4} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11}\n",
+            "  {i:<4} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11} {:>6.1} {:>5.1} {:>5.1} {:>5.1}\n",
             fmt_rate(num(&c, "calls") / dt_s),
             fmt_rate(num(&c, "handoff_calls") / dt_s),
             fmt_rate(num(&c, "inline_calls") / dt_s),
             fmt_ns(num(&call, "p50")),
             fmt_ns(num(&call, "p99")),
             fmt_ns(num(&call, "p999")),
+            pct("time_handler_ns"),
+            pct("time_spin_ns"),
+            pct("time_park_ns"),
+            pct("time_idle_ns"),
         ));
     }
     Ok(out)
@@ -276,6 +300,11 @@ fn smoke(diag_path: Option<String>) -> Result<(), String> {
         nudge_frank: false,
     };
     let (rt, stop, traffic) = demo_runtime(vec![rule]);
+    // Automatic capture target: the alert's rising edge must leave a
+    // black-box artifact here.
+    let bb_dir = std::env::temp_dir().join(format!("ppc-top-smoke-bb-{}", std::process::id()));
+    std::fs::create_dir_all(&bb_dir).map_err(|e| format!("mkdir {}: {e}", bb_dir.display()))?;
+    rt.set_blackbox_dir(Some(bb_dir.clone()));
     let server = rt.serve_metrics("127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
     let addr = server.addr();
     let tel = rt.telemetry().expect("sampler running");
@@ -288,6 +317,30 @@ fn smoke(diag_path: Option<String>) -> Result<(), String> {
     if !fired {
         return Err("injected SLO violation never fired".into());
     }
+
+    // The rising edge triggers an automatic black-box capture; give the
+    // sampler thread a moment to finish the write.
+    let artifact = (0..200).find_map(|_| {
+        let found = std::fs::read_dir(&bb_dir)
+            .ok()
+            .and_then(|d| d.filter_map(Result::ok).next().map(|e| e.path()));
+        if found.is_none() {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        found
+    });
+    let artifact =
+        artifact.ok_or("SLO alert fired but no black-box artifact was captured")?;
+    let bb = std::fs::read_to_string(&artifact)
+        .map_err(|e| format!("reading {}: {e}", artifact.display()))?;
+    let bb = Json::parse(&bb).map_err(|e| format!("parsing black box: {e}"))?;
+    if bb.get("kind").and_then(|k| k.as_str()) != Some("ppc-blackbox") {
+        return Err("black-box artifact lacks kind=ppc-blackbox".into());
+    }
+    if !export::check_schema_version(&bb, "black box") {
+        return Err("black-box artifact schema_version mismatch".into());
+    }
+    println!("black-box artifact captured: {}", artifact.display());
 
     // /metrics round-trips through the crate's own parser, including
     // the windowed ppc_rate_* gauges and the cumulative counters.
@@ -307,6 +360,14 @@ fn smoke(diag_path: Option<String>) -> Result<(), String> {
     }
     if snap.rate("calls", "1s").unwrap_or(0.0) <= 0.0 {
         return Err("1s calls rate is zero under live traffic".into());
+    }
+    // The attribution plane's time counters ride the same windows, and
+    // the labeled occupancy family must be in the exposition text.
+    if snap.rate("time_handler_ns", "1s").is_none() {
+        return Err("ppc_rate_time_handler_ns{window=\"1s\"} missing from /metrics".into());
+    }
+    if !body.contains("ppc_time_ns{state=\"handler\"}") {
+        return Err("ppc_time_ns{state=...} family missing from /metrics".into());
     }
 
     // /json renders a full frame and reports the alert as fired.
@@ -343,7 +404,10 @@ fn smoke(diag_path: Option<String>) -> Result<(), String> {
 
     stop.store(true, Ordering::Relaxed);
     traffic.join().map_err(|_| "traffic thread panicked".to_string())?;
-    println!("ppc-top smoke: OK (alert fired, /metrics round-tripped, frame rendered)");
+    let _ = std::fs::remove_dir_all(&bb_dir);
+    println!(
+        "ppc-top smoke: OK (alert fired, black box captured, /metrics round-tripped, frame rendered)"
+    );
     Ok(())
 }
 

@@ -1,0 +1,297 @@
+//! Postmortem black-box capture: one versioned JSON artifact holding
+//! the facility's last seconds.
+//!
+//! When something goes wrong — a handler panic, an SLO rule starting to
+//! fire, a latency-gate violation — the counters and the flight ring
+//! still know what happened, but only until the process exits or the
+//! rings wrap. The black box freezes all of it into a single
+//! self-describing document:
+//!
+//! * the cumulative counter [`crate::Snapshot`] (total and
+//!   per-vCPU) and merged latency histograms,
+//! * per-vCPU **occupancy**: each vCPU's attributed wall-time split
+//!   across the [`TIME_STATES`] (handler/spin/park/ring/copy/frank/idle),
+//! * the **interference** tally from the sampler's clock-gap probe
+//!   (lost-time ratio, excursion count, worst excursion),
+//! * the live telemetry document (windowed rates, quantiles, alert
+//!   states) plus the tail of the raw per-tick series ring,
+//! * every vCPU's retained flight-recorder events and the tracing
+//!   plane's tail exemplars (slowest recent calls, span by span).
+//!
+//! Captures are **cold by construction**: nothing here runs unless a
+//! capture fires, and automatic captures are rate-limited
+//! ([`MIN_CAPTURE_INTERVAL`]) and a no-op until a capture directory is
+//! configured ([`crate::RuntimeOptions::blackbox_dir`] or the
+//! `PPC_BLACKBOX_DIR` environment variable). Explicit captures
+//! ([`crate::Runtime::write_blackbox`]) always run.
+//!
+//! `ppc-blackbox` (in the bench crate) loads an artifact back, rebuilds
+//! the merged timeline, and names the dominant attributed causes.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Weak;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::export::{self, Json};
+use crate::obs::KINDS;
+use crate::stats::{Snapshot, TIME_STATES};
+use crate::Runtime;
+
+/// Minimum spacing between two *automatic* captures
+/// ([`Sink::event`]). A misbehaving workload can trip an SLO rule every
+/// tick; one artifact per incident window is plenty, and the limit
+/// bounds how much disk an unattended run can consume. Explicit
+/// [`crate::Runtime::write_blackbox`] calls are never limited.
+pub const MIN_CAPTURE_INTERVAL: Duration = Duration::from_secs(5);
+
+/// How many telemetry ticks (newest last) a capture embeds from the
+/// series ring. 128 ticks at the default 100 ms tick ≈ the last ~13 s,
+/// enough timeline to see an incident build without ballooning the
+/// artifact.
+pub const CAPTURE_TICKS: usize = 128;
+
+/// The capture sink: where automatic black-box captures go, and the
+/// back-reference they capture through.
+///
+/// Shared (`Arc`) between the [`Runtime`] and every bound entry so the
+/// worker panic path can trigger a capture from a thread that has no
+/// runtime back-reference — the same no-cycle pattern as the stats and
+/// flight planes. The `Weak` is attached right after runtime
+/// construction; until then (and after the runtime drops) captures are
+/// no-ops.
+pub struct Sink {
+    rt: Mutex<Weak<Runtime>>,
+    dir: Mutex<Option<PathBuf>>,
+    last: Mutex<Option<Instant>>,
+    written: AtomicU64,
+}
+
+impl Sink {
+    pub(crate) fn new() -> Sink {
+        Sink {
+            rt: Mutex::new(Weak::new()),
+            dir: Mutex::new(None),
+            last: Mutex::new(None),
+            written: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn attach(&self, rt: Weak<Runtime>) {
+        *self.rt.lock() = rt;
+    }
+
+    pub(crate) fn set_dir(&self, dir: Option<PathBuf>) {
+        *self.dir.lock() = dir;
+    }
+
+    /// The configured capture directory, if any.
+    pub fn dir(&self) -> Option<PathBuf> {
+        self.dir.lock().clone()
+    }
+
+    /// Artifacts written by this sink (automatic captures only).
+    pub fn written(&self) -> u64 {
+        self.written.load(Ordering::Relaxed)
+    }
+
+    /// Automatic capture hook: write a black-box artifact named after
+    /// `reason` into the configured directory. Returns the path written,
+    /// or `None` when no directory is configured, the rate limit
+    /// suppressed the capture, the runtime is gone, or the write failed
+    /// (failure also warns on stderr — a postmortem hook must never
+    /// take the process down with it).
+    pub fn event(&self, reason: &str) -> Option<PathBuf> {
+        let dir = self.dir.lock().clone()?;
+        {
+            let mut last = self.last.lock();
+            if let Some(t) = *last {
+                if t.elapsed() < MIN_CAPTURE_INTERVAL {
+                    return None;
+                }
+            }
+            *last = Some(Instant::now());
+        }
+        let rt = self.rt.lock().upgrade()?;
+        let n = self.written.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!("blackbox-{n:03}-{}.json", sanitize(reason)));
+        match rt.write_blackbox(reason, &path) {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("warning: black-box capture to {} failed: {e}", path.display());
+                None
+            }
+        }
+    }
+}
+
+/// Reasons come from call sites ("handler-panic", "slo-alert") but also
+/// ride into a file name, so squash anything that isn't a portable
+/// file-name character.
+fn sanitize(reason: &str) -> String {
+    let mut s: String = reason
+        .chars()
+        .take(48)
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '-' })
+        .collect();
+    if s.is_empty() {
+        s.push_str("event");
+    }
+    s
+}
+
+/// Per-vCPU occupancy: each attributed time counter's share of the
+/// vCPU's total attributed time. Cumulative (whole-lifetime) shares —
+/// the *windowed* view lives in the embedded telemetry document.
+fn occupancy_json(per_vcpu: &[Snapshot]) -> Json {
+    Json::Arr(
+        per_vcpu
+            .iter()
+            .map(|s| {
+                let total: u64 = TIME_STATES
+                    .iter()
+                    .map(|&(_, name, _)| s.field(name).unwrap_or(0))
+                    .sum();
+                Json::Obj(
+                    TIME_STATES
+                        .iter()
+                        .map(|&(_, name, label)| {
+                            let ns = s.field(name).unwrap_or(0);
+                            let frac =
+                                if total == 0 { 0.0 } else { ns as f64 / total as f64 };
+                            (label.to_string(), Json::Num(frac))
+                        })
+                        .collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn flight_json(rt: &Runtime) -> Json {
+    let flight = rt.flight();
+    Json::Arr(
+        (0..flight.n_vcpus())
+            .map(|v| {
+                Json::Arr(
+                    flight
+                        .snapshot(v)
+                        .into_iter()
+                        .map(|ev| {
+                            Json::obj([
+                                ("seq", Json::Num(ev.seq as f64)),
+                                ("kind", Json::Str(ev.kind.label().into())),
+                                ("vcpu", Json::Num(ev.vcpu as f64)),
+                                ("ep", Json::Num(ev.ep as f64)),
+                                ("data", Json::Num(ev.data as f64)),
+                            ])
+                        })
+                        .collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn exemplars_json(rt: &Runtime) -> Json {
+    let spans = rt.spans();
+    let mut out = Vec::new();
+    for v in 0..spans.n_vcpus() {
+        for ex in spans.exemplars(v) {
+            out.push(Json::obj([
+                ("trace_id", Json::Num(ex.trace_id as f64)),
+                ("ep", Json::Num(ex.ep as f64)),
+                ("vcpu", Json::Num(ex.vcpu as f64)),
+                ("total_ns", Json::Num(ex.total_ns as f64)),
+                (
+                    "spans",
+                    Json::Arr(
+                        ex.spans
+                            .iter()
+                            .map(|s| {
+                                Json::obj([
+                                    ("phase", Json::Str(s.phase.label().into())),
+                                    ("span_id", Json::Num(s.span_id as f64)),
+                                    ("parent_id", Json::Num(s.parent_id as f64)),
+                                    ("depth", Json::Num(s.depth as f64)),
+                                    ("vcpu", Json::Num(s.vcpu as f64)),
+                                    ("ep", Json::Num(s.ep as f64)),
+                                    ("start_ns", Json::Num(s.start_ns as f64)),
+                                    ("dur_ns", Json::Num(s.dur_ns as f64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]));
+        }
+    }
+    Json::Arr(out)
+}
+
+/// Build the black-box document for `rt`. The shape is versioned by
+/// [`export::SCHEMA_VERSION`] and identified by `"kind":
+/// "ppc-blackbox"`; `ppc-blackbox --smoke` round-trips it.
+pub fn capture(rt: &Runtime, reason: &str) -> Json {
+    let snap = rt.stats.snapshot();
+    let per_vcpu: Vec<Snapshot> =
+        (0..rt.n_vcpus()).map(|v| rt.stats.vcpu_snapshot(v)).collect();
+
+    let latency = Json::Obj(
+        KINDS
+            .iter()
+            .map(|&k| (k, rt.obs().merged(k)))
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(k, h)| (k.label().to_string(), export::histogram_json(&h)))
+            .collect(),
+    );
+
+    // Cumulative interference tally (the probe accounts on vCPU 0's
+    // shard, but read the aggregate — it is the same numbers).
+    let probed = snap.field("interference_probe_ns").unwrap_or(0);
+    let lost = snap.field("interference_ns").unwrap_or(0);
+    let interference = Json::obj([
+        ("probed_ns", Json::Num(probed as f64)),
+        ("lost_ns", Json::Num(lost as f64)),
+        (
+            "excursions",
+            Json::Num(snap.field("interference_excursions").unwrap_or(0) as f64),
+        ),
+        (
+            "ratio",
+            Json::Num(if probed == 0 { 0.0 } else { lost as f64 / probed as f64 }),
+        ),
+    ]);
+
+    let (telemetry, series) = match rt.telemetry() {
+        Some(tel) => {
+            let mut ticks = tel.series(usize::MAX);
+            if ticks.len() > CAPTURE_TICKS {
+                ticks.drain(..ticks.len() - CAPTURE_TICKS);
+            }
+            (export::telemetry_json(&tel), export::series_json(&ticks))
+        }
+        None => (Json::Null, Json::Null),
+    };
+
+    Json::obj([
+        ("schema_version", Json::Num(export::SCHEMA_VERSION as f64)),
+        ("kind", Json::Str("ppc-blackbox".into())),
+        ("reason", Json::Str(reason.into())),
+        ("n_vcpus", Json::Num(rt.n_vcpus() as f64)),
+        ("counters", export::counters_json(&snap)),
+        (
+            "per_vcpu",
+            Json::Arr(per_vcpu.iter().map(export::counters_json).collect()),
+        ),
+        ("latency_ns", latency),
+        ("occupancy", occupancy_json(&per_vcpu)),
+        ("interference", interference),
+        ("telemetry", telemetry),
+        ("series", series),
+        ("flight", flight_json(rt)),
+        ("exemplars", exemplars_json(rt)),
+    ])
+}

@@ -302,7 +302,18 @@ impl Runtime {
         }));
         drop(h_scope); // handler span ends here, even on a panic
         if let Some(th0) = th0 {
-            self.obs().record(LatencyKind::Handler, vcpu, th0.elapsed().as_nanos() as u64);
+            let hns = th0.elapsed().as_nanos() as u64;
+            self.obs().record(LatencyKind::Handler, vcpu, hns);
+            // Inline handler time is charged as a sampled estimate: the
+            // observed run scaled by the sample period. The unsampled
+            // null inline call thus gains *zero* clock reads — the
+            // `obs_overhead` gate's 25ns budget stays intact — while
+            // the accumulator converges on the true inline handler
+            // occupancy over any telemetry window.
+            self.stats.cell(vcpu).add_time(
+                crate::stats::TimeState::Handler,
+                hns << self.obs().sample_shift(),
+            );
         }
         let killed = entry.entry_state() == EntryState::Dead;
         match result {
@@ -450,7 +461,12 @@ impl Runtime {
         let cell = self.stats.cell(vc.id);
         let policy = self.spin_policy();
         let adaptive = matches!(policy, SpinPolicy::Adaptive);
-        let t0 = (adaptive || self.obs().enabled()).then(Instant::now);
+        // Unconditional timestamp pair: the wait below is µs-scale
+        // (spin, donation, or futex), so the attribution plane's charge
+        // of this interval to `time_spin_ns`/`time_park_ns` costs noise
+        // relative to what it measures — unlike the inline path, which
+        // stays sampled.
+        let t0 = Instant::now();
         let (resolved, escalated) = match policy {
             SpinPolicy::ParkOnly => slot.wait_done_donate(0, worker.thread()),
             SpinPolicy::Fixed(budget) => {
@@ -474,18 +490,21 @@ impl Runtime {
                 }
             }
         };
-        let mut wait_ns = 0u64;
-        if let Some(t0) = t0 {
-            wait_ns = t0.elapsed().as_nanos() as u64;
+        let wait_ns = t0.elapsed().as_nanos() as u64;
+        if self.obs().enabled() {
             self.obs().record_max(LatencyKind::Rendezvous, vc.id, wait_ns);
-            if adaptive {
-                vc.observe_latency(wait_ns);
-            }
         }
+        if adaptive {
+            vc.observe_latency(wait_ns);
+        }
+        // The client's wait is this vCPU's attributed time: a resolved
+        // wait was spent spinning (userspace), an unresolved one parked.
         if resolved {
             cell.spin_waits.fetch_add(1, Ordering::Relaxed);
+            cell.add_time(crate::stats::TimeState::Spin, wait_ns);
         } else {
             cell.park_waits.fetch_add(1, Ordering::Relaxed);
+            cell.add_time(crate::stats::TimeState::Park, wait_ns);
         }
         if escalated {
             cell.spin_escalations.fetch_add(1, Ordering::Relaxed);
@@ -596,6 +615,7 @@ impl Runtime {
         let worker = match entry.pool(vcpu).pop() {
             Some(w) => w,
             None => {
+                let tf0 = Instant::now();
                 cell.frank_redirects.fetch_add(1, Ordering::Relaxed);
                 cell.workers_created.fetch_add(1, Ordering::Relaxed);
                 // Frank redirects are the slow path by definition:
@@ -605,7 +625,14 @@ impl Runtime {
                 // The self-weak upgrade cannot fail while our claim is
                 // held — reclamation drains claims first.
                 let arc = entry.strong().ok_or(RtError::UnknownEntry(entry.id))?;
-                entry.pool(vcpu).grow(&arc, vcpu, self.pinned(), false)
+                let w = entry.pool(vcpu).grow(&arc, vcpu, self.pinned(), false);
+                // Cold by construction: charge the grow (thread spawn
+                // and all) to the caller's Frank time.
+                cell.add_time(
+                    crate::stats::TimeState::Frank,
+                    tf0.elapsed().as_nanos() as u64,
+                );
+                w
             }
         };
 

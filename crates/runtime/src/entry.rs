@@ -205,6 +205,10 @@ pub struct EntryShared {
     /// The tracing plane, shared in at bind (workers open handler spans
     /// under the propagated context; dispatch opens call spans).
     pub(crate) spans: Arc<crate::span::SpanPlane>,
+    /// The postmortem capture sink, shared in at bind so the contained-
+    /// fault path can write a black-box artifact from the worker thread
+    /// (same no-back-reference pattern as `stats`).
+    pub(crate) blackbox: Arc<crate::blackbox::Sink>,
     /// EWMA of this entry's traced root-call latency (ns; 0 = unseeded)
     /// — the tail-exemplar promotion baseline. Only traced roots feed
     /// it, so the cell costs nothing untraced.
@@ -226,6 +230,7 @@ impl EntryShared {
         flight: Arc<crate::flight::FlightPlane>,
         stats: Arc<crate::stats::RuntimeStats>,
         spans: Arc<crate::span::SpanPlane>,
+        blackbox: Arc<crate::blackbox::Sink>,
     ) -> Arc<Self> {
         Arc::new_cyclic(|weak| EntryShared {
             id,
@@ -244,6 +249,7 @@ impl EntryShared {
             flight,
             stats,
             spans,
+            blackbox,
             trace_ewma_ns: AtomicU64::new(0),
             pools: (0..n_vcpus).map(|_| WorkerPool::new()).collect(),
         })

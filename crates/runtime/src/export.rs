@@ -31,7 +31,11 @@ use crate::telemetry::{Telemetry, TickDelta, WINDOWS};
 /// re-unitted, or re-shaped; loaders compare it and **warn** on
 /// mismatch instead of silently mis-parsing an old committed
 /// `BENCH_*.json`.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: the attribution plane — `time_*_ns` / `interference_*` counters
+/// (and their windowed rates), per-alert `interference_ratio`, and the
+/// `ppc-blackbox` capture document.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// `schema_version` of a parsed JSON artifact (`None` when the document
 /// predates the stamp).
@@ -378,6 +382,18 @@ pub fn prometheus(snap: &Snapshot, obs: &ObsState) -> String {
         let _ = writeln!(out, "# TYPE ppc_{name} counter");
         let _ = writeln!(out, "ppc_{name} {value}");
     }
+    // The attribution plane's labelled view: the same `time_*_ns`
+    // accumulators re-emitted as one `ppc_time_ns{state=}` family, so
+    // dashboards can stack the states without knowing the counter
+    // names. (The parser skips this family — it is derived.)
+    let _ = writeln!(out, "# TYPE ppc_time_ns counter");
+    for (_, name, label) in crate::stats::TIME_STATES {
+        let _ = writeln!(
+            out,
+            "ppc_time_ns{{state=\"{label}\"}} {}",
+            snap.field(name).unwrap_or(0)
+        );
+    }
     let hists: Vec<(LatencyKind, Histogram)> =
         KINDS.iter().map(|&k| (k, obs.merged(k))).collect();
     if hists.iter().any(|(_, h)| h.count() > 0) {
@@ -553,6 +569,11 @@ pub fn parse_prometheus(text: &str) -> Result<PromSnapshot, String> {
                 "max" => h.max_ns = value,
                 other => return Err(format!("unknown latency series {other}: {line}")),
             }
+        } else if name_part.starts_with("ppc_time_ns{") {
+            // Derived view: the same values as the `ppc_time_*_ns`
+            // counters parsed by the generic branch — skip the
+            // duplicate.
+            continue;
         } else if let Some(name) = name_part.strip_prefix("ppc_") {
             let value: u64 =
                 value_part.parse().map_err(|_| format!("bad counter value: {line}"))?;
@@ -718,7 +739,16 @@ pub fn telemetry_json(tel: &Telemetry) -> Json {
                     ("measured_slow", Json::Num(a.measured_slow)),
                     ("measured_fast", Json::Num(a.measured_fast)),
                     ("firing_ticks", Json::Num(a.firing_ticks as f64)),
+                    ("interference_ratio", Json::Num(a.interference_ratio)),
                 ])
+            })
+            .collect(),
+    );
+    let interference = Json::Obj(
+        WINDOWS
+            .iter()
+            .map(|&(label, dur)| {
+                (label.to_string(), Json::Num(tel.interference_ratio(dur)))
             })
             .collect(),
     );
@@ -729,6 +759,7 @@ pub fn telemetry_json(tel: &Telemetry) -> Json {
         ("depth", Json::Num(tel.depth() as f64)),
         ("windows", windows),
         ("alerts", alerts),
+        ("interference", interference),
     ])
 }
 

@@ -91,6 +91,11 @@ pub enum FlightKind {
     /// measured value saturated to u32 — a rate in units/s or a
     /// quantile in ns, per the rule's metric).
     Alert = 18,
+    /// The interference probe observed a large involuntary-deschedule
+    /// excursion: a single clock-gap far above the probe threshold
+    /// (`data` = excursion ns, saturated to u32). Recorded by the
+    /// telemetry sampler on vCPU 0.
+    Interference = 19,
 }
 
 impl FlightKind {
@@ -114,6 +119,7 @@ impl FlightKind {
             16 => FlightKind::Doorbell,
             17 => FlightKind::RingReap,
             18 => FlightKind::Alert,
+            19 => FlightKind::Interference,
             _ => return None,
         })
     }
@@ -139,6 +145,7 @@ impl FlightKind {
             FlightKind::Doorbell => "doorbell",
             FlightKind::RingReap => "ring_reap",
             FlightKind::Alert => "alert",
+            FlightKind::Interference => "interference",
         }
     }
 }

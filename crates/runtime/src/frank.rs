@@ -272,6 +272,7 @@ impl Runtime {
             Arc::clone(self.flight()),
             Arc::clone(&self.stats),
             Arc::clone(self.spans()),
+            Arc::clone(&self.blackbox),
         );
         for v in 0..self.n_vcpus() {
             for _ in 0..opts.initial_workers {

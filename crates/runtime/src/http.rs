@@ -13,6 +13,9 @@
 //! | `/json`    | counters + histograms + telemetry windows/alerts   |
 //! | `/series`  | the raw telemetry tick ring ([`crate::Runtime::export_series`]) |
 //! | `/trace`   | Chrome trace-event JSON ([`crate::Runtime::export_trace`]) |
+//! | `/profile` | critical-path profile text report ([`crate::profile`]) |
+//! | `/profile.folded` | collapsed stacks for `flamegraph.pl`/speedscope |
+//! | `/blackbox` | on-demand black-box capture ([`crate::Runtime::blackbox_json`]) |
 //! | `/diagnostics` | the [`crate::Runtime::diagnostics`] text dump  |
 //!
 //! Requests are served **serially**: a diagnostics port has no business
@@ -23,6 +26,11 @@
 //! (also run on drop) unblocks the accept loop with a loopback
 //! self-connection, the standard std-only trick for interrupting
 //! `accept` without platform-specific socket options.
+//!
+//! Hardening is proportionate to the exposure: per-connection read and
+//! write timeouts (a stalled peer can't wedge the serial loop) and a
+//! [`MAX_REQUEST_BYTES`] cap on the request head (a peer streaming
+//! endless headers gets `431` and the boot, not unbounded buffering).
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -31,6 +39,12 @@ use std::sync::{Arc, Weak};
 use std::time::Duration;
 
 use crate::Runtime;
+
+/// Upper bound on one request's head (request line + headers). A GET
+/// for these endpoints fits in a few hundred bytes; anything larger is
+/// a confused or hostile peer and is answered `431` without further
+/// buffering.
+pub const MAX_REQUEST_BYTES: u64 = 8 * 1024;
 
 /// Handle to a running metrics server; stops (and joins) on drop.
 pub struct MetricsServer {
@@ -109,18 +123,31 @@ fn serve_loop(listener: TcpListener, rt: Weak<Runtime>, stop: Arc<AtomicBool>) {
 fn handle_conn(stream: TcpStream, rt: &Weak<Runtime>) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_write_timeout(Some(Duration::from_secs(10)))?;
-    let mut reader = BufReader::new(stream);
+    // Cap the request head: `Take` turns an oversized request into EOF
+    // mid-headers, which we answer below instead of buffering on.
+    let mut reader = BufReader::new(std::io::Read::take(stream, MAX_REQUEST_BYTES));
     let mut request_line = String::new();
     reader.read_line(&mut request_line)?;
     // Drain headers (we need none of them; `Connection: close` is our
     // answer regardless).
+    let mut head_complete = false;
     loop {
         let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 || line.trim().is_empty() {
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        if line.trim().is_empty() {
+            head_complete = true;
             break;
         }
     }
-    let mut stream = reader.into_inner();
+    let mut stream = reader.into_inner().into_inner();
+    if !head_complete {
+        // EOF before the blank line: either the cap fired or the peer
+        // hung up mid-request. Both get the oversize answer (a peer
+        // that's gone won't read it anyway).
+        return respond(&mut stream, 431, "text/plain", "request head too large\n");
+    }
     let mut parts = request_line.split_whitespace();
     let (method, path) = match (parts.next(), parts.next()) {
         (Some(m), Some(p)) => (m, p),
@@ -144,6 +171,9 @@ fn handle_conn(stream: TcpStream, rt: &Weak<Runtime>) -> std::io::Result<()> {
              /json         counters + histograms + telemetry windows/alerts\n\
              /series       raw telemetry tick ring\n\
              /trace        Chrome trace-event JSON (load in ui.perfetto.dev)\n\
+             /profile      critical-path profile (per-entry phase breakdown)\n\
+             /profile.folded  collapsed stacks (flamegraph.pl / speedscope)\n\
+             /blackbox     on-demand black-box capture (JSON artifact)\n\
              /diagnostics  human-readable diagnostics dump\n",
         ),
         "/metrics" => respond(
@@ -166,6 +196,24 @@ fn handle_conn(stream: TcpStream, rt: &Weak<Runtime>) -> std::io::Result<()> {
             &rt.export_series().to_string(),
         ),
         "/trace" => respond(&mut stream, 200, "application/json", &rt.export_trace()),
+        "/profile" => respond(
+            &mut stream,
+            200,
+            "text/plain; charset=utf-8",
+            &rt.profile().text_report(),
+        ),
+        "/profile.folded" => respond(
+            &mut stream,
+            200,
+            "text/plain; charset=utf-8",
+            &rt.profile().folded(),
+        ),
+        "/blackbox" => respond(
+            &mut stream,
+            200,
+            "application/json",
+            &rt.blackbox_json("http-request").to_string(),
+        ),
         "/diagnostics" => respond(
             &mut stream,
             200,
@@ -187,6 +235,7 @@ fn respond(
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
         503 => "Service Unavailable",
         _ => "Error",
     };

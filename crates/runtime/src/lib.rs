@@ -63,6 +63,7 @@
 
 pub mod auth;
 pub mod baseline;
+pub mod blackbox;
 pub mod bulk;
 pub mod call;
 pub mod entry;
@@ -72,6 +73,7 @@ pub mod frank;
 pub mod http;
 pub mod naming;
 pub mod obs;
+pub mod profile;
 pub mod region;
 pub mod ring;
 pub mod slot;
@@ -634,13 +636,20 @@ impl VcpuState {
         match self.cd_pools[class.index()].pop() {
             Some(s) => s,
             None => {
+                let tf0 = std::time::Instant::now();
                 cell.frank_redirects.fetch_add(1, Ordering::Relaxed);
                 cell.cds_created.fetch_add(1, Ordering::Relaxed);
                 self.cds_created.fetch_add(1, Ordering::Relaxed);
                 // data 1 = CD pool (the entry is unknown this deep).
                 flight.record(self.id, flight::FlightKind::Frank, 0, 1);
                 spans.record_instant(self.id, 0, SpanPhase::Frank);
-                CallSlot::new()
+                let s = CallSlot::new();
+                // Cold path: the CD allocation is Frank time.
+                cell.add_time(
+                    stats::TimeState::Frank,
+                    tf0.elapsed().as_nanos() as u64,
+                );
+                s
             }
         }
     }
@@ -690,6 +699,10 @@ pub struct Runtime {
     /// [`Runtime::start_telemetry`]. Cold-path mutex: touched only at
     /// start/stop/read, never by dispatch.
     telemetry: parking_lot::Mutex<Option<Arc<telemetry::Telemetry>>>,
+    /// The postmortem capture sink, shared with every bound entry so the
+    /// worker panic path can trigger a capture without a runtime back
+    /// reference (see [`blackbox::Sink`]).
+    blackbox: Arc<blackbox::Sink>,
     shutdown: AtomicU8,
 }
 
@@ -735,6 +748,11 @@ pub struct RuntimeOptions {
     /// SLO watchdog rules evaluated every telemetry tick (ignored until
     /// the sampler starts).
     pub slo_rules: Vec<telemetry::SloRule>,
+    /// Directory for automatic postmortem black-box captures (handler
+    /// panics, SLO alert rising edges). `None` — the default — leaves
+    /// automatic capture off unless the `PPC_BLACKBOX_DIR` environment
+    /// variable names a directory. See [`blackbox`].
+    pub blackbox_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for RuntimeOptions {
@@ -747,6 +765,7 @@ impl Default for RuntimeOptions {
             telemetry_tick: None,
             telemetry_depth: telemetry::DEFAULT_SERIES_DEPTH,
             slo_rules: Vec::new(),
+            blackbox_dir: None,
         }
     }
 }
@@ -787,8 +806,17 @@ impl Runtime {
             spin_fixed: AtomicU32::new(spin::DEFAULT_BUDGET),
             trust: parking_lot::RwLock::new(HashMap::new()),
             telemetry: parking_lot::Mutex::new(None),
+            blackbox: Arc::new(blackbox::Sink::new()),
             shutdown: AtomicU8::new(0),
         });
+        rt.blackbox.attach(Arc::downgrade(&rt));
+        let bb_dir = opts
+            .blackbox_dir
+            .clone()
+            .or_else(|| std::env::var_os("PPC_BLACKBOX_DIR").map(std::path::PathBuf::from));
+        if bb_dir.is_some() {
+            rt.blackbox.set_dir(bb_dir);
+        }
         if let Some(tick) = opts.telemetry_tick {
             rt.start_telemetry(tick, opts.telemetry_depth, opts.slo_rules);
         }
@@ -1069,6 +1097,47 @@ impl Runtime {
     /// watchdogs and panic containment).
     pub fn dump_diagnostics(&self) {
         eprintln!("{}", self.diagnostics());
+    }
+
+    /// The postmortem black-box document for this runtime (see
+    /// [`blackbox::capture`]): counters, histograms, per-vCPU occupancy,
+    /// interference tally, telemetry windows + tick series, flight
+    /// events, and span exemplars, under one schema-versioned object.
+    pub fn blackbox_json(&self, reason: &str) -> export::Json {
+        blackbox::capture(self, reason)
+    }
+
+    /// Write the black-box document for `reason` to `path`,
+    /// unconditionally (no rate limit, no directory configuration
+    /// needed) — the hook for gate failures and explicit captures.
+    pub fn write_blackbox(
+        &self,
+        reason: &str,
+        path: &std::path::Path,
+    ) -> std::io::Result<()> {
+        let mut text = self.blackbox_json(reason).to_string();
+        text.push('\n');
+        std::fs::write(path, text)
+    }
+
+    /// Configure (or clear) the automatic-capture directory at runtime.
+    /// Equivalent to [`RuntimeOptions::blackbox_dir`] / the
+    /// `PPC_BLACKBOX_DIR` environment variable, but switchable live.
+    pub fn set_blackbox_dir(&self, dir: Option<std::path::PathBuf>) {
+        self.blackbox.set_dir(dir);
+    }
+
+    /// The capture sink (automatic-capture state: directory, count).
+    pub fn blackbox(&self) -> &Arc<blackbox::Sink> {
+        &self.blackbox
+    }
+
+    /// Automatic capture hook: rate-limited, a no-op unless a capture
+    /// directory is configured. Returns the artifact path when one was
+    /// written. Failure paths call this — it must never panic or block
+    /// on anything hot.
+    pub fn blackbox_event(&self, reason: &str) -> Option<std::path::PathBuf> {
+        self.blackbox.event(reason)
     }
 
     /// A client bound to vCPU `vcpu` with program identity `program`.

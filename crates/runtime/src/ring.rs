@@ -630,7 +630,11 @@ impl Client {
 /// Idle rendezvous, ring-worker side: bounded spin on both lanes' SQ
 /// tails (the mirror of the entry workers' mailbox spin), then the
 /// Dekker sleep protocol the doorbell pairs with.
-fn idle_wait(ring: &RingShared, head: &[u64; LANES]) {
+fn idle_wait(
+    ring: &RingShared,
+    head: &[u64; LANES],
+    timer: &mut crate::stats::StateTimer<'_>,
+) {
     let pending = |ord: Ordering| {
         (0..LANES).any(|l| ring.lanes[l].sq.tail.load(ord) != head[l])
     };
@@ -653,7 +657,10 @@ fn idle_wait(ring: &RingShared, head: &[u64; LANES]) {
         ring.sleeping.store(false, Ordering::Relaxed);
         return;
     }
+    // The spin above was Idle time; the sleep is Park time.
+    timer.transition(crate::stats::TimeState::Park);
     std::thread::park();
+    timer.transition(crate::stats::TimeState::Idle);
     ring.sleeping.store(false, Ordering::Relaxed);
 }
 
@@ -667,6 +674,7 @@ fn execute_lane(
     head: &mut [u64; LANES],
     cq_tail: &mut [u64; LANES],
     scratch: &mut [u8],
+    timer: &mut crate::stats::StateTimer<'_>,
 ) {
     let l = &ring.lanes[lane];
     // Safety: sole consumer; `head < tail` observed Acquire by the
@@ -677,7 +685,7 @@ fn execute_lane(
     // credits, not SQ occupancy, so the client may refill while this
     // entry runs.
     l.sq.head.store(head[lane], Ordering::Release);
-    let cqe = execute_sqe(rt, ring, sqe, scratch);
+    let cqe = execute_sqe(rt, ring, sqe, scratch, timer);
     debug_assert!(
         cq_tail[lane] - l.cq.head.load(Ordering::Relaxed) < l.cq.capacity() as u64,
         "credit clamp must bound CQ occupancy"
@@ -702,6 +710,14 @@ fn ring_worker(rt: Arc<Runtime>, ring: Arc<RingShared>) {
     let mut scratch = vec![0u8; crate::slot::SCRATCH_BYTES].into_boxed_slice();
     let mut head = [0u64; LANES];
     let mut cq_tail = [0u64; LANES];
+    // This thread's wall-time classifier: Idle on the tail spin, Park
+    // across the Dekker sleep, Ring while draining SQEs — with the
+    // handler bodies and staged bulk copies subdivided out to Handler/
+    // Copy inside `execute_sqe`.
+    let mut timer = crate::stats::StateTimer::new(
+        rt.stats.cell(ring.vcpu),
+        crate::stats::TimeState::Idle,
+    );
     loop {
         let lat_tail = ring.lanes[LANE_LAT].sq.tail.load(Ordering::Acquire);
         let bulk_tail = ring.lanes[LANE_BULK].sq.tail.load(Ordering::Acquire);
@@ -709,9 +725,10 @@ fn ring_worker(rt: Arc<Runtime>, ring: Arc<RingShared>) {
             if ring.shutdown.load(Ordering::Acquire) {
                 break;
             }
-            idle_wait(&ring, &head);
+            idle_wait(&ring, &head, &mut timer);
             continue;
         }
+        timer.transition(crate::stats::TimeState::Ring);
         if rt.obs().try_sample() {
             // The queue depth this pickup observes — log₂ depth bands.
             let depth = (lat_tail - head[LANE_LAT]) + (bulk_tail - head[LANE_BULK]);
@@ -719,34 +736,57 @@ fn ring_worker(rt: Arc<Runtime>, ring: Arc<RingShared>) {
         }
         loop {
             if ring.lanes[LANE_LAT].sq.tail.load(Ordering::Acquire) != head[LANE_LAT] {
-                execute_lane(&rt, &ring, LANE_LAT, &mut head, &mut cq_tail, &mut scratch);
+                execute_lane(
+                    &rt, &ring, LANE_LAT, &mut head, &mut cq_tail, &mut scratch, &mut timer,
+                );
                 continue;
             }
             if ring.lanes[LANE_BULK].sq.tail.load(Ordering::Acquire) == head[LANE_BULK] {
                 break;
             }
-            execute_lane(&rt, &ring, LANE_BULK, &mut head, &mut cq_tail, &mut scratch);
+            execute_lane(
+                &rt, &ring, LANE_BULK, &mut head, &mut cq_tail, &mut scratch, &mut timer,
+            );
         }
+        timer.transition(crate::stats::TimeState::Idle);
     }
 }
 
 /// Execute one SQE: deliver any staged payload, run the handler under
 /// an execution-time claim, recycle the staging buffer, and produce the
 /// completion entry.
-fn execute_sqe(rt: &Arc<Runtime>, ring: &RingShared, sqe: Sqe, scratch: &mut [u8]) -> Cqe {
+fn execute_sqe(
+    rt: &Arc<Runtime>,
+    ring: &RingShared,
+    sqe: Sqe,
+    scratch: &mut [u8],
+    timer: &mut crate::stats::StateTimer<'_>,
+) -> Cqe {
+    use crate::stats::TimeState;
     let Sqe { ep, args, user, trace, staged } = sqe;
+    // Subdivide the drain: the handler body is Handler time, the staged
+    // bulk delivery Copy time; decode/staging/completion around them
+    // stays Ring time.
+    let run = |scratch: &mut [u8], timer: &mut crate::stats::StateTimer<'_>| {
+        timer.transition(TimeState::Handler);
+        let r = rt.ring_execute(ring.vcpu, ep, args, ring.program, trace, scratch);
+        timer.transition(TimeState::Ring);
+        r
+    };
     let result = match staged {
-        None => rt.ring_execute(ring.vcpu, ep, args, ring.program, trace, scratch),
+        None => run(scratch, timer),
         Some(Staged::Payload { mut buf }) => {
-            let r = rt.ring_execute(ring.vcpu, ep, args, ring.program, trace, buf.as_mut_slice());
+            let r = run(buf.as_mut_slice(), timer);
             rt.bulk().pool(ring.vcpu).put(buf);
             r
         }
         Some(Staged::Bulk { buf, len, desc }) => {
+            timer.transition(TimeState::Copy);
             let copied = bulk_copy_in(rt, ring, &buf, len, desc);
+            timer.transition(TimeState::Ring);
             rt.bulk().pool(ring.vcpu).put(buf);
             match copied {
-                Ok(()) => rt.ring_execute(ring.vcpu, ep, args, ring.program, trace, scratch),
+                Ok(()) => run(scratch, timer),
                 Err(e) => Err(e),
             }
         }

@@ -227,6 +227,46 @@ counters! {
     /// remedy: the client must *reap* — completions are waiting — where
     /// a full SQ means the worker is behind).
     ring_no_credit,
+    /// Wall-time (ns) spent running handlers ([`TimeState::Handler`]).
+    /// Worker and ring threads charge it exactly; the inline path
+    /// charges a sampled estimate (observed ns × the obs sample period)
+    /// so the null inline call stays free of extra clock reads.
+    time_handler_ns,
+    /// Wall-time (ns) clients spent spinning out a hand-off rendezvous
+    /// that resolved without parking ([`TimeState::Spin`]).
+    time_spin_ns,
+    /// Wall-time (ns) spent parked/blocked: clients whose rendezvous
+    /// escalated to a futex wait, and workers parked on an empty
+    /// mailbox or ring ([`TimeState::Park`]).
+    time_park_ns,
+    /// Wall-time (ns) ring workers spent draining submission queues —
+    /// SQE decode, staging, completion posting — *excluding* the
+    /// handler bodies and bulk copies, which are subdivided out
+    /// ([`TimeState::Ring`]).
+    time_ring_ns,
+    /// Wall-time (ns) spent in bulk payload copies outside handler
+    /// bodies (ring-side payload/bulk staging; a copy issued *inside* a
+    /// handler counts as handler run time) ([`TimeState::Copy`]).
+    time_copy_ns,
+    /// Wall-time (ns) spent in Frank cold paths: worker-pool and CD-pool
+    /// grow, the allocation slow path ([`TimeState::Frank`]).
+    time_frank_ns,
+    /// Wall-time (ns) workers spent spinning on an empty mailbox or
+    /// ring before parking ([`TimeState::Idle`]).
+    time_idle_ns,
+    /// Interference detector: total ns the probe observed stolen by
+    /// involuntary deschedule (clock-gap excursions above the probe
+    /// threshold). Accumulated on vCPU 0's cell by the telemetry
+    /// sampler; the ratio to [`StatsCell::interference_probe_ns`] is
+    /// the measured interference fraction.
+    interference_ns,
+    /// Interference detector: total ns the probe spent measuring. The
+    /// denominator for the interference ratio.
+    interference_probe_ns,
+    /// Interference detector: number of clock-gap excursions observed
+    /// (each one involuntary-deschedule shaped: a single tight-loop
+    /// clock read pair separated by more than the gap threshold).
+    interference_excursions,
 }
 
 /// Sharded facility counters: one padded cell per virtual processor.
@@ -257,6 +297,115 @@ impl RuntimeStats {
                     + c.inline_calls.load(Ordering::Relaxed)
             })
             .sum()
+    }
+}
+
+/// The exclusive wall-time states of the attribution plane. Every
+/// facility thread (worker, ring worker) is in exactly one state at any
+/// instant; client threads charge their rendezvous waits and cold paths
+/// point-wise. Each state maps 1:1 onto a `time_*_ns` counter, so the
+/// per-vCPU breakdown rides the ordinary counter plumbing (snapshots,
+/// telemetry windows, exports) with no extra machinery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimeState {
+    /// Running a service handler body.
+    Handler,
+    /// Client spinning out a hand-off rendezvous (resolved in userspace).
+    Spin,
+    /// Parked/blocked: client futex wait, worker park.
+    Park,
+    /// Ring worker draining SQEs (decode/staging/completion, not the
+    /// handler bodies).
+    Ring,
+    /// Bulk payload copy outside a handler body.
+    Copy,
+    /// Frank cold path: pool grow, on-demand allocation.
+    Frank,
+    /// Spinning on an empty mailbox/ring, waiting for work.
+    Idle,
+}
+
+/// Every [`TimeState`] with its counter name and `ppc_time_ns{state=}`
+/// label, in declaration order — what the exporter and `ppc-top` iterate.
+pub const TIME_STATES: [(TimeState, &str, &str); 7] = [
+    (TimeState::Handler, "time_handler_ns", "handler"),
+    (TimeState::Spin, "time_spin_ns", "spin"),
+    (TimeState::Park, "time_park_ns", "park"),
+    (TimeState::Ring, "time_ring_ns", "ring"),
+    (TimeState::Copy, "time_copy_ns", "copy"),
+    (TimeState::Frank, "time_frank_ns", "frank"),
+    (TimeState::Idle, "time_idle_ns", "idle"),
+];
+
+impl StatsCell {
+    /// Charge `ns` of wall-time to `state`'s accumulator (Relaxed, the
+    /// fast-path discipline of every other counter).
+    #[inline]
+    pub fn add_time(&self, state: TimeState, ns: u64) {
+        let cell = match state {
+            TimeState::Handler => &self.time_handler_ns,
+            TimeState::Spin => &self.time_spin_ns,
+            TimeState::Park => &self.time_park_ns,
+            TimeState::Ring => &self.time_ring_ns,
+            TimeState::Copy => &self.time_copy_ns,
+            TimeState::Frank => &self.time_frank_ns,
+            TimeState::Idle => &self.time_idle_ns,
+        };
+        cell.fetch_add(ns, Ordering::Relaxed);
+    }
+}
+
+/// A facility thread's wall-time classifier: owned by the thread's loop,
+/// it tracks the instant of the last state transition and charges the
+/// elapsed interval to the *outgoing* state on every transition. One
+/// timer per thread ⇒ states are exclusive by construction — the sum of
+/// a worker's `time_*_ns` deltas equals its elapsed wall-time (minus the
+/// loop's own transition overhead, which is one `Instant::now` per
+/// transition on paths that already cost microseconds).
+pub struct StateTimer<'a> {
+    cell: &'a StatsCell,
+    state: TimeState,
+    last: std::time::Instant,
+}
+
+impl<'a> StateTimer<'a> {
+    /// Start classifying this thread's time against `cell`, initially in
+    /// `state`.
+    pub fn new(cell: &'a StatsCell, state: TimeState) -> Self {
+        StateTimer { cell, state, last: std::time::Instant::now() }
+    }
+
+    /// The current state.
+    #[inline]
+    pub fn state(&self) -> TimeState {
+        self.state
+    }
+
+    /// Transition to `state`, charging the interval since the last
+    /// transition to the outgoing state. A same-state transition just
+    /// flushes the accumulator (see [`StateTimer::flush`]).
+    #[inline]
+    pub fn transition(&mut self, state: TimeState) {
+        let now = std::time::Instant::now();
+        let ns = now.duration_since(self.last).as_nanos() as u64;
+        self.cell.add_time(self.state, ns);
+        self.last = now;
+        self.state = state;
+    }
+
+    /// Charge the accrued interval to the current state without leaving
+    /// it — call periodically inside long waits so observers see time
+    /// accrue instead of a burst at the next transition.
+    #[inline]
+    pub fn flush(&mut self) {
+        let s = self.state;
+        self.transition(s);
+    }
+}
+
+impl Drop for StateTimer<'_> {
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
@@ -352,7 +501,7 @@ mod tests {
         let snap = s.snapshot();
         let fields = snap.fields();
         // `calls` plus one entry per StatsCell counter, no drift.
-        assert_eq!(fields.len(), 25);
+        assert_eq!(fields.len(), 35);
         assert_eq!(fields[0], ("calls", 7));
         let get = |name: &str| fields.iter().find(|(n, _)| *n == name).unwrap().1;
         assert_eq!(get("inline_calls"), 7);
@@ -363,5 +512,45 @@ mod tests {
         for (name, _) in &fields {
             assert!(text.contains(&format!("{name}=")), "{name} missing in {text}");
         }
+    }
+
+    #[test]
+    fn time_states_map_to_live_counters() {
+        let s = RuntimeStats::new(1);
+        // Every TIME_STATES row names a real counter, and add_time
+        // charges exactly that counter.
+        for (i, (state, name, _label)) in TIME_STATES.iter().enumerate() {
+            s.cell(0).add_time(*state, (i as u64 + 1) * 10);
+            assert_eq!(
+                s.snapshot().field(name),
+                Some((i as u64 + 1) * 10),
+                "{name} must receive its state's charge"
+            );
+        }
+    }
+
+    #[test]
+    fn state_timer_partitions_elapsed_time() {
+        let s = RuntimeStats::new(1);
+        let start = std::time::Instant::now();
+        {
+            let mut t = StateTimer::new(s.cell(0), TimeState::Idle);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            t.transition(TimeState::Handler);
+            assert_eq!(t.state(), TimeState::Handler);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            t.flush();
+            // Drop charges the remainder to the current state.
+        }
+        let elapsed = start.elapsed().as_nanos() as u64;
+        let snap = s.snapshot();
+        let total: u64 =
+            TIME_STATES.iter().filter_map(|(_, name, _)| snap.field(name)).sum();
+        assert!(snap.time_idle_ns >= 4_000_000, "idle interval charged");
+        assert!(snap.time_handler_ns >= 4_000_000, "handler interval charged");
+        // Exclusive states: the partition covers (and never exceeds)
+        // the elapsed wall-time.
+        assert!(total <= elapsed, "states must not double-count ({total} > {elapsed})");
+        assert!(total >= elapsed * 9 / 10, "states must cover elapsed time");
     }
 }

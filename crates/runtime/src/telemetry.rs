@@ -66,6 +66,77 @@ pub const WINDOWS: [(&str, Duration); 3] = [
     ("60s", Duration::from_secs(60)),
 ];
 
+/// Clock-gap threshold above which the interference probe counts an
+/// excursion. A tight `Instant::now` loop advances tens of nanoseconds
+/// per iteration; a gap of 20µs+ between consecutive reads means the
+/// probing thread lost the processor — an involuntary deschedule, the
+/// host-interference signature `tail_probe` used to hunt by hand.
+pub const INTERFERENCE_GAP_NS: u64 = 20_000;
+
+/// Excursions at or above this size additionally land a
+/// [`FlightKind::Interference`] event in vCPU 0's ring, so post-mortems
+/// see big preemptions interleaved with the facility events they
+/// perturbed.
+pub const INTERFERENCE_EVENT_NS: u64 = 100_000;
+
+/// One interference-probe run: how long the probe observed, how much of
+/// that was stolen by involuntary deschedules, and the excursion count.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InterferenceSample {
+    /// Total ns the probe loop observed (the ratio denominator).
+    pub probed_ns: u64,
+    /// Ns lost to clock gaps above [`INTERFERENCE_GAP_NS`].
+    pub lost_ns: u64,
+    /// Gaps counted.
+    pub excursions: u64,
+    /// Largest single gap observed (ns).
+    pub max_excursion_ns: u64,
+}
+
+impl InterferenceSample {
+    /// Fraction of probed time lost to interference (0.0 when nothing
+    /// was probed).
+    pub fn ratio(&self) -> f64 {
+        if self.probed_ns == 0 {
+            0.0
+        } else {
+            self.lost_ns as f64 / self.probed_ns as f64
+        }
+    }
+}
+
+/// Run the clock-gap interference probe for (about) `budget` wall-time:
+/// spin reading the monotonic clock and classify every
+/// consecutive-read gap above [`INTERFERENCE_GAP_NS`] as involuntarily
+/// descheduled time. The successor to the ad-hoc `tail_probe`: the
+/// telemetry sampler runs this every tick on a small budget (~0.2% of a
+/// tick), turning "host jitter dominates p999" from a hand diagnosis
+/// into a continuously exported ratio. Callers off the sampler thread
+/// (e.g. `latency_gate` on a violation) may run it directly with a
+/// bigger budget for a sharper estimate.
+pub fn interference_probe(budget: Duration) -> InterferenceSample {
+    let budget_ns = budget.as_nanos() as u64;
+    let mut out = InterferenceSample::default();
+    let start = Instant::now();
+    let mut prev = start;
+    loop {
+        let now = Instant::now();
+        let gap = now.duration_since(prev).as_nanos() as u64;
+        prev = now;
+        if gap >= INTERFERENCE_GAP_NS {
+            out.lost_ns += gap;
+            out.excursions += 1;
+            out.max_excursion_ns = out.max_excursion_ns.max(gap);
+        }
+        let elapsed = now.duration_since(start).as_nanos() as u64;
+        if elapsed >= budget_ns {
+            out.probed_ns = elapsed;
+            return out;
+        }
+        std::hint::spin_loop();
+    }
+}
+
 /// One tick's activity: counter and histogram **deltas** over
 /// `[at_ns - dt_ns, at_ns]`.
 #[derive(Clone, Debug)]
@@ -246,6 +317,11 @@ pub struct AlertState {
     pub measured_fast: f64,
     /// Ticks spent in the firing state (cumulative).
     pub firing_ticks: u64,
+    /// Host-interference ratio over the rule's window at the last
+    /// evaluation (lost ns / probed ns, from the sampler's
+    /// [`interference_probe`] runs): how much of the alert is the host
+    /// scheduler's fault rather than the facility's.
+    pub interference_ratio: f64,
 }
 
 /// The fixed-capacity tick ring: pre-allocated slots, overwritten in
@@ -351,6 +427,15 @@ impl std::fmt::Debug for Telemetry {
     }
 }
 
+/// The sampler's previous-tick cumulative state: everything a tick
+/// deltas against.
+struct Cumulative {
+    totals: Snapshot,
+    vcpu: Box<[Snapshot]>,
+    hists: Box<[Histogram]>,
+    vcpu_call: Box<[Histogram]>,
+}
+
 impl Telemetry {
     /// Build the plane and spawn the sampler thread.
     #[allow(clippy::too_many_arguments)]
@@ -377,6 +462,7 @@ impl Telemetry {
                         measured_slow: 0.0,
                         measured_fast: 0.0,
                         firing_ticks: 0,
+                        interference_ratio: 0.0,
                     })
                     .collect(),
             ),
@@ -388,10 +474,22 @@ impl Telemetry {
             park: (std::sync::Mutex::new(()), std::sync::Condvar::new()),
             thread: parking_lot::Mutex::new(None),
         });
+        // The delta baseline is captured HERE, on the caller's thread,
+        // not inside the sampler thread: on a loaded host the spawned
+        // thread may not be scheduled until well after start() returns,
+        // and any calls made in that gap would otherwise disappear into
+        // a late-taken baseline instead of showing up in the first
+        // tick's delta.
+        let baseline = Cumulative {
+            totals: stats.snapshot(),
+            vcpu: (0..n_vcpus).map(|v| stats.vcpu_snapshot(v)).collect(),
+            hists: KINDS.iter().map(|&k| obs.merged(k)).collect(),
+            vcpu_call: (0..n_vcpus).map(|v| obs.vcpu_hist(LatencyKind::Call, v)).collect(),
+        };
         let worker = Arc::clone(&tel);
         let handle = std::thread::Builder::new()
             .name("ppc-telemetry".into())
-            .spawn(move || worker.run(stats, obs, flight, rt))
+            .spawn(move || worker.run(stats, obs, flight, rt, baseline))
             .expect("spawn telemetry sampler");
         *tel.thread.lock() = Some(handle);
         tel
@@ -425,6 +523,20 @@ impl Telemetry {
     /// Live watchdog state, one entry per installed rule.
     pub fn alerts(&self) -> Vec<AlertState> {
         self.alerts.lock().clone()
+    }
+
+    /// Host-interference ratio over (up to) the newest `window`: ns the
+    /// sampler's probe observed stolen by involuntary deschedules,
+    /// divided by ns probed. 0.0 when the probe hasn't run in the
+    /// window.
+    pub fn interference_ratio(&self, window: Duration) -> f64 {
+        let w = self.window(window);
+        let probed = w.counters.interference_probe_ns;
+        if probed == 0 {
+            0.0
+        } else {
+            w.counters.interference_ns as f64 / probed as f64
+        }
     }
 
     /// Rules currently firing.
@@ -465,17 +577,18 @@ impl Telemetry {
         obs: Arc<ObsState>,
         flight: Arc<FlightPlane>,
         rt: Weak<crate::Runtime>,
+        baseline: Cumulative,
     ) {
-        // Previous-tick cumulative state and the scratch slot, allocated
-        // once: the loop body only overwrites them in place.
+        // Previous-tick cumulative state (captured in start(), see
+        // there) and the scratch slot, allocated once: the loop body
+        // only overwrites them in place.
         let n = self.n_vcpus;
-        let mut prev_totals = stats.snapshot();
-        let mut prev_vcpu: Box<[Snapshot]> =
-            (0..n).map(|v| stats.vcpu_snapshot(v)).collect();
-        let mut prev_hists: Box<[Histogram]> =
-            KINDS.iter().map(|&k| obs.merged(k)).collect();
-        let mut prev_vcpu_call: Box<[Histogram]> =
-            (0..n).map(|v| obs.vcpu_hist(LatencyKind::Call, v)).collect();
+        let Cumulative {
+            totals: mut prev_totals,
+            vcpu: mut prev_vcpu,
+            hists: mut prev_hists,
+            vcpu_call: mut prev_vcpu_call,
+        } = baseline;
         let mut scratch = TickDelta::empty(n);
         let mut last = Instant::now();
         loop {
@@ -490,6 +603,25 @@ impl Telemetry {
             }
             if self.stop.load(Ordering::SeqCst) {
                 return;
+            }
+            // Interference probe: a fixed sliver of each tick (~0.2% at
+            // the default tick) spent watching the clock for deschedule
+            // gaps. The result lands in vCPU 0's counters, so it rides
+            // the ordinary delta/window plumbing below.
+            let probe = interference_probe(
+                (self.tick / 512).clamp(Duration::from_micros(50), Duration::from_millis(1)),
+            );
+            let cell0 = stats.cell(0);
+            cell0.interference_ns.fetch_add(probe.lost_ns, Ordering::Relaxed);
+            cell0.interference_probe_ns.fetch_add(probe.probed_ns, Ordering::Relaxed);
+            cell0.interference_excursions.fetch_add(probe.excursions, Ordering::Relaxed);
+            if probe.max_excursion_ns >= INTERFERENCE_EVENT_NS {
+                flight.record(
+                    0,
+                    FlightKind::Interference,
+                    0,
+                    probe.max_excursion_ns.min(u32::MAX as u64) as u32,
+                );
             }
             let now = Instant::now();
             let dt_ns = now.duration_since(last).as_nanos() as u64;
@@ -528,6 +660,7 @@ impl Telemetry {
 
     fn evaluate_rules(&self, flight: &FlightPlane, rt: &Weak<crate::Runtime>) {
         let mut nudge = false;
+        let mut rising_edge = false;
         {
             let mut alerts = self.alerts.lock();
             for (idx, a) in alerts.iter_mut().enumerate() {
@@ -536,11 +669,21 @@ impl Telemetry {
                 let fast_w = self.ring.window(fast_dur, self.n_vcpus);
                 a.measured_slow = a.rule.metric.measure(&slow_w);
                 a.measured_fast = a.rule.metric.measure(&fast_w);
+                // Annotate the alert with how much of its window the
+                // host stole: a high ratio says "look at the machine,
+                // not the facility".
+                let probed = slow_w.counters.interference_probe_ns;
+                a.interference_ratio = if probed == 0 {
+                    0.0
+                } else {
+                    slow_w.counters.interference_ns as f64 / probed as f64
+                };
                 let budget = a.rule.threshold.max(f64::MIN_POSITIVE);
                 let firing = a.measured_slow / budget >= a.rule.burn_factor
                     && a.measured_fast / budget >= a.rule.burn_factor;
                 if firing && !a.firing {
                     a.fired += 1;
+                    rising_edge = true;
                     // vCPU 0's ring is the watchdog's home; `ep` carries
                     // the rule index, `data` the slow measurement.
                     flight.record(
@@ -557,9 +700,18 @@ impl Telemetry {
                 a.firing = firing;
             }
         }
-        if nudge {
+        if nudge || rising_edge {
             if let Some(rt) = rt.upgrade() {
-                let _ = rt.frank_maintain();
+                if nudge {
+                    let _ = rt.frank_maintain();
+                }
+                if rising_edge {
+                    // Postmortem hook: a rule starting to fire is
+                    // exactly when the black box is worth keeping.
+                    // Rate-limited inside; a no-op unless a capture
+                    // directory is configured.
+                    rt.blackbox_event("slo-alert");
+                }
             }
         }
     }

@@ -319,7 +319,11 @@ pub(crate) fn pin_to_vcpu_core(vcpu: usize) {
 /// that baseline a pure park/unpark pair. The spin yields up front and
 /// every 64 iterations so the client (or anyone else) can run on an
 /// oversubscribed host.
-fn idle_wait(entry: &crate::entry::EntryShared, me: &WorkerHandle) {
+fn idle_wait(
+    entry: &crate::entry::EntryShared,
+    me: &WorkerHandle,
+    timer: &mut crate::stats::StateTimer<'_>,
+) {
     let budget = entry.idle_spin.load(Ordering::Relaxed);
     let mut spins = 0u32;
     while spins < budget {
@@ -336,13 +340,22 @@ fn idle_wait(entry: &crate::entry::EntryShared, me: &WorkerHandle) {
     }
     // Budget exhausted (or zero): park. A post or shutdown request that
     // raced the spin already set our park token, so this cannot hang.
+    // The spin above was Idle time; the park interval is Park time.
+    timer.transition(crate::stats::TimeState::Park);
     std::thread::park();
+    timer.transition(crate::stats::TimeState::Idle);
 }
 
 /// The worker thread body: park → take call → run handler → complete →
 /// re-pool → park. (The spawner installed our thread handle and pooled us
 /// before we became visible.)
 fn worker_loop(entry: Arc<crate::entry::EntryShared>, me: Arc<WorkerHandle>, vcpu: usize) {
+    // This thread's wall-time classifier: Idle on the mailbox spin, Park
+    // across the futex wait (both inside `idle_wait`), Handler from call
+    // pickup to completion. One timer per thread keeps the states
+    // exclusive; the drop on return charges the tail interval.
+    let mut timer =
+        crate::stats::StateTimer::new(entry.stats.cell(vcpu), crate::stats::TimeState::Idle);
     loop {
         if me.shutdown.load(Ordering::Acquire) {
             // A client may have posted a call in the window between
@@ -361,9 +374,10 @@ fn worker_loop(entry: Arc<crate::entry::EntryShared>, me: Arc<WorkerHandle>, vcp
             return;
         }
         let Some(slot) = me.take_mail() else {
-            idle_wait(&entry, &me);
+            idle_wait(&entry, &me, &mut timer);
             continue;
         };
+        timer.transition(crate::stats::TimeState::Handler);
 
         let args = slot.read_args();
         let program = slot.caller_program();
@@ -411,6 +425,10 @@ fn worker_loop(entry: Arc<crate::entry::EntryShared>, me: Arc<WorkerHandle>, vcp
                 // swallows still leaves its context on stderr.
                 entry.flight.record(vcpu, crate::flight::FlightKind::Fault, entry.id, program);
                 entry.dump_fault(vcpu);
+                // Postmortem hook: freeze the whole facility state, not
+                // just this entry's stderr dump (rate-limited; a no-op
+                // without a capture directory).
+                entry.blackbox.event("handler-panic");
                 [u64::MAX; 8]
             }
         };
@@ -422,6 +440,7 @@ fn worker_loop(entry: Arc<crate::entry::EntryShared>, me: Arc<WorkerHandle>, vcp
                 th0.elapsed().as_nanos() as u64,
             );
         }
+        timer.transition(crate::stats::TimeState::Idle);
         me.calls.fetch_add(1, Ordering::Relaxed);
         // The completion count lands on this vCPU's lifecycle shard —
         // the worker is bound to the caller's vCPU, so this is the same

@@ -124,10 +124,13 @@ fn http_endpoints_roundtrip_and_are_complete() {
         .bind("svc", EntryOptions { inline_ok: true, ..Default::default() }, Arc::new(|c| c.args))
         .unwrap();
     let client = rt.client(0, 1);
-    let t0 = tel.ticks();
     for i in 0..100u64 {
         client.call(ep, [i; 8]).unwrap();
     }
+    // Baseline the tick count AFTER the traffic: if the call loop
+    // straddles tick boundaries on a loaded host, ticks taken mid-loop
+    // must not count toward the two that prove full series coverage.
+    let t0 = tel.ticks();
     assert!(tel.wait_ticks(t0 + 2));
 
     let server = rt.serve_metrics("127.0.0.1:0").expect("bind metrics server");
