@@ -108,8 +108,25 @@ fn render_frame(doc: &Json, window: &str) -> Result<String, String> {
         .and_then(|ws| ws.get(window))
         .ok_or_else(|| format!("no `{window}` window in telemetry.windows"))?;
     let mut out = String::new();
+    // Transport line: in-process, or the serving segment's occupancy.
+    let transport = match doc.get("transport") {
+        Some(t) => {
+            let mode = t.get("mode").and_then(|v| v.as_str()).unwrap_or("in-process");
+            if mode == "in-process" {
+                mode.to_string()
+            } else {
+                format!(
+                    "{mode}  seg {:.0} KiB (hw {:.0} KiB)  clients {:.0}",
+                    num(t, "segment_bytes") / 1024.0,
+                    num(t, "segment_high_water_bytes") / 1024.0,
+                    num(t, "segment_clients"),
+                )
+            }
+        }
+        None => "in-process".to_string(),
+    };
     out.push_str(&format!(
-        "ppc-top  tick {:.0} ms  ticks {}  window {window} ({:.2}s measured)\n",
+        "ppc-top  tick {:.0} ms  ticks {}  window {window} ({:.2}s measured)  transport {transport}\n",
         num(tel, "tick_ms"),
         num(tel, "ticks"),
         num(w, "dt_ns") / 1e9,

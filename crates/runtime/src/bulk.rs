@@ -72,7 +72,15 @@ pub struct PoolBuf {
     ptr: NonNull<u8>,
     class: u8,
     owner: BufOwner,
+    /// Capacity override for foreign (non-owned) memory; 0 for pooled
+    /// buffers, whose capacity is their class size.
+    foreign_len: u32,
 }
+
+/// Class sentinel marking a [`PoolBuf`] that *borrows* foreign memory
+/// (e.g. a span of a shared segment) instead of owning a heap
+/// allocation: never deallocated, never pooled.
+const FOREIGN_CLASS: u8 = u8::MAX;
 
 // Safety: the buffer is a plain owned allocation.
 unsafe impl Send for PoolBuf {}
@@ -85,7 +93,37 @@ impl PoolBuf {
         // region never leaks a previous allocation's bytes.
         let raw = unsafe { alloc_zeroed(layout) };
         let Some(ptr) = NonNull::new(raw) else { handle_alloc_error(layout) };
-        PoolBuf { ptr, class: class as u8, owner: BufOwner::Fresh }
+        PoolBuf { ptr, class: class as u8, owner: BufOwner::Fresh, foreign_len: 0 }
+    }
+
+    /// Wrap `len` bytes of foreign memory (a shared-segment span) as a
+    /// region backing. The buffer borrows: dropping it never
+    /// deallocates, and [`BufferPool::put`] refuses to pool it. The
+    /// contents are attributed to `program` up front (the segment
+    /// creator zeroed the span), so registration does not scrub memory
+    /// another process may already be reading.
+    ///
+    /// # Safety
+    /// `ptr` must point to at least `len` writable bytes that outlive
+    /// every region registered over this buffer (the transport keeps
+    /// the segment mapped for the server's lifetime).
+    pub(crate) unsafe fn foreign(
+        ptr: NonNull<u8>,
+        len: usize,
+        program: crate::ProgramId,
+    ) -> PoolBuf {
+        PoolBuf {
+            ptr,
+            class: FOREIGN_CLASS,
+            owner: BufOwner::Program(program),
+            foreign_len: len as u32,
+        }
+    }
+
+    /// Whether this buffer borrows foreign memory (see
+    /// [`PoolBuf::foreign`]).
+    pub(crate) fn is_foreign(&self) -> bool {
+        self.class == FOREIGN_CLASS
     }
 
     /// Claim the buffer for a region owned by `program`. Recycled
@@ -110,9 +148,14 @@ impl PoolBuf {
         Layout::from_size_align(SIZE_CLASSES[class], BULK_ALIGN).expect("valid bulk layout")
     }
 
-    /// Capacity (the class size — at least what was requested).
+    /// Capacity (the class size — at least what was requested — or the
+    /// foreign span length).
     pub fn cap(&self) -> usize {
-        SIZE_CLASSES[self.class as usize]
+        if self.class == FOREIGN_CLASS {
+            self.foreign_len as usize
+        } else {
+            SIZE_CLASSES[self.class as usize]
+        }
     }
 
     pub(crate) fn as_mut_ptr(&self) -> *mut u8 {
@@ -134,6 +177,11 @@ impl PoolBuf {
 
 impl Drop for PoolBuf {
     fn drop(&mut self) {
+        // Foreign memory is borrowed, not owned: the segment mapping
+        // frees it.
+        if self.class == FOREIGN_CLASS {
+            return;
+        }
         // Safety: allocated with the identical layout in `alloc`.
         unsafe { dealloc(self.ptr.as_ptr(), Self::layout(self.class as usize)) };
     }
@@ -174,6 +222,12 @@ impl BufferPool {
     /// Recycle a buffer (dropped — freed — when its class queue is full:
     /// surplus reclamation, as with workers and CDs).
     pub fn put(&self, buf: PoolBuf) {
+        // Foreign (segment-backed) buffers are borrows: dropping them
+        // releases nothing, and pooling one would hand segment memory
+        // to an unrelated region after the segment unmaps.
+        if buf.is_foreign() {
+            return;
+        }
         let _ = self.classes[buf.class as usize].push(buf);
     }
 

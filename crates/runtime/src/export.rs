@@ -448,6 +448,41 @@ pub fn prometheus_rates(tel: &Telemetry) -> String {
     out
 }
 
+/// Render the transport gauges: which transport the runtime is serving
+/// (`0` in-process only, `1` cross-process segment) and, while a
+/// segment is mapped, its size, bulk/staging high-water offset, and
+/// claimed-client count. Appended by
+/// [`crate::Runtime::export_prometheus`].
+pub fn prometheus_transport(x: Option<&crate::xproc::XprocStats>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# TYPE ppc_transport_xproc gauge");
+    let _ = writeln!(out, "ppc_transport_xproc {}", u8::from(x.is_some()));
+    if let Some(x) = x {
+        let _ = writeln!(out, "# TYPE ppc_segment_bytes gauge");
+        let _ = writeln!(out, "ppc_segment_bytes {}", x.segment_bytes);
+        let _ = writeln!(out, "# TYPE ppc_segment_high_water_bytes gauge");
+        let _ = writeln!(out, "ppc_segment_high_water_bytes {}", x.high_water);
+        let _ = writeln!(out, "# TYPE ppc_segment_clients gauge");
+        let _ = writeln!(out, "ppc_segment_clients {}", x.clients);
+    }
+    out
+}
+
+/// The `"transport"` member of [`crate::Runtime::export_json`]:
+/// `{"mode": "in-process"}` for a purely local runtime, or the serving
+/// segment's mode and stats.
+pub fn transport_json(x: Option<&crate::xproc::XprocStats>) -> Json {
+    match x {
+        None => Json::obj([("mode", Json::Str("in-process".into()))]),
+        Some(x) => Json::obj([
+            ("mode", Json::Str(x.mode.into())),
+            ("segment_bytes", Json::Num(x.segment_bytes as f64)),
+            ("segment_high_water_bytes", Json::Num(x.high_water as f64)),
+            ("segment_clients", Json::Num(f64::from(x.clients))),
+        ]),
+    }
+}
+
 /// A parsed Prometheus exposition: the `ppc_` counters, the
 /// de-cumulated per-kind latency histograms, and the `ppc_rate_*`
 /// windowed gauges.

@@ -96,6 +96,11 @@ pub enum FlightKind {
     /// (`data` = excursion ns, saturated to u32). Recorded by the
     /// telemetry sampler on vCPU 0.
     Interference = 19,
+    /// A cross-process peer died or detached with work outstanding:
+    /// the server lost a client (slot/ring/region reclaimed; `ep` =
+    /// client slot index, `data` = peer PID) or a client lost its
+    /// server (`data` = server PID). See [`crate::xproc`].
+    PeerLost = 20,
 }
 
 impl FlightKind {
@@ -120,6 +125,7 @@ impl FlightKind {
             17 => FlightKind::RingReap,
             18 => FlightKind::Alert,
             19 => FlightKind::Interference,
+            20 => FlightKind::PeerLost,
             _ => return None,
         })
     }
@@ -146,6 +152,7 @@ impl FlightKind {
             FlightKind::RingReap => "ring_reap",
             FlightKind::Alert => "alert",
             FlightKind::Interference => "interference",
+            FlightKind::PeerLost => "peer_lost",
         }
     }
 }

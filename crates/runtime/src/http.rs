@@ -9,8 +9,8 @@
 //! | path       | body                                               |
 //! |------------|----------------------------------------------------|
 //! | `/`        | plain-text index of the endpoints                  |
-//! | `/metrics` | Prometheus text ([`crate::Runtime::export_prometheus`], incl. `ppc_rate_*`) |
-//! | `/json`    | counters + histograms + telemetry windows/alerts   |
+//! | `/metrics` | Prometheus text ([`crate::Runtime::export_prometheus`], incl. `ppc_rate_*` and transport/segment gauges) |
+//! | `/json`    | counters + histograms + telemetry windows/alerts + transport mode/segment stats |
 //! | `/series`  | the raw telemetry tick ring ([`crate::Runtime::export_series`]) |
 //! | `/trace`   | Chrome trace-event JSON ([`crate::Runtime::export_trace`]) |
 //! | `/profile` | critical-path profile text report ([`crate::profile`]) |
@@ -167,8 +167,10 @@ fn handle_conn(stream: TcpStream, rt: &Weak<Runtime>) -> std::io::Result<()> {
             200,
             "text/plain; charset=utf-8",
             "ppc-rt observability endpoints:\n\
-             /metrics      Prometheus text exposition (incl. ppc_rate_* windows)\n\
+             /metrics      Prometheus text exposition (incl. ppc_rate_* windows\n\
+                           and ppc_transport_*/ppc_segment_* gauges)\n\
              /json         counters + histograms + telemetry windows/alerts\n\
+                           + transport mode and segment stats\n\
              /series       raw telemetry tick ring\n\
              /trace        Chrome trace-event JSON (load in ui.perfetto.dev)\n\
              /profile      critical-path profile (per-entry phase breakdown)\n\

@@ -76,11 +76,13 @@ pub mod obs;
 pub mod profile;
 pub mod region;
 pub mod ring;
+pub mod shm;
 pub mod slot;
 pub mod span;
 pub mod stats;
 pub mod telemetry;
 pub mod worker;
+pub mod xproc;
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU8, AtomicU64, Ordering};
@@ -93,9 +95,13 @@ pub use flight::{FlightEvent, FlightKind, FlightPlane};
 pub use obs::{Histogram, LatencyKind, ObsState};
 pub use region::{BulkDesc, RegionId, MAX_BULK, MAX_REGIONS};
 pub use ring::{ClientRing, Completion, RingOptions};
+pub use shm::{SegOffset, SegRef, Segment};
 pub use span::{Exemplar, SpanPhase, SpanPlane, SpanRecord, TraceCtx};
 pub use stats::{RuntimeStats, Snapshot, StatsCell};
 pub use telemetry::{AlertState, SloMetric, SloRule, Telemetry, TickDelta, WindowStats};
+pub use xproc::{
+    ForkedServer, XClient, XSegOptions, XServer, XprocStats, XPROC_LAYOUT_VERSION, XPROC_MAGIC,
+};
 
 use entry::EntryShared;
 use slot::CallSlot;
@@ -150,6 +156,15 @@ pub enum RtError {
     /// exhausted. Open-loop backpressure — reap completions (or shed
     /// the request) and retry.
     RingFull,
+    /// The cross-process peer (server or client) died or detached while
+    /// an operation was outstanding; the operation did not complete.
+    /// Reported instead of hanging — [`crate::xproc`] pairs futex waits
+    /// with PID/heartbeat liveness checks.
+    PeerGone,
+    /// A shared segment failed validation: bad magic, layout-version
+    /// mismatch, truncated file, or inconsistent geometry. Nothing in
+    /// the segment was trusted or dereferenced past the header check.
+    BadSegment,
 }
 
 impl std::fmt::Display for RtError {
@@ -174,6 +189,12 @@ impl std::fmt::Display for RtError {
             }
             RtError::RingFull => {
                 write!(f, "submission ring full or in-flight credits exhausted")
+            }
+            RtError::PeerGone => {
+                write!(f, "cross-process peer died or detached mid-operation")
+            }
+            RtError::BadSegment => {
+                write!(f, "shared segment failed validation (magic/version/geometry)")
             }
         }
     }
@@ -703,6 +724,10 @@ pub struct Runtime {
     /// worker panic path can trigger a capture without a runtime back
     /// reference (see [`blackbox::Sink`]).
     blackbox: Arc<blackbox::Sink>,
+    /// The cross-process transport segment, when this runtime is serving
+    /// one (see [`Runtime::serve_xproc`]). Weak: the [`xproc::XServer`]
+    /// owns the mapping; the exporters only peek.
+    xproc_seg: parking_lot::Mutex<Option<std::sync::Weak<shm::Segment>>>,
     shutdown: AtomicU8,
 }
 
@@ -807,6 +832,7 @@ impl Runtime {
             trust: parking_lot::RwLock::new(HashMap::new()),
             telemetry: parking_lot::Mutex::new(None),
             blackbox: Arc::new(blackbox::Sink::new()),
+            xproc_seg: parking_lot::Mutex::new(None),
             shutdown: AtomicU8::new(0),
         });
         rt.blackbox.attach(Arc::downgrade(&rt));
@@ -854,6 +880,17 @@ impl Runtime {
     /// The telemetry plane, if the sampler has been started.
     pub fn telemetry(&self) -> Option<Arc<telemetry::Telemetry>> {
         self.telemetry.lock().clone()
+    }
+
+    /// Record the serving cross-process segment (exporter hook; see
+    /// [`Runtime::serve_xproc`]).
+    pub(crate) fn set_xproc_segment(&self, seg: std::sync::Weak<shm::Segment>) {
+        *self.xproc_seg.lock() = Some(seg);
+    }
+
+    /// The serving cross-process segment, if any.
+    pub(crate) fn xproc_segment(&self) -> Option<std::sync::Weak<shm::Segment>> {
+        self.xproc_seg.lock().clone()
     }
 
     /// Stop and join the telemetry sampler (idempotent; also runs on
@@ -970,6 +1007,7 @@ impl Runtime {
         if let Some(tel) = self.telemetry() {
             out.push_str(&export::prometheus_rates(&tel));
         }
+        out.push_str(&export::prometheus_transport(self.xproc_stats().as_ref()));
         out
     }
 
@@ -979,10 +1017,11 @@ impl Runtime {
     /// quantiles and alert states ([`export::telemetry_json`]).
     pub fn export_json(&self) -> export::Json {
         let mut doc = export::json_snapshot(&self.stats.snapshot(), &self.obs);
-        if let Some(tel) = self.telemetry() {
-            if let export::Json::Obj(fields) = &mut doc {
+        if let export::Json::Obj(fields) = &mut doc {
+            if let Some(tel) = self.telemetry() {
                 fields.push(("telemetry".into(), export::telemetry_json(&tel)));
             }
+            fields.push(("transport".into(), export::transport_json(self.xproc_stats().as_ref())));
         }
         doc
     }

@@ -7,6 +7,23 @@
 //! per-vCPU lock-free pools and are recycled across services, giving the
 //! same serial-sharing cache benefits the paper describes.
 //!
+//! The rendezvous state machine itself lives in [`SlotCore`] — a
+//! `#[repr(C)]`, **pointer-free, position-independent** structure so the
+//! identical protocol runs in two homes:
+//!
+//! * embedded in a heap [`CallSlot`] for the in-process path, where the
+//!   completion wake is `Thread::unpark` on the caller's handle; and
+//! * resident in a shared segment ([`crate::shm::Segment`]) for the
+//!   cross-process transport ([`crate::xproc`]), where the wake is a
+//!   futex on the state word — which is why the state word is an
+//!   `AtomicU32` (the futex granule), not a byte.
+//!
+//! The layout is locked down with compile-time assertions
+//! ([`assert_segment_layout!`](crate::assert_segment_layout)): both sides
+//! of a process boundary must agree on every offset, and drift is a build
+//! error, not UB. Process-local linkage (the parked `Thread` handle, the
+//! boxed scratch page) stays **outside** the core in `CallSlot`.
+//!
 //! The hand-off protocol is a two-party atomic rendezvous:
 //!
 //! 1. the client owns the slot exclusively (it popped it), fills `args`,
@@ -21,13 +38,9 @@
 //! analogue of the paper's hand-off scheduling.
 
 use std::cell::UnsafeCell;
-#[cfg(feature = "obs")]
-use std::sync::atomic::AtomicU64;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::Thread;
-
-use crossbeam::utils::CachePadded;
 
 /// Size of the per-call scratch page ("one-page stacks", §4.5.4).
 pub const SCRATCH_BYTES: usize = 4096;
@@ -35,79 +48,131 @@ pub const SCRATCH_BYTES: usize = 4096;
 /// The result frame a shutdown-aborted call completes with.
 pub const ABORT_RETS: [u64; 8] = [u64::MAX; 8];
 
-/// Slot lifecycle states.
+/// Slot lifecycle states. `u32` because the state word doubles as a
+/// futex word on the cross-process path.
 pub mod state {
     /// In a pool, unowned.
-    pub const IDLE: u8 = 0;
+    pub const IDLE: u32 = 0;
     /// Filled by a client, owned by a worker.
-    pub const POSTED: u8 = 1;
+    pub const POSTED: u32 = 1;
     /// Handler finished; results valid.
-    pub const DONE: u8 = 2;
+    pub const DONE: u32 = 2;
 }
 
-/// One call descriptor.
+/// Who waits on the slot's completion — the value of
+/// [`SlotCore`]'s waiter word.
+pub mod waiter {
+    /// Nobody blocks (async call; completion is polled).
+    pub const NONE: u32 = 0;
+    /// A process-local thread parks on its `Thread` handle.
+    pub const THREAD: u32 = 1;
+    /// A remote process sleeps on the state word via futex.
+    pub const FUTEX: u32 = 2;
+}
+
+/// The position-independent core of a call descriptor: the rendezvous
+/// state word, the 8-word argument/result frames, and the control words
+/// that ride the hand-off. `#[repr(C)]`, pointer-free, layout asserted —
+/// safe to place in a shared segment and operate from two processes.
 ///
-/// The state word is the rendezvous's ping-pong line: the client spins or
-/// parks on it while the worker writes results. It is cache-line padded
-/// so a spinning client re-reads only that line — the worker's stores to
-/// `rets`/`scratch` mid-handler never invalidate the spinner's cached
-/// copy, and the line transfers exactly once per call (at `DONE`).
-pub struct CallSlot {
-    st: CachePadded<AtomicU8>,
-    args: UnsafeCell<[u64; 8]>,
-    rets: UnsafeCell<[u64; 8]>,
+/// Line layout (64-byte lines, asserted below):
+///
+/// ```text
+/// line 0   st | waiter | caller_program | faulted | parity
+///          | status | aux | payload_len | trace | pad
+/// line 1   args[0..8]
+/// line 2   rets[0..8]
+/// ```
+///
+/// The state word shares line 0 only with words that are **quiescent
+/// during the wait**: `waiter`/`caller_program`/`parity`/`trace` are
+/// written by the client before POSTED, `status`/`aux`/`faulted` by the
+/// server at completion (right before the `DONE` store that ends the
+/// spin). `args` and `rets` get their own lines, so a spinning client
+/// re-reads only line 0 — the worker's stores to `rets` mid-completion
+/// never bounce the spinner's cached line until `DONE` lands.
+#[repr(C, align(64))]
+pub struct SlotCore {
+    st: AtomicU32,
+    /// Which wake mechanism completion must use ([`waiter`]).
+    waiter: AtomicU32,
     caller_program: AtomicU32,
-    /// Whether a client thread waits for completion (sync call).
-    has_client: AtomicBool,
     /// The handler faulted (panicked) while servicing this call.
-    faulted: AtomicBool,
+    faulted: AtomicU32,
     /// Era parity the dispatcher's entry claim was counted under. Rides
     /// the hand-off so whichever side owns the claim's release (worker
     /// for async calls) decrements the right lifecycle shard. Not
     /// feature-gated: it is lifecycle correctness, not observability.
-    parity: AtomicU8,
+    parity: AtomicU32,
+    /// Wire status for cross-process completion (0 = ok; see
+    /// [`crate::xproc`]'s `RtError` code mapping). Unused in-process —
+    /// errors there travel as `Result`s, never through the slot.
+    status: AtomicU32,
+    /// Auxiliary word accompanying `status` (entry/region id).
+    aux: AtomicU32,
+    /// Valid payload bytes in the slot's payload page (cross-process
+    /// `call_with_payload`); unused in-process (the scratch page is
+    /// process-local there).
+    payload_len: AtomicU32,
     /// Packed trace context riding the hand-off (0 = no trace). Written
     /// by the client between `fill` and the mailbox post; the mailbox's
-    /// Release/Acquire edge publishes it to the worker.
-    #[cfg(feature = "obs")]
+    /// Release/Acquire edge publishes it to the worker. Present in the
+    /// layout unconditionally — segment layout cannot depend on compile
+    /// features — but with `obs` off nothing ever stores to it.
     trace: AtomicU64,
-    client: UnsafeCell<Option<Thread>>,
-    scratch: UnsafeCell<Box<[u8; SCRATCH_BYTES]>>,
+    _pad0: [u8; 24],
+    args: UnsafeCell<[u64; 8]>,
+    rets: UnsafeCell<[u64; 8]>,
 }
 
-// Safety: access to the UnsafeCell fields follows the ownership protocol
-// documented above — exactly one party touches them in each state, with
-// Release/Acquire edges on `st` (and the mailbox pointer) ordering the
-// transfers.
-unsafe impl Sync for CallSlot {}
-unsafe impl Send for CallSlot {}
+crate::assert_segment_layout!(SlotCore {
+    size: 192,
+    align: 64,
+    st: 0,
+    waiter: 4,
+    caller_program: 8,
+    faulted: 12,
+    parity: 16,
+    status: 20,
+    aux: 24,
+    payload_len: 28,
+    trace: 32,
+    args: 64,
+    rets: 128,
+});
 
-impl CallSlot {
-    /// A fresh, idle slot.
-    pub fn new() -> Arc<Self> {
-        Arc::new(CallSlot {
-            st: CachePadded::new(AtomicU8::new(state::IDLE)),
+// Safety: access to the UnsafeCell frames follows the ownership protocol
+// documented on the module — exactly one party touches them in each
+// state, with Release/Acquire edges on `st` (and the mailbox pointer)
+// ordering the transfers.
+unsafe impl Sync for SlotCore {}
+unsafe impl Send for SlotCore {}
+
+impl SlotCore {
+    /// A fresh, idle core (heap-embedded use; segment-resident cores are
+    /// born valid from zeroed segment memory — all-zero is exactly
+    /// `IDLE`/`NONE`/empty frames, which the layout test pins).
+    pub fn new() -> SlotCore {
+        SlotCore {
+            st: AtomicU32::new(state::IDLE),
+            waiter: AtomicU32::new(waiter::NONE),
+            caller_program: AtomicU32::new(0),
+            faulted: AtomicU32::new(0),
+            parity: AtomicU32::new(0),
+            status: AtomicU32::new(0),
+            aux: AtomicU32::new(0),
+            payload_len: AtomicU32::new(0),
+            trace: AtomicU64::new(0),
+            _pad0: [0; 24],
             args: UnsafeCell::new([0; 8]),
             rets: UnsafeCell::new([0; 8]),
-            caller_program: AtomicU32::new(0),
-            has_client: AtomicBool::new(false),
-            faulted: AtomicBool::new(false),
-            parity: AtomicU8::new(0),
-            #[cfg(feature = "obs")]
-            trace: AtomicU64::new(0),
-            client: UnsafeCell::new(None),
-            scratch: UnsafeCell::new(Box::new([0; SCRATCH_BYTES])),
-        })
+        }
     }
 
-    /// Client side: fill the slot prior to posting. Caller must own the
-    /// slot (popped from a pool, or the held CD of a worker it popped).
-    ///
-    /// Held CDs have one benign window: the *previous* caller may still be
-    /// between observing `DONE` and calling [`CallSlot::reset`] when the
-    /// next caller (which already owns the worker) arrives, so we spin the
-    /// few instructions until the slot returns to `IDLE`.
-    pub fn fill(&self, args: [u64; 8], program: u32, client: Option<Thread>) {
+    /// Client side: fill the frame prior to posting. Caller must own the
+    /// slot. Spins out the benign held-CD reset window (see
+    /// [`CallSlot::fill`]).
+    pub fn fill(&self, args: [u64; 8], program: u32, wait_mode: u32) {
         let mut spins = 0u32;
         while self.st.load(Ordering::Acquire) != state::IDLE {
             std::hint::spin_loop();
@@ -119,14 +184,136 @@ impl CallSlot {
         // Safety: exclusive ownership in IDLE state.
         unsafe {
             *self.args.get() = args;
-            *self.client.get() = client.clone();
         }
         self.caller_program.store(program, Ordering::Relaxed);
-        self.has_client.store(client.is_some(), Ordering::Relaxed);
-        self.faulted.store(false, Ordering::Relaxed);
+        self.waiter.store(wait_mode, Ordering::Relaxed);
+        self.faulted.store(0, Ordering::Relaxed);
+        self.status.store(0, Ordering::Relaxed);
         #[cfg(feature = "obs")]
         self.trace.store(0, Ordering::Relaxed);
+    }
+
+    /// Publish the filled frame to the peer (`Release`): the slot
+    /// transitions to POSTED. Separate from [`SlotCore::fill`] so the
+    /// in-process path can interleave its mailbox hand-off and the
+    /// cross-process path its doorbell.
+    #[inline]
+    pub fn post(&self) {
         self.st.store(state::POSTED, Ordering::Release);
+    }
+
+    /// The state word, for futex waits and external polling.
+    #[inline]
+    pub fn state_word(&self) -> &AtomicU32 {
+        &self.st
+    }
+
+    /// Server side: read the arguments (slot must be POSTED and owned).
+    #[inline]
+    pub fn read_args(&self) -> [u64; 8] {
+        debug_assert_eq!(self.st.load(Ordering::Relaxed), state::POSTED);
+        // Safety: owner reads after acquiring the POSTED edge.
+        unsafe { *self.args.get() }
+    }
+
+    /// Server side: publish results + status, transition to DONE
+    /// (`Release`). The *wake* is the caller's job — in-process unpark
+    /// or cross-process futex — because the wake mechanism is the one
+    /// thing the core cannot carry position-independently.
+    pub fn complete_frame(&self, rets: [u64; 8], status: u32, aux: u32) {
+        // Safety: server owns the slot while POSTED.
+        unsafe {
+            *self.rets.get() = rets;
+        }
+        self.status.store(status, Ordering::Relaxed);
+        self.aux.store(aux, Ordering::Relaxed);
+        self.st.store(state::DONE, Ordering::Release);
+    }
+
+    /// Client side: read the results (slot must be DONE).
+    #[inline]
+    pub fn read_rets(&self) -> [u64; 8] {
+        debug_assert_eq!(self.st.load(Ordering::Relaxed), state::DONE);
+        // Safety: DONE observed with Acquire; server wrote before the
+        // Release store.
+        unsafe { *self.rets.get() }
+    }
+
+    /// Completion status word (valid once DONE; 0 = ok).
+    #[inline]
+    pub fn status(&self) -> (u32, u32) {
+        (self.status.load(Ordering::Relaxed), self.aux.load(Ordering::Relaxed))
+    }
+
+    /// Payload length word (cross-process payload calls).
+    #[inline]
+    pub fn payload_len(&self) -> u32 {
+        self.payload_len.load(Ordering::Relaxed)
+    }
+
+    /// Set the payload length word.
+    #[inline]
+    pub fn set_payload_len(&self, n: u32) {
+        self.payload_len.store(n, Ordering::Relaxed);
+    }
+
+    /// Return the slot to IDLE for pooling / reuse.
+    #[inline]
+    pub fn reset(&self) {
+        self.st.store(state::IDLE, Ordering::Release);
+    }
+}
+
+impl Default for SlotCore {
+    fn default() -> Self {
+        SlotCore::new()
+    }
+}
+
+/// One call descriptor (the in-process home of a [`SlotCore`]).
+///
+/// The state word is the rendezvous's ping-pong line: the client spins or
+/// parks on it while the worker writes results. The core's line layout
+/// keeps `rets`/`scratch` stores off the spinner's line — it transfers
+/// exactly once per call (at `DONE`).
+pub struct CallSlot {
+    core: SlotCore,
+    client: UnsafeCell<Option<Thread>>,
+    scratch: UnsafeCell<Box<[u8; SCRATCH_BYTES]>>,
+}
+
+// Safety: see `SlotCore`; the `client` cell is written by the filling
+// client and taken by the completing worker under the same protocol, and
+// `scratch` is owned by whichever party owns the slot.
+unsafe impl Sync for CallSlot {}
+unsafe impl Send for CallSlot {}
+
+impl CallSlot {
+    /// A fresh, idle slot.
+    pub fn new() -> Arc<Self> {
+        Arc::new(CallSlot {
+            core: SlotCore::new(),
+            client: UnsafeCell::new(None),
+            scratch: UnsafeCell::new(Box::new([0; SCRATCH_BYTES])),
+        })
+    }
+
+    /// Client side: fill the slot prior to posting. Caller must own the
+    /// slot (popped from a pool, or the held CD of a worker it popped).
+    ///
+    /// Held CDs have one benign window: the *previous* caller may still be
+    /// between observing `DONE` and calling [`CallSlot::reset`] when the
+    /// next caller (which already owns the worker) arrives, so we spin the
+    /// few instructions until the slot returns to `IDLE` (inside
+    /// [`SlotCore::fill`]).
+    pub fn fill(&self, args: [u64; 8], program: u32, client: Option<Thread>) {
+        let mode = if client.is_some() { waiter::THREAD } else { waiter::NONE };
+        self.core.fill(args, program, mode);
+        // Safety: exclusive ownership in IDLE state (fill spun it in).
+        unsafe {
+            *self.client.get() = client;
+        }
+        self.core.post();
     }
 
     /// Client side, after `fill` and before posting: attach the packed
@@ -135,7 +322,7 @@ impl CallSlot {
     #[inline]
     pub fn set_trace(&self, word: u64) {
         #[cfg(feature = "obs")]
-        self.trace.store(word, Ordering::Relaxed);
+        self.core.trace.store(word, Ordering::Relaxed);
         #[cfg(not(feature = "obs"))]
         let _ = word;
     }
@@ -146,7 +333,7 @@ impl CallSlot {
     pub fn trace_word(&self) -> u64 {
         #[cfg(feature = "obs")]
         {
-            self.trace.load(Ordering::Relaxed)
+            self.core.trace.load(Ordering::Relaxed)
         }
         #[cfg(not(feature = "obs"))]
         {
@@ -156,34 +343,32 @@ impl CallSlot {
 
     /// Worker side: read the arguments (slot must be POSTED and owned).
     pub fn read_args(&self) -> [u64; 8] {
-        debug_assert_eq!(self.st.load(Ordering::Relaxed), state::POSTED);
-        // Safety: worker owns the slot after acquiring the mailbox edge.
-        unsafe { *self.args.get() }
+        self.core.read_args()
     }
 
     /// Worker side: the caller's program identity.
     pub fn caller_program(&self) -> u32 {
-        self.caller_program.load(Ordering::Relaxed)
+        self.core.caller_program.load(Ordering::Relaxed)
     }
 
     /// Client side, after `fill` and before posting: record the claim's
     /// era parity. The mailbox publish orders it for the worker.
     #[inline]
     pub(crate) fn set_parity(&self, p: u8) {
-        self.parity.store(p, Ordering::Relaxed);
+        self.core.parity.store(u32::from(p), Ordering::Relaxed);
     }
 
     /// Worker side: the claim's era parity.
     #[inline]
     pub(crate) fn parity(&self) -> u8 {
-        self.parity.load(Ordering::Relaxed)
+        self.core.parity.load(Ordering::Relaxed) as u8
     }
 
     /// Whether a client thread waits synchronously on this call — which
     /// side owns the claim release (see `worker_loop`).
     #[inline]
     pub(crate) fn has_client(&self) -> bool {
-        self.has_client.load(Ordering::Relaxed)
+        self.core.waiter.load(Ordering::Relaxed) == waiter::THREAD
     }
 
     /// Worker side: run `f` with exclusive access to the scratch page.
@@ -204,12 +389,9 @@ impl CallSlot {
     /// Worker side: publish the results and wake the client if one waits.
     pub fn complete(&self, rets: [u64; 8]) {
         // Safety: worker still owns the slot.
-        let client = unsafe {
-            *self.rets.get() = rets;
-            (*self.client.get()).take()
-        };
-        let had_client = self.has_client.load(Ordering::Relaxed);
-        self.st.store(state::DONE, Ordering::Release);
+        let client = unsafe { (*self.client.get()).take() };
+        let had_client = self.has_client();
+        self.core.complete_frame(rets, 0, 0);
         if had_client {
             if let Some(t) = client {
                 t.unpark();
@@ -220,24 +402,24 @@ impl CallSlot {
     /// Worker side: mark the call as faulted before completing (the
     /// handler panicked).
     pub fn mark_faulted(&self) {
-        self.faulted.store(true, Ordering::Relaxed);
+        self.core.faulted.store(1, Ordering::Relaxed);
     }
 
     /// Did the handler fault? (Valid once DONE.)
     pub fn is_faulted(&self) -> bool {
-        self.faulted.load(Ordering::Relaxed)
+        self.core.faulted.load(Ordering::Relaxed) != 0
     }
 
     /// Whether the handler has completed.
     pub fn is_done(&self) -> bool {
-        self.st.load(Ordering::Acquire) == state::DONE
+        self.core.st.load(Ordering::Acquire) == state::DONE
     }
 
     /// Client side: park until DONE (sync calls: the worker unparks us;
     /// async waiters: bounded park so a missed token cannot wedge us).
     pub fn wait_done(&self) {
         while !self.is_done() {
-            if self.has_client.load(Ordering::Relaxed) {
+            if self.has_client() {
                 std::thread::park();
             } else {
                 std::thread::park_timeout(std::time::Duration::from_micros(50));
@@ -354,14 +536,12 @@ impl CallSlot {
     /// Client side: read the results (slot must be DONE).
     pub fn read_rets(&self) -> [u64; 8] {
         debug_assert!(self.is_done());
-        // Safety: DONE was observed with Acquire; worker wrote before the
-        // Release store.
-        unsafe { *self.rets.get() }
+        self.core.read_rets()
     }
 
     /// Return the slot to IDLE for pooling.
     pub fn reset(&self) {
-        self.st.store(state::IDLE, Ordering::Release);
+        self.core.reset();
     }
 
     /// Client side, before posting (slot owned, IDLE): copy a request
@@ -446,5 +626,26 @@ mod tests {
         s.wait_done();
         assert_eq!(s.read_rets(), [6; 8]);
         h.join().unwrap();
+    }
+
+    /// A zeroed `SlotCore` is a valid idle core: segment-resident cores
+    /// are born from zeroed pages without running a constructor, so the
+    /// all-zero bit pattern must mean exactly IDLE / no waiter / clean
+    /// frames. Pinned here so a field whose zero value gains meaning
+    /// fails a test, not a process boundary.
+    #[test]
+    fn zeroed_core_is_idle() {
+        // Safety: SlotCore is repr(C) atomics + UnsafeCell'd arrays —
+        // every field is valid at all bit patterns.
+        let core: SlotCore = unsafe { std::mem::zeroed() };
+        assert_eq!(core.state_word().load(Ordering::Relaxed), state::IDLE);
+        assert_eq!(core.waiter.load(Ordering::Relaxed), waiter::NONE);
+        assert_eq!(core.status(), (0, 0));
+        assert_eq!(core.payload_len(), 0);
+        core.fill([3; 8], 9, waiter::FUTEX);
+        core.post();
+        assert_eq!(core.read_args(), [3; 8]);
+        core.complete_frame([4; 8], 0, 0);
+        assert_eq!(core.read_rets(), [4; 8]);
     }
 }

@@ -267,6 +267,15 @@ counters! {
     /// (each one involuntary-deschedule shaped: a single tight-loop
     /// clock read pair separated by more than the gap threshold).
     interference_excursions,
+    /// Cross-process transport: PPCs serviced across a process
+    /// boundary (slot calls, payload calls, and ring SQEs executed for
+    /// remote clients). Counted on the serving vCPU's cell by the
+    /// segment server loop ([`crate::xproc`]).
+    xproc_calls,
+    /// Cross-process transport: futex wakes issued or absorbed by the
+    /// transport — completion wakes to remote clients plus doorbell
+    /// wakes that roused a sleeping segment server.
+    xproc_wakes,
 }
 
 /// Sharded facility counters: one padded cell per virtual processor.
@@ -501,7 +510,7 @@ mod tests {
         let snap = s.snapshot();
         let fields = snap.fields();
         // `calls` plus one entry per StatsCell counter, no drift.
-        assert_eq!(fields.len(), 35);
+        assert_eq!(fields.len(), 37);
         assert_eq!(fields[0], ("calls", 7));
         let get = |name: &str| fields.iter().find(|(n, _)| *n == name).unwrap().1;
         assert_eq!(get("inline_calls"), 7);

@@ -1,0 +1,1828 @@
+//! The cross-process PPC transport: the runtime over a **real**
+//! protection boundary.
+//!
+//! Everything before this module ran the paper's protected procedure
+//! call inside one address space — fast, but the protection was an
+//! honor system. Here the client and server are separate processes that
+//! share exactly one thing: a mapped segment ([`crate::shm::Segment`])
+//! whose contents are **position-independent** (`#[repr(C)]`, offsets
+//! instead of pointers — see [`crate::shm::SegOffset`]) and whose
+//! rendezvous words double as futexes. The API mirrors the in-process
+//! one: [`XClient::call`], [`XClient::call_async`],
+//! [`XClient::call_with_payload`], [`XClient::call_bulk`], and ring
+//! [`XClient::submit`]/[`XClient::reap`] behave like their
+//! [`crate::Client`]/[`crate::ClientRing`] counterparts, returning the
+//! same [`RtError`]s — plus [`RtError::PeerGone`], the one failure mode
+//! a process boundary adds.
+//!
+//! # Segment layout (version [`XPROC_LAYOUT_VERSION`])
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────────────┐
+//! │ XSegHeader     magic, layout version, geometry, server pid/state │
+//! │                doorbell (futex), claim mask, high-water          │
+//! ├──────────────────────────────────────────────────────────────────┤
+//! │ XClientSlot×N  SlotCore (call rendezvous) + control words        │
+//! │                + 4 KiB payload page                              │
+//! ├──────────────────────────────────────────────────────────────────┤
+//! │ ring×N         XRingHdr (SQ/CQ cursors) + XSqe[depth]            │
+//! │                + XCqe[depth]                                     │
+//! ├──────────────────────────────────────────────────────────────────┤
+//! │ stage×N        depth × 4 KiB pages for ring payload staging      │
+//! ├──────────────────────────────────────────────────────────────────┤
+//! │ bulk×N         per-client bulk share, registered server-side as  │
+//! │                a foreign-backed region (grant-checked access)    │
+//! └──────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Offset-reference rules: segment structures never contain addresses.
+//! Cross-references are [`crate::shm::SegOffset`]s (e.g. an
+//! [`XSqe`]'s staged-payload location) resolved against the local
+//! mapping base at the point of use. All segment-resident structs are
+//! layout-asserted at compile time; a layout change without a
+//! [`XPROC_LAYOUT_VERSION`] bump fails the build on the offsets and the
+//! byte-dump round-trip test, not at a process boundary.
+//!
+//! # Futex protocol
+//!
+//! Two shared words sleep, everything else polls:
+//!
+//! * **Doorbell** (header): clients bump + `FUTEX_WAKE` after posting a
+//!   slot call or ringing a ring doorbell; the server loop re-checks all
+//!   work sources, then `FUTEX_WAIT`s on the doorbell value it last
+//!   saw with a short timeout (the timeout doubles as the peer-liveness
+//!   sweep tick). A bump between the server's read and its wait makes
+//!   the wait return immediately — no lost wakeups.
+//! * **Slot state word** ([`crate::slot::SlotCore`]): a synchronous
+//!   caller spins briefly, then `FUTEX_WAIT`s on `POSTED`; the server
+//!   completes with a `Release` store of `DONE` + `FUTEX_WAKE`. Waits
+//!   are chunked (~25 ms) and each timeout re-checks server liveness
+//!   (state word + `pid_alive` + heartbeat), so a dead server yields
+//!   [`RtError::PeerGone`] in tens of milliseconds instead of a hang.
+//!
+//! # Trust model at the boundary
+//!
+//! The segment is the trust boundary, and it is asymmetric. The
+//! *server* treats segment contents as untrusted input: geometry is
+//! validated once against the header before anything is dereferenced,
+//! offsets derived from client words (`ep`, descriptors, payload
+//! lengths) are clamped/validated per use, and bulk access from
+//! handlers still goes through the grant-checked region registry — a
+//! client can corrupt *its own* calls and bulk share, never another
+//! client's region or the server's heap. The *client* trusts the server
+//! (it mapped a segment the server created) — the same direction of
+//! trust as any syscall boundary. Payload pages and bulk shares are
+//! per-client, so clients cannot read each other's payloads through the
+//! transport; the OS-level file mode on the segment path is the
+//! admission control for who may connect at all.
+
+use std::cell::UnsafeCell;
+use std::path::{Path, PathBuf};
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::flight::FlightKind;
+use crate::region::BulkDesc;
+use crate::ring::Completion;
+use crate::shm::{self, SegOffset, SegRef, Segment};
+use crate::slot::{state, waiter, SlotCore, SCRATCH_BYTES};
+use crate::{EntryId, EntryState, ProgramId, RegionId, RtError, Runtime};
+
+/// Magic word at segment offset 0 (`"PPC_SEG1"`).
+pub const XPROC_MAGIC: u64 = 0x5050_435f_5345_4731;
+
+/// Version of the segment layout described in the module docs. Bump on
+/// any layout change; openers refuse other versions with
+/// [`RtError::BadSegment`].
+pub const XPROC_LAYOUT_VERSION: u32 = 1;
+
+/// Hard cap on clients per segment (the claim mask is one `u64`).
+pub const MAX_XCLIENTS: usize = 64;
+
+/// Server lifecycle values in [`XSegHeader`]'s state word.
+mod srv {
+    pub const STARTING: u32 = 0;
+    pub const SERVING: u32 = 1;
+    pub const SHUTDOWN: u32 = 2;
+}
+
+/// Slot-call operations (the client-slot `xop` word).
+mod op {
+    /// Plain / bulk-descriptor call (`args` only).
+    pub const CALL: u32 = 1;
+    /// Call carrying a payload in the slot's payload page.
+    pub const PAYLOAD: u32 = 2;
+    /// Grant the client's region to entry `ep` (`args[0]` = write).
+    pub const GRANT: u32 = 3;
+    /// Revoke the client's region grants to entry `ep`.
+    pub const REVOKE: u32 = 4;
+    /// Detach: unregister the region and release the claim bit.
+    pub const DETACH: u32 = 5;
+}
+
+/// [`XSqe`] flag bits.
+mod sqe_flags {
+    /// `payload_off`/`payload_len` name a staged payload page that
+    /// becomes the handler's scratch.
+    pub const PAYLOAD: u32 = 1;
+    /// `args[7]` carries a [`BulkDesc`] the client pre-filled.
+    pub const BULK: u32 = 2;
+}
+
+// ---------------------------------------------------------------------
+// Wire error codes
+// ---------------------------------------------------------------------
+
+/// Encode an [`RtError`] as `(code, aux)` words for a completion
+/// (status 0 is reserved for success).
+fn err_to_wire(e: &RtError) -> (u32, u32) {
+    match e {
+        RtError::UnknownEntry(ep) => (1, *ep as u32),
+        RtError::EntryDead(ep) => (2, *ep as u32),
+        RtError::Aborted(ep) => (3, *ep as u32),
+        RtError::BadBulk => (4, 0),
+        RtError::BulkDenied(r) => (5, u32::from(*r)),
+        RtError::BulkRevoked(r) => (6, u32::from(*r)),
+        RtError::BulkReentrant(r) => (7, u32::from(*r)),
+        RtError::TableFull => (8, 0),
+        RtError::NotOwner => (9, 0),
+        RtError::BadVcpu(v) => (10, *v as u32),
+        RtError::ServerFault(ep) => (11, *ep as u32),
+        RtError::RingFull => (12, 0),
+        RtError::PeerGone => (13, 0),
+        RtError::BadSegment => (14, 0),
+    }
+}
+
+/// Decode a completion's `(code, aux)` back into the [`RtError`] the
+/// server-side dispatch produced. Unknown codes (a newer server) fold
+/// to [`RtError::BadSegment`] — the one error that says "do not trust
+/// this segment's words".
+fn wire_to_err(code: u32, aux: u32) -> RtError {
+    match code {
+        1 => RtError::UnknownEntry(aux as EntryId),
+        2 => RtError::EntryDead(aux as EntryId),
+        3 => RtError::Aborted(aux as EntryId),
+        4 => RtError::BadBulk,
+        5 => RtError::BulkDenied(aux as RegionId),
+        6 => RtError::BulkRevoked(aux as RegionId),
+        7 => RtError::BulkReentrant(aux as RegionId),
+        8 => RtError::TableFull,
+        9 => RtError::NotOwner,
+        10 => RtError::BadVcpu(aux as usize),
+        11 => RtError::ServerFault(aux as EntryId),
+        12 => RtError::RingFull,
+        13 => RtError::PeerGone,
+        _ => RtError::BadSegment,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Segment-resident structures (repr(C), layout-asserted)
+// ---------------------------------------------------------------------
+
+/// The versioned segment header at offset 0. Geometry fields are
+/// written once by the creator and validated (recomputed and compared)
+/// by every opener; only the atomics mutate afterwards.
+#[repr(C, align(64))]
+pub struct XSegHeader {
+    magic: u64,
+    layout_version: u32,
+    n_clients: u32,
+    ring_depth: u32,
+    bulk_bytes: u32,
+    total_len: u64,
+    slots_off: u32,
+    rings_off: u32,
+    ring_stride: u32,
+    stage_off: u32,
+    bulk_off: u32,
+    /// Serving process's PID (liveness anchor for clients).
+    server_pid: AtomicU32,
+    /// [`srv`] lifecycle word.
+    server_state: AtomicU32,
+    /// The shared doorbell futex word.
+    doorbell: AtomicU32,
+    /// Server loop heartbeat (monotone while serving).
+    server_beat: AtomicU32,
+    _pad1: u32,
+    /// One bit per claimed client slot.
+    claim_mask: AtomicU64,
+    /// Highest segment byte offset any bulk descriptor or staged
+    /// payload has reached — the capacity early-warning the exporters
+    /// publish.
+    high_water: AtomicU64,
+    _pad_end: [u8; 40],
+}
+
+crate::assert_segment_layout!(XSegHeader {
+    size: 128,
+    align: 64,
+    magic: 0,
+    layout_version: 8,
+    n_clients: 12,
+    ring_depth: 16,
+    bulk_bytes: 20,
+    total_len: 24,
+    slots_off: 32,
+    rings_off: 36,
+    ring_stride: 40,
+    stage_off: 44,
+    bulk_off: 48,
+    server_pid: 52,
+    server_state: 56,
+    doorbell: 60,
+    server_beat: 64,
+    claim_mask: 72,
+    high_water: 80,
+});
+
+/// One client's slot: the [`SlotCore`] rendezvous, connection control
+/// words, and the 4 KiB payload page (the cross-process scratch).
+#[repr(C, align(64))]
+pub struct XClientSlot {
+    core: SlotCore,
+    /// Client PID (liveness anchor for the server's sweep).
+    pid: AtomicU32,
+    /// Entry point for the posted operation.
+    ep: AtomicU32,
+    /// Operation selector ([`op`]).
+    xop: AtomicU32,
+    /// Server-assigned region id over this client's bulk share
+    /// (`u32::MAX` until attached).
+    region_id: AtomicU32,
+    /// Attach handshake futex word: 0 pending, 1 attached, 2 refused.
+    attach_ack: AtomicU32,
+    /// The client's program identity (region owner).
+    client_program: AtomicU32,
+    _pad0: [u8; 40],
+    payload: UnsafeCell<[u8; SCRATCH_BYTES]>,
+}
+
+crate::assert_segment_layout!(XClientSlot {
+    size: 4352,
+    align: 64,
+    core: 0,
+    pid: 192,
+    ep: 196,
+    xop: 200,
+    region_id: 204,
+    attach_ack: 208,
+    client_program: 212,
+    payload: 256,
+});
+
+/// Ring cursors, one cache line each (the SPSC monotonic-cursor
+/// protocol from [`crate::ring`], relocated into the segment).
+#[repr(C, align(64))]
+pub struct XRingHdr {
+    /// Producer cursor, submission queue (client-owned).
+    sq_tail: AtomicU64,
+    _p0: [u8; 56],
+    /// Consumer cursor, submission queue (server-owned).
+    sq_head: AtomicU64,
+    _p1: [u8; 56],
+    /// Producer cursor, completion queue (server-owned).
+    cq_tail: AtomicU64,
+    _p2: [u8; 56],
+    /// Consumer cursor, completion queue (client-owned).
+    cq_head: AtomicU64,
+    _p3: [u8; 56],
+}
+
+crate::assert_segment_layout!(XRingHdr {
+    size: 256,
+    align: 64,
+    sq_tail: 0,
+    sq_head: 64,
+    cq_tail: 128,
+    cq_head: 192,
+});
+
+/// One submission-queue entry — the offset-based analogue of the
+/// in-process ring's `Sqe`: staged payloads are named by segment
+/// offset, not pointer.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct XSqe {
+    /// Entry point.
+    pub ep: u32,
+    /// `sqe_flags` bits.
+    pub flags: u32,
+    /// Argument frame.
+    pub args: [u64; 8],
+    /// Client tag, returned verbatim in the matching [`XCqe`].
+    pub user: u64,
+    /// Packed trace context (0 = none).
+    pub trace: u64,
+    /// Segment offset of the staged payload page (valid when
+    /// `sqe_flags::PAYLOAD`).
+    pub payload_off: u32,
+    /// Staged payload length.
+    pub payload_len: u32,
+}
+
+crate::assert_segment_layout!(XSqe {
+    size: 96,
+    align: 8,
+    ep: 0,
+    flags: 4,
+    args: 8,
+    user: 72,
+    trace: 80,
+    payload_off: 88,
+    payload_len: 92,
+});
+
+/// One completion-queue entry (the wire analogue of the in-process
+/// ring's `Cqe`).
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct XCqe {
+    /// The submission's tag.
+    pub user: u64,
+    /// Entry point.
+    pub ep: u32,
+    /// 0 = success, else a wire error code.
+    pub status: u32,
+    /// Auxiliary error word.
+    pub aux: u32,
+    _pad: u32,
+    /// Result frame (valid when `status == 0`).
+    pub rets: [u64; 8],
+}
+
+crate::assert_segment_layout!(XCqe {
+    size: 88,
+    align: 8,
+    user: 0,
+    ep: 8,
+    status: 12,
+    aux: 16,
+    rets: 24,
+});
+
+// ---------------------------------------------------------------------
+// Geometry
+// ---------------------------------------------------------------------
+
+/// Transport sizing. The defaults fit a parent/child pair with a few
+/// pipelined clients in ~2 MiB of tmpfs.
+#[derive(Clone, Copy, Debug)]
+pub struct XSegOptions {
+    /// Client slots in the segment (≤ [`MAX_XCLIENTS`]).
+    pub n_clients: usize,
+    /// SQ/CQ depth per client (power of two).
+    pub ring_depth: u32,
+    /// Bulk share per client, bytes (≤ 2²⁴ — descriptor offsets are
+    /// 24-bit).
+    pub bulk_bytes: usize,
+    /// The vCPU the server dispatches remote calls on.
+    pub vcpu: usize,
+}
+
+impl Default for XSegOptions {
+    fn default() -> Self {
+        XSegOptions { n_clients: 4, ring_depth: 32, bulk_bytes: 256 << 10, vcpu: 0 }
+    }
+}
+
+fn align_up(x: usize, a: usize) -> usize {
+    (x + a - 1) & !(a - 1)
+}
+
+/// The derived segment geometry, computed identically from the options
+/// (creator) and from the header fields (opener) — any disagreement is
+/// a validation failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Geometry {
+    n_clients: usize,
+    ring_depth: u64,
+    bulk_bytes: usize,
+    slots_off: usize,
+    rings_off: usize,
+    ring_stride: usize,
+    stage_off: usize,
+    bulk_off: usize,
+    total_len: usize,
+}
+
+impl Geometry {
+    fn compute(n_clients: usize, ring_depth: u32, bulk_bytes: usize) -> Option<Geometry> {
+        if n_clients == 0
+            || n_clients > MAX_XCLIENTS
+            || !ring_depth.is_power_of_two()
+            || ring_depth > 1 << 12
+            || bulk_bytes == 0
+            || bulk_bytes > 1 << 24
+            || !bulk_bytes.is_multiple_of(64)
+        {
+            return None;
+        }
+        let depth = ring_depth as usize;
+        let slots_off = std::mem::size_of::<XSegHeader>();
+        let rings_off = align_up(slots_off + n_clients * std::mem::size_of::<XClientSlot>(), 64);
+        let ring_stride = align_up(
+            std::mem::size_of::<XRingHdr>()
+                + depth * (std::mem::size_of::<XSqe>() + std::mem::size_of::<XCqe>()),
+            64,
+        );
+        let stage_off = align_up(rings_off + n_clients * ring_stride, 4096);
+        let bulk_off = stage_off + n_clients * depth * SCRATCH_BYTES;
+        let total_len = align_up(bulk_off + n_clients * bulk_bytes, 4096);
+        if total_len > u32::MAX as usize {
+            return None;
+        }
+        Some(Geometry {
+            n_clients,
+            ring_depth: ring_depth as u64,
+            bulk_bytes,
+            slots_off,
+            rings_off,
+            ring_stride,
+            stage_off,
+            bulk_off,
+            total_len,
+        })
+    }
+}
+
+/// A validated, mapped segment: the only door to the raw structures.
+/// All offset arithmetic is checked against the geometry once, here,
+/// so the accessors below are in-bounds by construction.
+struct SegMap {
+    seg: Arc<Segment>,
+    geo: Geometry,
+}
+
+impl SegMap {
+    /// Create + initialize a segment at `path`.
+    fn create(path: &Path, opts: &XSegOptions) -> Result<SegMap, RtError> {
+        let geo = Geometry::compute(opts.n_clients, opts.ring_depth, opts.bulk_bytes)
+            .ok_or(RtError::BadSegment)?;
+        let seg = Segment::create(path, geo.total_len).map_err(|_| RtError::BadSegment)?;
+        // Safety: fresh zeroed mapping of total_len ≥ header size; the
+        // header is written before any peer can validate-open (openers
+        // check magic, which is written last via the plain field — the
+        // file is complete before `create` returns).
+        unsafe {
+            let h = seg.base() as *mut XSegHeader;
+            std::ptr::write(
+                h,
+                XSegHeader {
+                    magic: XPROC_MAGIC,
+                    layout_version: XPROC_LAYOUT_VERSION,
+                    n_clients: geo.n_clients as u32,
+                    ring_depth: geo.ring_depth as u32,
+                    bulk_bytes: geo.bulk_bytes as u32,
+                    total_len: geo.total_len as u64,
+                    slots_off: geo.slots_off as u32,
+                    rings_off: geo.rings_off as u32,
+                    ring_stride: geo.ring_stride as u32,
+                    stage_off: geo.stage_off as u32,
+                    bulk_off: geo.bulk_off as u32,
+                    server_pid: AtomicU32::new(0),
+                    server_state: AtomicU32::new(srv::STARTING),
+                    doorbell: AtomicU32::new(0),
+                    server_beat: AtomicU32::new(0),
+                    _pad1: 0,
+                    claim_mask: AtomicU64::new(0),
+                    high_water: AtomicU64::new(0),
+                    _pad_end: [0; 40],
+                },
+            );
+        }
+        Ok(SegMap { seg: Arc::new(seg), geo })
+    }
+
+    /// Open + validate a segment at `path`. Nothing beyond the header
+    /// is touched until every geometry claim checks out.
+    fn open(path: &Path) -> Result<SegMap, RtError> {
+        let seg = Segment::open(path).map_err(|_| RtError::BadSegment)?;
+        Self::validate(Arc::new(seg))
+    }
+
+    /// Validate an already-mapped segment (the byte-dump round-trip
+    /// test enters here).
+    fn validate(seg: Arc<Segment>) -> Result<SegMap, RtError> {
+        if seg.len() < std::mem::size_of::<XSegHeader>() {
+            return Err(RtError::BadSegment);
+        }
+        // Safety: length checked; XSegHeader is valid at any bit
+        // pattern (u64/u32/atomics), so reading an arbitrary header is
+        // safe — trusting it is what the checks below decide.
+        let h: &XSegHeader = unsafe { SegRef::new(SegOffset(0)).resolve(&seg) };
+        if h.magic != XPROC_MAGIC {
+            return Err(RtError::BadSegment);
+        }
+        if h.layout_version != XPROC_LAYOUT_VERSION {
+            return Err(RtError::BadSegment);
+        }
+        let geo = Geometry::compute(h.n_clients as usize, h.ring_depth, h.bulk_bytes as usize)
+            .ok_or(RtError::BadSegment)?;
+        let claimed = (
+            h.slots_off as usize,
+            h.rings_off as usize,
+            h.ring_stride as usize,
+            h.stage_off as usize,
+            h.bulk_off as usize,
+            h.total_len as usize,
+        );
+        let expect = (
+            geo.slots_off,
+            geo.rings_off,
+            geo.ring_stride,
+            geo.stage_off,
+            geo.bulk_off,
+            geo.total_len,
+        );
+        if claimed != expect || seg.len() != geo.total_len {
+            return Err(RtError::BadSegment);
+        }
+        Ok(SegMap { seg, geo })
+    }
+
+    fn header(&self) -> &XSegHeader {
+        // Safety: validated geometry; header fields are atomics or
+        // creator-written plain words.
+        unsafe { SegRef::new(SegOffset(0)).resolve(&self.seg) }
+    }
+
+    fn slot(&self, i: usize) -> &XClientSlot {
+        debug_assert!(i < self.geo.n_clients);
+        let off = self.geo.slots_off + i * std::mem::size_of::<XClientSlot>();
+        // Safety: in-bounds by geometry; XClientSlot is valid zeroed.
+        unsafe { SegRef::new(SegOffset(off as u32)).resolve(&self.seg) }
+    }
+
+    fn ring_hdr(&self, i: usize) -> &XRingHdr {
+        debug_assert!(i < self.geo.n_clients);
+        let off = self.geo.rings_off + i * self.geo.ring_stride;
+        // Safety: in-bounds by geometry; XRingHdr is valid zeroed.
+        unsafe { SegRef::new(SegOffset(off as u32)).resolve(&self.seg) }
+    }
+
+    fn sqe_ptr(&self, i: usize, idx: u64) -> *mut XSqe {
+        let depth = self.geo.ring_depth;
+        let off = self.geo.rings_off
+            + i * self.geo.ring_stride
+            + std::mem::size_of::<XRingHdr>()
+            + (idx % depth) as usize * std::mem::size_of::<XSqe>();
+        // In-bounds by geometry.
+        unsafe { self.seg.base().add(off) as *mut XSqe }
+    }
+
+    fn cqe_ptr(&self, i: usize, idx: u64) -> *mut XCqe {
+        let depth = self.geo.ring_depth;
+        let off = self.geo.rings_off
+            + i * self.geo.ring_stride
+            + std::mem::size_of::<XRingHdr>()
+            + depth as usize * std::mem::size_of::<XSqe>()
+            + (idx % depth) as usize * std::mem::size_of::<XCqe>();
+        // In-bounds by geometry.
+        unsafe { self.seg.base().add(off) as *mut XCqe }
+    }
+
+    /// Segment offset of ring staging page `idx` for client `i`.
+    fn stage_off(&self, i: usize, idx: u64) -> usize {
+        self.geo.stage_off
+            + (i * self.geo.ring_depth as usize + (idx % self.geo.ring_depth) as usize)
+                * SCRATCH_BYTES
+    }
+
+    /// Segment offset of client `i`'s bulk share.
+    fn bulk_off(&self, i: usize) -> usize {
+        self.geo.bulk_off + i * self.geo.bulk_bytes
+    }
+
+    /// Raw pointer to `len` bytes at `off`; panics (server-side: the
+    /// per-use clamp happens before) if out of bounds.
+    fn span(&self, off: usize, len: usize) -> *mut u8 {
+        assert!(off.checked_add(len).is_some_and(|end| end <= self.seg.len()));
+        // Safety: bounds asserted.
+        unsafe { self.seg.base().add(off) }
+    }
+
+    fn payload_ptr(&self, i: usize) -> *mut u8 {
+        self.slot(i).payload.get() as *mut u8
+    }
+}
+
+/// Validate the segment file at `path` — magic, layout version, and the
+/// full geometry cross-check — without claiming a client slot or
+/// touching anything past the header. The check every
+/// [`XClient::connect`] performs, exposed for inspection tooling and
+/// the byte-dump round-trip test.
+pub fn validate_segment(path: &Path) -> Result<(), RtError> {
+    SegMap::open(path).map(|_| ())
+}
+
+// ---------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------
+
+/// A serving cross-process transport: owns the segment (created at
+/// [`Runtime::serve_xproc`], unlinked on drop) and the serve thread.
+/// Dropping (or [`XServer::shutdown`]) stops serving, completes
+/// outstanding slot calls with [`RtError::PeerGone`] semantics on the
+/// client side (state flips to shutdown and clients are woken), and
+/// unmaps.
+pub struct XServer {
+    rt: Arc<Runtime>,
+    map: Arc<SegMap>,
+    path: PathBuf,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// Serve this runtime's entry points to other processes through a
+    /// shared segment at `path` (must not exist; unlinked when the
+    /// server drops). Remote calls dispatch on `opts.vcpu` with the
+    /// caller's own program identity, exactly as if a local client had
+    /// made them.
+    pub fn serve_xproc(
+        self: &Arc<Self>,
+        path: &Path,
+        opts: XSegOptions,
+    ) -> Result<XServer, RtError> {
+        if opts.vcpu >= self.n_vcpus() {
+            return Err(RtError::BadVcpu(opts.vcpu));
+        }
+        let map = Arc::new(SegMap::create(path, &opts)?);
+        self.set_xproc_segment(Arc::downgrade(&map.seg));
+        let rt = Arc::clone(self);
+        let tmap = Arc::clone(&map);
+        let vcpu = opts.vcpu;
+        let thread = std::thread::Builder::new()
+            .name("ppc-xproc".into())
+            .spawn(move || serve_loop(rt, tmap, vcpu))
+            .map_err(|_| RtError::TableFull)?;
+        Ok(XServer {
+            rt: Arc::clone(self),
+            map,
+            path: path.to_path_buf(),
+            thread: Some(thread),
+        })
+    }
+}
+
+impl XServer {
+    /// The segment path clients connect to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Stop serving: flip the state word, wake everyone, join the serve
+    /// thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        let h = self.map.header();
+        h.server_state.store(srv::SHUTDOWN, Ordering::Release);
+        shm::futex_wake(&h.doorbell, u32::MAX);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Block until the serve loop exits (a peer-initiated shutdown —
+    /// the forked-child pattern: serve until the parent says stop).
+    pub fn wait(&mut self) {
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// The serving runtime.
+    pub fn runtime(&self) -> &Arc<Runtime> {
+        &self.rt
+    }
+}
+
+impl Drop for XServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Per-client connection state on the server side (process-local).
+struct ClientCtx {
+    attached: bool,
+    program: ProgramId,
+    pid: u32,
+    region: Option<RegionId>,
+}
+
+fn serve_loop(rt: Arc<Runtime>, map: Arc<SegMap>, vcpu: usize) {
+    let h = map.header();
+    h.server_pid.store(std::process::id(), Ordering::Relaxed);
+    h.server_state.store(srv::SERVING, Ordering::Release);
+    let n = map.geo.n_clients;
+    let mut ctx: Vec<ClientCtx> = (0..n)
+        .map(|_| ClientCtx { attached: false, program: 0, pid: 0, region: None })
+        .collect();
+    let mut local_scratch = vec![0u8; SCRATCH_BYTES];
+    let mut last_sweep = Instant::now();
+    loop {
+        h.server_beat.fetch_add(1, Ordering::Relaxed);
+        let seen = h.doorbell.load(Ordering::Acquire);
+        let mut progress = false;
+        let mask = h.claim_mask.load(Ordering::Acquire);
+        for (i, c) in ctx.iter_mut().enumerate() {
+            if mask & (1 << i) != 0 {
+                if !c.attached {
+                    attach_client(&rt, &map, vcpu, i, c);
+                    progress = true;
+                }
+                progress |= service_slot(&rt, &map, vcpu, i, c);
+                progress |= service_ring(&rt, &map, vcpu, i, c, &mut local_scratch);
+            } else if c.attached {
+                // The client detached cleanly (DETACH already
+                // unregistered); just forget it.
+                *c = ClientCtx { attached: false, program: 0, pid: 0, region: None };
+            }
+        }
+        if h.server_state.load(Ordering::Acquire) == srv::SHUTDOWN {
+            break;
+        }
+        // Peer-death sweep: a killed client never sends DETACH, so its
+        // claim bit, region, and any posted-but-unserviced call would
+        // leak. The sweep reclaims all three and leaves a flight-plane
+        // record of the loss.
+        if last_sweep.elapsed() >= Duration::from_millis(50) {
+            last_sweep = Instant::now();
+            for (i, c) in ctx.iter_mut().enumerate() {
+                if c.attached && !shm::pid_alive(c.pid) {
+                    let pid = c.pid;
+                    detach_client(&rt, &map, vcpu, i, c);
+                    rt.flight().record(vcpu, FlightKind::PeerLost, i, pid);
+                    progress = true;
+                }
+            }
+        }
+        if !progress {
+            // Doorbell sleep (see module docs): a bump after `seen` was
+            // read makes this return immediately. The short timeout
+            // bounds the liveness sweep latency.
+            if shm::futex_wait(&h.doorbell, seen, Some(Duration::from_millis(5))) {
+                rt.stats.cell(vcpu).xproc_wakes.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    // Shutdown: drain nothing further; flip state (already SHUTDOWN or
+    // set here for the drop path), unregister regions, wake all
+    // sleepers so remote waiters observe the state and error out.
+    h.server_state.store(srv::SHUTDOWN, Ordering::Release);
+    for (i, c) in ctx.iter_mut().enumerate() {
+        if c.attached {
+            if let Some(region) = c.region.take() {
+                let _ = rt.bulk().registry(vcpu).unregister(region, c.program);
+            }
+        }
+        shm::futex_wake(map.slot(i).core.state_word(), u32::MAX);
+        shm::futex_wake(&map.slot(i).attach_ack, u32::MAX);
+    }
+    shm::futex_wake(&h.doorbell, u32::MAX);
+}
+
+/// Register the client's bulk share as a foreign-backed region and ack
+/// the attach handshake.
+fn attach_client(rt: &Arc<Runtime>, map: &SegMap, vcpu: usize, i: usize, c: &mut ClientCtx) {
+    let slot = map.slot(i);
+    let program = slot.client_program.load(Ordering::Acquire);
+    let pid = slot.pid.load(Ordering::Acquire);
+    let base = map.span(map.bulk_off(i), map.geo.bulk_bytes);
+    // Safety: the span is segment memory kept mapped for the server's
+    // lifetime (the region is unregistered before the segment unmaps).
+    let buf = unsafe {
+        crate::bulk::PoolBuf::foreign(NonNull::new_unchecked(base), map.geo.bulk_bytes, program)
+    };
+    match rt.bulk().registry(vcpu).register(buf, map.geo.bulk_bytes, program) {
+        Ok(id) => {
+            slot.region_id.store(u32::from(id), Ordering::Release);
+            c.attached = true;
+            c.program = program;
+            c.pid = pid;
+            c.region = Some(id);
+            slot.attach_ack.store(1, Ordering::Release);
+        }
+        Err(_) => {
+            slot.attach_ack.store(2, Ordering::Release);
+        }
+    }
+    shm::futex_wake(&slot.attach_ack, u32::MAX);
+    rt.stats.cell(vcpu).xproc_wakes.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Tear down a client (death or detach): unregister its region (drains
+/// in-flight bulk transfers), reset its slot, release its claim bit.
+fn detach_client(rt: &Arc<Runtime>, map: &SegMap, vcpu: usize, i: usize, c: &mut ClientCtx) {
+    if let Some(region) = c.region.take() {
+        let _ = rt.bulk().registry(vcpu).unregister(region, c.program);
+    }
+    let slot = map.slot(i);
+    slot.region_id.store(u32::MAX, Ordering::Relaxed);
+    slot.attach_ack.store(0, Ordering::Relaxed);
+    slot.pid.store(0, Ordering::Relaxed);
+    slot.core.reset();
+    map.header().claim_mask.fetch_and(!(1u64 << i), Ordering::AcqRel);
+    *c = ClientCtx { attached: false, program: 0, pid: 0, region: None };
+}
+
+/// Service a posted slot call. Returns whether work was done.
+fn service_slot(rt: &Arc<Runtime>, map: &SegMap, vcpu: usize, i: usize, c: &ClientCtx) -> bool {
+    let slot = map.slot(i);
+    if slot.core.state_word().load(Ordering::Acquire) != state::POSTED {
+        return false;
+    }
+    let xop = slot.xop.load(Ordering::Relaxed);
+    let ep = slot.ep.load(Ordering::Relaxed) as EntryId;
+    let args = slot.core.read_args();
+    let cell = rt.stats.cell(vcpu);
+    let mut rets = [0u64; 8];
+    let result: Result<[u64; 8], RtError> = match xop {
+        op::CALL => rt.dispatch(vcpu, ep, args, c.program, true).map(|r| r.unwrap_or([0; 8])),
+        op::PAYLOAD => {
+            let len = (slot.core.payload_len() as usize).min(SCRATCH_BYTES);
+            // Safety: the client owns the payload page only while the
+            // slot is IDLE/DONE; during POSTED the server has exclusive
+            // use (the rendezvous protocol, same as in-process scratch).
+            let req = unsafe { std::slice::from_raw_parts(map.payload_ptr(i), len) };
+            match rt.dispatch_payload(vcpu, ep, args, c.program, req) {
+                Ok((r, resp)) => {
+                    let n = resp.len().min(SCRATCH_BYTES);
+                    // Safety: as above; exclusive during POSTED.
+                    unsafe {
+                        std::ptr::copy_nonoverlapping(resp.as_ptr(), map.payload_ptr(i), n);
+                    }
+                    slot.core.set_payload_len(n as u32);
+                    Ok(r)
+                }
+                Err(e) => Err(e),
+            }
+        }
+        op::GRANT => grant_region(rt, vcpu, ep, c, args[0] != 0).map(|()| [0; 8]),
+        op::REVOKE => match c.region {
+            Some(region) => rt
+                .bulk()
+                .registry(vcpu)
+                .revoke(region, c.program, ep)
+                .map(|n| {
+                    let mut r = [0u64; 8];
+                    r[0] = n as u64;
+                    r
+                }),
+            None => Err(RtError::BadBulk),
+        },
+        op::DETACH => {
+            // Completion must precede the claim release: ack first so
+            // the waking client sees DONE, then reclaim.
+            slot.core.complete_frame([0; 8], 0, 0);
+            shm::futex_wake(slot.core.state_word(), u32::MAX);
+            let mut cc = ClientCtx {
+                attached: c.attached,
+                program: c.program,
+                pid: c.pid,
+                region: c.region,
+            };
+            detach_client(rt, map, vcpu, i, &mut cc);
+            cell.xproc_wakes.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        _ => Err(RtError::BadSegment),
+    };
+    let (status, aux) = match &result {
+        Ok(r) => {
+            rets = *r;
+            (0, 0)
+        }
+        Err(e) => err_to_wire(e),
+    };
+    slot.core.complete_frame(rets, status, aux);
+    shm::futex_wake(slot.core.state_word(), u32::MAX);
+    cell.xproc_calls.fetch_add(1, Ordering::Relaxed);
+    cell.xproc_wakes.fetch_add(1, Ordering::Relaxed);
+    true
+}
+
+fn grant_region(
+    rt: &Arc<Runtime>,
+    vcpu: usize,
+    ep: EntryId,
+    c: &ClientCtx,
+    write: bool,
+) -> Result<(), RtError> {
+    let region = c.region.ok_or(RtError::BadBulk)?;
+    let e = rt.frank_entry(ep)?;
+    if e.entry_state() != EntryState::Active {
+        return Err(RtError::EntryDead(ep));
+    }
+    rt.bulk().registry(vcpu).grant(region, c.program, ep, e.opts.owner, write)
+}
+
+/// Drain client `i`'s submission queue. Returns whether work was done.
+fn service_ring(
+    rt: &Arc<Runtime>,
+    map: &SegMap,
+    vcpu: usize,
+    i: usize,
+    c: &ClientCtx,
+    local_scratch: &mut [u8],
+) -> bool {
+    let rh = map.ring_hdr(i);
+    let tail = rh.sq_tail.load(Ordering::Acquire);
+    let mut head = rh.sq_head.load(Ordering::Relaxed);
+    if head == tail {
+        return false;
+    }
+    let cell = rt.stats.cell(vcpu);
+    while head != tail {
+        // Safety: the Acquire on sq_tail published this entry; the
+        // client will not rewrite it until sq_head passes it.
+        let sqe = unsafe { std::ptr::read(map.sqe_ptr(i, head)) };
+        let result = execute_xsqe(rt, map, vcpu, i, c, &sqe, local_scratch);
+        let (status, aux, rets) = match result {
+            Ok(r) => (0, 0, r),
+            Err(e) => {
+                let (s, a) = err_to_wire(&e);
+                (s, a, [0; 8])
+            }
+        };
+        let ct = rh.cq_tail.load(Ordering::Relaxed);
+        // Safety: CQ occupancy ≤ in-flight ≤ depth (client credits),
+        // so slot `ct` has been reaped.
+        unsafe {
+            std::ptr::write(
+                map.cqe_ptr(i, ct),
+                XCqe {
+                    user: sqe.user,
+                    ep: sqe.ep,
+                    status,
+                    aux,
+                    _pad: 0,
+                    rets,
+                },
+            );
+        }
+        rh.cq_tail.store(ct + 1, Ordering::Release);
+        head += 1;
+        rh.sq_head.store(head, Ordering::Release);
+        cell.xproc_calls.fetch_add(1, Ordering::Relaxed);
+    }
+    true
+}
+
+fn execute_xsqe(
+    rt: &Arc<Runtime>,
+    map: &SegMap,
+    vcpu: usize,
+    i: usize,
+    c: &ClientCtx,
+    sqe: &XSqe,
+    local_scratch: &mut [u8],
+) -> Result<[u64; 8], RtError> {
+    let ep = sqe.ep as EntryId;
+    if sqe.flags & sqe_flags::PAYLOAD != 0 {
+        // Validate the client-supplied offset against this client's own
+        // staging area — a forged offset cannot reach another client's
+        // pages.
+        let len = (sqe.payload_len as usize).min(SCRATCH_BYTES);
+        let off = sqe.payload_off as usize;
+        let stage_base = map.stage_off(i, 0);
+        let stage_end = stage_base + map.geo.ring_depth as usize * SCRATCH_BYTES;
+        if off < stage_base || off + len > stage_end {
+            return Err(RtError::BadBulk);
+        }
+        // Safety: bounds validated; the staging protocol gives the
+        // server exclusive use of this page until its CQE is reaped.
+        let scratch = unsafe { std::slice::from_raw_parts_mut(map.span(off, len), len) };
+        rt.ring_execute(vcpu, ep, sqe.args, c.program, sqe.trace, scratch)
+    } else {
+        rt.ring_execute(vcpu, ep, sqe.args, c.program, sqe.trace, local_scratch)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+/// A cross-process client: the remote mirror of [`crate::Client`] plus
+/// its ring. One `XClient` owns one claimed client slot — `&mut self`
+/// on the call methods is the single-caller discipline the slot
+/// rendezvous requires (the in-process analogue shards by value:
+/// one `Client` per thread).
+pub struct XClient {
+    map: SegMap,
+    idx: usize,
+    program: ProgramId,
+    server_pid: u32,
+    /// Ring cursors (client-owned mirrors of the segment cursors).
+    sq_tail: u64,
+    cq_head: u64,
+    sq_head_cache: u64,
+    in_flight: u64,
+    /// The transport observed peer death: everything fails fast with
+    /// [`RtError::PeerGone`] from here on.
+    dead: bool,
+    /// Optional local observability home: peer-loss flight events and
+    /// client-side xproc counters land here (vCPU index second).
+    obs: Option<(Arc<Runtime>, usize)>,
+}
+
+impl XClient {
+    /// Connect to the segment a server created at `path`, claiming one
+    /// client slot under program identity `program`.
+    pub fn connect(path: &Path, program: ProgramId) -> Result<XClient, RtError> {
+        let map = SegMap::open(path)?;
+        let h = map.header();
+        // The creator writes the header before serving; wait briefly
+        // for the serve loop to come up.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while h.server_state.load(Ordering::Acquire) != srv::SERVING {
+            if Instant::now() >= deadline
+                || h.server_state.load(Ordering::Acquire) == srv::SHUTDOWN
+            {
+                return Err(RtError::PeerGone);
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let server_pid = h.server_pid.load(Ordering::Acquire);
+        // Claim a slot: find a clear bit and CAS it in. The slot's
+        // control words are written *before* the claim bit (Release) so
+        // the server's attach reads them coherently (Acquire on the
+        // mask).
+        let n = map.geo.n_clients;
+        let idx = 'claim: loop {
+            let mask = h.claim_mask.load(Ordering::Acquire);
+            let Some(i) = (0..n).find(|i| mask & (1u64 << i) == 0) else {
+                return Err(RtError::TableFull);
+            };
+            let slot = map.slot(i);
+            slot.pid.store(std::process::id(), Ordering::Relaxed);
+            slot.client_program.store(program, Ordering::Relaxed);
+            slot.attach_ack.store(0, Ordering::Relaxed);
+            slot.region_id.store(u32::MAX, Ordering::Relaxed);
+            if h.claim_mask
+                .compare_exchange(mask, mask | (1u64 << i), Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                break 'claim i;
+            }
+            // Raced another claimer; retry from a fresh mask.
+        };
+        // Ring the doorbell so a sleeping server attaches us promptly.
+        h.doorbell.fetch_add(1, Ordering::Release);
+        shm::futex_wake(&h.doorbell, u32::MAX);
+        // Await the attach ack (region registered server-side).
+        let slot = map.slot(idx);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match slot.attach_ack.load(Ordering::Acquire) {
+                1 => break,
+                2 => {
+                    h.claim_mask.fetch_and(!(1u64 << idx), Ordering::AcqRel);
+                    return Err(RtError::TableFull);
+                }
+                _ => {
+                    if Instant::now() >= deadline || !shm::pid_alive(server_pid) {
+                        h.claim_mask.fetch_and(!(1u64 << idx), Ordering::AcqRel);
+                        return Err(RtError::PeerGone);
+                    }
+                    shm::futex_wait(&slot.attach_ack, 0, Some(Duration::from_millis(20)));
+                }
+            }
+        }
+        Ok(XClient {
+            map,
+            idx,
+            program,
+            server_pid,
+            sq_tail: 0,
+            cq_head: 0,
+            sq_head_cache: 0,
+            in_flight: 0,
+            dead: false,
+            obs: None,
+        })
+    }
+
+    /// Like [`XClient::connect`], retrying while the segment file does
+    /// not exist yet — the "parent connects to a freshly forked child"
+    /// race, closed by polling.
+    pub fn connect_retry(
+        path: &Path,
+        program: ProgramId,
+        timeout: Duration,
+    ) -> Result<XClient, RtError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match XClient::connect(path, program) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+    }
+
+    /// Attach a local runtime as the observability home for this
+    /// client: peer-loss flight events and client-side `xproc_*`
+    /// counters are recorded against `vcpu`'s cell there.
+    pub fn with_obs(mut self, rt: Arc<Runtime>, vcpu: usize) -> XClient {
+        self.obs = Some((rt, vcpu));
+        self
+    }
+
+    /// This client's program identity.
+    pub fn program(&self) -> ProgramId {
+        self.program
+    }
+
+    /// The region id over this client's bulk share (server-assigned at
+    /// attach).
+    pub fn region_id(&self) -> RegionId {
+        self.map.slot(self.idx).region_id.load(Ordering::Acquire) as RegionId
+    }
+
+    /// Bulk share capacity in bytes.
+    pub fn bulk_capacity(&self) -> usize {
+        self.map.geo.bulk_bytes
+    }
+
+    /// Ring depth (submission credits).
+    pub fn ring_depth(&self) -> u64 {
+        self.map.geo.ring_depth
+    }
+
+    /// Whether the server is still alive and serving. Cheap enough for
+    /// per-operation use: one shared load, plus `kill(pid, 0)` only on
+    /// the slow paths that already decided to sleep.
+    pub fn server_alive(&self) -> bool {
+        !self.dead
+            && self.map.header().server_state.load(Ordering::Acquire) == srv::SERVING
+    }
+
+    fn ensure_alive(&mut self) -> Result<(), RtError> {
+        if self.dead {
+            return Err(RtError::PeerGone);
+        }
+        if self.map.header().server_state.load(Ordering::Acquire) != srv::SERVING {
+            self.note_peer_lost();
+            return Err(RtError::PeerGone);
+        }
+        Ok(())
+    }
+
+    fn note_peer_lost(&mut self) {
+        if !self.dead {
+            self.dead = true;
+            if let Some((rt, vcpu)) = &self.obs {
+                rt.flight().record(*vcpu, FlightKind::PeerLost, self.idx, self.server_pid);
+            }
+        }
+    }
+
+    fn bump_doorbell(&self) {
+        let h = self.map.header();
+        h.doorbell.fetch_add(1, Ordering::Release);
+        shm::futex_wake(&h.doorbell, u32::MAX);
+        if let Some((rt, vcpu)) = &self.obs {
+            rt.stats.cell(*vcpu).xproc_wakes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Wait out the slot rendezvous: brief spin, then futex chunks with
+    /// liveness checks — the cross-process analogue of
+    /// [`crate::slot::CallSlot::wait_done_spin`].
+    fn wait_done(&mut self) -> Result<(), RtError> {
+        let core = &self.map.slot(self.idx).core;
+        let w = core.state_word();
+        let mut spins = 0u32;
+        while spins < 4096 {
+            if w.load(Ordering::Acquire) == state::DONE {
+                return Ok(());
+            }
+            if spins & 63 == 0 {
+                std::thread::yield_now();
+            }
+            std::hint::spin_loop();
+            spins += 1;
+        }
+        let mut beat = self.map.header().server_beat.load(Ordering::Relaxed);
+        let mut stalled = 0u32;
+        loop {
+            if w.load(Ordering::Acquire) == state::DONE {
+                return Ok(());
+            }
+            let h = self.map.header();
+            if h.server_state.load(Ordering::Acquire) != srv::SERVING
+                || !shm::pid_alive(self.server_pid)
+            {
+                self.note_peer_lost();
+                return Err(RtError::PeerGone);
+            }
+            // A live PID with a frozen heartbeat for many chunks is a
+            // wedged server (e.g. SIGSTOP): keep waiting — it may
+            // resume — but the PID check above is the authority on
+            // death. Heartbeat is only used to reset `stalled`.
+            let nb = h.server_beat.load(Ordering::Relaxed);
+            if nb != beat {
+                beat = nb;
+                stalled = 0;
+            } else {
+                stalled += 1;
+            }
+            let _ = stalled;
+            shm::futex_wait(w, state::POSTED, Some(Duration::from_millis(25)));
+        }
+    }
+
+    fn post_slot_op(&mut self, xop: u32, ep: EntryId, args: [u64; 8]) -> Result<(), RtError> {
+        self.ensure_alive()?;
+        let slot = self.map.slot(self.idx);
+        slot.ep.store(ep as u32, Ordering::Relaxed);
+        slot.xop.store(xop, Ordering::Relaxed);
+        slot.core.fill(args, self.program, waiter::FUTEX);
+        slot.core.post();
+        self.bump_doorbell();
+        Ok(())
+    }
+
+    fn finish_slot_op(&mut self) -> Result<[u64; 8], RtError> {
+        self.wait_done()?;
+        let core = &self.map.slot(self.idx).core;
+        let (status, aux) = core.status();
+        let rets = core.read_rets();
+        core.reset();
+        if let Some((rt, vcpu)) = &self.obs {
+            rt.stats.cell(*vcpu).xproc_calls.fetch_add(1, Ordering::Relaxed);
+        }
+        if status != 0 {
+            return Err(wire_to_err(status, aux));
+        }
+        Ok(rets)
+    }
+
+    /// Synchronous PPC across the process boundary — the remote
+    /// [`crate::Client::call`].
+    pub fn call(&mut self, ep: EntryId, args: [u64; 8]) -> Result<[u64; 8], RtError> {
+        self.post_slot_op(op::CALL, ep, args)?;
+        self.finish_slot_op()
+    }
+
+    /// Start an asynchronous call; at most one per client slot (the
+    /// borrow enforces it). The remote [`crate::Client::call_async`].
+    pub fn call_async(&mut self, ep: EntryId, args: [u64; 8]) -> Result<XAsyncCall<'_>, RtError> {
+        self.post_slot_op(op::CALL, ep, args)?;
+        Ok(XAsyncCall { client: self })
+    }
+
+    /// Synchronous PPC carrying a request payload in the slot's 4 KiB
+    /// payload page; returns the result words and the response payload
+    /// — the remote [`crate::Client::call_with_payload`].
+    pub fn call_with_payload(
+        &mut self,
+        ep: EntryId,
+        args: [u64; 8],
+        payload: &[u8],
+    ) -> Result<([u64; 8], Vec<u8>), RtError> {
+        if payload.len() > SCRATCH_BYTES {
+            return Err(RtError::BadBulk);
+        }
+        self.ensure_alive()?;
+        // Safety: the client owns the payload page while the slot is
+        // IDLE (it is: finish_slot_op reset it).
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                payload.as_ptr(),
+                self.map.payload_ptr(self.idx),
+                payload.len(),
+            );
+        }
+        self.map.slot(self.idx).core.set_payload_len(payload.len() as u32);
+        self.post_slot_op(op::PAYLOAD, ep, args)?;
+        let rets = self.finish_slot_op()?;
+        let n = (self.map.slot(self.idx).core.payload_len() as usize).min(SCRATCH_BYTES);
+        // Safety: DONE observed; the server is finished with the page.
+        let resp =
+            unsafe { std::slice::from_raw_parts(self.map.payload_ptr(self.idx), n).to_vec() };
+        Ok((rets, resp))
+    }
+
+    /// Synchronous bulk PPC: `desc` (over this client's own share —
+    /// see [`XClient::bulk_desc`]) rides `args[7]`, exactly like
+    /// [`crate::Client::call_bulk`]. Grant the entry first with
+    /// [`XClient::bulk_grant`].
+    pub fn call_bulk(
+        &mut self,
+        ep: EntryId,
+        mut args: [u64; 8],
+        desc: BulkDesc,
+    ) -> Result<[u64; 8], RtError> {
+        args[7] = desc.encode().ok_or(RtError::BadBulk)?;
+        self.note_high_water(self.map.bulk_off(self.idx) + desc.offset as usize + desc.len as usize);
+        self.call(ep, args)
+    }
+
+    /// A descriptor over `[offset, offset + len)` of this client's bulk
+    /// share. Errors if the span exceeds the share or the client is not
+    /// attached.
+    pub fn bulk_desc(&self, offset: u32, len: u32, write: bool) -> Result<BulkDesc, RtError> {
+        let region = self.map.slot(self.idx).region_id.load(Ordering::Acquire);
+        if region == u32::MAX {
+            return Err(RtError::BadBulk);
+        }
+        if offset as usize + len as usize > self.map.geo.bulk_bytes {
+            return Err(RtError::BadBulk);
+        }
+        Ok(BulkDesc { region: region as RegionId, offset, len, write })
+    }
+
+    /// Copy `data` into the bulk share at `offset` (the remote
+    /// [`crate::BulkRegion::fill`]). The caller must not have an
+    /// in-flight call or SQE whose descriptor covers the span — the
+    /// same exclusivity the in-process region access rules enforce,
+    /// here guaranteed by the client's own call discipline (`&mut
+    /// self` + synchronous waits).
+    pub fn bulk_write(&mut self, offset: u32, data: &[u8]) -> Result<(), RtError> {
+        let end = offset as usize + data.len();
+        if end > self.map.geo.bulk_bytes {
+            return Err(RtError::BadBulk);
+        }
+        let base = self.map.span(self.map.bulk_off(self.idx) + offset as usize, data.len());
+        // Safety: in-bounds; exclusivity per the doc contract.
+        unsafe { std::ptr::copy_nonoverlapping(data.as_ptr(), base, data.len()) };
+        Ok(())
+    }
+
+    /// Copy `len` bytes out of the bulk share at `offset` (the remote
+    /// [`crate::BulkRegion::read_into`] direction).
+    pub fn bulk_read(&mut self, offset: u32, len: usize) -> Result<Vec<u8>, RtError> {
+        let end = offset as usize + len;
+        if end > self.map.geo.bulk_bytes {
+            return Err(RtError::BadBulk);
+        }
+        let base = self.map.span(self.map.bulk_off(self.idx) + offset as usize, len);
+        // Safety: in-bounds; exclusivity per `bulk_write`'s contract.
+        Ok(unsafe { std::slice::from_raw_parts(base, len).to_vec() })
+    }
+
+    /// Grant entry `ep` access to this client's bulk share (the remote
+    /// [`crate::BulkRegion::grant`]): a control call the server
+    /// executes against its region registry.
+    pub fn bulk_grant(&mut self, ep: EntryId, write: bool) -> Result<(), RtError> {
+        let mut args = [0u64; 8];
+        args[0] = u64::from(write);
+        self.post_slot_op(op::GRANT, ep, args)?;
+        self.finish_slot_op().map(|_| ())
+    }
+
+    /// Revoke this client's grants to `ep`; returns how many were
+    /// removed (the remote [`crate::BulkRegion::revoke`]).
+    pub fn bulk_revoke(&mut self, ep: EntryId) -> Result<usize, RtError> {
+        self.post_slot_op(op::REVOKE, ep, [0; 8])?;
+        self.finish_slot_op().map(|r| r[0] as usize)
+    }
+
+    /// Advance the segment high-water mark to absolute offset `abs_end`.
+    fn note_high_water(&self, abs_end: usize) {
+        self.map.header().high_water.fetch_max(abs_end as u64, Ordering::Relaxed);
+    }
+
+    // -- ring ----------------------------------------------------------
+
+    fn admit(&mut self) -> Result<(), RtError> {
+        self.ensure_alive()?;
+        if self.in_flight >= self.map.geo.ring_depth {
+            return Err(RtError::RingFull);
+        }
+        let depth = self.map.geo.ring_depth;
+        if self.sq_tail - self.sq_head_cache >= depth {
+            self.sq_head_cache = self.map.ring_hdr(self.idx).sq_head.load(Ordering::Acquire);
+            if self.sq_tail - self.sq_head_cache >= depth {
+                return Err(RtError::RingFull);
+            }
+        }
+        Ok(())
+    }
+
+    fn push_sqe(&mut self, sqe: XSqe) {
+        // Safety: `admit` proved slot `sq_tail` is consumed; the entry
+        // is published by the Release store of the tail below.
+        unsafe { std::ptr::write(self.map.sqe_ptr(self.idx, self.sq_tail), sqe) };
+        self.sq_tail += 1;
+        self.map.ring_hdr(self.idx).sq_tail.store(self.sq_tail, Ordering::Release);
+        self.in_flight += 1;
+    }
+
+    /// Queue one PPC (the remote [`crate::ClientRing::submit`]).
+    /// Returns [`RtError::RingFull`] under backpressure — reap and
+    /// retry. Call [`XClient::ring_doorbell`] after the batch.
+    pub fn submit(&mut self, ep: EntryId, args: [u64; 8], user: u64) -> Result<(), RtError> {
+        self.admit()?;
+        self.push_sqe(XSqe {
+            ep: ep as u32,
+            flags: 0,
+            args,
+            user,
+            trace: 0,
+            payload_off: 0,
+            payload_len: 0,
+        });
+        Ok(())
+    }
+
+    /// Queue one PPC with a request payload staged into this client's
+    /// ring staging page (the remote [`crate::ClientRing::submit_payload`]).
+    pub fn submit_payload(
+        &mut self,
+        ep: EntryId,
+        args: [u64; 8],
+        user: u64,
+        payload: &[u8],
+    ) -> Result<(), RtError> {
+        if payload.len() > SCRATCH_BYTES {
+            return Err(RtError::BadBulk);
+        }
+        self.admit()?;
+        // Stage slot = SQE slot: by the credit argument in the module
+        // docs the page is free once the prior tenant's CQE could be
+        // reaped.
+        let off = self.map.stage_off(self.idx, self.sq_tail);
+        let dst = self.map.span(off, payload.len().max(1));
+        // Safety: in-bounds staging page owned by this client until the
+        // matching completion.
+        unsafe { std::ptr::copy_nonoverlapping(payload.as_ptr(), dst, payload.len()) };
+        self.note_high_water(off + payload.len());
+        self.push_sqe(XSqe {
+            ep: ep as u32,
+            flags: sqe_flags::PAYLOAD,
+            args,
+            user,
+            trace: 0,
+            payload_off: off as u32,
+            payload_len: payload.len() as u32,
+        });
+        Ok(())
+    }
+
+    /// Queue one bulk PPC: `payload` is copied into the span `desc`
+    /// describes (this client's share), and the descriptor rides
+    /// `args[7]` (the remote [`crate::ClientRing::submit_bulk`] — the
+    /// copy happens client-side because the data is already
+    /// cross-process shared; there is no second staging hop).
+    pub fn submit_bulk(
+        &mut self,
+        ep: EntryId,
+        mut args: [u64; 8],
+        user: u64,
+        desc: BulkDesc,
+        payload: &[u8],
+    ) -> Result<(), RtError> {
+        if payload.len() > desc.len as usize {
+            return Err(RtError::BadBulk);
+        }
+        args[7] = desc.encode().ok_or(RtError::BadBulk)?;
+        self.admit()?;
+        self.bulk_write(desc.offset, payload)?;
+        self.note_high_water(self.map.bulk_off(self.idx) + desc.offset as usize + desc.len as usize);
+        self.push_sqe(XSqe {
+            ep: ep as u32,
+            flags: sqe_flags::BULK,
+            args,
+            user,
+            trace: 0,
+            payload_off: 0,
+            payload_len: 0,
+        });
+        Ok(())
+    }
+
+    /// Ring the doorbell for a submitted batch (the remote
+    /// [`crate::ClientRing::doorbell`]): one futex wake per batch.
+    pub fn ring_doorbell(&mut self) {
+        self.bump_doorbell();
+    }
+
+    /// Harvest up to `max` completions (the remote
+    /// [`crate::ClientRing::reap`]). Non-blocking; returns how many
+    /// landed in `out`. When nothing is reapable but submissions are
+    /// outstanding and the server died, returns [`RtError::PeerGone`]
+    /// (in-flight work is lost; credits are forfeited with it).
+    pub fn reap(&mut self, max: usize, out: &mut Vec<Completion>) -> Result<usize, RtError> {
+        let rh = self.map.ring_hdr(self.idx);
+        let tail = rh.cq_tail.load(Ordering::Acquire);
+        let mut n = 0;
+        while self.cq_head != tail && n < max {
+            // Safety: Acquire on cq_tail published the entry; the
+            // server will not rewrite it until cq_head passes.
+            let cqe = unsafe { std::ptr::read(self.map.cqe_ptr(self.idx, self.cq_head)) };
+            self.cq_head += 1;
+            rh.cq_head.store(self.cq_head, Ordering::Release);
+            self.in_flight = self.in_flight.saturating_sub(1);
+            out.push(Completion {
+                user: cqe.user,
+                ep: cqe.ep as EntryId,
+                result: if cqe.status == 0 {
+                    Ok(cqe.rets)
+                } else {
+                    Err(wire_to_err(cqe.status, cqe.aux))
+                },
+            });
+            n += 1;
+        }
+        if n == 0
+            && self.in_flight > 0
+            && (self.dead
+                || self.map.header().server_state.load(Ordering::Acquire) != srv::SERVING
+                || !shm::pid_alive(self.server_pid))
+        {
+            self.note_peer_lost();
+            self.in_flight = 0;
+            return Err(RtError::PeerGone);
+        }
+        Ok(n)
+    }
+
+    /// Submissions not yet reaped.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    /// Ask the server to shut down (sets the segment state word and
+    /// wakes the serve loop) — the cooperating-parent teardown for
+    /// forked servers. The server exits its loop; in-flight work on
+    /// *other* clients completes with peer-gone semantics on their
+    /// side.
+    pub fn shutdown_server(&mut self) {
+        let h = self.map.header();
+        h.server_state.store(srv::SHUTDOWN, Ordering::Release);
+        shm::futex_wake(&h.doorbell, u32::MAX);
+        self.dead = true;
+    }
+}
+
+impl Drop for XClient {
+    fn drop(&mut self) {
+        // Best-effort clean detach so the server reclaims the slot and
+        // region immediately instead of at the next liveness sweep.
+        if self.dead || self.map.header().server_state.load(Ordering::Acquire) != srv::SERVING
+        {
+            return;
+        }
+        if self.post_slot_op(op::DETACH, 0, [0; 8]).is_ok() {
+            let w = self.map.slot(self.idx).core.state_word();
+            let deadline = Instant::now() + Duration::from_millis(200);
+            while w.load(Ordering::Acquire) != state::DONE && Instant::now() < deadline {
+                shm::futex_wait(w, state::POSTED, Some(Duration::from_millis(20)));
+            }
+            self.map.slot(self.idx).core.reset();
+        }
+    }
+}
+
+/// A pending asynchronous cross-process call (see
+/// [`XClient::call_async`]). Must be waited; dropping without waiting
+/// leaves the slot to the next operation's fill-spin.
+pub struct XAsyncCall<'a> {
+    client: &'a mut XClient,
+}
+
+impl XAsyncCall<'_> {
+    /// Whether the completion has landed.
+    pub fn is_done(&self) -> bool {
+        self.client.map.slot(self.client.idx).core.state_word().load(Ordering::Acquire)
+            == state::DONE
+    }
+
+    /// Block for the result (futex rendezvous + liveness, like the
+    /// synchronous call).
+    pub fn wait(self) -> Result<[u64; 8], RtError> {
+        self.client.finish_slot_op()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Forked servers (bench / example convenience)
+// ---------------------------------------------------------------------
+
+/// Handle to a server child created by [`fork_server`].
+pub struct ForkedServer {
+    pid: i32,
+    reaped: bool,
+}
+
+impl ForkedServer {
+    /// The child's PID.
+    pub fn pid(&self) -> i32 {
+        self.pid
+    }
+
+    /// SIGKILL the child (peer-death experiments).
+    pub fn kill(&self) {
+        fork_sys::kill_pid(self.pid);
+    }
+
+    /// Reap the child (waitpid); idempotent.
+    pub fn wait(&mut self) {
+        if !self.reaped {
+            fork_sys::waitpid(self.pid);
+            self.reaped = true;
+        }
+    }
+}
+
+impl Drop for ForkedServer {
+    fn drop(&mut self) {
+        if !self.reaped {
+            self.kill();
+            self.wait();
+        }
+    }
+}
+
+/// Fork a child process that builds a runtime (via `build`), serves it
+/// over a segment at `path`, and exits when a client calls
+/// [`XClient::shutdown_server`] (or it is killed).
+///
+/// **Must be called before the calling process spawns threads** — fork
+/// only duplicates the calling thread, and a forked child of a threaded
+/// process may hold poisoned locks. Test binaries (whose harness is
+/// threaded) should use the re-exec pattern instead: spawn
+/// `current_exe()` with an env flag and run the server in the fresh
+/// child's `main` (see `tests/xproc.rs`).
+pub fn fork_server(
+    path: &Path,
+    opts: XSegOptions,
+    build: impl FnOnce() -> Arc<Runtime>,
+) -> std::io::Result<ForkedServer> {
+    let pid = fork_sys::fork()?;
+    if pid == 0 {
+        // Child: serve until told to stop, then exit without running
+        // the parent's atexit/Drop state.
+        let rt = build();
+        let code = match rt.serve_xproc(path, opts) {
+            Ok(mut srv) => {
+                srv.wait();
+                0
+            }
+            Err(_) => 1,
+        };
+        std::process::exit(code);
+    }
+    Ok(ForkedServer { pid, reaped: false })
+}
+
+#[cfg(target_os = "linux")]
+mod fork_sys {
+    use core::ffi::c_int;
+
+    mod libc {
+        use core::ffi::c_int;
+        extern "C" {
+            pub fn fork() -> c_int;
+            pub fn waitpid(pid: c_int, status: *mut c_int, options: c_int) -> c_int;
+            pub fn kill(pid: c_int, sig: c_int) -> c_int;
+        }
+    }
+
+    pub(super) fn fork() -> std::io::Result<i32> {
+        // Safety: plain fork; the caller upholds the single-threaded
+        // contract documented on `fork_server`.
+        let pid = unsafe { libc::fork() };
+        if pid < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(pid)
+    }
+
+    pub(super) fn waitpid(pid: i32) {
+        let mut status: c_int = 0;
+        // Safety: plain waitpid on a child we own.
+        unsafe { libc::waitpid(pid, &mut status, 0) };
+    }
+
+    pub(super) fn kill_pid(pid: i32) {
+        const SIGKILL: c_int = 9;
+        // Safety: signalling a child we own.
+        unsafe { libc::kill(pid, SIGKILL) };
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod fork_sys {
+    pub(super) fn fork() -> std::io::Result<i32> {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "fork_server requires Linux",
+        ))
+    }
+
+    pub(super) fn waitpid(_pid: i32) {}
+
+    pub(super) fn kill_pid(_pid: i32) {}
+}
+
+// ---------------------------------------------------------------------
+// Transport stats (exporter hook)
+// ---------------------------------------------------------------------
+
+/// A snapshot of segment-level transport stats for the exporters.
+pub struct XprocStats {
+    /// `"xproc-server"` — present only while a segment is mapped.
+    pub mode: &'static str,
+    /// Segment size in bytes.
+    pub segment_bytes: u64,
+    /// High-water byte offset reached by bulk/staged traffic.
+    pub high_water: u64,
+    /// Currently claimed client slots.
+    pub clients: u32,
+}
+
+impl Runtime {
+    /// Segment transport stats, if this runtime is serving a segment
+    /// (`None` ⇒ purely in-process).
+    pub fn xproc_stats(&self) -> Option<XprocStats> {
+        let seg = self.xproc_segment()?.upgrade()?;
+        if seg.len() < std::mem::size_of::<XSegHeader>() {
+            return None;
+        }
+        // Safety: only ever set from a validated server segment.
+        let h: &XSegHeader = unsafe { SegRef::new(SegOffset(0)).resolve(&seg) };
+        Some(XprocStats {
+            mode: "xproc-server",
+            segment_bytes: seg.len() as u64,
+            high_water: h.high_water.load(Ordering::Relaxed),
+            clients: h.claim_mask.load(Ordering::Relaxed).count_ones(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_codes_roundtrip() {
+        let errs = [
+            RtError::UnknownEntry(7),
+            RtError::EntryDead(3),
+            RtError::Aborted(9),
+            RtError::BadBulk,
+            RtError::BulkDenied(5),
+            RtError::BulkRevoked(6),
+            RtError::BulkReentrant(2),
+            RtError::TableFull,
+            RtError::NotOwner,
+            RtError::BadVcpu(1),
+            RtError::ServerFault(4),
+            RtError::RingFull,
+            RtError::PeerGone,
+            RtError::BadSegment,
+        ];
+        for e in errs {
+            let (c, a) = err_to_wire(&e);
+            assert_ne!(c, 0, "status 0 is success");
+            assert_eq!(wire_to_err(c, a), e, "roundtrip {e:?}");
+        }
+    }
+
+    #[test]
+    fn geometry_is_consistent_and_bounded() {
+        let g = Geometry::compute(4, 32, 256 << 10).unwrap();
+        assert_eq!(g.slots_off, 128);
+        assert!(g.rings_off >= g.slots_off + 4 * std::mem::size_of::<XClientSlot>());
+        assert_eq!(g.stage_off % 4096, 0);
+        assert_eq!(g.total_len % 4096, 0);
+        // Refusals: zero clients, too many, non-pow2 depth, giant bulk.
+        assert!(Geometry::compute(0, 32, 4096).is_none());
+        assert!(Geometry::compute(65, 32, 4096).is_none());
+        assert!(Geometry::compute(4, 33, 4096).is_none());
+        assert!(Geometry::compute(4, 32, (1 << 24) + 64).is_none());
+    }
+
+    #[test]
+    fn create_then_validate_accepts_and_version_mismatch_is_clean() {
+        let dir = shm::segment_dir();
+        let path = dir.join(format!("ppc-xproc-hdr-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let opts = XSegOptions { n_clients: 2, ring_depth: 8, bulk_bytes: 4096, vcpu: 0 };
+        let map = SegMap::create(&path, &opts).unwrap();
+        // Re-open by path: full validation passes.
+        let re = SegMap::open(&path).unwrap();
+        assert_eq!(re.geo, map.geo);
+        // Corrupt the version: clean BadSegment, not UB.
+        // Safety: single-process test, no concurrent reader.
+        unsafe {
+            let h = map.seg.base().add(8) as *mut u32;
+            *h = XPROC_LAYOUT_VERSION + 1;
+        }
+        assert_eq!(SegMap::open(&path).err(), Some(RtError::BadSegment));
+        drop(re);
+        drop(map);
+        assert!(!path.exists());
+    }
+}

@@ -1,0 +1,509 @@
+//! Cross-process transport integration tests: client and server in
+//! **different PIDs**, exercising `call`, `call_with_payload`,
+//! `call_bulk`, and ring submit/reap through the shared segment — plus
+//! the same-API invariant (one test body run against both transports),
+//! segment byte-dump validation, and peer-death robustness.
+//!
+//! The child process is this same test binary re-executed with
+//! `PPC_XPROC_CHILD_PATH` set: the hidden `xproc_child_server` "test"
+//! builds a runtime, binds the shared entry table, and serves the
+//! segment until a client asks it to shut down (or it is killed). The
+//! fork(2)-based `ppc_rt::xproc::fork_server` is not used here because
+//! the libtest harness is threaded by the time any `#[test]` runs.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ppc_rt::xproc::validate_segment;
+use ppc_rt::{
+    Completion, EntryId, EntryOptions, FlightKind, RtError, Runtime, XClient, XSegOptions,
+};
+
+/// Abort the whole binary if a rendezvous bug wedges a test — a hang
+/// here would otherwise stall `cargo test` forever.
+fn watchdog(secs: u64) {
+    std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_secs(secs));
+        eprintln!("xproc test watchdog fired after {secs}s");
+        std::process::abort();
+    });
+}
+
+/// Bind the entry table both processes agree on. Bind order fixes the
+/// entry ids on a fresh runtime; the constants below are that order.
+fn bind_test_entries(rt: &Arc<Runtime>) {
+    let add = rt
+        .bind(
+            "add",
+            EntryOptions::default(),
+            Arc::new(|ctx| {
+                let a = ctx.args;
+                [a[0] + a[1], a[0], a[1], 0, 0, 0, 0, 0]
+            }),
+        )
+        .unwrap();
+    let upper = rt
+        .bind(
+            "upper",
+            EntryOptions::default(),
+            Arc::new(|ctx| {
+                let desc = ctx.bulk_desc().expect("descriptor in args[7]");
+                let n = ctx
+                    .with_bulk_mut(desc, |bytes| {
+                        for b in bytes.iter_mut() {
+                            b.make_ascii_uppercase();
+                        }
+                        bytes.len()
+                    })
+                    .expect("granted access");
+                [0, n as u64, 0, 0, 0, 0, 0, 0]
+            }),
+        )
+        .unwrap();
+    let psum = rt
+        .bind(
+            "psum",
+            EntryOptions::default(),
+            Arc::new(|ctx| {
+                let n = ctx.args[0] as usize;
+                let sum: u64 = ctx.scratch()[..n].iter().map(|b| u64::from(*b)).sum();
+                ctx.scratch()[..8].copy_from_slice(&sum.to_le_bytes());
+                [sum, 0, 0, 0, 0, 0, 0, 8]
+            }),
+        )
+        .unwrap();
+    let slow = rt
+        .bind(
+            "slow",
+            EntryOptions::default(),
+            Arc::new(|ctx| {
+                std::thread::sleep(Duration::from_millis(ctx.args[0]));
+                [0; 8]
+            }),
+        )
+        .unwrap();
+    assert_eq!((add, upper, psum, slow), (EP_ADD, EP_UPPER, EP_PSUM, EP_SLOW));
+}
+
+const EP_ADD: EntryId = 0;
+const EP_UPPER: EntryId = 1;
+const EP_PSUM: EntryId = 2;
+const EP_SLOW: EntryId = 3;
+
+/// The hidden server half: runs only when re-executed with the env var
+/// set (a bare `cargo test` run sees it pass as a no-op).
+#[test]
+fn xproc_child_server() {
+    let Some(path) = std::env::var_os("PPC_XPROC_CHILD_PATH") else {
+        return;
+    };
+    // Self-deadline so an orphaned child can never outlive the test run.
+    watchdog(120);
+    let rt = Runtime::new(1);
+    bind_test_entries(&rt);
+    let mut srv = rt
+        .serve_xproc(Path::new(&path), XSegOptions::default())
+        .expect("child serves the segment");
+    srv.wait();
+}
+
+/// A spawned server child, killed and reaped on drop so a failing
+/// parent assertion can't leak processes.
+struct ChildServer {
+    child: Child,
+    path: PathBuf,
+}
+
+impl ChildServer {
+    fn spawn(tag: &str) -> ChildServer {
+        let path = ppc_rt::shm::segment_dir()
+            .join(format!("ppc-xproc-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let child = Command::new(std::env::current_exe().unwrap())
+            .args(["xproc_child_server", "--exact", "--test-threads=1", "--nocapture"])
+            .env("PPC_XPROC_CHILD_PATH", &path)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn child server");
+        ChildServer { child, path }
+    }
+
+    fn connect(&self, program: u32) -> XClient {
+        XClient::connect_retry(&self.path, program, Duration::from_secs(10))
+            .expect("connect to child server")
+    }
+
+    /// SIGKILL the child **and reap it**: `pid_alive` (and hence the
+    /// client's liveness checks) sees a zombie as alive until the
+    /// parent waits on it, exactly like any real supervisor would.
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ChildServer {
+    fn drop(&mut self) {
+        self.kill();
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Reap until `want` completions or the deadline; errors pass through.
+fn reap_all(
+    xc: &mut XClient,
+    want: usize,
+    deadline: Duration,
+) -> Result<Vec<Completion>, RtError> {
+    let t0 = Instant::now();
+    let mut out = Vec::new();
+    while out.len() < want {
+        xc.reap(want - out.len(), &mut out)?;
+        assert!(t0.elapsed() < deadline, "reaped {}/{want} before deadline", out.len());
+        std::hint::spin_loop();
+    }
+    Ok(out)
+}
+
+/// The acceptance-criteria test: one client, one server, **different
+/// PIDs**, exercising `call`, payload calls, `call_bulk`, and ring
+/// submit/reap through the shared segment.
+#[test]
+fn cross_process_call_bulk_and_ring() {
+    watchdog(90);
+    let mut srv = ChildServer::spawn("main");
+    let mut xc = srv.connect(7);
+
+    // Plain sync call.
+    let rets = xc.call(EP_ADD, [5, 6, 0, 0, 0, 0, 0, 0]).unwrap();
+    assert_eq!(rets[0], 11);
+    assert_eq!((rets[1], rets[2]), (5, 6));
+
+    // Error surface crosses the boundary intact.
+    assert_eq!(xc.call(99, [0; 8]), Err(RtError::UnknownEntry(99)));
+
+    // Payload call: request bytes ride the slot's payload page, the
+    // response payload comes back the same way.
+    let req = vec![3u8; 100];
+    let mut args = [0u64; 8];
+    args[0] = req.len() as u64;
+    let (rets, resp) = xc.call_with_payload(EP_PSUM, args, &req).unwrap();
+    assert_eq!(rets[0], 300);
+    assert_eq!(resp.len(), 8);
+    assert_eq!(u64::from_le_bytes(resp.try_into().unwrap()), 300);
+
+    // Async call.
+    let pending = xc.call_async(EP_ADD, [20, 22, 0, 0, 0, 0, 0, 0]).unwrap();
+    assert_eq!(pending.wait().unwrap()[0], 42);
+
+    // Bulk: fill the share, grant the entry, call with a descriptor —
+    // the handler uppercases the span in place across the boundary.
+    let data = b"hello cross-process bulk".to_vec();
+    xc.bulk_write(0, &data).unwrap();
+    xc.bulk_grant(EP_UPPER, true).unwrap();
+    let desc = xc.bulk_desc(0, data.len() as u32, true).unwrap();
+    let rets = xc.call_bulk(EP_UPPER, [0; 8], desc).unwrap();
+    assert_eq!(rets[1] as usize, data.len());
+    let back = xc.bulk_read(0, data.len()).unwrap();
+    assert_eq!(back, data.to_ascii_uppercase());
+
+    // Ring: pipeline a batch of calls through SQ/CQ in the segment.
+    for user in 0..16u64 {
+        xc.submit(EP_ADD, [user, user, 0, 0, 0, 0, 0, 0], user).unwrap();
+    }
+    xc.ring_doorbell();
+    let done = reap_all(&mut xc, 16, Duration::from_secs(10)).unwrap();
+    assert_eq!(done.len(), 16);
+    let mut seen = [false; 16];
+    for c in &done {
+        assert_eq!(c.ep, EP_ADD);
+        assert_eq!(c.result.as_ref().unwrap()[0], c.user * 2);
+        seen[c.user as usize] = true;
+    }
+    assert!(seen.iter().all(|s| *s), "every submission completed");
+
+    // Ring payload staging.
+    let payload = vec![2u8; 50];
+    let mut args = [0u64; 8];
+    args[0] = payload.len() as u64;
+    xc.submit_payload(EP_PSUM, args, 77, &payload).unwrap();
+    xc.ring_doorbell();
+    let done = reap_all(&mut xc, 1, Duration::from_secs(10)).unwrap();
+    assert_eq!(done[0].user, 77);
+    assert_eq!(done[0].result.as_ref().unwrap()[0], 100);
+
+    // Ring bulk: payload lands in the client's share before the SQE.
+    let bulk = b"ring bulk payload".to_vec();
+    let desc = xc.bulk_desc(4096, bulk.len() as u32, true).unwrap();
+    xc.submit_bulk(EP_UPPER, [0; 8], 88, desc, &bulk).unwrap();
+    xc.ring_doorbell();
+    let done = reap_all(&mut xc, 1, Duration::from_secs(10)).unwrap();
+    assert_eq!(done[0].user, 88);
+    assert_eq!(xc.bulk_read(4096, bulk.len()).unwrap(), bulk.to_ascii_uppercase());
+
+    // Cooperative teardown: the client asks, the child's serve loop
+    // exits, the child process terminates cleanly.
+    xc.shutdown_server();
+    let status = srv.child.wait().expect("child reaped");
+    assert!(status.success(), "child exited cleanly: {status:?}");
+}
+
+/// The same-API invariant: one test body, two transports. Everything a
+/// caller can observe — results, error values, completion pairing — is
+/// identical whether the server lives in this process or another one.
+trait Transport {
+    fn call(&mut self, ep: EntryId, args: [u64; 8]) -> Result<[u64; 8], RtError>;
+    fn bulk_upper(&mut self, data: &[u8]) -> Result<Vec<u8>, RtError>;
+    fn ring_submit(&mut self, ep: EntryId, args: [u64; 8], user: u64) -> Result<(), RtError>;
+    fn ring_doorbell(&mut self);
+    fn ring_reap(&mut self, out: &mut Vec<Completion>) -> Result<usize, RtError>;
+}
+
+struct InProc {
+    client: ppc_rt::Client,
+    ring: ppc_rt::ClientRing,
+}
+
+impl Transport for InProc {
+    fn call(&mut self, ep: EntryId, args: [u64; 8]) -> Result<[u64; 8], RtError> {
+        self.client.call(ep, args)
+    }
+
+    fn bulk_upper(&mut self, data: &[u8]) -> Result<Vec<u8>, RtError> {
+        let region = self.client.bulk_register(data.len())?;
+        region.fill(0, data)?;
+        region.grant(EP_UPPER, true)?;
+        self.client.call_bulk(EP_UPPER, [0; 8], region.full_desc(true))?;
+        let mut out = vec![0u8; data.len()];
+        region.read_into(0, &mut out)?;
+        Ok(out)
+    }
+
+    fn ring_submit(&mut self, ep: EntryId, args: [u64; 8], user: u64) -> Result<(), RtError> {
+        self.ring.submit(ep, args, user)
+    }
+
+    fn ring_doorbell(&mut self) {
+        self.ring.doorbell();
+    }
+
+    fn ring_reap(&mut self, out: &mut Vec<Completion>) -> Result<usize, RtError> {
+        Ok(self.ring.reap(usize::MAX, out))
+    }
+}
+
+struct XProc {
+    xc: XClient,
+    granted: bool,
+}
+
+impl Transport for XProc {
+    fn call(&mut self, ep: EntryId, args: [u64; 8]) -> Result<[u64; 8], RtError> {
+        self.xc.call(ep, args)
+    }
+
+    fn bulk_upper(&mut self, data: &[u8]) -> Result<Vec<u8>, RtError> {
+        if !self.granted {
+            self.xc.bulk_grant(EP_UPPER, true)?;
+            self.granted = true;
+        }
+        self.xc.bulk_write(0, data)?;
+        let desc = self.xc.bulk_desc(0, data.len() as u32, true)?;
+        self.xc.call_bulk(EP_UPPER, [0; 8], desc)?;
+        self.xc.bulk_read(0, data.len())
+    }
+
+    fn ring_submit(&mut self, ep: EntryId, args: [u64; 8], user: u64) -> Result<(), RtError> {
+        self.xc.submit(ep, args, user)
+    }
+
+    fn ring_doorbell(&mut self) {
+        self.xc.ring_doorbell();
+    }
+
+    fn ring_reap(&mut self, out: &mut Vec<Completion>) -> Result<usize, RtError> {
+        self.xc.reap(usize::MAX, out)
+    }
+}
+
+/// The shared body. Each observable below must hold for any transport.
+fn exercise_transport(t: &mut dyn Transport) {
+    // Results round-trip.
+    let rets = t.call(EP_ADD, [19, 23, 0, 0, 0, 0, 0, 0]).unwrap();
+    assert_eq!(rets[0], 42);
+    // Errors carry the same payload.
+    assert_eq!(t.call(99, [0; 8]), Err(RtError::UnknownEntry(99)));
+    assert_eq!(t.call(EP_ADD + 500, [0; 8]), Err(RtError::UnknownEntry(EP_ADD + 500)));
+    // Bulk mutates the span and only the span.
+    let out = t.bulk_upper(b"mixed CASE bytes").unwrap();
+    assert_eq!(out, b"MIXED CASE BYTES");
+    // Ring completions pair user tags with their results.
+    for user in 0..8u64 {
+        t.ring_submit(EP_ADD, [user, 100, 0, 0, 0, 0, 0, 0], user).unwrap();
+    }
+    t.ring_doorbell();
+    let t0 = Instant::now();
+    let mut done = Vec::new();
+    while done.len() < 8 {
+        t.ring_reap(&mut done).unwrap();
+        assert!(t0.elapsed() < Duration::from_secs(10), "ring drained");
+    }
+    done.sort_by_key(|c| c.user);
+    for (user, c) in done.iter().enumerate() {
+        assert_eq!(c.user, user as u64);
+        assert_eq!(c.result.as_ref().unwrap()[0], user as u64 + 100);
+    }
+}
+
+#[test]
+fn same_api_invariant_in_both_modes() {
+    watchdog(90);
+    // In-process mode.
+    let rt = Runtime::new(1);
+    bind_test_entries(&rt);
+    let client = rt.client(0, 7);
+    let ring = client.ring();
+    exercise_transport(&mut InProc { client, ring });
+
+    // Cross-process mode: same body, server in another PID.
+    let mut srv = ChildServer::spawn("invariant");
+    let xc = srv.connect(7);
+    let mut xp = XProc { xc, granted: false };
+    exercise_transport(&mut xp);
+    xp.xc.shutdown_server();
+    let status = srv.child.wait().expect("child reaped");
+    assert!(status.success());
+}
+
+/// Segment validation: a byte-for-byte dump of a live segment passes
+/// the layout-version check; corrupted or truncated dumps are refused
+/// with a clean [`RtError::BadSegment`] — never UB, never a hang.
+#[test]
+fn segment_byte_dump_round_trips_validation() {
+    watchdog(90);
+    let mut srv = ChildServer::spawn("dump");
+    let mut xc = srv.connect(7);
+    // Force some traffic so the dump is of a *working* segment.
+    xc.call(EP_ADD, [1, 2, 0, 0, 0, 0, 0, 0]).unwrap();
+    validate_segment(&srv.path).expect("live segment validates");
+
+    let bytes = std::fs::read(&srv.path).expect("dump the segment");
+    let copy = srv.path.with_extension("dump");
+
+    // Round trip: the byte dump validates as-is.
+    std::fs::write(&copy, &bytes).unwrap();
+    validate_segment(&copy).expect("byte dump round-trips validation");
+
+    // Version bump (offset 8 is `layout_version` by the asserted
+    // layout): clean error.
+    let mut bad = bytes.clone();
+    bad[8] ^= 0xFF;
+    std::fs::write(&copy, &bad).unwrap();
+    assert_eq!(validate_segment(&copy), Err(RtError::BadSegment));
+
+    // Bad magic: clean error.
+    let mut bad = bytes.clone();
+    bad[0] ^= 0xFF;
+    std::fs::write(&copy, &bad).unwrap();
+    assert_eq!(validate_segment(&copy), Err(RtError::BadSegment));
+
+    // Truncated dump: the geometry cross-check refuses it.
+    std::fs::write(&copy, &bytes[..bytes.len() / 2]).unwrap();
+    assert_eq!(validate_segment(&copy), Err(RtError::BadSegment));
+
+    // Geometry lie (ring_depth at offset 16 per the asserted layout):
+    // recomputed offsets disagree, refused.
+    let mut bad = bytes.clone();
+    bad[16] = bad[16].wrapping_add(1);
+    std::fs::write(&copy, &bad).unwrap();
+    assert_eq!(validate_segment(&copy), Err(RtError::BadSegment));
+
+    let _ = std::fs::remove_file(&copy);
+    xc.shutdown_server();
+    let _ = srv.child.wait();
+}
+
+/// Kill the server **mid-call**: the parent's wait must resolve to a
+/// timely [`RtError::PeerGone`] (no hang), subsequent operations must
+/// fail fast, and the loss must land in the flight recorder.
+#[test]
+fn peer_death_mid_call_is_timely_error() {
+    watchdog(90);
+    let obs_rt = Runtime::new(1);
+    let mut srv = ChildServer::spawn("midcall");
+    let mut xc = srv.connect(7).with_obs(Arc::clone(&obs_rt), 0);
+
+    // A call the server will sit in for 30s — far past every deadline
+    // below, so completion cannot race the kill.
+    let pending = xc.call_async(EP_SLOW, [30_000, 0, 0, 0, 0, 0, 0, 0]).unwrap();
+    // Let the server actually pick it up, then kill it mid-handler.
+    std::thread::sleep(Duration::from_millis(100));
+    srv.kill();
+
+    let t0 = Instant::now();
+    assert_eq!(pending.wait(), Err(RtError::PeerGone));
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "peer loss detected in {:?}, not a hang",
+        t0.elapsed()
+    );
+
+    // Everything after fails fast — no leaked in-flight state.
+    assert_eq!(xc.call(EP_ADD, [1; 8]), Err(RtError::PeerGone));
+    assert_eq!(xc.submit(EP_ADD, [1; 8], 0), Err(RtError::PeerGone));
+    assert_eq!(xc.bulk_grant(EP_UPPER, false), Err(RtError::PeerGone));
+
+    // The loss is on the record.
+    let events = obs_rt.flight().snapshot(0);
+    assert!(
+        events.iter().any(|e| e.kind == FlightKind::PeerLost),
+        "flight recorder holds the PeerLost event: {events:?}"
+    );
+}
+
+/// Kill the server **mid-submit_bulk**: queued ring work resolves to a
+/// timely [`RtError::PeerGone`] from `reap`, credits are forfeited with
+/// the segment (no RingFull lockout afterwards — the error is
+/// PeerGone), and the client is cleanly dead.
+#[test]
+fn peer_death_mid_submit_bulk_is_timely_error() {
+    watchdog(90);
+    let mut srv = ChildServer::spawn("midbulk");
+    let mut xc = srv.connect(9);
+    xc.bulk_grant(EP_UPPER, true).unwrap();
+
+    // Stall the server first so the bulk submissions sit in the SQ.
+    xc.submit(EP_SLOW, [30_000, 0, 0, 0, 0, 0, 0, 0], 1).unwrap();
+    let payload = vec![b'q'; 512];
+    for user in 2..6u64 {
+        let desc = xc.bulk_desc((user as u32) * 1024, payload.len() as u32, true).unwrap();
+        xc.submit_bulk(EP_UPPER, [0; 8], user, desc, &payload).unwrap();
+    }
+    xc.ring_doorbell();
+    assert!(xc.in_flight() >= 5);
+    std::thread::sleep(Duration::from_millis(100));
+    srv.kill();
+
+    let t0 = Instant::now();
+    let mut out = Vec::new();
+    let err = loop {
+        match xc.reap(16, &mut out) {
+            Ok(_) => {
+                assert!(
+                    t0.elapsed() < Duration::from_secs(5),
+                    "reap noticed peer death before the deadline"
+                );
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => break e,
+        }
+    };
+    assert_eq!(err, RtError::PeerGone);
+    assert_eq!(xc.in_flight(), 0, "in-flight credits released with the peer");
+    // Dead client fails fast, with PeerGone — not RingFull, not a hang.
+    assert_eq!(xc.submit(EP_ADD, [0; 8], 9), Err(RtError::PeerGone));
+    assert_eq!(xc.call(EP_ADD, [0; 8]), Err(RtError::PeerGone));
+}
