@@ -351,8 +351,13 @@ mod sys {
     }
 
     pub(super) fn futex_wake(word: &AtomicU32, n: u32) -> u32 {
+        // The kernel takes nr_wake as a signed int: an unclamped
+        // `u32::MAX as c_int` is -1, which wakes at most ONE waiter —
+        // silently breaking the wake-all idiom every shutdown/doorbell
+        // call site relies on.
+        let n = n.min(i32::MAX as u32) as c_int;
         // Safety: `word` outlives the call.
-        let r = unsafe { syscall(SYS_FUTEX, word.as_ptr(), FUTEX_WAKE, n as c_int) };
+        let r = unsafe { syscall(SYS_FUTEX, word.as_ptr(), FUTEX_WAKE, n) };
         if r < 0 {
             0
         } else {

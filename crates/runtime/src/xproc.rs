@@ -43,6 +43,16 @@
 //! [`XPROC_LAYOUT_VERSION`] bump fails the build on the offsets and the
 //! byte-dump round-trip test, not at a process boundary.
 //!
+//! # Claim handshake
+//!
+//! A connector owns a slot **before** touching it: it CASes a free bit
+//! into the header's claim mask, then writes the slot's control words
+//! (pid, program, ack), then publishes them with a Release store of the
+//! slot's `attach_req` word. The server attaches only after
+//! Acquire-reading `attach_req == 1`, so it can never pair a claimed
+//! bit with half-written (or another racer's) identity words. Whichever
+//! side releases a claim retracts `attach_req` before clearing the bit.
+//!
 //! # Futex protocol
 //!
 //! Two shared words sleep, everything else polls:
@@ -257,7 +267,13 @@ pub struct XClientSlot {
     attach_ack: AtomicU32,
     /// The client's program identity (region owner).
     client_program: AtomicU32,
-    _pad0: [u8; 40],
+    /// Slot-words-valid gate: the claimer stores 1 (Release) only
+    /// *after* owning the claim bit and writing pid/program/ack words;
+    /// the server attaches only after Acquire-reading 1, so it never
+    /// reads a half-written identity. Reset to 0 by whichever side
+    /// releases the claim, *before* the claim bit clears.
+    attach_req: AtomicU32,
+    _pad0: [u8; 36],
     payload: UnsafeCell<[u8; SCRATCH_BYTES]>,
 }
 
@@ -271,6 +287,7 @@ crate::assert_segment_layout!(XClientSlot {
     region_id: 204,
     attach_ack: 208,
     client_program: 212,
+    attach_req: 216,
     payload: 256,
 });
 
@@ -708,9 +725,19 @@ impl Drop for XServer {
 /// Per-client connection state on the server side (process-local).
 struct ClientCtx {
     attached: bool,
+    /// The attach was refused (registry full): remembered so the serve
+    /// loop does not re-attempt — and busy-spin on — every iteration
+    /// while the client winds down. Cleared when the claim bit clears.
+    refused: bool,
     program: ProgramId,
     pid: u32,
     region: Option<RegionId>,
+}
+
+impl ClientCtx {
+    fn empty() -> ClientCtx {
+        ClientCtx { attached: false, refused: false, program: 0, pid: 0, region: None }
+    }
 }
 
 fn serve_loop(rt: Arc<Runtime>, map: Arc<SegMap>, vcpu: usize) {
@@ -718,9 +745,7 @@ fn serve_loop(rt: Arc<Runtime>, map: Arc<SegMap>, vcpu: usize) {
     h.server_pid.store(std::process::id(), Ordering::Relaxed);
     h.server_state.store(srv::SERVING, Ordering::Release);
     let n = map.geo.n_clients;
-    let mut ctx: Vec<ClientCtx> = (0..n)
-        .map(|_| ClientCtx { attached: false, program: 0, pid: 0, region: None })
-        .collect();
+    let mut ctx: Vec<ClientCtx> = (0..n).map(|_| ClientCtx::empty()).collect();
     let mut local_scratch = vec![0u8; SCRATCH_BYTES];
     let mut last_sweep = Instant::now();
     loop {
@@ -730,16 +755,33 @@ fn serve_loop(rt: Arc<Runtime>, map: Arc<SegMap>, vcpu: usize) {
         let mask = h.claim_mask.load(Ordering::Acquire);
         for (i, c) in ctx.iter_mut().enumerate() {
             if mask & (1 << i) != 0 {
-                if !c.attached {
+                // Attach only once the claimer has published its slot
+                // words (attach_req = 1) — a claimed bit alone says
+                // nothing about the words — and never re-attempt a
+                // refused slot (that would busy-spin until the client
+                // noticed and released).
+                if !c.attached
+                    && !c.refused
+                    && map.slot(i).attach_req.load(Ordering::Acquire) == 1
+                {
                     attach_client(&rt, &map, vcpu, i, c);
                     progress = true;
                 }
-                progress |= service_slot(&rt, &map, vcpu, i, c);
-                progress |= service_ring(&rt, &map, vcpu, i, c, &mut local_scratch);
-            } else if c.attached {
-                // The client detached cleanly (DETACH already
-                // unregistered); just forget it.
-                *c = ClientCtx { attached: false, program: 0, pid: 0, region: None };
+                if c.attached {
+                    progress |= service_slot(&rt, &map, vcpu, i, c);
+                    progress |= service_ring(&rt, &map, vcpu, i, c, &mut local_scratch);
+                }
+            } else if c.attached || c.refused {
+                // The claimer released its bit (clean DETACH, a refused
+                // connect, or an abandoned handshake). The slot may
+                // already belong to a new claimer, so touch only
+                // process-local state — but if the release raced our
+                // attach, the region is still registered and must not
+                // leak.
+                if let Some(region) = c.region.take() {
+                    let _ = rt.bulk().registry(vcpu).unregister(region, c.program);
+                }
+                *c = ClientCtx::empty();
             }
         }
         if h.server_state.load(Ordering::Acquire) == srv::SHUTDOWN {
@@ -748,15 +790,29 @@ fn serve_loop(rt: Arc<Runtime>, map: Arc<SegMap>, vcpu: usize) {
         // Peer-death sweep: a killed client never sends DETACH, so its
         // claim bit, region, and any posted-but-unserviced call would
         // leak. The sweep reclaims all three and leaves a flight-plane
-        // record of the loss.
+        // record of the loss. It also covers claimed-but-unattached
+        // slots (a connector that died mid-handshake, or a refused
+        // claimer that crashed before releasing its bit) — attach_req
+        // == 1 guarantees the slot's pid word is valid to judge by.
         if last_sweep.elapsed() >= Duration::from_millis(50) {
             last_sweep = Instant::now();
             for (i, c) in ctx.iter_mut().enumerate() {
-                if c.attached && !shm::pid_alive(c.pid) {
-                    let pid = c.pid;
-                    detach_client(&rt, &map, vcpu, i, c);
-                    rt.flight().record(vcpu, FlightKind::PeerLost, i, pid);
-                    progress = true;
+                if c.attached {
+                    if !shm::pid_alive(c.pid) {
+                        let pid = c.pid;
+                        detach_client(&rt, &map, vcpu, i, c);
+                        rt.flight().record(vcpu, FlightKind::PeerLost, i, pid);
+                        progress = true;
+                    }
+                } else if h.claim_mask.load(Ordering::Acquire) & (1 << i) != 0
+                    && map.slot(i).attach_req.load(Ordering::Acquire) == 1
+                {
+                    let pid = map.slot(i).pid.load(Ordering::Acquire);
+                    if pid != 0 && !shm::pid_alive(pid) {
+                        detach_client(&rt, &map, vcpu, i, c);
+                        rt.flight().record(vcpu, FlightKind::PeerLost, i, pid);
+                        progress = true;
+                    }
                 }
             }
         }
@@ -807,6 +863,10 @@ fn attach_client(rt: &Arc<Runtime>, map: &SegMap, vcpu: usize, i: usize, c: &mut
             slot.attach_ack.store(1, Ordering::Release);
         }
         Err(_) => {
+            // Remember the refusal so the serve loop does not retry
+            // (and busy-spin) every iteration; the flag clears when the
+            // claim bit does.
+            c.refused = true;
             slot.attach_ack.store(2, Ordering::Release);
         }
     }
@@ -825,8 +885,12 @@ fn detach_client(rt: &Arc<Runtime>, map: &SegMap, vcpu: usize, i: usize, c: &mut
     slot.attach_ack.store(0, Ordering::Relaxed);
     slot.pid.store(0, Ordering::Relaxed);
     slot.core.reset();
+    // Retract readiness before the claim bit clears (the AcqRel RMW
+    // below releases this store) so a fresh claimer never inherits a
+    // stale "words valid" signal.
+    slot.attach_req.store(0, Ordering::Release);
     map.header().claim_mask.fetch_and(!(1u64 << i), Ordering::AcqRel);
-    *c = ClientCtx { attached: false, program: 0, pid: 0, region: None };
+    *c = ClientCtx::empty();
 }
 
 /// Service a posted slot call. Returns whether work was done.
@@ -881,6 +945,7 @@ fn service_slot(rt: &Arc<Runtime>, map: &SegMap, vcpu: usize, i: usize, c: &Clie
             shm::futex_wake(slot.core.state_word(), u32::MAX);
             let mut cc = ClientCtx {
                 attached: c.attached,
+                refused: c.refused,
                 program: c.program,
                 pid: c.pid,
                 region: c.region,
@@ -921,12 +986,23 @@ fn grant_region(
 }
 
 /// Drain client `i`'s submission queue. Returns whether work was done.
+///
+/// The drain is bounded: `sq_tail` is a client-controlled word, and a
+/// well-formed producer can never be more than `ring_depth` ahead of
+/// `sq_head`. A tail further ahead than that is a broken (or hostile)
+/// client, not a big batch — it is detached on the spot, because an
+/// unbounded `head != tail` loop would execute garbage SQEs with no
+/// shutdown check, no liveness sweep, and every other client starved,
+/// violating the module's "a client can corrupt only itself" trust
+/// model. Because the tail is sampled once, a single invocation also
+/// never drains more than `ring_depth` entries before returning to the
+/// main loop.
 fn service_ring(
     rt: &Arc<Runtime>,
     map: &SegMap,
     vcpu: usize,
     i: usize,
-    c: &ClientCtx,
+    c: &mut ClientCtx,
     local_scratch: &mut [u8],
 ) -> bool {
     let rh = map.ring_hdr(i);
@@ -934,6 +1010,12 @@ fn service_ring(
     let mut head = rh.sq_head.load(Ordering::Relaxed);
     if head == tail {
         return false;
+    }
+    if tail.wrapping_sub(head) > map.geo.ring_depth {
+        let pid = c.pid;
+        detach_client(rt, map, vcpu, i, c);
+        rt.flight().record(vcpu, FlightKind::PeerLost, i, pid);
+        return true;
     }
     let cell = rt.stats.cell(vcpu);
     while head != tail {
@@ -1047,21 +1129,19 @@ impl XClient {
             std::thread::sleep(Duration::from_millis(1));
         }
         let server_pid = h.server_pid.load(Ordering::Acquire);
-        // Claim a slot: find a clear bit and CAS it in. The slot's
-        // control words are written *before* the claim bit (Release) so
-        // the server's attach reads them coherently (Acquire on the
-        // mask).
+        // Claim a slot: CAS the claim bit FIRST — only the bit's owner
+        // may touch the slot's control words. Writing them before the
+        // CAS would let a losing racer's stores land after the winner's
+        // claim (and even after the server's attach), clobbering the
+        // winner's pid/program — identity confusion at the protection
+        // boundary. Readiness is signalled separately via `attach_req`,
+        // which the server Acquire-reads before looking at any word.
         let n = map.geo.n_clients;
         let idx = 'claim: loop {
             let mask = h.claim_mask.load(Ordering::Acquire);
             let Some(i) = (0..n).find(|i| mask & (1u64 << i) == 0) else {
                 return Err(RtError::TableFull);
             };
-            let slot = map.slot(i);
-            slot.pid.store(std::process::id(), Ordering::Relaxed);
-            slot.client_program.store(program, Ordering::Relaxed);
-            slot.attach_ack.store(0, Ordering::Relaxed);
-            slot.region_id.store(u32::MAX, Ordering::Relaxed);
             if h.claim_mask
                 .compare_exchange(mask, mask | (1u64 << i), Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
@@ -1070,21 +1150,34 @@ impl XClient {
             }
             // Raced another claimer; retry from a fresh mask.
         };
+        let slot = map.slot(idx);
+        slot.pid.store(std::process::id(), Ordering::Relaxed);
+        slot.client_program.store(program, Ordering::Relaxed);
+        slot.attach_ack.store(0, Ordering::Relaxed);
+        slot.region_id.store(u32::MAX, Ordering::Relaxed);
+        // Publish the words: everything above is visible to whoever
+        // Acquire-reads this 1.
+        slot.attach_req.store(1, Ordering::Release);
         // Ring the doorbell so a sleeping server attaches us promptly.
         h.doorbell.fetch_add(1, Ordering::Release);
         shm::futex_wake(&h.doorbell, u32::MAX);
-        // Await the attach ack (region registered server-side).
-        let slot = map.slot(idx);
+        // Await the attach ack (region registered server-side). On the
+        // give-up paths, retract `attach_req` *before* releasing the
+        // claim bit (both ordered before the mask RMW) so the next
+        // claimer of this slot starts from an unpublished state and the
+        // server can never pair a stale "ready" with fresh words.
         let deadline = Instant::now() + Duration::from_secs(5);
         loop {
             match slot.attach_ack.load(Ordering::Acquire) {
                 1 => break,
                 2 => {
+                    slot.attach_req.store(0, Ordering::Release);
                     h.claim_mask.fetch_and(!(1u64 << idx), Ordering::AcqRel);
                     return Err(RtError::TableFull);
                 }
                 _ => {
                     if Instant::now() >= deadline || !shm::pid_alive(server_pid) {
+                        slot.attach_req.store(0, Ordering::Release);
                         h.claim_mask.fetch_and(!(1u64 << idx), Ordering::AcqRel);
                         return Err(RtError::PeerGone);
                     }
@@ -1585,8 +1678,9 @@ impl Drop for XClient {
 }
 
 /// A pending asynchronous cross-process call (see
-/// [`XClient::call_async`]). Must be waited; dropping without waiting
-/// leaves the slot to the next operation's fill-spin.
+/// [`XClient::call_async`]). Dropping it without [`XAsyncCall::wait`]
+/// blocks until the in-flight call completes (with the usual liveness
+/// checks), discards the result, and releases the slot.
 pub struct XAsyncCall<'a> {
     client: &'a mut XClient,
 }
@@ -1601,7 +1695,25 @@ impl XAsyncCall<'_> {
     /// Block for the result (futex rendezvous + liveness, like the
     /// synchronous call).
     pub fn wait(self) -> Result<[u64; 8], RtError> {
-        self.client.finish_slot_op()
+        // ManuallyDrop: finish_slot_op consumes the completion and
+        // resets the slot itself; the abandoned-call Drop below must
+        // not run on top of that.
+        let mut this = std::mem::ManuallyDrop::new(self);
+        this.client.finish_slot_op()
+    }
+}
+
+/// An abandoned call cannot simply be forgotten: the server still flips
+/// the slot to DONE, [`SlotCore`]'s fill spins for IDLE, and nothing
+/// else resets it — the next operation (including the DETACH posted by
+/// [`XClient`]'s own drop) would busy-spin forever. Drop therefore
+/// drains the rendezvous and resets the slot. On peer death the wait
+/// errors out in tens of milliseconds and the reset is safe regardless:
+/// a gone server never writes the slot again.
+impl Drop for XAsyncCall<'_> {
+    fn drop(&mut self) {
+        let _ = self.client.wait_done();
+        self.client.map.slot(self.client.idx).core.reset();
     }
 }
 
@@ -1802,6 +1914,92 @@ mod tests {
         assert!(Geometry::compute(65, 32, 4096).is_none());
         assert!(Geometry::compute(4, 33, 4096).is_none());
         assert!(Geometry::compute(4, 32, (1 << 24) + 64).is_none());
+    }
+
+    fn serve_add(tag: &str, n_clients: usize) -> (Arc<Runtime>, XServer, EntryId, PathBuf) {
+        let rt = Runtime::new(1);
+        let ep = rt
+            .bind(
+                "add",
+                crate::EntryOptions::default(),
+                Arc::new(|ctx| [ctx.args[0] + ctx.args[1], 0, 0, 0, 0, 0, 0, 0]),
+            )
+            .unwrap();
+        let path = shm::segment_dir().join(format!("ppc-xproc-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let opts = XSegOptions { n_clients, ring_depth: 8, bulk_bytes: 4096, vcpu: 0 };
+        let srv = rt.serve_xproc(&path, opts).unwrap();
+        (rt, srv, ep, path)
+    }
+
+    /// The claim handshake under contention: concurrent connectors must
+    /// end up in distinct slots, each slot's identity words matching
+    /// the client that owns it — the claim-before-write protocol (a
+    /// losing racer that wrote words first could clobber the winner's
+    /// pid/program after the winner's CAS).
+    #[test]
+    fn concurrent_connects_claim_distinct_slots() {
+        let n = 8usize;
+        let (_rt, srv, ep, path) = serve_add("claimrace", n);
+        let clients: Vec<XClient> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n as u32)
+                .map(|p| {
+                    let path = path.clone();
+                    s.spawn(move || {
+                        XClient::connect_retry(&path, 100 + p, Duration::from_secs(10))
+                            .expect("connect under contention")
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut idxs: Vec<usize> = clients.iter().map(|c| c.idx).collect();
+        idxs.sort_unstable();
+        idxs.dedup();
+        assert_eq!(idxs.len(), n, "every client owns a distinct slot");
+        for c in &clients {
+            assert_eq!(
+                c.map.slot(c.idx).client_program.load(Ordering::Acquire),
+                c.program,
+                "slot identity words belong to the slot's owner"
+            );
+        }
+        for mut c in clients {
+            assert_eq!(c.call(ep, [20, 22, 0, 0, 0, 0, 0, 0]).unwrap()[0], 42);
+        }
+        drop(srv);
+    }
+
+    /// A client storing a garbage `sq_tail` must be detached — not
+    /// handed an effectively-infinite drain loop that starves every
+    /// other client and never re-checks shutdown.
+    #[test]
+    fn malformed_sq_tail_detaches_client_not_server() {
+        let (rt, srv, ep, path) = serve_add("badtail", 2);
+        let mut evil = XClient::connect_retry(&path, 66, Duration::from_secs(10)).unwrap();
+        let mut good = XClient::connect_retry(&path, 77, Duration::from_secs(10)).unwrap();
+        // Break the SPSC cursor contract: tail leaps far past head.
+        evil.map.ring_hdr(evil.idx).sq_tail.store(u64::MAX, Ordering::Release);
+        evil.bump_doorbell();
+        // The serve loop must stay responsive for well-behaved clients…
+        assert_eq!(good.call(ep, [19, 23, 0, 0, 0, 0, 0, 0]).unwrap()[0], 42);
+        // …and must reclaim the malformed one (claim bit released,
+        // loss on the flight record).
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while evil.map.header().claim_mask.load(Ordering::Acquire) & (1u64 << evil.idx) != 0 {
+            assert!(Instant::now() < deadline, "malformed client detached before deadline");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(
+            rt.flight().snapshot(0).iter().any(|e| e.kind == FlightKind::PeerLost),
+            "forced detach lands on the flight record"
+        );
+        // The slot no longer belongs to `evil`; skip its clean-detach
+        // drop protocol against a reclaimed (possibly re-claimed) slot.
+        evil.dead = true;
+        drop(evil);
+        drop(good);
+        drop(srv);
     }
 
     #[test]

@@ -426,6 +426,32 @@ fn segment_byte_dump_round_trips_validation() {
     let _ = srv.child.wait();
 }
 
+/// Dropping an un-waited async call must not wedge the slot: the next
+/// operation — and the client's own detach-on-drop — must still work.
+/// (An abandoned call parks the slot at DONE; without drop-side
+/// cleanup, the next fill would spin on IDLE forever.)
+#[test]
+fn abandoned_async_call_releases_slot() {
+    watchdog(90);
+    let mut srv = ChildServer::spawn("abandon");
+    let mut xc = srv.connect(7);
+
+    // Abandon a completed (or soon-complete) call.
+    let pending = xc.call_async(EP_ADD, [1, 2, 0, 0, 0, 0, 0, 0]).unwrap();
+    drop(pending);
+    assert_eq!(xc.call(EP_ADD, [30, 12, 0, 0, 0, 0, 0, 0]).unwrap()[0], 42);
+
+    // Abandon one still in flight on a slow entry: drop blocks until
+    // the handler finishes, then the slot is reusable.
+    let pending = xc.call_async(EP_SLOW, [50, 0, 0, 0, 0, 0, 0, 0]).unwrap();
+    drop(pending);
+    assert_eq!(xc.call(EP_ADD, [2, 3, 0, 0, 0, 0, 0, 0]).unwrap()[0], 5);
+
+    xc.shutdown_server();
+    let status = srv.child.wait().expect("child reaped");
+    assert!(status.success(), "child exited cleanly: {status:?}");
+}
+
 /// Kill the server **mid-call**: the parent's wait must resolve to a
 /// timely [`RtError::PeerGone`] (no hang), subsequent operations must
 /// fail fast, and the loss must land in the flight recorder.
